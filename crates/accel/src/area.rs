@@ -1,0 +1,197 @@
+//! Analytic 28 nm area/power model (paper Tab. 1).
+//!
+//! The paper synthesizes its RTL with Cadence Genus on a commercial
+//! 28 nm library; we substitute a first-order component model whose
+//! per-unit constants are fitted to Tab. 1 (see DESIGN.md §2):
+//!
+//! | Module | Area (mm²) | Power (mW) |
+//! |--------|-----------:|-----------:|
+//! | Workload scheduler | 0.24 | 156.2 |
+//! | Preprocessing unit | 1.24 | 696.0 |
+//! | Rendering engine (excl. PPU) | 14.98 | 8359.2 |
+//! | Prefetch buffer | 1.34 | 473.6 |
+//! | **Total** | **17.80** | **9685.0** |
+//!
+//! Constants: SRAM 0.0026 mm²/KB and 0.925 mW/KB (from the 512 KB
+//! prefetch buffer row); INT8 MAC 1.385e-3 mm²/MAC and 0.79 mW/MAC
+//! (from the rendering-engine row after subtracting its buffers); the
+//! scheduler and preprocessing unit are fixed blocks that scale mildly
+//! with PE count.
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Fitted 28 nm unit constants.
+const SRAM_MM2_PER_KB: f64 = 0.0026;
+const SRAM_MW_PER_KB: f64 = 0.925;
+const MAC_MM2: f64 = 1.385e-3;
+const MAC_MW: f64 = 0.79;
+/// Fixed-function block constants (fitted to Tab. 1 at 40 PEs).
+const SCHEDULER_MM2: f64 = 0.24;
+const SCHEDULER_MW: f64 = 156.2;
+const PPU_MM2: f64 = 1.24;
+const PPU_MW: f64 = 696.0;
+/// Rendering-engine overhead beyond MACs and buffers (SFU, control,
+/// local interconnect), as a fraction of the MAC array.
+const ENGINE_OVERHEAD_FRAC: f64 = 0.008;
+
+/// Area/power of one hardware module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModuleCost {
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// The Tab. 1 rows for a given configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaPowerReport {
+    /// Workload scheduler.
+    pub scheduler: ModuleCost,
+    /// Preprocessing unit (PPU).
+    pub preprocessing: ModuleCost,
+    /// Rendering engine excluding the PPU (PE pool + local/weight
+    /// buffers + SFU).
+    pub rendering_engine: ModuleCost,
+    /// Prefetch double buffer.
+    pub prefetch_buffer: ModuleCost,
+}
+
+impl AreaPowerReport {
+    /// Total area, mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.scheduler.area_mm2
+            + self.preprocessing.area_mm2
+            + self.rendering_engine.area_mm2
+            + self.prefetch_buffer.area_mm2
+    }
+
+    /// Total power, mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.scheduler.power_mw
+            + self.preprocessing.power_mw
+            + self.rendering_engine.power_mw
+            + self.prefetch_buffer.power_mw
+    }
+}
+
+/// Evaluates the analytic area/power model for a configuration.
+pub fn area_power(cfg: &AcceleratorConfig) -> AreaPowerReport {
+    let macs = cfg.macs_per_cycle() as f64;
+    let pe_scale = macs / (40.0 * 256.0);
+
+    let prefetch_kb = (2 * cfg.prefetch_buffer_kb) as f64;
+    let prefetch = ModuleCost {
+        area_mm2: prefetch_kb * SRAM_MM2_PER_KB,
+        power_mw: prefetch_kb * SRAM_MW_PER_KB,
+    };
+
+    let engine_sram_kb = (cfg.local_buffer_kb + cfg.weight_buffer_kb) as f64;
+    let mac_area = macs * MAC_MM2;
+    let rendering_engine = ModuleCost {
+        area_mm2: mac_area * (1.0 + ENGINE_OVERHEAD_FRAC) + engine_sram_kb * SRAM_MM2_PER_KB,
+        power_mw: macs * MAC_MW * (1.0 + ENGINE_OVERHEAD_FRAC)
+            + engine_sram_kb * SRAM_MW_PER_KB,
+    };
+
+    let scheduler = ModuleCost {
+        area_mm2: SCHEDULER_MM2 * pe_scale.sqrt(),
+        power_mw: SCHEDULER_MW * pe_scale.sqrt(),
+    };
+    let preprocessing = ModuleCost {
+        area_mm2: PPU_MM2 * pe_scale.sqrt(),
+        power_mw: PPU_MW * pe_scale.sqrt(),
+    };
+
+    AreaPowerReport {
+        scheduler,
+        preprocessing,
+        rendering_engine,
+        prefetch_buffer: prefetch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> AreaPowerReport {
+        area_power(&AcceleratorConfig::paper())
+    }
+
+    fn close(got: f64, want: f64, tol: f64) -> bool {
+        (got - want).abs() / want < tol
+    }
+
+    #[test]
+    fn total_area_matches_tab1() {
+        let r = report();
+        assert!(
+            close(r.total_area_mm2(), 17.80, 0.05),
+            "total area = {:.2} mm² (paper 17.80)",
+            r.total_area_mm2()
+        );
+    }
+
+    #[test]
+    fn total_power_matches_tab1() {
+        let r = report();
+        assert!(
+            close(r.total_power_mw(), 9685.0, 0.05),
+            "total power = {:.0} mW (paper 9685)",
+            r.total_power_mw()
+        );
+    }
+
+    #[test]
+    fn prefetch_buffer_matches_tab1() {
+        let r = report();
+        assert!(close(r.prefetch_buffer.area_mm2, 1.34, 0.05));
+        assert!(close(r.prefetch_buffer.power_mw, 473.6, 0.05));
+    }
+
+    #[test]
+    fn rendering_engine_matches_tab1() {
+        let r = report();
+        assert!(
+            close(r.rendering_engine.area_mm2, 14.98, 0.05),
+            "engine area = {:.2}",
+            r.rendering_engine.area_mm2
+        );
+        assert!(
+            close(r.rendering_engine.power_mw, 8359.2, 0.05),
+            "engine power = {:.0}",
+            r.rendering_engine.power_mw
+        );
+    }
+
+    #[test]
+    fn scheduler_and_ppu_match_tab1() {
+        let r = report();
+        assert!(close(r.scheduler.area_mm2, 0.24, 0.02));
+        assert!(close(r.scheduler.power_mw, 156.2, 0.02));
+        assert!(close(r.preprocessing.area_mm2, 1.24, 0.02));
+        assert!(close(r.preprocessing.power_mw, 696.0, 0.02));
+    }
+
+    #[test]
+    fn area_scales_with_pe_count() {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.pe_arrays = 80;
+        let big = area_power(&cfg);
+        assert!(big.total_area_mm2() > report().total_area_mm2() * 1.5);
+    }
+
+    #[test]
+    fn sram_scales_with_buffer_size() {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.prefetch_buffer_kb = 512;
+        let big = area_power(&cfg);
+        assert!(
+            close(big.prefetch_buffer.area_mm2, 2.0 * 1.34, 0.05),
+            "{}",
+            big.prefetch_buffer.area_mm2
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Accelerator configuration (paper Sec. 5.1).
+
+use gen_nerf_dram::{DramConfig, FeatureLayout};
+use serde::Serialize;
+
+/// Full configuration of the Gen-NeRF accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AcceleratorConfig {
+    /// Clock frequency, GHz.
+    pub freq_ghz: f64,
+    /// Number of systolic arrays in the PE pool.
+    pub pe_arrays: usize,
+    /// Systolic array dimension (arrays are `dim × dim` INT8 MACs).
+    pub pe_array_dim: usize,
+    /// Local buffer size, KB.
+    pub local_buffer_kb: usize,
+    /// Weight buffer size, KB.
+    pub weight_buffer_kb: usize,
+    /// Each half of the prefetch double buffer, KB.
+    pub prefetch_buffer_kb: usize,
+    /// Off-chip DRAM device.
+    pub dram: DramConfig,
+    /// Scene-feature storage layout.
+    pub layout: FeatureLayout,
+}
+
+impl AcceleratorConfig {
+    /// The paper's synthesized configuration: 1 GHz, 40 16×16 INT8
+    /// systolic arrays, 256 KB local buffer, 8 KB weight buffer,
+    /// 2×256 KB prefetch buffers, LPDDR4-2400, spatial-interleaved
+    /// feature storage.
+    pub fn paper() -> Self {
+        Self {
+            freq_ghz: 1.0,
+            pe_arrays: 40,
+            pe_array_dim: 16,
+            local_buffer_kb: 256,
+            weight_buffer_kb: 8,
+            prefetch_buffer_kb: 256,
+            dram: DramConfig::lpddr4_2400(),
+            layout: FeatureLayout::SpatialInterleave,
+        }
+    }
+
+    /// Peak multiply–accumulates per cycle.
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.pe_arrays * self.pe_array_dim * self.pe_array_dim) as u64
+    }
+
+    /// Peak INT8 throughput in TOPS (2 ops per MAC).
+    pub fn peak_tops(&self) -> f64 {
+        self.macs_per_cycle() as f64 * 2.0 * self.freq_ghz / 1000.0
+    }
+
+    /// Total on-chip SRAM in KB (local + weight + both prefetch halves).
+    pub fn total_sram_kb(&self) -> usize {
+        self.local_buffer_kb + self.weight_buffer_kb + 2 * self.prefetch_buffer_kb
+    }
+
+    /// Prefetch-buffer capacity in bytes (one half; the patch-size
+    /// constraint of Sec. 4.3).
+    pub fn prefetch_capacity_bytes(&self) -> u64 {
+        self.prefetch_buffer_kb as u64 * 1024
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_5_1() {
+        let cfg = AcceleratorConfig::paper();
+        assert_eq!(cfg.pe_arrays, 40);
+        assert_eq!(cfg.pe_array_dim, 16);
+        assert_eq!(cfg.freq_ghz, 1.0);
+        assert_eq!(cfg.local_buffer_kb, 256);
+        assert_eq!(cfg.weight_buffer_kb, 8);
+        assert_eq!(cfg.prefetch_buffer_kb, 256);
+        assert_eq!(cfg.dram.bandwidth_gbps(), 17.8);
+    }
+
+    #[test]
+    fn macs_per_cycle_is_10240() {
+        assert_eq!(AcceleratorConfig::paper().macs_per_cycle(), 40 * 256);
+    }
+
+    #[test]
+    fn peak_tops_about_20() {
+        let tops = AcceleratorConfig::paper().peak_tops();
+        assert!((tops - 20.48).abs() < 1e-9, "tops = {tops}");
+    }
+
+    #[test]
+    fn total_sram_under_a_megabyte() {
+        // Tab. 4 lists 0.8 MB SRAM.
+        let kb = AcceleratorConfig::paper().total_sram_kb();
+        assert_eq!(kb, 776);
+        assert!((kb as f64 / 1024.0 - 0.8).abs() < 0.05);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-frame energy model.
+//!
+//! Combines the Tab. 1 power model (activity-scaled) with the DRAM
+//! energy reported by the pipeline simulator to estimate
+//! energy-per-frame — the efficiency currency of AR/VR devices (the
+//! paper motivates the design with the Quest-class power envelope and
+//! reports typical power in Tabs. 1/4).
+
+use crate::area::area_power;
+use crate::config::AcceleratorConfig;
+use crate::simulator::SimReport;
+use serde::Serialize;
+
+/// Energy breakdown of one rendered frame, millijoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct FrameEnergy {
+    /// PE-pool + rendering-engine dynamic energy.
+    pub compute_mj: f64,
+    /// Workload scheduler + preprocessing unit.
+    pub frontend_mj: f64,
+    /// On-chip SRAM (prefetch buffer) energy.
+    pub sram_mj: f64,
+    /// Off-chip DRAM energy (from the DRAM model).
+    pub dram_mj: f64,
+}
+
+impl FrameEnergy {
+    /// Total frame energy, millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.compute_mj + self.frontend_mj + self.sram_mj + self.dram_mj
+    }
+
+    /// Average power over the frame, watts.
+    pub fn average_power_w(&self, latency_s: f64) -> f64 {
+        if latency_s > 0.0 {
+            self.total_mj() / 1000.0 / latency_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Estimates the energy of a simulated frame.
+///
+/// Module powers come from the Tab. 1 model; each module's energy is
+/// its power × the time it is active: the rendering engine during
+/// compute cycles, the prefetch buffer during data cycles, the
+/// scheduler/PPU across the whole frame, and DRAM energy directly from
+/// the DRAM model (scaled estimate).
+pub fn frame_energy(cfg: &AcceleratorConfig, report: &SimReport) -> FrameEnergy {
+    let ap = area_power(cfg);
+    let freq_hz = cfg.freq_ghz * 1e9;
+    let s = |cycles: u64| cycles as f64 / freq_hz;
+    let compute_s = s(report.compute_cycles());
+    let data_s = s(report.data_cycles());
+    let frame_s = s(report.total_cycles);
+    FrameEnergy {
+        compute_mj: ap.rendering_engine.power_mw * compute_s,
+        frontend_mj: (ap.scheduler.power_mw + ap.preprocessing.power_mw) * frame_s,
+        sram_mj: ap.prefetch_buffer.power_mw * data_s.max(compute_s),
+        dram_mj: (report.coarse.dram_energy_pj + report.focused.dram_energy_pj) / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use crate::workload::WorkloadSpec;
+
+    fn simulate(views: usize) -> (AcceleratorConfig, SimReport) {
+        let cfg = AcceleratorConfig::paper();
+        let mut sim = Simulator::new(cfg);
+        let spec = WorkloadSpec::gen_nerf_default(96, 96, views, 32);
+        (cfg, sim.simulate(&spec))
+    }
+
+    #[test]
+    fn energy_positive_and_decomposed() {
+        let (cfg, report) = simulate(4);
+        let e = frame_energy(&cfg, &report);
+        assert!(e.compute_mj > 0.0);
+        assert!(e.frontend_mj > 0.0);
+        assert!(e.dram_mj > 0.0);
+        assert!(e.total_mj() > e.compute_mj);
+    }
+
+    #[test]
+    fn average_power_below_tab1_envelope() {
+        // Average power cannot exceed the all-modules-always-on Tab. 1
+        // number (~9.7 W) plus DRAM.
+        let (cfg, report) = simulate(4);
+        let e = frame_energy(&cfg, &report);
+        let p = e.average_power_w(report.latency_s);
+        assert!(p > 0.0);
+        assert!(p < 15.0, "average power {p} W implausible");
+    }
+
+    #[test]
+    fn more_views_cost_more_energy() {
+        let (cfg, r2) = simulate(2);
+        let (_, r8) = simulate(8);
+        let e2 = frame_energy(&cfg, &r2);
+        let e8 = frame_energy(&cfg, &r8);
+        assert!(e8.total_mj() > e2.total_mj());
+        assert!(e8.dram_mj > e2.dram_mj);
+    }
+
+    #[test]
+    fn zero_latency_zero_power() {
+        let e = FrameEnergy::default();
+        assert_eq!(e.average_power_w(0.0), 0.0);
+        assert_eq!(e.total_mj(), 0.0);
+    }
+}

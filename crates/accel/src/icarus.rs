@@ -1,0 +1,69 @@
+//! The ICARUS comparison point (paper Tab. 4).
+//!
+//! ICARUS (Rao et al., 2022) is a specialized architecture for vanilla
+//! MLP-dominated NeRF. The paper compares against ICARUS's *reported*
+//! numbers rather than re-simulating it; we do the same.
+
+use serde::Serialize;
+
+/// ICARUS's published specification and performance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Icarus {
+    /// Die area, mm².
+    pub area_mm2: f64,
+    /// On-chip SRAM, MB.
+    pub sram_mb: f64,
+    /// Clock, GHz.
+    pub freq_ghz: f64,
+    /// Process node, nm.
+    pub technology_nm: u32,
+    /// Typical power, W.
+    pub power_w: f64,
+    /// Reported typical FPS (vanilla NeRF rendering).
+    pub typical_fps: f64,
+}
+
+impl Icarus {
+    /// The numbers reported in ICARUS's paper as quoted in Tab. 4.
+    pub fn reported() -> Self {
+        Self {
+            area_mm2: 16.5,
+            sram_mb: 0.96,
+            freq_ghz: 0.4,
+            technology_nm: 40,
+            power_w: 0.2828,
+            typical_fps: 0.02,
+        }
+    }
+}
+
+impl Default for Icarus {
+    fn default() -> Self {
+        Self::reported()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reported_matches_tab4() {
+        let i = Icarus::reported();
+        assert_eq!(i.area_mm2, 16.5);
+        assert_eq!(i.sram_mb, 0.96);
+        assert_eq!(i.freq_ghz, 0.4);
+        assert_eq!(i.technology_nm, 40);
+        assert!((i.power_w - 0.2828).abs() < 1e-9);
+        assert_eq!(i.typical_fps, 0.02);
+    }
+
+    #[test]
+    fn gen_nerf_beats_icarus_by_over_1000x() {
+        // Paper Sec. 5.3: ">1000× FPS under a comparable area". The
+        // Gen-NeRF FPS is produced by the simulator; here we only check
+        // the claim is *achievable* given the paper's own 24.9 FPS.
+        let i = Icarus::reported();
+        assert!(24.9 / i.typical_fps > 1000.0);
+    }
+}

@@ -1,0 +1,639 @@
+//! The workload scheduler: greedy 3D-point-patch partition (paper
+//! Sec. 4.3, Fig. 5).
+//!
+//! The scheduler walks the `H × W × D` workload cube from the top-left
+//! of the near plane, and for each unassigned region greedily picks the
+//! patch-shape candidate `δh × δw × δd` whose frusta project to the
+//! smallest total area on the source views *per contained point* — the
+//! area calculator's memory-traffic estimate — subject to the
+//! prefetch-buffer capacity. Two constraints from the paper:
+//!
+//! 1. patches at the same `(h, w)` but different depth share the same
+//!    shape (eases color accumulation in Step 5), and
+//! 2. no patch's fetch footprint may exceed the prefetch buffer.
+
+#![allow(clippy::too_many_arguments)] // geometric helpers take coordinate bundles
+
+use gen_nerf_geometry::epipolar::{convex_hull, polygon_area};
+use gen_nerf_geometry::{Camera, Frustum, Intrinsics, Pose, Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// The camera arrangement a frame is rendered under.
+#[derive(Debug, Clone)]
+pub struct CameraRig {
+    /// The user's novel view.
+    pub novel: Camera,
+    /// Source views holding the scene features.
+    pub sources: Vec<Camera>,
+    /// Near depth bound along novel rays.
+    pub t_near: f32,
+    /// Far depth bound along novel rays.
+    pub t_far: f32,
+}
+
+impl CameraRig {
+    /// A standard object-orbit rig (NeRF-Synthetic-like): the novel
+    /// camera at distance 4.2 from the origin, `n_sources` source
+    /// cameras on a ±60° arc around the novel azimuth — generalizable
+    /// NeRFs condition on the source views *closest* to the user's
+    /// view direction (Sec. 3.2), so the rig mirrors that selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sources == 0`.
+    pub fn orbit(width: u32, height: u32, n_sources: usize) -> Self {
+        assert!(n_sources > 0, "need at least one source view");
+        let intr = Intrinsics::from_fov(width, height, 0.69);
+        // Novel camera at azimuth 0.
+        let novel = Camera::new(
+            intr,
+            Pose::look_at(Vec3::new(4.2, 1.6, 0.0), Vec3::ZERO, Vec3::Y),
+        );
+        let arc = std::f32::consts::FRAC_PI_3; // ±60°
+        let sources = (0..n_sources)
+            .map(|i| {
+                let f = if n_sources > 1 {
+                    i as f32 / (n_sources - 1) as f32
+                } else {
+                    0.5
+                };
+                let phi = (f - 0.5) * 2.0 * arc;
+                let eye = Vec3::new(
+                    4.0 * phi.cos(),
+                    1.2 + 0.4 * (i % 2) as f32,
+                    4.0 * phi.sin(),
+                );
+                Camera::new(intr, Pose::look_at(eye, Vec3::ZERO, Vec3::Y))
+            })
+            .collect();
+        Self {
+            novel,
+            sources,
+            t_near: 2.2,
+            t_far: 6.2,
+        }
+    }
+
+    /// Depth (ray parameter) range of sample-index slice `[d0, d0+dd)`
+    /// out of `n_depth` samples.
+    pub fn depth_slice(&self, d0: u32, dd: u32, n_depth: u32) -> (f32, f32) {
+        let span = self.t_far - self.t_near;
+        let lo = self.t_near + span * d0 as f32 / n_depth as f32;
+        let hi = self.t_near + span * (d0 + dd) as f32 / n_depth as f32;
+        (lo, hi.max(lo + 1e-4))
+    }
+}
+
+/// A patch-shape candidate (pixels × pixels × depth samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatchShape {
+    /// Tile height in pixels (δh).
+    pub dh: u32,
+    /// Tile width in pixels (δw).
+    pub dw: u32,
+    /// Depth samples per slice (δd).
+    pub dd: u32,
+}
+
+/// One scheduled point patch with its per-view fetch footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Patch {
+    /// Tile origin column.
+    pub u0: u32,
+    /// Tile origin row.
+    pub v0: u32,
+    /// Tile width (clamped at the image edge).
+    pub du: u32,
+    /// Tile height (clamped at the image edge).
+    pub dv: u32,
+    /// First depth-sample index.
+    pub d0: u32,
+    /// Depth samples in this slice (clamped at `n_depth`).
+    pub dd: u32,
+    /// Estimated texels fetched per source view (hull area, dilated for
+    /// bilinear taps, clipped to the source image).
+    pub texels_per_view: Vec<u64>,
+    /// Per-view hull bounding boxes `(x0, y0, x1, y1)` in source texels
+    /// (clipped), used to synthesize DRAM requests.
+    pub bbox_per_view: Vec<(u32, u32, u32, u32)>,
+}
+
+impl Patch {
+    /// Sampled points in the patch.
+    pub fn points(&self) -> u64 {
+        self.du as u64 * self.dv as u64 * self.dd as u64
+    }
+
+    /// Total estimated texels over all views.
+    pub fn total_texels(&self) -> u64 {
+        self.texels_per_view.iter().sum()
+    }
+}
+
+/// Footprint estimate of one frustum on one source view.
+#[derive(Debug, Clone, Copy)]
+struct Footprint {
+    texels: u64,
+    bbox: (u32, u32, u32, u32),
+}
+
+/// The greedy 3D-point-patch scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// Shape candidates (`M` predefined shapes, Fig. 5 (b)).
+    pub candidates: Vec<PatchShape>,
+    /// Prefetch-buffer capacity in bytes (constraint 2).
+    pub buffer_bytes: u64,
+}
+
+impl Scheduler {
+    /// The default candidate set: square and elongated tiles crossed
+    /// with several depth granularities.
+    pub fn new(buffer_bytes: u64) -> Self {
+        let tiles: [(u32, u32); 13] = [
+            (1, 1),
+            (2, 2),
+            (4, 4),
+            (4, 2),
+            (2, 4),
+            (8, 4),
+            (4, 8),
+            (8, 8),
+            (16, 16),
+            (32, 32),
+            (16, 8),
+            (8, 16),
+            (32, 8),
+        ];
+        let depths = [4u32, 8, 16, 32, 64, 128, 256];
+        let mut candidates = Vec::new();
+        for (dh, dw) in tiles {
+            for dd in depths {
+                candidates.push(PatchShape { dh, dw, dd });
+            }
+        }
+        Self {
+            candidates,
+            buffer_bytes,
+        }
+    }
+
+    /// Estimates the fetch footprint of a tile/depth-slice frustum on
+    /// one source view.
+    fn footprint(
+        rig: &CameraRig,
+        u0: u32,
+        v0: u32,
+        du: u32,
+        dv: u32,
+        t_lo: f32,
+        t_hi: f32,
+        source: &Camera,
+    ) -> Footprint {
+        let frustum = Frustum::new(
+            Vec2::new(u0 as f32, v0 as f32),
+            Vec2::new((u0 + du) as f32, (v0 + dv) as f32),
+            t_lo.max(1e-3),
+            t_hi,
+        );
+        let projections: Vec<Vec2> = frustum
+            .world_corners(&rig.novel)
+            .iter()
+            .filter_map(|&p| source.project(p))
+            .collect();
+        if projections.len() < 3 {
+            return Footprint {
+                texels: 0,
+                bbox: (0, 0, 0, 0),
+            };
+        }
+        let hull = convex_hull(&projections);
+        let area = polygon_area(&hull);
+        let perimeter: f32 = (0..hull.len())
+            .map(|i| (hull[(i + 1) % hull.len()] - hull[i]).length())
+            .sum();
+        // Dilate by one texel on each side for the bilinear taps.
+        let dilated = area + perimeter + 4.0;
+
+        // Clip the bounding box to the source image; scale the texel
+        // estimate by the visible fraction of the bbox.
+        let (sw, sh) = (source.intrinsics.width as f32, source.intrinsics.height as f32);
+        let mut min = hull[0];
+        let mut max = hull[0];
+        for &p in &hull {
+            min = min.min(p);
+            max = max.max(p);
+        }
+        let bbox_area = ((max.x - min.x) * (max.y - min.y)).max(1e-6);
+        let cx0 = min.x.max(0.0);
+        let cy0 = min.y.max(0.0);
+        let cx1 = max.x.min(sw);
+        let cy1 = max.y.min(sh);
+        if cx1 <= cx0 || cy1 <= cy0 {
+            return Footprint {
+                texels: 0,
+                bbox: (0, 0, 0, 0),
+            };
+        }
+        let visible = ((cx1 - cx0) * (cy1 - cy0)) / bbox_area;
+        let texels = (dilated * visible.clamp(0.0, 1.0)).ceil() as u64;
+        Footprint {
+            texels,
+            bbox: (cx0 as u32, cy0 as u32, cx1.ceil() as u32, cy1.ceil() as u32),
+        }
+    }
+
+    /// Total texels over all source views for one slice.
+    fn slice_texels(
+        rig: &CameraRig,
+        u0: u32,
+        v0: u32,
+        du: u32,
+        dv: u32,
+        d0: u32,
+        dd: u32,
+        n_depth: u32,
+    ) -> u64 {
+        let (t_lo, t_hi) = rig.depth_slice(d0, dd, n_depth);
+        rig.sources
+            .iter()
+            .map(|s| Self::footprint(rig, u0, v0, du, dv, t_lo, t_hi, s).texels)
+            .sum()
+    }
+
+    /// Scores a candidate at a tile over the *whole* depth column:
+    /// returns bytes-per-point, or `None` when any slice would exceed
+    /// the buffer.
+    fn score(
+        &self,
+        rig: &CameraRig,
+        u0: u32,
+        v0: u32,
+        du: u32,
+        dv: u32,
+        dd_shape: u32,
+        n_depth: u32,
+        texel_bytes: u64,
+    ) -> Option<f64> {
+        let mut total_bytes = 0u64;
+        let mut d0 = 0u32;
+        while d0 < n_depth {
+            let dd = dd_shape.min(n_depth - d0);
+            let texels = Self::slice_texels(rig, u0, v0, du, dv, d0, dd, n_depth);
+            let bytes = texels * texel_bytes;
+            if bytes > self.buffer_bytes {
+                return None;
+            }
+            total_bytes += bytes;
+            d0 += dd;
+        }
+        let points = (du as u64 * dv as u64 * n_depth as u64).max(1);
+        Some(total_bytes as f64 / points as f64)
+    }
+
+    /// Emits the full depth column of a tile with slice depth
+    /// `dd_shape`.
+    fn emit_column(
+        rig: &CameraRig,
+        patches: &mut Vec<Patch>,
+        u0: u32,
+        v0: u32,
+        du: u32,
+        dv: u32,
+        dd_shape: u32,
+        n_depth: u32,
+    ) {
+        let mut d0 = 0u32;
+        while d0 < n_depth {
+            let dd = dd_shape.min(n_depth - d0);
+            let (t_lo, t_hi) = rig.depth_slice(d0, dd, n_depth);
+            let mut texels_per_view = Vec::with_capacity(rig.sources.len());
+            let mut bbox_per_view = Vec::with_capacity(rig.sources.len());
+            for source in &rig.sources {
+                let fp = Self::footprint(rig, u0, v0, du, dv, t_lo, t_hi, source);
+                texels_per_view.push(fp.texels);
+                bbox_per_view.push(fp.bbox);
+            }
+            patches.push(Patch {
+                u0,
+                v0,
+                du,
+                dv,
+                d0,
+                dd,
+                texels_per_view,
+                bbox_per_view,
+            });
+            d0 += dd;
+        }
+    }
+
+    /// Partitions the whole `height × width × n_depth` workload cube.
+    ///
+    /// Returns the patch queue in processing order (top-left to
+    /// bottom-right, near to far within each tile, matching the
+    /// top-left sequencer + mask bitmap of Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics when not even a 1×1 pixel column fits the buffer.
+    pub fn partition(
+        &self,
+        rig: &CameraRig,
+        width: u32,
+        height: u32,
+        n_depth: u32,
+        texel_bytes: u64,
+    ) -> Vec<Patch> {
+        let mut patches = Vec::new();
+        // Mask bitmap over pixels (tracks assigned tiles).
+        let mut assigned = vec![false; (width * height) as usize];
+        let at = |a: &Vec<bool>, x: u32, y: u32| a[(y * width + x) as usize];
+        let mut v0 = 0u32;
+        while v0 < height {
+            let mut u0 = 0u32;
+            while u0 < width {
+                if at(&assigned, u0, v0) {
+                    u0 += 1;
+                    continue;
+                }
+                // Free extent at (u0, v0): how far right/down the
+                // unassigned rectangle can reach.
+                let mut free_w = 0u32;
+                while u0 + free_w < width && !at(&assigned, u0 + free_w, v0) {
+                    free_w += 1;
+                }
+                let mut free_h = 0u32;
+                while v0 + free_h < height && !at(&assigned, u0, v0 + free_h) {
+                    free_h += 1;
+                }
+
+                // Greedy candidate selection (area calculator +
+                // comparator), clamping shapes to the free rectangle.
+                let mut best: Option<(f64, (u32, u32, u32))> = None;
+                let mut seen = std::collections::HashSet::new();
+                for &shape in &self.candidates {
+                    let du = shape.dw.min(free_w);
+                    let dv = shape.dh.min(free_h);
+                    let dd = shape.dd.min(n_depth);
+                    if !seen.insert((du, dv, dd)) {
+                        continue;
+                    }
+                    // The clamped rectangle must itself be fully free
+                    // (earlier taller tiles can intrude from above).
+                    if !rect_free(&assigned, width, u0, v0, du, dv) {
+                        continue;
+                    }
+                    if let Some(score) =
+                        self.score(rig, u0, v0, du, dv, dd, n_depth, texel_bytes)
+                    {
+                        if best.is_none_or(|(b, _)| score < b) {
+                            best = Some((score, (du, dv, dd)));
+                        }
+                    }
+                }
+                // Fall back to a single full-depth pixel column (then a
+                // per-sample column) if no candidate fits.
+                let (du, dv, dd) = match best {
+                    Some((_, s)) => s,
+                    None if self
+                        .score(rig, u0, v0, 1, 1, n_depth, n_depth, texel_bytes)
+                        .is_some() =>
+                    {
+                        (1, 1, n_depth)
+                    }
+                    None => {
+                        let ok = self
+                            .score(rig, u0, v0, 1, 1, 1, n_depth, texel_bytes)
+                            .is_some();
+                        assert!(
+                            ok,
+                            "even a 1-pixel patch exceeds the {}-byte prefetch buffer",
+                            self.buffer_bytes
+                        );
+                        (1, 1, 1)
+                    }
+                };
+                Self::emit_column(rig, &mut patches, u0, v0, du, dv, dd, n_depth);
+                for y in v0..v0 + dv {
+                    for x in u0..u0 + du {
+                        assigned[(y * width + x) as usize] = true;
+                    }
+                }
+                u0 += du;
+            }
+            v0 += 1;
+        }
+        patches
+    }
+
+    /// Fixed-shape partition for the Fig. 12 Var-1 baseline: constant
+    /// `{k, k, D}` patches (full depth, no adaptive slicing) with `k`
+    /// the largest tile whose footprint fits the buffer at the probed
+    /// tiles (image center and corners).
+    pub fn partition_fixed(
+        &self,
+        rig: &CameraRig,
+        width: u32,
+        height: u32,
+        n_depth: u32,
+        texel_bytes: u64,
+    ) -> Vec<Patch> {
+        let mut k = 64u32.min(width).min(height);
+        'outer: while k > 1 {
+            let probes = [
+                ((width / 2).saturating_sub(k / 2), (height / 2).saturating_sub(k / 2)),
+                (0, 0),
+                (width.saturating_sub(k), 0),
+                (0, height.saturating_sub(k)),
+                (width.saturating_sub(k), height.saturating_sub(k)),
+            ];
+            for (u0, v0) in probes {
+                let du = k.min(width - u0);
+                let dv = k.min(height - v0);
+                let texels = Self::slice_texels(rig, u0, v0, du, dv, 0, n_depth, n_depth);
+                if texels * texel_bytes > self.buffer_bytes {
+                    k /= 2;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        let mut patches = Vec::new();
+        let mut v0 = 0u32;
+        while v0 < height {
+            let dv = k.min(height - v0);
+            let mut u0 = 0u32;
+            while u0 < width {
+                let du = k.min(width - u0);
+                Self::emit_column(rig, &mut patches, u0, v0, du, dv, n_depth, n_depth);
+                u0 += du;
+            }
+            v0 += dv;
+        }
+        patches
+    }
+}
+
+/// Whether the `du × dv` rectangle at `(u0, v0)` is entirely
+/// unassigned.
+fn rect_free(assigned: &[bool], width: u32, u0: u32, v0: u32, du: u32, dv: u32) -> bool {
+    for y in v0..v0 + dv {
+        for x in u0..u0 + du {
+            if assigned[(y * width + x) as usize] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig(n: usize) -> CameraRig {
+        CameraRig::orbit(64, 64, n)
+    }
+
+    /// A buffer small enough that the capacity constraint binds at the
+    /// 64×64 test scale (mirrors the 256 KB budget at full resolution).
+    const TIGHT_BUFFER: u64 = 16 * 1024;
+
+    #[test]
+    fn orbit_rig_sources_see_origin() {
+        let r = rig(6);
+        for s in &r.sources {
+            let uv = s.project(Vec3::ZERO).expect("origin visible");
+            assert!(s.intrinsics.contains(uv), "origin out of frame: {uv:?}");
+        }
+    }
+
+    #[test]
+    fn depth_slice_spans_range() {
+        let r = rig(2);
+        let (lo, hi) = r.depth_slice(0, 64, 64);
+        assert!((lo - r.t_near).abs() < 1e-5);
+        assert!((hi - r.t_far).abs() < 1e-5);
+        let (lo2, hi2) = r.depth_slice(16, 16, 64);
+        assert!(lo2 > lo && hi2 < hi);
+    }
+
+    #[test]
+    fn partition_covers_every_pixel_once() {
+        let sched = Scheduler::new(TIGHT_BUFFER);
+        let r = rig(4);
+        let (w, h, d) = (64u32, 64u32, 32u32);
+        let patches = sched.partition(&r, w, h, d, 12);
+        let mut coverage = vec![0u32; (w * h) as usize];
+        for p in &patches {
+            if p.d0 == 0 {
+                for y in p.v0..p.v0 + p.dv {
+                    for x in p.u0..p.u0 + p.du {
+                        coverage[(y * w + x) as usize] += 1;
+                    }
+                }
+            }
+        }
+        let bad = coverage.iter().filter(|&&c| c != 1).count();
+        assert_eq!(bad, 0, "{bad} pixels covered != once");
+    }
+
+    #[test]
+    fn partition_covers_every_depth_sample() {
+        let sched = Scheduler::new(TIGHT_BUFFER);
+        let r = rig(3);
+        let patches = sched.partition(&r, 32, 32, 48, 12);
+        use std::collections::HashMap;
+        let mut per_tile: HashMap<(u32, u32), u32> = HashMap::new();
+        for p in &patches {
+            *per_tile.entry((p.u0, p.v0)).or_insert(0) += p.dd;
+        }
+        for (&tile, &total) in &per_tile {
+            assert_eq!(total, 48, "tile {tile:?} covers {total} depth samples");
+        }
+    }
+
+    #[test]
+    fn footprints_respect_buffer() {
+        let sched = Scheduler::new(TIGHT_BUFFER);
+        let r = rig(6);
+        let texel_bytes = 12;
+        let patches = sched.partition(&r, 64, 64, 64, texel_bytes);
+        for p in &patches {
+            assert!(
+                p.total_texels() * texel_bytes <= TIGHT_BUFFER,
+                "patch at ({},{},{}) needs {} bytes",
+                p.u0,
+                p.v0,
+                p.d0,
+                p.total_texels() * texel_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn same_tile_shares_shape_across_depth() {
+        let sched = Scheduler::new(TIGHT_BUFFER);
+        let r = rig(4);
+        let patches = sched.partition(&r, 48, 48, 64, 12);
+        use std::collections::HashMap;
+        let mut tile_shapes: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
+        for p in &patches {
+            let entry = tile_shapes.entry((p.u0, p.v0)).or_insert((p.du, p.dv));
+            assert_eq!(*entry, (p.du, p.dv), "tile shape changed across depth");
+        }
+    }
+
+    #[test]
+    fn greedy_beats_fixed_on_bytes_per_point_under_tight_buffer() {
+        let sched = Scheduler::new(TIGHT_BUFFER);
+        let r = rig(6);
+        let (w, h, d, tb) = (64u32, 64u32, 64u32, 12u64);
+        let ours = sched.partition(&r, w, h, d, tb);
+        let fixed = sched.partition_fixed(&r, w, h, d, tb);
+        let bytes = |ps: &[Patch]| -> f64 {
+            ps.iter().map(|p| p.total_texels() * tb).sum::<u64>() as f64
+        };
+        let points = |ps: &[Patch]| -> f64 { ps.iter().map(|p| p.points()).sum::<u64>() as f64 };
+        let ours_bpp = bytes(&ours) / points(&ours);
+        let fixed_bpp = bytes(&fixed) / points(&fixed);
+        assert!(
+            ours_bpp <= fixed_bpp * 1.05,
+            "greedy {ours_bpp:.3} B/pt vs fixed {fixed_bpp:.3} B/pt"
+        );
+    }
+
+    #[test]
+    fn fixed_partition_spans_full_depth() {
+        let sched = Scheduler::new(256 * 1024);
+        let r = rig(2);
+        let patches = sched.partition_fixed(&r, 32, 32, 40, 12);
+        assert!(patches.iter().all(|p| p.d0 == 0 && p.dd == 40));
+    }
+
+    #[test]
+    fn more_views_more_texels() {
+        let sched = Scheduler::new(512 * 1024);
+        let few = sched.partition(&rig(2), 32, 32, 32, 12);
+        let many = sched.partition(&rig(8), 32, 32, 32, 12);
+        let t_few: u64 = few.iter().map(Patch::total_texels).sum();
+        let t_many: u64 = many.iter().map(Patch::total_texels).sum();
+        assert!(t_many > t_few);
+    }
+
+    #[test]
+    fn patch_points_counts_cube() {
+        let p = Patch {
+            u0: 0,
+            v0: 0,
+            du: 8,
+            dv: 4,
+            d0: 0,
+            dd: 16,
+            texels_per_view: vec![],
+            bbox_per_view: vec![],
+        };
+        assert_eq!(p.points(), 8 * 4 * 16);
+    }
+}

@@ -1,0 +1,240 @@
+//! Single-source-view dataflow (paper Sec. 4.2).
+//!
+//! With one source view, Property-2 applies: novel-view pixels on the
+//! same line through the novel epipole `e_n` share a single epipolar
+//! line in the source view — so processing such a *ray group* together
+//! lets every ray reuse one fetched epipolar band. This module
+//! implements that grouping and quantifies the reuse.
+
+use crate::scheduler::CameraRig;
+use gen_nerf_geometry::epipolar::EpipolarPair;
+use gen_nerf_geometry::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A group of novel-view pixels sharing (approximately) one epipolar
+/// line on the source view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RayGroup {
+    /// Pixels (x, y) in the group.
+    pub pixels: Vec<(u32, u32)>,
+    /// Texels of the shared epipolar band on the source view
+    /// (line length × dilated width, clipped to the source image).
+    pub band_texels: u64,
+}
+
+/// Result of grouping a frame's rays for the single-view dataflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleViewSchedule {
+    /// Ray groups, one per epipolar line bucket.
+    pub groups: Vec<RayGroup>,
+    /// Total texels fetched with grouping (one band per group).
+    pub grouped_texels: u64,
+    /// Total texels fetched without grouping (one band per *ray*).
+    pub ungrouped_texels: u64,
+}
+
+impl SingleViewSchedule {
+    /// Scene-feature reuse factor achieved by the grouping.
+    pub fn reuse_factor(&self) -> f64 {
+        if self.grouped_texels == 0 {
+            1.0
+        } else {
+            self.ungrouped_texels as f64 / self.grouped_texels as f64
+        }
+    }
+}
+
+/// Groups the frame's pixels into `n_groups` buckets by the angle of
+/// the line from the novel epipole through each pixel, and estimates
+/// the per-group epipolar-band footprint on the (single) source view.
+///
+/// When the epipole projects behind the novel camera (no finite
+/// epipole), rays are bucketed by the *direction* of their epipolar
+/// lines instead, which Property-2 still makes consistent.
+///
+/// # Panics
+///
+/// Panics when the rig has no source view or `n_groups == 0`.
+pub fn schedule_single_view(rig: &CameraRig, n_groups: usize) -> SingleViewSchedule {
+    assert!(!rig.sources.is_empty(), "need a source view");
+    assert!(n_groups > 0, "need at least one group");
+    let source = &rig.sources[0];
+    let pair = EpipolarPair::new(&rig.novel, source);
+    let (w, h) = (rig.novel.intrinsics.width, rig.novel.intrinsics.height);
+
+    // Bucket pixels by epipolar-line angle.
+    let mut groups: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_groups];
+    for y in 0..h {
+        for x in 0..w {
+            let angle = match pair.epipole_novel {
+                Some(e_n) => {
+                    let d = Vec2::new(x as f32 + 0.5 - e_n.x, y as f32 + 0.5 - e_n.y);
+                    d.y.atan2(d.x)
+                }
+                None => match pair.epipolar_line_for_pixel(x as f32 + 0.5, y as f32 + 0.5) {
+                    Some(line) => {
+                        let d = line.direction();
+                        d.y.atan2(d.x)
+                    }
+                    None => 0.0,
+                },
+            };
+            // Fold to [0, π) — a line and its opposite direction are the
+            // same group.
+            let folded = (angle + std::f32::consts::PI) % std::f32::consts::PI;
+            let idx = ((folded / std::f32::consts::PI) * n_groups as f32) as usize;
+            groups[idx.min(n_groups - 1)].push((x, y));
+        }
+    }
+
+    // Per-ray band estimate: the projected segment of [t_near, t_far].
+    let band_width = 3.0f32; // dilated width in texels (bilinear + jitter)
+    let per_ray_band = |x: u32, y: u32| -> u64 {
+        let ray = rig.novel.pixel_ray(x as f32 + 0.5, y as f32 + 0.5);
+        let a = source.project(ray.at(rig.t_near));
+        let b = source.project(ray.at(rig.t_far));
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                let len = clip_length(a, b, source.intrinsics.width, source.intrinsics.height);
+                (len * band_width).ceil() as u64
+            }
+            _ => 0,
+        }
+    };
+
+    let mut out_groups = Vec::with_capacity(n_groups);
+    let mut grouped = 0u64;
+    let mut ungrouped = 0u64;
+    for pixels in groups.into_iter().filter(|g| !g.is_empty()) {
+        // The group's shared band: the maximum single-ray band within
+        // the group (all rays' segments lie on the same epipolar line,
+        // so the union is bounded by the longest plus slack).
+        let mut band = 0u64;
+        for &(x, y) in &pixels {
+            let b = per_ray_band(x, y);
+            ungrouped += b;
+            band = band.max(b);
+        }
+        // Slack for the angular extent the bucket spans.
+        let band = band + (pixels.len() as f64).sqrt() as u64 * band_width as u64;
+        grouped += band;
+        out_groups.push(RayGroup {
+            pixels,
+            band_texels: band,
+        });
+    }
+    SingleViewSchedule {
+        groups: out_groups,
+        grouped_texels: grouped,
+        ungrouped_texels: ungrouped,
+    }
+}
+
+/// Length of segment `a-b` clipped to the `[0,w]×[0,h]` rectangle.
+fn clip_length(a: Vec2, b: Vec2, w: u32, h: u32) -> f32 {
+    // Liang–Barsky.
+    let (mut t0, mut t1) = (0.0f32, 1.0f32);
+    let d = b - a;
+    let checks = [
+        (-d.x, a.x),
+        (d.x, w as f32 - a.x),
+        (-d.y, a.y),
+        (d.y, h as f32 - a.y),
+    ];
+    for (p, q) in checks {
+        if p.abs() < 1e-9 {
+            if q < 0.0 {
+                return 0.0;
+            }
+            continue;
+        }
+        let r = q / p;
+        if p < 0.0 {
+            t0 = t0.max(r);
+        } else {
+            t1 = t1.min(r);
+        }
+        if t0 > t1 {
+            return 0.0;
+        }
+    }
+    d.length() * (t1 - t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig() -> CameraRig {
+        CameraRig::orbit(64, 64, 1)
+    }
+
+    #[test]
+    fn every_pixel_grouped_exactly_once() {
+        let s = schedule_single_view(&rig(), 32);
+        let total: usize = s.groups.iter().map(|g| g.pixels.len()).sum();
+        assert_eq!(total, 64 * 64);
+    }
+
+    #[test]
+    fn grouping_achieves_reuse() {
+        // Property-2 payoff: fetching one band per group beats one band
+        // per ray by a large factor.
+        let s = schedule_single_view(&rig(), 64);
+        assert!(
+            s.reuse_factor() > 5.0,
+            "reuse factor only {:.1}",
+            s.reuse_factor()
+        );
+    }
+
+    #[test]
+    fn more_groups_less_reuse() {
+        // Finer buckets → fewer rays share a band → less reuse.
+        let coarse = schedule_single_view(&rig(), 16);
+        let fine = schedule_single_view(&rig(), 256);
+        assert!(coarse.reuse_factor() >= fine.reuse_factor() * 0.9);
+    }
+
+    #[test]
+    fn group_pixels_share_epipolar_line() {
+        // Verify Property-2 on an actual group: the epipolar lines of
+        // pixels in one group are mutually close.
+        let r = rig();
+        let s = schedule_single_view(&r, 180);
+        let pair = EpipolarPair::new(&r.novel, &r.sources[0]);
+        let group = s
+            .groups
+            .iter()
+            .max_by_key(|g| g.pixels.len())
+            .expect("nonempty schedule");
+        let probe = Vec2::new(32.0, 32.0);
+        let lines: Vec<_> = group
+            .pixels
+            .iter()
+            .step_by((group.pixels.len() / 8).max(1))
+            .filter_map(|&(x, y)| pair.epipolar_line_for_pixel(x as f32 + 0.5, y as f32 + 0.5))
+            .collect();
+        for pair_of in lines.windows(2) {
+            let d = pair_of[0].dissimilarity(&pair_of[1], probe);
+            assert!(d < 8.0, "lines in one group diverge by {d}");
+        }
+    }
+
+    #[test]
+    fn clip_length_basic() {
+        assert!(
+            (clip_length(Vec2::new(-10.0, 5.0), Vec2::new(20.0, 5.0), 10, 10) - 10.0).abs()
+                < 1e-4
+        );
+        assert_eq!(clip_length(Vec2::new(-5.0, -5.0), Vec2::new(-1.0, -1.0), 10, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source view")]
+    fn rejects_empty_rig() {
+        let mut r = rig();
+        r.sources.clear();
+        let _ = schedule_single_view(&r, 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion benches for the algorithm pipeline — the machinery behind
+//! Fig. 9 and Tabs. 2–3 (feature aggregation, per-ray model inference,
+//! full-frame rendering with each sampling strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::features::{aggregate_point, prepare_sources};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::pipeline::Renderer;
+use gen_nerf_geometry::Vec3;
+use gen_nerf_scene::{Dataset, DatasetKind};
+
+fn fixture() -> (Dataset, Vec<gen_nerf::features::SourceViewData>, GenNerfModel) {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 6, 1, 32, 7);
+    let sources = prepare_sources(&ds.source_views);
+    let model = GenNerfModel::new(ModelConfig::fast());
+    (ds, sources, model)
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let (_, sources, _) = fixture();
+    c.bench_function("aggregate_point_6views", |b| {
+        b.iter(|| {
+            aggregate_point(
+                Vec3::new(0.1, 0.2, 0.3),
+                Vec3::new(0.0, 0.0, -1.0),
+                &sources,
+                12,
+            )
+        })
+    });
+}
+
+fn bench_forward_ray(c: &mut Criterion) {
+    let (ds, sources, mut model) = fixture();
+    let cam = ds.eval_views[0].camera;
+    let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
+    let aggs: Vec<_> = (0..32)
+        .map(|k| {
+            let t = 2.5 + k as f32 * 0.1;
+            aggregate_point(ray.at(t), ray.direction, &sources, 12)
+        })
+        .collect();
+    c.bench_function("forward_ray_32pts", |b| b.iter(|| model.forward_ray(&aggs)));
+}
+
+fn bench_render(c: &mut Criterion) {
+    let (ds, sources, mut model) = fixture();
+    let mut group = c.benchmark_group("render_frame");
+    group.sample_size(10);
+    let strategies = [
+        ("uniform16", SamplingStrategy::Uniform { n: 16 }),
+        (
+            "hierarchical8+8",
+            SamplingStrategy::Hierarchical {
+                n_coarse: 8,
+                n_fine: 8,
+            },
+        ),
+        ("ctf8/8", SamplingStrategy::coarse_then_focus(8, 8)),
+    ];
+    for (label, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, s| {
+            b.iter(|| {
+                let mut r = Renderer::new(
+                    &mut model,
+                    &sources,
+                    *s,
+                    ds.scene.bounds,
+                    ds.scene.background,
+                );
+                r.render(&ds.eval_views[0].camera)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate, bench_forward_ray, bench_render);
+criterion_main!(benches);

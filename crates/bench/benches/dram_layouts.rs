@@ -1,0 +1,37 @@
+//! Criterion benches for the DRAM model under the three feature
+//! layouts — the machinery behind Fig. 6 and Fig. 12's Var-2/3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gen_nerf_dram::{Dram, DramConfig, FeatureLayout, FeatureRequest};
+
+fn region(n: usize) -> Vec<FeatureRequest> {
+    (0..n)
+        .map(|i| FeatureRequest {
+            view: i % 4,
+            x: (10 + (i % 16)) as u32,
+            y: (20 + (i / 16)) as u32,
+            bytes: 64,
+        })
+        .collect()
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_serve_batch");
+    let reqs = region(256);
+    for layout in FeatureLayout::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.label()),
+            &layout,
+            |b, &layout| {
+                b.iter(|| {
+                    let mut dram = Dram::new(DramConfig::lpddr4_2400(), layout);
+                    dram.serve_batch(&reqs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion benches for the GPU roofline models — the machinery
+//! behind Fig. 2 (and the GPU bars of Figs. 10–11 / Tab. 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gen_nerf_accel::gpu::GpuModel;
+use gen_nerf_accel::workload::WorkloadSpec;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let spec = WorkloadSpec::ibrnet_default(1008, 756, 10, 196);
+    let gpu = GpuModel::rtx_2080ti();
+    c.bench_function("gpu_breakdown_fig2", |b| b.iter(|| gpu.breakdown(&spec)));
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benches for the neural kernels: Ray-Mixer vs ray
+//! transformer forward passes (the workload-heterogeneity argument of
+//! Sec. 3.3) and INT8 GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gen_nerf_nn::attention::SelfAttention;
+use gen_nerf_nn::init::Rng;
+use gen_nerf_nn::mixer::RayMixer;
+use gen_nerf_nn::quant::QuantTensor;
+use gen_nerf_nn::Tensor2;
+
+fn bench_ray_modules(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let mut mixer = RayMixer::new(64, 16, &mut rng);
+    let mut attn = SelfAttention::new(16, 8, &mut rng);
+    let x = Tensor2::from_fn(64, 16, |r, c| ((r * 16 + c) as f32 * 0.1).sin());
+    c.bench_function("ray_mixer_64pts", |b| b.iter(|| mixer.forward(&x)));
+    c.bench_function("ray_transformer_64pts", |b| b.iter(|| attn.forward(&x)));
+}
+
+fn bench_int8_gemm(c: &mut Criterion) {
+    let a = Tensor2::from_fn(64, 48, |r, c| ((r + c) as f32 * 0.2).sin());
+    let w = Tensor2::from_fn(48, 48, |r, c| ((r * 48 + c) as f32 * 0.05).cos());
+    let qa = QuantTensor::quantize(&a);
+    let qw = QuantTensor::quantize(&w);
+    c.bench_function("int8_gemm_64x48x48", |b| b.iter(|| qa.matmul(&qw)));
+    c.bench_function("f32_gemm_64x48x48", |b| b.iter(|| a.matmul(&w)));
+}
+
+criterion_group!(benches, bench_ray_modules, bench_int8_gemm);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact; see `gen_nerf_bench::experiments::fig09`.
+
+use gen_nerf_bench::harness::ReproConfig;
+
+fn main() {
+    let cfg = ReproConfig::from_env();
+    println!("repro config: {cfg:?}");
+    gen_nerf_bench::experiments::fig09::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gen_nerf_bench::experiments::fig10`.
+
+fn main() {
+    gen_nerf_bench::experiments::fig10::run();
+}

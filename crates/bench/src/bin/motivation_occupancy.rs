@@ -1,0 +1,6 @@
+//! Regenerates the Sec. 2.4 motivation table; see
+//! `gen_nerf_bench::experiments::motivation`.
+
+fn main() {
+    gen_nerf_bench::experiments::motivation::run();
+}

@@ -1,0 +1,22 @@
+//! Runs the entire evaluation: every table and figure of the paper,
+//! in order. Control fidelity with `GEN_NERF_SCALE`, `GEN_NERF_STEPS`
+//! and `GEN_NERF_HW_SCALE` (see `gen_nerf_bench::harness`).
+
+use gen_nerf_bench::experiments;
+use gen_nerf_bench::harness::ReproConfig;
+
+fn main() {
+    let cfg = ReproConfig::from_env();
+    println!("Gen-NeRF reproduction — full evaluation");
+    println!("algorithm config: {cfg:?}; hw scale: {}", experiments::hw_scale());
+    experiments::fig02::run();
+    experiments::motivation::run();
+    experiments::tab01::run();
+    experiments::fig09::run(&cfg);
+    experiments::tab02::run(&cfg);
+    experiments::tab03::run(&cfg);
+    experiments::tab04::run();
+    experiments::fig10::run();
+    experiments::fig11::run();
+    experiments::fig12::run();
+}

@@ -1,0 +1,94 @@
+//! Fig. 2 — latency breakdown of the vanilla generalizable NeRF on two
+//! GPUs across three datasets (plus the Sec. 2.3 profiling claims).
+//!
+//! Workload: the paper's profiling setup — 10 source views, 196 points
+//! per ray, ray transformer, per-dataset resolutions.
+
+use crate::harness::{f, print_table};
+use gen_nerf_accel::gpu::GpuModel;
+use gen_nerf_accel::workload::{Stage, WorkloadSpec};
+use gen_nerf_scene::DatasetKind;
+
+/// One bar of Fig. 2.
+#[derive(Debug, Clone)]
+pub struct Fig02Row {
+    /// Device name.
+    pub device: &'static str,
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Acquire-features seconds.
+    pub acquire_s: f64,
+    /// Ray-transformer seconds.
+    pub ray_s: f64,
+    /// MLP seconds.
+    pub mlp_s: f64,
+    /// Others seconds.
+    pub others_s: f64,
+    /// Frames per second.
+    pub fps: f64,
+}
+
+/// Computes every bar of Fig. 2.
+pub fn compute() -> Vec<Fig02Row> {
+    let devices = [GpuModel::rtx_2080ti(), GpuModel::jetson_tx2()];
+    let mut rows = Vec::new();
+    for gpu in devices {
+        for kind in DatasetKind::all() {
+            let (w, h) = kind.base_resolution();
+            let spec = WorkloadSpec::ibrnet_default(w, h, 10, 196);
+            let bd = gpu.breakdown(&spec);
+            rows.push(Fig02Row {
+                device: gpu.name,
+                dataset: kind.label(),
+                acquire_s: bd.acquire_s,
+                ray_s: bd.ray_module_s,
+                mlp_s: bd.mlp_s,
+                others_s: bd.others_s,
+                fps: 1.0 / bd.total_s(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the figure plus the Sec. 2.3 claims.
+pub fn run() {
+    let rows = compute();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.to_string(),
+                r.dataset.to_string(),
+                f(r.acquire_s, 2),
+                f(r.ray_s, 2),
+                f(r.mlp_s, 2),
+                f(r.others_s, 2),
+                f(r.acquire_s + r.ray_s + r.mlp_s + r.others_s, 2),
+                f(r.fps, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2 — vanilla generalizable NeRF latency breakdown (10 views, 196 pts/ray)",
+        &[
+            "Device", "Dataset", "Acquire(s)", "RayTrans(s)", "MLP(s)", "Others(s)", "Total(s)",
+            "FPS",
+        ],
+        &table,
+    );
+
+    // Sec. 2.3 supporting claims on the LLFF / 2080Ti bar.
+    let gpu = GpuModel::rtx_2080ti();
+    let (w, h) = DatasetKind::Llff.base_resolution();
+    let spec = WorkloadSpec::ibrnet_default(w, h, 10, 196);
+    let bd = gpu.breakdown(&spec);
+    let ray_flops = 2.0 * spec.ray_macs_total(Stage::Focused) as f64;
+    let mlp_flops = 2.0 * spec.mlp_macs(Stage::Focused) as f64;
+    println!(
+        "\nSec. 2.3 claims (LLFF, RTX 2080Ti):\n  ray transformer share of DNN time: {:.1}% (paper: 44.1%)\n  ray transformer share of DNN FLOPs: {:.1}% (paper: 13.8%)\n  800x800 FPS: {:.3} (paper: <= 0.249)",
+        100.0 * bd.ray_module_dnn_share(),
+        100.0 * ray_flops / (ray_flops + mlp_flops),
+        gpu.fps(&WorkloadSpec::ibrnet_default(800, 800, 10, 196)),
+    );
+}

@@ -1,0 +1,93 @@
+//! Fig. 12 — dataflow and feature-storage ablation: latency breakdown
+//! (data movement vs compute) and PE utilization for Var-1/2/3 vs the
+//! full Gen-NeRF design, at 10/6/2 source views.
+//!
+//! Var-1 drops the greedy 3D-point-patch partition (fixed `{k,k,D}`
+//! patches); Var-2 additionally stores features row-major; Var-3 uses
+//! view-wise interleaving instead.
+
+use crate::experiments::{hw_scale, scaled_dim};
+use crate::harness::{f, print_table};
+use gen_nerf_accel::config::AcceleratorConfig;
+use gen_nerf_accel::dataflow::DataflowVariant;
+use gen_nerf_accel::simulator::Simulator;
+use gen_nerf_accel::workload::WorkloadSpec;
+
+/// One bar pair of Fig. 12.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Source views.
+    pub views: usize,
+    /// Data-movement cycles (summed over patches).
+    pub data_cycles: u64,
+    /// Compute cycles.
+    pub compute_cycles: u64,
+    /// Pipeline cycles.
+    pub total_cycles: u64,
+    /// PE utilization.
+    pub pe_utilization: f64,
+    /// Whether the pipeline is memory-bound.
+    pub memory_bound: bool,
+}
+
+/// Computes every bar. Uses a prefetch buffer scaled with the test
+/// resolution so the capacity constraint binds as it does at full
+/// scale.
+pub fn compute() -> Vec<Fig12Row> {
+    let scale = hw_scale();
+    let dim = scaled_dim(800, scale);
+    let mut cfg = AcceleratorConfig::paper();
+    // Scale the buffer *linearly* with resolution: the binding quantity
+    // is the epipolar-band footprint of a fixed pixel tile, whose
+    // length grows linearly with the source resolution.
+    cfg.prefetch_buffer_kb = ((256.0 * scale as f64) as usize).max(8);
+    let mut rows = Vec::new();
+    for views in [10usize, 6, 2] {
+        for variant in DataflowVariant::all() {
+            let spec = WorkloadSpec::gen_nerf_default(dim, dim, views, 64);
+            let mut sim = Simulator::with_variant(cfg, variant);
+            let r = sim.simulate(&spec);
+            rows.push(Fig12Row {
+                variant: variant.label(),
+                views,
+                data_cycles: r.data_cycles(),
+                compute_cycles: r.compute_cycles(),
+                total_cycles: r.total_cycles,
+                pe_utilization: r.pe_utilization,
+                memory_bound: r.memory_bound,
+            });
+        }
+    }
+    rows
+}
+
+/// Prints Fig. 12.
+pub fn run() {
+    let rows = compute();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} views", r.views),
+                r.variant.to_string(),
+                format!("{:.2}M", r.data_cycles as f64 / 1e6),
+                format!("{:.2}M", r.compute_cycles as f64 / 1e6),
+                format!("{:.2}M", r.total_cycles as f64 / 1e6),
+                f(r.pe_utilization, 3),
+                if r.memory_bound { "memory" } else { "compute" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 12 — dataflow/storage ablation (data vs compute, PE utilization)",
+        &[
+            "#Views", "Variant", "Data cyc", "Compute cyc", "Total cyc", "PE util", "Bound",
+        ],
+        &table,
+    );
+    println!(
+        "\nShape check (paper): Var-1 is memory-bound with low PE utilization;\nVar-2/Var-3 are worse still (bank conflicts); Ours hides data movement\nbehind compute and reaches the highest utilization."
+    );
+}

@@ -1,0 +1,58 @@
+//! Tab. 1 — area and power of Gen-NeRF's hardware modules (28 nm,
+//! 1 GHz).
+
+use crate::harness::{f, print_table};
+use gen_nerf_accel::area::{area_power, AreaPowerReport};
+use gen_nerf_accel::config::AcceleratorConfig;
+
+/// Computes the report for the paper configuration.
+pub fn compute() -> AreaPowerReport {
+    area_power(&AcceleratorConfig::paper())
+}
+
+/// Prints Tab. 1 with the paper's reference values.
+pub fn run() {
+    let r = compute();
+    let rows = vec![
+        vec![
+            "Workload Scheduler".to_string(),
+            f(r.scheduler.area_mm2, 2),
+            f(r.scheduler.power_mw, 1),
+            "0.24".into(),
+            "156.2".into(),
+        ],
+        vec![
+            "Preprocessing Unit".to_string(),
+            f(r.preprocessing.area_mm2, 2),
+            f(r.preprocessing.power_mw, 1),
+            "1.24".into(),
+            "696.0".into(),
+        ],
+        vec![
+            "Rendering Engine (excl. PPU)".to_string(),
+            f(r.rendering_engine.area_mm2, 2),
+            f(r.rendering_engine.power_mw, 1),
+            "14.98".into(),
+            "8359.2".into(),
+        ],
+        vec![
+            "Prefetch Buffer".to_string(),
+            f(r.prefetch_buffer.area_mm2, 2),
+            f(r.prefetch_buffer.power_mw, 1),
+            "1.34".into(),
+            "473.6".into(),
+        ],
+        vec![
+            "Total".to_string(),
+            f(r.total_area_mm2(), 2),
+            f(r.total_power_mw(), 1),
+            "17.80".into(),
+            "9685.0".into(),
+        ],
+    ];
+    print_table(
+        "Tab. 1 — area and power of Gen-NeRF's hardware modules",
+        &["Module", "Area(mm²)", "Power(mW)", "Paper mm²", "Paper mW"],
+        &rows,
+    );
+}

@@ -1,0 +1,131 @@
+//! Tab. 2 — impact of each Gen-NeRF component on rendering quality
+//! (PSNR / LPIPS-proxy) and efficiency (MFLOPs/pixel) over the four
+//! LLFF scene analogs.
+//!
+//! Rows, following the paper: vanilla IBRNet (ray transformer,
+//! hierarchical sampling) → remove the ray transformer → replace with
+//! the Ray-Mixer → add coarse-then-focus sampling (16/48) → add 75%
+//! channel pruning evaluated with 10/6/4 source views.
+
+use crate::harness::{
+    eval_dataset, f, pretrained_model, print_table, training_datasets, ReproConfig,
+};
+use gen_nerf::config::{RayModuleChoice, SamplingStrategy};
+use gen_nerf::eval::{evaluate, EvalResult};
+use gen_nerf::pruning::prune_point_mlp;
+use gen_nerf_scene::{Dataset, DatasetKind};
+
+/// The four Tab. 2 scenes.
+pub const SCENES: [&str; 4] = ["fern", "fortress", "horns", "trex"];
+
+/// One Tab. 2 row.
+#[derive(Debug, Clone)]
+pub struct Tab02Row {
+    /// Method label.
+    pub method: String,
+    /// Mean MFLOPs/pixel across scenes.
+    pub mflops_per_pixel: f64,
+    /// Per-scene `(psnr, lpips)` in [`SCENES`] order.
+    pub per_scene: Vec<(f32, f32)>,
+}
+
+fn eval_row(
+    method: &str,
+    model: &gen_nerf::model::GenNerfModel,
+    datasets: &[Dataset],
+    strategy: &SamplingStrategy,
+    max_views: Option<usize>,
+) -> Tab02Row {
+    let mut per_scene = Vec::new();
+    let mut mflops = 0.0;
+    for ds in datasets {
+        let r: EvalResult = evaluate(model, ds, strategy, max_views);
+        per_scene.push((r.psnr, r.lpips));
+        mflops += r.mflops_per_pixel;
+    }
+    Tab02Row {
+        method: method.to_string(),
+        mflops_per_pixel: mflops / datasets.len() as f64,
+        per_scene,
+    }
+}
+
+/// Computes every Tab. 2 row.
+pub fn compute(cfg: &ReproConfig) -> Vec<Tab02Row> {
+    let train = training_datasets(cfg);
+    let datasets: Vec<Dataset> = SCENES
+        .iter()
+        .map(|s| eval_dataset(DatasetKind::Llff, s, cfg))
+        .collect();
+
+    let transformer = pretrained_model(cfg, RayModuleChoice::Transformer, &train);
+    let none = pretrained_model(cfg, RayModuleChoice::None, &train);
+    let mixer = pretrained_model(cfg, RayModuleChoice::Mixer, &train);
+    // Prune-then-retrain, the standard structured-pruning recipe (the
+    // paper's <0.5 dB pruning cost presumes recovery training).
+    let pruned = {
+        let mut m = prune_point_mlp(&mixer, 0.75);
+        let mut trainer = gen_nerf::trainer::Trainer::new(gen_nerf::trainer::TrainConfig {
+            steps: cfg.train_steps / 2,
+            ..gen_nerf::trainer::TrainConfig::fast()
+        });
+        let refs: Vec<&Dataset> = train.iter().collect();
+        trainer.pretrain(&mut m, &refs);
+        m
+    };
+
+    // The paper's vanilla baseline samples ~3x more points (196 vs 64);
+    // scaled to our runtime: 32+32 hierarchical (96 model evaluations)
+    // vs coarse-then-focus 16/48 (48 full evaluations).
+    let hier = SamplingStrategy::Hierarchical {
+        n_coarse: 32,
+        n_fine: 32,
+    };
+    let ctf = SamplingStrategy::coarse_then_focus(16, 48);
+
+    let mut rows = vec![
+        eval_row("vanilla IBRNet", &transformer, &datasets, &hier, Some(10)),
+        eval_row("- ray transformer", &none, &datasets, &hier, Some(10)),
+        eval_row("+ Ray-Mixer", &mixer, &datasets, &hier, Some(10)),
+        eval_row(
+            "+ Coarse-then-Focus (16/48)",
+            &mixer,
+            &datasets,
+            &ctf,
+            Some(10),
+        ),
+    ];
+    for views in [10usize, 6, 4] {
+        rows.push(eval_row(
+            &format!("+ channel pruning, {views} views"),
+            &pruned,
+            &datasets,
+            &ctf,
+            Some(views),
+        ));
+    }
+    rows
+}
+
+/// Prints Tab. 2.
+pub fn run(cfg: &ReproConfig) {
+    let rows = compute(cfg);
+    let mut table = Vec::new();
+    for r in &rows {
+        let mut row = vec![r.method.clone(), f(r.mflops_per_pixel, 3)];
+        for (psnr, lpips) in &r.per_scene {
+            row.push(format!("{:.2}/{:.3}", psnr, lpips));
+        }
+        table.push(row);
+    }
+    print_table(
+        "Tab. 2 — component ablation on LLFF analogs (PSNR↑/LPIPS-proxy↓)",
+        &[
+            "Method", "MFLOPs/px", "fern", "fortress", "horns", "trex",
+        ],
+        &table,
+    );
+    println!(
+        "\nShape check (paper): removing the ray transformer costs several dB;\nRay-Mixer recovers it at similar FLOPs; CtF cuts FLOPs ~3x at comparable\nPSNR; pruning + fewer views gives a further >5x FLOPs cut for <1.3 dB."
+    );
+}

@@ -1,0 +1,9 @@
+//! Benchmark harness for the Gen-NeRF reproduction.
+//!
+//! One module per table/figure of the paper's evaluation (Sec. 5); the
+//! `src/bin/` wrappers print each artifact, and `reproduce_all` runs
+//! the whole evaluation. See `EXPERIMENTS.md` at the workspace root for
+//! the paper-vs-measured record.
+
+pub mod experiments;
+pub mod harness;

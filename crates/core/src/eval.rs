@@ -1,0 +1,169 @@
+//! Rendering-quality evaluation (PSNR / LPIPS-proxy / MFLOPs-per-pixel
+//! — the metrics of Fig. 9 and Tabs. 2–3).
+
+use crate::config::SamplingStrategy;
+use crate::features::prepare_sources;
+use crate::model::GenNerfModel;
+use crate::pipeline::Renderer;
+use gen_nerf_scene::metrics::{lpips_proxy, psnr, ssim};
+use gen_nerf_scene::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Averaged evaluation metrics over a dataset's held-out views.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Peak signal-to-noise ratio, dB (higher is better).
+    pub psnr: f32,
+    /// LPIPS proxy (lower is better; see `gen_nerf_scene::metrics`).
+    pub lpips: f32,
+    /// Global SSIM (higher is better).
+    pub ssim: f32,
+    /// Measured MFLOPs per rendered pixel.
+    pub mflops_per_pixel: f64,
+    /// Measured average sampled points per ray (coarse + focused).
+    pub avg_points_per_ray: f64,
+    /// Measured feature fetches per ray.
+    pub fetches_per_ray: f64,
+}
+
+/// Renders every held-out view of `dataset` with `strategy` and
+/// averages the metrics.
+///
+/// `max_views` restricts the number of source views conditioned on
+/// (the Tab. 2 "·10/6/4 source views" rows); `None` uses all.
+///
+/// The model is cloned internally (forward passes mutate layer
+/// caches), so `&GenNerfModel` suffices.
+///
+/// # Panics
+///
+/// Panics when the dataset has no eval views.
+pub fn evaluate(
+    model: &GenNerfModel,
+    dataset: &Dataset,
+    strategy: &SamplingStrategy,
+    max_views: Option<usize>,
+) -> EvalResult {
+    assert!(
+        !dataset.eval_views.is_empty(),
+        "dataset has no evaluation views"
+    );
+    let mut model = model.clone();
+    let all_sources = prepare_sources(&dataset.source_views);
+    let n_views = max_views
+        .unwrap_or(all_sources.len())
+        .min(all_sources.len())
+        .max(1);
+    let sources = &all_sources[..n_views];
+
+    let mut result = EvalResult::default();
+    let mut total_rays = 0u64;
+    let mut total_flops = 0u64;
+    let mut total_points = 0u64;
+    let mut total_fetches = 0u64;
+    for view in &dataset.eval_views {
+        let mut renderer = Renderer::new(
+            &mut model,
+            sources,
+            *strategy,
+            dataset.scene.bounds,
+            dataset.scene.background,
+        );
+        let (img, stats) = renderer.render(&view.camera);
+        result.psnr += psnr(&view.image, &img);
+        result.lpips += lpips_proxy(&view.image, &img);
+        result.ssim += ssim(&view.image, &img);
+        total_rays += stats.rays;
+        total_flops += stats.flops.total();
+        total_points += stats.points + stats.coarse_points;
+        total_fetches += stats.feature_fetches;
+    }
+    let n = dataset.eval_views.len() as f32;
+    result.psnr /= n;
+    result.lpips /= n;
+    result.ssim /= n;
+    result.mflops_per_pixel = total_flops as f64 / total_rays.max(1) as f64 / 1e6;
+    result.avg_points_per_ray = total_points as f64 / total_rays.max(1) as f64;
+    result.fetches_per_ray = total_fetches as f64 / total_rays.max(1) as f64;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::trainer::{TrainConfig, Trainer};
+    use gen_nerf_scene::DatasetKind;
+
+    fn setup() -> (Dataset, GenNerfModel) {
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.035, 6, 1, 24, 5);
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let mut trainer = Trainer::new(TrainConfig {
+            steps: 150,
+            ..TrainConfig::fast()
+        });
+        trainer.pretrain(&mut model, &[&ds]);
+        (ds, model)
+    }
+
+    #[test]
+    fn evaluate_produces_sane_metrics() {
+        let (ds, model) = setup();
+        let r = evaluate(&model, &ds, &SamplingStrategy::Uniform { n: 12 }, None);
+        assert!(r.psnr > 5.0 && r.psnr.is_finite(), "psnr = {}", r.psnr);
+        assert!(r.lpips >= 0.0);
+        assert!(r.mflops_per_pixel > 0.0);
+        assert!(r.avg_points_per_ray > 0.0);
+    }
+
+    #[test]
+    fn fewer_views_cost_fewer_flops() {
+        let (ds, model) = setup();
+        let strategy = SamplingStrategy::Uniform { n: 8 };
+        let all = evaluate(&model, &ds, &strategy, None);
+        let few = evaluate(&model, &ds, &strategy, Some(2));
+        assert!(
+            few.fetches_per_ray < all.fetches_per_ray,
+            "few {} vs all {}",
+            few.fetches_per_ray,
+            all.fetches_per_ray
+        );
+    }
+
+    #[test]
+    fn more_points_cost_more_flops() {
+        let (ds, model) = setup();
+        let small = evaluate(&model, &ds, &SamplingStrategy::Uniform { n: 6 }, None);
+        let big = evaluate(&model, &ds, &SamplingStrategy::Uniform { n: 18 }, None);
+        assert!(big.mflops_per_pixel > small.mflops_per_pixel);
+    }
+
+    #[test]
+    fn ctf_cheaper_than_uniform_at_same_point_count() {
+        // The headline efficiency claim at the algorithm level: 16
+        // uniform points vs 8 coarse + 8 focused — CtF spends fewer
+        // FLOPs (cheap coarse pass, sparse focused pass).
+        let (ds, model) = setup();
+        let uniform = evaluate(&model, &ds, &SamplingStrategy::Uniform { n: 16 }, None);
+        let ctf = evaluate(
+            &model,
+            &ds,
+            &SamplingStrategy::coarse_then_focus(8, 8),
+            None,
+        );
+        assert!(
+            ctf.mflops_per_pixel < uniform.mflops_per_pixel,
+            "ctf {} vs uniform {}",
+            ctf.mflops_per_pixel,
+            uniform.mflops_per_pixel
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no evaluation views")]
+    fn rejects_empty_eval_set() {
+        let (mut ds, model) = setup();
+        ds.eval_views.clear();
+        let _ = evaluate(&model, &ds, &SamplingStrategy::Uniform { n: 4 }, None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Algorithm → hardware glue: converts a model + sampling
+//! configuration into an `accel::WorkloadSpec` the cycle-level
+//! simulator and the GPU roofline models consume.
+
+use crate::config::{ModelConfig, RayModuleChoice, SamplingStrategy};
+use gen_nerf_accel::workload::{RayModuleKind, WorkloadSpec};
+
+/// Builds the hardware workload description for rendering a
+/// `width × height` frame with `s_views` source views under the given
+/// model and sampling strategy.
+///
+/// Mapping notes:
+///
+/// * `Hierarchical { n_coarse, n_fine }` runs the *full* model twice
+///   (coarse pass + union pass), so its hardware point count is
+///   `2·n_coarse + n_fine` in a single stage — there is no lightweight
+///   coarse stage to map.
+/// * The Ray-Mixer's cost is constant in the actual point count (it
+///   always runs over `N_max` padded tokens); the spec's quadratic
+///   form is evaluated at the stage's nominal `n`, which matches when
+///   `n ≈ N_max` and upper-bounds the error otherwise.
+pub fn workload_spec(
+    cfg: &ModelConfig,
+    strategy: &SamplingStrategy,
+    width: u32,
+    height: u32,
+    s_views: usize,
+) -> WorkloadSpec {
+    let (n_coarse, n_focused, s_coarse, channel_scale) = match *strategy {
+        SamplingStrategy::Uniform { n } => (0, n, 0, 1.0),
+        SamplingStrategy::Hierarchical { n_coarse, n_fine } => {
+            (0, 2 * n_coarse + n_fine, 0, 1.0)
+        }
+        SamplingStrategy::CoarseThenFocus {
+            n_coarse,
+            n_focused,
+            s_coarse,
+            ..
+        } => (
+            n_coarse,
+            n_focused,
+            s_coarse.min(s_views),
+            cfg.coarse_channels as f32 / cfg.d_features as f32,
+        ),
+    };
+
+    let d_sigma = cfg.d_sigma as f64;
+    let (ray_module, quad, lin) = match cfg.ray_module {
+        RayModuleChoice::Transformer => (
+            RayModuleKind::Transformer,
+            2.0 * cfg.attn_head as f64,
+            4.0 * d_sigma * cfg.attn_head as f64,
+        ),
+        RayModuleChoice::Mixer => (
+            RayModuleKind::Mixer,
+            d_sigma,
+            d_sigma * d_sigma + d_sigma,
+        ),
+        RayModuleChoice::None => (RayModuleKind::None, 0.0, 0.0),
+    };
+
+    WorkloadSpec {
+        width,
+        height,
+        s_views,
+        s_coarse,
+        n_coarse,
+        n_focused,
+        d_channels: cfg.d_features,
+        coarse_channel_scale: channel_scale,
+        bytes_per_channel: 1,
+        taps_per_fetch: 4,
+        mlp_macs_per_point: cfg.mlp_macs_per_point(),
+        coarse_mlp_macs_per_point: cfg.coarse_mlp_macs_per_point(),
+        ray_macs_quadratic: quad,
+        ray_macs_linear: lin,
+        ray_module,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_nerf_accel::config::AcceleratorConfig;
+    use gen_nerf_accel::simulator::Simulator;
+    use gen_nerf_accel::workload::Stage;
+
+    #[test]
+    fn ctf_maps_to_two_stages() {
+        let cfg = ModelConfig::fast();
+        let spec = workload_spec(
+            &cfg,
+            &SamplingStrategy::coarse_then_focus(16, 64),
+            128,
+            128,
+            6,
+        );
+        assert_eq!(spec.n_coarse, 16);
+        assert_eq!(spec.n_focused, 64);
+        assert_eq!(spec.s_coarse, 4);
+        assert!(spec.coarse_channel_scale < 0.5);
+        assert_eq!(spec.stages().len(), 2);
+    }
+
+    #[test]
+    fn uniform_maps_to_single_stage() {
+        let cfg = ModelConfig::fast();
+        let spec = workload_spec(&cfg, &SamplingStrategy::Uniform { n: 64 }, 128, 128, 6);
+        assert_eq!(spec.stages(), vec![Stage::Focused]);
+    }
+
+    #[test]
+    fn hierarchical_counts_double_coarse() {
+        let cfg = ModelConfig::fast().with_ray_module(RayModuleChoice::Transformer);
+        let spec = workload_spec(
+            &cfg,
+            &SamplingStrategy::Hierarchical {
+                n_coarse: 32,
+                n_fine: 64,
+            },
+            128,
+            128,
+            10,
+        );
+        assert_eq!(spec.n_focused, 128);
+        assert_eq!(spec.ray_module, RayModuleKind::Transformer);
+    }
+
+    #[test]
+    fn macs_match_model_config() {
+        let cfg = ModelConfig::fast();
+        let spec = workload_spec(
+            &cfg,
+            &SamplingStrategy::coarse_then_focus(16, 64),
+            64,
+            64,
+            6,
+        );
+        assert_eq!(spec.mlp_macs_per_point, cfg.mlp_macs_per_point());
+        assert_eq!(
+            spec.coarse_mlp_macs_per_point,
+            cfg.coarse_mlp_macs_per_point()
+        );
+    }
+
+    #[test]
+    fn spec_runs_on_simulator() {
+        let cfg = ModelConfig::fast();
+        let spec = workload_spec(
+            &cfg,
+            &SamplingStrategy::coarse_then_focus(8, 16),
+            64,
+            64,
+            4,
+        );
+        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let report = sim.simulate(&spec);
+        assert!(report.fps > 0.0);
+    }
+
+    #[test]
+    fn none_module_has_zero_ray_macs() {
+        let cfg = ModelConfig::fast().with_ray_module(RayModuleChoice::None);
+        let spec = workload_spec(&cfg, &SamplingStrategy::Uniform { n: 32 }, 64, 64, 4);
+        assert_eq!(spec.ray_macs(32), 0);
+    }
+}

@@ -1,0 +1,705 @@
+//! The generalizable NeRF model (Steps 3–4 of Sec. 2.2).
+//!
+//! [`GenNerfModel`] bundles:
+//!
+//! * the **point MLP** `f` mapping cross-view aggregation statistics to
+//!   a density feature `f^σ` and an RGB residual,
+//! * a **ray module** contextualizing density along the ray — the
+//!   attention *ray transformer* baseline, the proposed *Ray-Mixer*
+//!   (Sec. 3.3) or none (Tab. 2 row 3),
+//! * a **blend head** producing per-source-view color weights
+//!   (IBRNet-style image-based color prediction),
+//! * a channel-scaled **coarse MLP** used only by the lightweight
+//!   coarse sampling pass (Sec. 3.2, Step ①).
+//!
+//! Densities are predicted in `log1p` space: the model outputs
+//! `z ≈ ln(1 + σ)`, decoded by [`density_from_logit`]. All modules are
+//! trainable in-process ([`crate::trainer`]).
+
+use crate::config::{ModelConfig, RayModuleChoice};
+use crate::features::PointAggregate;
+use gen_nerf_geometry::Vec3;
+use gen_nerf_nn::attention::SelfAttention;
+use gen_nerf_nn::init::Rng;
+use gen_nerf_nn::layers::{mse_loss, Linear, Param, Relu};
+use gen_nerf_nn::mixer::RayMixer;
+use gen_nerf_nn::Tensor2;
+use serde::{Deserialize, Serialize};
+
+/// Decodes a density logit: `σ = exp(z) − 1`, clamped to `[0, ∞)`.
+pub fn density_from_logit(z: f32) -> f32 {
+    (z.clamp(-8.0, 8.0).exp() - 1.0).max(0.0)
+}
+
+/// Encodes a ground-truth density as a training target:
+/// `z = ln(1 + σ)`.
+pub fn logit_from_density(sigma: f32) -> f32 {
+    (sigma.max(0.0) + 1.0).ln()
+}
+
+/// A three-layer ReLU MLP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    l1: Linear,
+    a1: Relu,
+    l2: Linear,
+    a2: Relu,
+    l3: Linear,
+}
+
+impl Mlp {
+    /// Creates `in_dim → hidden → hidden → out_dim`.
+    pub fn new(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            l1: Linear::new(in_dim, hidden, rng),
+            a1: Relu::new(),
+            l2: Linear::new(hidden, hidden, rng),
+            a2: Relu::new(),
+            l3: Linear::new(hidden, out_dim, rng),
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.l1.in_dim()
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.l1.out_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.l3.out_dim()
+    }
+
+    /// Forward pass (caches for backward).
+    pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        let h1 = self.a1.forward(&self.l1.forward(x));
+        let h2 = self.a2.forward(&self.l2.forward(&h1));
+        self.l3.forward(&h2)
+    }
+
+    /// Backward pass; accumulates gradients, returns `∂L/∂x`.
+    pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
+        let g2 = self.a2.backward(&self.l3.backward(grad_out));
+        let g1 = self.a1.backward(&self.l2.backward(&g2));
+        self.l1.backward(&g1)
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        out.extend(self.l1.params_mut());
+        out.extend(self.l2.params_mut());
+        out.extend(self.l3.params_mut());
+        out
+    }
+
+    /// Shared access to the three layers (used by INT8 re-execution).
+    pub fn layers(&self) -> (&Linear, &Linear, &Linear) {
+        (&self.l1, &self.l2, &self.l3)
+    }
+
+    /// Direct access to the three layers (used by channel pruning).
+    pub fn layers_mut(&mut self) -> (&mut Linear, &mut Linear, &mut Linear) {
+        (&mut self.l1, &mut self.l2, &mut self.l3)
+    }
+
+    /// Replaces the three layers (used by channel pruning).
+    pub fn replace_layers(&mut self, l1: Linear, l2: Linear, l3: Linear) {
+        self.l1 = l1;
+        self.l2 = l2;
+        self.l3 = l3;
+    }
+}
+
+/// The cross-point density module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)] // one module lives per model; size is irrelevant
+pub enum RayModule {
+    /// Attention ray transformer + density projection.
+    Transformer {
+        /// Self-attention over the ray's density features.
+        attn: SelfAttention,
+        /// Projection from contextualized features to a density logit.
+        proj: Linear,
+    },
+    /// The Ray-Mixer (projection built in, Eq. 5's `W₃`).
+    Mixer(RayMixer),
+    /// Per-point projection only.
+    None {
+        /// Density projection.
+        proj: Linear,
+    },
+}
+
+impl RayModule {
+    fn new(cfg: &ModelConfig, rng: &mut Rng) -> Self {
+        match cfg.ray_module {
+            RayModuleChoice::Transformer => RayModule::Transformer {
+                attn: SelfAttention::new(cfg.d_sigma, cfg.attn_head, rng),
+                proj: Linear::new(cfg.d_sigma, 1, rng),
+            },
+            RayModuleChoice::Mixer => RayModule::Mixer(RayMixer::new(cfg.n_max, cfg.d_sigma, rng)),
+            RayModuleChoice::None => RayModule::None {
+                proj: Linear::new(cfg.d_sigma, 1, rng),
+            },
+        }
+    }
+
+    /// Density logits for an `n × d_σ` feature sequence. The mixer pads
+    /// to its fixed `N_max` (paper Sec. 3.2); `n` must not exceed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > N_max` for the mixer variant.
+    pub fn forward(&mut self, f_sigma: &Tensor2) -> Tensor2 {
+        let n = f_sigma.rows();
+        match self {
+            RayModule::Transformer { attn, proj } => {
+                let y = attn.forward(f_sigma);
+                proj.forward(&y)
+            }
+            RayModule::Mixer(mixer) => {
+                let nm = mixer.n_points();
+                assert!(n <= nm, "ray has {n} points, mixer supports {nm}");
+                let padded = if n == nm {
+                    f_sigma.clone()
+                } else {
+                    Tensor2::vstack(&[
+                        f_sigma.clone(),
+                        Tensor2::zeros(nm - n, f_sigma.cols()),
+                    ])
+                };
+                mixer.forward(&padded).slice_rows(0, n)
+            }
+            RayModule::None { proj } => proj.forward(f_sigma),
+        }
+    }
+
+    /// Backward pass from per-point logit gradients; returns the
+    /// gradient w.r.t. the input features.
+    pub fn backward(&mut self, grad_logits: &Tensor2, n: usize) -> Tensor2 {
+        match self {
+            RayModule::Transformer { attn, proj } => {
+                let g_y = proj.backward(grad_logits);
+                attn.backward(&g_y)
+            }
+            RayModule::Mixer(mixer) => {
+                let nm = mixer.n_points();
+                let padded = if n == nm {
+                    grad_logits.clone()
+                } else {
+                    Tensor2::vstack(&[
+                        grad_logits.clone(),
+                        Tensor2::zeros(nm - n, 1),
+                    ])
+                };
+                mixer.backward(&padded).slice_rows(0, n)
+            }
+            RayModule::None { proj } => proj.backward(grad_logits),
+        }
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            RayModule::Transformer { attn, proj } => {
+                let mut p = attn.params_mut();
+                p.extend(proj.params_mut());
+                p
+            }
+            RayModule::Mixer(mixer) => mixer.params_mut(),
+            RayModule::None { proj } => proj.params_mut(),
+        }
+    }
+}
+
+/// Inference output for one ray.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RayOutput {
+    /// Per-point densities (σ ≥ 0).
+    pub densities: Vec<f32>,
+    /// Per-point view-blended colors.
+    pub colors: Vec<Vec3>,
+}
+
+/// Per-ray training losses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RayLosses {
+    /// Density-logit MSE.
+    pub sigma: f32,
+    /// Masked color MSE.
+    pub color: f32,
+}
+
+/// The full generalizable NeRF model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenNerfModel {
+    /// Hyperparameters.
+    pub config: ModelConfig,
+    /// Point MLP `f` (stats → density feature + RGB residual).
+    pub point_mlp: Mlp,
+    /// Lightweight coarse MLP (coarse stats → density logit).
+    pub coarse_mlp: Mlp,
+    /// Per-view color blend head (`[dir_sim, deviation] → logit`).
+    pub blend: Mlp,
+    /// Cross-point density module.
+    pub ray_module: RayModule,
+}
+
+impl GenNerfModel {
+    /// Creates a model with seeded initialization.
+    pub fn new(config: ModelConfig) -> Self {
+        let mut rng = Rng::seed_from(config.seed);
+        Self {
+            point_mlp: Mlp::new(
+                config.point_input_dim(),
+                config.hidden,
+                config.point_output_dim(),
+                &mut rng,
+            ),
+            coarse_mlp: Mlp::new(config.coarse_input_dim(), config.coarse_hidden, 1, &mut rng),
+            blend: Mlp::new(2, 8, 1, &mut rng),
+            ray_module: RayModule::new(&config, &mut rng),
+            config,
+        }
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.point_mlp.params_mut();
+        p.extend(self.coarse_mlp.params_mut());
+        p.extend(self.blend.params_mut());
+        p.extend(self.ray_module.params_mut());
+        p
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    fn stats_tensor(aggs: &[PointAggregate], dim: usize) -> Tensor2 {
+        Tensor2::from_fn(aggs.len(), dim, |r, c| aggs[r].stats[c])
+    }
+
+    /// Full-model inference over the points of one ray.
+    ///
+    /// Points seen by no source view get zero density and color.
+    pub fn forward_ray(&mut self, aggs: &[PointAggregate]) -> RayOutput {
+        if aggs.is_empty() {
+            return RayOutput {
+                densities: Vec::new(),
+                colors: Vec::new(),
+            };
+        }
+        let n = aggs.len();
+        let d_sigma = self.config.d_sigma;
+        let x = Self::stats_tensor(aggs, self.config.point_input_dim());
+        let y = self.point_mlp.forward(&x);
+        let f_sigma = Tensor2::from_fn(n, d_sigma, |r, c| y[(r, c)]);
+        let logits = self.ray_module.forward(&f_sigma);
+
+        let mut densities = Vec::with_capacity(n);
+        let mut colors = Vec::with_capacity(n);
+        for (k, agg) in aggs.iter().enumerate() {
+            if agg.n_valid == 0 {
+                densities.push(0.0);
+                colors.push(Vec3::ZERO);
+                continue;
+            }
+            densities.push(density_from_logit(logits[(k, 0)]));
+            let resid = Vec3::new(
+                0.1 * y[(k, d_sigma)].tanh(),
+                0.1 * y[(k, d_sigma + 1)].tanh(),
+                0.1 * y[(k, d_sigma + 2)].tanh(),
+            );
+            colors.push((self.blend_color(agg) + resid).clamp(0.0, 1.0));
+        }
+        RayOutput { densities, colors }
+    }
+
+    /// Blends source colors with softmax weights from the blend head.
+    fn blend_color(&mut self, agg: &PointAggregate) -> Vec3 {
+        let valid_idx: Vec<usize> = (0..agg.valid.len()).filter(|&i| agg.valid[i]).collect();
+        if valid_idx.is_empty() {
+            return Vec3::ZERO;
+        }
+        let input = Tensor2::from_fn(valid_idx.len(), 2, |r, c| agg.blend_inputs[valid_idx[r]][c]);
+        let logits = self.blend.forward(&input);
+        let max = (0..valid_idx.len())
+            .map(|r| logits[(r, 0)])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut weights: Vec<f32> = (0..valid_idx.len())
+            .map(|r| (logits[(r, 0)] - max).exp())
+            .collect();
+        let total: f32 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w /= total);
+        let mut color = Vec3::ZERO;
+        for (w, &i) in weights.iter().zip(&valid_idx) {
+            color += agg.view_colors[i] * *w;
+        }
+        color
+    }
+
+    /// Coarse-pass density estimation (lightweight MLP, no ray module).
+    pub fn coarse_densities(&mut self, aggs: &[PointAggregate]) -> Vec<f32> {
+        if aggs.is_empty() {
+            return Vec::new();
+        }
+        let x = Self::stats_tensor(aggs, self.config.coarse_input_dim());
+        let z = self.coarse_mlp.forward(&x);
+        aggs.iter()
+            .enumerate()
+            .map(|(k, agg)| {
+                if agg.n_valid == 0 {
+                    0.0
+                } else {
+                    density_from_logit(z[(k, 0)])
+                }
+            })
+            .collect()
+    }
+
+    /// One training step's forward+backward for a ray: supervises
+    /// density logits everywhere and blended colors at points where
+    /// `color_mask[k]` holds. Gradients accumulate into the parameters;
+    /// the caller runs the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths disagree.
+    pub fn train_ray(
+        &mut self,
+        aggs: &[PointAggregate],
+        gt_logits: &[f32],
+        gt_colors: &[Vec3],
+        color_mask: &[bool],
+    ) -> RayLosses {
+        assert_eq!(aggs.len(), gt_logits.len(), "target length mismatch");
+        assert_eq!(aggs.len(), gt_colors.len(), "target length mismatch");
+        assert_eq!(aggs.len(), color_mask.len(), "target length mismatch");
+        let n = aggs.len();
+        let d_sigma = self.config.d_sigma;
+
+        // Forward.
+        let x = Self::stats_tensor(aggs, self.config.point_input_dim());
+        let y = self.point_mlp.forward(&x);
+        let f_sigma = Tensor2::from_fn(n, d_sigma, |r, c| y[(r, c)]);
+        let logits = self.ray_module.forward(&f_sigma);
+        let target = Tensor2::from_fn(n, 1, |r, _| gt_logits[r]);
+        let (sigma_loss, g_logits) = mse_loss(&logits, &target);
+
+        // Density path backward.
+        let g_fsigma = self.ray_module.backward(&g_logits, n);
+
+        // Color path: blend + residual at masked points.
+        let mut g_y = Tensor2::zeros(n, self.config.point_output_dim());
+        for r in 0..n {
+            for c in 0..d_sigma {
+                g_y[(r, c)] = g_fsigma[(r, c)];
+            }
+        }
+        let mut color_loss = 0.0f32;
+        let mut color_count = 0usize;
+        for (k, agg) in aggs.iter().enumerate() {
+            if !color_mask[k] || agg.n_valid == 0 {
+                continue;
+            }
+            let (loss, g_resid) =
+                self.train_point_color(agg, gt_colors[k], &y, k, d_sigma);
+            color_loss += loss;
+            color_count += 1;
+            for c in 0..3 {
+                g_y[(k, d_sigma + c)] += g_resid[c];
+            }
+        }
+        if color_count > 0 {
+            color_loss /= color_count as f32;
+        }
+
+        self.point_mlp.backward(&g_y);
+        RayLosses {
+            sigma: sigma_loss,
+            color: color_loss,
+        }
+    }
+
+    /// Color loss + backward for one point; returns
+    /// `(loss, ∂L/∂resid_pre_tanh)`.
+    fn train_point_color(
+        &mut self,
+        agg: &PointAggregate,
+        gt: Vec3,
+        y: &Tensor2,
+        k: usize,
+        d_sigma: usize,
+    ) -> (f32, [f32; 3]) {
+        let valid_idx: Vec<usize> = (0..agg.valid.len()).filter(|&i| agg.valid[i]).collect();
+        let input = Tensor2::from_fn(valid_idx.len(), 2, |r, c| agg.blend_inputs[valid_idx[r]][c]);
+        let logits = self.blend.forward(&input);
+        let max = (0..valid_idx.len())
+            .map(|r| logits[(r, 0)])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut s: Vec<f32> = (0..valid_idx.len())
+            .map(|r| (logits[(r, 0)] - max).exp())
+            .collect();
+        let total: f32 = s.iter().sum();
+        s.iter_mut().for_each(|w| *w /= total);
+
+        let mut blended = Vec3::ZERO;
+        for (w, &i) in s.iter().zip(&valid_idx) {
+            blended += agg.view_colors[i] * *w;
+        }
+        let pre = [
+            y[(k, d_sigma)],
+            y[(k, d_sigma + 1)],
+            y[(k, d_sigma + 2)],
+        ];
+        let resid = Vec3::new(
+            0.1 * pre[0].tanh(),
+            0.1 * pre[1].tanh(),
+            0.1 * pre[2].tanh(),
+        );
+        let out = blended + resid;
+        let diff = out - gt;
+        let loss = diff.length_squared() / 3.0;
+        let g_out = diff * (2.0 / 3.0);
+
+        // Blend-logit gradients: dL/dl_i = s_i (c_i − blended)·g_out.
+        let g_logits = Tensor2::from_fn(valid_idx.len(), 1, |r, _| {
+            s[r] * (agg.view_colors[valid_idx[r]] - blended).dot(g_out)
+        });
+        self.blend.backward(&g_logits);
+
+        // Residual gradients through 0.1·tanh.
+        let mut g_resid = [0.0f32; 3];
+        let g_arr = [g_out.x, g_out.y, g_out.z];
+        for c in 0..3 {
+            let t = pre[c].tanh();
+            g_resid[c] = g_arr[c] * 0.1 * (1.0 - t * t);
+        }
+        (loss, g_resid)
+    }
+
+    /// Coarse-MLP training step for a batch of coarse aggregates.
+    pub fn train_coarse(&mut self, aggs: &[PointAggregate], gt_logits: &[f32]) -> f32 {
+        assert_eq!(aggs.len(), gt_logits.len(), "target length mismatch");
+        if aggs.is_empty() {
+            return 0.0;
+        }
+        let x = Self::stats_tensor(aggs, self.config.coarse_input_dim());
+        let z = self.coarse_mlp.forward(&x);
+        let target = Tensor2::from_fn(aggs.len(), 1, |r, _| gt_logits[r]);
+        let (loss, g) = mse_loss(&z, &target);
+        self.coarse_mlp.backward(&g);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{aggregate_point, prepare_sources};
+    use gen_nerf_nn::optim::Adam;
+    use gen_nerf_scene::datasets::{Dataset, DatasetKind};
+
+    fn tiny_setup() -> (Dataset, Vec<crate::features::SourceViewData>) {
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.04, 4, 1, 24, 5);
+        let sources = prepare_sources(&ds.source_views);
+        (ds, sources)
+    }
+
+    fn ray_aggs(
+        ds: &Dataset,
+        sources: &[crate::features::SourceViewData],
+        n: usize,
+    ) -> (Vec<PointAggregate>, Vec<f32>, Vec<Vec3>) {
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
+        let (t0, t1) = ds.scene.bounds.intersect_ray(&ray).unwrap();
+        let depths = gen_nerf_geometry::Ray::uniform_depths(t0, t1, n);
+        let mut aggs = Vec::new();
+        let mut gt_z = Vec::new();
+        let mut gt_c = Vec::new();
+        for &t in &depths {
+            let p = ray.at(t);
+            aggs.push(aggregate_point(p, ray.direction, sources, 12));
+            gt_z.push(logit_from_density(ds.scene.density(p)));
+            gt_c.push(ds.scene.color(p, ray.direction));
+        }
+        (aggs, gt_z, gt_c)
+    }
+
+    #[test]
+    fn density_logit_roundtrip() {
+        for sigma in [0.0f32, 0.5, 3.0, 40.0] {
+            let z = logit_from_density(sigma);
+            let back = density_from_logit(z);
+            assert!((back - sigma).abs() < sigma * 0.01 + 1e-4, "{sigma} -> {back}");
+        }
+    }
+
+    #[test]
+    fn forward_ray_shapes() {
+        let (ds, sources) = tiny_setup();
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let (aggs, _, _) = ray_aggs(&ds, &sources, 12);
+        let out = model.forward_ray(&aggs);
+        assert_eq!(out.densities.len(), 12);
+        assert_eq!(out.colors.len(), 12);
+        assert!(out.densities.iter().all(|&d| d >= 0.0 && d.is_finite()));
+        for c in &out.colors {
+            assert!(c.x >= 0.0 && c.x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_ray_is_empty() {
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let out = model.forward_ray(&[]);
+        assert!(out.densities.is_empty());
+    }
+
+    #[test]
+    fn invisible_points_get_zero_density() {
+        let (_, sources) = tiny_setup();
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let agg = aggregate_point(
+            Vec3::new(1000.0, 0.0, 0.0),
+            Vec3::X,
+            &sources,
+            12,
+        );
+        let out = model.forward_ray(&[agg]);
+        assert_eq!(out.densities[0], 0.0);
+        assert_eq!(out.colors[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn train_ray_reduces_sigma_loss() {
+        let (ds, sources) = tiny_setup();
+        for choice in [
+            RayModuleChoice::Mixer,
+            RayModuleChoice::Transformer,
+            RayModuleChoice::None,
+        ] {
+            let mut model = GenNerfModel::new(ModelConfig::fast().with_ray_module(choice));
+            let (aggs, gt_z, gt_c) = ray_aggs(&ds, &sources, 16);
+            let mask: Vec<bool> = gt_z.iter().map(|&z| z > 0.3).collect();
+            let mut adam = Adam::new(3e-3);
+            let first = model.train_ray(&aggs, &gt_z, &gt_c, &mask).sigma;
+            model.zero_grad();
+            let mut last = first;
+            for _ in 0..80 {
+                model.zero_grad();
+                last = model.train_ray(&aggs, &gt_z, &gt_c, &mask).sigma;
+                adam.step(&mut model.params_mut());
+            }
+            assert!(
+                last < first * 0.5,
+                "{choice:?}: sigma loss {first} -> {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn train_ray_reduces_color_loss() {
+        let (ds, sources) = tiny_setup();
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let (aggs, gt_z, gt_c) = ray_aggs(&ds, &sources, 16);
+        let mask = vec![true; aggs.len()];
+        let mut adam = Adam::new(3e-3);
+        let first = model.train_ray(&aggs, &gt_z, &gt_c, &mask).color;
+        for _ in 0..60 {
+            model.zero_grad();
+            model.train_ray(&aggs, &gt_z, &gt_c, &mask);
+            adam.step(&mut model.params_mut());
+        }
+        model.zero_grad();
+        let last = model.train_ray(&aggs, &gt_z, &gt_c, &mask).color;
+        assert!(last <= first, "color loss {first} -> {last}");
+    }
+
+    #[test]
+    fn coarse_training_reduces_loss() {
+        let (ds, sources) = tiny_setup();
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
+        let (t0, t1) = ds.scene.bounds.intersect_ray(&ray).unwrap();
+        let depths = gen_nerf_geometry::Ray::uniform_depths(t0, t1, 12);
+        let aggs: Vec<_> = depths
+            .iter()
+            .map(|&t| aggregate_point(ray.at(t), ray.direction, &sources, 3))
+            .collect();
+        let gt: Vec<f32> = depths
+            .iter()
+            .map(|&t| logit_from_density(ds.scene.density(ray.at(t))))
+            .collect();
+        let mut adam = Adam::new(5e-3);
+        let first = model.train_coarse(&aggs, &gt);
+        let mut last = first;
+        for _ in 0..100 {
+            model.zero_grad();
+            last = model.train_coarse(&aggs, &gt);
+            adam.step(&mut model.params_mut());
+        }
+        assert!(last < first * 0.7, "coarse loss {first} -> {last}");
+    }
+
+    #[test]
+    fn coarse_densities_nonnegative() {
+        let (ds, sources) = tiny_setup();
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let (aggs, _, _) = ray_aggs(&ds, &sources, 8);
+        let coarse_aggs: Vec<_> = aggs
+            .iter()
+            .map(|a| {
+                // Rebuild with 3 channels for the coarse head.
+                a.clone()
+            })
+            .collect();
+        // Proper coarse aggregates have 8-wide stats; build them afresh.
+        let _ = coarse_aggs;
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(2, 2);
+        let aggs3: Vec<_> = [2.0f32, 3.0, 4.0]
+            .iter()
+            .map(|&t| aggregate_point(ray.at(t), ray.direction, &sources, 3))
+            .collect();
+        let d = model.coarse_densities(&aggs3);
+        assert!(d.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn mixer_rejects_overlong_rays() {
+        let mut cfg = ModelConfig::fast();
+        cfg.n_max = 4;
+        let mut model = GenNerfModel::new(cfg);
+        let (ds, sources) = tiny_setup();
+        let (aggs, _, _) = ray_aggs(&ds, &sources, 8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.forward_ray(&aggs)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn models_with_same_seed_identical() {
+        let a = GenNerfModel::new(ModelConfig::fast());
+        let b = GenNerfModel::new(ModelConfig::fast());
+        let (ds, sources) = tiny_setup();
+        let (aggs, _, _) = ray_aggs(&ds, &sources, 6);
+        let mut a = a;
+        let mut b = b;
+        let oa = a.forward_ray(&aggs);
+        let ob = b.forward_ray(&aggs);
+        assert_eq!(oa, ob);
+    }
+}

@@ -1,0 +1,183 @@
+//! Channel pruning (Tab. 2's "+channel pruning" rows).
+//!
+//! Magnitude-based structured pruning of the point MLP: hidden units
+//! are ranked by the product of their input-column and output-row L2
+//! norms and the weakest `sparsity` fraction is removed, shrinking
+//! both hidden layers. The paper prunes 75% of channels for a >5×
+//! FLOPs reduction at <0.5 dB PSNR cost.
+
+use crate::model::GenNerfModel;
+use gen_nerf_nn::layers::Linear;
+use gen_nerf_nn::Tensor2;
+
+/// Returns a copy of `model` with the point MLP's hidden width reduced
+/// by `sparsity` (e.g. 0.75 keeps 25% of units). The kept units are
+/// those with the largest combined weight magnitude.
+///
+/// # Panics
+///
+/// Panics when `sparsity` is outside `[0, 1)`.
+pub fn prune_point_mlp(model: &GenNerfModel, sparsity: f32) -> GenNerfModel {
+    assert!(
+        (0.0..1.0).contains(&sparsity),
+        "sparsity must be in [0,1), got {sparsity}"
+    );
+    let mut pruned = model.clone();
+    let hidden = model.config.hidden;
+    let keep = (((hidden as f32) * (1.0 - sparsity)).round() as usize).max(4);
+    if keep >= hidden {
+        return pruned;
+    }
+
+    let (l1, l2, l3) = pruned.point_mlp.layers_mut();
+    // Rank first-hidden units by ‖W1[:,j]‖ · ‖W2[j,:]‖.
+    let kept1 = top_units(&l1.w.value, &l2.w.value, keep);
+    // Rank second-hidden units by ‖W2[:,j]‖ · ‖W3[j,:]‖.
+    let kept2 = top_units(&l2.w.value, &l3.w.value, keep);
+
+    let new_l1 = Linear::from_weights(
+        select_cols(&l1.w.value, &kept1),
+        select_cols(&l1.b.value, &kept1),
+    );
+    let new_l2 = Linear::from_weights(
+        select_cols(&select_rows(&l2.w.value, &kept1), &kept2),
+        select_cols(&l2.b.value, &kept2),
+    );
+    let new_l3 = Linear::from_weights(select_rows(&l3.w.value, &kept2), l3.b.value.clone());
+    pruned.point_mlp.replace_layers(new_l1, new_l2, new_l3);
+    pruned.config.hidden = keep;
+    pruned
+}
+
+/// Indices of the `keep` hidden units with the largest
+/// `‖in-column‖ · ‖out-row‖`, in ascending order.
+fn top_units(w_in: &Tensor2, w_out: &Tensor2, keep: usize) -> Vec<usize> {
+    let hidden = w_in.cols();
+    debug_assert_eq!(w_out.rows(), hidden, "layer widths disagree");
+    let mut scores: Vec<(usize, f32)> = (0..hidden)
+        .map(|j| {
+            let col_norm: f32 = (0..w_in.rows())
+                .map(|i| w_in[(i, j)] * w_in[(i, j)])
+                .sum::<f32>()
+                .sqrt();
+            let row_norm: f32 = w_out.row(j).iter().map(|v| v * v).sum::<f32>().sqrt();
+            (j, col_norm * row_norm)
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<usize> = scores.into_iter().take(keep).map(|(j, _)| j).collect();
+    kept.sort_unstable();
+    kept
+}
+
+fn select_cols(t: &Tensor2, cols: &[usize]) -> Tensor2 {
+    Tensor2::from_fn(t.rows(), cols.len(), |r, c| t[(r, cols[c])])
+}
+
+fn select_rows(t: &Tensor2, rows: &[usize]) -> Tensor2 {
+    Tensor2::from_fn(rows.len(), t.cols(), |r, c| t[(rows[r], c)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::features::{aggregate_point, prepare_sources};
+    use gen_nerf_scene::{Dataset, DatasetKind};
+
+    #[test]
+    fn pruning_shrinks_hidden_and_flops() {
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let pruned = prune_point_mlp(&model, 0.75);
+        assert_eq!(pruned.config.hidden, 12);
+        assert!(pruned.config.mlp_macs_per_point() < model.config.mlp_macs_per_point() / 3);
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let pruned = prune_point_mlp(&model, 0.0);
+        assert_eq!(pruned.config.hidden, model.config.hidden);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn rejects_full_sparsity() {
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let _ = prune_point_mlp(&model, 1.0);
+    }
+
+    #[test]
+    fn pruned_model_still_runs() {
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.04, 4, 1, 16, 5);
+        let sources = prepare_sources(&ds.source_views);
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let mut pruned = prune_point_mlp(&model, 0.5);
+        let agg = aggregate_point(
+            gen_nerf_geometry::Vec3::ZERO,
+            gen_nerf_geometry::Vec3::Z,
+            &sources,
+            12,
+        );
+        let out = pruned.forward_ray(&[agg]);
+        assert_eq!(out.densities.len(), 1);
+        assert!(out.densities[0].is_finite());
+    }
+
+    #[test]
+    fn pruning_keeps_strongest_units() {
+        // Build a model, zero out most hidden units of l1/l2 except a
+        // known set, and verify those survive.
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let hidden = model.config.hidden;
+        let strong: Vec<usize> = (0..hidden).step_by(4).collect();
+        {
+            let (l1, l2, _) = model.point_mlp.layers_mut();
+            for j in 0..hidden {
+                let scale = if strong.contains(&j) { 10.0 } else { 0.01 };
+                for r in 0..l1.w.value.rows() {
+                    l1.w.value[(r, j)] = scale;
+                }
+                for c in 0..l2.w.value.cols() {
+                    l2.w.value[(j, c)] *= scale;
+                }
+            }
+        }
+        let keep = strong.len();
+        let sparsity = 1.0 - keep as f32 / hidden as f32;
+        let pruned = prune_point_mlp(&model, sparsity);
+        assert_eq!(pruned.config.hidden, keep);
+        // The surviving first-layer columns are the strong ones: their
+        // values are ~10.
+        let mut p = pruned;
+        let (l1, _, _) = p.point_mlp.layers_mut();
+        for c in 0..keep {
+            assert!(
+                l1.w.value[(0, c)] > 5.0,
+                "weak unit survived at column {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_output_close_to_original_for_mild_sparsity() {
+        // With 25% of (near-random) units removed the function changes,
+        // but outputs should remain finite and broadly similar in scale.
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "vase", 0.04, 4, 1, 16, 6);
+        let sources = prepare_sources(&ds.source_views);
+        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let mut pruned = prune_point_mlp(&model, 0.25);
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
+        let aggs: Vec<_> = [2.5f32, 3.5, 4.5]
+            .iter()
+            .map(|&t| aggregate_point(ray.at(t), ray.direction, &sources, 12))
+            .collect();
+        let a = model.forward_ray(&aggs);
+        let b = pruned.forward_ray(&aggs);
+        for (x, y) in a.densities.iter().zip(&b.densities) {
+            assert!(y.is_finite());
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Scene-feature storage layouts (paper Fig. 6 and Fig. 12's Var-2/3).
+//!
+//! Scene features form an `S × H_s × W_s × C` tensor in DRAM. How the
+//! `(view, x, y)` coordinate maps to a `(bank, row)` pair decides
+//! whether the spatially local fetches of a point patch collide on a
+//! bank:
+//!
+//! * [`FeatureLayout::RowMajor`] — features stored row by row
+//!   (Fig. 6 (a)): an epipolar-line fetch spanning few image rows lands
+//!   on few banks → conflicts (this is *Var-2* in Fig. 12).
+//! * [`FeatureLayout::SpatialInterleave`] — the proposed layout
+//!   (Fig. 6 (b)): neighbouring texels go to different banks via a 2D
+//!   bank tile, so a local 2D region spreads across all banks.
+//! * [`FeatureLayout::ViewInterleave`] — banks assigned per source view
+//!   (*Var-3*): every fetch for one view hits one bank.
+
+#![allow(clippy::too_many_arguments)] // placement takes a coordinate bundle
+
+use serde::{Deserialize, Serialize};
+
+/// A placement policy mapping feature coordinates to DRAM banks/rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureLayout {
+    /// Row-wise storage (Fig. 6 (a); Var-2 baseline).
+    RowMajor,
+    /// Spatially interleaved storage (Fig. 6 (b); the proposed layout).
+    SpatialInterleave,
+    /// View-wise interleaving (Var-3 baseline).
+    ViewInterleave,
+}
+
+impl FeatureLayout {
+    /// All layouts in Fig. 12's ablation order.
+    pub fn all() -> [FeatureLayout; 3] {
+        [
+            FeatureLayout::RowMajor,
+            FeatureLayout::SpatialInterleave,
+            FeatureLayout::ViewInterleave,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureLayout::RowMajor => "row-major",
+            FeatureLayout::SpatialInterleave => "spatial-interleave",
+            FeatureLayout::ViewInterleave => "view-interleave",
+        }
+    }
+
+    /// Maps a feature-map texel to `(bank, row)`.
+    ///
+    /// * `view, x, y` — source view index and texel coordinates,
+    /// * `width, height` — feature-map dimensions,
+    /// * `feat_bytes` — bytes per texel (C channels × element size),
+    /// * `banks` — number of DRAM banks,
+    /// * `row_bytes` — bytes per DRAM row.
+    pub fn place(
+        self,
+        view: usize,
+        x: u32,
+        y: u32,
+        width: u32,
+        height: u32,
+        feat_bytes: u64,
+        banks: usize,
+        row_bytes: u64,
+    ) -> (usize, u64) {
+        debug_assert!(x < width && y < height, "texel out of range");
+        let linear_texel =
+            view as u64 * (width as u64 * height as u64) + y as u64 * width as u64 + x as u64;
+        let byte_addr = linear_texel * feat_bytes;
+        match self {
+            FeatureLayout::RowMajor => {
+                // Banks striped by DRAM row: consecutive addresses fill a
+                // row, then move to the next bank.
+                let dram_row_global = byte_addr / row_bytes;
+                let bank = (dram_row_global % banks as u64) as usize;
+                let row = dram_row_global / banks as u64;
+                (bank, row)
+            }
+            FeatureLayout::SpatialInterleave => {
+                // 2D bank tile: bank = f(x mod bx, y mod by) so any
+                // bx×by neighbourhood touches all banks; row derived
+                // from the tile-local linear address.
+                let bx = bank_tile_width(banks);
+                let by = banks as u32 / bx;
+                let bank = ((x % bx) + (y % by) * bx) as usize;
+                // Within a bank, texels appear every (bx, by) steps.
+                let tx = (x / bx) as u64;
+                let ty = (y / by) as u64;
+                let tiles_w = width.div_ceil(bx) as u64;
+                let tiles_h = height.div_ceil(by) as u64;
+                let local = view as u64 * tiles_w * tiles_h + ty * tiles_w + tx;
+                let row = local * feat_bytes / row_bytes;
+                (bank, row)
+            }
+            FeatureLayout::ViewInterleave => {
+                let bank = view % banks;
+                let local =
+                    (y as u64 * width as u64 + x as u64) * feat_bytes;
+                (bank, local / row_bytes)
+            }
+        }
+    }
+}
+
+/// Width of the 2D bank tile (`bx`), the largest power-of-two divisor
+/// `≤ √banks`.
+fn bank_tile_width(banks: usize) -> u32 {
+    let mut bx = 1u32;
+    while (bx * bx * 4) as usize <= banks * 2 && ((bx * 2) as usize) <= banks {
+        // grow while bx*2 divides banks and stays ≤ sqrt-ish
+        if banks.is_multiple_of((bx * 2) as usize) && ((bx * 2) * (bx * 2)) as usize <= banks * 2 {
+            bx *= 2;
+        } else {
+            break;
+        }
+    }
+    bx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const W: u32 = 64;
+    const H: u32 = 64;
+    const FEAT: u64 = 32;
+    const BANKS: usize = 8;
+    const ROW: u64 = 2048;
+
+    fn place(layout: FeatureLayout, view: usize, x: u32, y: u32) -> (usize, u64) {
+        layout.place(view, x, y, W, H, FEAT, BANKS, ROW)
+    }
+
+    #[test]
+    fn banks_in_range_for_all_layouts() {
+        for layout in FeatureLayout::all() {
+            for view in 0..4 {
+                for y in (0..H).step_by(7) {
+                    for x in (0..W).step_by(5) {
+                        let (bank, _) = place(layout, view, x, y);
+                        assert!(bank < BANKS, "{layout:?} bank {bank}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_interleave_spreads_local_region() {
+        // A 4×2 neighbourhood must touch all 8 banks.
+        let mut banks = HashSet::new();
+        for y in 10..12 {
+            for x in 20..24 {
+                banks.insert(place(FeatureLayout::SpatialInterleave, 0, x, y).0);
+            }
+        }
+        assert_eq!(banks.len(), BANKS, "banks hit: {banks:?}");
+    }
+
+    #[test]
+    fn row_major_concentrates_local_region() {
+        // The same neighbourhood under row-major storage touches far
+        // fewer banks (a 64-texel row is 2048 B = one DRAM row, so a few
+        // image rows = a few banks).
+        let mut banks = HashSet::new();
+        for y in 10..12 {
+            for x in 20..24 {
+                banks.insert(place(FeatureLayout::RowMajor, 0, x, y).0);
+            }
+        }
+        assert!(banks.len() <= 2, "banks hit: {banks:?}");
+    }
+
+    #[test]
+    fn view_interleave_pins_view_to_bank() {
+        let mut banks = HashSet::new();
+        for y in (0..H).step_by(13) {
+            for x in (0..W).step_by(11) {
+                banks.insert(place(FeatureLayout::ViewInterleave, 2, x, y).0);
+            }
+        }
+        assert_eq!(banks.len(), 1);
+        assert_eq!(*banks.iter().next().unwrap(), 2 % BANKS);
+    }
+
+    #[test]
+    fn distinct_views_separate_under_view_interleave() {
+        let b0 = place(FeatureLayout::ViewInterleave, 0, 5, 5).0;
+        let b1 = place(FeatureLayout::ViewInterleave, 1, 5, 5).0;
+        assert_ne!(b0, b1);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        for layout in FeatureLayout::all() {
+            assert_eq!(place(layout, 1, 33, 17), place(layout, 1, 33, 17));
+        }
+    }
+
+    #[test]
+    fn bank_tile_width_divides_banks() {
+        for banks in [2usize, 4, 8, 16, 32] {
+            let bx = bank_tile_width(banks) as usize;
+            assert!(banks % bx == 0, "banks={banks} bx={bx}");
+            assert!(bx >= 1);
+        }
+    }
+
+    #[test]
+    fn rows_advance_with_address() {
+        // Two texels far apart in the same bank land on different rows.
+        let (b1, r1) = place(FeatureLayout::RowMajor, 0, 0, 0);
+        let (b2, r2) = place(FeatureLayout::RowMajor, 3, 0, 0);
+        if b1 == b2 {
+            assert_ne!(r1, r2);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Axis-aligned bounding boxes.
+
+use crate::ray::Ray;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box, the scene bound used to clip camera rays
+/// to `[t_near, t_far]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from two corners (components are sorted).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Self {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// A cube of half-extent `r` centered at `c`.
+    pub fn cube(c: Vec3, r: f32) -> Self {
+        Self::new(c - Vec3::splat(r), c + Vec3::splat(r))
+    }
+
+    /// Box center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Box extent (`max - min`).
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.y >= self.min.y
+            && p.z >= self.min.z
+            && p.x <= self.max.x
+            && p.y <= self.max.y
+            && p.z <= self.max.z
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Grows the box by `margin` on every side.
+    pub fn expanded(&self, margin: f32) -> Self {
+        Self {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
+    }
+
+    /// The eight corners, in `zyx`-nested order.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (lo, hi) = (self.min, self.max);
+        [
+            Vec3::new(lo.x, lo.y, lo.z),
+            Vec3::new(hi.x, lo.y, lo.z),
+            Vec3::new(lo.x, hi.y, lo.z),
+            Vec3::new(hi.x, hi.y, lo.z),
+            Vec3::new(lo.x, lo.y, hi.z),
+            Vec3::new(hi.x, lo.y, hi.z),
+            Vec3::new(lo.x, hi.y, hi.z),
+            Vec3::new(hi.x, hi.y, hi.z),
+        ]
+    }
+
+    /// Ray–box intersection (slab method).
+    ///
+    /// Returns the parameter interval `(t_enter, t_exit)` clipped to
+    /// `t_enter >= 0`, or `None` when the ray misses the box.
+    pub fn intersect_ray(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let mut t0 = 0.0f32;
+        let mut t1 = f32::INFINITY;
+        let o = ray.origin.to_array();
+        let d = ray.direction.to_array();
+        let lo = self.min.to_array();
+        let hi = self.max.to_array();
+        for i in 0..3 {
+            if d[i].abs() < 1e-12 {
+                if o[i] < lo[i] || o[i] > hi[i] {
+                    return None;
+                }
+                continue;
+            }
+            let inv = 1.0 / d[i];
+            let (mut ta, mut tb) = ((lo[i] - o[i]) * inv, (hi[i] - o[i]) * inv);
+            if ta > tb {
+                std::mem::swap(&mut ta, &mut tb);
+            }
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_sorts_corners() {
+        let b = Aabb::new(Vec3::new(1.0, -1.0, 3.0), Vec3::new(-1.0, 1.0, 0.0));
+        assert_eq!(b.min, Vec3::new(-1.0, -1.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 3.0));
+    }
+
+    #[test]
+    fn contains_center_and_corners() {
+        let b = Aabb::cube(Vec3::ZERO, 2.0);
+        assert!(b.contains(b.center()));
+        for c in b.corners() {
+            assert!(b.contains(c));
+        }
+        assert!(!b.contains(Vec3::new(2.1, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn ray_through_center_hits() {
+        let b = Aabb::cube(Vec3::ZERO, 1.0);
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let (t0, t1) = b.intersect_ray(&r).unwrap();
+        assert!((t0 - 4.0).abs() < 1e-5);
+        assert!((t1 - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ray_missing_box_is_none() {
+        let b = Aabb::cube(Vec3::ZERO, 1.0);
+        let r = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::Z);
+        assert!(b.intersect_ray(&r).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_clips_to_zero() {
+        let b = Aabb::cube(Vec3::ZERO, 1.0);
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let (t0, t1) = b.intersect_ray(&r).unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Aabb::cube(Vec3::ZERO, 1.0);
+        let b = Aabb::cube(Vec3::new(5.0, 0.0, 0.0), 1.0);
+        let u = a.union(&b);
+        assert!(u.contains(Vec3::new(-1.0, 0.0, 0.0)));
+        assert!(u.contains(Vec3::new(6.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn axis_parallel_ray_outside_slab_misses() {
+        let b = Aabb::cube(Vec3::ZERO, 1.0);
+        let r = Ray::new(Vec3::new(0.0, 2.0, -5.0), Vec3::Z);
+        assert!(b.intersect_ray(&r).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_points_on_boundary_or_inside(
+            ox in -10.0f32..10.0,
+            oy in -10.0f32..10.0,
+            dx in -1.0f32..1.0,
+            dy in -1.0f32..1.0,
+        ) {
+            let b = Aabb::cube(Vec3::ZERO, 1.5);
+            let dir = Vec3::new(dx, dy, 1.0);
+            let r = Ray::new(Vec3::new(ox, oy, -8.0), dir);
+            if let Some((t0, t1)) = b.intersect_ray(&r) {
+                prop_assert!(t0 <= t1);
+                let eps = 1e-3;
+                let grown = b.expanded(eps);
+                prop_assert!(grown.contains(r.at(t0)));
+                prop_assert!(grown.contains(r.at(t1)));
+                prop_assert!(grown.contains(r.at((t0 + t1) / 2.0)));
+            }
+        }
+    }
+}

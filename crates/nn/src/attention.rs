@@ -1,0 +1,253 @@
+//! Single-head self-attention — the *ray transformer* baseline.
+//!
+//! SOTA generalizable NeRFs (IBRNet and follow-ups) run a transformer
+//! over the density features of all points on a ray to contextualize
+//! density prediction (paper Sec. 2.2, Step 4). Gen-NeRF replaces it
+//! with the Ray-Mixer; both must exist here so the ablation of Tab. 2
+//! and the workload-heterogeneity argument of Fig. 2 can be reproduced.
+
+use crate::init::Rng;
+use crate::layers::{softmax_rows, softmax_rows_backward, Linear, Param};
+use crate::tensor::Tensor2;
+use serde::{Deserialize, Serialize};
+
+/// Single-head self-attention with a residual connection:
+/// `Y = X + softmax(XWq (XWk)ᵀ / √d_k) · XWv · Wo`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    head_dim: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AttnCache {
+    q: Tensor2,
+    k: Tensor2,
+    v: Tensor2,
+    attn: Tensor2,
+}
+
+impl SelfAttention {
+    /// Creates an attention block over `dim`-wide tokens with a
+    /// `head_dim`-wide head.
+    pub fn new(dim: usize, head_dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            wq: Linear::new(dim, head_dim, rng),
+            wk: Linear::new(dim, head_dim, rng),
+            wv: Linear::new(dim, head_dim, rng),
+            wo: Linear::new(head_dim, dim, rng),
+            head_dim,
+            cache: None,
+        }
+    }
+
+    /// Token width.
+    pub fn dim(&self) -> usize {
+        self.wq.in_dim()
+    }
+
+    /// Forward pass over `x` (`n_tokens × dim`).
+    pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scores = q.matmul_t(&k).scale(scale);
+        let attn = softmax_rows(&scores);
+        let ctx = attn.matmul(&v);
+        let y = self.wo.forward(&ctx);
+        self.cache = Some(AttnCache {
+            q,
+            k,
+            v,
+            attn,
+        });
+        &y + x
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns
+    /// `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
+        let cache = self.cache.take().expect("SelfAttention::backward before forward");
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        // Residual.
+        let mut grad_x = grad_out.clone();
+        // Through Wo.
+        let g_ctx = self.wo.backward(grad_out);
+        // ctx = attn · v
+        let g_attn = g_ctx.matmul_t(&cache.v);
+        let g_v = cache.attn.t_matmul(&g_ctx);
+        // attn = softmax(scores)
+        let g_scores = softmax_rows_backward(&cache.attn, &g_attn).scale(scale);
+        // scores(pre-scale) = q · kᵀ
+        let g_q = g_scores.matmul(&cache.k);
+        let g_k = g_scores.t_matmul(&cache.q);
+        grad_x = &grad_x + &self.wq.backward(&g_q);
+        grad_x = &grad_x + &self.wk.backward(&g_k);
+        grad_x = &grad_x + &self.wv.backward(&g_v);
+        grad_x
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        out.extend(self.wq.params_mut());
+        out.extend(self.wk.params_mut());
+        out.extend(self.wv.params_mut());
+        out.extend(self.wo.params_mut());
+        out
+    }
+
+    /// FLOPs for a sequence of `n` tokens (the quadratic attention cost
+    /// that makes the ray transformer workload-heterogeneous).
+    pub fn flops(&self, n: usize) -> u64 {
+        let d = self.dim();
+        let dk = self.head_dim;
+        let proj = 3 * 2 * n * d * dk + 2 * n * dk * d; // q,k,v,o projections
+        let attn = 2 * n * n * dk /* qkᵀ */ + 2 * n * n * dk /* attn·v */ + 5 * n * n /* softmax */;
+        (proj + attn) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::mse_loss;
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = Rng::seed_from(11);
+        let mut attn = SelfAttention::new(8, 4, &mut rng);
+        let x = Tensor2::from_fn(6, 8, |r, c| ((r * 8 + c) as f32 * 0.13).sin());
+        let y = attn.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (6, 8));
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn attention_mixes_across_tokens() {
+        let mut rng = Rng::seed_from(12);
+        let mut attn = SelfAttention::new(4, 4, &mut rng);
+        // Two inputs identical except in token 0; outputs must differ in
+        // *other* tokens too (information flows along the ray).
+        let x1 = Tensor2::from_fn(5, 4, |r, c| (r + c) as f32 * 0.1);
+        let mut x2 = x1.clone();
+        x2[(0, 0)] += 2.0;
+        let y1 = attn.forward(&x1);
+        let y2 = attn.forward(&x2);
+        let row3_diff: f32 = (0..4).map(|c| (y1[(3, c)] - y2[(3, c)]).abs()).sum();
+        assert!(row3_diff > 1e-5, "no cross-token flow: {row3_diff}");
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut rng = Rng::seed_from(13);
+        let mut attn = SelfAttention::new(5, 3, &mut rng);
+        let mut x = Tensor2::from_fn(4, 5, |r, c| ((r * 5 + c) as f32 * 0.29).sin() * 0.5);
+        let target = Tensor2::zeros(4, 5);
+
+        let y = attn.forward(&x);
+        let (_, g) = mse_loss(&y, &target);
+        let gin = attn.backward(&g);
+        let analytic: Vec<f32> = gin.as_slice().to_vec();
+
+        let eps = 1e-2;
+        for i in (0..analytic.len()).step_by(3) {
+            let (r, c) = (i / 5, i % 5);
+            let orig = x[(r, c)];
+            x[(r, c)] = orig + eps;
+            let lp = mse_loss(&attn.forward(&x), &target).0;
+            x[(r, c)] = orig - eps;
+            let lm = mse_loss(&attn.forward(&x), &target).0;
+            x[(r, c)] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = numeric.abs().max(analytic[i].abs()).max(1e-3);
+            assert!(
+                ((numeric - analytic[i]) / denom).abs() < crate::GRAD_CHECK_TOL * 2.5,
+                "x[{i}]: numeric={numeric} analytic={}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_weight() {
+        let mut rng = Rng::seed_from(14);
+        let mut attn = SelfAttention::new(4, 2, &mut rng);
+        let x = Tensor2::from_fn(3, 4, |r, c| ((r * 4 + c) as f32 * 0.41).cos() * 0.7);
+        let target = Tensor2::full(3, 4, 0.25);
+
+        for p in attn.params_mut() {
+            p.zero_grad();
+        }
+        let y = attn.forward(&x);
+        let (_, g) = mse_loss(&y, &target);
+        let _ = attn.backward(&g);
+        // Check the first few entries of Wq's gradient.
+        let analytic: Vec<f32> = attn.wq.w.grad.as_slice().to_vec();
+
+        let eps = 1e-2;
+        for i in 0..4 {
+            let cols = attn.wq.w.value.cols();
+            let (r, c) = (i / cols, i % cols);
+            let orig = attn.wq.w.value[(r, c)];
+            attn.wq.w.value[(r, c)] = orig + eps;
+            let lp = mse_loss(&attn.forward(&x), &target).0;
+            attn.wq.w.value[(r, c)] = orig - eps;
+            let lm = mse_loss(&attn.forward(&x), &target).0;
+            attn.wq.w.value[(r, c)] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = numeric.abs().max(analytic[i].abs()).max(1e-3);
+            assert!(
+                ((numeric - analytic[i]) / denom).abs() < crate::GRAD_CHECK_TOL * 2.5,
+                "wq[{i}]: numeric={numeric} analytic={}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn flops_grow_quadratically_with_tokens() {
+        let mut rng = Rng::seed_from(15);
+        let attn = SelfAttention::new(16, 16, &mut rng);
+        let f1 = attn.flops(32) as f64;
+        let f2 = attn.flops(64) as f64;
+        // Projection part is linear, attention part quadratic; doubling
+        // tokens must more than double the cost.
+        assert!(f2 > 2.0 * f1, "f1={f1} f2={f2}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        use crate::optim::Adam;
+        let mut rng = Rng::seed_from(16);
+        let mut attn = SelfAttention::new(6, 4, &mut rng);
+        let x = Tensor2::from_fn(5, 6, |r, c| ((r * 6 + c) as f32 * 0.17).sin());
+        let target = Tensor2::from_fn(5, 6, |r, c| ((r * 6 + c) as f32 * 0.17).sin() * 0.5 + 0.1);
+        let mut adam = Adam::new(1e-2);
+        let (first, _) = mse_loss(&attn.forward(&x), &target);
+        let mut last = first;
+        for _ in 0..60 {
+            for p in attn.params_mut() {
+                p.zero_grad();
+            }
+            let y = attn.forward(&x);
+            let (loss, g) = mse_loss(&y, &target);
+            attn.backward(&g);
+            adam.step(&mut attn.params_mut());
+            last = loss;
+        }
+        assert!(
+            last < first * 0.2,
+            "training failed: first={first} last={last}"
+        );
+    }
+}

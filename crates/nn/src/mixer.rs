@@ -1,0 +1,265 @@
+//! The Ray-Mixer module (paper Sec. 3.3, Eqs. 4–5).
+//!
+//! The Ray-Mixer replaces the ray transformer's attention with two
+//! fully connected mixing steps so the PE pool's systolic arrays can
+//! execute the whole model:
+//!
+//! * **token mixing** (Eq. 4): one FC along the *point* dimension fuses
+//!   information across all `N` samples of a ray, column by column:
+//!   `F_{*,i} = f_{*,i} + φ(W₁ f_{*,i})`;
+//! * **channel mixing + projection** (Eq. 5): one FC along the feature
+//!   dimension processes each point independently, then `W₃` projects
+//!   to a scalar density: `σ_j = W₃ (F_{j,*} + φ(W₂ F_{j,*}))`.
+
+use crate::init::Rng;
+use crate::layers::{Linear, Param, Relu};
+use crate::tensor::Tensor2;
+use serde::{Deserialize, Serialize};
+
+/// The Ray-Mixer: token-mixing FC (`W₁`, over `n_points`), channel-mixing
+/// FC (`W₂`, over `dim`) and a density projection (`W₃`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RayMixer {
+    token_fc: Linear,
+    channel_fc: Linear,
+    proj: Linear,
+    token_act: Relu,
+    channel_act: Relu,
+    n_points: usize,
+    cache: Option<()>,
+}
+
+impl RayMixer {
+    /// Creates a mixer for rays of exactly `n_points` samples with
+    /// `dim`-wide density features.
+    ///
+    /// During training the paper pads every ray to `N_max` points; the
+    /// same convention applies here — callers pad (with
+    /// zero-contribution samples) to `n_points`.
+    pub fn new(n_points: usize, dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            token_fc: Linear::new(n_points, n_points, rng),
+            channel_fc: Linear::new(dim, dim, rng),
+            proj: Linear::new(dim, 1, rng),
+            token_act: Relu::new(),
+            channel_act: Relu::new(),
+            n_points,
+            cache: None,
+        }
+    }
+
+    /// Number of points (tokens) the mixer was built for.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.channel_fc.in_dim()
+    }
+
+    /// Forward pass over `x` (`n_points × dim`); returns per-point
+    /// density logits (`n_points × 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.rows() != n_points`.
+    pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        assert_eq!(
+            x.rows(),
+            self.n_points,
+            "RayMixer built for {} points, got {}",
+            self.n_points,
+            x.rows()
+        );
+        // Eq. 4 — token mixing along the point dimension: operate on
+        // columns by transposing to (dim × n_points).
+        let xt = x.transpose();
+        let ht = self.token_act.forward(&self.token_fc.forward(&xt));
+        let f = &ht.transpose() + x;
+        // Eq. 5 — channel mixing per point, then density projection.
+        let c = self.channel_act.forward(&self.channel_fc.forward(&f));
+        let g = &f + &c;
+        self.cache = Some(());
+        self.proj.forward(&g)
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns
+    /// `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
+        self.cache.take().expect("RayMixer::backward before forward");
+        // Through W₃.
+        let g_g = self.proj.backward(grad_out);
+        // g = f + channel_act(channel_fc(f))
+        let g_c = self.channel_act.backward(&g_g);
+        let g_f = &g_g + &self.channel_fc.backward(&g_c);
+        // f = x + transpose(token_act(token_fc(xᵀ)))
+        let g_ht = g_f.transpose();
+        let g_pre = self.token_act.backward(&g_ht);
+        let g_xt = self.token_fc.backward(&g_pre);
+        &g_f + &g_xt.transpose()
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        out.extend(self.token_fc.params_mut());
+        out.extend(self.channel_fc.params_mut());
+        out.extend(self.proj.params_mut());
+        out
+    }
+
+    /// FLOPs for one ray. All terms are plain GEMMs — the point of the
+    /// module: `O(N²D + ND²)` with *no* attention softmax, executable on
+    /// the same systolic arrays as the backbone MLP.
+    pub fn flops(&self) -> u64 {
+        let n = self.n_points;
+        let d = self.dim();
+        (2 * n * n * d          // token FC applied to d columns
+            + 2 * n * d * d     // channel FC applied to n rows
+            + 2 * n * d)        // projection
+            as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::mse_loss;
+    use crate::optim::Adam;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Rng::seed_from(21);
+        let mut mixer = RayMixer::new(8, 6, &mut rng);
+        let x = Tensor2::from_fn(8, 6, |r, c| ((r * 6 + c) as f32 * 0.19).sin());
+        let y = mixer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (8, 1));
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "RayMixer built for")]
+    fn rejects_wrong_point_count() {
+        let mut rng = Rng::seed_from(22);
+        let mut mixer = RayMixer::new(8, 6, &mut rng);
+        let _ = mixer.forward(&Tensor2::zeros(4, 6));
+    }
+
+    #[test]
+    fn token_mixing_crosses_points() {
+        let mut rng = Rng::seed_from(23);
+        let mut mixer = RayMixer::new(6, 4, &mut rng);
+        let x1 = Tensor2::from_fn(6, 4, |r, c| (r + c) as f32 * 0.1);
+        let mut x2 = x1.clone();
+        for c in 0..4 {
+            x2[(0, c)] += 1.5;
+        }
+        let y1 = mixer.forward(&x1);
+        let y2 = mixer.forward(&x2);
+        // Densities of *different* points must change: information flows
+        // across the ray like it does through the ray transformer.
+        let diff: f32 = (1..6).map(|r| (y1[(r, 0)] - y2[(r, 0)]).abs()).sum();
+        assert!(diff > 1e-6, "no cross-point flow: {diff}");
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut rng = Rng::seed_from(24);
+        let mut mixer = RayMixer::new(5, 4, &mut rng);
+        let mut x = Tensor2::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.31).cos() * 0.6);
+        let target = Tensor2::from_fn(5, 1, |r, _| (r as f32 * 0.4).sin());
+
+        let y = mixer.forward(&x);
+        let (_, g) = mse_loss(&y, &target);
+        let gin = mixer.backward(&g);
+        let analytic: Vec<f32> = gin.as_slice().to_vec();
+
+        let eps = 1e-2;
+        for i in 0..analytic.len() {
+            let (r, c) = (i / 4, i % 4);
+            let orig = x[(r, c)];
+            x[(r, c)] = orig + eps;
+            let lp = mse_loss(&mixer.forward(&x), &target).0;
+            x[(r, c)] = orig - eps;
+            let lm = mse_loss(&mixer.forward(&x), &target).0;
+            x[(r, c)] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = numeric.abs().max(analytic[i].abs()).max(1e-3);
+            assert!(
+                ((numeric - analytic[i]) / denom).abs() < crate::GRAD_CHECK_TOL * 2.5,
+                "x[{i}]: numeric={numeric} analytic={}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_token_weight() {
+        let mut rng = Rng::seed_from(25);
+        let mut mixer = RayMixer::new(4, 3, &mut rng);
+        let x = Tensor2::from_fn(4, 3, |r, c| ((r * 3 + c) as f32 * 0.53).sin() * 0.8);
+        let target = Tensor2::zeros(4, 1);
+
+        for p in mixer.params_mut() {
+            p.zero_grad();
+        }
+        let y = mixer.forward(&x);
+        let (_, g) = mse_loss(&y, &target);
+        let _ = mixer.backward(&g);
+        let analytic: Vec<f32> = mixer.token_fc.w.grad.as_slice().to_vec();
+
+        let eps = 1e-2;
+        for i in 0..6 {
+            let cols = mixer.token_fc.w.value.cols();
+            let (r, c) = (i / cols, i % cols);
+            let orig = mixer.token_fc.w.value[(r, c)];
+            mixer.token_fc.w.value[(r, c)] = orig + eps;
+            let lp = mse_loss(&mixer.forward(&x), &target).0;
+            mixer.token_fc.w.value[(r, c)] = orig - eps;
+            let lm = mse_loss(&mixer.forward(&x), &target).0;
+            mixer.token_fc.w.value[(r, c)] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = numeric.abs().max(analytic[i].abs()).max(1e-3);
+            assert!(
+                ((numeric - analytic[i]) / denom).abs() < crate::GRAD_CHECK_TOL * 2.5,
+                "w1[{i}]: numeric={numeric} analytic={}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = Rng::seed_from(26);
+        let mut mixer = RayMixer::new(8, 5, &mut rng);
+        let x = Tensor2::from_fn(8, 5, |r, c| ((r * 5 + c) as f32 * 0.23).sin());
+        let target = Tensor2::from_fn(8, 1, |r, _| if (2..5).contains(&r) { 1.0 } else { 0.0 });
+        let mut adam = Adam::new(5e-3);
+        let (first, _) = mse_loss(&mixer.forward(&x), &target);
+        let mut last = first;
+        for _ in 0..200 {
+            for p in mixer.params_mut() {
+                p.zero_grad();
+            }
+            let y = mixer.forward(&x);
+            let (loss, g) = mse_loss(&y, &target);
+            mixer.backward(&g);
+            adam.step(&mut mixer.params_mut());
+            last = loss;
+        }
+        assert!(last < first * 0.1, "first={first} last={last}");
+    }
+
+    #[test]
+    fn flops_has_no_softmax_term() {
+        let mut rng = Rng::seed_from(27);
+        let mixer = RayMixer::new(64, 16, &mut rng);
+        let expect = 2 * 64 * 64 * 16 + 2 * 64 * 16 * 16 + 2 * 64 * 16;
+        assert_eq!(mixer.flops(), expect as u64);
+    }
+}

@@ -1,0 +1,541 @@
+//! A row-major 2D `f32` tensor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major 2D tensor of `f32`.
+///
+/// This is deliberately minimal: just the operations the Gen-NeRF models
+/// need, each implemented straightforwardly so the FLOPs accounting in
+/// [`crate::flops`] matches what actually executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor2 {
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a tensor by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self { rows: 1, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dims: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.rows, rhs.rows, "t_matmul dims");
+        let mut out = Self::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.cols, "matmul_t dims");
+        let mut out = Self::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise product (Hadamard).
+    pub fn hadamard(&self, rhs: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard dims");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Adds a 1×cols row vector to every row (broadcast).
+    pub fn add_row_broadcast(&self, bias: &Self) -> Self {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Column-wise sum, producing a 1×cols row vector.
+    pub fn sum_rows(&self) -> Self {
+        let mut out = Self::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn mean(&self) -> f32 {
+        assert!(!self.is_empty(), "mean of empty tensor");
+        self.sum() / self.len() as f32
+    }
+
+    /// Scales every element.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// `true` when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Fills the tensor with zeros in place.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Extracts rows `[start, end)` as a new tensor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.rows, "row slice out of range");
+        Self {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Stacks tensors vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths disagree or `parts` is empty.
+    pub fn vstack(parts: &[Self]) -> Self {
+        assert!(!parts.is_empty(), "vstack of nothing");
+        let cols = parts[0].cols;
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack width mismatch");
+            data.extend_from_slice(&p.data);
+            rows += p.rows;
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Concatenates tensors horizontally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when heights disagree or `parts` is empty.
+    pub fn hstack(parts: &[Self]) -> Self {
+        assert!(!parts.is_empty(), "hstack of nothing");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Self::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hstack height mismatch");
+                out.data[r * cols + offset..r * cols + offset + p.cols]
+                    .copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Tensor2 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tensor2 {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Tensor2> for &Tensor2 {
+    type Output = Tensor2;
+    fn add(self, rhs: &Tensor2) -> Tensor2 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add dims");
+        Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub<&Tensor2> for &Tensor2 {
+    type Output = Tensor2;
+    fn sub(self, rhs: &Tensor2) -> Tensor2 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub dims");
+        Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul<f32> for &Tensor2 {
+    type Output = Tensor2;
+    fn mul(self, s: f32) -> Tensor2 {
+        self.scale(s)
+    }
+}
+
+impl fmt::Display for Tensor2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor2 {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(6) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>9.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 6 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor2::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let eye = Tensor2::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&eye), a);
+        assert_eq!(eye.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor2::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor2::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dims")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Tensor2::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Tensor2::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!((&fast - &slow).norm() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Tensor2::from_fn(4, 3, |r, c| (r + 2 * c) as f32 * 0.3);
+        let b = Tensor2::from_fn(5, 3, |r, c| (r as f32 * 0.7 - c as f32));
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!((&fast - &slow).norm() < 1e-4);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor2::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias() {
+        let x = Tensor2::zeros(2, 3);
+        let b = Tensor2::row_vector(vec![1.0, 2.0, 3.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(y.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sum_rows_collapses() {
+        let x = Tensor2::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x.sum_rows().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn vstack_hstack_shapes() {
+        let a = Tensor2::full(2, 3, 1.0);
+        let b = Tensor2::full(1, 3, 2.0);
+        let v = Tensor2::vstack(&[a.clone(), b]);
+        assert_eq!((v.rows(), v.cols()), (3, 3));
+        let c = Tensor2::full(2, 2, 3.0);
+        let h = Tensor2::hstack(&[a, c]);
+        assert_eq!((h.rows(), h.cols()), (2, 5));
+        assert_eq!(h.row(0), &[1.0, 1.0, 1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts() {
+        let a = Tensor2::from_fn(4, 2, |r, _| r as f32);
+        let s = a.slice_rows(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), &[1.0, 1.0]);
+        assert_eq!(s.row(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_and_norm() {
+        let a = Tensor2::from_vec(1, 4, vec![3.0, 4.0, 0.0, 1.0]);
+        assert_eq!(a.mean(), 2.0);
+        assert!((a.norm() - (26.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_len() {
+        let _ = Tensor2::from_vec(2, 2, vec![1.0]);
+    }
+
+    fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |v| Tensor2::from_vec(rows, cols, v))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_distributes_over_add(
+            a in arb_tensor(3, 4),
+            b in arb_tensor(4, 2),
+            c in arb_tensor(4, 2),
+        ) {
+            let lhs = a.matmul(&(&b + &c));
+            let rhs = &a.matmul(&b) + &a.matmul(&c);
+            prop_assert!((&lhs - &rhs).norm() < 1e-3);
+        }
+
+        #[test]
+        fn prop_transpose_of_product(
+            a in arb_tensor(3, 4),
+            b in arb_tensor(4, 2),
+        ) {
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            prop_assert!((&lhs - &rhs).norm() < 1e-3);
+        }
+
+        #[test]
+        fn prop_hadamard_commutative(a in arb_tensor(2, 5), b in arb_tensor(2, 5)) {
+            prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+        }
+
+        #[test]
+        fn prop_sum_rows_preserves_total(a in arb_tensor(4, 3)) {
+            prop_assert!((a.sum_rows().sum() - a.sum()).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! AR/VR walkthrough: the paper's motivating scenario (Sec. 1).
+//!
+//! A user wearing an AR headset walks around a freshly captured scene;
+//! each head pose needs a novel view *now*. This example simulates a
+//! camera trajectory and, per frame,
+//!
+//! * renders the view with the Gen-NeRF algorithm (coarse-then-focus +
+//!   Ray-Mixer) at a preview resolution, and
+//! * asks the cycle-level accelerator simulator for the frame latency
+//!   the Gen-NeRF ASIC would deliver at the *target* resolution,
+//!   comparing it with the GPU baselines.
+//!
+//! ```text
+//! cargo run --release --example ar_walkthrough
+//! ```
+
+use gen_nerf::features::prepare_sources;
+use gen_nerf::hardware::workload_spec;
+use gen_nerf::pipeline::Renderer;
+use gen_nerf::prelude::*;
+use gen_nerf_accel::config::AcceleratorConfig;
+use gen_nerf_accel::gpu::GpuModel;
+use gen_nerf_accel::simulator::Simulator;
+use gen_nerf_geometry::{Camera, Intrinsics, Pose, Vec3};
+use gen_nerf_scene::metrics::psnr;
+use gen_nerf_scene::renderer::render as render_gt;
+
+fn main() {
+    // The captured scene: a DeepVoxels-style object with 6 phone shots.
+    println!("capturing scene (6 source views) ...");
+    let dataset = Dataset::build(DatasetKind::DeepVoxels, "pedestal", 0.08, 6, 1, 64, 11);
+    let sources = prepare_sources(&dataset.source_views);
+
+    println!("pretraining the generalizable model on other scenes ...");
+    let training: Vec<Dataset> = ["walk-a", "walk-b"]
+        .iter()
+        .map(|n| Dataset::build(DatasetKind::DeepVoxels, n, 0.08, 6, 1, 48, 42))
+        .collect();
+    let mut model = GenNerfModel::new(ModelConfig::fast());
+    let refs: Vec<&Dataset> = training.iter().collect();
+    Trainer::new(TrainConfig::fast()).pretrain(&mut model, &refs);
+
+    // Hardware: the Gen-NeRF ASIC + GPU baselines costed on the *target*
+    // headset resolution.
+    let strategy = SamplingStrategy::coarse_then_focus(8, 16);
+    let spec = workload_spec(&model.config, &strategy, 512, 512, 6);
+    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let asic = sim.simulate(&spec);
+    let rtx = GpuModel::rtx_2080ti().fps(&spec);
+    let tx2 = GpuModel::jetson_tx2().fps(&spec);
+    println!(
+        "target 512x512 frame: ASIC {:.1} FPS | RTX 2080Ti {:.3} FPS | Jetson TX2 {:.4} FPS",
+        asic.fps, rtx, tx2
+    );
+    println!(
+        "ASIC pipeline: {:.2} ms/frame, PE utilization {:.0}%, {} point patches",
+        asic.latency_s * 1e3,
+        asic.pe_utilization * 100.0,
+        asic.coarse.patches + asic.focused.patches,
+    );
+
+    // Walk an arc around the object, rendering preview frames.
+    println!("\nwalkthrough (preview renders at capture resolution):");
+    let intr = Intrinsics::from_fov(
+        dataset.source_views[0].image.width(),
+        dataset.source_views[0].image.height(),
+        0.55,
+    );
+    for step in 0..5 {
+        let phi = -0.5 + step as f32 * 0.25;
+        let eye = Vec3::new(4.0 * phi.cos(), 1.3, 4.0 * phi.sin());
+        let camera = Camera::new(intr, Pose::look_at(eye, Vec3::ZERO, Vec3::Y));
+        let mut renderer = Renderer::new(
+            &mut model,
+            &sources,
+            strategy,
+            dataset.scene.bounds,
+            dataset.scene.background,
+        );
+        let (frame, stats) = renderer.render(&camera);
+        // Ground-truth for this pose (the analytic scene lets us check
+        // quality at arbitrary poses).
+        let gt = render_gt(&dataset.scene, &camera, 64);
+        println!(
+            "  pose {step}: PSNR {:5.2} dB | {:6.1} focused pts/ray | {:.2} MFLOPs/px",
+            psnr(&gt, &frame),
+            stats.points as f64 / stats.rays as f64,
+            stats.mflops_per_pixel(),
+        );
+        if step == 2 {
+            std::fs::write("walkthrough_pose2.ppm", frame.to_ppm()).expect("write frame");
+            println!("         wrote walkthrough_pose2.ppm");
+        }
+    }
+}

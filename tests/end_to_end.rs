@@ -1,0 +1,148 @@
+//! End-to-end integration: dataset generation → feature encoding →
+//! training → rendering → evaluation → hardware mapping → cycle
+//! simulation, across every crate in the workspace.
+
+use gen_nerf::config::{ModelConfig, RayModuleChoice, SamplingStrategy};
+use gen_nerf::eval::evaluate;
+use gen_nerf::features::prepare_sources;
+use gen_nerf::hardware::workload_spec;
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::pipeline::Renderer;
+use gen_nerf::trainer::{TrainConfig, Trainer};
+use gen_nerf_accel::config::AcceleratorConfig;
+use gen_nerf_accel::gpu::GpuModel;
+use gen_nerf_accel::simulator::Simulator;
+use gen_nerf_scene::metrics::psnr;
+use gen_nerf_scene::{Dataset, DatasetKind};
+
+fn tiny(kind: DatasetKind, name: &str) -> Dataset {
+    Dataset::build(kind, name, 0.035, 6, 1, 32, 7)
+}
+
+fn quick_train(model: &mut GenNerfModel, ds: &Dataset) {
+    let mut trainer = Trainer::new(TrainConfig {
+        steps: 200,
+        ..TrainConfig::fast()
+    });
+    trainer.pretrain(model, &[ds]);
+}
+
+#[test]
+fn full_pipeline_produces_sane_novel_view() {
+    let ds = tiny(DatasetKind::DeepVoxels, "cube");
+    let mut model = GenNerfModel::new(ModelConfig::fast());
+    quick_train(&mut model, &ds);
+
+    let sources = prepare_sources(&ds.source_views);
+    let strategy = SamplingStrategy::coarse_then_focus(8, 16);
+    let mut renderer = Renderer::new(
+        &mut model,
+        &sources,
+        strategy,
+        ds.scene.bounds,
+        ds.scene.background,
+    );
+    let view = &ds.eval_views[0];
+    let (img, stats) = renderer.render(&view.camera);
+
+    assert!(img.as_slice().iter().all(|v| v.is_finite()));
+    let quality = psnr(&view.image, &img);
+    assert!(quality > 8.0, "novel view unusable: {quality} dB");
+    assert!(stats.flops.total() > 0);
+    assert!(stats.feature_fetches > 0);
+}
+
+#[test]
+fn trained_generalizable_model_transfers_to_unseen_scene() {
+    // Train on one scene, evaluate on a *different* scene: the
+    // generalizable setting must beat an untrained model on the unseen
+    // scene.
+    let train_ds = tiny(DatasetKind::NerfSynthetic, "lego");
+    let unseen = tiny(DatasetKind::NerfSynthetic, "chair");
+    let strategy = SamplingStrategy::Uniform { n: 12 };
+
+    let untrained = GenNerfModel::new(ModelConfig::fast());
+    let before = evaluate(&untrained, &unseen, &strategy, None);
+
+    let mut model = GenNerfModel::new(ModelConfig::fast());
+    quick_train(&mut model, &train_ds);
+    let after = evaluate(&model, &unseen, &strategy, None);
+
+    assert!(
+        after.psnr > before.psnr,
+        "no cross-scene transfer: {} -> {}",
+        before.psnr,
+        after.psnr
+    );
+}
+
+#[test]
+fn algorithm_to_hardware_mapping_roundtrip() {
+    // The same model + strategy drives both the renderer (algorithm
+    // FLOPs) and the simulator (hardware cycles); the two cost views
+    // must agree on the workload structure.
+    let model_cfg = ModelConfig::fast();
+    let strategy = SamplingStrategy::coarse_then_focus(8, 16);
+    let spec = workload_spec(&model_cfg, &strategy, 64, 64, 4);
+    assert_eq!(spec.n_coarse, 8);
+    assert_eq!(spec.n_focused, 16);
+
+    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let report = sim.simulate(&spec);
+    assert!(report.fps > 0.0);
+    assert!(report.coarse.total_cycles > 0, "coarse stage not simulated");
+
+    // The accelerator must beat both GPU models on its own workload.
+    let rtx = GpuModel::rtx_2080ti().fps(&spec);
+    let tx2 = GpuModel::jetson_tx2().fps(&spec);
+    assert!(report.fps > rtx, "ASIC {} vs RTX {rtx}", report.fps);
+    assert!(rtx > tx2, "RTX {rtx} vs TX2 {tx2}");
+}
+
+#[test]
+fn ray_module_ablation_order_on_unseen_scene() {
+    // Tab. 2's qualitative ordering: a cross-point ray module (mixer or
+    // transformer) must not lose to the per-point head after identical
+    // training, evaluated on an unseen scene.
+    let train_ds = tiny(DatasetKind::NerfSynthetic, "lego");
+    let unseen = tiny(DatasetKind::DeepVoxels, "vase");
+    let strategy = SamplingStrategy::Uniform { n: 16 };
+
+    let psnr_for = |choice: RayModuleChoice| {
+        let mut model = GenNerfModel::new(ModelConfig::fast().with_ray_module(choice));
+        quick_train(&mut model, &train_ds);
+        evaluate(&model, &unseen, &strategy, None).psnr
+    };
+    let mixer = psnr_for(RayModuleChoice::Mixer);
+    let none = psnr_for(RayModuleChoice::None);
+    // Allow a small tolerance: at this scale the gap can be fractions
+    // of a dB, but the mixer must not be clearly worse.
+    assert!(
+        mixer > none - 0.5,
+        "mixer {mixer} dB vs no-ray-module {none} dB"
+    );
+}
+
+#[test]
+fn finetuning_improves_or_holds_psnr() {
+    let train_ds = tiny(DatasetKind::NerfSynthetic, "lego");
+    let target = tiny(DatasetKind::Llff, "fern");
+    let strategy = SamplingStrategy::Uniform { n: 12 };
+
+    let mut model = GenNerfModel::new(ModelConfig::fast());
+    quick_train(&mut model, &train_ds);
+    let before = evaluate(&model, &target, &strategy, None);
+
+    let mut trainer = Trainer::new(TrainConfig {
+        finetune_steps: 150,
+        ..TrainConfig::fast()
+    });
+    trainer.finetune(&mut model, &target);
+    let after = evaluate(&model, &target, &strategy, None);
+    assert!(
+        after.psnr > before.psnr - 0.3,
+        "finetuning regressed: {} -> {}",
+        before.psnr,
+        after.psnr
+    );
+}

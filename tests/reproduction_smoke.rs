@@ -1,0 +1,154 @@
+//! Reproduction smoke tests: cheap versions of the paper's headline
+//! claims, one per table/figure family. These run in seconds and pin
+//! the *shape* of each result so regressions in any crate surface
+//! here.
+
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::pruning::prune_point_mlp;
+use gen_nerf_accel::area::area_power;
+use gen_nerf_accel::config::AcceleratorConfig;
+use gen_nerf_accel::dataflow::DataflowVariant;
+use gen_nerf_accel::gpu::GpuModel;
+use gen_nerf_accel::icarus::Icarus;
+use gen_nerf_accel::simulator::Simulator;
+use gen_nerf_accel::workload::{Stage, WorkloadSpec};
+
+/// Fig. 2 / Sec. 2.3: vanilla generalizable NeRFs are not real-time on
+/// GPUs, feature acquisition is a major cost, and attention wastes
+/// time relative to its FLOPs.
+#[test]
+fn claim_gpus_not_realtime_and_attention_inefficient() {
+    let gpu = GpuModel::rtx_2080ti();
+    let spec = WorkloadSpec::ibrnet_default(800, 800, 10, 196);
+    assert!(gpu.fps(&spec) < 1.0, "vanilla pipeline too fast to motivate the paper");
+    let bd = gpu.breakdown(&spec);
+    assert!(bd.acquire_s / bd.total_s() > 0.2);
+    let ray_flops = 2.0 * spec.ray_macs_total(Stage::Focused) as f64;
+    let mlp_flops = 2.0 * spec.mlp_macs(Stage::Focused) as f64;
+    let flops_share = ray_flops / (ray_flops + mlp_flops);
+    assert!(bd.ray_module_dnn_share() > 1.5 * flops_share);
+}
+
+/// Tab. 1: the synthesized totals.
+#[test]
+fn claim_area_power_totals() {
+    let r = area_power(&AcceleratorConfig::paper());
+    assert!((r.total_area_mm2() - 17.8).abs() / 17.8 < 0.05);
+    assert!((r.total_power_mw() - 9685.0).abs() / 9685.0 < 0.05);
+}
+
+/// Tab. 2: channel pruning cuts FLOPs by >3x at 75% sparsity.
+#[test]
+fn claim_pruning_cuts_flops() {
+    let model = gen_nerf::model::GenNerfModel::new(ModelConfig::fast());
+    let pruned = prune_point_mlp(&model, 0.75);
+    let ratio = model.config.mlp_macs_per_point() as f64
+        / pruned.config.mlp_macs_per_point() as f64;
+    assert!(ratio > 3.0, "pruning ratio only {ratio:.2}x");
+}
+
+/// Tab. 2 / Sec. 3.2: coarse-then-focus costs fewer MACs than uniform
+/// sampling at the same total point budget (hardware view).
+#[test]
+fn claim_ctf_cheaper_at_same_budget() {
+    let cfg = ModelConfig::fast();
+    let ctf = gen_nerf::hardware::workload_spec(
+        &cfg,
+        &SamplingStrategy::coarse_then_focus(16, 48),
+        128,
+        128,
+        6,
+    );
+    let uniform = gen_nerf::hardware::workload_spec(
+        &cfg,
+        &SamplingStrategy::Uniform { n: 64 },
+        128,
+        128,
+        6,
+    );
+    assert!(ctf.total_macs() < uniform.total_macs());
+    // And it fetches fewer nominal feature bytes (4 coarse views,
+    // quarter channels).
+    let ctf_bytes = ctf.nominal_gather_bytes(Stage::Coarse)
+        + ctf.nominal_gather_bytes(Stage::Focused);
+    let uni_bytes = uniform.nominal_gather_bytes(Stage::Focused);
+    assert!(ctf_bytes < uni_bytes);
+}
+
+/// Fig. 10 / Tab. 4: the accelerator is orders of magnitude faster
+/// than the GPUs and >100x ICARUS-equivalent FPS.
+#[test]
+fn claim_asic_speedups() {
+    let spec = WorkloadSpec::gen_nerf_default(160, 160, 6, 64);
+    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let asic = sim.simulate(&spec);
+    // Extrapolate to 800x800 by ray count.
+    let full_fps = asic.fps * (160.0 * 160.0) / (800.0 * 800.0);
+    let rtx = GpuModel::rtx_2080ti().fps(&WorkloadSpec::gen_nerf_default(800, 800, 6, 64));
+    let speedup = full_fps / rtx;
+    assert!(
+        speedup > 50.0,
+        "speedup over 2080Ti only {speedup:.1}x (paper: 239-256x)"
+    );
+    assert!(
+        full_fps / Icarus::reported().typical_fps > 100.0,
+        "vs ICARUS only {:.0}x",
+        full_fps / Icarus::reported().typical_fps
+    );
+}
+
+/// Fig. 11: the accelerator stays ahead across view/point scaling.
+#[test]
+fn claim_scalability() {
+    let rtx = GpuModel::rtx_2080ti();
+    for views in [2usize, 6] {
+        for points in [32usize, 64] {
+            let spec = WorkloadSpec::gen_nerf_default(96, 96, views, points);
+            let mut sim = Simulator::new(AcceleratorConfig::paper());
+            let asic = sim.simulate(&spec);
+            assert!(
+                asic.fps > rtx.fps(&spec),
+                "ASIC loses at views={views}, points={points}"
+            );
+        }
+    }
+}
+
+/// Fig. 12: the greedy dataflow + spatial interleaving beats every
+/// ablated variant, and the bad layouts add bank conflicts.
+#[test]
+fn claim_dataflow_ablation_order() {
+    let mut cfg = AcceleratorConfig::paper();
+    cfg.prefetch_buffer_kb = 24; // bind the capacity constraint at 96²
+    let spec = WorkloadSpec::gen_nerf_default(96, 96, 6, 64);
+    let mut results = Vec::new();
+    for variant in DataflowVariant::all() {
+        let mut sim = Simulator::with_variant(cfg, variant);
+        results.push((variant, sim.simulate(&spec)));
+    }
+    let ours = results
+        .iter()
+        .find(|(v, _)| *v == DataflowVariant::Ours)
+        .unwrap()
+        .1
+        .clone();
+    for (variant, r) in &results {
+        if *variant != DataflowVariant::Ours {
+            assert!(
+                r.total_cycles >= ours.total_cycles,
+                "{variant:?} beat ours: {} vs {}",
+                r.total_cycles,
+                ours.total_cycles
+            );
+        }
+    }
+    // Ours has the best PE utilization.
+    for (variant, r) in &results {
+        assert!(
+            ours.pe_utilization >= r.pe_utilization * 0.99,
+            "{variant:?} utilization {} vs ours {}",
+            r.pe_utilization,
+            ours.pe_utilization
+        );
+    }
+}
