@@ -91,8 +91,7 @@ pub fn area_power(cfg: &AcceleratorConfig) -> AreaPowerReport {
     let mac_area = macs * MAC_MM2;
     let rendering_engine = ModuleCost {
         area_mm2: mac_area * (1.0 + ENGINE_OVERHEAD_FRAC) + engine_sram_kb * SRAM_MM2_PER_KB,
-        power_mw: macs * MAC_MW * (1.0 + ENGINE_OVERHEAD_FRAC)
-            + engine_sram_kb * SRAM_MW_PER_KB,
+        power_mw: macs * MAC_MW * (1.0 + ENGINE_OVERHEAD_FRAC) + engine_sram_kb * SRAM_MW_PER_KB,
     };
 
     let scheduler = ModuleCost {

@@ -80,9 +80,15 @@ mod tests {
 
     #[test]
     fn layouts_match_figure_12() {
-        assert_eq!(DataflowVariant::Var1.layout(), FeatureLayout::SpatialInterleave);
+        assert_eq!(
+            DataflowVariant::Var1.layout(),
+            FeatureLayout::SpatialInterleave
+        );
         assert_eq!(DataflowVariant::Var2.layout(), FeatureLayout::RowMajor);
-        assert_eq!(DataflowVariant::Var3.layout(), FeatureLayout::ViewInterleave);
+        assert_eq!(
+            DataflowVariant::Var3.layout(),
+            FeatureLayout::ViewInterleave
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ mod tests {
 
     fn simulate(views: usize) -> (AcceleratorConfig, SimReport) {
         let cfg = AcceleratorConfig::paper();
-        let mut sim = Simulator::new(cfg);
+        let sim = Simulator::new(cfg);
         let spec = WorkloadSpec::gen_nerf_default(96, 96, views, 32);
         (cfg, sim.simulate(&spec))
     }

@@ -148,8 +148,7 @@ impl GpuModel {
             // the channel fraction (address math amortizes, data moves
             // shrink).
             let channel_frac = spec.channels(stage) as f64 / spec.d_channels as f64;
-            acquire_s +=
-                pv * self.gather_ns_per_point_view * 1e-9 * (0.5 + 0.5 * channel_frac);
+            acquire_s += pv * self.gather_ns_per_point_view * 1e-9 * (0.5 + 0.5 * channel_frac);
             let mlp_flops = 2.0 * spec.mlp_macs(stage) as f64;
             let k = gemm_k_for(spec, stage);
             mlp_s += mlp_flops / (self.fp32_tflops * 1e12 * self.gemm_efficiency(k));
@@ -172,8 +171,7 @@ impl GpuModel {
 
         let n_batches = spec.rays().div_ceil(self.batch_rays);
         let sync_s = n_batches as f64 * spec.stages().len() as f64 * self.sync_s_per_batch;
-        let others_s =
-            vr_flops / (self.fp32_tflops * 1e12 * 0.02) + self.frame_overhead_s + sync_s;
+        let others_s = vr_flops / (self.fp32_tflops * 1e12 * 0.02) + self.frame_overhead_s + sync_s;
 
         // Non-uniform sampling diverges warps: derate all compute.
         let divergent = spec.n_coarse > 0;
@@ -297,8 +295,8 @@ mod tests {
         // Per-FLOP, the mixer executes more efficiently.
         let mixer_eff = 2.0 * mixer_spec.ray_macs_total(Stage::Focused) as f64
             / bd_mixer.ray_module_s.max(1e-12);
-        let attn_eff = 2.0 * attn_spec.ray_macs_total(Stage::Focused) as f64
-            / bd_attn.ray_module_s.max(1e-12);
+        let attn_eff =
+            2.0 * attn_spec.ray_macs_total(Stage::Focused) as f64 / bd_attn.ray_module_s.max(1e-12);
         assert!(mixer_eff > attn_eff, "mixer {mixer_eff} vs attn {attn_eff}");
     }
 

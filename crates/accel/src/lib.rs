@@ -29,7 +29,7 @@
 //!
 //! let cfg = AcceleratorConfig::paper();
 //! let spec = WorkloadSpec::gen_nerf_default(128, 128, 6, 64);
-//! let mut sim = Simulator::new(cfg);
+//! let sim = Simulator::new(cfg);
 //! let report = sim.simulate(&spec);
 //! assert!(report.fps > 0.0);
 //! ```

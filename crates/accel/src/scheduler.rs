@@ -58,11 +58,7 @@ impl CameraRig {
                     0.5
                 };
                 let phi = (f - 0.5) * 2.0 * arc;
-                let eye = Vec3::new(
-                    4.0 * phi.cos(),
-                    1.2 + 0.4 * (i % 2) as f32,
-                    4.0 * phi.sin(),
-                );
+                let eye = Vec3::new(4.0 * phi.cos(), 1.2 + 0.4 * (i % 2) as f32, 4.0 * phi.sin());
                 Camera::new(intr, Pose::look_at(eye, Vec3::ZERO, Vec3::Y))
             })
             .collect();
@@ -217,7 +213,10 @@ impl Scheduler {
 
         // Clip the bounding box to the source image; scale the texel
         // estimate by the visible fraction of the bbox.
-        let (sw, sh) = (source.intrinsics.width as f32, source.intrinsics.height as f32);
+        let (sw, sh) = (
+            source.intrinsics.width as f32,
+            source.intrinsics.height as f32,
+        );
         let mut min = hull[0];
         let mut max = hull[0];
         for &p in &hull {
@@ -384,9 +383,7 @@ impl Scheduler {
                     if !rect_free(&assigned, width, u0, v0, du, dv) {
                         continue;
                     }
-                    if let Some(score) =
-                        self.score(rig, u0, v0, du, dv, dd, n_depth, texel_bytes)
-                    {
+                    if let Some(score) = self.score(rig, u0, v0, du, dv, dd, n_depth, texel_bytes) {
                         if best.is_none_or(|(b, _)| score < b) {
                             best = Some((score, (du, dv, dd)));
                         }
@@ -442,7 +439,10 @@ impl Scheduler {
         let mut k = 64u32.min(width).min(height);
         'outer: while k > 1 {
             let probes = [
-                ((width / 2).saturating_sub(k / 2), (height / 2).saturating_sub(k / 2)),
+                (
+                    (width / 2).saturating_sub(k / 2),
+                    (height / 2).saturating_sub(k / 2),
+                ),
                 (0, 0),
                 (width.saturating_sub(k), 0),
                 (0, height.saturating_sub(k)),
@@ -592,9 +592,8 @@ mod tests {
         let (w, h, d, tb) = (64u32, 64u32, 64u32, 12u64);
         let ours = sched.partition(&r, w, h, d, tb);
         let fixed = sched.partition_fixed(&r, w, h, d, tb);
-        let bytes = |ps: &[Patch]| -> f64 {
-            ps.iter().map(|p| p.total_texels() * tb).sum::<u64>() as f64
-        };
+        let bytes =
+            |ps: &[Patch]| -> f64 { ps.iter().map(|p| p.total_texels() * tb).sum::<u64>() as f64 };
         let points = |ps: &[Patch]| -> f64 { ps.iter().map(|p| p.points()).sum::<u64>() as f64 };
         let ours_bpp = bytes(&ours) / points(&ours);
         let fixed_bpp = bytes(&fixed) / points(&fixed);

@@ -10,6 +10,14 @@
 //!
 //! the standard double-buffered pipeline bound. PE utilization is the
 //! fraction of total cycles the PE pool computes — the Fig. 12 metric.
+//!
+//! Per-patch costs (DRAM prefetch service, PE/PPU/SFU cycles) are
+//! mutually independent — each prefetch starts from cold row buffers,
+//! see [`Simulator::simulate_with_rig`]'s internals — so the per-patch
+//! loop fans out across host threads via [`gen_nerf_parallel`]. The
+//! pipeline recurrence that chains slot latencies stays sequential and
+//! consumes the per-patch results in patch order, keeping reports
+//! bit-for-bit identical for any `GEN_NERF_THREADS` setting.
 
 use crate::config::AcceleratorConfig;
 use crate::dataflow::DataflowVariant;
@@ -109,6 +117,8 @@ pub struct Simulator {
     variant: DataflowVariant,
     /// PE efficiency within compute phases (fill/drain, ragged tiles).
     pe_efficiency: f64,
+    /// Host worker threads for the per-patch fan-out.
+    threads: usize,
 }
 
 impl Simulator {
@@ -123,7 +133,17 @@ impl Simulator {
             cfg,
             variant,
             pe_efficiency: 0.9,
+            threads: gen_nerf_parallel::num_threads(),
         }
+    }
+
+    /// Pins the host worker count for the per-patch fan-out (1 = fully
+    /// sequential). Reports are identical for every value; callers that
+    /// already parallelize *over* simulations (sweeps) use this to
+    /// split the thread budget instead of nesting full pools.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The configuration being simulated.
@@ -137,7 +157,7 @@ impl Simulator {
     }
 
     /// Simulates a frame under the default orbit camera rig.
-    pub fn simulate(&mut self, spec: &WorkloadSpec) -> SimReport {
+    pub fn simulate(&self, spec: &WorkloadSpec) -> SimReport {
         let rig = CameraRig::orbit(spec.width, spec.height, spec.s_views.max(1));
         self.simulate_with_rig(spec, &rig)
     }
@@ -147,7 +167,7 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics when the rig has fewer sources than `spec.s_views`.
-    pub fn simulate_with_rig(&mut self, spec: &WorkloadSpec, rig: &CameraRig) -> SimReport {
+    pub fn simulate_with_rig(&self, spec: &WorkloadSpec, rig: &CameraRig) -> SimReport {
         assert!(
             rig.sources.len() >= spec.s_views,
             "rig has {} sources, workload needs {}",
@@ -179,12 +199,7 @@ impl Simulator {
         report
     }
 
-    fn simulate_stage(
-        &mut self,
-        spec: &WorkloadSpec,
-        rig: &CameraRig,
-        stage: Stage,
-    ) -> StageReport {
+    fn simulate_stage(&self, spec: &WorkloadSpec, rig: &CameraRig, stage: Stage) -> StageReport {
         let views = spec.views(stage);
         let n_depth = match stage {
             Stage::Coarse => spec.n_coarse,
@@ -218,32 +233,61 @@ impl Simulator {
         let macs_per_point = mlp_macs_pp + ray_macs_pp;
 
         let pe = PePool::new(&self.cfg);
-        let mut dram = Dram::new(self.cfg.dram, self.variant.layout());
-        dram.set_geometry(spec.width.max(8), spec.height.max(8), texel_bytes);
+        // Template controller state cloned per patch: every prefetch
+        // starts from cold row buffers. Patches are the double-buffer
+        // granule — between two prefetches the access pattern jumps to
+        // a different hull footprint, so cross-patch row reuse is
+        // negligible and modelling it as zero makes the per-patch DRAM
+        // simulations independent. That independence is what lets the
+        // per-patch loop fan out across host threads while staying
+        // bit-for-bit deterministic for any worker count.
+        let mut dram_template = Dram::new(self.cfg.dram, self.variant.layout());
+        dram_template.set_geometry(spec.width.max(8), spec.height.max(8), texel_bytes);
 
-        let mut data_cycles_list: Vec<u64> = Vec::with_capacity(patches.len());
-        let mut compute_cycles_list: Vec<u64> = Vec::with_capacity(patches.len());
-        let mut ppu_cycles_list: Vec<u64> = Vec::with_capacity(patches.len());
-        let mut sfu_cycles_list: Vec<u64> = Vec::with_capacity(patches.len());
-        let mut bytes_fetched = 0u64;
-        let mut conflict_stalls = 0u64;
-        let mut energy_pj = 0.0f64;
-        for patch in &patches {
-            let (cycles, bytes, stalls, energy) =
-                self.prefetch_patch(&mut dram, patch, texel_bytes);
-            data_cycles_list.push(cycles);
-            bytes_fetched += bytes;
-            conflict_stalls += stalls;
-            energy_pj += energy;
-            let macs = (patch.points() as f64 * macs_per_point) as u64;
-            compute_cycles_list.push(pe.mac_cycles(macs.max(1), self.pe_efficiency));
-            // PPU: every point is sampled, projected onto each view and
-            // bilinearly interpolated; throughput scales down with views.
-            let ppu_work = patch.points() * views.max(1) as u64;
-            ppu_cycles_list.push(ppu_work.div_ceil(PPU_POINTS_PER_CYCLE));
-            // SFU: exp + accumulate per point (Eq. 2).
-            sfu_cycles_list.push(patch.points().div_ceil(SFU_POINTS_PER_CYCLE));
+        struct PatchOutcome {
+            data_cycles: u64,
+            compute_cycles: u64,
+            ppu_cycles: u64,
+            sfu_cycles: u64,
+            bytes: u64,
+            stalls: u64,
+            energy_pj: f64,
+            row_hits: u64,
+            row_misses: u64,
         }
+
+        let outcomes: Vec<PatchOutcome> =
+            gen_nerf_parallel::par_map_threads(&patches, self.threads, |_, patch| {
+                let mut dram = dram_template.clone();
+                let (cycles, bytes, stalls, energy) =
+                    self.prefetch_patch(&mut dram, patch, texel_bytes);
+                let macs = (patch.points() as f64 * macs_per_point) as u64;
+                // PPU: every point is sampled, projected onto each view and
+                // bilinearly interpolated; throughput scales down with views.
+                let ppu_work = patch.points() * views.max(1) as u64;
+                PatchOutcome {
+                    data_cycles: cycles,
+                    compute_cycles: pe.mac_cycles(macs.max(1), self.pe_efficiency),
+                    ppu_cycles: ppu_work.div_ceil(PPU_POINTS_PER_CYCLE),
+                    // SFU: exp + accumulate per point (Eq. 2).
+                    sfu_cycles: patch.points().div_ceil(SFU_POINTS_PER_CYCLE),
+                    bytes,
+                    stalls,
+                    energy_pj: energy,
+                    row_hits: dram.stats().row_hits,
+                    row_misses: dram.stats().row_misses,
+                }
+            });
+
+        let data_cycles_list: Vec<u64> = outcomes.iter().map(|o| o.data_cycles).collect();
+        let compute_cycles_list: Vec<u64> = outcomes.iter().map(|o| o.compute_cycles).collect();
+        let ppu_cycles_list: Vec<u64> = outcomes.iter().map(|o| o.ppu_cycles).collect();
+        let sfu_cycles_list: Vec<u64> = outcomes.iter().map(|o| o.sfu_cycles).collect();
+        let bytes_fetched: u64 = outcomes.iter().map(|o| o.bytes).sum();
+        let conflict_stalls: u64 = outcomes.iter().map(|o| o.stalls).sum();
+        let energy_pj: f64 = outcomes.iter().map(|o| o.energy_pj).sum();
+        let row_hits: u64 = outcomes.iter().map(|o| o.row_hits).sum();
+        let row_misses: u64 = outcomes.iter().map(|o| o.row_misses).sum();
 
         // Pipelined engine (Fig. 8): per slot the prefetch of patch i+1
         // overlaps the PPU + PE + SFU of patch i; the slot latency is
@@ -267,7 +311,12 @@ impl Simulator {
             patches: patches.len() as u64,
             bytes_fetched,
             bank_conflict_stalls: conflict_stalls,
-            row_hit_rate: dram.stats().hit_rate(),
+            row_hit_rate: gen_nerf_dram::DramStats {
+                row_hits,
+                row_misses,
+                ..Default::default()
+            }
+            .hit_rate(),
             dram_energy_pj: energy_pj,
         }
     }
@@ -355,7 +404,7 @@ mod tests {
 
     #[test]
     fn simulate_produces_positive_fps() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let r = sim.simulate(&small_spec());
         assert!(r.fps > 0.0);
         assert!(r.total_cycles > 0);
@@ -364,7 +413,7 @@ mod tests {
 
     #[test]
     fn two_stages_both_reported() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let r = sim.simulate(&small_spec());
         assert!(r.coarse.total_cycles > 0);
         assert!(r.focused.total_cycles > 0);
@@ -373,7 +422,7 @@ mod tests {
 
     #[test]
     fn single_stage_skips_coarse() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let spec = WorkloadSpec::ibrnet_default(64, 64, 4, 32);
         let r = sim.simulate(&spec);
         assert_eq!(r.coarse.total_cycles, 0);
@@ -381,7 +430,7 @@ mod tests {
 
     #[test]
     fn utilization_in_unit_interval() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let r = sim.simulate(&small_spec());
         assert!(r.pe_utilization > 0.0 && r.pe_utilization <= 1.0);
     }
@@ -389,14 +438,14 @@ mod tests {
     #[test]
     fn ours_not_slower_than_fixed_variants_under_tight_buffer() {
         let spec = small_spec();
-        let mut ours = Simulator::new(tight_cfg());
+        let ours = Simulator::new(tight_cfg());
         let r_ours = ours.simulate(&spec);
         for variant in [
             DataflowVariant::Var1,
             DataflowVariant::Var2,
             DataflowVariant::Var3,
         ] {
-            let mut sim = Simulator::with_variant(tight_cfg(), variant);
+            let sim = Simulator::with_variant(tight_cfg(), variant);
             let r = sim.simulate(&spec);
             assert!(
                 r.total_cycles as f64 >= r_ours.total_cycles as f64 * 0.95,
@@ -413,7 +462,7 @@ mod tests {
         // partition; any extra stalls are pure layout effects (Fig. 6).
         let spec = small_spec();
         let stalls = |variant| {
-            let mut sim = Simulator::with_variant(tight_cfg(), variant);
+            let sim = Simulator::with_variant(tight_cfg(), variant);
             let r = sim.simulate(&spec);
             r.coarse.bank_conflict_stalls + r.focused.bank_conflict_stalls
         };
@@ -426,7 +475,7 @@ mod tests {
 
     #[test]
     fn more_views_increase_latency() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let few = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 2, 32));
         let many = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 8, 32));
         assert!(many.total_cycles > few.total_cycles);
@@ -434,7 +483,7 @@ mod tests {
 
     #[test]
     fn more_points_increase_latency() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let few = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 4, 16));
         let many = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 4, 64));
         assert!(many.total_cycles > few.total_cycles);
@@ -443,7 +492,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sources")]
     fn rejects_undersized_rig() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let spec = WorkloadSpec::gen_nerf_default(32, 32, 6, 16);
         let rig = CameraRig::orbit(32, 32, 2);
         let _ = sim.simulate_with_rig(&spec, &rig);
@@ -451,7 +500,7 @@ mod tests {
 
     #[test]
     fn bytes_fetched_scale_with_views() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let few = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 2, 32));
         let many = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 8, 32));
         assert!(many.bytes_fetched() > few.bytes_fetched());
@@ -465,7 +514,7 @@ mod pipeline_stage_tests {
 
     #[test]
     fn ppu_and_sfu_cycles_reported() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let r = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 4, 32));
         assert!(r.focused.ppu_cycles > 0);
         assert!(r.focused.sfu_cycles > 0);
@@ -479,7 +528,7 @@ mod pipeline_stage_tests {
         // The run-time scheduler must not bound the pipeline on the
         // canonical workload (the paper's premise for doing the greedy
         // partition in hardware at run time).
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let r = sim.simulate(&WorkloadSpec::gen_nerf_default(96, 96, 6, 64));
         let execution = r.compute_cycles().max(r.data_cycles());
         let scheduler = r.coarse.scheduler_cycles + r.focused.scheduler_cycles;
@@ -491,7 +540,7 @@ mod pipeline_stage_tests {
 
     #[test]
     fn ppu_scales_with_views() {
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let few = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 2, 32));
         let many = sim.simulate(&WorkloadSpec::gen_nerf_default(64, 64, 8, 32));
         assert!(many.focused.ppu_cycles > few.focused.ppu_cycles);

@@ -224,10 +224,12 @@ mod tests {
     #[test]
     fn clip_length_basic() {
         assert!(
-            (clip_length(Vec2::new(-10.0, 5.0), Vec2::new(20.0, 5.0), 10, 10) - 10.0).abs()
-                < 1e-4
+            (clip_length(Vec2::new(-10.0, 5.0), Vec2::new(20.0, 5.0), 10, 10) - 10.0).abs() < 1e-4
         );
-        assert_eq!(clip_length(Vec2::new(-5.0, -5.0), Vec2::new(-1.0, -1.0), 10, 10), 0.0);
+        assert_eq!(
+            clip_length(Vec2::new(-5.0, -5.0), Vec2::new(-1.0, -1.0), 10, 10),
+            0.0
+        );
     }
 
     #[test]

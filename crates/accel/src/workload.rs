@@ -271,10 +271,7 @@ mod tests {
         // order of magnitude (documented in EXPERIMENTS.md).
         let spec = WorkloadSpec::gen_nerf_default(800, 800, 6, 64);
         let tflops = spec.total_flops() as f64 / 1e12;
-        assert!(
-            (0.05..2.0).contains(&tflops),
-            "total = {tflops} TFLOPs"
-        );
+        assert!((0.05..2.0).contains(&tflops), "total = {tflops} TFLOPs");
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn bench_simulate(c: &mut Criterion) {
             &spec,
             |b, spec| {
                 b.iter(|| {
-                    let mut sim = Simulator::new(AcceleratorConfig::paper());
+                    let sim = Simulator::new(AcceleratorConfig::paper());
                     sim.simulate(spec)
                 })
             },
@@ -38,7 +38,7 @@ fn bench_variants(c: &mut Criterion) {
             &variant,
             |b, &variant| {
                 b.iter(|| {
-                    let mut sim = Simulator::with_variant(cfg, variant);
+                    let sim = Simulator::with_variant(cfg, variant);
                     sim.simulate(&spec)
                 })
             },

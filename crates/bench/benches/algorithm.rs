@@ -10,7 +10,11 @@ use gen_nerf::pipeline::Renderer;
 use gen_nerf_geometry::Vec3;
 use gen_nerf_scene::{Dataset, DatasetKind};
 
-fn fixture() -> (Dataset, Vec<gen_nerf::features::SourceViewData>, GenNerfModel) {
+fn fixture() -> (
+    Dataset,
+    Vec<gen_nerf::features::SourceViewData>,
+    GenNerfModel,
+) {
     let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 6, 1, 32, 7);
     let sources = prepare_sources(&ds.source_views);
     let model = GenNerfModel::new(ModelConfig::fast());
@@ -32,7 +36,7 @@ fn bench_aggregate(c: &mut Criterion) {
 }
 
 fn bench_forward_ray(c: &mut Criterion) {
-    let (ds, sources, mut model) = fixture();
+    let (ds, sources, model) = fixture();
     let cam = ds.eval_views[0].camera;
     let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
     let aggs: Vec<_> = (0..32)
@@ -45,7 +49,7 @@ fn bench_forward_ray(c: &mut Criterion) {
 }
 
 fn bench_render(c: &mut Criterion) {
-    let (ds, sources, mut model) = fixture();
+    let (ds, sources, model) = fixture();
     let mut group = c.benchmark_group("render_frame");
     group.sample_size(10);
     let strategies = [
@@ -62,13 +66,7 @@ fn bench_render(c: &mut Criterion) {
     for (label, strategy) in strategies {
         group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, s| {
             b.iter(|| {
-                let mut r = Renderer::new(
-                    &mut model,
-                    &sources,
-                    *s,
-                    ds.scene.bounds,
-                    ds.scene.background,
-                );
+                let r = Renderer::new(&model, &sources, *s, ds.scene.bounds, ds.scene.background);
                 r.render(&ds.eval_views[0].camera)
             })
         });

@@ -8,7 +8,10 @@ use gen_nerf_bench::harness::ReproConfig;
 fn main() {
     let cfg = ReproConfig::from_env();
     println!("Gen-NeRF reproduction — full evaluation");
-    println!("algorithm config: {cfg:?}; hw scale: {}", experiments::hw_scale());
+    println!(
+        "algorithm config: {cfg:?}; hw scale: {}",
+        experiments::hw_scale()
+    );
     experiments::fig02::run();
     experiments::motivation::run();
     experiments::tab01::run();

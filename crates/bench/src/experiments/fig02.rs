@@ -72,7 +72,13 @@ pub fn run() {
     print_table(
         "Fig. 2 — vanilla generalizable NeRF latency breakdown (10 views, 196 pts/ray)",
         &[
-            "Device", "Dataset", "Acquire(s)", "RayTrans(s)", "MLP(s)", "Others(s)", "Total(s)",
+            "Device",
+            "Dataset",
+            "Acquire(s)",
+            "RayTrans(s)",
+            "MLP(s)",
+            "Others(s)",
+            "Total(s)",
             "FPS",
         ],
         &table,

@@ -8,10 +8,11 @@
 //! instrumented pipeline.
 
 use crate::harness::{
-    eval_dataset, f, pretrained_model, print_table, training_datasets, ReproConfig,
+    eval_dataset, f, par_sweep, pretrained_model, print_table, training_datasets, ReproConfig,
 };
 use gen_nerf::config::{RayModuleChoice, SamplingStrategy};
-use gen_nerf::eval::evaluate;
+use gen_nerf::eval::evaluate_with_threads;
+use gen_nerf::model::GenNerfModel;
 use gen_nerf_scene::DatasetKind;
 
 /// One point of a Fig. 9 series.
@@ -43,6 +44,11 @@ fn scene_for(kind: DatasetKind) -> &'static str {
 }
 
 /// Runs the sweep and returns all series points.
+///
+/// Sweep points fan out across threads via [`par_sweep`]: both trained
+/// models are shared by reference between all workers — `evaluate`
+/// renders through the model's `&self` inference path, so no clones
+/// are needed and the results are identical to a sequential sweep.
 pub fn compute(cfg: &ReproConfig) -> Vec<Fig09Point> {
     let train = training_datasets(cfg);
     let gen_nerf = pretrained_model(cfg, RayModuleChoice::Mixer, &train);
@@ -54,33 +60,42 @@ pub fn compute(cfg: &ReproConfig) -> Vec<Fig09Point> {
     let mut points = Vec::new();
     for kind in DatasetKind::all() {
         let ds = eval_dataset(kind, scene_for(kind), cfg);
-        for &(nc, nf) in &gen_configs {
-            let strategy = SamplingStrategy::coarse_then_focus(nc, nf);
-            let r = evaluate(&gen_nerf, &ds, &strategy, Some(6));
-            points.push(Fig09Point {
-                dataset: kind.label(),
-                method: "Gen-NeRF",
-                nominal_points: nc + nf,
-                measured_points: r.avg_points_per_ray,
-                mflops_per_pixel: r.mflops_per_pixel,
-                psnr: r.psnr,
-            });
-        }
-        for &n in &ibr_budgets {
-            let strategy = SamplingStrategy::Hierarchical {
-                n_coarse: n / 2,
-                n_fine: n - n / 2,
-            };
-            let r = evaluate(&ibrnet, &ds, &strategy, Some(6));
-            points.push(Fig09Point {
-                dataset: kind.label(),
-                method: "IBRNet",
-                nominal_points: n,
-                measured_points: r.avg_points_per_ray,
-                mflops_per_pixel: r.mflops_per_pixel,
-                psnr: r.psnr,
-            });
-        }
+        let jobs: Vec<(&GenNerfModel, &'static str, usize, SamplingStrategy)> = gen_configs
+            .iter()
+            .map(|&(nc, nf)| {
+                (
+                    &gen_nerf,
+                    "Gen-NeRF",
+                    nc + nf,
+                    SamplingStrategy::coarse_then_focus(nc, nf),
+                )
+            })
+            .chain(ibr_budgets.iter().map(|&n| {
+                (
+                    &ibrnet,
+                    "IBRNet",
+                    n,
+                    SamplingStrategy::Hierarchical {
+                        n_coarse: n / 2,
+                        n_fine: n - n / 2,
+                    },
+                )
+            }))
+            .collect();
+        points.extend(par_sweep(
+            &jobs,
+            |&(model, method, nominal, strategy), inner| {
+                let r = evaluate_with_threads(model, &ds, &strategy, Some(6), inner);
+                Fig09Point {
+                    dataset: kind.label(),
+                    method,
+                    nominal_points: nominal,
+                    measured_points: r.avg_points_per_ray,
+                    mflops_per_pixel: r.mflops_per_pixel,
+                    psnr: r.psnr,
+                }
+            },
+        ));
     }
     points
 }
@@ -103,7 +118,14 @@ pub fn run(cfg: &ReproConfig) {
         .collect();
     print_table(
         "Fig. 9 — PSNR vs sampled points and MFLOPs/pixel (Gen-NeRF vs IBRNet)",
-        &["Dataset", "Method", "Points", "Meas.pts", "MFLOPs/px", "PSNR(dB)"],
+        &[
+            "Dataset",
+            "Method",
+            "Points",
+            "Meas.pts",
+            "MFLOPs/px",
+            "PSNR(dB)",
+        ],
         &rows,
     );
     println!(

@@ -38,7 +38,7 @@ pub fn compute() -> Vec<Fig10Row> {
             // The cycle simulator runs scaled and extrapolates by rays.
             let (sw, sh) = (scaled_dim(bw, scale), scaled_dim(bh, scale));
             let scaled = WorkloadSpec::gen_nerf_default(sw, sh, 6, 64);
-            let mut sim = Simulator::new(AcceleratorConfig::paper());
+            let sim = Simulator::new(AcceleratorConfig::paper());
             let report = sim.simulate(&scaled);
             let ratio = (sw as f64 * sh as f64) / (bw as f64 * bh as f64);
             Fig10Row {

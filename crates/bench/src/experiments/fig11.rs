@@ -4,7 +4,7 @@
 //! GPUs everywhere).
 
 use crate::experiments::{hw_scale, scaled_dim};
-use crate::harness::{f, print_table};
+use crate::harness::{f, par_sweep, print_table};
 use gen_nerf_accel::config::AcceleratorConfig;
 use gen_nerf_accel::gpu::GpuModel;
 use gen_nerf_accel::simulator::Simulator;
@@ -25,12 +25,12 @@ pub struct Fig11Row {
     pub tx2_fps: f64,
 }
 
-fn measure(s_views: usize, n_focused: usize) -> (f64, f64, f64) {
+fn measure(s_views: usize, n_focused: usize, threads: usize) -> (f64, f64, f64) {
     let scale = hw_scale();
     let dim = scaled_dim(800, scale);
     let scaled = WorkloadSpec::gen_nerf_default(dim, dim, s_views, n_focused);
     let full = WorkloadSpec::gen_nerf_default(800, 800, s_views, n_focused);
-    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let sim = Simulator::new(AcceleratorConfig::paper()).with_threads(threads);
     let ratio = (dim as f64 * dim as f64) / (800.0 * 800.0);
     (
         sim.simulate(&scaled).fps * ratio,
@@ -39,30 +39,29 @@ fn measure(s_views: usize, n_focused: usize) -> (f64, f64, f64) {
     )
 }
 
-/// Computes both sweeps.
+/// Computes both sweeps; the ten points run in parallel via
+/// [`par_sweep`] (each point is an independent cycle-level simulation
+/// plus two closed-form GPU models).
 pub fn compute() -> Vec<Fig11Row> {
-    let mut rows = Vec::new();
-    for views in [10usize, 6, 4, 2, 1] {
-        let (g, r, t) = measure(views, 64);
-        rows.push(Fig11Row {
-            axis: "#source views",
-            value: views,
+    let jobs: Vec<(&'static str, usize, usize, usize)> = [10usize, 6, 4, 2, 1]
+        .iter()
+        .map(|&views| ("#source views", views, views, 64))
+        .chain(
+            [128usize, 112, 96, 80, 64]
+                .iter()
+                .map(|&points| ("#sampled points", points, 6, points)),
+        )
+        .collect();
+    par_sweep(&jobs, |&(axis, value, s_views, n_focused), inner| {
+        let (g, r, t) = measure(s_views, n_focused, inner);
+        Fig11Row {
+            axis,
+            value,
             gen_nerf_fps: g,
             rtx_fps: r,
             tx2_fps: t,
-        });
-    }
-    for points in [128usize, 112, 96, 80, 64] {
-        let (g, r, t) = measure(6, points);
-        rows.push(Fig11Row {
-            axis: "#sampled points",
-            value: points,
-            gen_nerf_fps: g,
-            rtx_fps: r,
-            tx2_fps: t,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Prints Fig. 11.
@@ -83,7 +82,14 @@ pub fn run() {
         .collect();
     print_table(
         "Fig. 11 — FPS scalability on NeRF Synthetic 800x800",
-        &["Axis", "Value", "Gen-NeRF FPS", "2080Ti FPS", "TX2 FPS", "Speedup"],
+        &[
+            "Axis",
+            "Value",
+            "Gen-NeRF FPS",
+            "2080Ti FPS",
+            "TX2 FPS",
+            "Speedup",
+        ],
         &table,
     );
     println!("\nShape check (paper): >=208.8x speedup over both GPUs at every point.");

@@ -47,7 +47,7 @@ pub fn compute() -> Vec<Fig12Row> {
     for views in [10usize, 6, 2] {
         for variant in DataflowVariant::all() {
             let spec = WorkloadSpec::gen_nerf_default(dim, dim, views, 64);
-            let mut sim = Simulator::with_variant(cfg, variant);
+            let sim = Simulator::with_variant(cfg, variant);
             let r = sim.simulate(&spec);
             rows.push(Fig12Row {
                 variant: variant.label(),
@@ -83,7 +83,13 @@ pub fn run() {
     print_table(
         "Fig. 12 — dataflow/storage ablation (data vs compute, PE utilization)",
         &[
-            "#Views", "Variant", "Data cyc", "Compute cyc", "Total cyc", "PE util", "Bound",
+            "#Views",
+            "Variant",
+            "Data cyc",
+            "Compute cyc",
+            "Total cyc",
+            "PE util",
+            "Bound",
         ],
         &table,
     );

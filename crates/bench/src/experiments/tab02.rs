@@ -120,9 +120,7 @@ pub fn run(cfg: &ReproConfig) {
     }
     print_table(
         "Tab. 2 — component ablation on LLFF analogs (PSNR↑/LPIPS-proxy↓)",
-        &[
-            "Method", "MFLOPs/px", "fern", "fortress", "horns", "trex",
-        ],
+        &["Method", "MFLOPs/px", "fern", "fortress", "horns", "trex"],
         &table,
     );
     println!(

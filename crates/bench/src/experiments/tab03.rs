@@ -59,10 +59,9 @@ pub fn compute(cfg: &ReproConfig) -> Vec<Tab03Row> {
 
     let mut rows = Vec::new();
     for views in [4usize, 10] {
-        for (method, base, strategy) in [
-            ("IBRNet", &ibr_base, &hier),
-            ("Gen-NeRF", &gen_base, &ctf),
-        ] {
+        for (method, base, strategy) in
+            [("IBRNet", &ibr_base, &hier), ("Gen-NeRF", &gen_base, &ctf)]
+        {
             let mut per_scene = Vec::new();
             let mut mflops = 0.0;
             for ds in &datasets {
@@ -107,7 +106,13 @@ pub fn run(cfg: &ReproConfig) {
     print_table(
         "Tab. 3 — per-scene finetuning (PSNR↑/LPIPS-proxy↓)",
         &[
-            "#Views", "Method", "MFLOPs/px", "fern", "fortress", "horns", "trex",
+            "#Views",
+            "Method",
+            "MFLOPs/px",
+            "fern",
+            "fortress",
+            "horns",
+            "trex",
         ],
         &table,
     );

@@ -43,7 +43,7 @@ pub struct DeviceRow {
 pub fn gen_nerf_fps(scale: f32) -> f64 {
     let dim = scaled_dim(800, scale);
     let spec = WorkloadSpec::gen_nerf_default(dim, dim, 6, 64);
-    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let sim = Simulator::new(AcceleratorConfig::paper());
     let report = sim.simulate(&spec);
     let pixel_ratio = (dim as f64 * dim as f64) / (800.0 * 800.0);
     report.fps * pixel_ratio
@@ -132,8 +132,15 @@ pub fn run() {
     print_table(
         "Tab. 4 — device comparison (typical workload: 800x800, 64 pts, 6 views)",
         &[
-            "Device", "SRAM(MB)", "Area(mm²)", "Freq(GHz)", "DRAM", "BW(GB/s)", "Tech",
-            "Power(W)", "FPS",
+            "Device",
+            "SRAM(MB)",
+            "Area(mm²)",
+            "Freq(GHz)",
+            "DRAM",
+            "BW(GB/s)",
+            "Tech",
+            "Power(W)",
+            "FPS",
         ],
         &table,
     );

@@ -1,13 +1,17 @@
 //! Shared infrastructure for the reproduction harness.
 //!
 //! Every `fig*`/`tab*` binary uses this module to build datasets, train
-//! models and print aligned tables. Two environment variables control
+//! models and print aligned tables. Three environment variables control
 //! the fidelity/runtime trade-off:
 //!
 //! * `GEN_NERF_SCALE` — resolution scale relative to the paper's
 //!   (default 0.08; 1.0 reproduces the paper's resolutions but takes
 //!   hours in this pure-Rust pipeline),
-//! * `GEN_NERF_STEPS` — pretraining steps (default 800).
+//! * `GEN_NERF_STEPS` — pretraining steps (default 800),
+//! * `GEN_NERF_THREADS` — worker threads for the parallel engines
+//!   (default: all cores; see [`gen_nerf_parallel`]). Sweeps fan their
+//!   points out with [`par_sweep`]; results are identical for any
+//!   value.
 
 use gen_nerf::config::{ModelConfig, RayModuleChoice};
 use gen_nerf::model::GenNerfModel;
@@ -113,6 +117,31 @@ pub fn pretrained_model(
     let refs: Vec<&Dataset> = datasets.iter().collect();
     trainer.pretrain(&mut model, &refs);
     model
+}
+
+/// Evaluates every sweep point of an experiment in parallel, returning
+/// results in point order.
+///
+/// Sweep points are independent (each is one `evaluate` or `simulate`
+/// call over shared, `Sync`-safe models/configs), so the experiment
+/// harness fans them out across host threads. The `GEN_NERF_THREADS`
+/// budget is *split*, not nested: with `total` threads and `n` points,
+/// up to `min(n, total)` sweep workers run concurrently and each
+/// point's closure receives `inner = max(1, total / workers)` — the
+/// worker count it should pin on its inner engine
+/// (`evaluate_with_threads`, `Simulator::with_threads`), keeping the
+/// whole sweep at ~`total` threads. Results are deterministic for any
+/// split.
+pub fn par_sweep<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, usize) -> R + Sync,
+{
+    let total = gen_nerf_parallel::num_threads();
+    let workers = points.len().clamp(1, total);
+    let inner = (total / workers).max(1);
+    gen_nerf_parallel::par_map_threads(points, workers, |_, p| f(p, inner))
 }
 
 /// Prints an aligned table with a title.

@@ -75,8 +75,8 @@ impl FeatureMap {
     /// Panics when `out.len() > self.channels()`.
     pub fn sample_into(&self, uv: Vec2, out: &mut [f32]) {
         assert!(out.len() <= self.channels, "channel overrun");
-        let fp = BilinearFootprint::at(uv, self.width, self.height)
-            .expect("feature map is non-empty");
+        let fp =
+            BilinearFootprint::at(uv, self.width, self.height).expect("feature map is non-empty");
         out.iter_mut().for_each(|v| *v = 0.0);
         for tap in fp.taps {
             let tex = self.texel(tap.x, tap.y);
@@ -200,8 +200,7 @@ fn box_blur_buf(buf: &[[f32; 3]], w: u32, h: u32) -> Vec<[f32; 3]> {
                     }
                 }
             }
-            out[(y * w as i64 + x) as usize] =
-                [acc[0] / count, acc[1] / count, acc[2] / count];
+            out[(y * w as i64 + x) as usize] = [acc[0] / count, acc[1] / count, acc[2] / count];
         }
     }
     out
@@ -214,11 +213,7 @@ mod tests {
 
     fn test_image() -> Image {
         Image::from_fn(16, 12, |x, y| {
-            Vec3::new(
-                x as f32 / 16.0,
-                y as f32 / 12.0,
-                ((x + y) % 4) as f32 / 4.0,
-            )
+            Vec3::new(x as f32 / 16.0, y as f32 / 12.0, ((x + y) % 4) as f32 / 4.0)
         })
     }
 
@@ -256,13 +251,7 @@ mod tests {
 
     #[test]
     fn gradient_detects_edges() {
-        let img = Image::from_fn(8, 8, |x, _| {
-            if x < 4 {
-                Vec3::ZERO
-            } else {
-                Vec3::ONE
-            }
-        });
+        let img = Image::from_fn(8, 8, |x, _| if x < 4 { Vec3::ZERO } else { Vec3::ONE });
         let fm = FeatureEncoder::new().encode(&img);
         // At the vertical edge the horizontal gradient is large.
         assert!(fm.texel(4, 4)[10].abs() > 0.3);

@@ -32,8 +32,9 @@ pub struct EvalResult {
 /// `max_views` restricts the number of source views conditioned on
 /// (the Tab. 2 "·10/6/4 source views" rows); `None` uses all.
 ///
-/// The model is cloned internally (forward passes mutate layer
-/// caches), so `&GenNerfModel` suffices.
+/// Rendering goes through the batch-parallel engine
+/// ([`Renderer`]), which shares the model across worker threads via
+/// its `&self` inference path — no clone, no mutation.
 ///
 /// # Panics
 ///
@@ -44,11 +45,35 @@ pub fn evaluate(
     strategy: &SamplingStrategy,
     max_views: Option<usize>,
 ) -> EvalResult {
+    evaluate_with_threads(
+        model,
+        dataset,
+        strategy,
+        max_views,
+        gen_nerf_parallel::num_threads(),
+    )
+}
+
+/// [`evaluate`] with a pinned render worker count.
+///
+/// Results are identical for every `threads` value; sweep harnesses
+/// that already parallelize *over* evaluations use this to split the
+/// thread budget instead of nesting full render pools.
+///
+/// # Panics
+///
+/// Panics when the dataset has no eval views.
+pub fn evaluate_with_threads(
+    model: &GenNerfModel,
+    dataset: &Dataset,
+    strategy: &SamplingStrategy,
+    max_views: Option<usize>,
+    threads: usize,
+) -> EvalResult {
     assert!(
         !dataset.eval_views.is_empty(),
         "dataset has no evaluation views"
     );
-    let mut model = model.clone();
     let all_sources = prepare_sources(&dataset.source_views);
     let n_views = max_views
         .unwrap_or(all_sources.len())
@@ -61,14 +86,15 @@ pub fn evaluate(
     let mut total_flops = 0u64;
     let mut total_points = 0u64;
     let mut total_fetches = 0u64;
+    let renderer = Renderer::new(
+        model,
+        sources,
+        *strategy,
+        dataset.scene.bounds,
+        dataset.scene.background,
+    )
+    .with_threads(threads);
     for view in &dataset.eval_views {
-        let mut renderer = Renderer::new(
-            &mut model,
-            sources,
-            *strategy,
-            dataset.scene.bounds,
-            dataset.scene.background,
-        );
         let (img, stats) = renderer.render(&view.camera);
         result.psnr += psnr(&view.image, &img);
         result.lpips += lpips_proxy(&view.image, &img);

@@ -92,7 +92,9 @@ pub fn aggregate_point(
         let mut f = vec![0.0f32; d_channels.min(src.features.channels())];
         src.features.sample_into(uv, &mut f);
         view_colors[i] = src.image.sample(uv);
-        let to_point = (p - src.camera.center()).try_normalized().unwrap_or(ray_dir);
+        let to_point = (p - src.camera.center())
+            .try_normalized()
+            .unwrap_or(ray_dir);
         dir_sims[i] = ray_dir.dot(to_point);
         valid[i] = true;
         n_valid += 1;
@@ -238,7 +240,14 @@ mod tests {
             gen_nerf_geometry::Vec3::new(1.1, -0.4, 0.9),
         ]
         .iter()
-        .map(|&p| var_sum(&aggregate_point(p, -gen_nerf_geometry::Vec3::Z, &sources, d)))
+        .map(|&p| {
+            var_sum(&aggregate_point(
+                p,
+                -gen_nerf_geometry::Vec3::Z,
+                &sources,
+                d,
+            ))
+        })
         .fold(0.0f32, f32::max);
         assert!(
             var_sum(&surface) < free_var,

@@ -28,9 +28,7 @@ pub fn workload_spec(
 ) -> WorkloadSpec {
     let (n_coarse, n_focused, s_coarse, channel_scale) = match *strategy {
         SamplingStrategy::Uniform { n } => (0, n, 0, 1.0),
-        SamplingStrategy::Hierarchical { n_coarse, n_fine } => {
-            (0, 2 * n_coarse + n_fine, 0, 1.0)
-        }
+        SamplingStrategy::Hierarchical { n_coarse, n_fine } => (0, 2 * n_coarse + n_fine, 0, 1.0),
         SamplingStrategy::CoarseThenFocus {
             n_coarse,
             n_focused,
@@ -51,11 +49,7 @@ pub fn workload_spec(
             2.0 * cfg.attn_head as f64,
             4.0 * d_sigma * cfg.attn_head as f64,
         ),
-        RayModuleChoice::Mixer => (
-            RayModuleKind::Mixer,
-            d_sigma,
-            d_sigma * d_sigma + d_sigma,
-        ),
+        RayModuleChoice::Mixer => (RayModuleKind::Mixer, d_sigma, d_sigma * d_sigma + d_sigma),
         RayModuleChoice::None => (RayModuleKind::None, 0.0, 0.0),
     };
 
@@ -146,14 +140,8 @@ mod tests {
     #[test]
     fn spec_runs_on_simulator() {
         let cfg = ModelConfig::fast();
-        let spec = workload_spec(
-            &cfg,
-            &SamplingStrategy::coarse_then_focus(8, 16),
-            64,
-            64,
-            4,
-        );
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let spec = workload_spec(&cfg, &SamplingStrategy::coarse_then_focus(8, 16), 64, 64, 4);
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let report = sim.simulate(&spec);
         assert!(report.fps > 0.0);
     }

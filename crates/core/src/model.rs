@@ -81,6 +81,14 @@ impl Mlp {
         self.l3.forward(&h2)
     }
 
+    /// Forward pass without caching (inference only) — usable through
+    /// `&self` so render workers can share one model across threads.
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        let h1 = self.a1.forward_inference(&self.l1.forward_inference(x));
+        let h2 = self.a2.forward_inference(&self.l2.forward_inference(&h1));
+        self.l3.forward_inference(&h2)
+    }
+
     /// Backward pass; accumulates gradients, returns `∂L/∂x`.
     pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
         let g2 = self.a2.backward(&self.l3.backward(grad_out));
@@ -168,14 +176,38 @@ impl RayModule {
                 let padded = if n == nm {
                     f_sigma.clone()
                 } else {
-                    Tensor2::vstack(&[
-                        f_sigma.clone(),
-                        Tensor2::zeros(nm - n, f_sigma.cols()),
-                    ])
+                    Tensor2::vstack(&[f_sigma.clone(), Tensor2::zeros(nm - n, f_sigma.cols())])
                 };
                 mixer.forward(&padded).slice_rows(0, n)
             }
             RayModule::None { proj } => proj.forward(f_sigma),
+        }
+    }
+
+    /// Density logits through `&self` (no caching; inference only).
+    /// Same padding convention as [`RayModule::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > N_max` for the mixer variant.
+    pub fn forward_inference(&self, f_sigma: &Tensor2) -> Tensor2 {
+        let n = f_sigma.rows();
+        match self {
+            RayModule::Transformer { attn, proj } => {
+                let y = attn.forward_inference(f_sigma);
+                proj.forward_inference(&y)
+            }
+            RayModule::Mixer(mixer) => {
+                let nm = mixer.n_points();
+                assert!(n <= nm, "ray has {n} points, mixer supports {nm}");
+                let padded = if n == nm {
+                    f_sigma.clone()
+                } else {
+                    Tensor2::vstack(&[f_sigma.clone(), Tensor2::zeros(nm - n, f_sigma.cols())])
+                };
+                mixer.forward_inference(&padded).slice_rows(0, n)
+            }
+            RayModule::None { proj } => proj.forward_inference(f_sigma),
         }
     }
 
@@ -192,10 +224,7 @@ impl RayModule {
                 let padded = if n == nm {
                     grad_logits.clone()
                 } else {
-                    Tensor2::vstack(&[
-                        grad_logits.clone(),
-                        Tensor2::zeros(nm - n, 1),
-                    ])
+                    Tensor2::vstack(&[grad_logits.clone(), Tensor2::zeros(nm - n, 1)])
                 };
                 mixer.backward(&padded).slice_rows(0, n)
             }
@@ -291,7 +320,12 @@ impl GenNerfModel {
     /// Full-model inference over the points of one ray.
     ///
     /// Points seen by no source view get zero density and color.
-    pub fn forward_ray(&mut self, aggs: &[PointAggregate]) -> RayOutput {
+    ///
+    /// Takes `&self` (no activation caching), so one model can be
+    /// shared by every render worker thread — `GenNerfModel` contains
+    /// no interior mutability and is therefore `Sync`. Training uses
+    /// the separate caching paths in [`GenNerfModel::train_ray`].
+    pub fn forward_ray(&self, aggs: &[PointAggregate]) -> RayOutput {
         if aggs.is_empty() {
             return RayOutput {
                 densities: Vec::new(),
@@ -301,9 +335,9 @@ impl GenNerfModel {
         let n = aggs.len();
         let d_sigma = self.config.d_sigma;
         let x = Self::stats_tensor(aggs, self.config.point_input_dim());
-        let y = self.point_mlp.forward(&x);
+        let y = self.point_mlp.forward_inference(&x);
         let f_sigma = Tensor2::from_fn(n, d_sigma, |r, c| y[(r, c)]);
-        let logits = self.ray_module.forward(&f_sigma);
+        let logits = self.ray_module.forward_inference(&f_sigma);
 
         let mut densities = Vec::with_capacity(n);
         let mut colors = Vec::with_capacity(n);
@@ -325,13 +359,13 @@ impl GenNerfModel {
     }
 
     /// Blends source colors with softmax weights from the blend head.
-    fn blend_color(&mut self, agg: &PointAggregate) -> Vec3 {
+    fn blend_color(&self, agg: &PointAggregate) -> Vec3 {
         let valid_idx: Vec<usize> = (0..agg.valid.len()).filter(|&i| agg.valid[i]).collect();
         if valid_idx.is_empty() {
             return Vec3::ZERO;
         }
         let input = Tensor2::from_fn(valid_idx.len(), 2, |r, c| agg.blend_inputs[valid_idx[r]][c]);
-        let logits = self.blend.forward(&input);
+        let logits = self.blend.forward_inference(&input);
         let max = (0..valid_idx.len())
             .map(|r| logits[(r, 0)])
             .fold(f32::NEG_INFINITY, f32::max);
@@ -348,12 +382,13 @@ impl GenNerfModel {
     }
 
     /// Coarse-pass density estimation (lightweight MLP, no ray module).
-    pub fn coarse_densities(&mut self, aggs: &[PointAggregate]) -> Vec<f32> {
+    /// `&self` for the same reason as [`GenNerfModel::forward_ray`].
+    pub fn coarse_densities(&self, aggs: &[PointAggregate]) -> Vec<f32> {
         if aggs.is_empty() {
             return Vec::new();
         }
         let x = Self::stats_tensor(aggs, self.config.coarse_input_dim());
-        let z = self.coarse_mlp.forward(&x);
+        let z = self.coarse_mlp.forward_inference(&x);
         aggs.iter()
             .enumerate()
             .map(|(k, agg)| {
@@ -411,8 +446,7 @@ impl GenNerfModel {
             if !color_mask[k] || agg.n_valid == 0 {
                 continue;
             }
-            let (loss, g_resid) =
-                self.train_point_color(agg, gt_colors[k], &y, k, d_sigma);
+            let (loss, g_resid) = self.train_point_color(agg, gt_colors[k], &y, k, d_sigma);
             color_loss += loss;
             color_count += 1;
             for c in 0..3 {
@@ -456,11 +490,7 @@ impl GenNerfModel {
         for (w, &i) in s.iter().zip(&valid_idx) {
             blended += agg.view_colors[i] * *w;
         }
-        let pre = [
-            y[(k, d_sigma)],
-            y[(k, d_sigma + 1)],
-            y[(k, d_sigma + 2)],
-        ];
+        let pre = [y[(k, d_sigma)], y[(k, d_sigma + 1)], y[(k, d_sigma + 2)]];
         let resid = Vec3::new(
             0.1 * pre[0].tanh(),
             0.1 * pre[1].tanh(),
@@ -541,14 +571,17 @@ mod tests {
         for sigma in [0.0f32, 0.5, 3.0, 40.0] {
             let z = logit_from_density(sigma);
             let back = density_from_logit(z);
-            assert!((back - sigma).abs() < sigma * 0.01 + 1e-4, "{sigma} -> {back}");
+            assert!(
+                (back - sigma).abs() < sigma * 0.01 + 1e-4,
+                "{sigma} -> {back}"
+            );
         }
     }
 
     #[test]
     fn forward_ray_shapes() {
         let (ds, sources) = tiny_setup();
-        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let model = GenNerfModel::new(ModelConfig::fast());
         let (aggs, _, _) = ray_aggs(&ds, &sources, 12);
         let out = model.forward_ray(&aggs);
         assert_eq!(out.densities.len(), 12);
@@ -561,7 +594,7 @@ mod tests {
 
     #[test]
     fn empty_ray_is_empty() {
-        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let model = GenNerfModel::new(ModelConfig::fast());
         let out = model.forward_ray(&[]);
         assert!(out.densities.is_empty());
     }
@@ -569,13 +602,8 @@ mod tests {
     #[test]
     fn invisible_points_get_zero_density() {
         let (_, sources) = tiny_setup();
-        let mut model = GenNerfModel::new(ModelConfig::fast());
-        let agg = aggregate_point(
-            Vec3::new(1000.0, 0.0, 0.0),
-            Vec3::X,
-            &sources,
-            12,
-        );
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let agg = aggregate_point(Vec3::new(1000.0, 0.0, 0.0), Vec3::X, &sources, 12);
         let out = model.forward_ray(&[agg]);
         assert_eq!(out.densities[0], 0.0);
         assert_eq!(out.colors[0], Vec3::ZERO);
@@ -656,7 +684,7 @@ mod tests {
     #[test]
     fn coarse_densities_nonnegative() {
         let (ds, sources) = tiny_setup();
-        let mut model = GenNerfModel::new(ModelConfig::fast());
+        let model = GenNerfModel::new(ModelConfig::fast());
         let (aggs, _, _) = ray_aggs(&ds, &sources, 8);
         let coarse_aggs: Vec<_> = aggs
             .iter()
@@ -681,12 +709,11 @@ mod tests {
     fn mixer_rejects_overlong_rays() {
         let mut cfg = ModelConfig::fast();
         cfg.n_max = 4;
-        let mut model = GenNerfModel::new(cfg);
+        let model = GenNerfModel::new(cfg);
         let (ds, sources) = tiny_setup();
         let (aggs, _, _) = ray_aggs(&ds, &sources, 8);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.forward_ray(&aggs)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.forward_ray(&aggs)));
         assert!(result.is_err());
     }
 
@@ -696,8 +723,8 @@ mod tests {
         let b = GenNerfModel::new(ModelConfig::fast());
         let (ds, sources) = tiny_setup();
         let (aggs, _, _) = ray_aggs(&ds, &sources, 6);
-        let mut a = a;
-        let mut b = b;
+        let a = a;
+        let b = b;
         let oa = a.forward_ray(&aggs);
         let ob = b.forward_ray(&aggs);
         assert_eq!(oa, ob);

@@ -91,9 +91,8 @@ impl OccupancyGrid {
         }
         let ext = self.bounds.extent();
         let n = self.resolution;
-        let idx = |v: f32, lo: f32, e: f32| -> usize {
-            (((v - lo) / e * n as f32) as usize).min(n - 1)
-        };
+        let idx =
+            |v: f32, lo: f32, e: f32| -> usize { (((v - lo) / e * n as f32) as usize).min(n - 1) };
         let ix = idx(p.x, self.bounds.min.x, ext.x);
         let iy = idx(p.y, self.bounds.min.y, ext.y);
         let iz = idx(p.z, self.bounds.min.z, ext.z);

@@ -1,5 +1,33 @@
 //! End-to-end rendering pipeline (Steps 1–5 of Sec. 2.2 with the
 //! sampling strategies of Sec. 3.2) plus FLOPs/fetch instrumentation.
+//!
+//! # The ray-batch engine
+//!
+//! The accelerator the paper builds exists to exploit one fact: rays
+//! are independent, so a frame is a bag of identical per-ray programs
+//! whose compute can be overlapped. The software pipeline mirrors that
+//! structure. [`RayBatch`] lays a camera's rays out structure-of-arrays
+//! (directions and clip ranges in parallel vectors, indexed by the
+//! row-major pixel id), and [`Renderer`] maps a per-ray shading program
+//! over the batch with [`gen_nerf_parallel`]'s deterministic fork–join:
+//! contiguous ray chunks go to worker threads, each worker accumulates
+//! a private [`RenderStats`], and chunk results are merged in ray
+//! order.
+//!
+//! Parallel safety comes from [`GenNerfModel`]'s `&self` inference path
+//! (no activation caching), so all workers share one model borrow.
+//! Determinism comes from two rules:
+//!
+//! * every per-ray random stream is seeded from `(render seed, ray
+//!   index)` — never shared across rays — so a ray's samples do not
+//!   depend on which thread ran it or in what order;
+//! * per-chunk stats are plain integer sums merged in chunk order.
+//!
+//! Together these make the output bit-for-bit identical for any worker
+//! count, including one; `tests/batch_parallel_regression.rs` pins
+//! this. The worker count defaults to [`gen_nerf_parallel::num_threads`]
+//! (the `GEN_NERF_THREADS` environment variable) and can be pinned per
+//! renderer with [`Renderer::with_threads`].
 
 use crate::config::SamplingStrategy;
 use crate::features::{aggregate_point, PointAggregate, SourceViewData};
@@ -8,6 +36,7 @@ use crate::sampling;
 use gen_nerf_geometry::{Aabb, Camera, Ray, Vec3};
 use gen_nerf_nn::flops::{self, FlopsCounter};
 use gen_nerf_nn::init::Rng;
+use gen_nerf_parallel::par_chunk_ranges;
 use gen_nerf_scene::renderer::composite;
 use gen_nerf_scene::Image;
 use serde::{Deserialize, Serialize};
@@ -47,58 +76,151 @@ impl RenderStats {
             (self.points + self.coarse_points) as f64 / self.rays as f64
         }
     }
+
+    /// Adds another accumulator's counts into this one (used to fold
+    /// per-worker stats; all fields are order-independent sums).
+    pub fn merge(&mut self, other: &Self) {
+        self.flops.merge(&other.flops);
+        self.rays += other.rays;
+        self.points += other.points;
+        self.coarse_points += other.coarse_points;
+        self.feature_fetches += other.feature_fetches;
+    }
+}
+
+/// A camera's rays in structure-of-arrays layout, indexed by row-major
+/// pixel id: `rays[j]` and `ranges[j]` describe pixel
+/// `(j % width, j / width)`.
+#[derive(Debug, Clone)]
+pub struct RayBatch {
+    /// Per-pixel camera rays.
+    pub rays: Vec<Ray>,
+    /// Per-ray `[t_near, t_far]` against the scene bounds; `None` for
+    /// rays that miss entirely.
+    pub ranges: Vec<Option<(f32, f32)>>,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl RayBatch {
+    /// Builds the batch for every pixel of `camera`, clipping against
+    /// `bounds`.
+    pub fn from_camera(camera: &Camera, bounds: &Aabb) -> Self {
+        let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
+        let n = (w as usize) * (h as usize);
+        let mut rays = Vec::with_capacity(n);
+        let mut ranges = Vec::with_capacity(n);
+        for y in 0..h {
+            for x in 0..w {
+                let ray = camera.pixel_center_ray(x, y);
+                ranges.push(bounds.intersect_ray(&ray));
+                rays.push(ray);
+            }
+        }
+        Self {
+            rays,
+            ranges,
+            width: w,
+            height: h,
+        }
+    }
+
+    /// Number of rays (pixels).
+    pub fn len(&self) -> usize {
+        self.rays.len()
+    }
+
+    /// `true` when the camera has no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.rays.is_empty()
+    }
+
+    /// Assembles per-ray colors (in batch order) into an image.
+    fn into_image(&self, pixels: &[Vec3]) -> Image {
+        debug_assert_eq!(pixels.len(), self.len());
+        let mut img = Image::new(self.width, self.height);
+        for (j, &rgb) in pixels.iter().enumerate() {
+            img.set(j as u32 % self.width, j as u32 / self.width, rgb);
+        }
+        img
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates per-ray seeds derived from
+/// `(base seed, ray index)`.
+fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The end-to-end renderer: a model + prepared source views + a
 /// sampling strategy, rendering novel views inside known scene bounds.
+///
+/// Holds the model by shared reference — inference never mutates it —
+/// so the renderer can fan ray chunks out across threads (see the
+/// module docs for the determinism contract).
 pub struct Renderer<'a> {
-    model: &'a mut GenNerfModel,
+    model: &'a GenNerfModel,
     sources: &'a [SourceViewData],
     strategy: SamplingStrategy,
     bounds: Aabb,
     background: Vec3,
-    rng: Rng,
+    base_seed: u64,
+    threads: usize,
 }
 
 impl<'a> Renderer<'a> {
-    /// Creates a renderer.
+    /// Creates a renderer using the default worker count
+    /// ([`gen_nerf_parallel::num_threads`]).
     ///
     /// `bounds` clip each camera ray to `[t_near, t_far]`; `background`
     /// fills rays that miss or terminate without saturating.
     pub fn new(
-        model: &'a mut GenNerfModel,
+        model: &'a GenNerfModel,
         sources: &'a [SourceViewData],
         strategy: SamplingStrategy,
         bounds: Aabb,
         background: Vec3,
     ) -> Self {
-        let seed = model.config.seed ^ 0x5eed_5a3e;
+        let base_seed = model.config.seed ^ 0x5eed_5a3e;
         Self {
             model,
             sources,
             strategy,
             bounds,
             background,
-            rng: Rng::seed_from(seed),
+            base_seed,
+            threads: gen_nerf_parallel::num_threads(),
         }
     }
 
+    /// Pins the worker count (1 = fully sequential). The rendered
+    /// image and stats are identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Renders a full image from `camera`.
-    pub fn render(&mut self, camera: &Camera) -> (Image, RenderStats) {
+    pub fn render(&self, camera: &Camera) -> (Image, RenderStats) {
+        let batch = RayBatch::from_camera(camera, &self.bounds);
         let mut stats = RenderStats::default();
-        let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
-        stats.rays = w as u64 * h as u64;
+        stats.rays = batch.len() as u64;
         let image = match self.strategy {
-            SamplingStrategy::Uniform { n } => self.render_uniform(camera, n, &mut stats),
+            SamplingStrategy::Uniform { n } => self.render_uniform(&batch, n, &mut stats),
             SamplingStrategy::Hierarchical { n_coarse, n_fine } => {
-                self.render_hierarchical(camera, n_coarse, n_fine, &mut stats)
+                self.render_hierarchical(&batch, n_coarse, n_fine, &mut stats)
             }
             SamplingStrategy::CoarseThenFocus {
                 n_coarse,
                 n_focused,
                 tau,
                 s_coarse,
-            } => self.render_ctf(camera, n_coarse, n_focused, tau, s_coarse, &mut stats),
+            } => self.render_ctf(&batch, n_coarse, n_focused, tau, s_coarse, &mut stats),
         };
         (image, stats)
     }
@@ -107,9 +229,37 @@ impl<'a> Renderer<'a> {
         self.model.config.d_features
     }
 
+    /// Derives the decorrelated random stream of ray `j` — a pure
+    /// function of the render seed and the ray index, so results do
+    /// not depend on thread scheduling.
+    fn ray_rng(&self, j: usize) -> Rng {
+        Rng::seed_from(mix_seed(self.base_seed, j as u64))
+    }
+
+    /// Maps `shade` over every ray of the batch, fanning contiguous
+    /// chunks out to worker threads. Returns per-ray colors in batch
+    /// order plus merged stats.
+    fn shade_batch<F>(&self, n_rays: usize, shade: F) -> (Vec<Vec3>, RenderStats)
+    where
+        F: Fn(usize, &mut RenderStats) -> Vec3 + Sync,
+    {
+        let chunks = par_chunk_ranges(n_rays, self.threads, |start, end| {
+            let mut local = RenderStats::default();
+            let colors: Vec<Vec3> = (start..end).map(|j| shade(j, &mut local)).collect();
+            (colors, local)
+        });
+        let mut pixels = Vec::with_capacity(n_rays);
+        let mut stats = RenderStats::default();
+        for (colors, local) in chunks {
+            pixels.extend(colors);
+            stats.merge(&local);
+        }
+        (pixels, stats)
+    }
+
     /// Aggregates + full-model forward + accounting for a ray's points.
     fn eval_points(
-        &mut self,
+        &self,
         ray: &Ray,
         depths: &[f32],
         stats: &mut RenderStats,
@@ -153,46 +303,44 @@ impl<'a> Renderer<'a> {
         composite(densities, colors, &deltas, self.background).color
     }
 
-    fn render_uniform(&mut self, camera: &Camera, n: usize, stats: &mut RenderStats) -> Image {
-        let bounds = self.bounds;
-        Image::from_fn(camera.intrinsics.width, camera.intrinsics.height, |x, y| {
-            let ray = camera.pixel_center_ray(x, y);
-            let Some((t0, t1)) = bounds.intersect_ray(&ray) else {
+    fn render_uniform(&self, batch: &RayBatch, n: usize, stats: &mut RenderStats) -> Image {
+        let (pixels, shaded) = self.shade_batch(batch.len(), |j, local| {
+            let Some((t0, t1)) = batch.ranges[j] else {
                 return self.background;
             };
             let depths = Ray::uniform_depths(t0, t1, n);
-            let (densities, colors) = self.eval_points(&ray, &depths, stats);
+            let (densities, colors) = self.eval_points(&batch.rays[j], &depths, local);
             self.composite_ray(&depths, &densities, &colors, t1)
-        })
+        });
+        stats.merge(&shaded);
+        batch.into_image(&pixels)
     }
 
     /// IBRNet-style hierarchical sampling: `n_coarse` uniform samples
     /// with the full model, importance-resample `n_fine` more, then
     /// composite the union (all evaluated points are counted).
     fn render_hierarchical(
-        &mut self,
-        camera: &Camera,
+        &self,
+        batch: &RayBatch,
         n_coarse: usize,
         n_fine: usize,
         stats: &mut RenderStats,
     ) -> Image {
-        let bounds = self.bounds;
-        Image::from_fn(camera.intrinsics.width, camera.intrinsics.height, |x, y| {
-            let ray = camera.pixel_center_ray(x, y);
-            let Some((t0, t1)) = bounds.intersect_ray(&ray) else {
+        let (pixels, shaded) = self.shade_batch(batch.len(), |j, local| {
+            let Some((t0, t1)) = batch.ranges[j] else {
                 return self.background;
             };
+            let ray = &batch.rays[j];
             let coarse_depths = Ray::uniform_depths(t0, t1, n_coarse);
-            let (coarse_densities, coarse_colors) =
-                self.eval_points(&ray, &coarse_depths, stats);
+            let (coarse_densities, coarse_colors) = self.eval_points(ray, &coarse_depths, local);
             // Hitting probabilities from the coarse pass drive the
             // importance resampling.
             let deltas = Ray::interval_widths(&coarse_depths, t1);
             let comp = composite(&coarse_densities, &coarse_colors, &deltas, self.background);
             let edges = sampling::uniform_edges(t0, t1, n_coarse);
-            let fine_depths =
-                sampling::importance_sample(&edges, &comp.weights, n_fine, &mut self.rng);
-            let (fine_densities, fine_colors) = self.eval_points(&ray, &fine_depths, stats);
+            let mut rng = self.ray_rng(j);
+            let fine_depths = sampling::importance_sample(&edges, &comp.weights, n_fine, &mut rng);
+            let (fine_densities, fine_colors) = self.eval_points(ray, &fine_depths, local);
 
             // Merge-sort the union by depth.
             let mut merged: Vec<(f32, f32, Vec3)> = coarse_depths
@@ -213,62 +361,76 @@ impl<'a> Renderer<'a> {
             let densities: Vec<f32> = merged.iter().map(|m| m.1).collect();
             let colors: Vec<Vec3> = merged.iter().map(|m| m.2).collect();
             self.composite_ray(&depths, &densities, &colors, t1)
-        })
+        });
+        stats.merge(&shaded);
+        batch.into_image(&pixels)
     }
 
     /// The proposed coarse-then-focus pipeline (Sec. 3.2).
+    ///
+    /// Step ① (coarse probing) and Step ③ (focused shading) are both
+    /// batch-parallel; Step ② (the cross-ray budget allocation) is a
+    /// sequential barrier between them, exactly like the workload
+    /// scheduler sitting between the accelerator's two stages.
     fn render_ctf(
-        &mut self,
-        camera: &Camera,
+        &self,
+        batch: &RayBatch,
         n_coarse: usize,
         n_focused: usize,
         tau: f32,
         s_coarse: usize,
         stats: &mut RenderStats,
     ) -> Image {
-        let (w, h) = (camera.intrinsics.width, camera.intrinsics.height);
-        let n_rays = (w * h) as usize;
+        let n_rays = batch.len();
         let coarse_sources = &self.sources[..s_coarse.min(self.sources.len())];
         let dc = self.model.config.coarse_channels;
 
         // Step ①: lightweight coarse sampling for every ray.
-        let mut ray_ranges: Vec<Option<(f32, f32)>> = Vec::with_capacity(n_rays);
+        let coarse_chunks = par_chunk_ranges(n_rays, self.threads, |start, end| {
+            let mut local = RenderStats::default();
+            let per_ray: Vec<(Vec<f32>, usize)> = (start..end)
+                .map(|j| {
+                    let Some((t0, t1)) = batch.ranges[j] else {
+                        return (Vec::new(), 0);
+                    };
+                    let ray = &batch.rays[j];
+                    let depths = Ray::uniform_depths(t0, t1, n_coarse);
+                    let aggs: Vec<PointAggregate> = depths
+                        .iter()
+                        .map(|&t| aggregate_point(ray.at(t), ray.direction, coarse_sources, dc))
+                        .collect();
+                    for a in &aggs {
+                        local.feature_fetches += 4 * a.n_valid as u64;
+                        local
+                            .flops
+                            .add("acquire", a.n_valid as u64 * flops::bilinear_fetch(1, dc));
+                    }
+                    local.coarse_points += aggs.len() as u64;
+                    local.flops.add(
+                        "mlp",
+                        aggs.len() as u64 * 2 * self.model.config.coarse_mlp_macs_per_point(),
+                    );
+                    let densities = self.model.coarse_densities(&aggs);
+                    let deltas = Ray::interval_widths(&depths, t1);
+                    let dummy_colors = vec![Vec3::ZERO; densities.len()];
+                    let comp = composite(&densities, &dummy_colors, &deltas, Vec3::ZERO);
+                    local
+                        .flops
+                        .add("others", flops::volume_render(densities.len()));
+                    let critical = sampling::critical_count(&comp.weights, tau);
+                    (comp.weights, critical)
+                })
+                .collect();
+            (per_ray, local)
+        });
         let mut ray_weights: Vec<Vec<f32>> = Vec::with_capacity(n_rays);
         let mut criticals: Vec<usize> = Vec::with_capacity(n_rays);
-        for y in 0..h {
-            for x in 0..w {
-                let ray = camera.pixel_center_ray(x, y);
-                let Some((t0, t1)) = self.bounds.intersect_ray(&ray) else {
-                    ray_ranges.push(None);
-                    ray_weights.push(Vec::new());
-                    criticals.push(0);
-                    continue;
-                };
-                let depths = Ray::uniform_depths(t0, t1, n_coarse);
-                let aggs: Vec<PointAggregate> = depths
-                    .iter()
-                    .map(|&t| aggregate_point(ray.at(t), ray.direction, coarse_sources, dc))
-                    .collect();
-                for a in &aggs {
-                    stats.feature_fetches += 4 * a.n_valid as u64;
-                    stats
-                        .flops
-                        .add("acquire", a.n_valid as u64 * flops::bilinear_fetch(1, dc));
-                }
-                stats.coarse_points += aggs.len() as u64;
-                stats.flops.add(
-                    "mlp",
-                    aggs.len() as u64 * 2 * self.model.config.coarse_mlp_macs_per_point(),
-                );
-                let densities = self.model.coarse_densities(&aggs);
-                let deltas = Ray::interval_widths(&depths, t1);
-                let dummy_colors = vec![Vec3::ZERO; densities.len()];
-                let comp = composite(&densities, &dummy_colors, &deltas, Vec3::ZERO);
-                stats.flops.add("others", flops::volume_render(densities.len()));
-                criticals.push(sampling::critical_count(&comp.weights, tau));
-                ray_weights.push(comp.weights);
-                ray_ranges.push(Some((t0, t1)));
+        for (per_ray, local) in coarse_chunks {
+            for (weights, critical) in per_ray {
+                ray_weights.push(weights);
+                criticals.push(critical);
             }
+            stats.merge(&local);
         }
 
         // Step ②: cross-ray allocation P(j) ∝ N^cr_j.
@@ -277,33 +439,23 @@ impl<'a> Renderer<'a> {
         let counts = sampling::allocate_focused(&criticals, budget, n_cap);
 
         // Step ③: sparse focused sampling + full pipeline.
-        let mut image = Image::new(w, h);
-        for y in 0..h {
-            for x in 0..w {
-                let j = (y * w + x) as usize;
-                let Some((t0, t1)) = ray_ranges[j] else {
-                    image.set(x, y, self.background);
-                    continue;
-                };
-                if counts[j] == 0 {
-                    // Nothing critical along the ray: empty/occluded
-                    // region, background shows through.
-                    image.set(x, y, self.background);
-                    continue;
-                }
-                let ray = camera.pixel_center_ray(x, y);
-                let edges = sampling::uniform_edges(t0, t1, n_coarse);
-                let depths = sampling::importance_sample(
-                    &edges,
-                    &ray_weights[j],
-                    counts[j],
-                    &mut self.rng,
-                );
-                let (densities, colors) = self.eval_points(&ray, &depths, stats);
-                image.set(x, y, self.composite_ray(&depths, &densities, &colors, t1));
+        let (pixels, shaded) = self.shade_batch(n_rays, |j, local| {
+            let Some((t0, t1)) = batch.ranges[j] else {
+                return self.background;
+            };
+            if counts[j] == 0 {
+                // Nothing critical along the ray: empty/occluded
+                // region, background shows through.
+                return self.background;
             }
-        }
-        image
+            let edges = sampling::uniform_edges(t0, t1, n_coarse);
+            let mut rng = self.ray_rng(j);
+            let depths = sampling::importance_sample(&edges, &ray_weights[j], counts[j], &mut rng);
+            let (densities, colors) = self.eval_points(&batch.rays[j], &depths, local);
+            self.composite_ray(&depths, &densities, &colors, t1)
+        });
+        stats.merge(&shaded);
+        batch.into_image(&pixels)
     }
 }
 
@@ -325,19 +477,19 @@ mod tests {
     fn render(
         ds: &Dataset,
         sources: &[SourceViewData],
-        model: &mut GenNerfModel,
+        model: &GenNerfModel,
         strategy: SamplingStrategy,
     ) -> (Image, RenderStats) {
         let bounds = ds.scene.bounds;
         let bg = ds.scene.background;
-        let mut r = Renderer::new(model, sources, strategy, bounds, bg);
+        let r = Renderer::new(model, sources, strategy, bounds, bg);
         r.render(&ds.eval_views[0].camera)
     }
 
     #[test]
     fn uniform_render_produces_finite_image() {
-        let (ds, sources, mut model) = setup();
-        let (img, stats) = render(&ds, &sources, &mut model, SamplingStrategy::Uniform { n: 8 });
+        let (ds, sources, model) = setup();
+        let (img, stats) = render(&ds, &sources, &model, SamplingStrategy::Uniform { n: 8 });
         assert!(img.as_slice().iter().all(|v| v.is_finite()));
         assert_eq!(stats.rays, (img.width() * img.height()) as u64);
         assert!(stats.points > 0);
@@ -346,11 +498,11 @@ mod tests {
 
     #[test]
     fn hierarchical_counts_both_passes() {
-        let (ds, sources, mut model) = setup();
+        let (ds, sources, model) = setup();
         let (_, stats) = render(
             &ds,
             &sources,
-            &mut model,
+            &model,
             SamplingStrategy::Hierarchical {
                 n_coarse: 4,
                 n_fine: 4,
@@ -368,11 +520,11 @@ mod tests {
 
     #[test]
     fn ctf_renders_and_is_sparse() {
-        let (ds, sources, mut model) = setup();
+        let (ds, sources, model) = setup();
         let (img, stats) = render(
             &ds,
             &sources,
-            &mut model,
+            &model,
             SamplingStrategy::coarse_then_focus(8, 8),
         );
         assert!(img.as_slice().iter().all(|v| v.is_finite()));
@@ -394,11 +546,11 @@ mod tests {
         // The focused budget is *redistributed*, not uniformly spread:
         // rays whose coarse pass finds nothing critical get zero
         // focused samples and render as exact background.
-        let (ds, sources, mut model) = setup();
+        let (ds, sources, model) = setup();
         let (img, stats) = render(
             &ds,
             &sources,
-            &mut model,
+            &model,
             SamplingStrategy::coarse_then_focus(8, 8),
         );
         // Budget respected (± the minimum-one slack).
@@ -417,8 +569,8 @@ mod tests {
 
     #[test]
     fn stats_mflops_positive_and_bucketized() {
-        let (ds, sources, mut model) = setup();
-        let (_, stats) = render(&ds, &sources, &mut model, SamplingStrategy::Uniform { n: 8 });
+        let (ds, sources, model) = setup();
+        let (_, stats) = render(&ds, &sources, &model, SamplingStrategy::Uniform { n: 8 });
         assert!(stats.mflops_per_pixel() > 0.0);
         for bucket in ["acquire", "mlp", "ray_module", "others"] {
             assert!(stats.flops.get(bucket) > 0, "missing bucket {bucket}");
@@ -427,8 +579,8 @@ mod tests {
 
     #[test]
     fn rays_missing_bounds_get_background() {
-        let (ds, sources, mut model) = setup();
-        let (img, _) = render(&ds, &sources, &mut model, SamplingStrategy::Uniform { n: 4 });
+        let (ds, sources, model) = setup();
+        let (img, _) = render(&ds, &sources, &model, SamplingStrategy::Uniform { n: 4 });
         // Corner pixels look past the object; with an untrained model
         // they may not match gt, but rays that miss the bounds entirely
         // must be exactly background.
@@ -444,10 +596,10 @@ mod tests {
         use crate::trainer::{TrainConfig, Trainer};
         let (ds, sources, mut model) = setup();
         let strategy = SamplingStrategy::Uniform { n: 12 };
-        let (img_untrained, _) = render(&ds, &sources, &mut model, strategy);
+        let (img_untrained, _) = render(&ds, &sources, &model, strategy);
         let mut trainer = Trainer::new(TrainConfig::fast());
         trainer.pretrain(&mut model, &[&ds]);
-        let (img_trained, _) = render(&ds, &sources, &mut model, strategy);
+        let (img_trained, _) = render(&ds, &sources, &model, strategy);
         let gt = &ds.eval_views[0].image;
         let p_untrained = psnr(gt, &img_untrained);
         let p_trained = psnr(gt, &img_trained);
@@ -455,5 +607,76 @@ mod tests {
             p_trained > p_untrained,
             "training did not help: {p_untrained} -> {p_trained}"
         );
+    }
+
+    #[test]
+    fn ray_batch_matches_pixel_grid() {
+        let (ds, _, _) = setup();
+        let cam = &ds.eval_views[0].camera;
+        let batch = RayBatch::from_camera(cam, &ds.scene.bounds);
+        assert_eq!(
+            batch.len(),
+            (cam.intrinsics.width * cam.intrinsics.height) as usize
+        );
+        // Row-major indexing: ray j corresponds to pixel (j % w, j / w).
+        let j = (batch.width + 1) as usize; // pixel (1, 1)
+        let expect = cam.pixel_center_ray(1, 1);
+        assert_eq!(batch.rays[j].direction, expect.direction);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        // The determinism contract of the batch engine, on every
+        // strategy (the cross-crate regression test covers the trained
+        // path at larger scale).
+        let (ds, sources, model) = setup();
+        for strategy in [
+            SamplingStrategy::Uniform { n: 6 },
+            SamplingStrategy::Hierarchical {
+                n_coarse: 4,
+                n_fine: 4,
+            },
+            SamplingStrategy::coarse_then_focus(6, 6),
+        ] {
+            let run = |threads: usize| {
+                let r = Renderer::new(
+                    &model,
+                    &sources,
+                    strategy,
+                    ds.scene.bounds,
+                    ds.scene.background,
+                )
+                .with_threads(threads);
+                r.render(&ds.eval_views[0].camera)
+            };
+            let (img1, stats1) = run(1);
+            let (img4, stats4) = run(4);
+            assert_eq!(img1.as_slice(), img4.as_slice(), "{strategy:?}");
+            assert_eq!(stats1.flops.total(), stats4.flops.total(), "{strategy:?}");
+            assert_eq!(stats1.points, stats4.points, "{strategy:?}");
+            assert_eq!(
+                stats1.feature_fetches, stats4.feature_fetches,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_ray_streams_are_decorrelated() {
+        // Neighbouring rays must not share a random stream.
+        let (ds, sources, model) = setup();
+        let r = Renderer::new(
+            &model,
+            &sources,
+            SamplingStrategy::Uniform { n: 4 },
+            ds.scene.bounds,
+            ds.scene.background,
+        );
+        let mut a = r.ray_rng(0);
+        let mut b = r.ray_rng(1);
+        let same = (0..32)
+            .filter(|_| (a.uniform(0.0, 1.0) - b.uniform(0.0, 1.0)).abs() < 1e-9)
+            .count();
+        assert!(same < 4, "streams look identical: {same}/32 draws equal");
     }
 }

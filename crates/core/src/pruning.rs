@@ -112,7 +112,7 @@ mod tests {
         let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.04, 4, 1, 16, 5);
         let sources = prepare_sources(&ds.source_views);
         let model = GenNerfModel::new(ModelConfig::fast());
-        let mut pruned = prune_point_mlp(&model, 0.5);
+        let pruned = prune_point_mlp(&model, 0.5);
         let agg = aggregate_point(
             gen_nerf_geometry::Vec3::ZERO,
             gen_nerf_geometry::Vec3::Z,
@@ -152,10 +152,7 @@ mod tests {
         let mut p = pruned;
         let (l1, _, _) = p.point_mlp.layers_mut();
         for c in 0..keep {
-            assert!(
-                l1.w.value[(0, c)] > 5.0,
-                "weak unit survived at column {c}"
-            );
+            assert!(l1.w.value[(0, c)] > 5.0, "weak unit survived at column {c}");
         }
     }
 
@@ -165,8 +162,8 @@ mod tests {
         // but outputs should remain finite and broadly similar in scale.
         let ds = Dataset::build(DatasetKind::DeepVoxels, "vase", 0.04, 4, 1, 16, 6);
         let sources = prepare_sources(&ds.source_views);
-        let mut model = GenNerfModel::new(ModelConfig::fast());
-        let mut pruned = prune_point_mlp(&model, 0.25);
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let pruned = prune_point_mlp(&model, 0.25);
         let cam = &ds.eval_views[0].camera;
         let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
         let aggs: Vec<_> = [2.5f32, 3.5, 4.5]

@@ -133,8 +133,7 @@ impl Trainer {
         let prepared: Vec<PreparedDataset> = datasets
             .iter()
             .map(|ds| {
-                let mut cameras: Vec<Camera> =
-                    ds.source_views.iter().map(|v| v.camera).collect();
+                let mut cameras: Vec<Camera> = ds.source_views.iter().map(|v| v.camera).collect();
                 cameras.extend(ds.eval_views.iter().map(|v| v.camera));
                 PreparedDataset {
                     dataset: ds,
@@ -213,27 +212,34 @@ impl Trainer {
         let d = model.config.d_features;
         let dc = model.config.coarse_channels;
         let coarse_views = 4.min(pd.sources.len());
+        // Feature acquisition dominates the step cost and is RNG-free,
+        // so it fans out across threads; `par_map_min` keeps results in
+        // depth order (training stays deterministic) and runs inline
+        // when the ray is too short to be worth the fork.
+        let per_point = gen_nerf_parallel::par_map_min(&depths, 16, |_, &t| {
+            let p = ray.at(t);
+            let sigma = ds.scene.density(p);
+            (
+                aggregate_point(p, ray.direction, &pd.sources, d),
+                aggregate_point(p, ray.direction, &pd.sources[..coarse_views], dc),
+                sigma,
+                if sigma > self.cfg.color_threshold {
+                    ds.scene.color(p, ray.direction)
+                } else {
+                    Vec3::ZERO
+                },
+            )
+        });
         let mut aggs = Vec::with_capacity(n);
         let mut coarse_aggs = Vec::with_capacity(n);
         let mut gt_logits = Vec::with_capacity(n);
         let mut gt_colors = Vec::with_capacity(n);
         let mut mask = Vec::with_capacity(n);
-        for &t in &depths {
-            let p = ray.at(t);
-            aggs.push(aggregate_point(p, ray.direction, &pd.sources, d));
-            coarse_aggs.push(aggregate_point(
-                p,
-                ray.direction,
-                &pd.sources[..coarse_views],
-                dc,
-            ));
-            let sigma = ds.scene.density(p);
+        for (agg, coarse_agg, sigma, color) in per_point {
+            aggs.push(agg);
+            coarse_aggs.push(coarse_agg);
             gt_logits.push(logit_from_density(sigma));
-            gt_colors.push(if sigma > self.cfg.color_threshold {
-                ds.scene.color(p, ray.direction)
-            } else {
-                Vec3::ZERO
-            });
+            gt_colors.push(color);
             mask.push(sigma > self.cfg.color_threshold);
         }
         let losses = model.train_ray(&aggs, &gt_logits, &gt_colors, &mask);

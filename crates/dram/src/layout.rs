@@ -97,8 +97,7 @@ impl FeatureLayout {
             }
             FeatureLayout::ViewInterleave => {
                 let bank = view % banks;
-                let local =
-                    (y as u64 * width as u64 + x as u64) * feat_bytes;
+                let local = (y as u64 * width as u64 + x as u64) * feat_bytes;
                 (bank, local / row_bytes)
             }
         }

@@ -293,8 +293,11 @@ mod tests {
         // Second access latency from its issue (issue time is still 0 in
         // this model since `access` doesn't advance `now`).
         let hit_latency = t1; // includes first access bus occupancy
-        // A cleaner comparison: hit latency must be below two misses.
-        assert!(hit_latency < 2 * done_miss, "hit={hit_latency} miss={done_miss}");
+                              // A cleaner comparison: hit latency must be below two misses.
+        assert!(
+            hit_latency < 2 * done_miss,
+            "hit={hit_latency} miss={done_miss}"
+        );
     }
 
     #[test]

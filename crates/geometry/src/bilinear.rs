@@ -53,10 +53,26 @@ impl BilinearFootprint {
         let (y0, y1) = (clamp_y(y0f), clamp_y(y0f + 1.0));
         Some(Self {
             taps: [
-                Tap { x: x0, y: y0, weight: (1.0 - fx) * (1.0 - fy) },
-                Tap { x: x1, y: y0, weight: fx * (1.0 - fy) },
-                Tap { x: x0, y: y1, weight: (1.0 - fx) * fy },
-                Tap { x: x1, y: y1, weight: fx * fy },
+                Tap {
+                    x: x0,
+                    y: y0,
+                    weight: (1.0 - fx) * (1.0 - fy),
+                },
+                Tap {
+                    x: x1,
+                    y: y0,
+                    weight: fx * (1.0 - fy),
+                },
+                Tap {
+                    x: x0,
+                    y: y1,
+                    weight: (1.0 - fx) * fy,
+                },
+                Tap {
+                    x: x1,
+                    y: y1,
+                    weight: fx * fy,
+                },
             ],
         })
     }
@@ -162,7 +178,7 @@ mod tests {
             seed in 0u32..100,
         ) {
             let data: Vec<f32> = (0..400)
-                .map(|i| ((i as f32 * 0.77 + seed as f32).sin() * 10.0))
+                .map(|i| (i as f32 * 0.77 + seed as f32).sin() * 10.0)
                 .collect();
             let fp = BilinearFootprint::at(Vec2::new(u, v), 20, 20).unwrap();
             let val = fp.interpolate(&data, 20);

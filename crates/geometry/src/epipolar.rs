@@ -380,7 +380,11 @@ mod tests {
 
     #[test]
     fn shoelace_triangle() {
-        let tri = vec![Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(0.0, 2.0)];
+        let tri = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 2.0),
+        ];
         assert!((polygon_area(&tri) - 2.0).abs() < 1e-6);
     }
 

@@ -82,10 +82,7 @@ impl Frustum {
     /// Sum of [`Frustum::projected_area`] over several source views — the
     /// quantity the greedy partition minimizes per candidate.
     pub fn total_projected_area(&self, novel: &Camera, sources: &[Camera]) -> f32 {
-        sources
-            .iter()
-            .map(|s| self.projected_area(novel, s))
-            .sum()
+        sources.iter().map(|s| self.projected_area(novel, s)).sum()
     }
 
     /// Number of whole pixels covered by the rectangle.
@@ -141,7 +138,9 @@ mod tests {
         let shallow = Frustum::new(Vec2::new(300.0, 220.0), Vec2::new(320.0, 240.0), 3.0, 3.5);
         let deep = Frustum::new(Vec2::new(300.0, 220.0), Vec2::new(320.0, 240.0), 3.0, 7.0);
         // A longer ray segment sweeps a longer epipolar-line stretch.
-        assert!(deep.projected_area(&novel(), &source()) > shallow.projected_area(&novel(), &source()));
+        assert!(
+            deep.projected_area(&novel(), &source()) > shallow.projected_area(&novel(), &source())
+        );
     }
 
     #[test]

@@ -31,11 +31,7 @@ impl Mat3 {
     /// Creates a matrix whose columns are the given vectors.
     #[inline]
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
-        Self::from_rows(
-            [c0.x, c1.x, c2.x],
-            [c0.y, c1.y, c2.y],
-            [c0.z, c1.z, c2.z],
-        )
+        Self::from_rows([c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z])
     }
 
     /// Diagonal matrix.
@@ -420,9 +416,8 @@ mod tests {
     }
 
     fn arb_rotation() -> impl Strategy<Value = Mat3> {
-        (-3.0f32..3.0, -3.0f32..3.0, -3.0f32..3.0).prop_map(|(a, b, c)| {
-            Mat3::rotation_x(a) * Mat3::rotation_y(b) * Mat3::rotation_z(c)
-        })
+        (-3.0f32..3.0, -3.0f32..3.0, -3.0f32..3.0)
+            .prop_map(|(a, b, c)| Mat3::rotation_x(a) * Mat3::rotation_y(b) * Mat3::rotation_z(c))
     }
 
     proptest! {

@@ -60,12 +60,19 @@ impl SelfAttention {
         let attn = softmax_rows(&scores);
         let ctx = attn.matmul(&v);
         let y = self.wo.forward(&ctx);
-        self.cache = Some(AttnCache {
-            q,
-            k,
-            v,
-            attn,
-        });
+        self.cache = Some(AttnCache { q, k, v, attn });
+        &y + x
+    }
+
+    /// Forward pass without caching (inference only) — the `&self`
+    /// path render workers share across threads.
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let q = self.wq.forward_inference(x);
+        let k = self.wk.forward_inference(x);
+        let v = self.wv.forward_inference(x);
+        let attn = softmax_rows(&q.matmul_t(&k).scale(scale));
+        let y = self.wo.forward_inference(&attn.matmul(&v));
         &y + x
     }
 
@@ -76,7 +83,10 @@ impl SelfAttention {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
-        let cache = self.cache.take().expect("SelfAttention::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("SelfAttention::backward before forward");
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         // Residual.
         let mut grad_x = grad_out.clone();

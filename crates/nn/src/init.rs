@@ -99,8 +99,7 @@ mod tests {
     fn kaiming_variance_close_to_target() {
         let mut rng = Rng::seed_from(4);
         let w = rng.kaiming(128, 128);
-        let var: f32 =
-            w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let var: f32 = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
         let target = 2.0 / 128.0;
         assert!(
             (var - target).abs() < target * 0.3,

@@ -97,7 +97,7 @@ impl Linear {
 
     /// Forward pass; caches the input for `backward`.
     pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
-        let y = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let y = self.forward_inference(x);
         self.cache_input = Some(x.clone());
         y
     }
@@ -150,6 +150,13 @@ impl Relu {
     /// Forward pass; caches the activation mask.
     pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
         self.mask = Some(x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        self.forward_inference(x)
+    }
+
+    /// Forward pass without caching (inference only) — usable through
+    /// `&self`, so shared references to a model are `Sync`-safe across
+    /// render worker threads.
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
         x.map(|v| v.max(0.0))
     }
 
@@ -177,9 +184,14 @@ impl Sigmoid {
 
     /// Forward pass; caches the output.
     pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
-        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = self.forward_inference(x);
         self.out = Some(y.clone());
         y
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        x.map(|v| 1.0 / (1.0 + (-v).exp()))
     }
 
     /// Backward pass: `g · y · (1 − y)`.
@@ -264,8 +276,8 @@ impl LayerNorm {
             let sum_gx: f32 = gxhat.iter().zip(xhat.row(r)).map(|(g, x)| g * x).sum();
             let inv_std = inv_stds[r];
             for c in 0..d {
-                grad_in[(r, c)] = inv_std / d as f32
-                    * (d as f32 * gxhat[c] - sum_g - xhat[(r, c)] * sum_gx);
+                grad_in[(r, c)] =
+                    inv_std / d as f32 * (d as f32 * gxhat[c] - sum_g - xhat[(r, c)] * sum_gx);
             }
         }
         grad_in
@@ -476,7 +488,12 @@ mod tests {
         let y = ln.forward(&x);
         for r in 0..3 {
             let mean = y.row(r).iter().sum::<f32>() / 8.0;
-            let var = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
         }

@@ -84,6 +84,32 @@ impl RayMixer {
         self.proj.forward(&g)
     }
 
+    /// Forward pass without caching (inference only) — the `&self`
+    /// path render workers share across threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.rows() != n_points`.
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        assert_eq!(
+            x.rows(),
+            self.n_points,
+            "RayMixer built for {} points, got {}",
+            self.n_points,
+            x.rows()
+        );
+        let xt = x.transpose();
+        let ht = self
+            .token_act
+            .forward_inference(&self.token_fc.forward_inference(&xt));
+        let f = &ht.transpose() + x;
+        let c = self
+            .channel_act
+            .forward_inference(&self.channel_fc.forward_inference(&f));
+        let g = &f + &c;
+        self.proj.forward_inference(&g)
+    }
+
     /// Backward pass; accumulates parameter gradients and returns
     /// `∂L/∂x`.
     ///
@@ -91,7 +117,9 @@ impl RayMixer {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
-        self.cache.take().expect("RayMixer::backward before forward");
+        self.cache
+            .take()
+            .expect("RayMixer::backward before forward");
         // Through W₃.
         let g_g = self.proj.backward(grad_out);
         // g = f + channel_act(channel_fc(f))

@@ -64,7 +64,11 @@ impl Tensor2 {
     /// A 1×n row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { rows: 1, cols, data }
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -197,7 +201,11 @@ impl Tensor2 {
 
     /// Element-wise product (Hadamard).
     pub fn hadamard(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard dims");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "hadamard dims"
+        );
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -316,8 +324,7 @@ impl Tensor2 {
             let mut offset = 0;
             for p in parts {
                 assert_eq!(p.rows, rows, "hstack height mismatch");
-                out.data[r * cols + offset..r * cols + offset + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
             }
         }
@@ -439,7 +446,7 @@ mod tests {
     #[test]
     fn matmul_t_matches_explicit_transpose() {
         let a = Tensor2::from_fn(4, 3, |r, c| (r + 2 * c) as f32 * 0.3);
-        let b = Tensor2::from_fn(5, 3, |r, c| (r as f32 * 0.7 - c as f32));
+        let b = Tensor2::from_fn(5, 3, |r, c| r as f32 * 0.7 - c as f32);
         let fast = a.matmul_t(&b);
         let slow = a.matmul(&b.transpose());
         assert!((&fast - &slow).norm() < 1e-4);

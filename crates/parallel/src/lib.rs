@@ -1,0 +1,220 @@
+//! Deterministic fork–join data parallelism.
+//!
+//! The render pipeline, the accelerator simulator and the benchmark
+//! harness all fan the same shape of work out over cores: a slice of
+//! independent items, each mapped to a result, with results needed in
+//! input order. This crate provides that shape — a rayon-style
+//! `par_map` built on `std::thread::scope` — with two properties the
+//! workspace relies on:
+//!
+//! * **Determinism.** Results are returned in input order and each
+//!   item's computation receives only its index and value, so the
+//!   output is bit-for-bit identical no matter how many threads run
+//!   (including one). The parallel renderer's regression test pins
+//!   this.
+//! * **Zero dependencies.** Scoped threads only; no external crates,
+//!   no global thread pool, no work stealing. Items are split into one
+//!   contiguous chunk per worker, which is the right grain for the
+//!   workspace's workloads (rays of a frame, patches of a stage,
+//!   points of a sweep).
+//!
+//! The worker count comes from [`num_threads`]: the `GEN_NERF_THREADS`
+//! environment variable when set, otherwise
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "GEN_NERF_THREADS";
+
+/// The configured worker count: `GEN_NERF_THREADS` if set and
+/// positive, otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in input order with the default worker count.
+///
+/// Equivalent to `par_map_threads(items, num_threads(), f)`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(items, num_threads(), f)
+}
+
+/// Maps `f` over `items` in input order using up to `threads` workers.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` (or too few
+/// items to split) the map runs inline on the caller's thread; the
+/// output is identical either way, which is what makes the sequential
+/// and parallel render paths comparable bit-for-bit.
+pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // One contiguous chunk per worker, sized within one item of each
+    // other so no worker idles while another drains a long tail.
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(w, slice)| {
+                scope.spawn(move || {
+                    let base = w * chunk;
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Like [`par_map`], but stays inline unless there are at least
+/// `min_items_per_thread` items per worker — the grain guard for hot
+/// loops that run many small batches (e.g. per-ray training steps).
+pub fn par_map_min<T, R, F>(items: &[T], min_items_per_thread: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = num_threads();
+    if items.len() < min_items_per_thread.max(1) * 2 || threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let usable = (items.len() / min_items_per_thread.max(1))
+        .max(1)
+        .min(threads);
+    par_map_threads(items, usable, f)
+}
+
+/// Maps `f` over index chunks of `0..n`, in order: each call receives
+/// `(start, end)` of a contiguous range, and the per-chunk results are
+/// concatenated in range order. Useful when the caller wants one
+/// worker-local accumulator per chunk rather than per item.
+pub fn par_chunk_ranges<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(workers).max(1);
+    let ranges: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+        .filter(|(s, e)| s < e)
+        .collect();
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|(s, e)| f(s, e)).collect();
+    }
+    let f = &f;
+    let mut results = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(s, e)| scope.spawn(move || f(s, e)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map_threads(&items, 8, |i, &v| {
+            assert_eq!(i as u64, v);
+            v * 3
+        });
+        assert_eq!(out, (0..1000).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let items: Vec<f64> = (0..337).map(|i| i as f64 * 0.37).collect();
+        let work = |_: usize, &x: &f64| (x.sin() * 1e6).round() as i64;
+        let one = par_map_threads(&items, 1, work);
+        for t in [2, 3, 7, 16] {
+            assert_eq!(par_map_threads(&items, t, work), one, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_threads(&empty, 4, |_, &v| v).is_empty());
+        assert_eq!(par_map_threads(&[9u32], 4, |_, &v| v + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map_threads(&items, 64, |_, &v| v * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_map_min_respects_grain() {
+        // Below the grain: runs (inline) and still returns ordered
+        // results.
+        let small: Vec<u32> = (0..8).collect();
+        assert_eq!(par_map_min(&small, 100, |_, &v| v), small);
+        let big: Vec<u32> = (0..512).collect();
+        assert_eq!(par_map_min(&big, 4, |_, &v| v), big);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for t in [1usize, 2, 5, 16] {
+                let ranges = par_chunk_ranges(n, t, |s, e| (s, e));
+                let mut expect = 0usize;
+                for (s, e) in &ranges {
+                    assert_eq!(*s, expect);
+                    assert!(e > s);
+                    expect = *e;
+                }
+                assert_eq!(expect, n, "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

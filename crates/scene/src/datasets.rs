@@ -62,7 +62,14 @@ impl DatasetKind {
                 "fern", "fortress", "horns", "trex", "flower", "leaves", "orchids", "room",
             ],
             DatasetKind::NerfSynthetic => &[
-                "chair", "drums", "ficus", "hotdog", "lego", "materials", "mic", "ship",
+                "chair",
+                "drums",
+                "ficus",
+                "hotdog",
+                "lego",
+                "materials",
+                "mic",
+                "ship",
             ],
             DatasetKind::DeepVoxels => &["cube", "vase", "pedestal", "chair"],
         }
@@ -138,7 +145,11 @@ impl Dataset {
 
     /// Source cameras only (no images) — for workload studies that never
     /// touch pixels.
-    pub fn cameras_only(kind: DatasetKind, res_scale: f32, n_source: usize) -> (Vec<Camera>, Camera) {
+    pub fn cameras_only(
+        kind: DatasetKind,
+        res_scale: f32,
+        n_source: usize,
+    ) -> (Vec<Camera>, Camera) {
         let (bw, bh) = kind.base_resolution();
         let w = ((bw as f32 * res_scale).round() as u32).max(8);
         let h = ((bh as f32 * res_scale).round() as u32).max(8);
@@ -177,9 +188,17 @@ fn source_pose(kind: DatasetKind, i: usize, n: usize) -> Pose {
             let cols = (n as f32).sqrt().ceil() as usize;
             let row = i / cols;
             let col = i % cols;
-            let fx = if cols > 1 { col as f32 / (cols - 1) as f32 } else { 0.5 };
+            let fx = if cols > 1 {
+                col as f32 / (cols - 1) as f32
+            } else {
+                0.5
+            };
             let rows = n.div_ceil(cols);
-            let fy = if rows > 1 { row as f32 / (rows - 1) as f32 } else { 0.5 };
+            let fy = if rows > 1 {
+                row as f32 / (rows - 1) as f32
+            } else {
+                0.5
+            };
             let eye = Vec3::new((fx - 0.5) * 2.4, (fy - 0.5) * 1.6, 6.0);
             Pose::look_at(eye, Vec3::new(0.0, 0.0, 0.0), Vec3::Y)
         }
@@ -320,10 +339,7 @@ fn llff_scene(name: &str, s: &mut Stream) -> Scene {
             for i in 0..4 {
                 let x = -1.2 + 0.8 * i as f32;
                 prims.push(Primitive::Box {
-                    bounds: Aabb::new(
-                        Vec3::new(x, -0.2, -0.3),
-                        Vec3::new(x + 0.35, 0.5, 0.3),
-                    ),
+                    bounds: Aabb::new(Vec3::new(x, -0.2, -0.3), Vec3::new(x + 0.35, 0.5, 0.3)),
                     density: 45.0,
                     albedo: Vec3::new(0.8, 0.72, 0.55),
                 });
@@ -352,7 +368,11 @@ fn llff_scene(name: &str, s: &mut Stream) -> Scene {
             for k in 0..11 {
                 let f = k as f32 / 10.0;
                 prims.push(Primitive::Blob {
-                    center: Vec3::new(-1.6 + 3.0 * f, -0.3 + 0.7 * (1.0 - (2.0 * f - 1.0).powi(2)), 0.0),
+                    center: Vec3::new(
+                        -1.6 + 3.0 * f,
+                        -0.3 + 0.7 * (1.0 - (2.0 * f - 1.0).powi(2)),
+                        0.0,
+                    ),
                     radius: 0.22 - 0.1 * (f - 0.3).abs(),
                     density: 30.0,
                     albedo: Vec3::new(0.55, 0.5, 0.42),
@@ -483,7 +503,11 @@ fn synthetic_scene(name: &str, s: &mut Stream) -> Scene {
             for _ in 0..count {
                 if s.unit() < 0.5 {
                     prims.push(Primitive::Blob {
-                        center: Vec3::new(s.range(-1.0, 1.0), s.range(-0.8, 0.9), s.range(-1.0, 1.0)),
+                        center: Vec3::new(
+                            s.range(-1.0, 1.0),
+                            s.range(-0.8, 0.9),
+                            s.range(-1.0, 1.0),
+                        ),
                         radius: s.range(0.2, 0.5),
                         density: s.range(20.0, 45.0),
                         albedo: s.color(),

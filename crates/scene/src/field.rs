@@ -320,10 +320,7 @@ mod tests {
 
     #[test]
     fn scene_density_sums() {
-        let scene = Scene::new(
-            vec![blob_at_origin(), blob_at_origin()],
-            Vec3::splat(0.1),
-        );
+        let scene = Scene::new(vec![blob_at_origin(), blob_at_origin()], Vec3::splat(0.1));
         assert!((scene.density(Vec3::ZERO) - 8.0).abs() < 1e-5);
     }
 

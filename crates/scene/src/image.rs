@@ -79,8 +79,7 @@ impl Image {
 
     /// Bilinearly samples continuous pixel coordinates (border-clamped).
     pub fn sample(&self, uv: Vec2) -> Vec3 {
-        let fp = BilinearFootprint::at(uv, self.width, self.height)
-            .expect("image is non-empty");
+        let fp = BilinearFootprint::at(uv, self.width, self.height).expect("image is non-empty");
         let mut acc = Vec3::ZERO;
         for t in fp.taps {
             acc += self.get(t.x, t.y) * t.weight;

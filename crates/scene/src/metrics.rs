@@ -231,7 +231,9 @@ mod tests {
         let blurred = {
             let d = img.downsample2().unwrap();
             // Upsample by pixel replication.
-            Image::from_fn(32, 32, |x, y| d.get((x / 2).min(d.width() - 1), (y / 2).min(d.height() - 1)))
+            Image::from_fn(32, 32, |x, y| {
+                d.get((x / 2).min(d.width() - 1), (y / 2).min(d.height() - 1))
+            })
         };
         let noisy_img = noisy(&img, 0.5, 7);
         assert!(lpips_proxy(&img, &blurred) < lpips_proxy(&img, &noisy_img));

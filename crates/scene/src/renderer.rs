@@ -212,7 +212,11 @@ mod tests {
         let scene = simple_scene();
         let ray = Ray::new(Vec3::new(0.0, 4.0, 5.0), -Vec3::Z);
         let c = trace_ray(&scene, &ray, 64);
-        assert!((c.color - Vec3::splat(0.05)).length() < 0.02, "{:?}", c.color);
+        assert!(
+            (c.color - Vec3::splat(0.05)).length() < 0.02,
+            "{:?}",
+            c.color
+        );
     }
 
     #[test]
@@ -223,7 +227,10 @@ mod tests {
         let center = img.get(8, 8);
         let corner = img.get(0, 0);
         assert!(center.x > 0.4, "center = {center:?}");
-        assert!((corner - Vec3::splat(0.05)).length() < 0.05, "corner = {corner:?}");
+        assert!(
+            (corner - Vec3::splat(0.05)).length() < 0.05,
+            "corner = {corner:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `Bencher::iter`, benchmark groups, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock timer (median of a few timed batches after warm-up)
+//! instead of criterion's statistical machinery. Results print as
+//! `name ... time/iter`. The build environment has no crates.io
+//! access; swapping in the real criterion is a path-dependency change
+//! (see `crates/vendor/README.md`).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark label, optionally `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up, then `samples` batches; records the median
+    /// per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: grow until one batch takes >= 5 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed() / batch as u32
+            })
+            .collect();
+        per_iter.sort_unstable();
+        self.measured = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        measured: None,
+    };
+    f(&mut b);
+    match b.measured {
+        Some(t) => println!("bench {label:<48} {}", human(t)),
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 7 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, 100);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.samples, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.samples,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 2 + 2));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &21u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

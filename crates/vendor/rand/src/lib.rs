@@ -1,0 +1,188 @@
+//! Offline stand-in for `rand` (0.8-compatible trait surface).
+//!
+//! Implements exactly the API this workspace consumes — `RngCore`,
+//! `SeedableRng`, `Rng::{gen, gen_range}` over primitive ranges, and
+//! `seq::SliceRandom::shuffle` — so the build needs no crates.io
+//! access. The one generator in the tree is `rand_chacha::ChaCha8Rng`,
+//! which implements the real ChaCha8 permutation, so seeded streams
+//! are high-quality and reproducible.
+
+use std::ops::Range;
+
+/// A source of random bits.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from the unit interval / full bit range.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / 16_777_216.0)
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`]; the type parameter lets the
+/// expected output type drive literal inference (`gen_range(0.0..1.0)`
+/// in an `f32` position samples an `f32`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let u = <$t as Standard>::draw(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    };
+}
+
+impl_float_range!(f32);
+impl_float_range!(f64);
+
+macro_rules! impl_int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "cannot sample empty range");
+                // Widening multiply keeps the bias below 2^-64.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+    };
+}
+
+impl_int_range!(u8);
+impl_int_range!(u16);
+impl_int_range!(u32);
+impl_int_range!(u64);
+impl_int_range!(usize);
+impl_int_range!(i8);
+impl_int_range!(i16);
+impl_int_range!(i32);
+impl_int_range!(i64);
+impl_int_range!(isize);
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice randomization (`rand::seq`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: f32 = rng.gen_range(2.0f32..3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_in_bounds() {
+        let mut rng = Counter(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..12);
+            assert!((5..12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..32).collect();
+        let mut rng = Counter(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+}

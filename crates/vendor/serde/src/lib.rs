@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as empty marker traits plus the
+//! matching no-op derive macros, which is all this workspace uses (the
+//! derives annotate public types for downstream consumers; nothing is
+//! serialized in-process). The build environment has no crates.io
+//! access, so this keeps the annotations compiling; swapping in the
+//! real serde is a path-dependency change in `crates/vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

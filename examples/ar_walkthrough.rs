@@ -44,7 +44,7 @@ fn main() {
     // headset resolution.
     let strategy = SamplingStrategy::coarse_then_focus(8, 16);
     let spec = workload_spec(&model.config, &strategy, 512, 512, 6);
-    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let sim = Simulator::new(AcceleratorConfig::paper());
     let asic = sim.simulate(&spec);
     let rtx = GpuModel::rtx_2080ti().fps(&spec);
     let tx2 = GpuModel::jetson_tx2().fps(&spec);
@@ -70,8 +70,8 @@ fn main() {
         let phi = -0.5 + step as f32 * 0.25;
         let eye = Vec3::new(4.0 * phi.cos(), 1.3, 4.0 * phi.sin());
         let camera = Camera::new(intr, Pose::look_at(eye, Vec3::ZERO, Vec3::Y));
-        let mut renderer = Renderer::new(
-            &mut model,
+        let renderer = Renderer::new(
+            &model,
             &sources,
             strategy,
             dataset.scene.bounds,

@@ -27,8 +27,14 @@ fn main() {
     let rig = CameraRig::orbit(w, h, views);
     let sched = Scheduler::new(64 * 1024);
     for (label, patches) in [
-        ("greedy 3D-point-patch partition (ours)", sched.partition(&rig, w, h, depth, texel_bytes)),
-        ("fixed {k,k,D} partition (Var-1)", sched.partition_fixed(&rig, w, h, depth, texel_bytes)),
+        (
+            "greedy 3D-point-patch partition (ours)",
+            sched.partition(&rig, w, h, depth, texel_bytes),
+        ),
+        (
+            "fixed {k,k,D} partition (Var-1)",
+            sched.partition_fixed(&rig, w, h, depth, texel_bytes),
+        ),
     ] {
         let mut shapes: HashMap<(u32, u32, u32), usize> = HashMap::new();
         let mut texels = 0u64;
@@ -84,14 +90,18 @@ fn main() {
     let mut cfg = AcceleratorConfig::paper();
     cfg.prefetch_buffer_kb = 64;
     for variant in DataflowVariant::all() {
-        let mut sim = Simulator::with_variant(cfg, variant);
+        let sim = Simulator::with_variant(cfg, variant);
         let r = sim.simulate(&spec);
         println!(
             "  {:<6} {:>8.2} ms | PE util {:>5.1}% | {}",
             variant.label(),
             r.latency_s * 1e3,
             r.pe_utilization * 100.0,
-            if r.memory_bound { "memory-bound" } else { "compute-bound" },
+            if r.memory_bound {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            },
         );
     }
 }

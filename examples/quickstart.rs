@@ -41,8 +41,8 @@ fn main() {
     println!("rendering a novel view (coarse-then-focus 8/16) ...");
     let sources = prepare_sources(&dataset.source_views);
     let strategy = SamplingStrategy::coarse_then_focus(8, 16);
-    let mut renderer = Renderer::new(
-        &mut model,
+    let renderer = Renderer::new(
+        &model,
         &sources,
         strategy,
         dataset.scene.bounds,

@@ -81,7 +81,7 @@ proptest! {
         let bigger = WorkloadSpec::gen_nerf_default(64, 64, views, points + 16);
         let rtx = GpuModel::rtx_2080ti();
         prop_assert!(rtx.latency_s(&bigger) > rtx.latency_s(&spec));
-        let mut sim = Simulator::new(AcceleratorConfig::paper());
+        let sim = Simulator::new(AcceleratorConfig::paper());
         let report = sim.simulate(&spec);
         prop_assert!(report.fps > rtx.fps(&spec));
     }
@@ -105,7 +105,9 @@ fn scheduler_footprints_cover_algorithm_fetch_targets() {
         let (t_lo, t_hi) = rig.depth_slice(patch.d0, patch.dd, depth);
         let p = rig.novel.pixel_ray(u, v).at((t_lo + t_hi) / 2.0);
         for (view, source) in rig.sources.iter().enumerate() {
-            let Some(uv) = source.project(p) else { continue };
+            let Some(uv) = source.project(p) else {
+                continue;
+            };
             if !source.intrinsics.contains(uv) {
                 continue;
             }
@@ -176,7 +178,7 @@ fn mixer_workload_cheaper_than_transformer_everywhere() {
 fn simulated_asic_scales_linearly_in_rays() {
     // FPS extrapolation by pixel count (used by the harness) is valid
     // only if cycles scale ~linearly with rays; verify within 25%.
-    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let sim = Simulator::new(AcceleratorConfig::paper());
     let small = sim.simulate(&WorkloadSpec::gen_nerf_default(48, 48, 4, 32));
     let large = sim.simulate(&WorkloadSpec::gen_nerf_default(96, 96, 4, 32));
     let ratio = large.total_cycles as f64 / small.total_cycles as f64;

@@ -35,8 +35,8 @@ fn full_pipeline_produces_sane_novel_view() {
 
     let sources = prepare_sources(&ds.source_views);
     let strategy = SamplingStrategy::coarse_then_focus(8, 16);
-    let mut renderer = Renderer::new(
-        &mut model,
+    let renderer = Renderer::new(
+        &model,
         &sources,
         strategy,
         ds.scene.bounds,
@@ -87,7 +87,7 @@ fn algorithm_to_hardware_mapping_roundtrip() {
     assert_eq!(spec.n_coarse, 8);
     assert_eq!(spec.n_focused, 16);
 
-    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let sim = Simulator::new(AcceleratorConfig::paper());
     let report = sim.simulate(&spec);
     assert!(report.fps > 0.0);
     assert!(report.coarse.total_cycles > 0, "coarse stage not simulated");

@@ -20,7 +20,10 @@ use gen_nerf_accel::workload::{Stage, WorkloadSpec};
 fn claim_gpus_not_realtime_and_attention_inefficient() {
     let gpu = GpuModel::rtx_2080ti();
     let spec = WorkloadSpec::ibrnet_default(800, 800, 10, 196);
-    assert!(gpu.fps(&spec) < 1.0, "vanilla pipeline too fast to motivate the paper");
+    assert!(
+        gpu.fps(&spec) < 1.0,
+        "vanilla pipeline too fast to motivate the paper"
+    );
     let bd = gpu.breakdown(&spec);
     assert!(bd.acquire_s / bd.total_s() > 0.2);
     let ray_flops = 2.0 * spec.ray_macs_total(Stage::Focused) as f64;
@@ -42,8 +45,8 @@ fn claim_area_power_totals() {
 fn claim_pruning_cuts_flops() {
     let model = gen_nerf::model::GenNerfModel::new(ModelConfig::fast());
     let pruned = prune_point_mlp(&model, 0.75);
-    let ratio = model.config.mlp_macs_per_point() as f64
-        / pruned.config.mlp_macs_per_point() as f64;
+    let ratio =
+        model.config.mlp_macs_per_point() as f64 / pruned.config.mlp_macs_per_point() as f64;
     assert!(ratio > 3.0, "pruning ratio only {ratio:.2}x");
 }
 
@@ -59,18 +62,13 @@ fn claim_ctf_cheaper_at_same_budget() {
         128,
         6,
     );
-    let uniform = gen_nerf::hardware::workload_spec(
-        &cfg,
-        &SamplingStrategy::Uniform { n: 64 },
-        128,
-        128,
-        6,
-    );
+    let uniform =
+        gen_nerf::hardware::workload_spec(&cfg, &SamplingStrategy::Uniform { n: 64 }, 128, 128, 6);
     assert!(ctf.total_macs() < uniform.total_macs());
     // And it fetches fewer nominal feature bytes (4 coarse views,
     // quarter channels).
-    let ctf_bytes = ctf.nominal_gather_bytes(Stage::Coarse)
-        + ctf.nominal_gather_bytes(Stage::Focused);
+    let ctf_bytes =
+        ctf.nominal_gather_bytes(Stage::Coarse) + ctf.nominal_gather_bytes(Stage::Focused);
     let uni_bytes = uniform.nominal_gather_bytes(Stage::Focused);
     assert!(ctf_bytes < uni_bytes);
 }
@@ -80,7 +78,7 @@ fn claim_ctf_cheaper_at_same_budget() {
 #[test]
 fn claim_asic_speedups() {
     let spec = WorkloadSpec::gen_nerf_default(160, 160, 6, 64);
-    let mut sim = Simulator::new(AcceleratorConfig::paper());
+    let sim = Simulator::new(AcceleratorConfig::paper());
     let asic = sim.simulate(&spec);
     // Extrapolate to 800x800 by ray count.
     let full_fps = asic.fps * (160.0 * 160.0) / (800.0 * 800.0);
@@ -104,7 +102,7 @@ fn claim_scalability() {
     for views in [2usize, 6] {
         for points in [32usize, 64] {
             let spec = WorkloadSpec::gen_nerf_default(96, 96, views, points);
-            let mut sim = Simulator::new(AcceleratorConfig::paper());
+            let sim = Simulator::new(AcceleratorConfig::paper());
             let asic = sim.simulate(&spec);
             assert!(
                 asic.fps > rtx.fps(&spec),
@@ -123,7 +121,7 @@ fn claim_dataflow_ablation_order() {
     let spec = WorkloadSpec::gen_nerf_default(96, 96, 6, 64);
     let mut results = Vec::new();
     for variant in DataflowVariant::all() {
-        let mut sim = Simulator::with_variant(cfg, variant);
+        let sim = Simulator::with_variant(cfg, variant);
         results.push((variant, sim.simulate(&spec)));
     }
     let ours = results
