@@ -1,13 +1,33 @@
 //! Criterion benches for the neural kernels: Ray-Mixer vs ray
 //! transformer forward passes (the workload-heterogeneity argument of
-//! Sec. 3.3) and INT8 GEMM.
+//! Sec. 3.3), INT8 GEMM, and the dense f32 GEMM kernel — including the
+//! branchless-vs-zero-skip comparison that justified removing the
+//! data-dependent branch from the dense hot path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gen_nerf_bench::harness::seed_matmul_zero_skip;
 use gen_nerf_nn::attention::SelfAttention;
 use gen_nerf_nn::init::Rng;
 use gen_nerf_nn::mixer::RayMixer;
 use gen_nerf_nn::quant::QuantTensor;
 use gen_nerf_nn::Tensor2;
+
+fn bench_dense_matmul(c: &mut Criterion) {
+    // Dense activations (the render hot path: no zeros to skip, so the
+    // branch is pure pessimization there).
+    let mut group = c.benchmark_group("dense_matmul");
+    for (m, k, n) in [(16usize, 26usize, 48usize), (256, 48, 48), (128, 128, 128)] {
+        let a = Tensor2::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.13).sin() + 1.1);
+        let b = Tensor2::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.07).cos());
+        group.bench_function(format!("blocked_branchless/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| a.matmul(&b))
+        });
+        group.bench_function(format!("naive_zero_skip/{m}x{k}x{n}"), |bch| {
+            bch.iter(|| seed_matmul_zero_skip(&a, &b))
+        });
+    }
+    group.finish();
+}
 
 fn bench_ray_modules(c: &mut Criterion) {
     let mut rng = Rng::seed_from(1);
@@ -27,5 +47,10 @@ fn bench_int8_gemm(c: &mut Criterion) {
     c.bench_function("f32_gemm_64x48x48", |b| b.iter(|| a.matmul(&w)));
 }
 
-criterion_group!(benches, bench_ray_modules, bench_int8_gemm);
+criterion_group!(
+    benches,
+    bench_ray_modules,
+    bench_int8_gemm,
+    bench_dense_matmul
+);
 criterion_main!(benches);

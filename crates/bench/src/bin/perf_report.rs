@@ -1,0 +1,303 @@
+//! Perf trajectory for the fused cross-ray inference path.
+//!
+//! Measures, on the current host:
+//!
+//! * **chunk inference rays/sec**, three ways on identical
+//!   pre-aggregated chunks:
+//!   1. the **seed baseline** — a faithful replica of the pre-fusion
+//!      per-ray path (naive zero-skip GEMM, mixer padded to `N_max`,
+//!      one 3-layer blend MLP call per point) — the path this PR
+//!      replaced and the headline "≥ 2×" comparison,
+//!   2. the **per-ray reference** ([`GenNerfModel::forward_ray`] loop)
+//!      — same modern kernels as the fused path, one GEMM chain per
+//!      ray; retained for bit-exactness pinning,
+//!   3. the **fused path** ([`GenNerfModel::forward_rays`]) — one
+//!      point-MLP GEMM + one blend GEMM per chunk;
+//! * **end-to-end frame rays/sec** — `Renderer` fused vs per-ray
+//!   reference (both include feature acquisition),
+//! * **dense matmul GFLOP/s** of the register-blocked kernel,
+//! * **allocations per frame** on each path, via a counting global
+//!   allocator.
+//!
+//! Writes `BENCH_fused.json` (in the current directory, or to the path
+//! in `GEN_NERF_PERF_OUT`) so successive PRs can track the trajectory.
+
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::features::{aggregate_point, prepare_sources, PointAggregate};
+use gen_nerf::model::{density_from_logit, GenNerfModel, RayModule};
+use gen_nerf::pipeline::Renderer;
+use gen_nerf_geometry::Vec3;
+use gen_nerf_nn::layers::Linear;
+use gen_nerf_nn::Tensor2;
+use gen_nerf_scene::{Dataset, DatasetKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation (the "allocations per frame" metric).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Times `f` over `reps` repetitions, returning seconds per repetition
+/// (best of five batches after one warm-up batch, to shrug off
+/// scheduler noise on small shared hosts).
+fn time_per_rep(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+// ---- Seed-baseline replica -------------------------------------------
+//
+// The pre-fusion renderer, reconstructed faithfully: the seed's dense
+// kernel (`harness::seed_matmul_zero_skip`), the mixer padded to
+// `N_max`, and one 3-layer blend MLP invocation per point. This is the
+// per-ray path the fused schedule replaced; keeping it runnable pins
+// the perf trajectory to a stable origin.
+
+fn seed_linear(x: &Tensor2, l: &Linear) -> Tensor2 {
+    gen_nerf_bench::harness::seed_matmul_zero_skip(x, &l.w.value).add_row_broadcast(&l.b.value)
+}
+
+fn seed_mlp3(x: &Tensor2, (l1, l2, l3): (&Linear, &Linear, &Linear)) -> Tensor2 {
+    let h1 = seed_linear(x, l1).map(|v| v.max(0.0));
+    let h2 = seed_linear(&h1, l2).map(|v| v.max(0.0));
+    seed_linear(&h2, l3)
+}
+
+fn seed_forward_ray(model: &GenNerfModel, aggs: &[PointAggregate]) -> (Vec<f32>, Vec<Vec3>) {
+    let n = aggs.len();
+    let d_sigma = model.config.d_sigma;
+    let x = Tensor2::from_fn(n, model.config.point_input_dim(), |r, c| aggs[r].stats[c]);
+    let y = seed_mlp3(&x, model.point_mlp.layers());
+    let f_sigma = Tensor2::from_fn(n, d_sigma, |r, c| y[(r, c)]);
+    let logits = match &model.ray_module {
+        RayModule::Mixer(mixer) => {
+            // Seed convention: pad every ray to N_max before mixing.
+            let nm = mixer.n_points();
+            let padded = if n == nm {
+                f_sigma.clone()
+            } else {
+                Tensor2::vstack(&[f_sigma.clone(), Tensor2::zeros(nm - n, d_sigma)])
+            };
+            let (token_fc, channel_fc, proj) = mixer.layers();
+            let ht = seed_linear(&padded.transpose(), token_fc).map(|v| v.max(0.0));
+            let f = &ht.transpose() + &padded;
+            let c = seed_linear(&f, channel_fc).map(|v| v.max(0.0));
+            seed_linear(&(&f + &c), proj).slice_rows(0, n)
+        }
+        // Non-default modules: fall back to the modern reference.
+        _ => model.ray_module.forward_inference(&f_sigma),
+    };
+    let mut densities = Vec::with_capacity(n);
+    let mut colors = Vec::with_capacity(n);
+    for (k, agg) in aggs.iter().enumerate() {
+        if agg.n_valid == 0 {
+            densities.push(0.0);
+            colors.push(Vec3::ZERO);
+            continue;
+        }
+        densities.push(density_from_logit(logits[(k, 0)]));
+        // One blend-MLP invocation per point — the allocation pattern
+        // the fused path hoists to chunk level.
+        let valid_idx: Vec<usize> = (0..agg.valid.len()).filter(|&i| agg.valid[i]).collect();
+        let input = Tensor2::from_fn(valid_idx.len(), 2, |r, c| agg.blend_inputs[valid_idx[r]][c]);
+        let blend_logits = seed_mlp3(&input, model.blend.layers());
+        let max = (0..valid_idx.len())
+            .map(|r| blend_logits[(r, 0)])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut weights: Vec<f32> = (0..valid_idx.len())
+            .map(|r| (blend_logits[(r, 0)] - max).exp())
+            .collect();
+        let total: f32 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w /= total);
+        let mut blended = Vec3::ZERO;
+        for (w, &i) in weights.iter().zip(&valid_idx) {
+            blended += agg.view_colors[i] * *w;
+        }
+        let resid = Vec3::new(
+            0.1 * y[(k, d_sigma)].tanh(),
+            0.1 * y[(k, d_sigma + 1)].tanh(),
+            0.1 * y[(k, d_sigma + 2)].tanh(),
+        );
+        colors.push((blended + resid).clamp(0.0, 1.0));
+    }
+    (densities, colors)
+}
+
+fn main() {
+    let out_path =
+        std::env::var("GEN_NERF_PERF_OUT").unwrap_or_else(|_| "BENCH_fused.json".to_string());
+
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 6, 1, 32, 7);
+    let sources = prepare_sources(&ds.source_views);
+    let model = GenNerfModel::new(ModelConfig::fast());
+
+    // ---- Chunk inference: fused vs per-ray on identical inputs. ----
+    let cam = &ds.eval_views[0].camera;
+    let (w, h) = (cam.intrinsics.width, cam.intrinsics.height);
+    let (n_rays, pts) = (128usize, 16usize);
+    let mut rays: Vec<Vec<PointAggregate>> = Vec::with_capacity(n_rays);
+    let mut px = 0u32;
+    while rays.len() < n_rays {
+        let ray = cam.pixel_center_ray(px % w, (px / w) % h);
+        px += 1;
+        let Some((t0, t1)) = ds.scene.bounds.intersect_ray(&ray) else {
+            continue;
+        };
+        rays.push(
+            gen_nerf_geometry::Ray::uniform_depths(t0, t1, pts)
+                .into_iter()
+                .map(|t| aggregate_point(ray.at(t), ray.direction, &sources, 12))
+                .collect(),
+        );
+    }
+    let refs: Vec<&[PointAggregate]> = rays.iter().map(|r| r.as_slice()).collect();
+
+    // Sanity: the two paths agree bit-for-bit before being compared.
+    let fused_out = model.forward_rays(&refs);
+    for (r, out) in refs.iter().zip(&fused_out) {
+        assert_eq!(
+            &model.forward_ray(r),
+            out,
+            "fused/per-ray divergence; refusing to report"
+        );
+    }
+
+    // The seed baseline computes the same function modulo the dynamic
+    // (unpadded) mixer inference; agreement is near-exact, not
+    // bit-exact, so check it with a tolerance.
+    for (r, out) in refs.iter().zip(&fused_out) {
+        let (densities, _) = seed_forward_ray(&model, r);
+        for (a, b) in densities.iter().zip(&out.densities) {
+            assert!(
+                (a - b).abs() <= 1e-3 * a.abs().max(1.0),
+                "seed baseline diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    let reps = 8;
+    let t_baseline = time_per_rep(reps, || {
+        for r in &refs {
+            std::hint::black_box(seed_forward_ray(&model, r));
+        }
+    });
+    let t_per_ray = time_per_rep(reps, || {
+        for r in &refs {
+            std::hint::black_box(model.forward_ray(r));
+        }
+    });
+    let t_fused = time_per_rep(reps, || {
+        std::hint::black_box(model.forward_rays(&refs));
+    });
+    let inference_rays_per_sec_baseline = n_rays as f64 / t_baseline;
+    let inference_rays_per_sec_per_ray = n_rays as f64 / t_per_ray;
+    let inference_rays_per_sec_fused = n_rays as f64 / t_fused;
+    // Headline: fused vs the per-ray path this PR replaced.
+    let inference_speedup = inference_rays_per_sec_fused / inference_rays_per_sec_baseline;
+    let same_kernel_speedup = inference_rays_per_sec_fused / inference_rays_per_sec_per_ray;
+
+    // ---- End-to-end frame: fused schedule vs per-ray reference. ----
+    let strategy = SamplingStrategy::Uniform { n: 12 };
+    let frame = |fused: bool| {
+        Renderer::new(
+            &model,
+            &sources,
+            strategy,
+            ds.scene.bounds,
+            ds.scene.background,
+        )
+        .with_fused(fused)
+        .render(&ds.eval_views[0].camera)
+    };
+    let frame_rays = (w as u64 * h as u64) as f64;
+    let t_frame_per_ray = time_per_rep(2, || {
+        std::hint::black_box(frame(false));
+    });
+    let t_frame_fused = time_per_rep(2, || {
+        std::hint::black_box(frame(true));
+    });
+    let frame_rays_per_sec_per_ray = frame_rays / t_frame_per_ray;
+    let frame_rays_per_sec_fused = frame_rays / t_frame_fused;
+
+    // ---- Allocations per frame (single-threaded so worker-thread
+    // bookkeeping doesn't blur the count). ----
+    let frame_1t = |fused: bool| {
+        Renderer::new(
+            &model,
+            &sources,
+            strategy,
+            ds.scene.bounds,
+            ds.scene.background,
+        )
+        .with_fused(fused)
+        .with_threads(1)
+        .render(&ds.eval_views[0].camera)
+    };
+    let a0 = allocations();
+    std::hint::black_box(frame_1t(false));
+    let allocs_per_ray_path = allocations() - a0;
+    let a1 = allocations();
+    std::hint::black_box(frame_1t(true));
+    let allocs_fused_path = allocations() - a1;
+
+    // ---- Dense GEMM GFLOP/s of the blocked kernel. ----
+    let (m, k, n) = (128usize, 128usize, 128usize);
+    let a = gen_nerf_nn::Tensor2::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.11).sin());
+    let b = gen_nerf_nn::Tensor2::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.05).cos());
+    let t_mm = time_per_rep(20, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+    let matmul_gflops = (2.0 * m as f64 * k as f64 * n as f64) / t_mm / 1e9;
+
+    let json = format!(
+        "{{\n  \"chunk\": {{\"rays\": {n_rays}, \"points_per_ray\": {pts}}},\n  \
+         \"inference_rays_per_sec_seed_baseline\": {inference_rays_per_sec_baseline:.1},\n  \
+         \"inference_rays_per_sec_per_ray\": {inference_rays_per_sec_per_ray:.1},\n  \
+         \"inference_rays_per_sec_fused\": {inference_rays_per_sec_fused:.1},\n  \
+         \"inference_speedup_vs_seed_baseline\": {inference_speedup:.2},\n  \
+         \"inference_speedup_vs_per_ray_same_kernels\": {same_kernel_speedup:.2},\n  \
+         \"frame_rays_per_sec_per_ray\": {frame_rays_per_sec_per_ray:.1},\n  \
+         \"frame_rays_per_sec_fused\": {frame_rays_per_sec_fused:.1},\n  \
+         \"frame_speedup\": {:.2},\n  \
+         \"allocations_per_frame_per_ray\": {allocs_per_ray_path},\n  \
+         \"allocations_per_frame_fused\": {allocs_fused_path},\n  \
+         \"matmul_gflops_128\": {matmul_gflops:.2}\n}}\n",
+        frame_rays_per_sec_fused / frame_rays_per_sec_per_ray,
+    );
+    std::fs::write(&out_path, &json).expect("write perf report");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -89,6 +89,19 @@ impl Mlp {
         self.l3.forward_inference(&h2)
     }
 
+    /// Inference forward through reusable scratch buffers; the result
+    /// lands in `scratch.out`. Bit-identical to
+    /// [`Mlp::forward_inference`] (the layers' `_into`/in-place
+    /// variants share its arithmetic) while allocating nothing once the
+    /// scratch buffers have grown to size.
+    pub fn forward_inference_into(&self, x: &Tensor2, scratch: &mut MlpScratch) {
+        self.l1.forward_into(x, &mut scratch.h1);
+        self.a1.forward_inference_in_place(&mut scratch.h1);
+        self.l2.forward_into(&scratch.h1, &mut scratch.h2);
+        self.a2.forward_inference_in_place(&mut scratch.h2);
+        self.l3.forward_into(&scratch.h2, &mut scratch.out);
+    }
+
     /// Backward pass; accumulates gradients, returns `∂L/∂x`.
     pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
         let g2 = self.a2.backward(&self.l3.backward(grad_out));
@@ -185,30 +198,99 @@ impl RayModule {
     }
 
     /// Density logits through `&self` (no caching; inference only).
-    /// Same padding convention as [`RayModule::forward`].
+    ///
+    /// The mixer variant runs its dynamic-`n` inference path (only the
+    /// live `n × n` token block — no padding work), matching the
+    /// dynamic cost `ModelConfig::ray_module_macs` accounts.
     ///
     /// # Panics
     ///
     /// Panics when `n > N_max` for the mixer variant.
     pub fn forward_inference(&self, f_sigma: &Tensor2) -> Tensor2 {
-        let n = f_sigma.rows();
         match self {
             RayModule::Transformer { attn, proj } => {
                 let y = attn.forward_inference(f_sigma);
                 proj.forward_inference(&y)
             }
-            RayModule::Mixer(mixer) => {
-                let nm = mixer.n_points();
-                assert!(n <= nm, "ray has {n} points, mixer supports {nm}");
-                let padded = if n == nm {
-                    f_sigma.clone()
-                } else {
-                    Tensor2::vstack(&[f_sigma.clone(), Tensor2::zeros(nm - n, f_sigma.cols())])
-                };
-                mixer.forward_inference(&padded).slice_rows(0, n)
-            }
+            RayModule::Mixer(mixer) => mixer.forward_inference(f_sigma),
             RayModule::None { proj } => proj.forward_inference(f_sigma),
         }
+    }
+
+    /// Fused inference over many rays' feature slices at once.
+    ///
+    /// Cross-point mixing never crosses rays, so only the per-ray
+    /// phases run per ray (the mixer's `n × n` token mix, the
+    /// transformer's softmax attention); every row-independent phase
+    /// (the mixer's channel FC + projection, the `None` projection)
+    /// runs as **one** GEMM over the stacked chunk. Per-ray outputs are
+    /// bit-identical to [`RayModule::forward_inference`] on each slice
+    /// — the GEMM kernel's k-order contract again. Empty rays yield
+    /// empty logit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any ray exceeds `N_max` for the mixer variant.
+    pub fn forward_inference_batch(&self, rays_f_sigma: &[Tensor2]) -> Vec<Vec<f32>> {
+        let live: Vec<usize> = (0..rays_f_sigma.len())
+            .filter(|&i| rays_f_sigma[i].rows() > 0)
+            .collect();
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); rays_f_sigma.len()];
+        if live.is_empty() {
+            return out;
+        }
+        let extract = |t: &Tensor2| -> Vec<f32> { (0..t.rows()).map(|k| t[(k, 0)]).collect() };
+        match self {
+            RayModule::Transformer { .. } => {
+                // Softmax attention is intrinsically per-ray (the very
+                // cost the Ray-Mixer exists to remove, Sec. 3.3).
+                for &i in &live {
+                    out[i] = extract(&self.forward_inference(&rays_f_sigma[i]));
+                }
+            }
+            RayModule::Mixer(mixer) => {
+                // Token phase: one GEMM per distinct ray length (a
+                // uniform chunk is a single group), preserving ray
+                // order for the fused channel/projection phase.
+                let mut by_len: std::collections::BTreeMap<usize, Vec<usize>> =
+                    std::collections::BTreeMap::new();
+                for (slot, &i) in live.iter().enumerate() {
+                    by_len.entry(rays_f_sigma[i].rows()).or_default().push(slot);
+                }
+                let mut fs: Vec<Option<Tensor2>> = vec![None; live.len()];
+                for (_, slots) in by_len {
+                    let group: Vec<&Tensor2> =
+                        slots.iter().map(|&s| &rays_f_sigma[live[s]]).collect();
+                    for (slot, f) in slots.iter().zip(mixer.mix_tokens_inference_group(&group)) {
+                        fs[*slot] = Some(f);
+                    }
+                }
+                let fs: Vec<Tensor2> = fs.into_iter().map(|f| f.unwrap()).collect();
+                let logits = mixer.finish_inference(&Tensor2::vstack(&fs));
+                let mut offset = 0;
+                for (&i, f) in live.iter().zip(&fs) {
+                    let n = f.rows();
+                    out[i] = (0..n).map(|k| logits[(offset + k, 0)]).collect();
+                    offset += n;
+                }
+            }
+            RayModule::None { proj } => {
+                let stacked = Tensor2::vstack(
+                    &live
+                        .iter()
+                        .map(|&i| rays_f_sigma[i].clone())
+                        .collect::<Vec<_>>(),
+                );
+                let logits = proj.forward_inference(&stacked);
+                let mut offset = 0;
+                for &i in &live {
+                    let n = rays_f_sigma[i].rows();
+                    out[i] = (0..n).map(|k| logits[(offset + k, 0)]).collect();
+                    offset += n;
+                }
+            }
+        }
+        out
     }
 
     /// Backward pass from per-point logit gradients; returns the
@@ -244,6 +326,34 @@ impl RayModule {
             RayModule::None { proj } => proj.params_mut(),
         }
     }
+}
+
+/// Reusable activation buffers for one [`Mlp`]'s inference forward.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    h1: Tensor2,
+    h2: Tensor2,
+    /// The MLP output of the latest [`Mlp::forward_inference_into`].
+    pub out: Tensor2,
+}
+
+/// Chunk-level scratch buffers for the fused cross-ray inference path
+/// ([`GenNerfModel::forward_rays_scratch`]). One instance per render
+/// worker replaces the per-ray/per-point tensor allocations of the
+/// per-ray path (notably `blend_color`'s three `Vec`s + `Tensor2` per
+/// point).
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// Fused point-MLP input (all points of all rays, ray-major).
+    x: Tensor2,
+    /// Point-MLP activations.
+    mlp: MlpScratch,
+    /// Fused blend-head input (one row per valid (point, view) pair).
+    blend_in: Tensor2,
+    /// Blend-head activations.
+    blend: MlpScratch,
+    /// Per-point softmax weights.
+    weights: Vec<f32>,
 }
 
 /// Inference output for one ray.
@@ -358,6 +468,160 @@ impl GenNerfModel {
         RayOutput { densities, colors }
     }
 
+    /// Fused inference over the points of a whole chunk of rays — the
+    /// software analog of the paper's PE pool amortizing the point-MLP
+    /// GEMM across many rays' samples at once.
+    ///
+    /// Where [`GenNerfModel::forward_ray`] issues one sub-16-row GEMM
+    /// chain per ray plus one tiny blend GEMM per *point*, this path
+    /// concatenates every point of every ray into a single input
+    /// tensor, runs **one** point-MLP GEMM chain, one ray-module pass
+    /// per ray over slices of the fused activations, and **one** blend
+    /// GEMM over all valid (point, view) pairs of the chunk.
+    ///
+    /// # Bit-exactness contract
+    ///
+    /// The output is **bit-for-bit identical** to calling
+    /// [`GenNerfModel::forward_ray`] on each slice, for any grouping of
+    /// rays into chunks. This holds because the dense `matmul` kernel
+    /// in `gen-nerf-nn` accumulates every output element over the
+    /// shared dimension `k` in ascending order with one `f32`
+    /// accumulator (register blocking tiles `i`/`j` only), making GEMM
+    /// rows independent of which other rows share the batch; ray
+    /// modules run per ray on identical inputs; and the fused blend
+    /// head replays `blend_color`'s softmax reduction in the same
+    /// order. `tests/fused_forward_regression.rs` pins the contract.
+    pub fn forward_rays(&self, rays: &[&[PointAggregate]]) -> Vec<RayOutput> {
+        let mut scratch = ForwardScratch::default();
+        self.forward_rays_scratch(rays, &mut scratch)
+    }
+
+    /// [`GenNerfModel::forward_rays`] with caller-owned scratch buffers
+    /// (reused across chunks by long-lived render workers).
+    pub fn forward_rays_scratch(
+        &self,
+        rays: &[&[PointAggregate]],
+        scratch: &mut ForwardScratch,
+    ) -> Vec<RayOutput> {
+        let total: usize = rays.iter().map(|r| r.len()).sum();
+        if total == 0 {
+            return rays
+                .iter()
+                .map(|_| RayOutput {
+                    densities: Vec::new(),
+                    colors: Vec::new(),
+                })
+                .collect();
+        }
+        let d_sigma = self.config.d_sigma;
+        let in_dim = self.config.point_input_dim();
+
+        // One stats tensor for every point of every ray (ray-major),
+        // one point-MLP GEMM chain for the whole chunk.
+        scratch.x.reset_zeroed(total, in_dim);
+        let mut r = 0;
+        for ray in rays {
+            for agg in ray.iter() {
+                scratch.x.row_mut(r).copy_from_slice(&agg.stats[..in_dim]);
+                r += 1;
+            }
+        }
+        self.point_mlp
+            .forward_inference_into(&scratch.x, &mut scratch.mlp);
+        let y = &scratch.mlp.out;
+
+        // Ray module over per-ray slices of the fused activations:
+        // per-ray phases stay per ray (mixing never crosses rays), but
+        // the row-independent phases run once for the whole chunk.
+        let mut f_sigma_per_ray: Vec<Tensor2> = Vec::with_capacity(rays.len());
+        let mut offset = 0;
+        for ray in rays {
+            let n = ray.len();
+            let mut f_sigma = Tensor2::zeros(n, d_sigma);
+            for r in 0..n {
+                f_sigma
+                    .row_mut(r)
+                    .copy_from_slice(&y.row(offset + r)[..d_sigma]);
+            }
+            f_sigma_per_ray.push(f_sigma);
+            offset += n;
+        }
+        let logits_per_ray = self.ray_module.forward_inference_batch(&f_sigma_per_ray);
+
+        // One blend-head GEMM over every valid (point, view) pair of
+        // the chunk (ray-major, point-major, view-ascending), replacing
+        // one 3-layer MLP call *per point* in the per-ray path.
+        let n_pairs: usize = rays
+            .iter()
+            .flat_map(|ray| ray.iter())
+            .map(|agg| agg.n_valid)
+            .sum();
+        scratch.blend_in.reset_zeroed(n_pairs.max(1), 2);
+        let mut pr = 0;
+        for ray in rays {
+            for agg in ray.iter() {
+                for (i, &ok) in agg.valid.iter().enumerate() {
+                    if ok {
+                        let row = scratch.blend_in.row_mut(pr);
+                        row[0] = agg.blend_inputs[i][0];
+                        row[1] = agg.blend_inputs[i][1];
+                        pr += 1;
+                    }
+                }
+            }
+        }
+        self.blend
+            .forward_inference_into(&scratch.blend_in, &mut scratch.blend);
+        let blend_logits = &scratch.blend.out;
+
+        // Per-ray assembly: softmax each point's pair range (same
+        // reduction order as `blend_color`), add the RGB residual.
+        let mut outputs = Vec::with_capacity(rays.len());
+        let mut offset = 0;
+        let mut pair = 0;
+        for (ray, logits) in rays.iter().zip(&logits_per_ray) {
+            let n = ray.len();
+            let mut densities = Vec::with_capacity(n);
+            let mut colors = Vec::with_capacity(n);
+            for (k, agg) in ray.iter().enumerate() {
+                if agg.n_valid == 0 {
+                    densities.push(0.0);
+                    colors.push(Vec3::ZERO);
+                    continue;
+                }
+                densities.push(density_from_logit(logits[k]));
+                let m = agg.n_valid;
+                let max = (pair..pair + m)
+                    .map(|p| blend_logits[(p, 0)])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                scratch.weights.clear();
+                scratch
+                    .weights
+                    .extend((pair..pair + m).map(|p| (blend_logits[(p, 0)] - max).exp()));
+                let total_w: f32 = scratch.weights.iter().sum();
+                scratch.weights.iter_mut().for_each(|w| *w /= total_w);
+                let mut blended = Vec3::ZERO;
+                let mut wi = 0;
+                for (i, &ok) in agg.valid.iter().enumerate() {
+                    if ok {
+                        blended += agg.view_colors[i] * scratch.weights[wi];
+                        wi += 1;
+                    }
+                }
+                pair += m;
+                let resid = Vec3::new(
+                    0.1 * y[(offset + k, d_sigma)].tanh(),
+                    0.1 * y[(offset + k, d_sigma + 1)].tanh(),
+                    0.1 * y[(offset + k, d_sigma + 2)].tanh(),
+                );
+                colors.push((blended + resid).clamp(0.0, 1.0));
+            }
+            offset += n;
+            outputs.push(RayOutput { densities, colors });
+        }
+        outputs
+    }
+
     /// Blends source colors with softmax weights from the blend head.
     fn blend_color(&self, agg: &PointAggregate) -> Vec3 {
         let valid_idx: Vec<usize> = (0..agg.valid.len()).filter(|&i| agg.valid[i]).collect();
@@ -399,6 +663,46 @@ impl GenNerfModel {
                 }
             })
             .collect()
+    }
+
+    /// Fused coarse-pass density estimation for a chunk of rays: one
+    /// coarse-MLP GEMM chain over every point of every ray, sliced back
+    /// per ray. Bit-for-bit identical to per-ray
+    /// [`GenNerfModel::coarse_densities`] for any chunking (same GEMM
+    /// row-independence argument as [`GenNerfModel::forward_rays`]).
+    pub fn coarse_densities_batch(&self, rays: &[&[PointAggregate]]) -> Vec<Vec<f32>> {
+        let total: usize = rays.iter().map(|r| r.len()).sum();
+        if total == 0 {
+            return rays.iter().map(|_| Vec::new()).collect();
+        }
+        let in_dim = self.config.coarse_input_dim();
+        let mut x = Tensor2::zeros(total, in_dim);
+        let mut r = 0;
+        for ray in rays {
+            for agg in ray.iter() {
+                x.row_mut(r).copy_from_slice(&agg.stats[..in_dim]);
+                r += 1;
+            }
+        }
+        let z = self.coarse_mlp.forward_inference(&x);
+        let mut out = Vec::with_capacity(rays.len());
+        let mut offset = 0;
+        for ray in rays {
+            out.push(
+                ray.iter()
+                    .enumerate()
+                    .map(|(k, agg)| {
+                        if agg.n_valid == 0 {
+                            0.0
+                        } else {
+                            density_from_logit(z[(offset + k, 0)])
+                        }
+                    })
+                    .collect(),
+            );
+            offset += ray.len();
+        }
+        out
     }
 
     /// One training step's forward+backward for a ray: supervises
@@ -590,6 +894,71 @@ mod tests {
         for c in &out.colors {
             assert!(c.x >= 0.0 && c.x <= 1.0);
         }
+    }
+
+    #[test]
+    fn forward_rays_matches_forward_ray_bitwise() {
+        let (ds, sources) = tiny_setup();
+        for choice in [
+            RayModuleChoice::Mixer,
+            RayModuleChoice::Transformer,
+            RayModuleChoice::None,
+        ] {
+            let model = GenNerfModel::new(ModelConfig::fast().with_ray_module(choice));
+            let (a12, _, _) = ray_aggs(&ds, &sources, 12);
+            let (a5, _, _) = ray_aggs(&ds, &sources, 5);
+            let invisible = aggregate_point(Vec3::new(1000.0, 0.0, 0.0), Vec3::X, &sources, 12);
+            let mixed = vec![invisible, a5[0].clone(), a5[1].clone()];
+            let rays: Vec<&[PointAggregate]> = vec![&a12, &[], &a5, &mixed];
+            let fused = model.forward_rays(&rays);
+            assert_eq!(fused.len(), rays.len());
+            for (ray, out) in rays.iter().zip(&fused) {
+                let per_ray = model.forward_ray(ray);
+                let fb: Vec<u32> = out.densities.iter().map(|v| v.to_bits()).collect();
+                let pb: Vec<u32> = per_ray.densities.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fb, pb, "{choice:?} densities diverged");
+                for (cf, cp) in out.colors.iter().zip(&per_ray.colors) {
+                    assert_eq!(
+                        [cf.x.to_bits(), cf.y.to_bits(), cf.z.to_bits()],
+                        [cp.x.to_bits(), cp.y.to_bits(), cp.z.to_bits()],
+                        "{choice:?} colors diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_densities_batch_matches_per_ray_bitwise() {
+        let (ds, sources) = tiny_setup();
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(2, 2);
+        let mk = |ts: &[f32]| -> Vec<PointAggregate> {
+            ts.iter()
+                .map(|&t| aggregate_point(ray.at(t), ray.direction, &sources, 3))
+                .collect()
+        };
+        let a = mk(&[2.0, 2.5, 3.0, 3.5]);
+        let b = mk(&[2.2]);
+        let rays: Vec<&[PointAggregate]> = vec![&a, &[], &b];
+        let fused = model.coarse_densities_batch(&rays);
+        for (ray_aggs, out) in rays.iter().zip(&fused) {
+            let per_ray = model.coarse_densities(ray_aggs);
+            let fb: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = per_ray.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, pb);
+        }
+    }
+
+    #[test]
+    fn forward_rays_of_nothing_is_empty() {
+        let model = GenNerfModel::new(ModelConfig::fast());
+        assert!(model.forward_rays(&[]).is_empty());
+        let empty: Vec<&[PointAggregate]> = vec![&[], &[]];
+        let out = model.forward_rays(&empty);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|o| o.densities.is_empty()));
     }
 
     #[test]

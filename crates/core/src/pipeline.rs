@@ -28,10 +28,26 @@
 //! this. The worker count defaults to [`gen_nerf_parallel::num_threads`]
 //! (the `GEN_NERF_THREADS` environment variable) and can be pinned per
 //! renderer with [`Renderer::with_threads`].
+//!
+//! # The fused chunk schedule (default)
+//!
+//! Within each worker's chunk, shading runs as a two-phase schedule
+//! instead of a per-ray program: **aggregate** every ray of the chunk,
+//! then **one fused forward** ([`GenNerfModel::forward_rays`] — a
+//! single point-MLP GEMM and a single blend-head GEMM for the whole
+//! chunk, the software analog of the paper's PE pool), then a per-ray
+//! **composite**. Because the dense GEMM kernel makes output rows
+//! independent of their batch (k-order accumulation, see
+//! `gen_nerf_nn::tensor`), the fused schedule is bit-for-bit identical
+//! to the per-ray path for any chunking — which is also what keeps the
+//! thread-count determinism above intact. The per-ray reference path
+//! survives behind [`Renderer::with_fused`]`(false)` for regression
+//! pinning (`tests/fused_forward_regression.rs`) and perf comparison
+//! (`gen-nerf-bench`'s `perf_report`).
 
 use crate::config::SamplingStrategy;
 use crate::features::{aggregate_point, PointAggregate, SourceViewData};
-use crate::model::GenNerfModel;
+use crate::model::{ForwardScratch, GenNerfModel};
 use crate::sampling;
 use gen_nerf_geometry::{Aabb, Camera, Ray, Vec3};
 use gen_nerf_nn::flops::{self, FlopsCounter};
@@ -171,6 +187,7 @@ pub struct Renderer<'a> {
     background: Vec3,
     base_seed: u64,
     threads: usize,
+    fused: bool,
 }
 
 impl<'a> Renderer<'a> {
@@ -195,6 +212,7 @@ impl<'a> Renderer<'a> {
             background,
             base_seed,
             threads: gen_nerf_parallel::num_threads(),
+            fused: true,
         }
     }
 
@@ -205,22 +223,44 @@ impl<'a> Renderer<'a> {
         self
     }
 
+    /// Selects the inference schedule: `true` (the default) renders
+    /// through the fused chunk schedule
+    /// ([`GenNerfModel::forward_rays`]); `false` selects the per-ray
+    /// reference path. Output and stats are bit-for-bit identical
+    /// either way — the flag exists for regression pinning and
+    /// benchmarking, not as a results knob.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
     /// Renders a full image from `camera`.
     pub fn render(&self, camera: &Camera) -> (Image, RenderStats) {
         let batch = RayBatch::from_camera(camera, &self.bounds);
         let mut stats = RenderStats::default();
         stats.rays = batch.len() as u64;
-        let image = match self.strategy {
-            SamplingStrategy::Uniform { n } => self.render_uniform(&batch, n, &mut stats),
-            SamplingStrategy::Hierarchical { n_coarse, n_fine } => {
+        let image = match (self.strategy, self.fused) {
+            (SamplingStrategy::Uniform { n }, false) => self.render_uniform(&batch, n, &mut stats),
+            (SamplingStrategy::Uniform { n }, true) => {
+                self.render_uniform_fused(&batch, n, &mut stats)
+            }
+            (SamplingStrategy::Hierarchical { n_coarse, n_fine }, false) => {
                 self.render_hierarchical(&batch, n_coarse, n_fine, &mut stats)
             }
-            SamplingStrategy::CoarseThenFocus {
-                n_coarse,
-                n_focused,
-                tau,
-                s_coarse,
-            } => self.render_ctf(&batch, n_coarse, n_focused, tau, s_coarse, &mut stats),
+            (SamplingStrategy::Hierarchical { n_coarse, n_fine }, true) => {
+                self.render_hierarchical_fused(&batch, n_coarse, n_fine, &mut stats)
+            }
+            (
+                SamplingStrategy::CoarseThenFocus {
+                    n_coarse,
+                    n_focused,
+                    tau,
+                    s_coarse,
+                },
+                fused,
+            ) => self.render_ctf(
+                &batch, n_coarse, n_focused, tau, s_coarse, fused, &mut stats,
+            ),
         };
         (image, stats)
     }
@@ -257,20 +297,79 @@ impl<'a> Renderer<'a> {
         (pixels, stats)
     }
 
-    /// Aggregates + full-model forward + accounting for a ray's points.
-    fn eval_points(
-        &self,
-        ray: &Ray,
-        depths: &[f32],
-        stats: &mut RenderStats,
-    ) -> (Vec<f32>, Vec<Vec3>) {
+    /// The fused two-phase chunk schedule for single-pass strategies:
+    /// per chunk, `depths_for` picks each ray's samples (`None` →
+    /// background), phase 1 aggregates every ray of the chunk, phase 2
+    /// runs **one** fused forward for the whole chunk, phase 3
+    /// composites per ray. Bit-identical to [`Renderer::shade_batch`]
+    /// over [`Renderer::eval_points`] with the same depth choice.
+    fn shade_batch_fused<D>(&self, batch: &RayBatch, depths_for: D) -> (Vec<Vec3>, RenderStats)
+    where
+        D: Fn(usize) -> Option<Vec<f32>> + Sync,
+    {
+        let chunks = par_chunk_ranges(batch.len(), self.threads, |start, end| {
+            let mut local = RenderStats::default();
+            // Phase 1: depth selection + aggregation for the chunk.
+            let mut depths_per: Vec<Option<Vec<f32>>> = Vec::with_capacity(end - start);
+            let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
+            for j in start..end {
+                let depths = depths_for(j);
+                let aggs = match &depths {
+                    Some(d) => self.aggregate_ray(&batch.rays[j], d),
+                    None => Vec::new(),
+                };
+                if !aggs.is_empty() {
+                    self.account_full_eval(&aggs, &mut local);
+                }
+                depths_per.push(depths);
+                aggs_per.push(aggs);
+            }
+            // Phase 2: one fused forward for every ray of the chunk,
+            // through this worker's scratch buffers.
+            let mut scratch = ForwardScratch::default();
+            let refs: Vec<&[PointAggregate]> = aggs_per.iter().map(|a| a.as_slice()).collect();
+            let outs = self.model.forward_rays_scratch(&refs, &mut scratch);
+            // Phase 3: per-ray composite.
+            let colors: Vec<Vec3> = (start..end)
+                .map(|j| {
+                    let idx = j - start;
+                    match (&depths_per[idx], batch.ranges[j]) {
+                        (Some(depths), Some((_, t1))) if !depths.is_empty() => {
+                            self.composite_ray(depths, &outs[idx].densities, &outs[idx].colors, t1)
+                        }
+                        _ => self.background,
+                    }
+                })
+                .collect();
+            (colors, local)
+        });
+        let mut pixels = Vec::with_capacity(batch.len());
+        let mut stats = RenderStats::default();
+        for (colors, local) in chunks {
+            pixels.extend(colors);
+            stats.merge(&local);
+        }
+        (pixels, stats)
+    }
+
+    /// Aggregates every depth sample of a ray against the full source
+    /// set.
+    fn aggregate_ray(&self, ray: &Ray, depths: &[f32]) -> Vec<PointAggregate> {
         let d = self.d_channels();
-        let aggs: Vec<PointAggregate> = depths
+        depths
             .iter()
             .map(|&t| aggregate_point(ray.at(t), ray.direction, self.sources, d))
-            .collect();
+            .collect()
+    }
+
+    /// FLOPs/fetch accounting for one ray's full-model evaluation.
+    /// Shared by the per-ray and fused schedules, so both report
+    /// identical counts (every field is an order-independent sum; the
+    /// fused regression test asserts the equality).
+    fn account_full_eval(&self, aggs: &[PointAggregate], stats: &mut RenderStats) {
+        let d = self.d_channels();
         let n = aggs.len();
-        for a in &aggs {
+        for a in aggs {
             stats.feature_fetches += 4 * a.n_valid as u64;
             stats
                 .flops
@@ -288,6 +387,18 @@ impl<'a> Renderer<'a> {
             .flops
             .add("ray_module", 2 * self.model.config.ray_module_macs(n));
         stats.flops.add("others", flops::volume_render(n));
+    }
+
+    /// Aggregates + full-model forward + accounting for a ray's points
+    /// (the per-ray reference path: one GEMM chain per ray).
+    fn eval_points(
+        &self,
+        ray: &Ray,
+        depths: &[f32],
+        stats: &mut RenderStats,
+    ) -> (Vec<f32>, Vec<Vec3>) {
+        let aggs = self.aggregate_ray(ray, depths);
+        self.account_full_eval(&aggs, stats);
         let out = self.model.forward_ray(&aggs);
         (out.densities, out.colors)
     }
@@ -311,6 +422,15 @@ impl<'a> Renderer<'a> {
             let depths = Ray::uniform_depths(t0, t1, n);
             let (densities, colors) = self.eval_points(&batch.rays[j], &depths, local);
             self.composite_ray(&depths, &densities, &colors, t1)
+        });
+        stats.merge(&shaded);
+        batch.into_image(&pixels)
+    }
+
+    /// [`Renderer::render_uniform`] on the fused chunk schedule.
+    fn render_uniform_fused(&self, batch: &RayBatch, n: usize, stats: &mut RenderStats) -> Image {
+        let (pixels, shaded) = self.shade_batch_fused(batch, |j| {
+            batch.ranges[j].map(|(t0, t1)| Ray::uniform_depths(t0, t1, n))
         });
         stats.merge(&shaded);
         batch.into_image(&pixels)
@@ -366,12 +486,120 @@ impl<'a> Renderer<'a> {
         batch.into_image(&pixels)
     }
 
+    /// [`Renderer::render_hierarchical`] on the fused chunk schedule:
+    /// two fused forwards per chunk (coarse then fine) instead of two
+    /// GEMM chains per ray.
+    fn render_hierarchical_fused(
+        &self,
+        batch: &RayBatch,
+        n_coarse: usize,
+        n_fine: usize,
+        stats: &mut RenderStats,
+    ) -> Image {
+        let chunks = par_chunk_ranges(batch.len(), self.threads, |start, end| {
+            let mut local = RenderStats::default();
+            // One scratch per worker, reused by the coarse and fine
+            // fused passes.
+            let mut scratch = ForwardScratch::default();
+            // Coarse phase: aggregate the chunk, one fused forward.
+            let mut coarse_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
+            let mut coarse_aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
+            for j in start..end {
+                match batch.ranges[j] {
+                    Some((t0, t1)) => {
+                        let depths = Ray::uniform_depths(t0, t1, n_coarse);
+                        let aggs = self.aggregate_ray(&batch.rays[j], &depths);
+                        self.account_full_eval(&aggs, &mut local);
+                        coarse_depths_per.push(depths);
+                        coarse_aggs_per.push(aggs);
+                    }
+                    None => {
+                        coarse_depths_per.push(Vec::new());
+                        coarse_aggs_per.push(Vec::new());
+                    }
+                }
+            }
+            let coarse_refs: Vec<&[PointAggregate]> =
+                coarse_aggs_per.iter().map(|a| a.as_slice()).collect();
+            let coarse_outs = self.model.forward_rays_scratch(&coarse_refs, &mut scratch);
+
+            // Importance resampling per ray, then the fine fused pass.
+            let mut fine_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
+            let mut fine_aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
+            for j in start..end {
+                let idx = j - start;
+                let Some((t0, t1)) = batch.ranges[j] else {
+                    fine_depths_per.push(Vec::new());
+                    fine_aggs_per.push(Vec::new());
+                    continue;
+                };
+                let deltas = Ray::interval_widths(&coarse_depths_per[idx], t1);
+                let comp = composite(
+                    &coarse_outs[idx].densities,
+                    &coarse_outs[idx].colors,
+                    &deltas,
+                    self.background,
+                );
+                let edges = sampling::uniform_edges(t0, t1, n_coarse);
+                let mut rng = self.ray_rng(j);
+                let fine_depths =
+                    sampling::importance_sample(&edges, &comp.weights, n_fine, &mut rng);
+                let aggs = self.aggregate_ray(&batch.rays[j], &fine_depths);
+                self.account_full_eval(&aggs, &mut local);
+                fine_depths_per.push(fine_depths);
+                fine_aggs_per.push(aggs);
+            }
+            let fine_refs: Vec<&[PointAggregate]> =
+                fine_aggs_per.iter().map(|a| a.as_slice()).collect();
+            let fine_outs = self.model.forward_rays_scratch(&fine_refs, &mut scratch);
+
+            // Merge-sort the union by depth and composite, per ray.
+            let colors: Vec<Vec3> = (start..end)
+                .map(|j| {
+                    let idx = j - start;
+                    let Some((_, t1)) = batch.ranges[j] else {
+                        return self.background;
+                    };
+                    let mut merged: Vec<(f32, f32, Vec3)> = coarse_depths_per[idx]
+                        .iter()
+                        .zip(&coarse_outs[idx].densities)
+                        .zip(&coarse_outs[idx].colors)
+                        .map(|((&t, &d), &c)| (t, d, c))
+                        .chain(
+                            fine_depths_per[idx]
+                                .iter()
+                                .zip(&fine_outs[idx].densities)
+                                .zip(&fine_outs[idx].colors)
+                                .map(|((&t, &d), &c)| (t, d, c)),
+                        )
+                        .collect();
+                    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    let depths: Vec<f32> = merged.iter().map(|m| m.0).collect();
+                    let densities: Vec<f32> = merged.iter().map(|m| m.1).collect();
+                    let colors: Vec<Vec3> = merged.iter().map(|m| m.2).collect();
+                    self.composite_ray(&depths, &densities, &colors, t1)
+                })
+                .collect();
+            (colors, local)
+        });
+        let mut pixels = Vec::with_capacity(batch.len());
+        for (colors, local) in chunks {
+            pixels.extend(colors);
+            stats.merge(&local);
+        }
+        batch.into_image(&pixels)
+    }
+
     /// The proposed coarse-then-focus pipeline (Sec. 3.2).
     ///
     /// Step ① (coarse probing) and Step ③ (focused shading) are both
     /// batch-parallel; Step ② (the cross-ray budget allocation) is a
     /// sequential barrier between them, exactly like the workload
-    /// scheduler sitting between the accelerator's two stages.
+    /// scheduler sitting between the accelerator's two stages. With
+    /// `fused` set, Step ① runs one
+    /// [`GenNerfModel::coarse_densities_batch`] per chunk and Step ③
+    /// shades on the fused chunk schedule.
+    #[allow(clippy::too_many_arguments)] // internal dispatch target
     fn render_ctf(
         &self,
         batch: &RayBatch,
@@ -379,41 +607,66 @@ impl<'a> Renderer<'a> {
         n_focused: usize,
         tau: f32,
         s_coarse: usize,
+        fused: bool,
         stats: &mut RenderStats,
     ) -> Image {
         let n_rays = batch.len();
         let coarse_sources = &self.sources[..s_coarse.min(self.sources.len())];
         let dc = self.model.config.coarse_channels;
 
-        // Step ①: lightweight coarse sampling for every ray.
+        // Step ①: lightweight coarse sampling for every ray. With the
+        // fused schedule, all of a chunk's rays go through one coarse
+        // GEMM chain; the accounting and outputs are identical either
+        // way.
         let coarse_chunks = par_chunk_ranges(n_rays, self.threads, |start, end| {
             let mut local = RenderStats::default();
+            let mut depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
+            let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
+            for j in start..end {
+                let Some((t0, t1)) = batch.ranges[j] else {
+                    depths_per.push(Vec::new());
+                    aggs_per.push(Vec::new());
+                    continue;
+                };
+                let ray = &batch.rays[j];
+                let depths = Ray::uniform_depths(t0, t1, n_coarse);
+                let aggs: Vec<PointAggregate> = depths
+                    .iter()
+                    .map(|&t| aggregate_point(ray.at(t), ray.direction, coarse_sources, dc))
+                    .collect();
+                for a in &aggs {
+                    local.feature_fetches += 4 * a.n_valid as u64;
+                    local
+                        .flops
+                        .add("acquire", a.n_valid as u64 * flops::bilinear_fetch(1, dc));
+                }
+                local.coarse_points += aggs.len() as u64;
+                local.flops.add(
+                    "mlp",
+                    aggs.len() as u64 * 2 * self.model.config.coarse_mlp_macs_per_point(),
+                );
+                depths_per.push(depths);
+                aggs_per.push(aggs);
+            }
+            let densities_per: Vec<Vec<f32>> = if fused {
+                let refs: Vec<&[PointAggregate]> = aggs_per.iter().map(|a| a.as_slice()).collect();
+                self.model.coarse_densities_batch(&refs)
+            } else {
+                aggs_per
+                    .iter()
+                    .map(|aggs| self.model.coarse_densities(aggs))
+                    .collect()
+            };
             let per_ray: Vec<(Vec<f32>, usize)> = (start..end)
                 .map(|j| {
-                    let Some((t0, t1)) = batch.ranges[j] else {
+                    let idx = j - start;
+                    let Some((_, t1)) = batch.ranges[j] else {
                         return (Vec::new(), 0);
                     };
-                    let ray = &batch.rays[j];
-                    let depths = Ray::uniform_depths(t0, t1, n_coarse);
-                    let aggs: Vec<PointAggregate> = depths
-                        .iter()
-                        .map(|&t| aggregate_point(ray.at(t), ray.direction, coarse_sources, dc))
-                        .collect();
-                    for a in &aggs {
-                        local.feature_fetches += 4 * a.n_valid as u64;
-                        local
-                            .flops
-                            .add("acquire", a.n_valid as u64 * flops::bilinear_fetch(1, dc));
-                    }
-                    local.coarse_points += aggs.len() as u64;
-                    local.flops.add(
-                        "mlp",
-                        aggs.len() as u64 * 2 * self.model.config.coarse_mlp_macs_per_point(),
-                    );
-                    let densities = self.model.coarse_densities(&aggs);
-                    let deltas = Ray::interval_widths(&depths, t1);
+                    let densities = &densities_per[idx];
+                    let deltas = Ray::interval_widths(&depths_per[idx], t1);
                     let dummy_colors = vec![Vec3::ZERO; densities.len()];
-                    let comp = composite(&densities, &dummy_colors, &deltas, Vec3::ZERO);
+                    let comp = composite(densities, &dummy_colors, &deltas, Vec3::ZERO);
                     local
                         .flops
                         .add("others", flops::volume_render(densities.len()));
@@ -439,21 +692,39 @@ impl<'a> Renderer<'a> {
         let counts = sampling::allocate_focused(&criticals, budget, n_cap);
 
         // Step ③: sparse focused sampling + full pipeline.
-        let (pixels, shaded) = self.shade_batch(n_rays, |j, local| {
-            let Some((t0, t1)) = batch.ranges[j] else {
-                return self.background;
-            };
-            if counts[j] == 0 {
-                // Nothing critical along the ray: empty/occluded
-                // region, background shows through.
-                return self.background;
-            }
-            let edges = sampling::uniform_edges(t0, t1, n_coarse);
-            let mut rng = self.ray_rng(j);
-            let depths = sampling::importance_sample(&edges, &ray_weights[j], counts[j], &mut rng);
-            let (densities, colors) = self.eval_points(&batch.rays[j], &depths, local);
-            self.composite_ray(&depths, &densities, &colors, t1)
-        });
+        let (pixels, shaded) = if fused {
+            self.shade_batch_fused(batch, |j| {
+                let (t0, t1) = batch.ranges[j]?;
+                if counts[j] == 0 {
+                    // Nothing critical along the ray: empty/occluded
+                    // region, background shows through.
+                    return None;
+                }
+                let edges = sampling::uniform_edges(t0, t1, n_coarse);
+                let mut rng = self.ray_rng(j);
+                Some(sampling::importance_sample(
+                    &edges,
+                    &ray_weights[j],
+                    counts[j],
+                    &mut rng,
+                ))
+            })
+        } else {
+            self.shade_batch(n_rays, |j, local| {
+                let Some((t0, t1)) = batch.ranges[j] else {
+                    return self.background;
+                };
+                if counts[j] == 0 {
+                    return self.background;
+                }
+                let edges = sampling::uniform_edges(t0, t1, n_coarse);
+                let mut rng = self.ray_rng(j);
+                let depths =
+                    sampling::importance_sample(&edges, &ray_weights[j], counts[j], &mut rng);
+                let (densities, colors) = self.eval_points(&batch.rays[j], &depths, local);
+                self.composite_ray(&depths, &densities, &colors, t1)
+            })
+        };
         stats.merge(&shaded);
         batch.into_image(&pixels)
     }
@@ -658,6 +929,41 @@ mod tests {
                 stats1.feature_fetches, stats4.feature_fetches,
                 "{strategy:?}"
             );
+        }
+    }
+
+    #[test]
+    fn fused_schedule_matches_per_ray_reference() {
+        // The cross-crate regression test pins this at scale on a
+        // trained model; this is the fast in-crate guard.
+        let (ds, sources, model) = setup();
+        for strategy in [
+            SamplingStrategy::Uniform { n: 6 },
+            SamplingStrategy::Hierarchical {
+                n_coarse: 4,
+                n_fine: 4,
+            },
+            SamplingStrategy::coarse_then_focus(6, 6),
+        ] {
+            let run = |fused: bool| {
+                let r = Renderer::new(
+                    &model,
+                    &sources,
+                    strategy,
+                    ds.scene.bounds,
+                    ds.scene.background,
+                )
+                .with_fused(fused)
+                .with_threads(2);
+                r.render(&ds.eval_views[0].camera)
+            };
+            let (img_f, stats_f) = run(true);
+            let (img_p, stats_p) = run(false);
+            let fb: Vec<u32> = img_f.as_slice().iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = img_p.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, pb, "{strategy:?} fused image diverged");
+            assert_eq!(stats_f.points, stats_p.points, "{strategy:?}");
+            assert_eq!(stats_f.flops.total(), stats_p.flops.total(), "{strategy:?}");
         }
     }
 

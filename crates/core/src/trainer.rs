@@ -149,19 +149,36 @@ impl Trainer {
         for step in 0..steps {
             let pd = &prepared[step % prepared.len()];
             model.zero_grad();
+
+            // Sample the step's rays first (sequential — this is the
+            // only RNG consumer, and the draw order matches the old
+            // ray-at-a-time loop exactly, keeping training streams
+            // bit-compatible), then acquire every ray's features in one
+            // fused parallel map over all (ray, point) pairs of the
+            // step — the full and coarse aggregation for the whole
+            // step's coarse pass fan out together instead of
+            // per-short-ray.
+            let mut specs: Vec<RaySpec> = Vec::with_capacity(self.cfg.rays_per_step);
+            let mut attempts = 0usize;
+            while specs.len() < self.cfg.rays_per_step && attempts < self.cfg.rays_per_step * 8 {
+                attempts += 1;
+                if let Some(spec) = self.sample_ray(pd) {
+                    specs.push(spec);
+                }
+            }
+            let acquired = Self::acquire_step(pd, &specs, model, &self.cfg);
+
+            // Sequential per-ray updates, in sampling order (gradient
+            // accumulation order is part of the determinism contract).
             let mut sigma_acc = 0.0f32;
             let mut color_acc = 0.0f32;
-            let mut rays_done = 0usize;
-            let mut attempts = 0usize;
-            while rays_done < self.cfg.rays_per_step && attempts < self.cfg.rays_per_step * 8 {
-                attempts += 1;
-                let Some((losses_sigma, losses_color)) = self.train_one_ray(model, pd) else {
-                    continue;
-                };
-                sigma_acc += losses_sigma;
-                color_acc += losses_color;
-                rays_done += 1;
+            for ray in &acquired {
+                let losses = model.train_ray(&ray.aggs, &ray.gt_logits, &ray.gt_colors, &ray.mask);
+                let coarse_loss = model.train_coarse(&ray.coarse_aggs, &ray.gt_logits);
+                sigma_acc += losses.sigma + coarse_loss;
+                color_acc += losses.color;
             }
+            let rays_done = acquired.len();
             if rays_done > 0 {
                 adam.step(&mut model.params_mut());
                 sigma_losses.push(sigma_acc / rays_done as f32);
@@ -185,19 +202,16 @@ impl Trainer {
         }
     }
 
-    /// Trains on one random ray; returns `(sigma_loss, color_loss)` or
-    /// `None` when the sampled ray misses the scene bounds.
-    fn train_one_ray(
-        &mut self,
-        model: &mut GenNerfModel,
-        pd: &PreparedDataset,
-    ) -> Option<(f32, f32)> {
-        let ds = pd.dataset;
+    /// Samples one training ray's geometry; returns `None` when the
+    /// ray misses the scene bounds. Consumes the trainer RNG in
+    /// exactly the order the pre-fusion ray-at-a-time loop did:
+    /// camera, pixel x, pixel y, (miss → bail), point count, jitter.
+    fn sample_ray(&mut self, pd: &PreparedDataset) -> Option<RaySpec> {
         let cam = pd.cameras[self.rng.below(pd.cameras.len())];
         let x = self.rng.below(cam.intrinsics.width as usize) as u32;
         let y = self.rng.below(cam.intrinsics.height as usize) as u32;
         let ray = cam.pixel_center_ray(x, y);
-        let (t0, t1) = ds.scene.bounds.intersect_ray(&ray)?;
+        let (t0, t1) = pd.dataset.scene.bounds.intersect_ray(&ray)?;
         if t1 - t0 < 1e-4 {
             return None;
         }
@@ -208,44 +222,83 @@ impl Trainer {
             .into_iter()
             .map(|t| (t + jitter).clamp(t0, t1))
             .collect();
+        Some(RaySpec { ray, depths })
+    }
 
+    /// Acquires features + ground truth for every ray of a step in one
+    /// fused parallel map over all of the step's (ray, point) pairs —
+    /// full *and* coarse-pass aggregation together. Acquisition is
+    /// RNG-free and results regroup in (ray, depth) order, so training
+    /// stays bit-identical to per-ray acquisition while the fan-out
+    /// grain grows from one short ray to the whole step.
+    fn acquire_step(
+        pd: &PreparedDataset,
+        specs: &[RaySpec],
+        model: &GenNerfModel,
+        cfg: &TrainConfig,
+    ) -> Vec<AcquiredRay> {
+        let ds = pd.dataset;
         let d = model.config.d_features;
         let dc = model.config.coarse_channels;
         let coarse_views = 4.min(pd.sources.len());
-        // Feature acquisition dominates the step cost and is RNG-free,
-        // so it fans out across threads; `par_map_min` keeps results in
-        // depth order (training stays deterministic) and runs inline
-        // when the ray is too short to be worth the fork.
-        let per_point = gen_nerf_parallel::par_map_min(&depths, 16, |_, &t| {
+        let flat: Vec<(usize, f32)> = specs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.depths.iter().map(move |&t| (i, t)))
+            .collect();
+        let per_point = gen_nerf_parallel::par_map_min(&flat, 16, |_, &(i, t)| {
+            let ray = &specs[i].ray;
             let p = ray.at(t);
             let sigma = ds.scene.density(p);
             (
                 aggregate_point(p, ray.direction, &pd.sources, d),
                 aggregate_point(p, ray.direction, &pd.sources[..coarse_views], dc),
                 sigma,
-                if sigma > self.cfg.color_threshold {
+                if sigma > cfg.color_threshold {
                     ds.scene.color(p, ray.direction)
                 } else {
                     Vec3::ZERO
                 },
             )
         });
-        let mut aggs = Vec::with_capacity(n);
-        let mut coarse_aggs = Vec::with_capacity(n);
-        let mut gt_logits = Vec::with_capacity(n);
-        let mut gt_colors = Vec::with_capacity(n);
-        let mut mask = Vec::with_capacity(n);
-        for (agg, coarse_agg, sigma, color) in per_point {
-            aggs.push(agg);
-            coarse_aggs.push(coarse_agg);
-            gt_logits.push(logit_from_density(sigma));
-            gt_colors.push(color);
-            mask.push(sigma > self.cfg.color_threshold);
+        let mut out: Vec<AcquiredRay> = specs
+            .iter()
+            .map(|s| {
+                let n = s.depths.len();
+                AcquiredRay {
+                    aggs: Vec::with_capacity(n),
+                    coarse_aggs: Vec::with_capacity(n),
+                    gt_logits: Vec::with_capacity(n),
+                    gt_colors: Vec::with_capacity(n),
+                    mask: Vec::with_capacity(n),
+                }
+            })
+            .collect();
+        for ((i, _), (agg, coarse_agg, sigma, color)) in flat.iter().zip(per_point) {
+            let ray = &mut out[*i];
+            ray.aggs.push(agg);
+            ray.coarse_aggs.push(coarse_agg);
+            ray.gt_logits.push(logit_from_density(sigma));
+            ray.gt_colors.push(color);
+            ray.mask.push(sigma > cfg.color_threshold);
         }
-        let losses = model.train_ray(&aggs, &gt_logits, &gt_colors, &mask);
-        let coarse_loss = model.train_coarse(&coarse_aggs, &gt_logits);
-        Some((losses.sigma + coarse_loss, losses.color))
+        out
     }
+}
+
+/// A sampled training ray: geometry + jittered sample depths.
+struct RaySpec {
+    ray: Ray,
+    depths: Vec<f32>,
+}
+
+/// One ray's acquired features and supervision targets.
+struct AcquiredRay {
+    aggs: Vec<crate::features::PointAggregate>,
+    coarse_aggs: Vec<crate::features::PointAggregate>,
+    gt_logits: Vec<f32>,
+    gt_colors: Vec<Vec3>,
+    mask: Vec<bool>,
 }
 
 #[cfg(test)]

@@ -104,7 +104,19 @@ impl Linear {
 
     /// Forward pass without caching (inference only).
     pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
-        x.matmul(&self.w.value).add_row_broadcast(&self.b.value)
+        let mut out = Tensor2::zeros(0, 0);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward pass written into a reusable scratch tensor (resized as
+    /// needed) — bit-identical to [`Linear::forward_inference`] but
+    /// allocation-free once `out`'s buffer has grown to size. This is
+    /// what lets the fused render path stop allocating a fresh tensor
+    /// per layer per ray.
+    pub fn forward_into(&self, x: &Tensor2, out: &mut Tensor2) {
+        x.matmul_into(&self.w.value, out);
+        out.add_row_broadcast_in_place(&self.b.value);
     }
 
     /// Backward pass: accumulates `∂L/∂W`, `∂L/∂b` and returns
@@ -158,6 +170,12 @@ impl Relu {
     /// render worker threads.
     pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
         x.map(|v| v.max(0.0))
+    }
+
+    /// In-place inference forward — bit-identical to
+    /// [`Relu::forward_inference`], for scratch-buffer pipelines.
+    pub fn forward_inference_in_place(&self, x: &mut Tensor2) {
+        x.map_in_place(|v| v.max(0.0));
     }
 
     /// Backward pass.
@@ -455,6 +473,21 @@ mod tests {
                 analytic[i]
             );
         }
+    }
+
+    #[test]
+    fn forward_into_matches_forward_inference_bitwise() {
+        let mut rng = Rng::seed_from(5);
+        let l = Linear::new(6, 4, &mut rng);
+        let relu = Relu::new();
+        let x = Tensor2::from_fn(9, 6, |r, c| ((r * 6 + c) as f32 * 0.43).sin() * 2.0);
+        let fresh = relu.forward_inference(&l.forward_inference(&x));
+        let mut scratch = Tensor2::full(1, 1, f32::NAN);
+        l.forward_into(&x, &mut scratch);
+        relu.forward_inference_in_place(&mut scratch);
+        let fb: Vec<u32> = fresh.as_slice().iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u32> = scratch.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fb, sb);
     }
 
     #[test]

@@ -87,26 +87,110 @@ impl RayMixer {
     /// Forward pass without caching (inference only) — the `&self`
     /// path render workers share across threads.
     ///
+    /// Unlike the training pass, inference takes `n ≤ N_max` rows
+    /// directly and computes only the live `n × n` token block (the
+    /// paper's hardware claim behind
+    /// `ModelConfig::ray_module_macs`: zero-padded tokens contribute
+    /// nothing, so the PE pool never schedules them). This is the
+    /// dynamic-cost path the FLOPs accounting has always assumed.
+    ///
     /// # Panics
     ///
-    /// Panics when `x.rows() != n_points`.
+    /// Panics when `x.rows() > n_points`.
     pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
-        assert_eq!(
-            x.rows(),
-            self.n_points,
+        let f = self.mix_tokens_inference(x);
+        self.finish_inference(&f)
+    }
+
+    /// The token-mixing phase of inference (Eq. 4): `F = x + φ(W₁ x)`
+    /// restricted to the live `n × n` block of `W₁`. Per ray — token
+    /// mixing crosses the ray's own samples only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.rows() > n_points`.
+    pub fn mix_tokens_inference(&self, x: &Tensor2) -> Tensor2 {
+        let n = x.rows();
+        assert!(
+            n <= self.n_points,
             "RayMixer built for {} points, got {}",
             self.n_points,
-            x.rows()
+            n
         );
+        let d = self.dim();
+        // Live n×n sub-block of W₁ and the matching bias slice: rows
+        // beyond n would only ever multiply zero-padded tokens.
+        let w1 = &self.token_fc.w.value;
+        let sub_w = Tensor2::from_fn(n, n, |r, c| w1[(r, c)]);
+        let sub_b = Tensor2::from_fn(1, n, |_, c| self.token_fc.b.value[(0, c)]);
         let xt = x.transpose();
-        let ht = self
-            .token_act
-            .forward_inference(&self.token_fc.forward_inference(&xt));
-        let f = &ht.transpose() + x;
+        let mut ht = xt.matmul(&sub_w);
+        ht.add_row_broadcast_in_place(&sub_b);
+        ht.map_in_place(|v| v.max(0.0));
+        let mut f = ht.transpose();
+        for r in 0..n {
+            for c in 0..d {
+                f[(r, c)] += x[(r, c)];
+            }
+        }
+        f
+    }
+
+    /// The token-mixing phase for a *group* of rays sharing one point
+    /// count: every ray's transposed features stack into a single
+    /// GEMM against the live `n × n` block of `W₁`, so a chunk of
+    /// equal-length rays pays one token GEMM instead of one per ray.
+    /// Per-ray results are bit-identical to
+    /// [`RayMixer::mix_tokens_inference`] (GEMM rows are independent
+    /// of their batch; bias/ReLU/residual are element-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when rays disagree in length or exceed `n_points`.
+    pub fn mix_tokens_inference_group(&self, xs: &[&Tensor2]) -> Vec<Tensor2> {
+        let Some(first) = xs.first() else {
+            return Vec::new();
+        };
+        let n = first.rows();
+        assert!(
+            n <= self.n_points,
+            "RayMixer built for {} points, got {}",
+            self.n_points,
+            n
+        );
+        let d = self.dim();
+        let w1 = &self.token_fc.w.value;
+        let sub_w = Tensor2::from_fn(n, n, |r, c| w1[(r, c)]);
+        let sub_b = Tensor2::from_fn(1, n, |_, c| self.token_fc.b.value[(0, c)]);
+        // Stack every ray's xᵀ (d × n) into one (G·d × n) operand.
+        let mut xt = Tensor2::zeros(xs.len() * d, n);
+        for (g, x) in xs.iter().enumerate() {
+            assert_eq!(x.rows(), n, "mixed ray lengths in one token group");
+            for r in 0..n {
+                for (c, &v) in x.row(r).iter().enumerate() {
+                    xt[(g * d + c, r)] = v;
+                }
+            }
+        }
+        let mut ht = xt.matmul(&sub_w);
+        ht.add_row_broadcast_in_place(&sub_b);
+        ht.map_in_place(|v| v.max(0.0));
+        xs.iter()
+            .enumerate()
+            .map(|(g, x)| Tensor2::from_fn(n, d, |r, c| ht[(g * d + c, r)] + x[(r, c)]))
+            .collect()
+    }
+
+    /// The channel-mixing + projection phase of inference (Eq. 5):
+    /// `σ = W₃ (F + φ(W₂ F))`, row by row. Rows are independent, so the
+    /// fused cross-ray path may stack many rays' `F` tensors and run
+    /// this once for a whole chunk — the result rows are bit-identical
+    /// to per-ray calls (the GEMM kernel's k-order contract).
+    pub fn finish_inference(&self, f: &Tensor2) -> Tensor2 {
         let c = self
             .channel_act
-            .forward_inference(&self.channel_fc.forward_inference(&f));
-        let g = &f + &c;
+            .forward_inference(&self.channel_fc.forward_inference(f));
+        let g = f + &c;
         self.proj.forward_inference(&g)
     }
 
@@ -130,6 +214,12 @@ impl RayMixer {
         let g_pre = self.token_act.backward(&g_ht);
         let g_xt = self.token_fc.backward(&g_pre);
         &g_f + &g_xt.transpose()
+    }
+
+    /// Shared access to the three FC layers `(W₁, W₂, W₃)` (used by
+    /// INT8 re-execution and baseline replicas in the bench harness).
+    pub fn layers(&self) -> (&Linear, &Linear, &Linear) {
+        (&self.token_fc, &self.channel_fc, &self.proj)
     }
 
     /// All trainable parameters.

@@ -1,15 +1,118 @@
 //! A row-major 2D `f32` tensor.
+//!
+//! # The dense `matmul` kernel and its bit-exactness contract
+//!
+//! [`Tensor2::matmul`] (and [`Tensor2::matmul_into`]) run a
+//! register-blocked kernel: output tiles of [`MR`]`×`[`NR`] elements
+//! are held in registers while the shared dimension `k` is walked **in
+//! ascending order** with one `f32` accumulator per output element —
+//! exactly the accumulation order of the textbook triple loop. Two
+//! consequences the workspace relies on:
+//!
+//! * **Row independence.** Each output row depends only on the matching
+//!   input row, so concatenating inputs row-wise (the fused cross-ray
+//!   path) produces bit-for-bit the rows a per-row call would.
+//! * **Blocking is invisible.** The `i`/`j` tiling changes *which*
+//!   elements are in flight, never the per-element `k` order, so the
+//!   blocked kernel equals the naive reference bit-for-bit (pinned by a
+//!   property test below).
+//!
+//! The dense kernel has no data-dependent branches; zero-skipping
+//! survives only in the gradient-side [`Tensor2::t_matmul`], where
+//! ReLU-masked rows make sparsity real.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Rows per register tile of the blocked `matmul` kernel.
+pub const MR: usize = 6;
+
+/// Columns per register tile of the blocked `matmul` kernel.
+pub const NR: usize = 8;
+
+/// One full MR×NR register tile: fixed-size accumulators and
+/// fixed-width `b` rows so the inner loop auto-vectorizes. Each
+/// accumulator walks `k` in ascending order (the bit-exactness
+/// contract; see the module docs).
+#[inline]
+fn tile_full(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, j0: usize, kdim: usize, n: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for k in 0..kdim {
+        let b_row: &[f32; NR] = b[k * n + j0..k * n + j0 + NR].try_into().unwrap();
+        for ii in 0..MR {
+            let aik = a[(i0 + ii) * kdim + k];
+            let acc_row = &mut acc[ii];
+            for jj in 0..NR {
+                acc_row[jj] += aik * b_row[jj];
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate() {
+        let row = (i0 + ii) * n + j0;
+        out[row..row + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// A partial edge tile (`ib ≤ MR` rows, `jb ≤ NR` columns): same
+/// accumulation order as [`tile_full`], variable bounds.
+#[inline]
+fn tile_edge(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    ib: usize,
+    jb: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for k in 0..kdim {
+        let b_row = &b[k * n + j0..k * n + j0 + jb];
+        for (ii, acc_row) in acc.iter_mut().enumerate().take(ib) {
+            let aik = a[(i0 + ii) * kdim + k];
+            for (jj, &bv) in b_row.iter().enumerate() {
+                acc_row[jj] += aik * bv;
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate().take(ib) {
+        let row = (i0 + ii) * n + j0;
+        out[row..row + jb].copy_from_slice(&acc_row[..jb]);
+    }
+}
+
+/// The register-blocked GEMM kernel behind [`Tensor2::matmul`] /
+/// [`Tensor2::matmul_into`]: `out = a · b` with `a` of shape `m × k`,
+/// `b` of shape `k × n`, both row-major. `out` is fully overwritten.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, kdim: usize, n: usize) {
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = (m - i0).min(MR);
+        let mut j0 = 0;
+        if ib == MR {
+            while j0 + NR <= n {
+                tile_full(a, b, out, i0, j0, kdim, n);
+                j0 += NR;
+            }
+        }
+        while j0 < n {
+            let jb = (n - j0).min(NR);
+            tile_edge(a, b, out, i0, j0, ib, jb, kdim, n);
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
 
 /// A dense, row-major 2D tensor of `f32`.
 ///
 /// This is deliberately minimal: just the operations the Gen-NeRF models
 /// need, each implemented straightforwardly so the FLOPs accounting in
 /// [`crate::flops`] matches what actually executes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Tensor2 {
     rows: usize,
     cols: usize,
@@ -119,35 +222,54 @@ impl Tensor2 {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs` through the register-blocked dense
+    /// kernel (see the module docs for the k-order bit-exactness
+    /// contract).
     ///
     /// # Panics
     ///
     /// Panics when the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Self) -> Self {
+        let mut out = Self::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self · rhs` written into `out` (resized as
+    /// needed), so hot loops can reuse one scratch buffer instead of
+    /// allocating a fresh tensor per product. Bit-identical to
+    /// [`Tensor2::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dims: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Self::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (j, &b) in b_row.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
-            }
-        }
-        out
+        out.rows = self.rows;
+        out.cols = rhs.cols;
+        // The kernel overwrites every element, so the resize fill value
+        // never survives.
+        out.data.resize(self.rows * rhs.cols, 0.0);
+        matmul_kernel(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// This is the gradient-side kernel (`xᵀ · ∂L/∂y` in
+    /// `Linear::backward`); its inputs carry genuinely sparse rows
+    /// (ReLU masks, padded tokens), so it keeps the zero-skip branch
+    /// the dense forward kernel dropped.
     pub fn t_matmul(&self, rhs: &Self) -> Self {
         assert_eq!(self.rows, rhs.rows, "t_matmul dims");
         let mut out = Self::zeros(self.cols, rhs.cols);
@@ -199,6 +321,12 @@ impl Tensor2 {
         }
     }
 
+    /// Element-wise map in place (the allocation-free sibling of
+    /// [`Tensor2::map`]; identical arithmetic).
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|v| *v = f(*v));
+    }
+
     /// Element-wise product (Hadamard).
     pub fn hadamard(&self, rhs: &Self) -> Self {
         assert_eq!(
@@ -220,15 +348,31 @@ impl Tensor2 {
 
     /// Adds a 1×cols row vector to every row (broadcast).
     pub fn add_row_broadcast(&self, bias: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_row_broadcast_in_place(bias);
+        out
+    }
+
+    /// Adds a 1×cols row vector to every row in place (the
+    /// allocation-free sibling of [`Tensor2::add_row_broadcast`];
+    /// identical arithmetic).
+    pub fn add_row_broadcast_in_place(&mut self, bias: &Self) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        let mut out = self.clone();
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out.data[r * self.cols + c] += bias.data[c];
+                self.data[r * self.cols + c] += bias.data[c];
             }
         }
-        out
+    }
+
+    /// Reshapes to `rows × cols` and fills with zeros, reusing the
+    /// existing buffer — the reset step of a reused scratch tensor.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Column-wise sum, producing a 1×cols row vector.
@@ -508,6 +652,58 @@ mod tests {
         let _ = Tensor2::from_vec(2, 2, vec![1.0]);
     }
 
+    /// The textbook triple loop — the reference the blocked kernel
+    /// must match bit-for-bit (no zero-skipping, k ascending).
+    fn matmul_naive(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+        assert_eq!(a.cols(), b.rows());
+        let mut out = Tensor2::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches() {
+        let a = Tensor2::from_fn(5, 7, |r, c| ((r * 7 + c) as f32 * 0.37).sin());
+        let b = Tensor2::from_fn(7, 3, |r, c| ((r + c) as f32 * 0.21).cos());
+        let mut out = Tensor2::full(9, 9, f32::NAN); // wrong shape, poisoned
+        a.matmul_into(&b, &mut out);
+        assert_eq!((out.rows(), out.cols()), (5, 3));
+        assert_eq!(out, a.matmul(&b));
+        // Second use with a different shape reuses the same tensor.
+        let c = Tensor2::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        b.matmul_into(&c, &mut out);
+        assert_eq!((out.rows(), out.cols()), (7, 2));
+        assert_eq!(out, b.matmul(&c));
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        let x = Tensor2::from_fn(4, 6, |r, c| (r as f32 - c as f32) * 0.7);
+        let bias = Tensor2::row_vector((0..6).map(|c| c as f32 * 0.3 - 1.0).collect());
+        let mut y = x.clone();
+        y.add_row_broadcast_in_place(&bias);
+        assert_eq!(y, x.add_row_broadcast(&bias));
+        let mut z = x.clone();
+        z.map_in_place(|v| v.max(0.0));
+        assert_eq!(z, x.map(|v| v.max(0.0)));
+    }
+
+    #[test]
+    fn reset_zeroed_reshapes_and_clears() {
+        let mut t = Tensor2::full(2, 3, 7.0);
+        t.reset_zeroed(4, 2);
+        assert_eq!((t.rows(), t.cols()), (4, 2));
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
     fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {
         proptest::collection::vec(-10.0f32..10.0, rows * cols)
             .prop_map(move |v| Tensor2::from_vec(rows, cols, v))
@@ -543,6 +739,45 @@ mod tests {
         #[test]
         fn prop_sum_rows_preserves_total(a in arb_tensor(4, 3)) {
             prop_assert!((a.sum_rows().sum() - a.sum()).abs() < 1e-3);
+        }
+
+        #[test]
+        fn prop_blocked_matmul_matches_naive_bitwise(
+            m in 1usize..11,
+            k in 1usize..19,
+            n in 1usize..23,
+            raw in proptest::collection::vec(-6.0f32..6.0, 11 * 19 + 19 * 23),
+        ) {
+            // Arbitrary shapes spanning partial MR×NR edge tiles, with
+            // exact zeros injected so the branchless kernel is checked
+            // where the old zero-skip branch used to fire.
+            let sparsify = |v: f32| if v.abs() < 1.5 { 0.0 } else { v };
+            let a = Tensor2::from_fn(m, k, |r, c| sparsify(raw[r * k + c]));
+            let b = Tensor2::from_fn(k, n, |r, c| sparsify(raw[11 * 19 + r * n + c]));
+            let blocked = a.matmul(&b);
+            let naive = matmul_naive(&a, &b);
+            let lb: Vec<u32> = blocked.as_slice().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = naive.as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(lb, rb, "blocked != naive for {}x{}x{}", m, k, n);
+        }
+
+        #[test]
+        fn prop_fused_rows_equal_per_row_calls(
+            rows in 1usize..9,
+            raw in proptest::collection::vec(-3.0f32..3.0, 9 * 5),
+        ) {
+            // The row-independence half of the bit-exactness contract:
+            // multiplying a stacked input equals stacking per-row
+            // products (what makes fused cross-ray inference exact).
+            let w = Tensor2::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.77).sin());
+            let x = Tensor2::from_fn(rows, 5, |r, c| raw[r * 5 + c]);
+            let fused = x.matmul(&w);
+            for r in 0..rows {
+                let single = x.slice_rows(r, r + 1).matmul(&w);
+                let fb: Vec<u32> = fused.row(r).iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u32> = single.row(0).iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&fb, &sb, "row {} diverged", r);
+            }
         }
     }
 }

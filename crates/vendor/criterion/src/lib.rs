@@ -57,13 +57,22 @@ impl From<String> for BenchmarkId {
 /// Drives timed iterations of one benchmark body.
 pub struct Bencher {
     samples: usize,
+    quick: bool,
     measured: Option<Duration>,
 }
 
 impl Bencher {
     /// Times `f`: warm-up, then `samples` batches; records the median
-    /// per-iteration time.
+    /// per-iteration time. In `--test` mode (smoke runs, e.g.
+    /// `cargo bench -- --test` in CI) the body executes exactly once
+    /// and the single-call time is recorded.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.quick {
+            let t0 = Instant::now();
+            black_box(f());
+            self.measured = Some(t0.elapsed());
+            return;
+        }
         // Warm-up + batch sizing: grow until one batch takes >= 5 ms.
         let mut batch = 1u64;
         loop {
@@ -104,33 +113,41 @@ fn human(d: Duration) -> String {
     }
 }
 
-fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(label: &str, samples: usize, quick: bool, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         samples,
+        quick,
         measured: None,
     };
     f(&mut b);
+    let mode = if quick { " (smoke)" } else { "" };
     match b.measured {
-        Some(t) => println!("bench {label:<48} {}", human(t)),
-        None => println!("bench {label:<48} (no measurement)"),
+        Some(t) => println!("bench {label:<48} {}{mode}", human(t)),
+        None => println!("bench {label:<48} (no measurement){mode}"),
     }
 }
 
 /// The benchmark driver.
 pub struct Criterion {
     samples: usize,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { samples: 7 }
+        // `cargo bench -- --test` smoke mode: run every benchmark body
+        // exactly once so CI can prove the benches compile and run
+        // without paying for real measurements (real criterion's
+        // test-mode analog).
+        let quick = std::env::args().any(|a| a == "--test");
+        Self { samples: 7, quick }
     }
 }
 
 impl Criterion {
     /// Runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.samples, &mut f);
+        run_one(name, self.samples, self.quick, &mut f);
         self
     }
 
@@ -139,6 +156,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             samples: self.samples,
+            quick: self.quick,
             _criterion: self,
         }
     }
@@ -148,6 +166,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    quick: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -165,7 +184,12 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.label), self.samples, &mut f);
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.samples,
+            self.quick,
+            &mut f,
+        );
         self
     }
 
@@ -180,6 +204,7 @@ impl BenchmarkGroup<'_> {
         run_one(
             &format!("{}/{}", self.name, id.label),
             self.samples,
+            self.quick,
             &mut |b| f(b, input),
         );
         self

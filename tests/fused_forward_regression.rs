@@ -1,0 +1,235 @@
+//! Regression suite for fused cross-ray batched inference: the fused
+//! chunk schedule (one point-MLP GEMM + one blend GEMM per chunk,
+//! [`GenNerfModel::forward_rays`]) must match the per-ray reference
+//! path **bit-for-bit** — identical pixels and identical FLOPs/fetch
+//! accounting — on a trained model, for every sampling strategy, ray
+//! module and thread count.
+//!
+//! This is the contract that makes the fused path safe as the default:
+//! fusion is a pure performance knob, never a results knob. It rests on
+//! the dense GEMM kernel's k-order accumulation (see
+//! `gen_nerf_nn::tensor`), which makes output rows independent of
+//! which other rows share a batch.
+
+use gen_nerf::config::{ModelConfig, RayModuleChoice, SamplingStrategy};
+use gen_nerf::features::{aggregate_point, prepare_sources, PointAggregate};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::pipeline::{RenderStats, Renderer};
+use gen_nerf::trainer::{TrainConfig, Trainer};
+use gen_nerf_geometry::Vec3;
+use gen_nerf_scene::{Dataset, DatasetKind, Image};
+
+fn trained_scene() -> (Dataset, GenNerfModel) {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.04, 6, 1, 24, 11);
+    let mut model = GenNerfModel::new(ModelConfig::fast());
+    let mut trainer = Trainer::new(TrainConfig {
+        steps: 80,
+        ..TrainConfig::fast()
+    });
+    trainer.pretrain(&mut model, &[&ds]);
+    (ds, model)
+}
+
+fn render(
+    ds: &Dataset,
+    model: &GenNerfModel,
+    strategy: SamplingStrategy,
+    fused: bool,
+    threads: usize,
+) -> (Image, RenderStats) {
+    let sources = prepare_sources(&ds.source_views);
+    Renderer::new(
+        model,
+        &sources,
+        strategy,
+        ds.scene.bounds,
+        ds.scene.background,
+    )
+    .with_fused(fused)
+    .with_threads(threads)
+    .render(&ds.eval_views[0].camera)
+}
+
+fn assert_stats_identical(a: &RenderStats, b: &RenderStats, ctx: &str) {
+    // The FLOPs-accounting satellite: fused and per-ray paths must
+    // report identical counts, bucket by bucket.
+    assert_eq!(a.rays, b.rays, "{ctx}: rays");
+    assert_eq!(a.points, b.points, "{ctx}: points");
+    assert_eq!(a.coarse_points, b.coarse_points, "{ctx}: coarse_points");
+    assert_eq!(a.feature_fetches, b.feature_fetches, "{ctx}: fetches");
+    assert_eq!(a.flops.total(), b.flops.total(), "{ctx}: total FLOPs");
+    for bucket in ["acquire", "mlp", "ray_module", "others"] {
+        assert_eq!(
+            a.flops.get(bucket),
+            b.flops.get(bucket),
+            "{ctx}: bucket {bucket}"
+        );
+    }
+}
+
+fn assert_fused_matches_per_ray(strategy: SamplingStrategy) {
+    let (ds, model) = trained_scene();
+    let (img_ref, stats_ref) = render(&ds, &model, strategy, false, 1);
+    for threads in [1usize, 2, 4] {
+        let (img_fused, stats_fused) = render(&ds, &model, strategy, true, threads);
+        let ref_bits: Vec<u32> = img_ref.as_slice().iter().map(|v| v.to_bits()).collect();
+        let fused_bits: Vec<u32> = img_fused.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            ref_bits, fused_bits,
+            "{strategy:?} fused@{threads} threads diverged from per-ray reference"
+        );
+        assert_stats_identical(
+            &stats_ref,
+            &stats_fused,
+            &format!("{strategy:?} fused@{threads}"),
+        );
+    }
+}
+
+#[test]
+fn uniform_fused_matches_per_ray() {
+    assert_fused_matches_per_ray(SamplingStrategy::Uniform { n: 10 });
+}
+
+#[test]
+fn hierarchical_fused_matches_per_ray() {
+    assert_fused_matches_per_ray(SamplingStrategy::Hierarchical {
+        n_coarse: 6,
+        n_fine: 6,
+    });
+}
+
+#[test]
+fn coarse_then_focus_fused_matches_per_ray() {
+    assert_fused_matches_per_ray(SamplingStrategy::coarse_then_focus(8, 8));
+}
+
+/// `forward_rays` ≡ per-ray `forward_ray`, bit-for-bit, for every ray
+/// module and for adversarial groupings (empty rays, invisible points,
+/// mixed lengths) — the API-level half of the contract, on trained
+/// weights.
+#[test]
+fn forward_rays_equals_forward_ray_across_modules() {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 5, 1, 24, 3);
+    let sources = prepare_sources(&ds.source_views);
+    let cam = &ds.eval_views[0].camera;
+    let mut rays_aggs: Vec<Vec<PointAggregate>> = Vec::new();
+    for (px, py, n) in [(2u32, 2u32, 12usize), (8, 4, 5), (1, 9, 1), (5, 5, 17)] {
+        let ray = cam.pixel_center_ray(px, py);
+        let Some((t0, t1)) = ds.scene.bounds.intersect_ray(&ray) else {
+            continue;
+        };
+        let aggs = gen_nerf_geometry::Ray::uniform_depths(t0, t1, n)
+            .into_iter()
+            .map(|t| aggregate_point(ray.at(t), ray.direction, &sources, 12))
+            .collect();
+        rays_aggs.push(aggs);
+    }
+    rays_aggs.push(Vec::new()); // an empty ray inside the chunk
+    rays_aggs.push(vec![aggregate_point(
+        Vec3::new(900.0, 0.0, 0.0),
+        Vec3::X,
+        &sources,
+        12,
+    )]); // a ray of only invisible points
+
+    for choice in [
+        RayModuleChoice::Mixer,
+        RayModuleChoice::Transformer,
+        RayModuleChoice::None,
+    ] {
+        let model = GenNerfModel::new(ModelConfig::fast().with_ray_module(choice));
+        let refs: Vec<&[PointAggregate]> = rays_aggs.iter().map(|r| r.as_slice()).collect();
+        let fused = model.forward_rays(&refs);
+        assert_eq!(fused.len(), refs.len());
+        for (aggs, out) in refs.iter().zip(&fused) {
+            let per_ray = model.forward_ray(aggs);
+            let fd: Vec<u32> = out.densities.iter().map(|v| v.to_bits()).collect();
+            let pd: Vec<u32> = per_ray.densities.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fd, pd, "{choice:?}: densities diverged");
+            let fc: Vec<[u32; 3]> = out
+                .colors
+                .iter()
+                .map(|c| [c.x.to_bits(), c.y.to_bits(), c.z.to_bits()])
+                .collect();
+            let pc: Vec<[u32; 3]> = per_ray
+                .colors
+                .iter()
+                .map(|c| [c.x.to_bits(), c.y.to_bits(), c.z.to_bits()])
+                .collect();
+            assert_eq!(fc, pc, "{choice:?}: colors diverged");
+        }
+    }
+}
+
+/// Chunking must be invisible: any grouping of the same rays produces
+/// the same per-ray outputs (this is what makes the fused schedule
+/// deterministic across worker counts).
+#[test]
+fn forward_rays_is_chunking_invariant() {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 5, 1, 24, 3);
+    let sources = prepare_sources(&ds.source_views);
+    let model = GenNerfModel::new(ModelConfig::fast());
+    let cam = &ds.eval_views[0].camera;
+    let mut rays_aggs: Vec<Vec<PointAggregate>> = Vec::new();
+    for px in 0..6u32 {
+        let ray = cam.pixel_center_ray(px, 4);
+        let Some((t0, t1)) = ds.scene.bounds.intersect_ray(&ray) else {
+            continue;
+        };
+        rays_aggs.push(
+            gen_nerf_geometry::Ray::uniform_depths(t0, t1, 7 + px as usize)
+                .into_iter()
+                .map(|t| aggregate_point(ray.at(t), ray.direction, &sources, 12))
+                .collect(),
+        );
+    }
+    assert!(rays_aggs.len() >= 3, "need a few hitting rays");
+    let refs: Vec<&[PointAggregate]> = rays_aggs.iter().map(|r| r.as_slice()).collect();
+    let whole = model.forward_rays(&refs);
+    // Split into two unequal chunks and a per-ray "chunking".
+    let (left, right) = refs.split_at(refs.len() / 3);
+    let mut split = model.forward_rays(left);
+    split.extend(model.forward_rays(right));
+    let singles: Vec<_> = refs.iter().flat_map(|r| model.forward_rays(&[r])).collect();
+    for (a, b) in whole.iter().zip(&split).chain(whole.iter().zip(&singles)) {
+        let ab: Vec<u32> = a.densities.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.densities.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb);
+        for (ca, cb) in a.colors.iter().zip(&b.colors) {
+            assert_eq!(
+                [ca.x.to_bits(), ca.y.to_bits(), ca.z.to_bits()],
+                [cb.x.to_bits(), cb.y.to_bits(), cb.z.to_bits()]
+            );
+        }
+    }
+}
+
+#[test]
+fn coarse_densities_batch_equals_per_ray() {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 5, 1, 24, 3);
+    let sources = prepare_sources(&ds.source_views);
+    let model = GenNerfModel::new(ModelConfig::fast());
+    let cam = &ds.eval_views[0].camera;
+    let mut rays_aggs: Vec<Vec<PointAggregate>> = vec![Vec::new()];
+    for px in [1u32, 4, 7] {
+        let ray = cam.pixel_center_ray(px, 6);
+        let Some((t0, t1)) = ds.scene.bounds.intersect_ray(&ray) else {
+            continue;
+        };
+        rays_aggs.push(
+            gen_nerf_geometry::Ray::uniform_depths(t0, t1, 8)
+                .into_iter()
+                .map(|t| aggregate_point(ray.at(t), ray.direction, &sources, 3))
+                .collect(),
+        );
+    }
+    let refs: Vec<&[PointAggregate]> = rays_aggs.iter().map(|r| r.as_slice()).collect();
+    let fused = model.coarse_densities_batch(&refs);
+    for (aggs, out) in refs.iter().zip(&fused) {
+        let per_ray = model.coarse_densities(aggs);
+        let fb: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u32> = per_ray.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fb, pb);
+    }
+}
