@@ -2,12 +2,14 @@
 //! transformer forward passes (the workload-heterogeneity argument of
 //! Sec. 3.3), INT8 GEMM, and the dense f32 GEMM kernel — including the
 //! branchless-vs-zero-skip comparison that justified removing the
-//! data-dependent branch from the dense hot path.
+//! data-dependent branch from the dense hot path, and the
+//! scalar-vs-SIMD backend comparison behind `GEN_NERF_KERNEL`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gen_nerf_bench::harness::seed_matmul_zero_skip;
 use gen_nerf_nn::attention::SelfAttention;
 use gen_nerf_nn::init::Rng;
+use gen_nerf_nn::kernels::{kernel_for, Backend};
 use gen_nerf_nn::mixer::RayMixer;
 use gen_nerf_nn::quant::QuantTensor;
 use gen_nerf_nn::Tensor2;
@@ -24,6 +26,28 @@ fn bench_dense_matmul(c: &mut Criterion) {
         });
         group.bench_function(format!("naive_zero_skip/{m}x{k}x{n}"), |bch| {
             bch.iter(|| seed_matmul_zero_skip(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_backends(c: &mut Criterion) {
+    // The scalar-vs-SIMD comparison behind `GEN_NERF_KERNEL`: each
+    // backend runs the identical GEMM through an explicit kernel, so
+    // the numbers are comparable within one process.
+    let mut group = c.benchmark_group("kernel_backends");
+    let (m, k, n) = (128usize, 128usize, 128usize);
+    let a = Tensor2::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.11).sin());
+    let b = Tensor2::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.05).cos());
+    let mut backends = vec![Backend::Scalar];
+    if Backend::Avx2.available() {
+        backends.push(Backend::Avx2);
+    }
+    for backend in backends {
+        let kernel = kernel_for(backend);
+        let mut out = Tensor2::zeros(m, n);
+        group.bench_function(format!("matmul_{}/{m}x{k}x{n}", backend.name()), |bch| {
+            bch.iter(|| a.matmul_into_with(&b, &mut out, kernel))
         });
     }
     group.finish();
@@ -51,6 +75,7 @@ criterion_group!(
     benches,
     bench_ray_modules,
     bench_int8_gemm,
-    bench_dense_matmul
+    bench_dense_matmul,
+    bench_kernel_backends
 );
 criterion_main!(benches);

@@ -1,33 +1,35 @@
-//! Perf trajectory for the fused cross-ray inference path.
+//! Perf trajectory for the fused cross-ray inference path and the
+//! SIMD kernel backends.
 //!
 //! Measures, on the current host:
 //!
-//! * **chunk inference rays/sec**, three ways on identical
-//!   pre-aggregated chunks:
+//! * **chunk inference rays/sec** on identical pre-aggregated chunks:
 //!   1. the **seed baseline** — a faithful replica of the pre-fusion
 //!      per-ray path (naive zero-skip GEMM, mixer padded to `N_max`,
-//!      one 3-layer blend MLP call per point) — the path this PR
-//!      replaced and the headline "≥ 2×" comparison,
+//!      one 3-layer blend MLP call per point) — the stable origin of
+//!      the trajectory,
 //!   2. the **per-ray reference** ([`GenNerfModel::forward_ray`] loop)
-//!      — same modern kernels as the fused path, one GEMM chain per
-//!      ray; retained for bit-exactness pinning,
-//!   3. the **fused path** ([`GenNerfModel::forward_rays`]) — one
-//!      point-MLP GEMM + one blend GEMM per chunk;
-//! * **end-to-end frame rays/sec** — `Renderer` fused vs per-ray
-//!   reference (both include feature acquisition),
-//! * **dense matmul GFLOP/s** of the register-blocked kernel,
+//!      on the best backend — retained for bit-exactness pinning,
+//!   3. the **fused path** ([`GenNerfModel::forward_rays`]), measured
+//!      **per kernel backend** (scalar vs the detected SIMD backend);
+//! * **end-to-end frame rays/sec** — `Renderer` fused per backend plus
+//!   the per-ray reference (all include feature acquisition),
+//! * **dense matmul and INT8 GEMM GFLOP/s per backend**,
 //! * **allocations per frame** on each path, via a counting global
 //!   allocator.
 //!
-//! Writes `BENCH_fused.json` (in the current directory, or to the path
-//! in `GEN_NERF_PERF_OUT`) so successive PRs can track the trajectory.
+//! Writes `BENCH_simd.json` (in the current directory, or to the path
+//! in `GEN_NERF_PERF_OUT`) so successive PRs can track the trajectory,
+//! and prints the backend it selected (recorded by the CI step).
 
 use gen_nerf::config::{ModelConfig, SamplingStrategy};
 use gen_nerf::features::{aggregate_point, prepare_sources, PointAggregate};
 use gen_nerf::model::{density_from_logit, GenNerfModel, RayModule};
 use gen_nerf::pipeline::Renderer;
 use gen_nerf_geometry::Vec3;
+use gen_nerf_nn::kernels::{self, Backend};
 use gen_nerf_nn::layers::Linear;
+use gen_nerf_nn::quant::QuantTensor;
 use gen_nerf_nn::Tensor2;
 use gen_nerf_scene::{Dataset, DatasetKind};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -158,7 +160,19 @@ fn seed_forward_ray(model: &GenNerfModel, aggs: &[PointAggregate]) -> (Vec<f32>,
 
 fn main() {
     let out_path =
-        std::env::var("GEN_NERF_PERF_OUT").unwrap_or_else(|_| "BENCH_fused.json".to_string());
+        std::env::var("GEN_NERF_PERF_OUT").unwrap_or_else(|_| "BENCH_simd.json".to_string());
+
+    // The two backends to compare: the bit-exact scalar reference and
+    // the best backend this host supports (identical when no SIMD is
+    // available). The startup selection is reported so CI can record
+    // what actually ran.
+    let startup_backend = kernels::active_backend();
+    let simd_backend = Backend::detect();
+    println!(
+        "kernel backend: startup={} detected={}",
+        startup_backend.name(),
+        simd_backend.name()
+    );
 
     let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 6, 1, 32, 7);
     let sources = prepare_sources(&ds.source_views);
@@ -185,51 +199,65 @@ fn main() {
     }
     let refs: Vec<&[PointAggregate]> = rays.iter().map(|r| r.as_slice()).collect();
 
-    // Sanity: the two paths agree bit-for-bit before being compared.
-    let fused_out = model.forward_rays(&refs);
-    for (r, out) in refs.iter().zip(&fused_out) {
-        assert_eq!(
-            &model.forward_ray(r),
-            out,
-            "fused/per-ray divergence; refusing to report"
-        );
-    }
-
-    // The seed baseline computes the same function modulo the dynamic
-    // (unpadded) mixer inference; agreement is near-exact, not
-    // bit-exact, so check it with a tolerance.
-    for (r, out) in refs.iter().zip(&fused_out) {
-        let (densities, _) = seed_forward_ray(&model, r);
-        for (a, b) in densities.iter().zip(&out.densities) {
-            assert!(
-                (a - b).abs() <= 1e-3 * a.abs().max(1.0),
-                "seed baseline diverged: {a} vs {b}"
+    // Sanity, per backend: fused and per-ray paths agree bit-for-bit
+    // under the *same* backend (the kernel contract), and the seed
+    // baseline agrees within tolerance (it computes the same function
+    // modulo the dynamic (unpadded) mixer inference and scalar
+    // rounding).
+    for backend in [Backend::Scalar, simd_backend] {
+        kernels::set_active(backend);
+        let fused_out = model.forward_rays(&refs);
+        for (r, out) in refs.iter().zip(&fused_out) {
+            assert_eq!(
+                &model.forward_ray(r),
+                out,
+                "fused/per-ray divergence under {}; refusing to report",
+                backend.name()
             );
+        }
+        for (r, out) in refs.iter().zip(&fused_out) {
+            let (densities, _) = seed_forward_ray(&model, r);
+            for (a, b) in densities.iter().zip(&out.densities) {
+                assert!(
+                    (a - b).abs() <= 1e-3 * a.abs().max(1.0),
+                    "seed baseline diverged under {}: {a} vs {b}",
+                    backend.name()
+                );
+            }
         }
     }
 
     let reps = 8;
+    // Seed baseline replica on the scalar backend — the faithful
+    // origin of the trajectory.
+    kernels::set_active(Backend::Scalar);
     let t_baseline = time_per_rep(reps, || {
         for r in &refs {
             std::hint::black_box(seed_forward_ray(&model, r));
         }
     });
+    let t_fused_scalar = time_per_rep(reps, || {
+        std::hint::black_box(model.forward_rays(&refs));
+    });
+    // Best backend: fused plus the per-ray reference.
+    kernels::set_active(simd_backend);
     let t_per_ray = time_per_rep(reps, || {
         for r in &refs {
             std::hint::black_box(model.forward_ray(r));
         }
     });
-    let t_fused = time_per_rep(reps, || {
+    let t_fused_simd = time_per_rep(reps, || {
         std::hint::black_box(model.forward_rays(&refs));
     });
-    let inference_rays_per_sec_baseline = n_rays as f64 / t_baseline;
-    let inference_rays_per_sec_per_ray = n_rays as f64 / t_per_ray;
-    let inference_rays_per_sec_fused = n_rays as f64 / t_fused;
-    // Headline: fused vs the per-ray path this PR replaced.
-    let inference_speedup = inference_rays_per_sec_fused / inference_rays_per_sec_baseline;
-    let same_kernel_speedup = inference_rays_per_sec_fused / inference_rays_per_sec_per_ray;
+    let rays_sec_baseline = n_rays as f64 / t_baseline;
+    let rays_sec_fused_scalar = n_rays as f64 / t_fused_scalar;
+    let rays_sec_per_ray = n_rays as f64 / t_per_ray;
+    let rays_sec_fused_simd = n_rays as f64 / t_fused_simd;
+    let speedup_vs_seed = rays_sec_fused_simd / rays_sec_baseline;
+    let speedup_vs_scalar_fused = rays_sec_fused_simd / rays_sec_fused_scalar;
 
-    // ---- End-to-end frame: fused schedule vs per-ray reference. ----
+    // ---- End-to-end frame: fused schedule per backend + the per-ray
+    // reference (all include feature acquisition). ----
     let strategy = SamplingStrategy::Uniform { n: 12 };
     let frame = |fused: bool| {
         Renderer::new(
@@ -243,17 +271,23 @@ fn main() {
         .render(&ds.eval_views[0].camera)
     };
     let frame_rays = (w as u64 * h as u64) as f64;
+    kernels::set_active(Backend::Scalar);
+    let t_frame_fused_scalar = time_per_rep(2, || {
+        std::hint::black_box(frame(true));
+    });
+    kernels::set_active(simd_backend);
     let t_frame_per_ray = time_per_rep(2, || {
         std::hint::black_box(frame(false));
     });
-    let t_frame_fused = time_per_rep(2, || {
+    let t_frame_fused_simd = time_per_rep(2, || {
         std::hint::black_box(frame(true));
     });
     let frame_rays_per_sec_per_ray = frame_rays / t_frame_per_ray;
-    let frame_rays_per_sec_fused = frame_rays / t_frame_fused;
+    let frame_rays_per_sec_fused_scalar = frame_rays / t_frame_fused_scalar;
+    let frame_rays_per_sec_fused_simd = frame_rays / t_frame_fused_simd;
 
     // ---- Allocations per frame (single-threaded so worker-thread
-    // bookkeeping doesn't blur the count). ----
+    // bookkeeping doesn't blur the count; backend-independent). ----
     let frame_1t = |fused: bool| {
         Renderer::new(
             &model,
@@ -273,29 +307,53 @@ fn main() {
     std::hint::black_box(frame_1t(true));
     let allocs_fused_path = allocations() - a1;
 
-    // ---- Dense GEMM GFLOP/s of the blocked kernel. ----
+    // ---- Dense GEMM and INT8 GEMM throughput per backend. ----
     let (m, k, n) = (128usize, 128usize, 128usize);
-    let a = gen_nerf_nn::Tensor2::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.11).sin());
-    let b = gen_nerf_nn::Tensor2::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.05).cos());
-    let t_mm = time_per_rep(20, || {
-        std::hint::black_box(a.matmul(&b));
-    });
-    let matmul_gflops = (2.0 * m as f64 * k as f64 * n as f64) / t_mm / 1e9;
+    let a = Tensor2::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.11).sin());
+    let b = Tensor2::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.05).cos());
+    let qa = QuantTensor::quantize(&a);
+    let qb = QuantTensor::quantize(&b);
+    let gemm_flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let mut matmul_gflops = [0.0f64; 2];
+    let mut int8_gops = [0.0f64; 2];
+    for (slot, backend) in [Backend::Scalar, simd_backend].into_iter().enumerate() {
+        kernels::set_active(backend);
+        let t_mm = time_per_rep(20, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        matmul_gflops[slot] = gemm_flops / t_mm / 1e9;
+        let t_q = time_per_rep(20, || {
+            std::hint::black_box(qa.matmul(&qb));
+        });
+        int8_gops[slot] = gemm_flops / t_q / 1e9;
+    }
+    kernels::set_active(startup_backend);
 
     let json = format!(
-        "{{\n  \"chunk\": {{\"rays\": {n_rays}, \"points_per_ray\": {pts}}},\n  \
-         \"inference_rays_per_sec_seed_baseline\": {inference_rays_per_sec_baseline:.1},\n  \
-         \"inference_rays_per_sec_per_ray\": {inference_rays_per_sec_per_ray:.1},\n  \
-         \"inference_rays_per_sec_fused\": {inference_rays_per_sec_fused:.1},\n  \
-         \"inference_speedup_vs_seed_baseline\": {inference_speedup:.2},\n  \
-         \"inference_speedup_vs_per_ray_same_kernels\": {same_kernel_speedup:.2},\n  \
-         \"frame_rays_per_sec_per_ray\": {frame_rays_per_sec_per_ray:.1},\n  \
-         \"frame_rays_per_sec_fused\": {frame_rays_per_sec_fused:.1},\n  \
-         \"frame_speedup\": {:.2},\n  \
+        "{{\n  \"backend_detected\": \"{}\",\n  \
+         \"chunk\": {{\"rays\": {n_rays}, \"points_per_ray\": {pts}}},\n  \
+         \"inference_rays_per_sec_seed_baseline\": {rays_sec_baseline:.1},\n  \
+         \"inference_rays_per_sec_fused_scalar\": {rays_sec_fused_scalar:.1},\n  \
+         \"inference_rays_per_sec_per_ray_simd\": {rays_sec_per_ray:.1},\n  \
+         \"inference_rays_per_sec_fused_simd\": {rays_sec_fused_simd:.1},\n  \
+         \"inference_speedup_vs_seed_baseline\": {speedup_vs_seed:.2},\n  \
+         \"inference_speedup_vs_fused_scalar\": {speedup_vs_scalar_fused:.2},\n  \
+         \"frame_rays_per_sec_per_ray_simd\": {frame_rays_per_sec_per_ray:.1},\n  \
+         \"frame_rays_per_sec_fused_scalar\": {frame_rays_per_sec_fused_scalar:.1},\n  \
+         \"frame_rays_per_sec_fused_simd\": {frame_rays_per_sec_fused_simd:.1},\n  \
+         \"frame_speedup_simd_vs_scalar\": {:.2},\n  \
          \"allocations_per_frame_per_ray\": {allocs_per_ray_path},\n  \
          \"allocations_per_frame_fused\": {allocs_fused_path},\n  \
-         \"matmul_gflops_128\": {matmul_gflops:.2}\n}}\n",
-        frame_rays_per_sec_fused / frame_rays_per_sec_per_ray,
+         \"matmul_gflops_128_scalar\": {:.2},\n  \
+         \"matmul_gflops_128_simd\": {:.2},\n  \
+         \"int8_gemm_gops_128_scalar\": {:.2},\n  \
+         \"int8_gemm_gops_128_simd\": {:.2}\n}}\n",
+        simd_backend.name(),
+        frame_rays_per_sec_fused_simd / frame_rays_per_sec_fused_scalar,
+        matmul_gflops[0],
+        matmul_gflops[1],
+        int8_gops[0],
+        int8_gops[1],
     );
     std::fs::write(&out_path, &json).expect("write perf report");
     println!("{json}");

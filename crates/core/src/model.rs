@@ -19,7 +19,7 @@
 use crate::config::{ModelConfig, RayModuleChoice};
 use crate::features::PointAggregate;
 use gen_nerf_geometry::Vec3;
-use gen_nerf_nn::attention::SelfAttention;
+use gen_nerf_nn::attention::{AttnScratch, SelfAttention};
 use gen_nerf_nn::init::Rng;
 use gen_nerf_nn::layers::{mse_loss, Linear, Param, Relu};
 use gen_nerf_nn::mixer::RayMixer;
@@ -221,17 +221,31 @@ impl RayModule {
     ///
     /// Cross-point mixing never crosses rays, so only the per-ray
     /// phases run per ray (the mixer's `n × n` token mix, the
-    /// transformer's softmax attention); every row-independent phase
-    /// (the mixer's channel FC + projection, the `None` projection)
-    /// runs as **one** GEMM over the stacked chunk. Per-ray outputs are
-    /// bit-identical to [`RayModule::forward_inference`] on each slice
-    /// — the GEMM kernel's k-order contract again. Empty rays yield
+    /// transformer's softmax attention core); every row-independent
+    /// phase — the mixer's channel FC + projection, the transformer's
+    /// q/k/v input projections and output projection + density
+    /// projection, the `None` projection — runs as **one** GEMM over
+    /// the stacked chunk. Per-ray outputs are bit-identical to
+    /// [`RayModule::forward_inference`] on each slice — the GEMM
+    /// kernel's row-independence contract again. Empty rays yield
     /// empty logit vectors.
     ///
     /// # Panics
     ///
     /// Panics when any ray exceeds `N_max` for the mixer variant.
     pub fn forward_inference_batch(&self, rays_f_sigma: &[Tensor2]) -> Vec<Vec<f32>> {
+        let mut scratch = RayModuleScratch::default();
+        self.forward_inference_batch_scratch(rays_f_sigma, &mut scratch)
+    }
+
+    /// [`RayModule::forward_inference_batch`] with caller-owned
+    /// scratch buffers (reused across chunks by long-lived render
+    /// workers).
+    pub fn forward_inference_batch_scratch(
+        &self,
+        rays_f_sigma: &[Tensor2],
+        scratch: &mut RayModuleScratch,
+    ) -> Vec<Vec<f32>> {
         let live: Vec<usize> = (0..rays_f_sigma.len())
             .filter(|&i| rays_f_sigma[i].rows() > 0)
             .collect();
@@ -239,13 +253,22 @@ impl RayModule {
         if live.is_empty() {
             return out;
         }
-        let extract = |t: &Tensor2| -> Vec<f32> { (0..t.rows()).map(|k| t[(k, 0)]).collect() };
         match self {
-            RayModule::Transformer { .. } => {
-                // Softmax attention is intrinsically per-ray (the very
-                // cost the Ray-Mixer exists to remove, Sec. 3.3).
+            RayModule::Transformer { attn, proj } => {
+                // The softmax attention core is intrinsically per-ray
+                // (the very cost the Ray-Mixer exists to remove,
+                // Sec. 3.3), but the q/k/v/o projections are
+                // row-independent: batch them across the chunk's rays
+                // and chain the density projection as one more fused
+                // GEMM over the stacked output.
+                let refs: Vec<&Tensor2> = live.iter().map(|&i| &rays_f_sigma[i]).collect();
+                attn.forward_inference_batch_into(&refs, &mut scratch.attn);
+                proj.forward_into(&scratch.attn.out, &mut scratch.logits);
+                let mut offset = 0;
                 for &i in &live {
-                    out[i] = extract(&self.forward_inference(&rays_f_sigma[i]));
+                    let n = rays_f_sigma[i].rows();
+                    out[i] = (0..n).map(|k| scratch.logits[(offset + k, 0)]).collect();
+                    offset += n;
                 }
             }
             RayModule::Mixer(mixer) => {
@@ -275,17 +298,24 @@ impl RayModule {
                 }
             }
             RayModule::None { proj } => {
-                let stacked = Tensor2::vstack(
-                    &live
-                        .iter()
-                        .map(|&i| rays_f_sigma[i].clone())
-                        .collect::<Vec<_>>(),
-                );
-                let logits = proj.forward_inference(&stacked);
+                // Stack the live rays' rows into the reusable scratch
+                // tensor and project the whole chunk in one GEMM.
+                let total: usize = live.iter().map(|&i| rays_f_sigma[i].rows()).sum();
+                let d = rays_f_sigma[live[0]].cols();
+                scratch.stacked.reset_zeroed(total, d);
+                let mut r = 0;
+                for &i in &live {
+                    let t = &rays_f_sigma[i];
+                    for row in 0..t.rows() {
+                        scratch.stacked.row_mut(r).copy_from_slice(t.row(row));
+                        r += 1;
+                    }
+                }
+                proj.forward_into(&scratch.stacked, &mut scratch.logits);
                 let mut offset = 0;
                 for &i in &live {
                     let n = rays_f_sigma[i].rows();
-                    out[i] = (0..n).map(|k| logits[(offset + k, 0)]).collect();
+                    out[i] = (0..n).map(|k| scratch.logits[(offset + k, 0)]).collect();
                     offset += n;
                 }
             }
@@ -337,11 +367,25 @@ pub struct MlpScratch {
     pub out: Tensor2,
 }
 
+/// Reusable buffers for [`RayModule::forward_inference_batch_scratch`]
+/// (the attention temporaries of the transformer variant and the
+/// stacked projection inputs/outputs).
+#[derive(Debug, Clone, Default)]
+pub struct RayModuleScratch {
+    /// Attention temporaries (transformer variant).
+    attn: AttnScratch,
+    /// Stacked density logits of the chunk.
+    logits: Tensor2,
+    /// Stacked feature rows (`None` variant).
+    stacked: Tensor2,
+}
+
 /// Chunk-level scratch buffers for the fused cross-ray inference path
 /// ([`GenNerfModel::forward_rays_scratch`]). One instance per render
 /// worker replaces the per-ray/per-point tensor allocations of the
 /// per-ray path (notably `blend_color`'s three `Vec`s + `Tensor2` per
-/// point).
+/// point) and, within the fused path, the per-chunk attention and
+/// `f^σ` slice temporaries.
 #[derive(Debug, Clone, Default)]
 pub struct ForwardScratch {
     /// Fused point-MLP input (all points of all rays, ray-major).
@@ -354,6 +398,11 @@ pub struct ForwardScratch {
     blend: MlpScratch,
     /// Per-point softmax weights.
     weights: Vec<f32>,
+    /// Per-ray `f^σ` slices of the fused activations (buffers reused
+    /// across chunks).
+    f_sigma: Vec<Tensor2>,
+    /// Ray-module temporaries.
+    ray_module: RayModuleScratch,
 }
 
 /// Inference output for one ray.
@@ -515,38 +564,55 @@ impl GenNerfModel {
         }
         let d_sigma = self.config.d_sigma;
         let in_dim = self.config.point_input_dim();
+        // Split the scratch into its disjoint buffers once, so the
+        // fused activations can stay borrowed while later phases fill
+        // their own buffers.
+        let ForwardScratch {
+            x,
+            mlp,
+            blend_in,
+            blend,
+            weights,
+            f_sigma,
+            ray_module,
+        } = scratch;
 
         // One stats tensor for every point of every ray (ray-major),
         // one point-MLP GEMM chain for the whole chunk.
-        scratch.x.reset_zeroed(total, in_dim);
+        x.reset_zeroed(total, in_dim);
         let mut r = 0;
         for ray in rays {
             for agg in ray.iter() {
-                scratch.x.row_mut(r).copy_from_slice(&agg.stats[..in_dim]);
+                x.row_mut(r).copy_from_slice(&agg.stats[..in_dim]);
                 r += 1;
             }
         }
-        self.point_mlp
-            .forward_inference_into(&scratch.x, &mut scratch.mlp);
-        let y = &scratch.mlp.out;
+        self.point_mlp.forward_inference_into(x, mlp);
+        let y = &mlp.out;
 
         // Ray module over per-ray slices of the fused activations:
         // per-ray phases stay per ray (mixing never crosses rays), but
-        // the row-independent phases run once for the whole chunk.
-        let mut f_sigma_per_ray: Vec<Tensor2> = Vec::with_capacity(rays.len());
+        // the row-independent phases run once for the whole chunk. The
+        // per-ray slice tensors reuse the scratch buffers across
+        // chunks.
+        if f_sigma.len() < rays.len() {
+            f_sigma.resize_with(rays.len(), Tensor2::default);
+        }
         let mut offset = 0;
-        for ray in rays {
+        for (i, ray) in rays.iter().enumerate() {
             let n = ray.len();
-            let mut f_sigma = Tensor2::zeros(n, d_sigma);
+            let slice = &mut f_sigma[i];
+            slice.reset_zeroed(n, d_sigma);
             for r in 0..n {
-                f_sigma
+                slice
                     .row_mut(r)
                     .copy_from_slice(&y.row(offset + r)[..d_sigma]);
             }
-            f_sigma_per_ray.push(f_sigma);
             offset += n;
         }
-        let logits_per_ray = self.ray_module.forward_inference_batch(&f_sigma_per_ray);
+        let logits_per_ray = self
+            .ray_module
+            .forward_inference_batch_scratch(&f_sigma[..rays.len()], ray_module);
 
         // One blend-head GEMM over every valid (point, view) pair of
         // the chunk (ray-major, point-major, view-ascending), replacing
@@ -556,13 +622,13 @@ impl GenNerfModel {
             .flat_map(|ray| ray.iter())
             .map(|agg| agg.n_valid)
             .sum();
-        scratch.blend_in.reset_zeroed(n_pairs.max(1), 2);
+        blend_in.reset_zeroed(n_pairs.max(1), 2);
         let mut pr = 0;
         for ray in rays {
             for agg in ray.iter() {
                 for (i, &ok) in agg.valid.iter().enumerate() {
                     if ok {
-                        let row = scratch.blend_in.row_mut(pr);
+                        let row = blend_in.row_mut(pr);
                         row[0] = agg.blend_inputs[i][0];
                         row[1] = agg.blend_inputs[i][1];
                         pr += 1;
@@ -570,9 +636,8 @@ impl GenNerfModel {
                 }
             }
         }
-        self.blend
-            .forward_inference_into(&scratch.blend_in, &mut scratch.blend);
-        let blend_logits = &scratch.blend.out;
+        self.blend.forward_inference_into(blend_in, blend);
+        let blend_logits = &blend.out;
 
         // Per-ray assembly: softmax each point's pair range (same
         // reduction order as `blend_color`), add the RGB residual.
@@ -594,17 +659,15 @@ impl GenNerfModel {
                 let max = (pair..pair + m)
                     .map(|p| blend_logits[(p, 0)])
                     .fold(f32::NEG_INFINITY, f32::max);
-                scratch.weights.clear();
-                scratch
-                    .weights
-                    .extend((pair..pair + m).map(|p| (blend_logits[(p, 0)] - max).exp()));
-                let total_w: f32 = scratch.weights.iter().sum();
-                scratch.weights.iter_mut().for_each(|w| *w /= total_w);
+                weights.clear();
+                weights.extend((pair..pair + m).map(|p| (blend_logits[(p, 0)] - max).exp()));
+                let total_w: f32 = weights.iter().sum();
+                weights.iter_mut().for_each(|w| *w /= total_w);
                 let mut blended = Vec3::ZERO;
                 let mut wi = 0;
                 for (i, &ok) in agg.valid.iter().enumerate() {
                     if ok {
-                        blended += agg.view_colors[i] * scratch.weights[wi];
+                        blended += agg.view_colors[i] * weights[wi];
                         wi += 1;
                     }
                 }

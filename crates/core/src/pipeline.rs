@@ -36,13 +36,15 @@
 //! then **one fused forward** ([`GenNerfModel::forward_rays`] — a
 //! single point-MLP GEMM and a single blend-head GEMM for the whole
 //! chunk, the software analog of the paper's PE pool), then a per-ray
-//! **composite**. Because the dense GEMM kernel makes output rows
-//! independent of their batch (k-order accumulation, see
-//! `gen_nerf_nn::tensor`), the fused schedule is bit-for-bit identical
-//! to the per-ray path for any chunking — which is also what keeps the
-//! thread-count determinism above intact. The per-ray reference path
-//! survives behind [`Renderer::with_fused`]`(false)` for regression
-//! pinning (`tests/fused_forward_regression.rs`) and perf comparison
+//! **composite** through per-worker scratch buffers. Because the dense
+//! GEMM kernel makes output rows independent of their batch (k-order
+//! accumulation, see `gen_nerf_nn::tensor` — a contract every SIMD
+//! kernel backend upholds; see `gen_nerf_nn::kernels`), the fused
+//! schedule is bit-for-bit identical to the per-ray path for any
+//! chunking — which is also what keeps the thread-count determinism
+//! above intact. The per-ray reference path survives behind
+//! [`Renderer::with_fused`]`(false)` for regression pinning
+//! (`tests/fused_forward_regression.rs`) and perf comparison
 //! (`gen-nerf-bench`'s `perf_report`).
 
 use crate::config::SamplingStrategy;
@@ -53,9 +55,18 @@ use gen_nerf_geometry::{Aabb, Camera, Ray, Vec3};
 use gen_nerf_nn::flops::{self, FlopsCounter};
 use gen_nerf_nn::init::Rng;
 use gen_nerf_parallel::par_chunk_ranges;
-use gen_nerf_scene::renderer::composite;
+use gen_nerf_scene::renderer::{composite, composite_into};
 use gen_nerf_scene::Image;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the per-ray composite phase of the fused chunk
+/// schedule: one instance per worker replaces the interval-widths and
+/// hitting-weights `Vec`s the allocating [`composite`] pays per ray.
+#[derive(Debug, Clone, Default)]
+struct CompositeScratch {
+    deltas: Vec<f32>,
+    weights: Vec<f32>,
+}
 
 /// Instrumentation collected while rendering one image.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -329,14 +340,21 @@ impl<'a> Renderer<'a> {
             let mut scratch = ForwardScratch::default();
             let refs: Vec<&[PointAggregate]> = aggs_per.iter().map(|a| a.as_slice()).collect();
             let outs = self.model.forward_rays_scratch(&refs, &mut scratch);
-            // Phase 3: per-ray composite.
+            // Phase 3: per-ray composite through the worker's scratch
+            // buffers.
+            let mut cscratch = CompositeScratch::default();
             let colors: Vec<Vec3> = (start..end)
                 .map(|j| {
                     let idx = j - start;
                     match (&depths_per[idx], batch.ranges[j]) {
-                        (Some(depths), Some((_, t1))) if !depths.is_empty() => {
-                            self.composite_ray(depths, &outs[idx].densities, &outs[idx].colors, t1)
-                        }
+                        (Some(depths), Some((_, t1))) if !depths.is_empty() => self
+                            .composite_ray_scratch(
+                                depths,
+                                &outs[idx].densities,
+                                &outs[idx].colors,
+                                t1,
+                                &mut cscratch,
+                            ),
                         _ => self.background,
                     }
                 })
@@ -412,6 +430,28 @@ impl<'a> Renderer<'a> {
     ) -> Vec3 {
         let deltas = Ray::interval_widths(depths, t_far);
         composite(densities, colors, &deltas, self.background).color
+    }
+
+    /// [`Renderer::composite_ray`] through per-worker scratch buffers —
+    /// identical arithmetic (the fused regression suite pins the
+    /// equality), zero allocations once the buffers have grown.
+    fn composite_ray_scratch(
+        &self,
+        depths: &[f32],
+        densities: &[f32],
+        colors: &[Vec3],
+        t_far: f32,
+        scratch: &mut CompositeScratch,
+    ) -> Vec3 {
+        Ray::interval_widths_into(depths, t_far, &mut scratch.deltas);
+        let (color, _) = composite_into(
+            densities,
+            colors,
+            &scratch.deltas,
+            self.background,
+            &mut scratch.weights,
+        );
+        color
     }
 
     fn render_uniform(&self, batch: &RayBatch, n: usize, stats: &mut RenderStats) -> Image {
@@ -554,6 +594,7 @@ impl<'a> Renderer<'a> {
             let fine_outs = self.model.forward_rays_scratch(&fine_refs, &mut scratch);
 
             // Merge-sort the union by depth and composite, per ray.
+            let mut cscratch = CompositeScratch::default();
             let colors: Vec<Vec3> = (start..end)
                 .map(|j| {
                     let idx = j - start;
@@ -577,7 +618,7 @@ impl<'a> Renderer<'a> {
                     let depths: Vec<f32> = merged.iter().map(|m| m.0).collect();
                     let densities: Vec<f32> = merged.iter().map(|m| m.1).collect();
                     let colors: Vec<Vec3> = merged.iter().map(|m| m.2).collect();
-                    self.composite_ray(&depths, &densities, &colors, t1)
+                    self.composite_ray_scratch(&depths, &densities, &colors, t1, &mut cscratch)
                 })
                 .collect();
             (colors, local)

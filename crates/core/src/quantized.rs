@@ -20,9 +20,11 @@ use gen_nerf_nn::Tensor2;
 /// Returns the `n × (d_sigma + 3)` output like the float path.
 pub fn quantized_point_mlp(model: &GenNerfModel, x: &Tensor2) -> Tensor2 {
     let (l1, l2, l3) = model.point_mlp.layers();
-    let mut h = quant_linear(x, &l1.w.value, &l1.b.value).map(|v| v.max(0.0));
-    h = quant_linear(&h, &l2.w.value, &l2.b.value).map(|v| v.max(0.0));
-    quant_linear(&h, &l3.w.value, &l3.b.value)
+    let mut h = quant_linear(x, &l1.w.value, &l1.b.value);
+    h.relu_in_place();
+    let mut h2 = quant_linear(&h, &l2.w.value, &l2.b.value);
+    h2.relu_in_place();
+    quant_linear(&h2, &l3.w.value, &l3.b.value)
 }
 
 fn quant_linear(x: &Tensor2, w: &Tensor2, b: &Tensor2) -> Tensor2 {

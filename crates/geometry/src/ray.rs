@@ -48,11 +48,20 @@ impl Ray {
     /// taking the last interval to extend to `t_far`.
     pub fn interval_widths(depths: &[f32], t_far: f32) -> Vec<f32> {
         let mut out = Vec::with_capacity(depths.len());
+        Self::interval_widths_into(depths, t_far, &mut out);
+        out
+    }
+
+    /// [`Ray::interval_widths`] into a caller-owned buffer (cleared
+    /// first) — identical results, no allocation once the buffer has
+    /// grown to size. This is what lets the fused render schedule
+    /// composite a whole frame without one widths `Vec` per ray.
+    pub fn interval_widths_into(depths: &[f32], t_far: f32, out: &mut Vec<f32>) {
+        out.clear();
         for (i, &t) in depths.iter().enumerate() {
             let next = depths.get(i + 1).copied().unwrap_or(t_far);
             out.push((next - t).max(0.0));
         }
-        out
     }
 }
 

@@ -7,9 +7,28 @@
 //! and the workload-heterogeneity argument of Fig. 2 can be reproduced.
 
 use crate::init::Rng;
+use crate::kernels;
 use crate::layers::{softmax_rows, softmax_rows_backward, Linear, Param};
 use crate::tensor::Tensor2;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the batched inference path
+/// ([`SelfAttention::forward_inference_batch_into`]): one instance per
+/// long-lived render worker replaces the seven fresh `Tensor2`
+/// allocations the per-ray `forward_inference` pays per call.
+#[derive(Debug, Clone, Default)]
+pub struct AttnScratch {
+    x_all: Tensor2,
+    q: Tensor2,
+    k: Tensor2,
+    v: Tensor2,
+    scores: Tensor2,
+    ctx_all: Tensor2,
+    /// The stacked output of the latest
+    /// [`SelfAttention::forward_inference_batch_into`] (one row per
+    /// input token, sequence-major in input order).
+    pub out: Tensor2,
+}
 
 /// Single-head self-attention with a residual connection:
 /// `Y = X + softmax(XWq (XWk)ᵀ / √d_k) · XWv · Wo`.
@@ -74,6 +93,104 @@ impl SelfAttention {
         let attn = softmax_rows(&q.matmul_t(&k).scale(scale));
         let y = self.wo.forward_inference(&attn.matmul(&v));
         &y + x
+    }
+
+    /// Fused inference over many independent token sequences (the
+    /// rays of a chunk): the row-independent phases — the q/k/v input
+    /// projections and the output projection + residual — each run as
+    /// **one** GEMM over all sequences stacked row-wise, while the
+    /// intrinsically per-sequence attention core (scores, softmax,
+    /// context) runs per sequence over slices of the stacked
+    /// activations. Temporaries live in `scratch`; the result lands in
+    /// `scratch.out`, sequence-major in input order.
+    ///
+    /// Per-sequence output rows are **bit-identical** to calling
+    /// [`SelfAttention::forward_inference`] on each sequence under the
+    /// same kernel backend: GEMM rows are independent of their batch
+    /// (the kernel contract), and the per-sequence phases replay the
+    /// reference arithmetic exactly.
+    pub fn forward_inference_batch_into(&self, xs: &[&Tensor2], scratch: &mut AttnScratch) {
+        let dim = self.dim();
+        let dk = self.head_dim;
+        let total: usize = xs.iter().map(|x| x.rows()).sum();
+        scratch.out.reset_zeroed(total, dim);
+        if total == 0 {
+            return;
+        }
+        // Stack every sequence's tokens into one input tensor, then
+        // run each input projection as a single GEMM.
+        scratch.x_all.reset_zeroed(total, dim);
+        let mut r = 0;
+        for x in xs {
+            assert_eq!(x.cols(), dim, "attention input width mismatch");
+            for i in 0..x.rows() {
+                scratch.x_all.row_mut(r).copy_from_slice(x.row(i));
+                r += 1;
+            }
+        }
+        self.wq.forward_into(&scratch.x_all, &mut scratch.q);
+        self.wk.forward_into(&scratch.x_all, &mut scratch.k);
+        self.wv.forward_into(&scratch.x_all, &mut scratch.v);
+
+        // Attention core, per sequence over stacked-row slices.
+        let scale = 1.0 / (dk as f32).sqrt();
+        scratch.ctx_all.reset_zeroed(total, dk);
+        let kern = kernels::active();
+        let mut off = 0;
+        for x in xs {
+            let n = x.rows();
+            if n == 0 {
+                continue;
+            }
+            // scores = (Q_i · K_iᵀ) · scale — per element an
+            // ascending-t dot product followed by one multiply,
+            // matching `matmul_t(..).scale(scale)` bit-for-bit.
+            scratch.scores.reset_zeroed(n, n);
+            for rr in 0..n {
+                let q_row = scratch.q.row(off + rr);
+                for cc in 0..n {
+                    let k_row = scratch.k.row(off + cc);
+                    let mut acc = 0.0f32;
+                    for (qv, kv) in q_row.iter().zip(k_row) {
+                        acc += qv * kv;
+                    }
+                    scratch.scores[(rr, cc)] = acc * scale;
+                }
+            }
+            kern.softmax_rows(scratch.scores.as_mut_slice(), n);
+            // ctx_i = attn · V_i — the same dispatched GEMM the
+            // reference `attn.matmul(&v)` runs, on the stacked slice.
+            kern.matmul(
+                scratch.scores.as_slice(),
+                &scratch.v.as_slice()[off * dk..(off + n) * dk],
+                &mut scratch.ctx_all.as_mut_slice()[off * dk..(off + n) * dk],
+                n,
+                n,
+                dk,
+            );
+            off += n;
+        }
+
+        // Output projection as one GEMM, then the residual (an exact
+        // element-wise add, identical to the reference `&y + x`).
+        self.wo.forward_into(&scratch.ctx_all, &mut scratch.out);
+        for (o, &xv) in scratch
+            .out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(scratch.x_all.as_slice())
+        {
+            *o += xv;
+        }
+    }
+
+    /// Allocating wrapper around
+    /// [`SelfAttention::forward_inference_batch_into`]: returns the
+    /// stacked output (one row per input token, sequence-major).
+    pub fn forward_inference_batch(&self, xs: &[&Tensor2]) -> Tensor2 {
+        let mut scratch = AttnScratch::default();
+        self.forward_inference_batch_into(xs, &mut scratch);
+        scratch.out
     }
 
     /// Backward pass; accumulates parameter gradients and returns
@@ -221,6 +338,40 @@ mod tests {
                 "wq[{i}]: numeric={numeric} analytic={}",
                 analytic[i]
             );
+        }
+    }
+
+    #[test]
+    fn batched_inference_matches_per_sequence_bitwise() {
+        // The fused q/k/v/o contract: stacking sequences changes
+        // nothing, bit-for-bit, including empty sequences in the batch
+        // and reused scratch buffers across calls.
+        let mut rng = Rng::seed_from(19);
+        let attn = SelfAttention::new(7, 4, &mut rng);
+        let seqs: Vec<Tensor2> = [5usize, 1, 0, 12, 3]
+            .iter()
+            .map(|&n| Tensor2::from_fn(n, 7, |r, c| ((r * 7 + c) as f32 * 0.23).sin() * 1.7))
+            .collect();
+        let refs: Vec<&Tensor2> = seqs.iter().collect();
+        let mut scratch = AttnScratch::default();
+        for round in 0..2 {
+            attn.forward_inference_batch_into(&refs, &mut scratch);
+            let mut off = 0;
+            for (i, x) in seqs.iter().enumerate() {
+                let single = attn.forward_inference(x);
+                for r in 0..x.rows() {
+                    let sb: Vec<u32> = single.row(r).iter().map(|v| v.to_bits()).collect();
+                    let bb: Vec<u32> = scratch
+                        .out
+                        .row(off + r)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(sb, bb, "round {round}, seq {i}, row {r} diverged");
+                }
+                off += x.rows();
+            }
+            assert_eq!(off, scratch.out.rows());
         }
     }
 

@@ -1,0 +1,433 @@
+//! The AVX2 + FMA backend.
+//!
+//! Safety model: [`Avx2Kernel`] is only reachable through
+//! [`super::kernel_for`], which hands it out exclusively after
+//! `is_x86_feature_detected!("avx2")`/`("fma")` both pass, so the
+//! `#[target_feature]` functions below are sound to call.
+//!
+//! Positional independence (the property that keeps fused cross-ray
+//! execution bit-identical to per-ray execution under this backend):
+//! every vector operation is paired with a scalar remainder that
+//! computes the *same* per-lane function —
+//!
+//! * GEMM lanes use `vfmadd`; the column remainder uses scalar
+//!   [`f32::mul_add`] (the same correctly-rounded fused op).
+//! * ReLU lanes use `vmaxps(x, 0)` = `if x > 0 { x } else { 0 }`; the
+//!   remainder spells out exactly that comparison (not `f32::max`,
+//!   whose −0.0 handling may differ).
+//! * The softmax `exp` is a degree-5 polynomial (Cephes `expf`)
+//!   evaluated with identical mul/add sequences in the vector body and
+//!   the scalar remainder.
+//!
+//! Relative to the scalar backend, FMA contracts one rounding per
+//! multiply-add and the softmax sum reduces as a tree, so results
+//! differ in the last ULPs — the tolerance contract pinned by the
+//! parity tests in [`super`].
+
+#![allow(unsafe_code)]
+
+use super::{Backend, MicroKernel};
+
+#[cfg(target_arch = "x86")]
+use std::arch::x86::*;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// Rows per register tile (6 rows × two 8-lane accumulators each =
+/// 12 of the 16 ymm registers, leaving room for the `b` loads and the
+/// broadcast `a` element).
+const MR: usize = 6;
+
+/// The AVX2 [`MicroKernel`]. Constructed only behind runtime feature
+/// detection (see the module docs).
+#[derive(Debug, Default)]
+pub struct Avx2Kernel;
+
+impl MicroKernel for Avx2Kernel {
+    fn backend(&self) -> Backend {
+        Backend::Avx2
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs).
+        unsafe { matmul_avx2(a, b, out, m, k, n) }
+    }
+
+    fn add_bias_rows(&self, data: &mut [f32], cols: usize, bias: &[f32]) {
+        debug_assert_eq!(bias.len(), cols);
+        debug_assert_eq!(data.len() % cols.max(1), 0);
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs).
+        unsafe { add_bias_rows_avx2(data, cols, bias) }
+    }
+
+    fn relu(&self, data: &mut [f32]) {
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs).
+        unsafe { relu_avx2(data) }
+    }
+
+    fn softmax_rows(&self, data: &mut [f32], cols: usize) {
+        debug_assert_eq!(data.len() % cols.max(1), 0);
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs).
+        unsafe { softmax_rows_avx2(data, cols) }
+    }
+
+    fn int8_matmul(
+        &self,
+        a: &[i8],
+        b: &[i8],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        scale_a: f32,
+        scale_b: f32,
+    ) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs).
+        unsafe { int8_matmul_avx2(a, b, out, m, k, n, scale_a, scale_b) }
+    }
+}
+
+// ---- dense GEMM ------------------------------------------------------
+
+/// MR×16 register tile (two ymm accumulators per row): per element, a
+/// `vfmadd` chain over `k` ascending.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile16(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    ib: usize,
+    j0: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for k in 0..kdim {
+        let bp = b.as_ptr().add(k * n + j0);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for (ii, acc_row) in acc.iter_mut().enumerate().take(ib) {
+            let av = _mm256_set1_ps(*a.get_unchecked((i0 + ii) * kdim + k));
+            acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+            acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate().take(ib) {
+        let op = out.as_mut_ptr().add((i0 + ii) * n + j0);
+        _mm256_storeu_ps(op, acc_row[0]);
+        _mm256_storeu_ps(op.add(8), acc_row[1]);
+    }
+}
+
+/// MR×8 register tile: one ymm accumulator per row, same per-element
+/// `vfmadd` chain as [`tile16`].
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile8(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    ib: usize,
+    j0: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let mut acc = [_mm256_setzero_ps(); MR];
+    for k in 0..kdim {
+        let bv = _mm256_loadu_ps(b.as_ptr().add(k * n + j0));
+        for (ii, acc_row) in acc.iter_mut().enumerate().take(ib) {
+            let av = _mm256_set1_ps(*a.get_unchecked((i0 + ii) * kdim + k));
+            *acc_row = _mm256_fmadd_ps(av, bv, *acc_row);
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate().take(ib) {
+        _mm256_storeu_ps(out.as_mut_ptr().add((i0 + ii) * n + j0), *acc_row);
+    }
+}
+
+/// Column remainder: scalar `mul_add` chains — the same fused op a
+/// vector lane performs, so an element's value never depends on which
+/// path covered it.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_edge_fma(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    ib: usize,
+    j0: usize,
+    jb: usize,
+    kdim: usize,
+    n: usize,
+) {
+    for ii in 0..ib {
+        let a_row = &a[(i0 + ii) * kdim..(i0 + ii + 1) * kdim];
+        for jj in 0..jb {
+            let mut acc = 0.0f32;
+            for (k, &av) in a_row.iter().enumerate() {
+                acc = av.mul_add(b[k * n + j0 + jj], acc);
+            }
+            out[(i0 + ii) * n + j0 + jj] = acc;
+        }
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_avx2(a: &[f32], b: &[f32], out: &mut [f32], m: usize, kdim: usize, n: usize) {
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = (m - i0).min(MR);
+        let mut j0 = 0;
+        while j0 + 16 <= n {
+            tile16(a, b, out, i0, ib, j0, kdim, n);
+            j0 += 16;
+        }
+        if j0 + 8 <= n {
+            tile8(a, b, out, i0, ib, j0, kdim, n);
+            j0 += 8;
+        }
+        if j0 < n {
+            tile_edge_fma(a, b, out, i0, ib, j0, n - j0, kdim, n);
+        }
+        i0 += MR;
+    }
+}
+
+// ---- element-wise ----------------------------------------------------
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_bias_rows_avx2(data: &mut [f32], cols: usize, bias: &[f32]) {
+    if cols == 0 {
+        return;
+    }
+    for row in data.chunks_exact_mut(cols) {
+        let mut c = 0;
+        while c + 8 <= cols {
+            let v = _mm256_loadu_ps(row.as_ptr().add(c));
+            let bv = _mm256_loadu_ps(bias.as_ptr().add(c));
+            _mm256_storeu_ps(row.as_mut_ptr().add(c), _mm256_add_ps(v, bv));
+            c += 8;
+        }
+        // Binary `+` is exactly rounded, so the scalar remainder is
+        // lane-identical to `vaddps`.
+        for (v, &b) in row[c..].iter_mut().zip(&bias[c..]) {
+            *v += b;
+        }
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn relu_avx2(data: &mut [f32]) {
+    let zero = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= data.len() {
+        let v = _mm256_loadu_ps(data.as_ptr().add(i));
+        _mm256_storeu_ps(data.as_mut_ptr().add(i), _mm256_max_ps(v, zero));
+        i += 8;
+    }
+    for v in &mut data[i..] {
+        // `vmaxps(x, 0)` semantics exactly: x > 0 ? x : 0 (NaN and
+        // −0.0 both map to +0.0).
+        *v = if *v > 0.0 { *v } else { 0.0 };
+    }
+}
+
+// ---- softmax ---------------------------------------------------------
+
+// Cephes expf constants (the classic exp_ps polynomial).
+const EXP_HI: f32 = 88.376_26;
+const EXP_LO: f32 = -88.376_26;
+const LOG2EF: f32 = std::f32::consts::LOG2_E;
+const EXP_C1: f32 = 0.693_359_4; // ln(2) high part
+const EXP_C2: f32 = -2.121_944_4e-4; // ln(2) low part
+const EXP_P0: f32 = 1.987_569_1e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_4e-1;
+
+/// Vectorized `expf` approximation (max relative error ≈ 2⁻²², i.e. a
+/// couple of ULPs).
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn exp_ps(x: __m256) -> __m256 {
+    let x = _mm256_min_ps(x, _mm256_set1_ps(EXP_HI));
+    let mut x = _mm256_max_ps(x, _mm256_set1_ps(EXP_LO));
+    // n = floor(x·log2(e) + 0.5)
+    let mut fx = _mm256_add_ps(
+        _mm256_mul_ps(x, _mm256_set1_ps(LOG2EF)),
+        _mm256_set1_ps(0.5),
+    );
+    fx = _mm256_floor_ps(fx);
+    // x -= n·ln(2), in two parts for precision.
+    x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(EXP_C1)));
+    x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(EXP_C2)));
+    let z = _mm256_mul_ps(x, x);
+    let mut y = _mm256_set1_ps(EXP_P0);
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(EXP_P1));
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(EXP_P2));
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(EXP_P3));
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(EXP_P4));
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(EXP_P5));
+    y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, z), x), _mm256_set1_ps(1.0));
+    // 2ⁿ via the exponent bits.
+    let n = _mm256_cvttps_epi32(fx);
+    let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+        n,
+        _mm256_set1_epi32(0x7f),
+    )));
+    _mm256_mul_ps(y, pow2n)
+}
+
+/// Scalar mirror of [`exp_ps`]: the identical operation sequence, so a
+/// remainder element matches what its vector lane would have computed.
+#[inline]
+fn exp_scalar_mirror(x: f32) -> f32 {
+    let x = x.min(EXP_HI).max(EXP_LO);
+    let fx = (x * LOG2EF + 0.5).floor();
+    let x = x - fx * EXP_C1;
+    let x = x - fx * EXP_C2;
+    let z = x * x;
+    let mut y = EXP_P0;
+    y = y * x + EXP_P1;
+    y = y * x + EXP_P2;
+    y = y * x + EXP_P3;
+    y = y * x + EXP_P4;
+    y = y * x + EXP_P5;
+    let y = y * z + x + 1.0;
+    let n = fx as i32;
+    y * f32::from_bits(((n + 0x7f) as u32) << 23)
+}
+
+/// Horizontal max of a ymm register.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn hmax(v: __m256) -> f32 {
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let lo = _mm256_castps256_ps128(v);
+    let m = _mm_max_ps(lo, hi);
+    let m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    let m = _mm_max_ss(m, _mm_shuffle_ps::<0b01>(m, m));
+    _mm_cvtss_f32(m)
+}
+
+/// Horizontal sum of a ymm register (fixed tree order).
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn hsum(v: __m256) -> f32 {
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let lo = _mm256_castps256_ps128(v);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps::<0b01>(s, s));
+    _mm_cvtss_f32(s)
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn softmax_rows_avx2(data: &mut [f32], cols: usize) {
+    if cols == 0 {
+        return;
+    }
+    for row in data.chunks_exact_mut(cols) {
+        // Max reduction (exact regardless of order for finite data).
+        let mut c = 0;
+        let mut maxv = _mm256_set1_ps(f32::NEG_INFINITY);
+        while c + 8 <= cols {
+            maxv = _mm256_max_ps(maxv, _mm256_loadu_ps(row.as_ptr().add(c)));
+            c += 8;
+        }
+        let mut max = hmax(maxv);
+        for &v in &row[c..] {
+            max = if v > max { v } else { max };
+        }
+        // exp(x − max) and the sum, vector body + mirrored remainder.
+        let maxb = _mm256_set1_ps(max);
+        let mut sumv = _mm256_setzero_ps();
+        c = 0;
+        while c + 8 <= cols {
+            let e = exp_ps(_mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(c)), maxb));
+            _mm256_storeu_ps(row.as_mut_ptr().add(c), e);
+            sumv = _mm256_add_ps(sumv, e);
+            c += 8;
+        }
+        let mut total = hsum(sumv);
+        for v in &mut row[c..] {
+            *v = exp_scalar_mirror(*v - max);
+            total += *v;
+        }
+        // Normalize (division is exactly rounded lane-wise).
+        let totb = _mm256_set1_ps(total);
+        c = 0;
+        while c + 8 <= cols {
+            let v = _mm256_loadu_ps(row.as_ptr().add(c));
+            _mm256_storeu_ps(row.as_mut_ptr().add(c), _mm256_div_ps(v, totb));
+            c += 8;
+        }
+        for v in &mut row[c..] {
+            *v /= total;
+        }
+    }
+}
+
+// ---- INT8 GEMM -------------------------------------------------------
+
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)] // mirrors the trait signature
+unsafe fn int8_matmul_avx2(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [f32],
+    m: usize,
+    kdim: usize,
+    n: usize,
+    scale_a: f32,
+    scale_b: f32,
+) {
+    let sa = _mm256_set1_ps(scale_a);
+    let sb = _mm256_set1_ps(scale_b);
+    for i in 0..m {
+        let a_row = &a[i * kdim..(i + 1) * kdim];
+        let mut j0 = 0;
+        while j0 + 8 <= n {
+            // 8 i32 accumulators: widen 8 bytes of the b row, multiply
+            // by the broadcast a element, accumulate. i32 wrap-around
+            // arithmetic is exact, so this is bit-identical to the
+            // scalar backend.
+            let mut acc = _mm256_setzero_si256();
+            for (k, &av) in a_row.iter().enumerate() {
+                let bv = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+                    b.as_ptr().add(k * n + j0) as *const __m128i
+                ));
+                acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(_mm256_set1_epi32(av as i32), bv));
+            }
+            // `(acc as f32) · scale_a · scale_b` — the same two
+            // rounding steps as the scalar backend, lane-wise.
+            let f = _mm256_mul_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(acc), sa), sb);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j0), f);
+            j0 += 8;
+        }
+        for j in j0..n {
+            let mut acc: i32 = 0;
+            for (k, &av) in a_row.iter().enumerate() {
+                acc += av as i32 * b[k * n + j] as i32;
+            }
+            out[i * n + j] = acc as f32 * scale_a * scale_b;
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Pluggable SIMD kernel backends with runtime dispatch.
+//!
+//! Every dense hot path of the workspace — the register-blocked GEMM
+//! behind [`crate::Tensor2::matmul`], the bias-add and ReLU of
+//! [`crate::layers`], [`crate::layers::softmax_rows`] in the attention
+//! path, and the INT8 GEMM of [`crate::quant`] — executes through a
+//! [`MicroKernel`]. Which implementation runs is decided once at
+//! startup:
+//!
+//! * [`Backend::Scalar`] — the portable register-blocked reference
+//!   kernel ([`scalar`]). Bit-for-bit identical to the pre-SIMD
+//!   workspace: every regression baseline (fused ≡ per-ray renders,
+//!   blocked ≡ naive GEMM) is stated against this backend.
+//! * [`Backend::Avx2`] — AVX2+FMA vectorized kernels ([`avx2`]),
+//!   compiled on x86/x86_64 and selected only when
+//!   `is_x86_feature_detected!` confirms both features at runtime.
+//!
+//! Selection order: the `GEN_NERF_KERNEL` environment variable
+//! (`auto`, `scalar`, `avx2`) if set, otherwise auto-detection.
+//! [`set_active`] overrides the choice at runtime (benchmarks compare
+//! backends in one process this way; tests serialize around it).
+//!
+//! # Exactness contract
+//!
+//! The scalar backend preserves the workspace's historical bit-exact
+//! results. The AVX2 backend changes float rounding (FMA contracts
+//! mul+add into one rounding; reductions tree-sum), so scalar and AVX2
+//! agree only to tight tolerances — pinned by the property tests in
+//! this module (the INT8 GEMM is the exception: integer accumulation
+//! is exact, so both backends match bit-for-bit).
+//!
+//! What every backend **must** preserve is *positional independence*:
+//! an output element's value may depend only on its logical inputs,
+//! never on where the element sits in a buffer or how many other rows
+//! share the batch. That is what keeps the fused cross-ray schedule
+//! bit-identical to per-ray execution *within* a backend, for any
+//! chunking. Concretely: a vector lane and the scalar remainder of the
+//! same loop must compute the same function (e.g. FMA lanes pair with
+//! scalar `mul_add`, never plain `mul`+`add`).
+//!
+//! # Adding a backend
+//!
+//! Implement [`MicroKernel`] (a ZST with a `'static` instance), extend
+//! [`Backend`]/[`Backend::parse`]/[`kernel_for`], gate availability in
+//! [`Backend::available`], and add the new backend to the parity
+//! property tests below. Keep the positional-independence rule above
+//! or the fused-inference regression suite will catch you.
+
+pub mod scalar;
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+pub mod avx2;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable selecting the kernel backend
+/// (`auto` | `scalar` | `avx2`).
+pub const KERNEL_ENV: &str = "GEN_NERF_KERNEL";
+
+/// A kernel backend identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable register-blocked scalar kernels — the bit-exact
+    /// reference.
+    Scalar,
+    /// AVX2 + FMA vectorized kernels (x86/x86_64 only).
+    Avx2,
+}
+
+impl Backend {
+    /// The backend's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a `GEN_NERF_KERNEL` value. `auto` (or empty) yields
+    /// `None` — detect the best available backend; unknown values are
+    /// an error carrying the offending string.
+    pub fn parse(value: &str) -> Result<Option<Backend>, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Ok(None),
+            "scalar" => Ok(Some(Backend::Scalar)),
+            "avx2" => Ok(Some(Backend::Avx2)),
+            other => Err(format!(
+                "unknown {KERNEL_ENV} value {other:?} (expected auto, scalar or avx2)"
+            )),
+        }
+    }
+
+    /// `true` when this backend can run on the current machine.
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            Backend::Avx2 => {
+                #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The best backend the current machine supports.
+    pub fn detect() -> Backend {
+        if Backend::Avx2.available() {
+            Backend::Avx2
+        } else {
+            Backend::Scalar
+        }
+    }
+
+    /// Resolves the backend from `GEN_NERF_KERNEL` (falling back to
+    /// [`Backend::detect`] on `auto`/unset). Unknown values and
+    /// requests for an unavailable backend degrade to the best
+    /// available backend with a one-line warning on stderr.
+    pub fn from_env() -> Backend {
+        let requested = match std::env::var(KERNEL_ENV) {
+            Ok(v) => match Backend::parse(&v) {
+                Ok(b) => b,
+                Err(msg) => {
+                    eprintln!("gen-nerf-nn: {msg}; using auto detection");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        match requested {
+            Some(b) if b.available() => b,
+            Some(b) => {
+                eprintln!(
+                    "gen-nerf-nn: {KERNEL_ENV}={} requested but unavailable on this CPU; \
+                     using {}",
+                    b.name(),
+                    Backend::detect().name()
+                );
+                Backend::detect()
+            }
+            None => Backend::detect(),
+        }
+    }
+}
+
+/// The micro-kernel surface every backend implements. All slices are
+/// row-major; `data.len()` must be a multiple of `cols` where a width
+/// is given.
+pub trait MicroKernel: Sync {
+    /// The backend this kernel implements.
+    fn backend(&self) -> Backend;
+
+    /// Dense GEMM `out = a · b` with `a` of shape `m × k` and `b` of
+    /// shape `k × n`. `out` (length `m · n`) is fully overwritten.
+    /// Every output element accumulates over the shared dimension in
+    /// ascending order independently of `m` (row independence — the
+    /// fused-inference contract).
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// Adds the `cols`-wide `bias` row vector to every row of `data`
+    /// in place.
+    fn add_bias_rows(&self, data: &mut [f32], cols: usize, bias: &[f32]);
+
+    /// In-place ReLU.
+    fn relu(&self, data: &mut [f32]);
+
+    /// In-place numerically-stabilized softmax over each `cols`-wide
+    /// row of `data`.
+    fn softmax_rows(&self, data: &mut [f32], cols: usize);
+
+    /// INT8 GEMM with i32 accumulation: `out[i,j] = (Σₖ a[i,k]·b[k,j])
+    /// as f32 · scale_a · scale_b` (two rescale multiplications, in
+    /// that order — the historical arithmetic). Integer accumulation
+    /// is exact, so all backends agree bit-for-bit here.
+    #[allow(clippy::too_many_arguments)] // mirrors the GEMM signature plus the two scales
+    fn int8_matmul(
+        &self,
+        a: &[i8],
+        b: &[i8],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        scale_a: f32,
+        scale_b: f32,
+    );
+}
+
+static SCALAR_KERNEL: scalar::ScalarKernel = scalar::ScalarKernel;
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+static AVX2_KERNEL: avx2::Avx2Kernel = avx2::Avx2Kernel;
+
+/// `ACTIVE` holds the selected backend: 0 = not yet selected,
+/// otherwise `backend_code`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn backend_code(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Avx2 => 2,
+    }
+}
+
+fn backend_from_code(c: u8) -> Backend {
+    match c {
+        1 => Backend::Scalar,
+        2 => Backend::Avx2,
+        _ => unreachable!("invalid backend code {c}"),
+    }
+}
+
+/// The kernel implementing `backend`, degraded to scalar when the
+/// requested backend is unavailable on this machine.
+pub fn kernel_for(backend: Backend) -> &'static dyn MicroKernel {
+    match backend {
+        Backend::Scalar => &SCALAR_KERNEL,
+        Backend::Avx2 => {
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            if Backend::Avx2.available() {
+                return &AVX2_KERNEL;
+            }
+            &SCALAR_KERNEL
+        }
+    }
+}
+
+/// The currently active backend, selecting it from the environment on
+/// first use.
+pub fn active_backend() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => {
+            let b = Backend::from_env();
+            // A concurrent first use may win the race; both candidates
+            // resolved the same environment, so either store is fine.
+            ACTIVE.store(backend_code(b), Ordering::Relaxed);
+            b
+        }
+        c => backend_from_code(c),
+    }
+}
+
+/// The currently active kernel (the dispatch point every hot path
+/// calls).
+pub fn active() -> &'static dyn MicroKernel {
+    kernel_for(active_backend())
+}
+
+/// Overrides the active backend at runtime, returning the backend
+/// actually installed (an unavailable request degrades to scalar).
+///
+/// Intended for benchmarks that compare backends within one process
+/// and for the dispatch tests; ordinary code should rely on the
+/// startup selection. Callers switching backends mid-process own the
+/// consistency of any bit-exactness comparison spanning the switch.
+pub fn set_active(backend: Backend) -> Backend {
+    let effective = if backend.available() {
+        backend
+    } else {
+        Backend::Scalar
+    };
+    ACTIVE.store(backend_code(effective), Ordering::Relaxed);
+    effective
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All backends that can actually run here (scalar always; avx2
+    /// when the host supports it).
+    fn runnable_backends() -> Vec<Backend> {
+        let mut v = vec![Backend::Scalar];
+        if Backend::Avx2.available() {
+            v.push(Backend::Avx2);
+        }
+        v
+    }
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(Backend::parse("auto"), Ok(None));
+        assert_eq!(Backend::parse(""), Ok(None));
+        assert_eq!(Backend::parse("scalar"), Ok(Some(Backend::Scalar)));
+        assert_eq!(Backend::parse("AVX2"), Ok(Some(Backend::Avx2)));
+        assert_eq!(Backend::parse(" Scalar "), Ok(Some(Backend::Scalar)));
+        assert!(Backend::parse("neon").is_err());
+    }
+
+    #[test]
+    fn detect_returns_an_available_backend() {
+        assert!(Backend::detect().available());
+        assert!(Backend::Scalar.available());
+    }
+
+    #[test]
+    fn kernel_for_reports_requested_backend_when_available() {
+        assert_eq!(kernel_for(Backend::Scalar).backend(), Backend::Scalar);
+        let k = kernel_for(Backend::Avx2);
+        if Backend::Avx2.available() {
+            assert_eq!(k.backend(), Backend::Avx2);
+        } else {
+            assert_eq!(k.backend(), Backend::Scalar);
+        }
+    }
+
+    /// `f64` reference GEMM plus a per-element magnitude bound
+    /// `Σₖ |a||b|` for tolerance scaling.
+    fn matmul_f64(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut out = vec![0.0f64; m * n];
+        let mut mag = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for t in 0..k {
+                    let av = a[i * k + t] as f64;
+                    let bv = b[t * n + j] as f64;
+                    out[i * n + j] += av * bv;
+                    mag[i * n + j] += av.abs() * bv.abs();
+                }
+            }
+        }
+        (out, mag)
+    }
+
+    fn pseudo(vals: &mut impl Iterator<Item = f32>, len: usize) -> Vec<f32> {
+        (0..len).map(|_| vals.next().unwrap()).collect()
+    }
+
+    fn value_stream(seed: u32) -> impl Iterator<Item = f32> {
+        // A small deterministic stream with sign changes, exact zeros
+        // and a wide magnitude range.
+        (0u32..).map(move |i| {
+            let x = ((i.wrapping_mul(2654435761).wrapping_add(seed)) % 2048) as f32 / 1024.0 - 1.0;
+            if x.abs() < 0.05 {
+                0.0
+            } else {
+                x * 6.0
+            }
+        })
+    }
+
+    #[test]
+    fn matmul_backends_agree_within_tolerance() {
+        // Shapes spanning full tiles, row edges, and every column-edge
+        // path (16-wide, 8-wide, scalar remainder).
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (6, 8, 16),
+            (7, 13, 17),
+            (12, 64, 33),
+            (5, 26, 48),
+            (23, 19, 9),
+        ] {
+            let mut vals = value_stream((m * 31 + k * 7 + n) as u32);
+            let a = pseudo(&mut vals, m * k);
+            let b = pseudo(&mut vals, k * n);
+            let (reference, mag) = matmul_f64(&a, &b, m, k, n);
+            for backend in runnable_backends() {
+                let mut out = vec![f32::NAN; m * n];
+                kernel_for(backend).matmul(&a, &b, &mut out, m, k, n);
+                for (i, &o) in out.iter().enumerate() {
+                    let tol = 1e-5 * mag[i].max(1.0);
+                    assert!(
+                        ((o as f64) - reference[i]).abs() <= tol,
+                        "{}: {m}x{k}x{n} elem {i}: {o} vs {} (tol {tol})",
+                        backend.name(),
+                        reference[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rows_are_batch_independent_per_backend() {
+        // The fused-inference contract, per backend: stacking rows
+        // never changes a row's result.
+        let (k, n) = (26, 48);
+        let mut vals = value_stream(77);
+        let big = pseudo(&mut vals, 9 * k);
+        let b = pseudo(&mut vals, k * n);
+        for backend in runnable_backends() {
+            let kern = kernel_for(backend);
+            let mut full = vec![0.0f32; 9 * n];
+            kern.matmul(&big, &b, &mut full, 9, k, n);
+            for r in 0..9 {
+                let mut single = vec![0.0f32; n];
+                kern.matmul(&big[r * k..(r + 1) * k], &b, &mut single, 1, k, n);
+                let fb: Vec<u32> = full[r * n..(r + 1) * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let sb: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fb, sb, "{}: row {r} depends on its batch", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bias_and_relu_backends_agree_exactly() {
+        for cols in [1usize, 7, 8, 9, 16, 19] {
+            let rows = 5;
+            let mut vals = value_stream(cols as u32);
+            let base = pseudo(&mut vals, rows * cols);
+            let bias = pseudo(&mut vals, cols);
+            let mut reference = base.clone();
+            let scalar = kernel_for(Backend::Scalar);
+            scalar.add_bias_rows(&mut reference, cols, &bias);
+            scalar.relu(&mut reference);
+            for backend in runnable_backends() {
+                let mut data = base.clone();
+                let kern = kernel_for(backend);
+                kern.add_bias_rows(&mut data, cols, &bias);
+                kern.relu(&mut data);
+                // Numerically exact (== treats -0.0 and 0.0 alike,
+                // the only sign-of-zero divergence ReLU can produce).
+                assert!(
+                    data.iter().zip(&reference).all(|(a, b)| a == b),
+                    "{}: cols {cols}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_backends_agree_within_tolerance() {
+        for cols in [1usize, 2, 7, 8, 9, 24, 33] {
+            let rows = 4;
+            let mut vals = value_stream(cols as u32 * 13);
+            let base = pseudo(&mut vals, rows * cols);
+            let mut reference = base.clone();
+            kernel_for(Backend::Scalar).softmax_rows(&mut reference, cols);
+            for backend in runnable_backends() {
+                let mut data = base.clone();
+                kernel_for(backend).softmax_rows(&mut data, cols);
+                for r in 0..rows {
+                    let row = &data[r * cols..(r + 1) * cols];
+                    let sum: f32 = row.iter().sum();
+                    assert!(
+                        (sum - 1.0).abs() < 1e-5,
+                        "{}: cols {cols} row {r} sums to {sum}",
+                        backend.name()
+                    );
+                }
+                for (i, (&a, &b)) in data.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 2e-6,
+                        "{}: cols {cols} elem {i}: {a} vs {b}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_backends_agree_bitwise() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (6, 10, 4),
+            (13, 48, 17),
+            (8, 26, 8),
+        ] {
+            let a: Vec<i8> = (0..m * k)
+                .map(|i| (((i * 37 + 11) % 255) as i32 - 127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..k * n)
+                .map(|i| (((i * 53 + 5) % 255) as i32 - 127) as i8)
+                .collect();
+            let (sa, sb) = (0.037f32, 0.41f32);
+            let mut reference = vec![0.0f32; m * n];
+            kernel_for(Backend::Scalar).int8_matmul(&a, &b, &mut reference, m, k, n, sa, sb);
+            for backend in runnable_backends() {
+                let mut out = vec![f32::NAN; m * n];
+                kernel_for(backend).int8_matmul(&a, &b, &mut out, m, k, n, sa, sb);
+                let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ob, rb, "{}: {m}x{k}x{n}", backend.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The portable register-blocked scalar backend — the bit-exact
+//! reference every other backend is pinned against.
+//!
+//! The GEMM here is the kernel the fused-inference work was built on:
+//! output tiles of [`MR`]`×`[`NR`] elements held in registers while
+//! the shared dimension `k` is walked **in ascending order** with one
+//! `f32` accumulator per output element — exactly the accumulation
+//! order of the textbook triple loop. Blocking tiles `i`/`j` only, so
+//! the result equals the naive reference bit-for-bit and every output
+//! row is independent of which other rows share the batch (the fused
+//! cross-ray contract). The remaining ops reproduce the historical
+//! element-wise arithmetic unchanged.
+
+use super::{Backend, MicroKernel};
+
+/// Rows per register tile of the blocked `matmul` kernel.
+pub const MR: usize = 6;
+
+/// Columns per register tile of the blocked `matmul` kernel.
+pub const NR: usize = 8;
+
+/// One full MR×NR register tile: fixed-size accumulators and
+/// fixed-width `b` rows so the inner loop auto-vectorizes. Each
+/// accumulator walks `k` in ascending order (the bit-exactness
+/// contract; see the module docs).
+#[inline]
+fn tile_full(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, j0: usize, kdim: usize, n: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for k in 0..kdim {
+        let b_row: &[f32; NR] = b[k * n + j0..k * n + j0 + NR].try_into().unwrap();
+        for ii in 0..MR {
+            let aik = a[(i0 + ii) * kdim + k];
+            let acc_row = &mut acc[ii];
+            for jj in 0..NR {
+                acc_row[jj] += aik * b_row[jj];
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate() {
+        let row = (i0 + ii) * n + j0;
+        out[row..row + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// A partial edge tile (`ib ≤ MR` rows, `jb ≤ NR` columns): same
+/// accumulation order as [`tile_full`], variable bounds.
+#[inline]
+#[allow(clippy::too_many_arguments)] // internal tile helper mirroring tile_full + bounds
+fn tile_edge(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    ib: usize,
+    jb: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for k in 0..kdim {
+        let b_row = &b[k * n + j0..k * n + j0 + jb];
+        for (ii, acc_row) in acc.iter_mut().enumerate().take(ib) {
+            let aik = a[(i0 + ii) * kdim + k];
+            for (jj, &bv) in b_row.iter().enumerate() {
+                acc_row[jj] += aik * bv;
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate().take(ib) {
+        let row = (i0 + ii) * n + j0;
+        out[row..row + jb].copy_from_slice(&acc_row[..jb]);
+    }
+}
+
+/// The register-blocked GEMM: `out = a · b` with `a` of shape `m × k`,
+/// `b` of shape `k × n`, both row-major. `out` is fully overwritten.
+pub(crate) fn matmul_kernel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = (m - i0).min(MR);
+        let mut j0 = 0;
+        if ib == MR {
+            while j0 + NR <= n {
+                tile_full(a, b, out, i0, j0, kdim, n);
+                j0 += NR;
+            }
+        }
+        while j0 < n {
+            let jb = (n - j0).min(NR);
+            tile_edge(a, b, out, i0, j0, ib, jb, kdim, n);
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// The scalar [`MicroKernel`].
+#[derive(Debug, Default)]
+pub struct ScalarKernel;
+
+impl MicroKernel for ScalarKernel {
+    fn backend(&self) -> Backend {
+        Backend::Scalar
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        matmul_kernel(a, b, out, m, k, n);
+    }
+
+    fn add_bias_rows(&self, data: &mut [f32], cols: usize, bias: &[f32]) {
+        debug_assert_eq!(bias.len(), cols);
+        debug_assert_eq!(data.len() % cols.max(1), 0);
+        if cols == 0 {
+            return;
+        }
+        for row in data.chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    fn relu(&self, data: &mut [f32]) {
+        data.iter_mut().for_each(|v| *v = v.max(0.0));
+    }
+
+    fn softmax_rows(&self, data: &mut [f32], cols: usize) {
+        debug_assert_eq!(data.len() % cols.max(1), 0);
+        if cols == 0 {
+            return;
+        }
+        for row in data.chunks_exact_mut(cols) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut total = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                total += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+    }
+
+    fn int8_matmul(
+        &self,
+        a: &[i8],
+        b: &[i8],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        scale_a: f32,
+        scale_b: f32,
+    ) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i32 = 0;
+                for t in 0..k {
+                    acc += a[i * k + t] as i32 * b[t * n + j] as i32;
+                }
+                out[i * n + j] = acc as f32 * scale_a * scale_b;
+            }
+        }
+    }
+}

@@ -167,15 +167,17 @@ impl Relu {
 
     /// Forward pass without caching (inference only) — usable through
     /// `&self`, so shared references to a model are `Sync`-safe across
-    /// render worker threads.
+    /// render worker threads. Runs through the active kernel backend.
     pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
-        x.map(|v| v.max(0.0))
+        let mut y = x.clone();
+        y.relu_in_place();
+        y
     }
 
     /// In-place inference forward — bit-identical to
     /// [`Relu::forward_inference`], for scratch-buffer pipelines.
     pub fn forward_inference_in_place(&self, x: &mut Tensor2) {
-        x.map_in_place(|v| v.max(0.0));
+        x.relu_in_place();
     }
 
     /// Backward pass.
@@ -307,22 +309,19 @@ impl LayerNorm {
     }
 }
 
-/// Row-wise softmax (numerically stabilized).
+/// Row-wise softmax (numerically stabilized), through the active
+/// kernel backend.
 pub fn softmax_rows(x: &Tensor2) -> Tensor2 {
     let mut y = x.clone();
-    for r in 0..x.rows() {
-        let row = y.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut total = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            total += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= total;
-        }
-    }
+    softmax_rows_in_place(&mut y);
     y
+}
+
+/// In-place sibling of [`softmax_rows`] — identical arithmetic, no
+/// allocation.
+pub fn softmax_rows_in_place(x: &mut Tensor2) {
+    let cols = x.cols();
+    crate::kernels::active().softmax_rows(x.as_mut_slice(), cols);
 }
 
 /// Backward of [`softmax_rows`] given its output `y` and upstream

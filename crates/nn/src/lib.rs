@@ -8,6 +8,10 @@
 //!
 //! * [`Tensor2`] — a row-major 2D `f32` tensor with the handful of BLAS
 //!   operations the models need,
+//! * [`kernels`] — runtime-dispatched micro-kernel backends for the
+//!   dense hot paths (GEMM, bias+ReLU, softmax, INT8 GEMM): a portable
+//!   bit-exact scalar reference plus AVX2+FMA, selected at startup via
+//!   `GEN_NERF_KERNEL={auto,scalar,avx2}`,
 //! * [`layers`] — `Linear`, activations, `LayerNorm`, `Softmax`, each
 //!   with explicit, tested backward passes,
 //! * [`attention`] — single-head self-attention (the ray transformer),
@@ -37,6 +41,7 @@
 pub mod attention;
 pub mod flops;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod mixer;
 pub mod optim;

@@ -126,7 +126,7 @@ impl RayMixer {
         let xt = x.transpose();
         let mut ht = xt.matmul(&sub_w);
         ht.add_row_broadcast_in_place(&sub_b);
-        ht.map_in_place(|v| v.max(0.0));
+        ht.relu_in_place();
         let mut f = ht.transpose();
         for r in 0..n {
             for c in 0..d {
@@ -174,7 +174,7 @@ impl RayMixer {
         }
         let mut ht = xt.matmul(&sub_w);
         ht.add_row_broadcast_in_place(&sub_b);
-        ht.map_in_place(|v| v.max(0.0));
+        ht.relu_in_place();
         xs.iter()
             .enumerate()
             .map(|(g, x)| Tensor2::from_fn(n, d, |r, c| ht[(g * d + c, r)] + x[(r, c)]))

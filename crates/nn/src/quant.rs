@@ -53,7 +53,9 @@ impl QuantTensor {
     }
 
     /// Integer GEMM with i32 accumulation, rescaled to `f32` — what one
-    /// systolic-array pass computes.
+    /// systolic-array pass computes. Runs through the active kernel
+    /// backend; integer accumulation is exact, so every backend
+    /// produces bit-identical results here.
     ///
     /// # Panics
     ///
@@ -61,15 +63,16 @@ impl QuantTensor {
     pub fn matmul(&self, rhs: &Self) -> Tensor2 {
         assert_eq!(self.cols, rhs.rows, "quant matmul dims");
         let mut out = Tensor2::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for j in 0..rhs.cols {
-                let mut acc: i32 = 0;
-                for k in 0..self.cols {
-                    acc += self.q[i * self.cols + k] as i32 * rhs.q[k * rhs.cols + j] as i32;
-                }
-                out[(i, j)] = acc as f32 * self.scale * rhs.scale;
-            }
-        }
+        crate::kernels::active().int8_matmul(
+            &self.q,
+            &rhs.q,
+            out.as_mut_slice(),
+            self.rows,
+            self.cols,
+            rhs.cols,
+            self.scale,
+            rhs.scale,
+        );
         out
     }
 

@@ -1,111 +1,37 @@
 //! A row-major 2D `f32` tensor.
 //!
-//! # The dense `matmul` kernel and its bit-exactness contract
+//! # The dense `matmul` kernel and its exactness contract
 //!
-//! [`Tensor2::matmul`] (and [`Tensor2::matmul_into`]) run a
-//! register-blocked kernel: output tiles of [`MR`]`×`[`NR`] elements
-//! are held in registers while the shared dimension `k` is walked **in
-//! ascending order** with one `f32` accumulator per output element —
-//! exactly the accumulation order of the textbook triple loop. Two
+//! [`Tensor2::matmul`] (and [`Tensor2::matmul_into`]) execute through
+//! the runtime-dispatched kernel backend ([`crate::kernels`]): the
+//! register-blocked scalar reference by default, AVX2+FMA where the
+//! host supports it (`GEN_NERF_KERNEL` selects). Every backend holds
+//! one accumulator per output element and walks the shared dimension
+//! `k` **in ascending order**; blocking tiles `i`/`j` only. Two
 //! consequences the workspace relies on:
 //!
 //! * **Row independence.** Each output row depends only on the matching
 //!   input row, so concatenating inputs row-wise (the fused cross-ray
-//!   path) produces bit-for-bit the rows a per-row call would.
-//! * **Blocking is invisible.** The `i`/`j` tiling changes *which*
-//!   elements are in flight, never the per-element `k` order, so the
-//!   blocked kernel equals the naive reference bit-for-bit (pinned by a
-//!   property test below).
+//!   path) produces bit-for-bit the rows a per-row call would — under
+//!   whichever backend is active.
+//! * **Blocking is invisible.** Under the scalar backend the blocked
+//!   kernel equals the naive triple loop bit-for-bit (pinned by a
+//!   property test below). The AVX2 backend fuses each multiply-add
+//!   (one rounding instead of two), so it matches scalar only to the
+//!   tolerance pinned in [`crate::kernels`]'s parity tests.
 //!
 //! The dense kernel has no data-dependent branches; zero-skipping
 //! survives only in the gradient-side [`Tensor2::t_matmul`], where
 //! ReLU-masked rows make sparsity real.
 
+use crate::kernels::{self, MicroKernel};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-/// Rows per register tile of the blocked `matmul` kernel.
-pub const MR: usize = 6;
-
-/// Columns per register tile of the blocked `matmul` kernel.
-pub const NR: usize = 8;
-
-/// One full MR×NR register tile: fixed-size accumulators and
-/// fixed-width `b` rows so the inner loop auto-vectorizes. Each
-/// accumulator walks `k` in ascending order (the bit-exactness
-/// contract; see the module docs).
-#[inline]
-fn tile_full(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, j0: usize, kdim: usize, n: usize) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for k in 0..kdim {
-        let b_row: &[f32; NR] = b[k * n + j0..k * n + j0 + NR].try_into().unwrap();
-        for ii in 0..MR {
-            let aik = a[(i0 + ii) * kdim + k];
-            let acc_row = &mut acc[ii];
-            for jj in 0..NR {
-                acc_row[jj] += aik * b_row[jj];
-            }
-        }
-    }
-    for (ii, acc_row) in acc.iter().enumerate() {
-        let row = (i0 + ii) * n + j0;
-        out[row..row + NR].copy_from_slice(acc_row);
-    }
-}
-
-/// A partial edge tile (`ib ≤ MR` rows, `jb ≤ NR` columns): same
-/// accumulation order as [`tile_full`], variable bounds.
-#[inline]
-fn tile_edge(
-    a: &[f32],
-    b: &[f32],
-    out: &mut [f32],
-    i0: usize,
-    j0: usize,
-    ib: usize,
-    jb: usize,
-    kdim: usize,
-    n: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for k in 0..kdim {
-        let b_row = &b[k * n + j0..k * n + j0 + jb];
-        for (ii, acc_row) in acc.iter_mut().enumerate().take(ib) {
-            let aik = a[(i0 + ii) * kdim + k];
-            for (jj, &bv) in b_row.iter().enumerate() {
-                acc_row[jj] += aik * bv;
-            }
-        }
-    }
-    for (ii, acc_row) in acc.iter().enumerate().take(ib) {
-        let row = (i0 + ii) * n + j0;
-        out[row..row + jb].copy_from_slice(&acc_row[..jb]);
-    }
-}
-
-/// The register-blocked GEMM kernel behind [`Tensor2::matmul`] /
-/// [`Tensor2::matmul_into`]: `out = a · b` with `a` of shape `m × k`,
-/// `b` of shape `k × n`, both row-major. `out` is fully overwritten.
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, kdim: usize, n: usize) {
-    let mut i0 = 0;
-    while i0 < m {
-        let ib = (m - i0).min(MR);
-        let mut j0 = 0;
-        if ib == MR {
-            while j0 + NR <= n {
-                tile_full(a, b, out, i0, j0, kdim, n);
-                j0 += NR;
-            }
-        }
-        while j0 < n {
-            let jb = (n - j0).min(NR);
-            tile_edge(a, b, out, i0, j0, ib, jb, kdim, n);
-            j0 += NR;
-        }
-        i0 += MR;
-    }
-}
+/// Rows per register tile of the blocked scalar `matmul` kernel
+/// (re-exported from [`crate::kernels::scalar`]).
+pub use crate::kernels::scalar::{MR, NR};
 
 /// A dense, row-major 2D tensor of `f32`.
 ///
@@ -222,8 +148,8 @@ impl Tensor2 {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs` through the register-blocked dense
-    /// kernel (see the module docs for the k-order bit-exactness
+    /// Matrix product `self · rhs` through the active dense kernel
+    /// backend (see the module docs for the k-order exactness
     /// contract).
     ///
     /// # Panics
@@ -244,6 +170,17 @@ impl Tensor2 {
     ///
     /// Panics when the inner dimensions disagree.
     pub fn matmul_into(&self, rhs: &Self, out: &mut Self) {
+        self.matmul_into_with(rhs, out, kernels::active());
+    }
+
+    /// [`Tensor2::matmul_into`] through an explicit kernel (tests and
+    /// benchmarks compare backends this way; ordinary code uses the
+    /// dispatched [`Tensor2::matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_into_with(&self, rhs: &Self, out: &mut Self, kernel: &dyn MicroKernel) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dims: {}x{} * {}x{}",
@@ -254,7 +191,7 @@ impl Tensor2 {
         // The kernel overwrites every element, so the resize fill value
         // never survives.
         out.data.resize(self.rows * rhs.cols, 0.0);
-        matmul_kernel(
+        kernel.matmul(
             &self.data,
             &rhs.data,
             &mut out.data,
@@ -355,15 +292,18 @@ impl Tensor2 {
 
     /// Adds a 1×cols row vector to every row in place (the
     /// allocation-free sibling of [`Tensor2::add_row_broadcast`];
-    /// identical arithmetic).
+    /// identical arithmetic, through the active kernel backend).
     pub fn add_row_broadcast_in_place(&mut self, bias: &Self) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                self.data[r * self.cols + c] += bias.data[c];
-            }
-        }
+        kernels::active().add_bias_rows(&mut self.data, self.cols, &bias.data);
+    }
+
+    /// In-place ReLU (`v ← max(v, 0)`) through the active kernel
+    /// backend — the vectorized sibling of
+    /// `map_in_place(|v| v.max(0.0))`.
+    pub fn relu_in_place(&mut self) {
+        kernels::active().relu(&mut self.data);
     }
 
     /// Reshapes to `rows × cols` and fills with zeros, reusing the
@@ -750,11 +690,19 @@ mod tests {
         ) {
             // Arbitrary shapes spanning partial MR×NR edge tiles, with
             // exact zeros injected so the branchless kernel is checked
-            // where the old zero-skip branch used to fire.
+            // where the old zero-skip branch used to fire. The bitwise
+            // claim is the *scalar* backend's contract, so pin that
+            // kernel explicitly (the active backend may be SIMD, whose
+            // FMA rounding legitimately differs — see crate::kernels).
             let sparsify = |v: f32| if v.abs() < 1.5 { 0.0 } else { v };
             let a = Tensor2::from_fn(m, k, |r, c| sparsify(raw[r * k + c]));
             let b = Tensor2::from_fn(k, n, |r, c| sparsify(raw[11 * 19 + r * n + c]));
-            let blocked = a.matmul(&b);
+            let mut blocked = Tensor2::zeros(0, 0);
+            a.matmul_into_with(
+                &b,
+                &mut blocked,
+                kernels::kernel_for(kernels::Backend::Scalar),
+            );
             let naive = matmul_naive(&a, &b);
             let lb: Vec<u32> = blocked.as_slice().iter().map(|v| v.to_bits()).collect();
             let rb: Vec<u32> = naive.as_slice().iter().map(|v| v.to_bits()).collect();

@@ -37,11 +37,38 @@ pub fn composite(
     deltas: &[f32],
     background: Vec3,
 ) -> RayComposite {
+    let mut weights = Vec::with_capacity(densities.len());
+    let (color, residual_transmittance) =
+        composite_into(densities, colors, deltas, background, &mut weights);
+    RayComposite {
+        color,
+        weights,
+        residual_transmittance,
+    }
+}
+
+/// [`composite`] with a caller-owned weights buffer (cleared first):
+/// returns `(color, residual_transmittance)` and leaves the per-sample
+/// hitting probabilities in `weights`. Identical arithmetic to
+/// [`composite`], no allocation once the buffer has grown to size —
+/// the composite phase of the fused render schedule reuses one buffer
+/// for a whole chunk of rays.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree.
+pub fn composite_into(
+    densities: &[f32],
+    colors: &[Vec3],
+    deltas: &[f32],
+    background: Vec3,
+    weights: &mut Vec<f32>,
+) -> (Vec3, f32) {
     assert_eq!(densities.len(), colors.len(), "composite: length mismatch");
     assert_eq!(densities.len(), deltas.len(), "composite: length mismatch");
+    weights.clear();
     let mut transmittance = 1.0f32;
     let mut color = Vec3::ZERO;
-    let mut weights = Vec::with_capacity(densities.len());
     for k in 0..densities.len() {
         let alpha = 1.0 - (-densities[k].max(0.0) * deltas[k]).exp();
         let w = transmittance * alpha;
@@ -59,11 +86,7 @@ pub fn composite(
         weights.push(0.0);
     }
     color += background * transmittance;
-    RayComposite {
-        color,
-        weights,
-        residual_transmittance: transmittance,
-    }
+    (color, transmittance)
 }
 
 /// Traces one ray against the ground-truth scene with `n_samples`

@@ -104,6 +104,44 @@ fn coarse_then_focus_fused_matches_per_ray() {
     assert_fused_matches_per_ray(SamplingStrategy::coarse_then_focus(8, 8));
 }
 
+/// The ray-transformer variant's fused q/k/v/o projections: a full
+/// frame on the fused chunk schedule must stay bit-identical to the
+/// per-ray reference even though the fused path now batches the
+/// attention projections (and the density projection) across a
+/// chunk's rays. Only the softmax attention core runs per ray — the
+/// paper's point about the transformer workload.
+#[test]
+fn transformer_fused_render_matches_per_ray() {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 5, 1, 24, 3);
+    let model =
+        GenNerfModel::new(ModelConfig::fast().with_ray_module(RayModuleChoice::Transformer));
+    let sources = prepare_sources(&ds.source_views);
+    let strategy = SamplingStrategy::Uniform { n: 9 };
+    let run = |fused: bool, threads: usize| {
+        Renderer::new(
+            &model,
+            &sources,
+            strategy,
+            ds.scene.bounds,
+            ds.scene.background,
+        )
+        .with_fused(fused)
+        .with_threads(threads)
+        .render(&ds.eval_views[0].camera)
+    };
+    let (img_ref, stats_ref) = run(false, 1);
+    for threads in [1usize, 3] {
+        let (img_fused, stats_fused) = run(true, threads);
+        let ref_bits: Vec<u32> = img_ref.as_slice().iter().map(|v| v.to_bits()).collect();
+        let fused_bits: Vec<u32> = img_fused.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            ref_bits, fused_bits,
+            "transformer fused@{threads} threads diverged from per-ray reference"
+        );
+        assert_stats_identical(&stats_ref, &stats_fused, &format!("transformer@{threads}"));
+    }
+}
+
 /// `forward_rays` ≡ per-ray `forward_ray`, bit-for-bit, for every ray
 /// module and for adversarial groupings (empty rays, invisible points,
 /// mixed lengths) — the API-level half of the contract, on trained

@@ -1,0 +1,190 @@
+//! Regression suite for the runtime-dispatched kernel backends.
+//!
+//! Pins the three halves of the backend contract:
+//!
+//! * **Dispatch** — `GEN_NERF_KERNEL` values resolve to the right
+//!   backend, unknown values degrade to auto detection, and every
+//!   backend can be forced at runtime.
+//! * **Scalar is the reference** — the scalar backend renders are the
+//!   workspace's historical bit-exact results (CI runs the whole suite
+//!   once under `GEN_NERF_KERNEL=scalar` to pin that leg end to end).
+//! * **SIMD is a perf knob, not a results knob** — switching backends
+//!   changes pixels only within a tight tolerance and changes the
+//!   FLOPs/fetch accounting not at all.
+//!
+//! The active backend is process-global, so every test here serializes
+//! on one mutex and restores the startup backend before returning.
+
+use gen_nerf::config::{ModelConfig, RayModuleChoice, SamplingStrategy};
+use gen_nerf::features::prepare_sources;
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::pipeline::{RenderStats, Renderer};
+use gen_nerf_nn::kernels::{self, Backend};
+use gen_nerf_scene::{Dataset, DatasetKind, Image};
+use std::sync::Mutex;
+
+/// Serializes backend-switching tests (the active backend is global).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the backend lock held, restoring the startup backend
+/// afterwards even if `f` panics partway through a switch.
+fn with_backend_lock(f: impl FnOnce()) {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let startup = kernels::active_backend();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    kernels::set_active(startup);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}
+
+#[test]
+fn env_values_resolve_to_backends() {
+    with_backend_lock(|| {
+        let original = std::env::var(kernels::KERNEL_ENV).ok();
+        for (value, expect) in [
+            ("scalar", Backend::Scalar),
+            ("avx2", Backend::detect()), // degrades to detect() when unavailable
+            ("auto", Backend::detect()),
+            ("definitely-not-a-backend", Backend::detect()),
+        ] {
+            std::env::set_var(kernels::KERNEL_ENV, value);
+            let resolved = Backend::from_env();
+            if value == "avx2" && Backend::Avx2.available() {
+                assert_eq!(resolved, Backend::Avx2, "{value}");
+            } else {
+                assert_eq!(resolved, expect, "{value}");
+            }
+        }
+        std::env::remove_var(kernels::KERNEL_ENV);
+        assert_eq!(Backend::from_env(), Backend::detect());
+        match original {
+            Some(v) => std::env::set_var(kernels::KERNEL_ENV, v),
+            None => std::env::remove_var(kernels::KERNEL_ENV),
+        }
+    });
+}
+
+#[test]
+fn every_backend_can_be_forced() {
+    with_backend_lock(|| {
+        assert_eq!(kernels::set_active(Backend::Scalar), Backend::Scalar);
+        assert_eq!(kernels::active().backend(), Backend::Scalar);
+        let effective = kernels::set_active(Backend::Avx2);
+        if Backend::Avx2.available() {
+            assert_eq!(effective, Backend::Avx2);
+            assert_eq!(kernels::active().backend(), Backend::Avx2);
+        } else {
+            // Unavailable requests degrade to the scalar reference.
+            assert_eq!(effective, Backend::Scalar);
+            assert_eq!(kernels::active().backend(), Backend::Scalar);
+        }
+    });
+}
+
+fn render_frame(
+    ds: &Dataset,
+    model: &GenNerfModel,
+    strategy: SamplingStrategy,
+) -> (Image, RenderStats) {
+    let sources = prepare_sources(&ds.source_views);
+    Renderer::new(
+        model,
+        &sources,
+        strategy,
+        ds.scene.bounds,
+        ds.scene.background,
+    )
+    .with_threads(2)
+    .render(&ds.eval_views[0].camera)
+}
+
+/// Switching backends must change pixels only within a tight tolerance
+/// (SIMD rounding) and must not change any instrumentation count —
+/// FLOPs accounting is a function of the schedule, never the kernel.
+#[test]
+fn backends_render_equivalent_frames_with_identical_accounting() {
+    if !Backend::Avx2.available() {
+        return; // single-backend host: the scalar leg covers everything
+    }
+    with_backend_lock(|| {
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 5, 1, 24, 3);
+        for choice in [
+            RayModuleChoice::Mixer,
+            RayModuleChoice::Transformer,
+            RayModuleChoice::None,
+        ] {
+            let model = GenNerfModel::new(ModelConfig::fast().with_ray_module(choice));
+            let strategy = SamplingStrategy::Uniform { n: 10 };
+            kernels::set_active(Backend::Scalar);
+            let (img_scalar, stats_scalar) = render_frame(&ds, &model, strategy);
+            kernels::set_active(Backend::Avx2);
+            let (img_simd, stats_simd) = render_frame(&ds, &model, strategy);
+
+            let max_diff = img_scalar
+                .as_slice()
+                .iter()
+                .zip(img_simd.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                max_diff <= 1e-3,
+                "{choice:?}: scalar vs avx2 pixel diff {max_diff}"
+            );
+            assert_eq!(stats_scalar.rays, stats_simd.rays, "{choice:?}");
+            assert_eq!(stats_scalar.points, stats_simd.points, "{choice:?}");
+            assert_eq!(
+                stats_scalar.feature_fetches, stats_simd.feature_fetches,
+                "{choice:?}"
+            );
+            assert_eq!(
+                stats_scalar.flops.total(),
+                stats_simd.flops.total(),
+                "{choice:?}: FLOPs accounting must be backend-independent"
+            );
+            for bucket in ["acquire", "mlp", "ray_module", "others"] {
+                assert_eq!(
+                    stats_scalar.flops.get(bucket),
+                    stats_simd.flops.get(bucket),
+                    "{choice:?}: bucket {bucket}"
+                );
+            }
+        }
+    });
+}
+
+/// Within any one backend, the fused schedule stays bit-identical to
+/// the per-ray reference (the positional-independence contract the
+/// SIMD kernels must uphold).
+#[test]
+fn fused_equals_per_ray_under_every_backend() {
+    with_backend_lock(|| {
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 5, 1, 24, 3);
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let sources = prepare_sources(&ds.source_views);
+        let mut backends = vec![Backend::Scalar];
+        if Backend::Avx2.available() {
+            backends.push(Backend::Avx2);
+        }
+        for backend in backends {
+            kernels::set_active(backend);
+            let run = |fused: bool| {
+                Renderer::new(
+                    &model,
+                    &sources,
+                    SamplingStrategy::Uniform { n: 8 },
+                    ds.scene.bounds,
+                    ds.scene.background,
+                )
+                .with_fused(fused)
+                .with_threads(2)
+                .render(&ds.eval_views[0].camera)
+            };
+            let (img_f, _) = run(true);
+            let (img_p, _) = run(false);
+            let fb: Vec<u32> = img_f.as_slice().iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = img_p.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, pb, "fused diverged from per-ray under {backend:?}");
+        }
+    });
+}
