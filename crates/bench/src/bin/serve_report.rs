@@ -1,0 +1,262 @@
+//! Serving-layer throughput report: N-session AR walkthrough through
+//! `gen-nerf-serve` versus N independent `Renderer::render` loops.
+//!
+//! The workload reuses the `ar_walkthrough` trajectory shape: each of
+//! `N` sessions walks a fine-grained arc around the same captured
+//! scene (sessions share one `SceneState`, so their frames are
+//! eligible for cross-session admission batching), submitting one
+//! frame per head pose in per-step waves — the vsync cadence of a
+//! headset. Completed frame buffers are recycled into the next wave's
+//! requests.
+//!
+//! Measured, on the current host:
+//!
+//! * **frames/sec direct** — the same poses rendered by sequential
+//!   `Renderer::render` calls (the pre-serve architecture),
+//! * **frames/sec served** — through the server with the
+//!   temporal-coherence cache on, plus per-frame latency percentiles,
+//!   the coarse-cache hit rate, and the batch occupancy,
+//! * **allocations per frame** on both paths (counting global
+//!   allocator) — the serving loop's buffer recycling chips at the
+//!   ROADMAP allocations/frame item,
+//! * an **exactness check**: a cache-off served frame must be
+//!   bitwise-identical to the direct render (the serve contract; the
+//!   full matrix lives in `tests/serve_regression.rs`).
+//!
+//! Writes `BENCH_serve.json` (current directory, or the path in
+//! `GEN_NERF_SERVE_OUT`). `--test` runs a miniature workload — the CI
+//! smoke mode.
+
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::pipeline::Renderer;
+use gen_nerf_geometry::{Camera, Intrinsics, Pose, Vec3};
+use gen_nerf_scene::{Dataset, DatasetKind, Image};
+use gen_nerf_serve::{
+    CoherenceConfig, FrameRequest, RenderServer, SceneState, ServerConfig, SessionConfig, SessionId,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counts every heap allocation (the "allocations per frame" metric).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The walkthrough pose of session `s` at step `k`: a fine-grained arc
+/// around the object, each session phase-offset so the fleet spreads
+/// around the scene.
+fn walk_pose(session: usize, step: usize) -> Pose {
+    let phi = -0.5 + session as f32 * 0.35 + step as f32 * 0.008;
+    let eye = Vec3::new(4.0 * phi.cos(), 1.3, 4.0 * phi.sin());
+    Pose::look_at(eye, Vec3::ZERO, Vec3::Y)
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let out_path =
+        std::env::var("GEN_NERF_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    let (res, n_sessions, n_steps) = if test_mode {
+        (16u32, 4, 3)
+    } else {
+        (32u32, 4, 12)
+    };
+    let strategy = SamplingStrategy::coarse_then_focus(16, 12);
+    // Arc step geometry: ~0.03 world units and ~0.01 rad per step, so
+    // these deltas keep ~5 steps coherent with one anchor before a
+    // re-probe — a realistic walkthrough hit pattern.
+    let coherence = CoherenceConfig::within(0.2, 0.06);
+
+    println!("capturing scene + preparing sources (shared by all sessions) ...");
+    let dataset = Dataset::build(
+        DatasetKind::DeepVoxels,
+        "pedestal",
+        0.08,
+        6,
+        1,
+        res as usize,
+        11,
+    );
+    let model = GenNerfModel::new(ModelConfig::fast());
+    let scene = Arc::new(SceneState::prepare(
+        model,
+        &dataset.source_views,
+        dataset.scene.bounds,
+        dataset.scene.background,
+    ));
+    let intrinsics = Intrinsics::from_fov(res, res, 0.55);
+    let total_frames = (n_sessions * n_steps) as u64;
+
+    // ---- Exactness: cache-off serving is bitwise direct rendering. ----
+    {
+        let server = RenderServer::new(ServerConfig::default());
+        let session = server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(intrinsics, strategy), // coherence off
+        );
+        let pose = walk_pose(0, 0);
+        let served = server.submit(session, FrameRequest::new(pose)).wait();
+        let direct = Renderer::new(
+            &scene.model,
+            &scene.sources,
+            strategy,
+            scene.bounds,
+            scene.background,
+        )
+        .render(&Camera::new(intrinsics, pose));
+        assert_eq!(
+            served.image.as_slice(),
+            direct.0.as_slice(),
+            "cache-off serving diverged from direct rendering; refusing to report"
+        );
+    }
+
+    // ---- Direct baseline: N independent render loops, same poses. ----
+    println!("direct baseline: {n_sessions} sessions x {n_steps} frames ...");
+    let renderer = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    );
+    let mut image = Image::new(0, 0);
+    let mut stats = gen_nerf::pipeline::RenderStats::default();
+    // Warm up caches/frequency before timing.
+    renderer.render_into(
+        &Camera::new(intrinsics, walk_pose(0, 0)),
+        &mut image,
+        &mut stats,
+    );
+    let a0 = allocations();
+    let t0 = Instant::now();
+    for s in 0..n_sessions {
+        for k in 0..n_steps {
+            let camera = Camera::new(intrinsics, walk_pose(s, k));
+            renderer.render_into(&camera, &mut image, &mut stats);
+            std::hint::black_box(image.as_slice());
+        }
+    }
+    let direct_secs = t0.elapsed().as_secs_f64();
+    let allocs_direct = (allocations() - a0) / total_frames;
+    let fps_direct = total_frames as f64 / direct_secs;
+
+    // ---- Served: one server, N sessions, per-step waves, recycled
+    // frame buffers. ----
+    println!("served walkthrough: {n_sessions} sessions x {n_steps} waves ...");
+    let server = RenderServer::new(ServerConfig::default());
+    let sessions: Vec<SessionId> = (0..n_sessions)
+        .map(|_| {
+            server.create_session(
+                Arc::clone(&scene),
+                SessionConfig::new(intrinsics, strategy).with_coherence(coherence),
+            )
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(total_frames as usize);
+    let mut batched_sum = 0u64;
+    let mut buffers: Vec<Option<Image>> = (0..n_sessions).map(|_| None).collect();
+    let a1 = allocations();
+    let t1 = Instant::now();
+    for k in 0..n_steps {
+        let handles: Vec<_> = (0..n_sessions)
+            .map(|s| {
+                let mut req = FrameRequest::new(walk_pose(s, k));
+                if let Some(buf) = buffers[s].take() {
+                    req = req.with_buffer(buf);
+                }
+                server.submit(sessions[s], req)
+            })
+            .collect();
+        for (s, handle) in handles.into_iter().enumerate() {
+            let frame = handle.wait();
+            latencies_ms.push(frame.serve.latency.as_secs_f64() * 1e3);
+            batched_sum += frame.serve.batched_frames as u64;
+            buffers[s] = Some(frame.image); // recycle into the next wave
+        }
+    }
+    let served_secs = t1.elapsed().as_secs_f64();
+    let allocs_served = (allocations() - a1) / total_frames;
+    let fps_served = total_frames as f64 / served_secs;
+
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for &s in &sessions {
+        let c = server.cache_stats(s);
+        hits += c.hits;
+        misses += c.misses;
+    }
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let avg_batched = batched_sum as f64 / total_frames as f64;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p95, p99) = (
+        percentile(&latencies_ms, 0.50),
+        percentile(&latencies_ms, 0.95),
+        percentile(&latencies_ms, 0.99),
+    );
+    let speedup = fps_served / fps_direct;
+    drop(server);
+
+    let json = format!(
+        "{{\n  \"sessions\": {n_sessions},\n  \
+         \"frames_per_session\": {n_steps},\n  \
+         \"resolution\": {res},\n  \
+         \"threads\": {},\n  \
+         \"fps_direct\": {fps_direct:.2},\n  \
+         \"fps_served\": {fps_served:.2},\n  \
+         \"served_speedup_vs_direct\": {speedup:.2},\n  \
+         \"latency_ms_p50\": {p50:.2},\n  \
+         \"latency_ms_p95\": {p95:.2},\n  \
+         \"latency_ms_p99\": {p99:.2},\n  \
+         \"coarse_cache_hits\": {hits},\n  \
+         \"coarse_cache_misses\": {misses},\n  \
+         \"coarse_cache_hit_rate\": {hit_rate:.3},\n  \
+         \"avg_batched_frames\": {avg_batched:.2},\n  \
+         \"allocations_per_frame_direct\": {allocs_direct},\n  \
+         \"allocations_per_frame_served\": {allocs_served}\n}}\n",
+        gen_nerf_parallel::num_threads(),
+    );
+    std::fs::write(&out_path, &json).expect("write serve report");
+    println!("{json}");
+    println!("wrote {out_path}");
+    if !test_mode && speedup <= 1.0 {
+        println!(
+            "WARNING: serving did not beat the direct loops on this host \
+             (speedup {speedup:.2})"
+        );
+    }
+}

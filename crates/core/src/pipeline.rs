@@ -46,6 +46,34 @@
 //! [`Renderer::with_fused`]`(false)` for regression pinning
 //! (`tests/fused_forward_regression.rs`) and perf comparison
 //! (`gen-nerf-bench`'s `perf_report`).
+//!
+//! # Multi-frame rendering (the serving substrate)
+//!
+//! The same batch-independence contract lifts the fused schedule from
+//! one frame to *many*: [`Renderer::render_frames`] concatenates the
+//! ray domains of several cameras and chunks the union, so rays of
+//! small concurrent frames share fused GEMMs that a single small frame
+//! could not fill. Each ray keeps its frame-local index for RNG
+//! seeding and each frame keeps a private [`RenderStats`], so the
+//! output of every frame is bit-for-bit what a solo
+//! [`Renderer::render`] call would produce — `gen-nerf-serve` builds
+//! its cross-session admission batching directly on this guarantee,
+//! and `tests/serve_regression.rs` pins it.
+//!
+//! Two more serving hooks live here:
+//!
+//! * [`Renderer::render_frames_cached`] exports the coarse-then-focus
+//!   Step ① outcome as a [`CoarseFrame`] and accepts one back for any
+//!   frame, re-running only the focus pass — the temporal-coherence
+//!   cache of the render server. An imported coarse pass from the
+//!   *same* pose reproduces the full render bitwise (Step ① is
+//!   deterministic); a nearby pose reuses the previous probing as an
+//!   approximation.
+//! * [`Renderer::with_pool`] swaps the per-call scoped-thread fan-out
+//!   for a persistent [`gen_nerf_parallel::Pool`], sparing a
+//!   steady-state serving loop the spawn/join tax per frame. Chunk
+//!   geometry is identical either way, so the executor never changes
+//!   pixels.
 
 use crate::config::SamplingStrategy;
 use crate::features::{aggregate_point, PointAggregate, SourceViewData};
@@ -54,7 +82,7 @@ use crate::sampling;
 use gen_nerf_geometry::{Aabb, Camera, Ray, Vec3};
 use gen_nerf_nn::flops::{self, FlopsCounter};
 use gen_nerf_nn::init::Rng;
-use gen_nerf_parallel::par_chunk_ranges;
+use gen_nerf_parallel::{par_chunk_ranges, Pool};
 use gen_nerf_scene::renderer::{composite, composite_into};
 use gen_nerf_scene::Image;
 use serde::{Deserialize, Serialize};
@@ -164,14 +192,14 @@ impl RayBatch {
         self.rays.is_empty()
     }
 
-    /// Assembles per-ray colors (in batch order) into an image.
-    fn into_image(&self, pixels: &[Vec3]) -> Image {
+    /// Writes per-ray colors (in batch order) into `image`, reshaping
+    /// it to this batch's dimensions and reusing its allocation.
+    fn write_image(&self, pixels: &[Vec3], image: &mut Image) {
         debug_assert_eq!(pixels.len(), self.len());
-        let mut img = Image::new(self.width, self.height);
+        image.reset(self.width, self.height);
         for (j, &rgb) in pixels.iter().enumerate() {
-            img.set(j as u32 % self.width, j as u32 / self.width, rgb);
+            image.set(j as u32 % self.width, j as u32 / self.width, rgb);
         }
-        img
     }
 }
 
@@ -182,6 +210,75 @@ fn mix_seed(base: u64, index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The exported outcome of one frame's coarse-then-focus Step ①
+/// (coarse probing): per-ray hitting weights and critical-sample
+/// counts, everything Steps ②/③ consume.
+///
+/// Produced by [`Renderer::render_frames_cached`] and importable back
+/// into it, this is the unit of the render server's temporal-coherence
+/// cache: when the next head pose is close enough to the one that
+/// produced this probing, the serving layer re-runs only the focus
+/// pass against these weights. Step ① is a pure function of the pose,
+/// so importing a `CoarseFrame` from the *identical* pose reproduces
+/// the uncached render bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct CoarseFrame {
+    /// Per-ray hitting weights from the coarse composite.
+    weights: Vec<Vec<f32>>,
+    /// Per-ray critical sample counts (Step ② input).
+    criticals: Vec<usize>,
+}
+
+impl CoarseFrame {
+    /// Rays covered (must match the batch it is imported into).
+    pub fn n_rays(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Approximate heap footprint in bytes (for cache budgeting).
+    pub fn approx_bytes(&self) -> usize {
+        self.weights.iter().map(|w| w.len() * 4).sum::<usize>()
+            + self.criticals.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Several frames' ray batches concatenated into one parallel domain:
+/// global ray id `g` maps to `(frame, frame-local ray)` so chunks can
+/// span frame boundaries while every per-ray decision (RNG stream,
+/// clip range, stats bucket) stays frame-local.
+struct FrameSet<'b> {
+    batches: &'b [RayBatch],
+    /// `offsets[f]..offsets[f + 1]` is frame `f`'s global id range.
+    offsets: Vec<usize>,
+}
+
+impl<'b> FrameSet<'b> {
+    fn new(batches: &'b [RayBatch]) -> Self {
+        let mut offsets = Vec::with_capacity(batches.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for b in batches {
+            acc += b.len();
+            offsets.push(acc);
+        }
+        Self { batches, offsets }
+    }
+
+    fn total(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    fn n_frames(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Maps a global ray id to `(frame index, frame-local ray index)`.
+    fn locate(&self, g: usize) -> (usize, usize) {
+        let f = self.offsets.partition_point(|&o| o <= g) - 1;
+        (f, g - self.offsets[f])
+    }
 }
 
 /// The end-to-end renderer: a model + prepared source views + a
@@ -199,6 +296,7 @@ pub struct Renderer<'a> {
     base_seed: u64,
     threads: usize,
     fused: bool,
+    pool: Option<&'a Pool>,
 }
 
 impl<'a> Renderer<'a> {
@@ -224,6 +322,7 @@ impl<'a> Renderer<'a> {
             base_seed,
             threads: gen_nerf_parallel::num_threads(),
             fused: true,
+            pool: None,
         }
     }
 
@@ -245,35 +344,158 @@ impl<'a> Renderer<'a> {
         self
     }
 
+    /// Runs chunk fan-outs on a persistent worker pool instead of
+    /// spawning scoped threads per call — the steady-state executor of
+    /// the render server. Chunk geometry matches the scoped-thread
+    /// path, so output is bit-for-bit identical either way.
+    pub fn with_pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Renders a full image from `camera`.
     pub fn render(&self, camera: &Camera) -> (Image, RenderStats) {
-        let batch = RayBatch::from_camera(camera, &self.bounds);
+        let mut image = Image::new(0, 0);
         let mut stats = RenderStats::default();
-        stats.rays = batch.len() as u64;
-        let image = match (self.strategy, self.fused) {
-            (SamplingStrategy::Uniform { n }, false) => self.render_uniform(&batch, n, &mut stats),
-            (SamplingStrategy::Uniform { n }, true) => {
-                self.render_uniform_fused(&batch, n, &mut stats)
-            }
-            (SamplingStrategy::Hierarchical { n_coarse, n_fine }, false) => {
-                self.render_hierarchical(&batch, n_coarse, n_fine, &mut stats)
-            }
-            (SamplingStrategy::Hierarchical { n_coarse, n_fine }, true) => {
-                self.render_hierarchical_fused(&batch, n_coarse, n_fine, &mut stats)
-            }
-            (
-                SamplingStrategy::CoarseThenFocus {
-                    n_coarse,
-                    n_focused,
-                    tau,
-                    s_coarse,
-                },
-                fused,
-            ) => self.render_ctf(
-                &batch, n_coarse, n_focused, tau, s_coarse, fused, &mut stats,
-            ),
-        };
+        self.render_into(camera, &mut image, &mut stats);
         (image, stats)
+    }
+
+    /// [`Renderer::render`] into caller-owned buffers: `image` is
+    /// reshaped (reusing its allocation) and `stats` overwritten, so a
+    /// serving loop recycling frame buffers stops paying an image
+    /// allocation per frame. Output is identical to [`Renderer::render`].
+    pub fn render_into(&self, camera: &Camera, image: &mut Image, stats: &mut RenderStats) {
+        if self.fused {
+            self.render_frames_cached(
+                std::slice::from_ref(camera),
+                &[None],
+                std::slice::from_mut(image),
+                std::slice::from_mut(stats),
+            );
+            return;
+        }
+        *stats = RenderStats::default();
+        let batch = RayBatch::from_camera(camera, &self.bounds);
+        stats.rays = batch.len() as u64;
+        let pixels = match self.strategy {
+            SamplingStrategy::Uniform { n } => self.render_uniform(&batch, n, stats),
+            SamplingStrategy::Hierarchical { n_coarse, n_fine } => {
+                self.render_hierarchical(&batch, n_coarse, n_fine, stats)
+            }
+            SamplingStrategy::CoarseThenFocus {
+                n_coarse,
+                n_focused,
+                tau,
+                s_coarse,
+            } => self.render_ctf(&batch, n_coarse, n_focused, tau, s_coarse, stats),
+        };
+        batch.write_image(&pixels, image);
+    }
+
+    /// Renders several cameras as **one** fused workload: the frames'
+    /// ray domains are concatenated and chunked together, so
+    /// concurrent small frames fill fused GEMM batches a lone frame
+    /// could not. Every frame's image and stats are bit-for-bit
+    /// identical to a solo [`Renderer::render`] of that camera (the
+    /// kernel batch-independence contract; pinned by
+    /// `tests/serve_regression.rs`).
+    pub fn render_frames(&self, cameras: &[Camera]) -> Vec<(Image, RenderStats)> {
+        let mut images: Vec<Image> = cameras.iter().map(|_| Image::new(0, 0)).collect();
+        let mut stats = vec![RenderStats::default(); cameras.len()];
+        let cached: Vec<Option<&CoarseFrame>> = vec![None; cameras.len()];
+        self.render_frames_cached(cameras, &cached, &mut images, &mut stats);
+        images.into_iter().zip(stats).collect()
+    }
+
+    /// [`Renderer::render_frames`] with coarse-pass import/export and
+    /// caller-owned frame buffers — the render server's workhorse.
+    ///
+    /// For the coarse-then-focus strategy, `cached[f] = Some(coarse)`
+    /// re-uses that frame's imported Step ① probing (only the focus
+    /// pass runs; `coarse.n_rays()` must match the camera's pixel
+    /// count) and the return value carries a fresh [`CoarseFrame`] for
+    /// every frame that ran Step ① itself (`None` where an import was
+    /// used). Other strategies have no coarse pass: imports are
+    /// rejected and every export is `None`.
+    ///
+    /// `images`/`stats` are overwritten per frame, reusing buffer
+    /// allocations. With the per-ray reference schedule
+    /// ([`Renderer::with_fused`]`(false)`) frames render one at a time
+    /// and no imports are accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths differ from `cameras.len()`, when an
+    /// import's ray count mismatches its camera, or when an import is
+    /// supplied for a strategy or schedule that cannot honor it.
+    pub fn render_frames_cached(
+        &self,
+        cameras: &[Camera],
+        cached: &[Option<&CoarseFrame>],
+        images: &mut [Image],
+        stats: &mut [RenderStats],
+    ) -> Vec<Option<CoarseFrame>> {
+        let n_frames = cameras.len();
+        assert_eq!(cached.len(), n_frames, "one cached slot per camera");
+        assert_eq!(images.len(), n_frames, "one image buffer per camera");
+        assert_eq!(stats.len(), n_frames, "one stats buffer per camera");
+        if n_frames == 0 {
+            return Vec::new();
+        }
+        if !self.fused {
+            assert!(
+                cached.iter().all(|c| c.is_none()),
+                "imported coarse passes require the fused schedule"
+            );
+            for f in 0..n_frames {
+                self.render_into(&cameras[f], &mut images[f], &mut stats[f]);
+            }
+            return vec![None; n_frames];
+        }
+
+        let batches: Vec<RayBatch> = cameras
+            .iter()
+            .map(|c| RayBatch::from_camera(c, &self.bounds))
+            .collect();
+        for (st, b) in stats.iter_mut().zip(&batches) {
+            *st = RenderStats::default();
+            st.rays = b.len() as u64;
+        }
+        let set = FrameSet::new(&batches);
+
+        let (pixels, fresh) = match self.strategy {
+            SamplingStrategy::Uniform { n } => {
+                assert!(
+                    cached.iter().all(|c| c.is_none()),
+                    "uniform sampling has no coarse pass to import"
+                );
+                let px = self.shade_frames_fused(
+                    &set,
+                    |f, j| set.batches[f].ranges[j].map(|(t0, t1)| Ray::uniform_depths(t0, t1, n)),
+                    stats,
+                );
+                (px, vec![None; n_frames])
+            }
+            SamplingStrategy::Hierarchical { n_coarse, n_fine } => {
+                assert!(
+                    cached.iter().all(|c| c.is_none()),
+                    "hierarchical sampling has no exportable coarse pass"
+                );
+                let px = self.render_hierarchical_frames(&set, n_coarse, n_fine, stats);
+                (px, vec![None; n_frames])
+            }
+            SamplingStrategy::CoarseThenFocus {
+                n_coarse,
+                n_focused,
+                tau,
+                s_coarse,
+            } => self.render_ctf_frames(&set, n_coarse, n_focused, tau, s_coarse, cached, stats),
+        };
+        for ((batch, px), image) in batches.iter().zip(&pixels).zip(images.iter_mut()) {
+            batch.write_image(px, image);
+        }
+        fresh
     }
 
     fn d_channels(&self) -> usize {
@@ -281,10 +503,26 @@ impl<'a> Renderer<'a> {
     }
 
     /// Derives the decorrelated random stream of ray `j` — a pure
-    /// function of the render seed and the ray index, so results do
-    /// not depend on thread scheduling.
+    /// function of the render seed and the (frame-local) ray index, so
+    /// results depend on neither thread scheduling nor on which other
+    /// frames share the fused workload.
     fn ray_rng(&self, j: usize) -> Rng {
         Rng::seed_from(mix_seed(self.base_seed, j as u64))
+    }
+
+    /// Fans `f` out over contiguous chunks of `0..n`, in chunk order —
+    /// via the attached persistent [`Pool`] when present, otherwise
+    /// scoped threads. Both executors use identical chunk geometry, so
+    /// the choice never changes results.
+    fn fan_out<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        match self.pool {
+            Some(pool) => pool.run_chunks(n, self.threads, f),
+            None => par_chunk_ranges(n, self.threads, f),
+        }
     }
 
     /// Maps `shade` over every ray of the batch, fanning contiguous
@@ -294,7 +532,7 @@ impl<'a> Renderer<'a> {
     where
         F: Fn(usize, &mut RenderStats) -> Vec3 + Sync,
     {
-        let chunks = par_chunk_ranges(n_rays, self.threads, |start, end| {
+        let chunks = self.fan_out(n_rays, |start, end| {
             let mut local = RenderStats::default();
             let colors: Vec<Vec3> = (start..end).map(|j| shade(j, &mut local)).collect();
             (colors, local)
@@ -308,29 +546,64 @@ impl<'a> Renderer<'a> {
         (pixels, stats)
     }
 
-    /// The fused two-phase chunk schedule for single-pass strategies:
-    /// per chunk, `depths_for` picks each ray's samples (`None` →
-    /// background), phase 1 aggregates every ray of the chunk, phase 2
-    /// runs **one** fused forward for the whole chunk, phase 3
-    /// composites per ray. Bit-identical to [`Renderer::shade_batch`]
-    /// over [`Renderer::eval_points`] with the same depth choice.
-    fn shade_batch_fused<D>(&self, batch: &RayBatch, depths_for: D) -> (Vec<Vec3>, RenderStats)
+    /// Splits per-chunk `(colors, per-frame stats)` results back into
+    /// per-frame pixel vectors (frame-local ray order) and folds the
+    /// stats, chunk-major — the join side of every multi-frame fan-out.
+    fn merge_frame_chunks(
+        set: &FrameSet,
+        chunks: Vec<(Vec<Vec3>, Vec<RenderStats>)>,
+        stats: &mut [RenderStats],
+    ) -> Vec<Vec<Vec3>> {
+        let mut pixels: Vec<Vec<Vec3>> = set
+            .batches
+            .iter()
+            .map(|b| Vec::with_capacity(b.len()))
+            .collect();
+        let mut g = 0usize;
+        for (colors, local) in chunks {
+            for c in colors {
+                let (f, _) = set.locate(g);
+                pixels[f].push(c);
+                g += 1;
+            }
+            for (f, l) in local.iter().enumerate() {
+                stats[f].merge(l);
+            }
+        }
+        pixels
+    }
+
+    /// The fused two-phase chunk schedule over a whole frame set:
+    /// per chunk (which may span frames), `depths_for(frame, ray)`
+    /// picks each ray's samples (`None` → background), phase 1
+    /// aggregates every ray of the chunk, phase 2 runs **one** fused
+    /// forward for the whole chunk, phase 3 composites per ray.
+    /// Bit-identical to shading each frame alone (GEMM rows are
+    /// batch-independent) and to [`Renderer::shade_batch`] over
+    /// [`Renderer::eval_points`] with the same depth choice.
+    fn shade_frames_fused<D>(
+        &self,
+        set: &FrameSet,
+        depths_for: D,
+        stats: &mut [RenderStats],
+    ) -> Vec<Vec<Vec3>>
     where
-        D: Fn(usize) -> Option<Vec<f32>> + Sync,
+        D: Fn(usize, usize) -> Option<Vec<f32>> + Sync,
     {
-        let chunks = par_chunk_ranges(batch.len(), self.threads, |start, end| {
-            let mut local = RenderStats::default();
+        let chunks = self.fan_out(set.total(), |start, end| {
+            let mut local = vec![RenderStats::default(); set.n_frames()];
             // Phase 1: depth selection + aggregation for the chunk.
             let mut depths_per: Vec<Option<Vec<f32>>> = Vec::with_capacity(end - start);
             let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
-            for j in start..end {
-                let depths = depths_for(j);
+            for g in start..end {
+                let (f, j) = set.locate(g);
+                let depths = depths_for(f, j);
                 let aggs = match &depths {
-                    Some(d) => self.aggregate_ray(&batch.rays[j], d),
+                    Some(d) => self.aggregate_ray(&set.batches[f].rays[j], d),
                     None => Vec::new(),
                 };
                 if !aggs.is_empty() {
-                    self.account_full_eval(&aggs, &mut local);
+                    self.account_full_eval(&aggs, &mut local[f]);
                 }
                 depths_per.push(depths);
                 aggs_per.push(aggs);
@@ -344,9 +617,10 @@ impl<'a> Renderer<'a> {
             // buffers.
             let mut cscratch = CompositeScratch::default();
             let colors: Vec<Vec3> = (start..end)
-                .map(|j| {
-                    let idx = j - start;
-                    match (&depths_per[idx], batch.ranges[j]) {
+                .map(|g| {
+                    let idx = g - start;
+                    let (f, j) = set.locate(g);
+                    match (&depths_per[idx], set.batches[f].ranges[j]) {
                         (Some(depths), Some((_, t1))) if !depths.is_empty() => self
                             .composite_ray_scratch(
                                 depths,
@@ -361,13 +635,7 @@ impl<'a> Renderer<'a> {
                 .collect();
             (colors, local)
         });
-        let mut pixels = Vec::with_capacity(batch.len());
-        let mut stats = RenderStats::default();
-        for (colors, local) in chunks {
-            pixels.extend(colors);
-            stats.merge(&local);
-        }
-        (pixels, stats)
+        Self::merge_frame_chunks(set, chunks, stats)
     }
 
     /// Aggregates every depth sample of a ray against the full source
@@ -454,7 +722,7 @@ impl<'a> Renderer<'a> {
         color
     }
 
-    fn render_uniform(&self, batch: &RayBatch, n: usize, stats: &mut RenderStats) -> Image {
+    fn render_uniform(&self, batch: &RayBatch, n: usize, stats: &mut RenderStats) -> Vec<Vec3> {
         let (pixels, shaded) = self.shade_batch(batch.len(), |j, local| {
             let Some((t0, t1)) = batch.ranges[j] else {
                 return self.background;
@@ -464,16 +732,7 @@ impl<'a> Renderer<'a> {
             self.composite_ray(&depths, &densities, &colors, t1)
         });
         stats.merge(&shaded);
-        batch.into_image(&pixels)
-    }
-
-    /// [`Renderer::render_uniform`] on the fused chunk schedule.
-    fn render_uniform_fused(&self, batch: &RayBatch, n: usize, stats: &mut RenderStats) -> Image {
-        let (pixels, shaded) = self.shade_batch_fused(batch, |j| {
-            batch.ranges[j].map(|(t0, t1)| Ray::uniform_depths(t0, t1, n))
-        });
-        stats.merge(&shaded);
-        batch.into_image(&pixels)
+        pixels
     }
 
     /// IBRNet-style hierarchical sampling: `n_coarse` uniform samples
@@ -485,7 +744,7 @@ impl<'a> Renderer<'a> {
         n_coarse: usize,
         n_fine: usize,
         stats: &mut RenderStats,
-    ) -> Image {
+    ) -> Vec<Vec3> {
         let (pixels, shaded) = self.shade_batch(batch.len(), |j, local| {
             let Some((t0, t1)) = batch.ranges[j] else {
                 return self.background;
@@ -523,33 +782,35 @@ impl<'a> Renderer<'a> {
             self.composite_ray(&depths, &densities, &colors, t1)
         });
         stats.merge(&shaded);
-        batch.into_image(&pixels)
+        pixels
     }
 
-    /// [`Renderer::render_hierarchical`] on the fused chunk schedule:
-    /// two fused forwards per chunk (coarse then fine) instead of two
-    /// GEMM chains per ray.
-    fn render_hierarchical_fused(
+    /// Hierarchical sampling on the fused chunk schedule over a frame
+    /// set: two fused forwards per chunk (coarse then fine) instead of
+    /// two GEMM chains per ray, with chunks free to span frames.
+    fn render_hierarchical_frames(
         &self,
-        batch: &RayBatch,
+        set: &FrameSet,
         n_coarse: usize,
         n_fine: usize,
-        stats: &mut RenderStats,
-    ) -> Image {
-        let chunks = par_chunk_ranges(batch.len(), self.threads, |start, end| {
-            let mut local = RenderStats::default();
+        stats: &mut [RenderStats],
+    ) -> Vec<Vec<Vec3>> {
+        let chunks = self.fan_out(set.total(), |start, end| {
+            let mut local = vec![RenderStats::default(); set.n_frames()];
             // One scratch per worker, reused by the coarse and fine
             // fused passes.
             let mut scratch = ForwardScratch::default();
             // Coarse phase: aggregate the chunk, one fused forward.
             let mut coarse_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
             let mut coarse_aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
-            for j in start..end {
+            for g in start..end {
+                let (f, j) = set.locate(g);
+                let batch = &set.batches[f];
                 match batch.ranges[j] {
                     Some((t0, t1)) => {
                         let depths = Ray::uniform_depths(t0, t1, n_coarse);
                         let aggs = self.aggregate_ray(&batch.rays[j], &depths);
-                        self.account_full_eval(&aggs, &mut local);
+                        self.account_full_eval(&aggs, &mut local[f]);
                         coarse_depths_per.push(depths);
                         coarse_aggs_per.push(aggs);
                     }
@@ -566,8 +827,10 @@ impl<'a> Renderer<'a> {
             // Importance resampling per ray, then the fine fused pass.
             let mut fine_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
             let mut fine_aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
-            for j in start..end {
-                let idx = j - start;
+            for g in start..end {
+                let idx = g - start;
+                let (f, j) = set.locate(g);
+                let batch = &set.batches[f];
                 let Some((t0, t1)) = batch.ranges[j] else {
                     fine_depths_per.push(Vec::new());
                     fine_aggs_per.push(Vec::new());
@@ -585,7 +848,7 @@ impl<'a> Renderer<'a> {
                 let fine_depths =
                     sampling::importance_sample(&edges, &comp.weights, n_fine, &mut rng);
                 let aggs = self.aggregate_ray(&batch.rays[j], &fine_depths);
-                self.account_full_eval(&aggs, &mut local);
+                self.account_full_eval(&aggs, &mut local[f]);
                 fine_depths_per.push(fine_depths);
                 fine_aggs_per.push(aggs);
             }
@@ -596,9 +859,10 @@ impl<'a> Renderer<'a> {
             // Merge-sort the union by depth and composite, per ray.
             let mut cscratch = CompositeScratch::default();
             let colors: Vec<Vec3> = (start..end)
-                .map(|j| {
-                    let idx = j - start;
-                    let Some((_, t1)) = batch.ranges[j] else {
+                .map(|g| {
+                    let idx = g - start;
+                    let (f, j) = set.locate(g);
+                    let Some((_, t1)) = set.batches[f].ranges[j] else {
                         return self.background;
                     };
                     let mut merged: Vec<(f32, f32, Vec3)> = coarse_depths_per[idx]
@@ -623,24 +887,178 @@ impl<'a> Renderer<'a> {
                 .collect();
             (colors, local)
         });
-        let mut pixels = Vec::with_capacity(batch.len());
-        for (colors, local) in chunks {
-            pixels.extend(colors);
-            stats.merge(&local);
-        }
-        batch.into_image(&pixels)
+        Self::merge_frame_chunks(set, chunks, stats)
     }
 
-    /// The proposed coarse-then-focus pipeline (Sec. 3.2).
+    /// The proposed coarse-then-focus pipeline (Sec. 3.2) over a frame
+    /// set, with coarse import/export.
     ///
-    /// Step ① (coarse probing) and Step ③ (focused shading) are both
-    /// batch-parallel; Step ② (the cross-ray budget allocation) is a
-    /// sequential barrier between them, exactly like the workload
-    /// scheduler sitting between the accelerator's two stages. With
-    /// `fused` set, Step ① runs one
-    /// [`GenNerfModel::coarse_densities_batch`] per chunk and Step ③
-    /// shades on the fused chunk schedule.
+    /// Step ① (coarse probing) runs fused across every frame *without*
+    /// an imported [`CoarseFrame`]; Step ② (the cross-ray budget
+    /// allocation) is a per-frame sequential barrier, exactly like the
+    /// workload scheduler sitting between the accelerator's two
+    /// stages; Step ③ (focused shading) runs fused across all frames.
+    /// Returns per-frame pixels plus the freshly computed coarse
+    /// passes (`None` where an import was used).
     #[allow(clippy::too_many_arguments)] // internal dispatch target
+    fn render_ctf_frames(
+        &self,
+        set: &FrameSet,
+        n_coarse: usize,
+        n_focused: usize,
+        tau: f32,
+        s_coarse: usize,
+        cached: &[Option<&CoarseFrame>],
+        stats: &mut [RenderStats],
+    ) -> (Vec<Vec<Vec3>>, Vec<Option<CoarseFrame>>) {
+        let coarse_sources = &self.sources[..s_coarse.min(self.sources.len())];
+        let dc = self.model.config.coarse_channels;
+        for (f, c) in cached.iter().enumerate() {
+            if let Some(c) = c {
+                assert_eq!(
+                    c.n_rays(),
+                    set.batches[f].len(),
+                    "imported coarse pass of frame {f} covers {} rays, batch has {}",
+                    c.n_rays(),
+                    set.batches[f].len()
+                );
+            }
+        }
+
+        // Step ①: lightweight coarse sampling, fused across every
+        // frame that did not import a coarse pass. All of a chunk's
+        // rays go through one coarse GEMM chain.
+        let needs: Vec<usize> = (0..set.n_frames())
+            .filter(|&f| cached[f].is_none())
+            .collect();
+        let mut sub_off = Vec::with_capacity(needs.len() + 1);
+        sub_off.push(0usize);
+        for &f in &needs {
+            sub_off.push(sub_off.last().unwrap() + set.batches[f].len());
+        }
+        let sub_total = *sub_off.last().unwrap();
+        let locate_sub = |g: usize| -> (usize, usize) {
+            let i = sub_off.partition_point(|&o| o <= g) - 1;
+            (needs[i], g - sub_off[i])
+        };
+        let coarse_chunks = self.fan_out(sub_total, |start, end| {
+            let mut local = vec![RenderStats::default(); set.n_frames()];
+            let mut depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
+            let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
+            for g in start..end {
+                let (f, j) = locate_sub(g);
+                let batch = &set.batches[f];
+                let Some((t0, t1)) = batch.ranges[j] else {
+                    depths_per.push(Vec::new());
+                    aggs_per.push(Vec::new());
+                    continue;
+                };
+                let ray = &batch.rays[j];
+                let depths = Ray::uniform_depths(t0, t1, n_coarse);
+                let aggs: Vec<PointAggregate> = depths
+                    .iter()
+                    .map(|&t| aggregate_point(ray.at(t), ray.direction, coarse_sources, dc))
+                    .collect();
+                for a in &aggs {
+                    local[f].feature_fetches += 4 * a.n_valid as u64;
+                    local[f]
+                        .flops
+                        .add("acquire", a.n_valid as u64 * flops::bilinear_fetch(1, dc));
+                }
+                local[f].coarse_points += aggs.len() as u64;
+                local[f].flops.add(
+                    "mlp",
+                    aggs.len() as u64 * 2 * self.model.config.coarse_mlp_macs_per_point(),
+                );
+                depths_per.push(depths);
+                aggs_per.push(aggs);
+            }
+            let refs: Vec<&[PointAggregate]> = aggs_per.iter().map(|a| a.as_slice()).collect();
+            let densities_per = self.model.coarse_densities_batch(&refs);
+            let per_ray: Vec<(Vec<f32>, usize)> = (start..end)
+                .map(|g| {
+                    let idx = g - start;
+                    let (f, j) = locate_sub(g);
+                    let Some((_, t1)) = set.batches[f].ranges[j] else {
+                        return (Vec::new(), 0);
+                    };
+                    let densities = &densities_per[idx];
+                    let deltas = Ray::interval_widths(&depths_per[idx], t1);
+                    let dummy_colors = vec![Vec3::ZERO; densities.len()];
+                    let comp = composite(densities, &dummy_colors, &deltas, Vec3::ZERO);
+                    local[f]
+                        .flops
+                        .add("others", flops::volume_render(densities.len()));
+                    let critical = sampling::critical_count(&comp.weights, tau);
+                    (comp.weights, critical)
+                })
+                .collect();
+            (per_ray, local)
+        });
+        let mut fresh: Vec<Option<CoarseFrame>> = (0..set.n_frames())
+            .map(|f| {
+                cached[f].is_none().then(|| CoarseFrame {
+                    weights: Vec::with_capacity(set.batches[f].len()),
+                    criticals: Vec::with_capacity(set.batches[f].len()),
+                })
+            })
+            .collect();
+        let mut g = 0usize;
+        for (per_ray, local) in coarse_chunks {
+            for (weights, critical) in per_ray {
+                let (f, _) = locate_sub(g);
+                let cf = fresh[f].as_mut().expect("fresh frame");
+                cf.weights.push(weights);
+                cf.criticals.push(critical);
+                g += 1;
+            }
+            for (f, l) in local.iter().enumerate() {
+                stats[f].merge(l);
+            }
+        }
+
+        // Per-frame coarse view: imported or freshly probed.
+        let coarse_ref: Vec<&CoarseFrame> = (0..set.n_frames())
+            .map(|f| cached[f].unwrap_or_else(|| fresh[f].as_ref().expect("fresh frame")))
+            .collect();
+
+        // Step ②: per-frame cross-ray allocation P(j) ∝ N^cr_j.
+        let n_cap = self.model.config.n_max;
+        let counts: Vec<Vec<usize>> = (0..set.n_frames())
+            .map(|f| {
+                let budget = n_focused * set.batches[f].len();
+                sampling::allocate_focused(&coarse_ref[f].criticals, budget, n_cap)
+            })
+            .collect();
+
+        // Step ③: sparse focused sampling + full pipeline, fused
+        // across every frame.
+        let pixels = self.shade_frames_fused(
+            set,
+            |f, j| {
+                let (t0, t1) = set.batches[f].ranges[j]?;
+                if counts[f][j] == 0 {
+                    // Nothing critical along the ray: empty/occluded
+                    // region, background shows through.
+                    return None;
+                }
+                let edges = sampling::uniform_edges(t0, t1, n_coarse);
+                let mut rng = self.ray_rng(j);
+                Some(sampling::importance_sample(
+                    &edges,
+                    &coarse_ref[f].weights[j],
+                    counts[f][j],
+                    &mut rng,
+                ))
+            },
+            stats,
+        );
+        (pixels, fresh_without_imports(fresh, cached))
+    }
+
+    /// The per-ray reference coarse-then-focus pipeline (Sec. 3.2):
+    /// Step ① probes with one coarse GEMM chain per ray, Step ② is the
+    /// sequential cross-ray barrier, Step ③ shades per ray.
     fn render_ctf(
         &self,
         batch: &RayBatch,
@@ -648,18 +1066,14 @@ impl<'a> Renderer<'a> {
         n_focused: usize,
         tau: f32,
         s_coarse: usize,
-        fused: bool,
         stats: &mut RenderStats,
-    ) -> Image {
+    ) -> Vec<Vec3> {
         let n_rays = batch.len();
         let coarse_sources = &self.sources[..s_coarse.min(self.sources.len())];
         let dc = self.model.config.coarse_channels;
 
-        // Step ①: lightweight coarse sampling for every ray. With the
-        // fused schedule, all of a chunk's rays go through one coarse
-        // GEMM chain; the accounting and outputs are identical either
-        // way.
-        let coarse_chunks = par_chunk_ranges(n_rays, self.threads, |start, end| {
+        // Step ①: lightweight coarse sampling for every ray.
+        let coarse_chunks = self.fan_out(n_rays, |start, end| {
             let mut local = RenderStats::default();
             let mut depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
             let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
@@ -689,15 +1103,10 @@ impl<'a> Renderer<'a> {
                 depths_per.push(depths);
                 aggs_per.push(aggs);
             }
-            let densities_per: Vec<Vec<f32>> = if fused {
-                let refs: Vec<&[PointAggregate]> = aggs_per.iter().map(|a| a.as_slice()).collect();
-                self.model.coarse_densities_batch(&refs)
-            } else {
-                aggs_per
-                    .iter()
-                    .map(|aggs| self.model.coarse_densities(aggs))
-                    .collect()
-            };
+            let densities_per: Vec<Vec<f32>> = aggs_per
+                .iter()
+                .map(|aggs| self.model.coarse_densities(aggs))
+                .collect();
             let per_ray: Vec<(Vec<f32>, usize)> = (start..end)
                 .map(|j| {
                     let idx = j - start;
@@ -733,42 +1142,35 @@ impl<'a> Renderer<'a> {
         let counts = sampling::allocate_focused(&criticals, budget, n_cap);
 
         // Step ③: sparse focused sampling + full pipeline.
-        let (pixels, shaded) = if fused {
-            self.shade_batch_fused(batch, |j| {
-                let (t0, t1) = batch.ranges[j]?;
-                if counts[j] == 0 {
-                    // Nothing critical along the ray: empty/occluded
-                    // region, background shows through.
-                    return None;
-                }
-                let edges = sampling::uniform_edges(t0, t1, n_coarse);
-                let mut rng = self.ray_rng(j);
-                Some(sampling::importance_sample(
-                    &edges,
-                    &ray_weights[j],
-                    counts[j],
-                    &mut rng,
-                ))
-            })
-        } else {
-            self.shade_batch(n_rays, |j, local| {
-                let Some((t0, t1)) = batch.ranges[j] else {
-                    return self.background;
-                };
-                if counts[j] == 0 {
-                    return self.background;
-                }
-                let edges = sampling::uniform_edges(t0, t1, n_coarse);
-                let mut rng = self.ray_rng(j);
-                let depths =
-                    sampling::importance_sample(&edges, &ray_weights[j], counts[j], &mut rng);
-                let (densities, colors) = self.eval_points(&batch.rays[j], &depths, local);
-                self.composite_ray(&depths, &densities, &colors, t1)
-            })
-        };
+        let (pixels, shaded) = self.shade_batch(n_rays, |j, local| {
+            let Some((t0, t1)) = batch.ranges[j] else {
+                return self.background;
+            };
+            if counts[j] == 0 {
+                return self.background;
+            }
+            let edges = sampling::uniform_edges(t0, t1, n_coarse);
+            let mut rng = self.ray_rng(j);
+            let depths = sampling::importance_sample(&edges, &ray_weights[j], counts[j], &mut rng);
+            let (densities, colors) = self.eval_points(&batch.rays[j], &depths, local);
+            self.composite_ray(&depths, &densities, &colors, t1)
+        });
         stats.merge(&shaded);
-        batch.into_image(&pixels)
+        pixels
     }
+}
+
+/// Keeps only the coarse frames that were freshly probed this call
+/// (imported slots stay `None` so the caller keeps its own copy).
+fn fresh_without_imports(
+    fresh: Vec<Option<CoarseFrame>>,
+    cached: &[Option<&CoarseFrame>],
+) -> Vec<Option<CoarseFrame>> {
+    fresh
+        .into_iter()
+        .zip(cached)
+        .map(|(f, c)| if c.is_some() { None } else { f })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1025,5 +1427,133 @@ mod tests {
             .filter(|_| (a.uniform(0.0, 1.0) - b.uniform(0.0, 1.0)).abs() < 1e-9)
             .count();
         assert!(same < 4, "streams look identical: {same}/32 draws equal");
+    }
+
+    #[test]
+    fn render_into_matches_render_and_reuses_buffers() {
+        let (ds, sources, model) = setup();
+        for strategy in [
+            SamplingStrategy::Uniform { n: 6 },
+            SamplingStrategy::coarse_then_focus(6, 6),
+        ] {
+            let r = Renderer::new(
+                &model,
+                &sources,
+                strategy,
+                ds.scene.bounds,
+                ds.scene.background,
+            );
+            let cam = &ds.eval_views[0].camera;
+            let (img, stats) = r.render(cam);
+            // A dirty, differently sized buffer must come out identical.
+            let mut reused = Image::from_fn(3, 7, |_, _| Vec3::ONE);
+            let mut rstats = RenderStats::default();
+            r.render_into(cam, &mut reused, &mut rstats);
+            assert_eq!(img.as_slice(), reused.as_slice(), "{strategy:?}");
+            assert_eq!(stats.points, rstats.points, "{strategy:?}");
+            assert_eq!(stats.flops.total(), rstats.flops.total(), "{strategy:?}");
+            // Rendering again into the same buffer stays stable.
+            r.render_into(cam, &mut reused, &mut rstats);
+            assert_eq!(
+                img.as_slice(),
+                reused.as_slice(),
+                "{strategy:?} second fill"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_frame_render_matches_solo_renders() {
+        // The serving contract: co-scheduling frames in one fused
+        // workload changes nothing about any frame's output.
+        let (ds, sources, model) = setup();
+        for strategy in [
+            SamplingStrategy::Uniform { n: 6 },
+            SamplingStrategy::Hierarchical {
+                n_coarse: 4,
+                n_fine: 4,
+            },
+            SamplingStrategy::coarse_then_focus(6, 6),
+        ] {
+            let r = Renderer::new(
+                &model,
+                &sources,
+                strategy,
+                ds.scene.bounds,
+                ds.scene.background,
+            )
+            .with_threads(2);
+            let cameras: Vec<Camera> = ds.eval_views.iter().map(|v| v.camera).collect();
+            let joint = r.render_frames(&cameras);
+            for (cam, (img, stats)) in cameras.iter().zip(&joint) {
+                let (solo_img, solo_stats) = r.render(cam);
+                assert_eq!(solo_img.as_slice(), img.as_slice(), "{strategy:?}");
+                assert_eq!(solo_stats.points, stats.points, "{strategy:?}");
+                assert_eq!(
+                    solo_stats.flops.total(),
+                    stats.flops.total(),
+                    "{strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imported_coarse_from_same_pose_is_bitwise_stable() {
+        // Importing the exported Step ① of the *same* pose must
+        // reproduce the uncached render exactly, while skipping the
+        // coarse probing work.
+        let (ds, sources, model) = setup();
+        let r = Renderer::new(
+            &model,
+            &sources,
+            SamplingStrategy::coarse_then_focus(6, 6),
+            ds.scene.bounds,
+            ds.scene.background,
+        );
+        let cam = ds.eval_views[0].camera;
+        let cameras = [cam];
+        let mut images = [Image::new(0, 0)];
+        let mut stats = [RenderStats::default()];
+        let exported = r.render_frames_cached(&cameras, &[None], &mut images, &mut stats);
+        let coarse = exported[0].as_ref().expect("fresh coarse exported");
+        assert_eq!(coarse.n_rays(), images[0].pixel_count());
+        assert!(coarse.approx_bytes() > 0);
+
+        let mut images2 = [Image::new(0, 0)];
+        let mut stats2 = [RenderStats::default()];
+        let exported2 =
+            r.render_frames_cached(&cameras, &[Some(coarse)], &mut images2, &mut stats2);
+        assert!(exported2[0].is_none(), "import must not re-export");
+        assert_eq!(images[0].as_slice(), images2[0].as_slice());
+        // The cached pass really skipped Step ①.
+        assert_eq!(stats2[0].coarse_points, 0);
+        assert!(stats[0].coarse_points > 0);
+        assert!(stats2[0].flops.total() < stats[0].flops.total());
+    }
+
+    #[test]
+    fn pool_backed_renderer_matches_scoped_threads() {
+        let (ds, sources, model) = setup();
+        let pool = gen_nerf_parallel::Pool::new(2);
+        for strategy in [
+            SamplingStrategy::Uniform { n: 6 },
+            SamplingStrategy::coarse_then_focus(6, 6),
+        ] {
+            let base = || {
+                Renderer::new(
+                    &model,
+                    &sources,
+                    strategy,
+                    ds.scene.bounds,
+                    ds.scene.background,
+                )
+                .with_threads(2)
+            };
+            let (img_scoped, stats_scoped) = base().render(&ds.eval_views[0].camera);
+            let (img_pool, stats_pool) = base().with_pool(&pool).render(&ds.eval_views[0].camera);
+            assert_eq!(img_scoped.as_slice(), img_pool.as_slice(), "{strategy:?}");
+            assert_eq!(stats_scoped.points, stats_pool.points, "{strategy:?}");
+        }
     }
 }

@@ -237,6 +237,22 @@ impl Dram {
         }
     }
 
+    /// Closes every bank's row buffer (a precharge-all), leaving the
+    /// clock, bus state and statistics untouched. Row hit/miss counts
+    /// depend only on the open-row state, so a persistent device with
+    /// a `precharge_all` between batches reproduces the per-batch
+    /// hit/miss counts of a fresh device per batch — the equivalence
+    /// behind the accelerator simulator's cold-row patch-parallel
+    /// approximation (`prop_precharge_between_batches_matches_fresh_devices`
+    /// pins it; `SimMode::WarmRows` is the mode that deliberately
+    /// *skips* the precharge to measure what the approximation
+    /// forgoes).
+    pub fn precharge_all(&mut self) {
+        for bank in &mut self.banks {
+            bank.open_row = None;
+        }
+    }
+
     /// Resets time, bank state and statistics.
     pub fn reset(&mut self) {
         self.banks = vec![Bank::default(); self.cfg.banks];
@@ -372,6 +388,22 @@ mod tests {
     }
 
     #[test]
+    fn precharge_all_forces_next_access_to_miss() {
+        let mut d = dram(FeatureLayout::RowMajor);
+        d.access(req(0, 0, 0));
+        d.access(req(0, 1, 0));
+        assert_eq!(d.stats().row_hits, 1, "warm row hits before precharge");
+        let (requests, bytes) = (d.stats().requests, d.stats().bytes);
+        d.precharge_all();
+        // Stats and clock survive; the open row does not.
+        assert_eq!(d.stats().requests, requests);
+        assert_eq!(d.stats().bytes, bytes);
+        d.access(req(0, 2, 0)); // same DRAM row as before, now closed
+        assert_eq!(d.stats().row_misses, 2);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let mut d = dram(FeatureLayout::RowMajor);
         d.serve_batch(&[req(0, 0, 0)]);
@@ -414,6 +446,35 @@ mod tests {
             let bound = (r.bytes as f64 / d.config().bytes_per_cycle).floor() as u64;
             prop_assert!(r.total_cycles >= bound,
                 "cycles={} bound={bound}", r.total_cycles);
+        }
+
+        #[test]
+        fn prop_precharge_between_batches_matches_fresh_devices(
+            n_batches in 1usize..6,
+            seed in 0u64..50,
+        ) {
+            // The cold-row equivalence: hit/miss counts per batch on a
+            // persistent device with precharge_all between batches
+            // equal those of a fresh device per batch (timing state
+            // does not influence the row-buffer state machine).
+            let batch = |b: usize| -> Vec<FeatureRequest> {
+                (0..12)
+                    .map(|i| {
+                        let k = (b as u64 * 31 + i as u64).wrapping_mul(seed + 3);
+                        req((k % 3) as usize, (k % 64) as u32, ((k / 64) % 64) as u32)
+                    })
+                    .collect()
+            };
+            let mut persistent = dram(FeatureLayout::SpatialInterleave);
+            for b in 0..n_batches {
+                let reqs = batch(b);
+                let warm = persistent.serve_batch(&reqs);
+                persistent.precharge_all();
+                let mut fresh = dram(FeatureLayout::SpatialInterleave);
+                let cold = fresh.serve_batch(&reqs);
+                prop_assert_eq!(warm.row_hits, cold.row_hits, "batch {}", b);
+                prop_assert_eq!(warm.row_misses, cold.row_misses, "batch {}", b);
+            }
         }
 
         #[test]

@@ -23,6 +23,7 @@
 //! [`std::thread::available_parallelism`].
 
 use std::num::NonZeroUsize;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "GEN_NERF_THREADS";
@@ -127,12 +128,7 @@ where
     R: Send,
     F: Fn(usize, usize) -> R + Sync,
 {
-    let workers = threads.max(1).min(n.max(1));
-    let chunk = n.div_ceil(workers).max(1);
-    let ranges: Vec<(usize, usize)> = (0..workers)
-        .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
-        .filter(|(s, e)| s < e)
-        .collect();
+    let ranges = chunk_ranges(n, threads);
     if ranges.len() <= 1 {
         return ranges.into_iter().map(|(s, e)| f(s, e)).collect();
     }
@@ -148,6 +144,231 @@ where
         }
     });
     results
+}
+
+/// Splits `0..n` into at most `threads` contiguous ranges, sized
+/// within one item of each other — the chunk geometry shared by
+/// [`par_chunk_ranges`] and [`Pool::run_chunks`], so a computation is
+/// bit-for-bit identical whichever executor runs it.
+fn chunk_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let workers = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(workers).max(1);
+    (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+        .filter(|(s, e)| s < e)
+        .collect()
+}
+
+/// One job broadcast to the pool: an erased-lifetime pointer to the
+/// caller's task closure. Soundness rests on [`Pool::run_chunks`]
+/// blocking until every worker has finished the job, so the pointee
+/// (which lives on the caller's stack) strictly outlives every use.
+struct Job {
+    /// `f(slot)` runs task `slot`; valid only for the current epoch.
+    f: *const (dyn Fn(usize) + Sync),
+    /// Tasks in this job; workers with index ≥ `tasks` sit it out.
+    tasks: usize,
+}
+
+// The raw pointer is only dereferenced between the epoch broadcast and
+// the matching completion notification, both inside `run_chunks`'s
+// borrow of `f`.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Monotonic job counter; workers run a job exactly once per epoch.
+    epoch: u64,
+    /// Workers still executing the current epoch's job.
+    running: usize,
+    /// A worker panicked while executing the current job.
+    poisoned: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Serializes submitters: one job in flight at a time.
+    submit: Mutex<()>,
+    /// Wakes workers for a new epoch or shutdown.
+    work: Condvar,
+    /// Wakes the submitter when `running` reaches zero.
+    done: Condvar,
+}
+
+/// A persistent fork–join worker pool.
+///
+/// [`par_map`]/[`par_chunk_ranges`] spawn scoped threads per call —
+/// the right trade for one-shot frame renders, but a steady-state
+/// request server pays that spawn/join tax on every chunk fan-out of
+/// every frame. `Pool` keeps the workers alive across jobs: threads
+/// are spawned once, parked on a condvar between jobs, and reused for
+/// every [`Pool::run_chunks`] call. Chunk geometry and result order
+/// are identical to [`par_chunk_ranges`], so swapping executors never
+/// changes rendered output (the serve regression suite pins this).
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                running: 0,
+                poisoned: false,
+                shutdown: false,
+            }),
+            submit: Mutex::new(()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gen-nerf-pool-{w}"))
+                    .spawn(move || Self::worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A pool sized by [`num_threads`] (the `GEN_NERF_THREADS`
+    /// environment variable).
+    pub fn with_default_threads() -> Self {
+        Self::new(num_threads())
+    }
+
+    /// Number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn worker_loop(shared: &PoolShared, index: usize) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    if state.epoch != seen_epoch {
+                        seen_epoch = state.epoch;
+                        break;
+                    }
+                    state = shared.work.wait(state).expect("pool wait");
+                }
+                let job = state.job.as_ref().expect("job set for epoch");
+                Job {
+                    f: job.f,
+                    tasks: job.tasks,
+                }
+            };
+            if index < job.tasks {
+                // The pointer is live: `run_chunks` holds the closure
+                // on its stack until `running` drains to zero below.
+                let f = unsafe { &*job.f };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)));
+                if outcome.is_err() {
+                    shared
+                        .state
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .poisoned = true;
+                }
+            }
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.running -= 1;
+            if state.running == 0 {
+                shared.done.notify_all();
+            }
+        }
+    }
+
+    /// Maps `f` over contiguous chunk ranges of `0..n` on the pool's
+    /// persistent workers, concatenating per-chunk results in range
+    /// order — [`par_chunk_ranges`] semantics without the per-call
+    /// thread spawn. `threads` caps the chunk count (further capped by
+    /// the pool size); one chunk runs inline on the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while executing `f`.
+    pub fn run_chunks<R, F>(&self, n: usize, threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        let ranges = chunk_ranges(n, threads.min(self.workers.len()));
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(|(s, e)| f(s, e)).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        let task = |slot: usize| {
+            let (s, e) = ranges[slot];
+            *slots[slot].lock().expect("slot lock") = Some(f(s, e));
+        };
+        let erased: &(dyn Fn(usize) + Sync) = &task;
+        // One job in flight at a time: later submitters queue here, so
+        // the single `job` slot and the `running` counter are never
+        // shared between two jobs.
+        let _exclusive = self.shared.submit.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            debug_assert!(state.running == 0, "pool job already in flight");
+            state.job = Some(Job {
+                // Erase the borrow lifetime; the wait below keeps the
+                // closure alive past every worker's last use.
+                f: unsafe {
+                    std::mem::transmute::<
+                        *const (dyn Fn(usize) + Sync),
+                        *const (dyn Fn(usize) + Sync),
+                    >(erased as *const _)
+                },
+                tasks: ranges.len(),
+            });
+            state.epoch += 1;
+            state.running = self.workers.len();
+            state.poisoned = false;
+            self.shared.work.notify_all();
+            while state.running > 0 {
+                state = self.shared.done.wait(state).expect("pool wait");
+            }
+            state.job = None;
+            if state.poisoned {
+                drop(state);
+                panic!("pool worker panicked");
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("worker filled slot")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +437,92 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_matches_par_chunk_ranges() {
+        let pool = Pool::new(4);
+        for n in [0usize, 1, 7, 64, 1000] {
+            for t in [1usize, 2, 4] {
+                let work = |s: usize, e: usize| (s, e, (s..e).map(|i| i as u64 * 3).sum::<u64>());
+                assert_eq!(
+                    pool.run_chunks(n, t, work),
+                    par_chunk_ranges(n, t, work),
+                    "n={n} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_jobs() {
+        use std::collections::HashSet;
+        let pool = Pool::new(3);
+        let mut ids = HashSet::new();
+        // Many jobs on one pool: the set of worker threads must not
+        // grow with the job count.
+        for _ in 0..16 {
+            for id in pool.run_chunks(6, 3, |_, _| std::thread::current().id()) {
+                ids.insert(id);
+            }
+        }
+        assert!(ids.len() <= 3, "workers grew: {}", ids.len());
+    }
+
+    #[test]
+    fn pool_caps_at_its_size() {
+        let pool = Pool::new(2);
+        // Asking for more threads than the pool has still covers the
+        // domain exactly, just in at most `threads()` chunks.
+        let ranges = pool.run_chunks(100, 8, |s, e| (s, e));
+        assert!(ranges.len() <= 2);
+        assert_eq!(ranges.first().map(|r| r.0), Some(0));
+        assert_eq!(ranges.last().map(|r| r.1), Some(100));
+    }
+
+    #[test]
+    fn pool_single_chunk_runs_inline() {
+        let pool = Pool::new(4);
+        let caller = std::thread::current().id();
+        let out = pool.run_chunks(5, 1, |_, _| std::thread::current().id());
+        assert_eq!(out, vec![caller]);
+    }
+
+    #[test]
+    fn pool_worker_panic_propagates() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_chunks(10, 2, |s, _| {
+                if s == 0 {
+                    panic!("boom");
+                }
+                s
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a poisoned job and keeps serving.
+        assert_eq!(pool.run_chunks(4, 2, |s, e| e - s).iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn pool_concurrent_submitters_serialize() {
+        let pool = Pool::new(2);
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    scope.spawn(move || {
+                        let out = pool.run_chunks(64, 2, move |s, e| {
+                            (s..e).map(|i| (i + k) as u64).sum::<u64>()
+                        });
+                        out.iter().sum::<u64>()
+                    })
+                })
+                .collect();
+            for (k, h) in handles.into_iter().enumerate() {
+                let expect: u64 = (0..64).map(|i| (i + k) as u64).sum();
+                assert_eq!(h.join().unwrap(), expect);
+            }
+        });
     }
 }

@@ -22,6 +22,18 @@ impl Image {
         }
     }
 
+    /// Reshapes the buffer to `width`×`height` pixels of black,
+    /// reusing the existing allocation when its capacity suffices —
+    /// the frame-buffer recycling entry used by the render server so a
+    /// steady-state serving loop stops paying one image allocation per
+    /// frame.
+    pub fn reset(&mut self, width: u32, height: u32) {
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize((width * height * 3) as usize, 0.0);
+    }
+
     /// Builds an image by evaluating `f(x, y)` per pixel.
     pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> Vec3) -> Self {
         let mut img = Self::new(width, height);
@@ -148,6 +160,22 @@ impl Image {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reset_reuses_capacity_and_clears() {
+        let mut img = Image::from_fn(8, 8, |_, _| Vec3::ONE);
+        let cap = img.data.capacity();
+        img.reset(4, 4);
+        assert_eq!((img.width(), img.height()), (4, 4));
+        assert_eq!(img.data.capacity(), cap, "reset reallocated");
+        assert_eq!(img.get(0, 0), Vec3::ZERO);
+        img.reset(8, 8);
+        assert_eq!(
+            img.data.capacity(),
+            cap,
+            "regrow within capacity reallocated"
+        );
+    }
 
     #[test]
     fn set_get_roundtrip() {

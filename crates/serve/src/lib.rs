@@ -1,0 +1,89 @@
+//! `gen-nerf-serve` — an asynchronous multi-session render server.
+//!
+//! The paper's motivating scenario (Sec. 1) is a user in an AR headset
+//! demanding a novel view *per head pose, now*. A synchronous
+//! [`gen_nerf::pipeline::Renderer::render`] call serves one such user
+//! badly — every frame re-pays the per-scene setup (source-feature
+//! encoding, model construction) and every small frame under-fills the
+//! fused GEMM schedule — and serves many users worse, one at a time.
+//! This crate is the serving layer that amortizes both:
+//!
+//! * **Sessions** ([`SceneState`]/[`SessionConfig`]): each session
+//!   pins the per-scene state that is otherwise rebuilt per frame —
+//!   the encoded source-feature pyramids ([`SceneState::prepare`] runs
+//!   `prepare_sources` once), the pretrained model (shared `&self`
+//!   across every in-flight frame), scene bounds/background, and an
+//!   optional precomputed occupancy grid handle.
+//! * **A channel event loop** ([`RenderServer`]): requests enter an
+//!   MPSC submission queue and return a [`FrameHandle`] the caller can
+//!   poll or block on. There is no async runtime — the container
+//!   builds with no external crates, so the event loop is exactly what
+//!   `gen-nerf-parallel` is to rayon: `std::sync::mpsc` + a scheduler
+//!   thread + a persistent [`gen_nerf_parallel::Pool`] of render
+//!   workers.
+//! * **Admission batching**: the scheduler drains the queue up to a
+//!   window, orders by [`DeadlineClass`], and coalesces frames of
+//!   sessions that share a scene and strategy into **one** fused
+//!   multi-frame render
+//!   ([`Renderer::render_frames_cached`](gen_nerf::pipeline::Renderer::render_frames_cached)),
+//!   so concurrent small requests fill the one-GEMM-per-chunk schedule a
+//!   lone request cannot. The kernel batch-independence contract makes
+//!   this free of approximation: co-scheduled frames are bit-for-bit
+//!   what solo renders would produce.
+//! * **A temporal-coherence cache** ([`CoherenceConfig`]): per session,
+//!   the coarse-then-focus Step ① outcome
+//!   ([`CoarseFrame`](gen_nerf::pipeline::CoarseFrame)) of the
+//!   last anchor pose is kept; a new pose within the configured
+//!   translation/rotation delta re-runs only the focus pass against
+//!   the cached coarse probing. With coherence disabled (the default,
+//!   [`CoherenceConfig::exact`]) the server is pinned bitwise-identical
+//!   to direct rendering by `tests/serve_regression.rs`.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gen_nerf::config::{ModelConfig, SamplingStrategy};
+//! use gen_nerf::model::GenNerfModel;
+//! use gen_nerf_scene::{Dataset, DatasetKind};
+//! use gen_nerf_serve::{
+//!     CoherenceConfig, FrameRequest, RenderServer, SceneState, ServerConfig, SessionConfig,
+//! };
+//! use std::sync::Arc;
+//!
+//! let ds = Dataset::build(DatasetKind::DeepVoxels, "pedestal", 0.08, 6, 1, 64, 11);
+//! let model = GenNerfModel::new(ModelConfig::fast());
+//! let scene = Arc::new(SceneState::prepare(
+//!     model,
+//!     &ds.source_views,
+//!     ds.scene.bounds,
+//!     ds.scene.background,
+//! ));
+//!
+//! let server = RenderServer::new(ServerConfig::default());
+//! let session = server.create_session(
+//!     Arc::clone(&scene),
+//!     SessionConfig::new(
+//!         ds.eval_views[0].camera.intrinsics,
+//!         SamplingStrategy::coarse_then_focus(8, 16),
+//!     )
+//!     .with_coherence(CoherenceConfig::within(0.05, 0.02)),
+//! );
+//!
+//! let handle = server.submit(session, FrameRequest::new(ds.eval_views[0].camera.pose));
+//! let frame = handle.wait();
+//! println!(
+//!     "latency {:?}, cache {:?}",
+//!     frame.serve.latency, frame.serve.cache
+//! );
+//! ```
+
+mod server;
+mod session;
+
+pub use server::{
+    CacheOutcome, FrameHandle, FrameRequest, FrameResult, RenderServer, ServeStats, ServerConfig,
+};
+pub use session::{
+    poses_coherent, CacheStats, CoherenceConfig, DeadlineClass, ResolutionTier, SceneState,
+    SessionConfig, SessionId,
+};

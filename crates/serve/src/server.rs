@@ -1,0 +1,762 @@
+//! The render server: MPSC submission queue, deadline-ordered
+//! admission batching, and the scheduler thread driving fused
+//! multi-frame renders on a persistent worker pool.
+
+use crate::session::{
+    poses_coherent, CacheEntry, CacheStats, DeadlineClass, ResolutionTier, SceneState,
+    SessionConfig, SessionId, SessionState,
+};
+use gen_nerf::config::SamplingStrategy;
+use gen_nerf::pipeline::{CoarseFrame, RenderStats, Renderer};
+use gen_nerf_geometry::{Camera, Pose};
+use gen_nerf_parallel::Pool;
+use gen_nerf_scene::Image;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Persistent render workers (the fused chunk fan-out width).
+    /// Defaults to [`gen_nerf_parallel::num_threads`].
+    pub threads: usize,
+    /// Admission window: at most this many queued frames are coalesced
+    /// into one fused multi-frame render.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: gen_nerf_parallel::num_threads(),
+            max_batch: 8,
+        }
+    }
+}
+
+/// One frame request: a head pose plus serving knobs.
+#[derive(Debug, Default)]
+pub struct FrameRequest {
+    /// Camera pose to render from.
+    pub pose: Pose,
+    /// Output resolution tier (divisor of the session intrinsics).
+    pub tier: ResolutionTier,
+    /// Scheduling class.
+    pub deadline: DeadlineClass,
+    /// Optional recycled frame buffer; the server renders into it
+    /// (reusing its allocation) instead of allocating a fresh image.
+    pub reuse: Option<Image>,
+}
+
+impl FrameRequest {
+    /// An interactive full-resolution request for `pose`.
+    pub fn new(pose: Pose) -> Self {
+        Self {
+            pose,
+            ..Self::default()
+        }
+    }
+
+    /// Selects the resolution tier.
+    pub fn with_tier(mut self, tier: ResolutionTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Selects the deadline class.
+    pub fn with_deadline(mut self, deadline: DeadlineClass) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Supplies a frame buffer to render into (allocation recycling
+    /// for steady-state serving loops).
+    pub fn with_buffer(mut self, image: Image) -> Self {
+        self.reuse = Some(image);
+        self
+    }
+}
+
+/// How the coarse cache treated one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Coarse pass reused from the session's anchor pose.
+    Hit,
+    /// Coarse pass re-probed (and the anchor replaced).
+    Miss,
+    /// Cache not applicable (coherence disabled or no coarse pass in
+    /// the strategy).
+    Bypass,
+}
+
+/// Serving-side measurements of one frame.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStats {
+    /// Submission to job start (queueing + admission).
+    pub queue_wait: Duration,
+    /// Job start to completion (shared by every frame in the batch).
+    pub render_time: Duration,
+    /// Submission to completion.
+    pub latency: Duration,
+    /// Coarse-cache outcome.
+    pub cache: CacheOutcome,
+    /// Frames co-scheduled in the same fused render job.
+    pub batched_frames: usize,
+}
+
+/// A completed frame.
+#[derive(Debug)]
+pub struct FrameResult {
+    /// The rendered image (the recycled buffer when one was supplied).
+    pub image: Image,
+    /// Render-side instrumentation (cache hits skip Step ① work, so
+    /// `coarse_points` is zero for them).
+    pub stats: RenderStats,
+    /// Serving-side measurements.
+    pub serve: ServeStats,
+}
+
+struct Slot {
+    result: Mutex<Option<Result<FrameResult, String>>>,
+    ready: Condvar,
+}
+
+/// The caller's side of one submitted frame: poll it, or block on it.
+pub struct FrameHandle {
+    slot: Arc<Slot>,
+}
+
+impl FrameHandle {
+    /// Blocks until the frame completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server failed while rendering this frame (a
+    /// render panic) or shut down before reaching it.
+    pub fn wait(self) -> FrameResult {
+        let mut guard = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome.unwrap_or_else(|e| panic!("render server failed: {e}"));
+            }
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Takes the result if the frame has completed (non-blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server failed while rendering this frame.
+    pub fn poll(&self) -> Option<FrameResult> {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .map(|outcome| outcome.unwrap_or_else(|e| panic!("render server failed: {e}")))
+    }
+
+    /// Whether the frame has completed (without consuming the result).
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+}
+
+struct QueuedFrame {
+    session: u64,
+    pose: Pose,
+    tier: ResolutionTier,
+    deadline: DeadlineClass,
+    reuse: Option<Image>,
+    slot: Arc<Slot>,
+    submitted: Instant,
+    /// Submission sequence, the tiebreak that keeps ordering stable
+    /// within a deadline class.
+    seq: u64,
+}
+
+type SessionMap = Arc<Mutex<HashMap<u64, Arc<SessionState>>>>;
+
+/// The multi-session render server. See the crate docs for the
+/// architecture; in short: [`RenderServer::submit`] enqueues onto an
+/// MPSC channel and returns a [`FrameHandle`]; a scheduler thread
+/// drains the queue, coalesces compatible frames into fused
+/// multi-frame renders on a persistent worker pool, and fulfills the
+/// handles.
+///
+/// Dropping the server closes the queue, drains every frame already
+/// submitted, and joins the scheduler.
+pub struct RenderServer {
+    tx: Option<Sender<QueuedFrame>>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    sessions: SessionMap,
+    next_session: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+impl RenderServer {
+    /// Starts the scheduler thread and its render worker pool.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
+        let (tx, rx) = mpsc::channel::<QueuedFrame>();
+        let scheduler_sessions = Arc::clone(&sessions);
+        let scheduler = std::thread::Builder::new()
+            .name("gen-nerf-serve".to_string())
+            .spawn(move || scheduler_loop(rx, scheduler_sessions, cfg))
+            .expect("spawn scheduler thread");
+        Self {
+            tx: Some(tx),
+            scheduler: Some(scheduler),
+            sessions,
+            next_session: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a session viewing `scene`. Sessions sharing a scene
+    /// (same `Arc`) and sampling strategy batch together.
+    pub fn create_session(&self, scene: Arc<SceneState>, cfg: SessionConfig) -> SessionId {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::new(SessionState::new(scene, cfg)));
+        SessionId(id)
+    }
+
+    /// Enqueues a frame request; returns immediately with a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this server.
+    pub fn submit(&self, session: SessionId, req: FrameRequest) -> FrameHandle {
+        let known = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&session.0);
+        assert!(known, "unknown session {session:?}");
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let frame = QueuedFrame {
+            session: session.0,
+            pose: req.pose,
+            tier: req.tier,
+            deadline: req.deadline,
+            reuse: req.reuse,
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.tx
+            .as_ref()
+            .expect("server running")
+            .send(frame)
+            .expect("scheduler alive");
+        FrameHandle { slot }
+    }
+
+    /// Ends a session: drops its cached coarse pass, its scene handle
+    /// (the `SceneState` is freed once the last session sharing it
+    /// ends) and its counters, and rejects future submissions for the
+    /// id. Frames of the session already queued are failed (their
+    /// handles report the error) — end a session only after draining
+    /// its in-flight frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this server (or was
+    /// already removed).
+    pub fn remove_session(&self, session: SessionId) {
+        let removed = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&session.0);
+        // Panic outside the lock so a misuse stays contained to the
+        // misusing thread instead of poisoning the scheduler's map.
+        removed.expect("unknown session");
+    }
+
+    /// Coarse-cache counters of a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this server.
+    pub fn cache_stats(&self, session: SessionId) -> CacheStats {
+        let state = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&session.0)
+            .cloned();
+        state.expect("unknown session").cache_stats()
+    }
+}
+
+impl Drop for RenderServer {
+    fn drop(&mut self) {
+        // Closing the channel lets the scheduler drain what's queued
+        // and exit its receive loop.
+        drop(self.tx.take());
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The event loop: block for one frame, opportunistically drain the
+/// queue up to the admission window, order by deadline class (stable
+/// within a class), carve off the largest compatible run, render it as
+/// one fused job, repeat. Exits when the queue closes *and* every
+/// admitted frame is served.
+fn scheduler_loop(rx: Receiver<QueuedFrame>, sessions: SessionMap, cfg: ServerConfig) {
+    let pool = Pool::new(cfg.threads.max(1));
+    let max_batch = cfg.max_batch.max(1);
+    let mut pending: VecDeque<QueuedFrame> = VecDeque::new();
+    let mut open = true;
+    while open || !pending.is_empty() {
+        if pending.is_empty() {
+            match rx.recv() {
+                Ok(frame) => pending.push_back(frame),
+                Err(_) => {
+                    open = false;
+                    continue;
+                }
+            }
+        }
+        while open && pending.len() < max_batch {
+            match rx.try_recv() {
+                Ok(frame) => pending.push_back(frame),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        // Interactive ahead of best-effort; submission order within a
+        // class (sort is stable on (class, seq)).
+        pending
+            .make_contiguous()
+            .sort_by_key(|f| (f.deadline, f.seq));
+
+        // Resolve sessions and carve the head-compatible run.
+        let resolve = |id: u64| -> Option<Arc<SessionState>> {
+            sessions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&id)
+                .cloned()
+        };
+        let head = pending.pop_front().expect("non-empty pending");
+        let Some(head_state) = resolve(head.session) else {
+            fulfill_error(&head, "session disappeared");
+            continue;
+        };
+        // A cache-enabled session's frames must see each other's cache
+        // updates in order, so at most one of them rides per batch —
+        // this is what makes a batch behave exactly like the same
+        // frames served one at a time in admission order (and makes
+        // "identical repeated pose ⇒ hit" a guarantee, not a race).
+        let cache_applies = |state: &SessionState| {
+            state.cfg.coherence.enabled
+                && matches!(state.cfg.strategy, SamplingStrategy::CoarseThenFocus { .. })
+        };
+        let mut sessions_in_group: Vec<u64> = vec![head.session];
+        let mut group: Vec<(QueuedFrame, Arc<SessionState>)> = vec![(head, head_state)];
+        let mut rest: VecDeque<QueuedFrame> = VecDeque::new();
+        while let Some(frame) = pending.pop_front() {
+            if group.len() >= max_batch {
+                rest.push_back(frame);
+                continue;
+            }
+            let Some(state) = resolve(frame.session) else {
+                fulfill_error(&frame, "session disappeared");
+                continue;
+            };
+            let (_, head_state) = &group[0];
+            let compatible = Arc::ptr_eq(&state.scene, &head_state.scene)
+                && state.cfg.strategy == head_state.cfg.strategy
+                && !(cache_applies(&state) && sessions_in_group.contains(&frame.session));
+            if compatible {
+                sessions_in_group.push(frame.session);
+                group.push((frame, state));
+            } else {
+                rest.push_back(frame);
+            }
+        }
+        pending = rest;
+        execute_group(&pool, group);
+    }
+}
+
+/// Renders one admission batch as a single fused multi-frame job and
+/// fulfills its handles. A panic anywhere in the render fails every
+/// frame of the batch (reported through the handles) instead of
+/// killing the scheduler.
+fn execute_group(pool: &Pool, mut group: Vec<(QueuedFrame, Arc<SessionState>)>) {
+    // Take the recycled buffers out of the requests up front: they are
+    // moved (not cloned) into the render and returned in the results.
+    let buffers: Vec<Option<Image>> = group
+        .iter_mut()
+        .map(|(frame, _)| frame.reuse.take())
+        .collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        render_group(pool, &group, buffers)
+    }));
+    match outcome {
+        Ok(results) => {
+            for ((frame, _), result) in group.into_iter().zip(results) {
+                fulfill(&frame.slot, Ok(result));
+            }
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            for (frame, _) in group {
+                fulfill_error(&frame, &msg);
+            }
+        }
+    }
+}
+
+/// The render half of [`execute_group`]: cache lookups, one fused
+/// multi-frame render, cache updates. `group` frames share one scene
+/// and strategy (admission guarantees it).
+fn render_group(
+    pool: &Pool,
+    group: &[(QueuedFrame, Arc<SessionState>)],
+    buffers: Vec<Option<Image>>,
+) -> Vec<FrameResult> {
+    let started = Instant::now();
+    let n = group.len();
+    let scene = &group[0].1.scene;
+    let strategy = group[0].1.cfg.strategy;
+    let is_ctf = matches!(strategy, SamplingStrategy::CoarseThenFocus { .. });
+
+    // Cache lookups resolve against each session's anchor *before* the
+    // job, so a batch behaves exactly like the same frames served one
+    // at a time in admission order.
+    let mut cameras: Vec<Camera> = Vec::with_capacity(n);
+    let mut cached_arcs: Vec<Option<Arc<CoarseFrame>>> = Vec::with_capacity(n);
+    let mut outcomes: Vec<CacheOutcome> = Vec::with_capacity(n);
+    for (frame, state) in group {
+        cameras.push(Camera::new(
+            frame.tier.apply(state.cfg.intrinsics),
+            frame.pose,
+        ));
+        if !is_ctf || !state.cfg.coherence.enabled {
+            state.bypasses.fetch_add(1, Ordering::Relaxed);
+            cached_arcs.push(None);
+            outcomes.push(CacheOutcome::Bypass);
+            continue;
+        }
+        let cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
+        match cache.as_ref() {
+            Some(entry)
+                if entry.tier == frame.tier
+                    && poses_coherent(&entry.pose, &frame.pose, &state.cfg.coherence) =>
+            {
+                state.hits.fetch_add(1, Ordering::Relaxed);
+                cached_arcs.push(Some(Arc::clone(&entry.coarse)));
+                outcomes.push(CacheOutcome::Hit);
+            }
+            _ => {
+                state.misses.fetch_add(1, Ordering::Relaxed);
+                cached_arcs.push(None);
+                outcomes.push(CacheOutcome::Miss);
+            }
+        }
+    }
+
+    let renderer = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .with_threads(pool.threads())
+    .with_pool(pool);
+
+    let mut images: Vec<Image> = buffers
+        .into_iter()
+        .map(|buf| buf.unwrap_or_else(|| Image::new(0, 0)))
+        .collect();
+    let mut stats = vec![RenderStats::default(); n];
+    let cached_refs: Vec<Option<&CoarseFrame>> = cached_arcs.iter().map(|c| c.as_deref()).collect();
+    let exports = renderer.render_frames_cached(&cameras, &cached_refs, &mut images, &mut stats);
+    let finished = Instant::now();
+
+    // Re-anchor caches on fresh coarse passes, in admission order.
+    for (((frame, state), export), outcome) in group.iter().zip(exports).zip(&outcomes) {
+        if let Some(coarse) = export {
+            if *outcome == CacheOutcome::Miss {
+                *state.cache.lock().unwrap_or_else(|e| e.into_inner()) = Some(CacheEntry {
+                    pose: frame.pose,
+                    tier: frame.tier,
+                    coarse: Arc::new(coarse),
+                });
+            }
+        }
+    }
+
+    images
+        .into_iter()
+        .zip(stats)
+        .zip(outcomes)
+        .zip(group)
+        .map(|(((image, stats), cache), (frame, _))| FrameResult {
+            image,
+            stats,
+            serve: ServeStats {
+                queue_wait: started.saturating_duration_since(frame.submitted),
+                render_time: finished.saturating_duration_since(started),
+                latency: finished.saturating_duration_since(frame.submitted),
+                cache,
+                batched_frames: n,
+            },
+        })
+        .collect()
+}
+
+fn fulfill(slot: &Slot, outcome: Result<FrameResult, String>) {
+    *slot.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+    slot.ready.notify_all();
+}
+
+fn fulfill_error(frame: &QueuedFrame, msg: &str) {
+    fulfill(&frame.slot, Err(msg.to_string()));
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "render panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::CoherenceConfig;
+    use gen_nerf::config::ModelConfig;
+    use gen_nerf::model::GenNerfModel;
+    use gen_nerf_geometry::Vec3;
+    use gen_nerf_scene::{Dataset, DatasetKind};
+
+    fn scene() -> (Dataset, Arc<SceneState>) {
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.04, 4, 1, 24, 5);
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let scene = Arc::new(SceneState::prepare(
+            model,
+            &ds.source_views,
+            ds.scene.bounds,
+            ds.scene.background,
+        ));
+        (ds, scene)
+    }
+
+    fn ctf() -> SamplingStrategy {
+        SamplingStrategy::coarse_then_focus(6, 6)
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
+        let frame = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        assert_eq!(frame.image.pixel_count() as u64, frame.stats.rays);
+        assert_eq!(frame.serve.cache, CacheOutcome::Bypass);
+        assert!(frame.serve.latency >= frame.serve.render_time);
+        assert!(frame.serve.batched_frames >= 1);
+    }
+
+    #[test]
+    fn poll_eventually_ready() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
+        let handle = server.submit(session, FrameRequest::new(cam.pose));
+        let mut spins = 0u64;
+        let result = loop {
+            if let Some(r) = handle.poll() {
+                break r;
+            }
+            spins += 1;
+            std::thread::yield_now();
+        };
+        let _ = spins;
+        assert!(result.image.pixel_count() > 0);
+    }
+
+    #[test]
+    fn repeated_pose_hits_cache() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(
+            scene,
+            SessionConfig::new(cam.intrinsics, ctf())
+                .with_coherence(CoherenceConfig::within(0.05, 0.02)),
+        );
+        let first = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        let second = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        assert_eq!(first.serve.cache, CacheOutcome::Miss);
+        assert_eq!(second.serve.cache, CacheOutcome::Hit);
+        // Identical pose ⇒ identical pixels, while Step ① was skipped.
+        assert_eq!(first.image.as_slice(), second.image.as_slice());
+        assert!(first.stats.coarse_points > 0);
+        assert_eq!(second.stats.coarse_points, 0);
+        let stats = server.cache_stats(session);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_change_is_a_cache_miss() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(
+            scene,
+            SessionConfig::new(cam.intrinsics, ctf())
+                .with_coherence(CoherenceConfig::within(0.05, 0.02)),
+        );
+        server.submit(session, FrameRequest::new(cam.pose)).wait();
+        let half = server
+            .submit(
+                session,
+                FrameRequest::new(cam.pose).with_tier(ResolutionTier::Half),
+            )
+            .wait();
+        assert_eq!(half.serve.cache, CacheOutcome::Miss);
+        assert_eq!(
+            half.image.width(),
+            cam.intrinsics.width / 2,
+            "tier halves the frame"
+        );
+    }
+
+    #[test]
+    fn recycled_buffer_is_used() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
+        let direct = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        let recycled = server
+            .submit(
+                session,
+                FrameRequest::new(cam.pose).with_buffer(direct.image),
+            )
+            .wait();
+        assert_eq!(
+            recycled.image.pixel_count() as u64,
+            recycled.stats.rays,
+            "recycled buffer reshaped to the frame"
+        );
+    }
+
+    #[test]
+    fn drop_drains_submitted_frames() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
+        let handles: Vec<FrameHandle> = (0..3)
+            .map(|_| server.submit(session, FrameRequest::new(cam.pose)))
+            .collect();
+        drop(server);
+        for h in handles {
+            let r = h.wait();
+            assert!(r.image.pixel_count() > 0);
+        }
+    }
+
+    #[test]
+    fn remove_session_frees_scene_and_rejects_later_submits() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(cam.intrinsics, ctf()),
+        );
+        // Drain the session's work, then end it.
+        server.submit(session, FrameRequest::new(cam.pose)).wait();
+        server.remove_session(session);
+        // The scheduler may still hold transient clones for a moment
+        // after fulfilling the frame; once it quiesces, the test's Arc
+        // must be the last one standing.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while Arc::strong_count(&scene) > 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "scene handle not released: {} refs",
+                Arc::strong_count(&scene)
+            );
+            std::thread::yield_now();
+        }
+        let rejected = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.submit(session, FrameRequest::new(cam.pose))
+        }));
+        assert!(rejected.is_err(), "submit to removed session succeeded");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown session")]
+    fn unknown_session_rejected() {
+        let (_, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let _real = server.create_session(
+            scene,
+            SessionConfig::new(
+                gen_nerf_geometry::Intrinsics::from_fov(8, 8, 0.6),
+                SamplingStrategy::Uniform { n: 4 },
+            ),
+        );
+        let bogus = SessionId(999);
+        let _ = server.submit(bogus, FrameRequest::new(Pose::IDENTITY));
+    }
+
+    #[test]
+    fn sessions_on_different_strategies_do_not_batch_incorrectly() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let a = server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(cam.intrinsics, SamplingStrategy::Uniform { n: 6 }),
+        );
+        let b = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
+        let ha = server.submit(a, FrameRequest::new(cam.pose));
+        let hb = server.submit(b, FrameRequest::new(cam.pose));
+        let ra = ha.wait();
+        let rb = hb.wait();
+        // Different strategies do different amounts of coarse work.
+        assert_eq!(ra.stats.coarse_points, 0);
+        assert!(rb.stats.coarse_points > 0);
+        let _ = Vec3::ZERO;
+    }
+}

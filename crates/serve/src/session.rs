@@ -1,0 +1,360 @@
+//! Sessions: per-scene cached state, per-session render configuration
+//! and the temporal-coherence policy.
+
+use gen_nerf::config::SamplingStrategy;
+use gen_nerf::features::{prepare_sources, SourceViewData};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::occupancy::OccupancyGrid;
+use gen_nerf::pipeline::CoarseFrame;
+use gen_nerf_geometry::{Aabb, Intrinsics, Mat3, Pose, Vec3};
+use gen_nerf_scene::View;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything about one captured scene that is pose-independent, built
+/// **once** and shared (via `Arc`) by every session viewing the scene
+/// and every frame in flight: the pretrained model (inference is
+/// `&self`/`Sync`), the encoded source-feature pyramids (the Step 0
+/// cost [`prepare_sources`] pays), scene bounds/background, and an
+/// optional precomputed occupancy grid handle for samplers that want
+/// the per-scene sparsity baseline.
+///
+/// Sessions that share a `SceneState` (by `Arc` identity) are eligible
+/// for cross-session admission batching: their frames can ride the
+/// same fused GEMM chunks.
+pub struct SceneState {
+    /// The pretrained generalizable model.
+    pub model: GenNerfModel,
+    /// Render-ready source views (camera + image + encoded features).
+    pub sources: Vec<SourceViewData>,
+    /// Scene bounds every camera ray is clipped against.
+    pub bounds: Aabb,
+    /// Background color for rays that miss or never saturate.
+    pub background: Vec3,
+    /// Optional precomputed occupancy grid (the per-scene sparsity
+    /// baseline of Sec. 2.4). The render pipeline itself never reads
+    /// it — coarse-then-focus estimates occupancy at run time, which
+    /// is the paper's whole point — but callers running grid-baseline
+    /// comparisons against a served scene can stash the one-time build
+    /// here instead of regenerating it per frame.
+    pub occupancy: Option<OccupancyGrid>,
+}
+
+impl SceneState {
+    /// Encodes `views` into render-ready sources and bundles the
+    /// per-scene state — the one-time cost the server amortizes over
+    /// every subsequent frame of every session.
+    pub fn prepare(model: GenNerfModel, views: &[View], bounds: Aabb, background: Vec3) -> Self {
+        Self {
+            model,
+            sources: prepare_sources(views),
+            bounds,
+            background,
+            occupancy: None,
+        }
+    }
+
+    /// Attaches a precomputed occupancy grid handle.
+    pub fn with_occupancy(mut self, grid: OccupancyGrid) -> Self {
+        self.occupancy = Some(grid);
+        self
+    }
+}
+
+/// Identifies a session created by
+/// [`RenderServer::create_session`](crate::RenderServer::create_session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub(crate) u64);
+
+impl SessionId {
+    /// The raw id value (stable for the lifetime of the server).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Output resolution of one frame request, as a divisor of the
+/// session's base intrinsics — the knob a serving deadline trades
+/// against. The coarse cache is keyed per tier, so alternating tiers
+/// never mixes coarse passes of different ray grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResolutionTier {
+    /// The session's native resolution.
+    #[default]
+    Full,
+    /// Both dimensions halved.
+    Half,
+    /// Both dimensions quartered.
+    Quarter,
+}
+
+impl ResolutionTier {
+    /// The per-axis divisor.
+    pub fn divisor(self) -> u32 {
+        match self {
+            ResolutionTier::Full => 1,
+            ResolutionTier::Half => 2,
+            ResolutionTier::Quarter => 4,
+        }
+    }
+
+    /// Scales `base` intrinsics down to this tier (focal length and
+    /// principal point shrink with the pixel grid; dimensions floor at
+    /// one pixel).
+    pub fn apply(self, base: Intrinsics) -> Intrinsics {
+        let d = self.divisor();
+        let s = d as f32;
+        Intrinsics {
+            fx: base.fx / s,
+            fy: base.fy / s,
+            cx: base.cx / s,
+            cy: base.cy / s,
+            width: (base.width / d).max(1),
+            height: (base.height / d).max(1),
+        }
+    }
+}
+
+/// How urgently a frame is needed. The scheduler admits
+/// `Interactive` frames ahead of `BestEffort` ones when both are
+/// queued (submission order is kept within a class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DeadlineClass {
+    /// A head-pose frame someone is waiting on.
+    #[default]
+    Interactive,
+    /// Prefetch/preview work that may yield to interactive frames.
+    BestEffort,
+}
+
+/// The temporal-coherence policy of one session: when a requested pose
+/// is within `max_translation` (world units) **and** `max_rotation`
+/// (radians) of the pose whose coarse pass is cached, coarse-then-focus
+/// Step ① is reused and only the focus pass runs.
+///
+/// The cached pose is the *anchor*: it is only replaced when a request
+/// falls outside the deltas (a miss re-probes and re-anchors), so
+/// drift along a walkthrough is bounded by the deltas themselves
+/// rather than accumulating step by step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceConfig {
+    /// Master switch; `false` (the default) means every frame re-runs
+    /// the coarse pass and serving is bitwise-identical to direct
+    /// rendering.
+    pub enabled: bool,
+    /// Maximum camera-center distance to the anchor pose.
+    pub max_translation: f32,
+    /// Maximum rotation angle (radians) to the anchor pose.
+    pub max_rotation: f32,
+}
+
+impl CoherenceConfig {
+    /// Cache off: every frame is exact. This is the default.
+    pub fn exact() -> Self {
+        Self {
+            enabled: false,
+            max_translation: 0.0,
+            max_rotation: 0.0,
+        }
+    }
+
+    /// Cache on with the given pose deltas.
+    pub fn within(max_translation: f32, max_rotation: f32) -> Self {
+        Self {
+            enabled: true,
+            max_translation,
+            max_rotation,
+        }
+    }
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+/// The rotation angle (radians) between two rotation matrices, from
+/// `cos θ = (trace(R₁ᵀ R₂) − 1) / 2`.
+fn rotation_angle(a: &Mat3, b: &Mat3) -> f32 {
+    // trace(R₁ᵀ R₂) is the Frobenius inner product ⟨R₁, R₂⟩.
+    let trace = a.row(0).dot(b.row(0)) + a.row(1).dot(b.row(1)) + a.row(2).dot(b.row(2));
+    ((trace - 1.0) / 2.0).clamp(-1.0, 1.0).acos()
+}
+
+/// Whether `pose` is close enough to `anchor` for the cached coarse
+/// pass of `anchor` to stand in for a fresh probing.
+pub fn poses_coherent(anchor: &Pose, pose: &Pose, cfg: &CoherenceConfig) -> bool {
+    cfg.enabled
+        && (anchor.origin - pose.origin).length() <= cfg.max_translation
+        && rotation_angle(&anchor.rotation, &pose.rotation) <= cfg.max_rotation
+}
+
+/// Per-session render configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Base (tier `Full`) camera intrinsics of this session's frames.
+    pub intrinsics: Intrinsics,
+    /// Sampling strategy. Only `CoarseThenFocus` has a coarse pass the
+    /// coherence cache can reuse; other strategies always render
+    /// exactly.
+    pub strategy: SamplingStrategy,
+    /// Temporal-coherence policy (default: [`CoherenceConfig::exact`]).
+    pub coherence: CoherenceConfig,
+}
+
+impl SessionConfig {
+    /// A session rendering `strategy` at `intrinsics`, cache off.
+    pub fn new(intrinsics: Intrinsics, strategy: SamplingStrategy) -> Self {
+        Self {
+            intrinsics,
+            strategy,
+            coherence: CoherenceConfig::exact(),
+        }
+    }
+
+    /// Sets the temporal-coherence policy.
+    pub fn with_coherence(mut self, coherence: CoherenceConfig) -> Self {
+        self.coherence = coherence;
+        self
+    }
+}
+
+/// Coarse-cache counters of one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Frames served from the cached coarse pass.
+    pub hits: u64,
+    /// Coarse-then-focus frames that re-probed (and re-anchored).
+    pub misses: u64,
+    /// Frames the cache did not apply to (coherence disabled or a
+    /// strategy without a coarse pass).
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction among the frames the cache applied to.
+    pub fn hit_rate(&self) -> f64 {
+        let eligible = self.hits + self.misses;
+        if eligible == 0 {
+            0.0
+        } else {
+            self.hits as f64 / eligible as f64
+        }
+    }
+}
+
+/// The cached coarse pass of one session: the anchor pose/tier it was
+/// probed at, and the exported Step ① data (shared `Arc` so a render
+/// job can hold it without cloning the weights).
+pub(crate) struct CacheEntry {
+    pub pose: Pose,
+    pub tier: ResolutionTier,
+    pub coarse: Arc<CoarseFrame>,
+}
+
+/// One live session: scene handle, configuration, coarse cache and
+/// counters.
+pub(crate) struct SessionState {
+    pub scene: Arc<SceneState>,
+    pub cfg: SessionConfig,
+    pub cache: Mutex<Option<CacheEntry>>,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub bypasses: AtomicU64,
+}
+
+impl SessionState {
+    pub fn new(scene: Arc<SceneState>, cfg: SessionConfig) -> Self {
+        Self {
+            scene,
+            cfg,
+            cache: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_divides_intrinsics() {
+        let base = Intrinsics::from_fov(64, 48, 0.6);
+        let half = ResolutionTier::Half.apply(base);
+        assert_eq!((half.width, half.height), (32, 24));
+        assert!((half.fx - base.fx / 2.0).abs() < 1e-6);
+        assert!((half.cy - base.cy / 2.0).abs() < 1e-6);
+        let q = ResolutionTier::Quarter.apply(Intrinsics::from_fov(2, 2, 0.6));
+        assert_eq!((q.width, q.height), (1, 1), "floors at one pixel");
+    }
+
+    #[test]
+    fn coherence_translation_and_rotation_bounds() {
+        let cfg = CoherenceConfig::within(0.1, 0.05);
+        let anchor = Pose::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        assert!(poses_coherent(&anchor, &anchor, &cfg), "identical pose");
+        let near = Pose {
+            origin: anchor.origin + Vec3::new(0.05, 0.0, 0.0),
+            ..anchor
+        };
+        assert!(poses_coherent(&anchor, &near, &cfg));
+        let far = Pose {
+            origin: anchor.origin + Vec3::new(0.5, 0.0, 0.0),
+            ..anchor
+        };
+        assert!(!poses_coherent(&anchor, &far, &cfg));
+        // A rotation beyond the bound, translation unchanged.
+        let twisted = Pose {
+            rotation: Mat3::rotation_y(0.2) * anchor.rotation,
+            ..anchor
+        };
+        assert!(!poses_coherent(&anchor, &twisted, &cfg));
+        let slightly = Pose {
+            rotation: Mat3::rotation_y(0.01) * anchor.rotation,
+            ..anchor
+        };
+        assert!(poses_coherent(&anchor, &slightly, &cfg));
+    }
+
+    #[test]
+    fn exact_mode_never_coherent() {
+        let cfg = CoherenceConfig::exact();
+        let pose = Pose::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, Vec3::Y);
+        assert!(!poses_coherent(&pose, &pose, &cfg));
+    }
+
+    #[test]
+    fn rotation_angle_matches_construction() {
+        for angle in [0.0f32, 0.1, 0.7, 1.5] {
+            let a = Mat3::IDENTITY;
+            let b = Mat3::rotation_z(angle);
+            assert!(
+                (rotation_angle(&a, &b) - angle).abs() < 1e-3,
+                "angle {angle}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_stats_hit_rate() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            bypasses: 10,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,11 +1,18 @@
-//! AR/VR walkthrough: the paper's motivating scenario (Sec. 1).
+//! AR/VR walkthrough: the paper's motivating scenario (Sec. 1),
+//! served.
 //!
 //! A user wearing an AR headset walks around a freshly captured scene;
 //! each head pose needs a novel view *now*. This example simulates a
-//! camera trajectory and, per frame,
+//! fine-grained camera trajectory and
 //!
-//! * renders the view with the Gen-NeRF algorithm (coarse-then-focus +
-//!   Ray-Mixer) at a preview resolution, and
+//! * serves every head pose through `gen-nerf-serve`: the session pins
+//!   the per-scene state (encoded sources + pretrained model), poses
+//!   within the temporal-coherence deltas reuse the cached coarse pass
+//!   (only the focus pass re-runs), and completed frame buffers are
+//!   recycled into the next request;
+//! * prints per-frame serve latency, the coarse-cache outcome and
+//!   render quality (the analytic scene provides ground truth at
+//!   arbitrary poses);
 //! * asks the cycle-level accelerator simulator for the frame latency
 //!   the Gen-NeRF ASIC would deliver at the *target* resolution,
 //!   comparing it with the GPU baselines.
@@ -14,22 +21,24 @@
 //! cargo run --release --example ar_walkthrough
 //! ```
 
-use gen_nerf::features::prepare_sources;
 use gen_nerf::hardware::workload_spec;
-use gen_nerf::pipeline::Renderer;
 use gen_nerf::prelude::*;
 use gen_nerf_accel::config::AcceleratorConfig;
 use gen_nerf_accel::gpu::GpuModel;
 use gen_nerf_accel::simulator::Simulator;
-use gen_nerf_geometry::{Camera, Intrinsics, Pose, Vec3};
+use gen_nerf_geometry::{Intrinsics, Pose, Vec3};
 use gen_nerf_scene::metrics::psnr;
 use gen_nerf_scene::renderer::render as render_gt;
+use gen_nerf_serve::{
+    CacheOutcome, CoherenceConfig, FrameRequest, RenderServer, SceneState, ServerConfig,
+    SessionConfig,
+};
+use std::sync::Arc;
 
 fn main() {
     // The captured scene: a DeepVoxels-style object with 6 phone shots.
     println!("capturing scene (6 source views) ...");
     let dataset = Dataset::build(DatasetKind::DeepVoxels, "pedestal", 0.08, 6, 1, 64, 11);
-    let sources = prepare_sources(&dataset.source_views);
 
     println!("pretraining the generalizable model on other scenes ...");
     let training: Vec<Dataset> = ["walk-a", "walk-b"]
@@ -59,37 +68,68 @@ fn main() {
         asic.coarse.patches + asic.focused.patches,
     );
 
-    // Walk an arc around the object, rendering preview frames.
-    println!("\nwalkthrough (preview renders at capture resolution):");
+    // The serving session: per-scene state prepared once, coarse
+    // passes cached across nearby head poses.
+    let bounds = dataset.scene.bounds;
+    let background = dataset.scene.background;
+    let scene_gt = dataset.scene.clone();
+    let scene = Arc::new(SceneState::prepare(
+        model,
+        &dataset.source_views,
+        bounds,
+        background,
+    ));
     let intr = Intrinsics::from_fov(
         dataset.source_views[0].image.width(),
         dataset.source_views[0].image.height(),
         0.55,
     );
-    for step in 0..5 {
-        let phi = -0.5 + step as f32 * 0.25;
+    let server = RenderServer::new(ServerConfig::default());
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intr, strategy).with_coherence(CoherenceConfig::within(0.2, 0.06)),
+    );
+
+    // Walk an arc around the object in head-pose-sized steps,
+    // recycling the frame buffer from pose to pose.
+    println!("\nwalkthrough (preview frames served at capture resolution):");
+    let mut recycled = None;
+    for step in 0..10 {
+        let phi = -0.5 + step as f32 * 0.02;
         let eye = Vec3::new(4.0 * phi.cos(), 1.3, 4.0 * phi.sin());
-        let camera = Camera::new(intr, Pose::look_at(eye, Vec3::ZERO, Vec3::Y));
-        let renderer = Renderer::new(
-            &model,
-            &sources,
-            strategy,
-            dataset.scene.bounds,
-            dataset.scene.background,
-        );
-        let (frame, stats) = renderer.render(&camera);
+        let pose = Pose::look_at(eye, Vec3::ZERO, Vec3::Y);
+        let mut req = FrameRequest::new(pose);
+        if let Some(buf) = recycled.take() {
+            req = req.with_buffer(buf);
+        }
+        let frame = server.submit(session, req).wait();
         // Ground-truth for this pose (the analytic scene lets us check
         // quality at arbitrary poses).
-        let gt = render_gt(&dataset.scene, &camera, 64);
+        let camera = gen_nerf_geometry::Camera::new(intr, pose);
+        let gt = render_gt(&scene_gt, &camera, 64);
+        let cache = match frame.serve.cache {
+            CacheOutcome::Hit => "coarse-cache HIT ",
+            CacheOutcome::Miss => "coarse-cache miss",
+            CacheOutcome::Bypass => "cache off        ",
+        };
         println!(
-            "  pose {step}: PSNR {:5.2} dB | {:6.1} focused pts/ray | {:.2} MFLOPs/px",
-            psnr(&gt, &frame),
-            stats.points as f64 / stats.rays as f64,
-            stats.mflops_per_pixel(),
+            "  pose {step}: PSNR {:5.2} dB | {:7.1} ms latency | {} | {:6.1} focused pts/ray",
+            psnr(&gt, &frame.image),
+            frame.serve.latency.as_secs_f64() * 1e3,
+            cache,
+            frame.stats.points as f64 / frame.stats.rays as f64,
         );
         if step == 2 {
-            std::fs::write("walkthrough_pose2.ppm", frame.to_ppm()).expect("write frame");
+            std::fs::write("walkthrough_pose2.ppm", frame.image.to_ppm()).expect("write frame");
             println!("         wrote walkthrough_pose2.ppm");
         }
+        recycled = Some(frame.image);
     }
+    let cache = server.cache_stats(session);
+    println!(
+        "\ncoarse cache: {} hits / {} misses ({:.0}% hit rate) — cached poses re-ran only the focus pass",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
 }

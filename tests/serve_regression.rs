@@ -1,0 +1,267 @@
+//! Serving-layer regression: the exactness and determinism contracts
+//! of `gen-nerf-serve`.
+//!
+//! * With the coherence cache **off** (the default), serving is
+//!   bitwise-identical to direct `Renderer::render` calls — for every
+//!   sampling strategy. Admission batching, the persistent worker
+//!   pool, buffer recycling: none of it may change a pixel.
+//! * With the cache **on**, an identical repeated pose is a
+//!   *guaranteed* coarse-cache hit (the scheduler never co-batches two
+//!   frames of a cache-enabled session) and bitwise-stable: the cached
+//!   coarse pass of the same pose reproduces the uncached render
+//!   exactly while skipping Step ① work.
+//! * N sessions submitting concurrently produce the same pixels as the
+//!   same frames submitted sequentially — for any `GEN_NERF_THREADS`
+//!   (CI runs this suite under multiple settings and on both
+//!   `GEN_NERF_KERNEL` legs).
+
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::pipeline::Renderer;
+use gen_nerf_geometry::{Camera, Intrinsics, Pose, Vec3};
+use gen_nerf_scene::{Dataset, DatasetKind};
+use gen_nerf_serve::{
+    CacheOutcome, CoherenceConfig, FrameRequest, RenderServer, SceneState, ServerConfig,
+    SessionConfig,
+};
+use std::sync::Arc;
+
+fn scene() -> Arc<SceneState> {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 4, 1, 24, 5);
+    let model = GenNerfModel::new(ModelConfig::fast());
+    Arc::new(SceneState::prepare(
+        model,
+        &ds.source_views,
+        ds.scene.bounds,
+        ds.scene.background,
+    ))
+}
+
+fn intrinsics() -> Intrinsics {
+    Intrinsics::from_fov(24, 24, 0.6)
+}
+
+/// Session `s`'s head pose at walkthrough step `k`: a fine arc, each
+/// session phase-offset.
+fn walk_pose(s: usize, k: usize) -> Pose {
+    let phi = 0.3 * s as f32 + 0.015 * k as f32;
+    let eye = Vec3::new(3.5 * phi.cos(), 1.1, 3.5 * phi.sin());
+    Pose::look_at(eye, Vec3::ZERO, Vec3::Y)
+}
+
+fn strategies() -> [SamplingStrategy; 3] {
+    [
+        SamplingStrategy::Uniform { n: 6 },
+        SamplingStrategy::Hierarchical {
+            n_coarse: 4,
+            n_fine: 4,
+        },
+        SamplingStrategy::coarse_then_focus(6, 6),
+    ]
+}
+
+fn bits(img: &gen_nerf_scene::Image) -> Vec<u32> {
+    img.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn cache_off_serving_is_bitwise_identical_to_direct_render() {
+    let scene = scene();
+    for strategy in strategies() {
+        let server = RenderServer::new(ServerConfig::default());
+        // Default SessionConfig: coherence off ⇒ exact serving.
+        let session = server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(intrinsics(), strategy),
+        );
+        let direct = Renderer::new(
+            &scene.model,
+            &scene.sources,
+            strategy,
+            scene.bounds,
+            scene.background,
+        );
+        for k in 0..3 {
+            let pose = walk_pose(0, k);
+            let served = server.submit(session, FrameRequest::new(pose)).wait();
+            let (img, stats) = direct.render(&Camera::new(intrinsics(), pose));
+            assert_eq!(served.serve.cache, CacheOutcome::Bypass, "{strategy:?}");
+            assert_eq!(
+                bits(&served.image),
+                bits(&img),
+                "{strategy:?} pose {k}: served pixels diverged"
+            );
+            assert_eq!(served.stats.points, stats.points, "{strategy:?}");
+            assert_eq!(
+                served.stats.coarse_points, stats.coarse_points,
+                "{strategy:?}"
+            );
+            assert_eq!(
+                served.stats.flops.total(),
+                stats.flops.total(),
+                "{strategy:?}"
+            );
+            assert_eq!(
+                served.stats.feature_fetches, stats.feature_fetches,
+                "{strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_pose_is_guaranteed_hit_and_bitwise_stable() {
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let server = RenderServer::new(ServerConfig::default());
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy)
+            .with_coherence(CoherenceConfig::within(0.05, 0.02)),
+    );
+    let pose = walk_pose(0, 0);
+    // Submit the identical pose several times *without waiting in
+    // between*: the scheduler must still serve them in order with the
+    // cache applied (it never co-batches one session's frames).
+    let handles: Vec<_> = (0..4)
+        .map(|_| server.submit(session, FrameRequest::new(pose)))
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    assert_eq!(results[0].serve.cache, CacheOutcome::Miss);
+    for (i, r) in results.iter().enumerate().skip(1) {
+        assert_eq!(r.serve.cache, CacheOutcome::Hit, "frame {i}");
+        assert_eq!(r.stats.coarse_points, 0, "frame {i} re-ran Step ①");
+        assert_eq!(
+            bits(&results[0].image),
+            bits(&r.image),
+            "frame {i} not bitwise-stable"
+        );
+    }
+    // And the cached result equals the uncached direct render: Step ①
+    // of the identical pose is deterministic.
+    let (direct, _) = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .render(&Camera::new(intrinsics(), pose));
+    assert_eq!(bits(&direct), bits(&results[3].image));
+    let cache = server.cache_stats(session);
+    assert_eq!((cache.hits, cache.misses), (3, 1));
+}
+
+#[test]
+fn concurrent_sessions_match_sequential_sessions() {
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let coherence = CoherenceConfig::within(0.12, 0.04);
+    let (n_sessions, n_steps) = (3usize, 3usize);
+
+    // Sequential reference: one session at a time, one frame at a time.
+    let sequential: Vec<Vec<Vec<u32>>> = {
+        let server = RenderServer::new(ServerConfig::default());
+        (0..n_sessions)
+            .map(|s| {
+                let session = server.create_session(
+                    Arc::clone(&scene),
+                    SessionConfig::new(intrinsics(), strategy).with_coherence(coherence),
+                );
+                (0..n_steps)
+                    .map(|k| {
+                        bits(
+                            &server
+                                .submit(session, FrameRequest::new(walk_pose(s, k)))
+                                .wait()
+                                .image,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    // Concurrent: every session submits its whole trajectory from its
+    // own thread, all in flight at once, racing into the admission
+    // queue. Arrival interleaving and batch composition are arbitrary;
+    // pixels must not be.
+    let server = RenderServer::new(ServerConfig::default());
+    let sessions: Vec<_> = (0..n_sessions)
+        .map(|_| {
+            server.create_session(
+                Arc::clone(&scene),
+                SessionConfig::new(intrinsics(), strategy).with_coherence(coherence),
+            )
+        })
+        .collect();
+    let concurrent: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = sessions
+            .iter()
+            .enumerate()
+            .map(|(s, &session)| {
+                scope.spawn(move || {
+                    // Fire the whole trajectory without waiting, then
+                    // collect in order (per-sender FIFO keeps the
+                    // session's frames ordered in the queue).
+                    let frame_handles: Vec<_> = (0..n_steps)
+                        .map(|k| server.submit(session, FrameRequest::new(walk_pose(s, k))))
+                        .collect();
+                    frame_handles
+                        .into_iter()
+                        .map(|h| bits(&h.wait().image))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for s in 0..n_sessions {
+        for k in 0..n_steps {
+            assert_eq!(
+                sequential[s][k], concurrent[s][k],
+                "session {s} frame {k} diverged between concurrent and sequential serving"
+            );
+        }
+    }
+    // Every session saw the same cache behaviour as its sequential
+    // twin would: first frame misses, coherent successors hit.
+    for &session in &sessions {
+        let c = server.cache_stats(session);
+        assert_eq!(c.misses + c.hits, n_steps as u64);
+        assert!(c.hits > 0, "no temporal coherence exploited");
+    }
+}
+
+#[test]
+fn concurrent_mixed_strategy_sessions_are_isolated() {
+    // Sessions on different strategies never share a fused batch; the
+    // outputs still match their direct renders exactly (cache off).
+    let scene = scene();
+    let server = RenderServer::new(ServerConfig::default());
+    let pose = walk_pose(1, 1);
+    let handles: Vec<_> = strategies()
+        .into_iter()
+        .map(|strategy| {
+            let session = server.create_session(
+                Arc::clone(&scene),
+                SessionConfig::new(intrinsics(), strategy),
+            );
+            (strategy, server.submit(session, FrameRequest::new(pose)))
+        })
+        .collect();
+    for (strategy, handle) in handles {
+        let served = handle.wait();
+        let (img, _) = Renderer::new(
+            &scene.model,
+            &scene.sources,
+            strategy,
+            scene.bounds,
+            scene.background,
+        )
+        .render(&Camera::new(intrinsics(), pose));
+        assert_eq!(bits(&served.image), bits(&img), "{strategy:?}");
+    }
+}
