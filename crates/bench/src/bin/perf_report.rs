@@ -16,17 +16,32 @@
 //!   the per-ray reference (all include feature acquisition),
 //! * **dense matmul and INT8 GEMM GFLOP/s per backend**,
 //! * **allocations per frame** on each path, via a counting global
-//!   allocator.
+//!   allocator,
+//! * **feature-acquisition throughput**: the seed per-point
+//!   `aggregate_point` loop vs the zero-allocation SoA
+//!   `aggregate_points_into` arena fill, in points/sec and acquire
+//!   GFLOP/s, plus allocations per acquisition pass.
 //!
 //! Writes `BENCH_simd.json` (in the current directory, or to the path
-//! in `GEN_NERF_PERF_OUT`) so successive PRs can track the trajectory,
+//! in `GEN_NERF_PERF_OUT`) and `BENCH_arena.json` (or
+//! `GEN_NERF_ARENA_OUT`) so successive PRs can track the trajectory,
 //! and prints the backend it selected (recorded by the CI step).
+//!
+//! `--test` runs a miniature timing workload — the CI smoke mode (CI
+//! runs it on both `GEN_NERF_KERNEL` legs). In **every** mode the
+//! fused render's allocations/frame are measured on the full frame
+//! workload and checked against [`ALLOC_CEILING`]; exceeding it exits
+//! non-zero, failing CI — the arena win cannot silently rot.
 
 use gen_nerf::config::{ModelConfig, SamplingStrategy};
-use gen_nerf::features::{aggregate_point, prepare_sources, PointAggregate};
+use gen_nerf::features::{
+    aggregate_point, aggregate_points_into, prepare_sources, AggregateArena, AggregateView,
+    PointAggregate,
+};
 use gen_nerf::model::{density_from_logit, GenNerfModel, RayModule};
 use gen_nerf::pipeline::Renderer;
 use gen_nerf_geometry::Vec3;
+use gen_nerf_nn::flops;
 use gen_nerf_nn::kernels::{self, Backend};
 use gen_nerf_nn::layers::Linear;
 use gen_nerf_nn::quant::QuantTensor;
@@ -63,6 +78,12 @@ static ALLOC: CountingAlloc = CountingAlloc;
 fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
+
+/// Ceiling on fused-schedule allocations per frame (the `perf_report`
+/// frame workload, single-threaded); shared with
+/// `tests/arena_regression.rs`. Exceeding it makes this binary — and
+/// therefore CI — fail.
+const ALLOC_CEILING: u64 = gen_nerf::pipeline::STEADY_STATE_ALLOC_CEILING;
 
 /// Times `f` over `reps` repetitions, returning seconds per repetition
 /// (best of five batches after one warm-up batch, to shrug off
@@ -159,15 +180,20 @@ fn seed_forward_ray(model: &GenNerfModel, aggs: &[PointAggregate]) -> (Vec<f32>,
 }
 
 fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
     let out_path =
         std::env::var("GEN_NERF_PERF_OUT").unwrap_or_else(|_| "BENCH_simd.json".to_string());
+    let arena_out_path =
+        std::env::var("GEN_NERF_ARENA_OUT").unwrap_or_else(|_| "BENCH_arena.json".to_string());
 
     // The two backends to compare: the bit-exact scalar reference and
-    // the best backend this host supports (identical when no SIMD is
-    // available). The startup selection is reported so CI can record
-    // what actually ran.
+    // the "best" leg — `GEN_NERF_KERNEL` when set (so the CI scalar
+    // smoke genuinely exercises the scalar acquisition/alloc path),
+    // otherwise the best backend this host supports (identical when no
+    // SIMD is available). The startup selection is reported so CI can
+    // record what actually ran.
     let startup_backend = kernels::active_backend();
-    let simd_backend = Backend::detect();
+    let simd_backend = Backend::from_env();
     println!(
         "kernel backend: startup={} detected={}",
         startup_backend.name(),
@@ -177,26 +203,35 @@ fn main() {
     let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 6, 1, 32, 7);
     let sources = prepare_sources(&ds.source_views);
     let model = GenNerfModel::new(ModelConfig::fast());
+    let d_feat = model.config.d_features;
 
     // ---- Chunk inference: fused vs per-ray on identical inputs. ----
     let cam = &ds.eval_views[0].camera;
     let (w, h) = (cam.intrinsics.width, cam.intrinsics.height);
     let (n_rays, pts) = (128usize, 16usize);
-    let mut rays: Vec<Vec<PointAggregate>> = Vec::with_capacity(n_rays);
+    let mut sample_pts: Vec<Vec<Vec3>> = Vec::with_capacity(n_rays);
+    let mut sample_dirs: Vec<Vec<Vec3>> = Vec::with_capacity(n_rays);
     let mut px = 0u32;
-    while rays.len() < n_rays {
+    while sample_pts.len() < n_rays {
         let ray = cam.pixel_center_ray(px % w, (px / w) % h);
         px += 1;
         let Some((t0, t1)) = ds.scene.bounds.intersect_ray(&ray) else {
             continue;
         };
-        rays.push(
-            gen_nerf_geometry::Ray::uniform_depths(t0, t1, pts)
-                .into_iter()
-                .map(|t| aggregate_point(ray.at(t), ray.direction, &sources, 12))
-                .collect(),
-        );
+        let depths = gen_nerf_geometry::Ray::uniform_depths(t0, t1, pts);
+        sample_pts.push(depths.iter().map(|&t| ray.at(t)).collect());
+        sample_dirs.push(vec![ray.direction; depths.len()]);
     }
+    let rays: Vec<Vec<PointAggregate>> = sample_pts
+        .iter()
+        .zip(&sample_dirs)
+        .map(|(ps, dirs)| {
+            ps.iter()
+                .zip(dirs)
+                .map(|(&p, &dir)| aggregate_point(p, dir, &sources, d_feat))
+                .collect()
+        })
+        .collect();
     let refs: Vec<&[PointAggregate]> = rays.iter().map(|r| r.as_slice()).collect();
 
     // Sanity, per backend: fused and per-ray paths agree bit-for-bit
@@ -227,7 +262,7 @@ fn main() {
         }
     }
 
-    let reps = 8;
+    let reps = if test_mode { 1 } else { 8 };
     // Seed baseline replica on the scalar backend — the faithful
     // origin of the trajectory.
     kernels::set_active(Backend::Scalar);
@@ -270,16 +305,17 @@ fn main() {
         .with_fused(fused)
         .render(&ds.eval_views[0].camera)
     };
+    let frame_reps = if test_mode { 1 } else { 2 };
     let frame_rays = (w as u64 * h as u64) as f64;
     kernels::set_active(Backend::Scalar);
-    let t_frame_fused_scalar = time_per_rep(2, || {
+    let t_frame_fused_scalar = time_per_rep(frame_reps, || {
         std::hint::black_box(frame(true));
     });
     kernels::set_active(simd_backend);
-    let t_frame_per_ray = time_per_rep(2, || {
+    let t_frame_per_ray = time_per_rep(frame_reps, || {
         std::hint::black_box(frame(false));
     });
-    let t_frame_fused_simd = time_per_rep(2, || {
+    let t_frame_fused_simd = time_per_rep(frame_reps, || {
         std::hint::black_box(frame(true));
     });
     let frame_rays_per_sec_per_ray = frame_rays / t_frame_per_ray;
@@ -287,7 +323,9 @@ fn main() {
     let frame_rays_per_sec_fused_simd = frame_rays / t_frame_fused_simd;
 
     // ---- Allocations per frame (single-threaded so worker-thread
-    // bookkeeping doesn't blur the count; backend-independent). ----
+    // bookkeeping doesn't blur the count; backend-independent). The
+    // fused path is warmed first so the count is the steady state a
+    // serving loop sees, not the arena's one-time growth. ----
     let frame_1t = |fused: bool| {
         Renderer::new(
             &model,
@@ -303,9 +341,53 @@ fn main() {
     let a0 = allocations();
     std::hint::black_box(frame_1t(false));
     let allocs_per_ray_path = allocations() - a0;
+    std::hint::black_box(frame_1t(true)); // grow the worker scratch once
     let a1 = allocations();
     std::hint::black_box(frame_1t(true));
     let allocs_fused_path = allocations() - a1;
+
+    // ---- Feature acquisition: seed per-point loop vs the SoA arena
+    // fill, on the chunk workload's exact sample set. ----
+    let acq_reps = if test_mode { 1 } else { 8 };
+    let mut arena = AggregateArena::default();
+    let fill_arena = |arena: &mut AggregateArena| {
+        arena.reset(sources.len(), d_feat);
+        for (ps, dirs) in sample_pts.iter().zip(&sample_dirs) {
+            aggregate_points_into(ps, dirs, &sources, d_feat, arena);
+        }
+    };
+    fill_arena(&mut arena);
+    let total_points: usize = arena.total_points();
+    // Acquire FLOPs of one pass: 4-tap bilinear fetches over the valid
+    // (point, view) pairs — the same accounting the renderer reports.
+    let acquire_flops: u64 = (0..total_points)
+        .map(|k| arena.n_valid(k) as u64 * flops::bilinear_fetch(1, d_feat))
+        .sum();
+    let t_acq_arena = time_per_rep(acq_reps, || {
+        fill_arena(&mut arena);
+        std::hint::black_box(arena.total_points());
+    });
+    let t_acq_seed = time_per_rep(acq_reps, || {
+        for (ps, dirs) in sample_pts.iter().zip(&sample_dirs) {
+            for (&p, &dir) in ps.iter().zip(dirs) {
+                std::hint::black_box(aggregate_point(p, dir, &sources, d_feat));
+            }
+        }
+    });
+    let acq_pts_sec_arena = total_points as f64 / t_acq_arena;
+    let acq_pts_sec_seed = total_points as f64 / t_acq_seed;
+    let acq_gflops_arena = acquire_flops as f64 / t_acq_arena / 1e9;
+    // Allocations of one steady-state pass per layout.
+    let b0 = allocations();
+    fill_arena(&mut arena);
+    let acq_allocs_arena = allocations() - b0;
+    let b1 = allocations();
+    for (ps, dirs) in sample_pts.iter().zip(&sample_dirs) {
+        for (&p, &dir) in ps.iter().zip(dirs) {
+            std::hint::black_box(aggregate_point(p, dir, &sources, d_feat));
+        }
+    }
+    let acq_allocs_seed = allocations() - b1;
 
     // ---- Dense GEMM and INT8 GEMM throughput per backend. ----
     let (m, k, n) = (128usize, 128usize, 128usize);
@@ -358,4 +440,37 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write perf report");
     println!("{json}");
     println!("wrote {out_path}");
+
+    // ---- BENCH_arena.json: the acquisition trajectory + the alloc
+    // ceiling this binary enforces. ----
+    let acq_speedup = acq_pts_sec_arena / acq_pts_sec_seed;
+    let arena_json = format!(
+        "{{\n  \"backend_detected\": \"{}\",\n  \
+         \"test_mode\": {test_mode},\n  \
+         \"acquisition\": {{\"rays\": {n_rays}, \"points_per_ray\": {pts}, \
+         \"views\": {}, \"d_channels\": {d_feat}}},\n  \
+         \"acquire_points_per_sec_seed\": {acq_pts_sec_seed:.1},\n  \
+         \"acquire_points_per_sec_arena\": {acq_pts_sec_arena:.1},\n  \
+         \"acquire_speedup_vs_seed\": {acq_speedup:.2},\n  \
+         \"acquire_gflops_arena\": {acq_gflops_arena:.3},\n  \
+         \"acquire_allocs_per_pass_seed\": {acq_allocs_seed},\n  \
+         \"acquire_allocs_per_pass_arena\": {acq_allocs_arena},\n  \
+         \"inference_rays_per_sec_fused_simd\": {rays_sec_fused_simd:.1},\n  \
+         \"allocations_per_frame_per_ray\": {allocs_per_ray_path},\n  \
+         \"allocations_per_frame_fused\": {allocs_fused_path},\n  \
+         \"allocations_per_frame_ceiling\": {ALLOC_CEILING}\n}}\n",
+        simd_backend.name(),
+        sources.len(),
+    );
+    std::fs::write(&arena_out_path, &arena_json).expect("write arena report");
+    println!("{arena_json}");
+    println!("wrote {arena_out_path}");
+
+    if allocs_fused_path > ALLOC_CEILING {
+        eprintln!(
+            "FAIL: fused render performed {allocs_fused_path} allocations/frame \
+             (ceiling {ALLOC_CEILING}) — the arena acquisition path has regressed"
+        );
+        std::process::exit(1);
+    }
 }

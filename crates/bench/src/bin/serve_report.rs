@@ -19,6 +19,8 @@
 //! * **allocations per frame** on both paths (counting global
 //!   allocator) — the serving loop's buffer recycling chips at the
 //!   ROADMAP allocations/frame item,
+//! * the **coarse-cache eviction counter** under a deliberately tight
+//!   per-session anchor byte budget (`SessionConfig::with_cache_budget`),
 //! * an **exactness check**: a cache-off served frame must be
 //!   bitwise-identical to the direct render (the serve contract; the
 //!   full matrix lives in `tests/serve_regression.rs`).
@@ -100,6 +102,11 @@ fn main() {
     // these deltas keep ~5 steps coherent with one anchor before a
     // re-probe — a realistic walkthrough hit pattern.
     let coherence = CoherenceConfig::within(0.2, 0.06);
+    // A tight anchor budget (~1 coarse frame at the full-run
+    // resolution) exercises the eviction path on the walkthrough; the
+    // forward-moving trajectory rarely revisits old anchors, so the
+    // hit rate is unaffected while the counter records the churn.
+    let budget = 96 * 1024usize;
 
     println!("capturing scene + preparing sources (shared by all sessions) ...");
     let dataset = Dataset::build(
@@ -183,7 +190,9 @@ fn main() {
         .map(|_| {
             server.create_session(
                 Arc::clone(&scene),
-                SessionConfig::new(intrinsics, strategy).with_coherence(coherence),
+                SessionConfig::new(intrinsics, strategy)
+                    .with_coherence(coherence)
+                    .with_cache_budget(budget),
             )
         })
         .collect();
@@ -215,10 +224,12 @@ fn main() {
 
     let mut hits = 0u64;
     let mut misses = 0u64;
+    let mut evictions = 0u64;
     for &s in &sessions {
         let c = server.cache_stats(s);
         hits += c.hits;
         misses += c.misses;
+        evictions += c.evictions;
     }
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
     let avg_batched = batched_sum as f64 / total_frames as f64;
@@ -245,6 +256,8 @@ fn main() {
          \"coarse_cache_hits\": {hits},\n  \
          \"coarse_cache_misses\": {misses},\n  \
          \"coarse_cache_hit_rate\": {hit_rate:.3},\n  \
+         \"coarse_cache_evictions\": {evictions},\n  \
+         \"cache_budget_bytes\": {budget},\n  \
          \"avg_batched_frames\": {avg_batched:.2},\n  \
          \"allocations_per_frame_direct\": {allocs_direct},\n  \
          \"allocations_per_frame_served\": {allocs_served}\n}}\n",

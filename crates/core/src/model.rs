@@ -17,7 +17,7 @@
 //! trainable in-process ([`crate::trainer`]).
 
 use crate::config::{ModelConfig, RayModuleChoice};
-use crate::features::PointAggregate;
+use crate::features::{AggregateArena, AggregateView, PointAggregate};
 use gen_nerf_geometry::Vec3;
 use gen_nerf_nn::attention::{AttnScratch, SelfAttention};
 use gen_nerf_nn::init::Rng;
@@ -381,15 +381,27 @@ pub struct RayModuleScratch {
 }
 
 /// Chunk-level scratch buffers for the fused cross-ray inference path
-/// ([`GenNerfModel::forward_rays_scratch`]). One instance per render
+/// ([`GenNerfModel::forward_rays_arena`] /
+/// [`GenNerfModel::forward_rays_scratch`]). One instance per render
 /// worker replaces the per-ray/per-point tensor allocations of the
 /// per-ray path (notably `blend_color`'s three `Vec`s + `Tensor2` per
 /// point) and, within the fused path, the per-chunk attention and
 /// `f^σ` slice temporaries.
 #[derive(Debug, Clone, Default)]
 pub struct ForwardScratch {
-    /// Fused point-MLP input (all points of all rays, ray-major).
-    x: Tensor2,
+    /// SoA staging arena for the AoS compat entry points
+    /// ([`GenNerfModel::forward_rays`]): `&[&[PointAggregate]]` inputs
+    /// are copied here once, then ride the arena implementation. The
+    /// arena-native path never touches it.
+    staging: AggregateArena,
+    /// The fused-phase buffers proper.
+    fused: FusedScratch,
+}
+
+/// The buffers of one fused forward (shared by the arena-native and
+/// staged entry points).
+#[derive(Debug, Clone, Default)]
+struct FusedScratch {
     /// Point-MLP activations.
     mlp: MlpScratch,
     /// Fused blend-head input (one row per valid (point, view) pair).
@@ -472,8 +484,8 @@ impl GenNerfModel {
         }
     }
 
-    fn stats_tensor(aggs: &[PointAggregate], dim: usize) -> Tensor2 {
-        Tensor2::from_fn(aggs.len(), dim, |r, c| aggs[r].stats[c])
+    fn stats_tensor<V: AggregateView + ?Sized>(aggs: &V, dim: usize) -> Tensor2 {
+        Tensor2::from_fn(aggs.n_points(), dim, |r, c| aggs.stats_row(r)[c])
     }
 
     /// Full-model inference over the points of one ray.
@@ -547,6 +559,19 @@ impl GenNerfModel {
 
     /// [`GenNerfModel::forward_rays`] with caller-owned scratch buffers
     /// (reused across chunks by long-lived render workers).
+    ///
+    /// This is the AoS compat entry point: the aggregates are staged
+    /// into the scratch's SoA arena once (the copy the arena-native
+    /// path deletes), then both paths share one implementation — so
+    /// compat ≡ arena bitwise by construction.
+    ///
+    /// # Panics
+    ///
+    /// All aggregates of a chunk must share one view count and stats
+    /// width (they always do when aggregated against one prepared
+    /// source set — every workspace caller): the SoA planes are
+    /// rectangular, so the staging asserts per-point heterogeneous
+    /// `valid` lengths instead of silently misaligning them.
     pub fn forward_rays_scratch(
         &self,
         rays: &[&[PointAggregate]],
@@ -562,13 +587,68 @@ impl GenNerfModel {
                 })
                 .collect();
         }
+        let n_views = rays
+            .iter()
+            .flat_map(|r| r.iter())
+            .next()
+            .map(|a| a.valid.len())
+            .expect("non-zero total implies a point");
+        let ForwardScratch { staging, fused } = scratch;
+        staging.reset(n_views, self.config.d_features);
+        for ray in rays {
+            for agg in ray.iter() {
+                staging.push_aggregate(agg);
+            }
+            staging.seal_ray();
+        }
+        self.forward_fused(staging, fused)
+    }
+
+    /// Fused inference straight off an [`AggregateArena`] — the
+    /// zero-copy fast path of the render schedule. The arena's stats
+    /// matrix (one row per point, ray-major) **is** the point-MLP GEMM
+    /// operand; no staging copy exists on this path.
+    ///
+    /// Output is bit-for-bit what [`GenNerfModel::forward_ray`] would
+    /// produce on each ray's exported aggregates (same GEMM inputs in
+    /// the same order; the kernel row-independence contract does the
+    /// rest — pinned by `tests/arena_regression.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arena's stats width differs from the point-MLP
+    /// input width (it was filled with the wrong channel count).
+    pub fn forward_rays_arena(
+        &self,
+        arena: &AggregateArena,
+        scratch: &mut ForwardScratch,
+    ) -> Vec<RayOutput> {
+        self.forward_fused(arena, &mut scratch.fused)
+    }
+
+    /// The single fused-forward implementation behind both entry
+    /// points: one point-MLP GEMM chain over the arena stats matrix in
+    /// place, per-ray ray-module passes over slices of the fused
+    /// activations, one blend GEMM over all valid (point, view) pairs,
+    /// per-ray assembly in `blend_color`'s reduction order.
+    fn forward_fused(&self, points: &AggregateArena, scratch: &mut FusedScratch) -> Vec<RayOutput> {
+        let n_rays = points.n_rays();
+        let total = points.total_points();
+        if total == 0 {
+            return (0..n_rays)
+                .map(|_| RayOutput {
+                    densities: Vec::new(),
+                    colors: Vec::new(),
+                })
+                .collect();
+        }
         let d_sigma = self.config.d_sigma;
-        let in_dim = self.config.point_input_dim();
-        // Split the scratch into its disjoint buffers once, so the
-        // fused activations can stay borrowed while later phases fill
-        // their own buffers.
-        let ForwardScratch {
-            x,
+        assert_eq!(
+            points.stats().cols(),
+            self.config.point_input_dim(),
+            "arena stats width is not the point-MLP input width"
+        );
+        let FusedScratch {
             mlp,
             blend_in,
             blend,
@@ -577,17 +657,9 @@ impl GenNerfModel {
             ray_module,
         } = scratch;
 
-        // One stats tensor for every point of every ray (ray-major),
-        // one point-MLP GEMM chain for the whole chunk.
-        x.reset_zeroed(total, in_dim);
-        let mut r = 0;
-        for ray in rays {
-            for agg in ray.iter() {
-                x.row_mut(r).copy_from_slice(&agg.stats[..in_dim]);
-                r += 1;
-            }
-        }
-        self.point_mlp.forward_inference_into(x, mlp);
+        // One point-MLP GEMM chain for the whole chunk, reading the
+        // arena's stats matrix directly.
+        self.point_mlp.forward_inference_into(points.stats(), mlp);
         let y = &mlp.out;
 
         // Ray module over per-ray slices of the fused activations:
@@ -595,44 +667,34 @@ impl GenNerfModel {
         // the row-independent phases run once for the whole chunk. The
         // per-ray slice tensors reuse the scratch buffers across
         // chunks.
-        if f_sigma.len() < rays.len() {
-            f_sigma.resize_with(rays.len(), Tensor2::default);
+        if f_sigma.len() < n_rays {
+            f_sigma.resize_with(n_rays, Tensor2::default);
         }
-        let mut offset = 0;
-        for (i, ray) in rays.iter().enumerate() {
-            let n = ray.len();
+        for i in 0..n_rays {
+            let range = points.ray_range(i);
             let slice = &mut f_sigma[i];
-            slice.reset_zeroed(n, d_sigma);
-            for r in 0..n {
-                slice
-                    .row_mut(r)
-                    .copy_from_slice(&y.row(offset + r)[..d_sigma]);
+            slice.reset_zeroed(range.len(), d_sigma);
+            for (r, k) in range.enumerate() {
+                slice.row_mut(r).copy_from_slice(&y.row(k)[..d_sigma]);
             }
-            offset += n;
         }
         let logits_per_ray = self
             .ray_module
-            .forward_inference_batch_scratch(&f_sigma[..rays.len()], ray_module);
+            .forward_inference_batch_scratch(&f_sigma[..n_rays], ray_module);
 
         // One blend-head GEMM over every valid (point, view) pair of
         // the chunk (ray-major, point-major, view-ascending), replacing
         // one 3-layer MLP call *per point* in the per-ray path.
-        let n_pairs: usize = rays
-            .iter()
-            .flat_map(|ray| ray.iter())
-            .map(|agg| agg.n_valid)
-            .sum();
-        blend_in.reset_zeroed(n_pairs.max(1), 2);
+        blend_in.reset_zeroed(points.valid_pairs().max(1), 2);
         let mut pr = 0;
-        for ray in rays {
-            for agg in ray.iter() {
-                for (i, &ok) in agg.valid.iter().enumerate() {
-                    if ok {
-                        let row = blend_in.row_mut(pr);
-                        row[0] = agg.blend_inputs[i][0];
-                        row[1] = agg.blend_inputs[i][1];
-                        pr += 1;
-                    }
+        for k in 0..total {
+            let inputs = points.blend_inputs_row(k);
+            for (i, &ok) in points.valid_row(k).iter().enumerate() {
+                if ok {
+                    let row = blend_in.row_mut(pr);
+                    row[0] = inputs[i][0];
+                    row[1] = inputs[i][1];
+                    pr += 1;
                 }
             }
         }
@@ -641,21 +703,20 @@ impl GenNerfModel {
 
         // Per-ray assembly: softmax each point's pair range (same
         // reduction order as `blend_color`), add the RGB residual.
-        let mut outputs = Vec::with_capacity(rays.len());
-        let mut offset = 0;
+        let mut outputs = Vec::with_capacity(n_rays);
         let mut pair = 0;
-        for (ray, logits) in rays.iter().zip(&logits_per_ray) {
-            let n = ray.len();
-            let mut densities = Vec::with_capacity(n);
-            let mut colors = Vec::with_capacity(n);
-            for (k, agg) in ray.iter().enumerate() {
-                if agg.n_valid == 0 {
+        for (i, logits) in logits_per_ray.iter().enumerate() {
+            let range = points.ray_range(i);
+            let mut densities = Vec::with_capacity(range.len());
+            let mut colors = Vec::with_capacity(range.len());
+            for (kk, k) in range.enumerate() {
+                let m = points.n_valid(k);
+                if m == 0 {
                     densities.push(0.0);
                     colors.push(Vec3::ZERO);
                     continue;
                 }
-                densities.push(density_from_logit(logits[k]));
-                let m = agg.n_valid;
+                densities.push(density_from_logit(logits[kk]));
                 let max = (pair..pair + m)
                     .map(|p| blend_logits[(p, 0)])
                     .fold(f32::NEG_INFINITY, f32::max);
@@ -665,21 +726,20 @@ impl GenNerfModel {
                 weights.iter_mut().for_each(|w| *w /= total_w);
                 let mut blended = Vec3::ZERO;
                 let mut wi = 0;
-                for (i, &ok) in agg.valid.iter().enumerate() {
+                for (v, &ok) in points.valid_row(k).iter().enumerate() {
                     if ok {
-                        blended += agg.view_colors[i] * weights[wi];
+                        blended += points.view_colors_row(k)[v] * weights[wi];
                         wi += 1;
                     }
                 }
                 pair += m;
                 let resid = Vec3::new(
-                    0.1 * y[(offset + k, d_sigma)].tanh(),
-                    0.1 * y[(offset + k, d_sigma + 1)].tanh(),
-                    0.1 * y[(offset + k, d_sigma + 2)].tanh(),
+                    0.1 * y[(k, d_sigma)].tanh(),
+                    0.1 * y[(k, d_sigma + 1)].tanh(),
+                    0.1 * y[(k, d_sigma + 2)].tanh(),
                 );
                 colors.push((blended + resid).clamp(0.0, 1.0));
             }
-            offset += n;
             outputs.push(RayOutput { densities, colors });
         }
         outputs
@@ -768,6 +828,49 @@ impl GenNerfModel {
         out
     }
 
+    /// Coarse-pass density estimation straight off an
+    /// [`AggregateArena`] (filled at `coarse_channels` against the
+    /// coarse source subset): one coarse-MLP GEMM chain over the
+    /// arena's stats matrix **in place**, sliced back per ray. Bitwise
+    /// equal to [`GenNerfModel::coarse_densities_batch`] over the
+    /// exported aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arena's stats width differs from the coarse-MLP
+    /// input width.
+    pub fn coarse_densities_arena(
+        &self,
+        arena: &AggregateArena,
+        scratch: &mut MlpScratch,
+    ) -> Vec<Vec<f32>> {
+        if arena.total_points() == 0 {
+            return (0..arena.n_rays()).map(|_| Vec::new()).collect();
+        }
+        assert_eq!(
+            arena.stats().cols(),
+            self.config.coarse_input_dim(),
+            "arena stats width is not the coarse-MLP input width"
+        );
+        self.coarse_mlp
+            .forward_inference_into(arena.stats(), scratch);
+        let z = &scratch.out;
+        (0..arena.n_rays())
+            .map(|r| {
+                arena
+                    .ray_range(r)
+                    .map(|k| {
+                        if arena.n_valid(k) == 0 {
+                            0.0
+                        } else {
+                            density_from_logit(z[(k, 0)])
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// One training step's forward+backward for a ray: supervises
     /// density logits everywhere and blended colors at points where
     /// `color_mask[k]` holds. Gradients accumulate into the parameters;
@@ -783,10 +886,36 @@ impl GenNerfModel {
         gt_colors: &[Vec3],
         color_mask: &[bool],
     ) -> RayLosses {
-        assert_eq!(aggs.len(), gt_logits.len(), "target length mismatch");
-        assert_eq!(aggs.len(), gt_colors.len(), "target length mismatch");
-        assert_eq!(aggs.len(), color_mask.len(), "target length mismatch");
-        let n = aggs.len();
+        self.train_ray_view(aggs, gt_logits, gt_colors, color_mask)
+    }
+
+    /// [`GenNerfModel::train_ray`] on ray `ray` of a step arena — the
+    /// trainer's zero-copy acquisition path. Identical arithmetic
+    /// (both entry points share one layout-generic implementation).
+    pub fn train_ray_arena(
+        &mut self,
+        arena: &AggregateArena,
+        ray: usize,
+        gt_logits: &[f32],
+        gt_colors: &[Vec3],
+        color_mask: &[bool],
+    ) -> RayLosses {
+        self.train_ray_view(&arena.ray_view(ray), gt_logits, gt_colors, color_mask)
+    }
+
+    /// The layout-generic training step behind
+    /// [`GenNerfModel::train_ray`] / [`GenNerfModel::train_ray_arena`].
+    fn train_ray_view<V: AggregateView + ?Sized>(
+        &mut self,
+        aggs: &V,
+        gt_logits: &[f32],
+        gt_colors: &[Vec3],
+        color_mask: &[bool],
+    ) -> RayLosses {
+        let n = aggs.n_points();
+        assert_eq!(n, gt_logits.len(), "target length mismatch");
+        assert_eq!(n, gt_colors.len(), "target length mismatch");
+        assert_eq!(n, color_mask.len(), "target length mismatch");
         let d_sigma = self.config.d_sigma;
 
         // Forward.
@@ -809,11 +938,19 @@ impl GenNerfModel {
         }
         let mut color_loss = 0.0f32;
         let mut color_count = 0usize;
-        for (k, agg) in aggs.iter().enumerate() {
-            if !color_mask[k] || agg.n_valid == 0 {
+        for k in 0..n {
+            if !color_mask[k] || aggs.n_valid(k) == 0 {
                 continue;
             }
-            let (loss, g_resid) = self.train_point_color(agg, gt_colors[k], &y, k, d_sigma);
+            let (loss, g_resid) = self.train_point_color(
+                aggs.valid_row(k),
+                aggs.blend_inputs_row(k),
+                aggs.view_colors_row(k),
+                gt_colors[k],
+                &y,
+                k,
+                d_sigma,
+            );
             color_loss += loss;
             color_count += 1;
             for c in 0..3 {
@@ -833,16 +970,19 @@ impl GenNerfModel {
 
     /// Color loss + backward for one point; returns
     /// `(loss, ∂L/∂resid_pre_tanh)`.
+    #[allow(clippy::too_many_arguments)] // one point's SoA rows, spelled out
     fn train_point_color(
         &mut self,
-        agg: &PointAggregate,
+        valid: &[bool],
+        blend_inputs: &[[f32; 2]],
+        view_colors: &[Vec3],
         gt: Vec3,
         y: &Tensor2,
         k: usize,
         d_sigma: usize,
     ) -> (f32, [f32; 3]) {
-        let valid_idx: Vec<usize> = (0..agg.valid.len()).filter(|&i| agg.valid[i]).collect();
-        let input = Tensor2::from_fn(valid_idx.len(), 2, |r, c| agg.blend_inputs[valid_idx[r]][c]);
+        let valid_idx: Vec<usize> = (0..valid.len()).filter(|&i| valid[i]).collect();
+        let input = Tensor2::from_fn(valid_idx.len(), 2, |r, c| blend_inputs[valid_idx[r]][c]);
         let logits = self.blend.forward(&input);
         let max = (0..valid_idx.len())
             .map(|r| logits[(r, 0)])
@@ -855,7 +995,7 @@ impl GenNerfModel {
 
         let mut blended = Vec3::ZERO;
         for (w, &i) in s.iter().zip(&valid_idx) {
-            blended += agg.view_colors[i] * *w;
+            blended += view_colors[i] * *w;
         }
         let pre = [y[(k, d_sigma)], y[(k, d_sigma + 1)], y[(k, d_sigma + 2)]];
         let resid = Vec3::new(
@@ -870,7 +1010,7 @@ impl GenNerfModel {
 
         // Blend-logit gradients: dL/dl_i = s_i (c_i − blended)·g_out.
         let g_logits = Tensor2::from_fn(valid_idx.len(), 1, |r, _| {
-            s[r] * (agg.view_colors[valid_idx[r]] - blended).dot(g_out)
+            s[r] * (view_colors[valid_idx[r]] - blended).dot(g_out)
         });
         self.blend.backward(&g_logits);
 
@@ -886,13 +1026,29 @@ impl GenNerfModel {
 
     /// Coarse-MLP training step for a batch of coarse aggregates.
     pub fn train_coarse(&mut self, aggs: &[PointAggregate], gt_logits: &[f32]) -> f32 {
-        assert_eq!(aggs.len(), gt_logits.len(), "target length mismatch");
-        if aggs.is_empty() {
+        self.train_coarse_view(aggs, gt_logits)
+    }
+
+    /// [`GenNerfModel::train_coarse`] on ray `ray` of a coarse step
+    /// arena (the trainer's zero-copy acquisition path).
+    pub fn train_coarse_arena(
+        &mut self,
+        arena: &AggregateArena,
+        ray: usize,
+        gt_logits: &[f32],
+    ) -> f32 {
+        self.train_coarse_view(&arena.ray_view(ray), gt_logits)
+    }
+
+    fn train_coarse_view<V: AggregateView + ?Sized>(&mut self, aggs: &V, gt_logits: &[f32]) -> f32 {
+        let n = aggs.n_points();
+        assert_eq!(n, gt_logits.len(), "target length mismatch");
+        if n == 0 {
             return 0.0;
         }
         let x = Self::stats_tensor(aggs, self.config.coarse_input_dim());
         let z = self.coarse_mlp.forward(&x);
-        let target = Tensor2::from_fn(aggs.len(), 1, |r, _| gt_logits[r]);
+        let target = Tensor2::from_fn(n, 1, |r, _| gt_logits[r]);
         let (loss, g) = mse_loss(&z, &target);
         self.coarse_mlp.backward(&g);
         loss
@@ -1011,6 +1167,137 @@ mod tests {
             let fb: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
             let pb: Vec<u32> = per_ray.iter().map(|v| v.to_bits()).collect();
             assert_eq!(fb, pb);
+        }
+    }
+
+    #[test]
+    fn forward_rays_arena_matches_forward_ray_bitwise() {
+        use crate::features::{aggregate_points_into, AggregateArena};
+        let (ds, sources) = tiny_setup();
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
+        let (t0, t1) = ds.scene.bounds.intersect_ray(&ray).unwrap();
+        for choice in [
+            RayModuleChoice::Mixer,
+            RayModuleChoice::Transformer,
+            RayModuleChoice::None,
+        ] {
+            let model = GenNerfModel::new(ModelConfig::fast().with_ray_module(choice));
+            let mut arena = AggregateArena::default();
+            arena.reset(sources.len(), 12);
+            // Ray 0: 12 points; ray 1: empty; ray 2: 5 points with one
+            // invisible point mixed in.
+            let depths12 = gen_nerf_geometry::Ray::uniform_depths(t0, t1, 12);
+            let pts12: Vec<Vec3> = depths12.iter().map(|&t| ray.at(t)).collect();
+            let dirs12 = vec![ray.direction; 12];
+            aggregate_points_into(&pts12, &dirs12, &sources, 12, &mut arena);
+            arena.seal_ray();
+            let mut pts5: Vec<Vec3> = gen_nerf_geometry::Ray::uniform_depths(t0, t1, 4)
+                .iter()
+                .map(|&t| ray.at(t))
+                .collect();
+            pts5.insert(1, Vec3::new(1000.0, 0.0, 0.0));
+            let dirs5 = vec![ray.direction; 5];
+            aggregate_points_into(&pts5, &dirs5, &sources, 12, &mut arena);
+
+            let mut scratch = ForwardScratch::default();
+            let fused = model.forward_rays_arena(&arena, &mut scratch);
+            assert_eq!(fused.len(), 3);
+            for (r, out) in fused.iter().enumerate() {
+                let exported = arena.export_ray(r);
+                let per_ray = model.forward_ray(&exported);
+                let fb: Vec<u32> = out.densities.iter().map(|v| v.to_bits()).collect();
+                let pb: Vec<u32> = per_ray.densities.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fb, pb, "{choice:?} ray {r} densities diverged");
+                for (cf, cp) in out.colors.iter().zip(&per_ray.colors) {
+                    assert_eq!(
+                        [cf.x.to_bits(), cf.y.to_bits(), cf.z.to_bits()],
+                        [cp.x.to_bits(), cp.y.to_bits(), cp.z.to_bits()],
+                        "{choice:?} ray {r} colors diverged"
+                    );
+                }
+                // The compat entry point rides the same implementation.
+                let refs: Vec<&[PointAggregate]> = vec![&exported];
+                let staged = model.forward_rays(&refs);
+                assert_eq!(&staged[0], &per_ray, "{choice:?} staged path diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_densities_arena_matches_batch_bitwise() {
+        use crate::features::{aggregate_points_into, AggregateArena};
+        let (ds, sources) = tiny_setup();
+        let model = GenNerfModel::new(ModelConfig::fast());
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(2, 2);
+        let coarse = &sources[..3];
+        let mut arena = AggregateArena::default();
+        arena.reset(coarse.len(), 3);
+        let pts: Vec<Vec3> = [2.0f32, 2.5, 3.0, 3.5].iter().map(|&t| ray.at(t)).collect();
+        let dirs = vec![ray.direction; pts.len()];
+        aggregate_points_into(&pts, &dirs, coarse, 3, &mut arena);
+        arena.seal_ray(); // empty ray
+        aggregate_points_into(&[ray.at(2.2)], &[ray.direction], coarse, 3, &mut arena);
+
+        let mut scratch = MlpScratch::default();
+        let fused = model.coarse_densities_arena(&arena, &mut scratch);
+        assert_eq!(fused.len(), 3);
+        for (r, out) in fused.iter().enumerate() {
+            let exported = arena.export_ray(r);
+            let per_ray = model.coarse_densities(&exported);
+            let fb: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = per_ray.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, pb, "ray {r}");
+        }
+    }
+
+    #[test]
+    fn train_arena_matches_train_aos_bitwise() {
+        use crate::features::{aggregate_points_into, AggregateArena};
+        let (ds, sources) = tiny_setup();
+        let cam = &ds.eval_views[0].camera;
+        let ray = cam.pixel_center_ray(cam.intrinsics.width / 2, cam.intrinsics.height / 2);
+        let (t0, t1) = ds.scene.bounds.intersect_ray(&ray).unwrap();
+        let depths = gen_nerf_geometry::Ray::uniform_depths(t0, t1, 10);
+        let pts: Vec<Vec3> = depths.iter().map(|&t| ray.at(t)).collect();
+        let dirs = vec![ray.direction; pts.len()];
+        let gt_z: Vec<f32> = pts
+            .iter()
+            .map(|&p| logit_from_density(ds.scene.density(p)))
+            .collect();
+        let gt_c: Vec<Vec3> = pts
+            .iter()
+            .map(|&p| ds.scene.color(p, ray.direction))
+            .collect();
+        let mask = vec![true; pts.len()];
+
+        let mut arena = AggregateArena::default();
+        arena.reset(sources.len(), 12);
+        aggregate_points_into(&pts, &dirs, &sources, 12, &mut arena);
+        let aggs = arena.export_ray(0);
+
+        let mut a = GenNerfModel::new(ModelConfig::fast());
+        let mut b = GenNerfModel::new(ModelConfig::fast());
+        let la = a.train_ray(&aggs, &gt_z, &gt_c, &mask);
+        let lb = b.train_ray_arena(&arena, 0, &gt_z, &gt_c, &mask);
+        assert_eq!(la, lb);
+        // Coarse step on the same stats rows through both layouts.
+        let coarse_aggs: Vec<PointAggregate> = pts[..3]
+            .iter()
+            .map(|&p| aggregate_point(p, ray.direction, &sources[..3], 3))
+            .collect();
+        let mut coarse_arena = AggregateArena::default();
+        coarse_arena.reset(3, 3);
+        aggregate_points_into(&pts[..3], &dirs[..3], &sources[..3], 3, &mut coarse_arena);
+        let ca = a.train_coarse(&coarse_aggs, &gt_z[..3]);
+        let cb = b.train_coarse_arena(&coarse_arena, 0, &gt_z[..3]);
+        assert_eq!(ca.to_bits(), cb.to_bits());
+        // Accumulated gradients must agree bitwise across layouts.
+        for (ga, gb) in a.params_mut().iter().zip(b.params_mut().iter()) {
+            let ba: Vec<u32> = ga.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = gb.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ba, bb);
         }
     }
 

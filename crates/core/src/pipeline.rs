@@ -32,14 +32,19 @@
 //! # The fused chunk schedule (default)
 //!
 //! Within each worker's chunk, shading runs as a two-phase schedule
-//! instead of a per-ray program: **aggregate** every ray of the chunk,
-//! then **one fused forward** ([`GenNerfModel::forward_rays`] — a
-//! single point-MLP GEMM and a single blend-head GEMM for the whole
-//! chunk, the software analog of the paper's PE pool), then a per-ray
-//! **composite** through per-worker scratch buffers. Because the dense
-//! GEMM kernel makes output rows independent of their batch (k-order
-//! accumulation, see `gen_nerf_nn::tensor` — a contract every SIMD
-//! kernel backend upholds; see `gen_nerf_nn::kernels`), the fused
+//! instead of a per-ray program: **aggregate** every ray of the chunk
+//! into the worker's SoA [`AggregateArena`] (zero heap allocations in
+//! steady state; see `crate::features`), then **one fused forward**
+//! ([`GenNerfModel::forward_rays_arena`] — a single point-MLP GEMM and
+//! a single blend-head GEMM for the whole chunk, the software analog
+//! of the paper's PE pool, reading the arena's stats matrix as the
+//! GEMM operand **in place**), then a per-ray **composite** through
+//! per-worker scratch buffers. The arena, the forward scratch and the
+//! composite buffers live in a thread-local worker scratch, so a
+//! persistent [`Pool`] worker keeps them warm across frames. Because
+//! the dense GEMM kernel makes output rows independent of their batch
+//! (k-order accumulation, see `gen_nerf_nn::tensor` — a contract every
+//! SIMD kernel backend upholds; see `gen_nerf_nn::kernels`), the fused
 //! schedule is bit-for-bit identical to the per-ray path for any
 //! chunking — which is also what keeps the thread-count determinism
 //! above intact. The per-ray reference path survives behind
@@ -76,8 +81,11 @@
 //!   pixels.
 
 use crate::config::SamplingStrategy;
-use crate::features::{aggregate_point, PointAggregate, SourceViewData};
-use crate::model::{ForwardScratch, GenNerfModel};
+use crate::features::{
+    aggregate_point, aggregate_ray_into, assert_channels, AggregateArena, AggregateView,
+    PointAggregate, SourceViewData,
+};
+use crate::model::{ForwardScratch, GenNerfModel, MlpScratch};
 use crate::sampling;
 use gen_nerf_geometry::{Aabb, Camera, Ray, Vec3};
 use gen_nerf_nn::flops::{self, FlopsCounter};
@@ -86,6 +94,7 @@ use gen_nerf_parallel::{par_chunk_ranges, Pool};
 use gen_nerf_scene::renderer::{composite, composite_into};
 use gen_nerf_scene::Image;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Reusable buffers for the per-ray composite phase of the fused chunk
 /// schedule: one instance per worker replaces the interval-widths and
@@ -95,6 +104,43 @@ struct CompositeScratch {
     deltas: Vec<f32>,
     weights: Vec<f32>,
 }
+
+/// One render worker's reusable state: the SoA aggregation arena (the
+/// zero-allocation acquisition buffer), the fused-forward buffers, the
+/// coarse-MLP activations and the composite buffers.
+///
+/// Lives in a thread-local, so a persistent [`Pool`] worker keeps its
+/// buffers warm **across frames** — the steady-state serving loop stops
+/// paying acquisition allocations entirely — while a scoped-thread
+/// render gets fresh ones per spawn, exactly as before. Scratch
+/// contents never influence results (every buffer is reset or fully
+/// overwritten before use), so the executor choice stays invisible to
+/// pixels.
+#[derive(Default)]
+struct WorkerScratch {
+    arena: AggregateArena,
+    forward: ForwardScratch,
+    coarse: MlpScratch,
+    composite: CompositeScratch,
+}
+
+thread_local! {
+    static WORKER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
+
+/// Runs `f` with the calling worker's persistent scratch.
+fn with_worker_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
+    WORKER_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Ceiling on steady-state fused-schedule heap allocations per frame
+/// on the canonical `perf_report` workload (32×32 frame, uniform
+/// n = 12, one inline thread). The arena acquisition path landed at
+/// ~22 k (from 114,349 pre-arena); two gates enforce the ceiling —
+/// `tests/arena_regression.rs` in the test suite and `perf_report`
+/// (which exits non-zero past it) in CI — both reading this constant,
+/// so they can never drift apart.
+pub const STEADY_STATE_ALLOC_CEILING: u64 = 40_000;
 
 /// Instrumentation collected while rendering one image.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -305,6 +351,13 @@ impl<'a> Renderer<'a> {
     ///
     /// `bounds` clip each camera ray to `[t_near, t_far]`; `background`
     /// fills rays that miss or terminate without saturating.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any source view's feature map carries fewer channels
+    /// than the model's `d_features` (or `coarse_channels`): the old
+    /// per-point clamp silently zero-padded the trailing aggregation
+    /// stats; the mismatch now fails once, loudly, at construction.
     pub fn new(
         model: &'a GenNerfModel,
         sources: &'a [SourceViewData],
@@ -312,6 +365,12 @@ impl<'a> Renderer<'a> {
         bounds: Aabb,
         background: Vec3,
     ) -> Self {
+        assert_channels(sources, model.config.d_features, "Renderer");
+        assert_channels(
+            sources,
+            model.config.coarse_channels,
+            "Renderer coarse pass",
+        );
         let base_seed = model.config.seed ^ 0x5eed_5a3e;
         Self {
             model,
@@ -590,50 +649,66 @@ impl<'a> Renderer<'a> {
     where
         D: Fn(usize, usize) -> Option<Vec<f32>> + Sync,
     {
+        let d = self.d_channels();
         let chunks = self.fan_out(set.total(), |start, end| {
-            let mut local = vec![RenderStats::default(); set.n_frames()];
-            // Phase 1: depth selection + aggregation for the chunk.
-            let mut depths_per: Vec<Option<Vec<f32>>> = Vec::with_capacity(end - start);
-            let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
-            for g in start..end {
-                let (f, j) = set.locate(g);
-                let depths = depths_for(f, j);
-                let aggs = match &depths {
-                    Some(d) => self.aggregate_ray(&set.batches[f].rays[j], d),
-                    None => Vec::new(),
-                };
-                if !aggs.is_empty() {
-                    self.account_full_eval(&aggs, &mut local[f]);
-                }
-                depths_per.push(depths);
-                aggs_per.push(aggs);
-            }
-            // Phase 2: one fused forward for every ray of the chunk,
-            // through this worker's scratch buffers.
-            let mut scratch = ForwardScratch::default();
-            let refs: Vec<&[PointAggregate]> = aggs_per.iter().map(|a| a.as_slice()).collect();
-            let outs = self.model.forward_rays_scratch(&refs, &mut scratch);
-            // Phase 3: per-ray composite through the worker's scratch
-            // buffers.
-            let mut cscratch = CompositeScratch::default();
-            let colors: Vec<Vec3> = (start..end)
-                .map(|g| {
-                    let idx = g - start;
+            with_worker_scratch(|ws| {
+                let mut local = vec![RenderStats::default(); set.n_frames()];
+                // Phase 1: depth selection + SoA aggregation for the
+                // chunk, straight into the worker's arena (zero heap
+                // allocations once its buffers have grown).
+                ws.arena.reset(self.sources.len(), d);
+                let mut depths_per: Vec<Option<Vec<f32>>> = Vec::with_capacity(end - start);
+                for g in start..end {
                     let (f, j) = set.locate(g);
-                    match (&depths_per[idx], set.batches[f].ranges[j]) {
-                        (Some(depths), Some((_, t1))) if !depths.is_empty() => self
-                            .composite_ray_scratch(
-                                depths,
-                                &outs[idx].densities,
-                                &outs[idx].colors,
-                                t1,
-                                &mut cscratch,
-                            ),
-                        _ => self.background,
+                    let depths = depths_for(f, j);
+                    match &depths {
+                        Some(dep) => {
+                            aggregate_ray_into(
+                                &set.batches[f].rays[j],
+                                dep,
+                                self.sources,
+                                d,
+                                &mut ws.arena,
+                            );
+                            if !dep.is_empty() {
+                                self.account_full_eval_arena(&ws.arena, g - start, &mut local[f]);
+                            }
+                        }
+                        None => ws.arena.seal_ray(),
                     }
-                })
-                .collect();
-            (colors, local)
+                    depths_per.push(depths);
+                }
+                // Phase 2: one fused forward for every ray of the chunk
+                // — the arena's stats matrix is the GEMM operand, no
+                // staging copy.
+                let WorkerScratch {
+                    arena,
+                    forward,
+                    composite: cscratch,
+                    ..
+                } = ws;
+                let outs = self.model.forward_rays_arena(arena, forward);
+                // Phase 3: per-ray composite through the worker's
+                // scratch buffers.
+                let colors: Vec<Vec3> = (start..end)
+                    .map(|g| {
+                        let idx = g - start;
+                        let (f, j) = set.locate(g);
+                        match (&depths_per[idx], set.batches[f].ranges[j]) {
+                            (Some(depths), Some((_, t1))) if !depths.is_empty() => self
+                                .composite_ray_scratch(
+                                    depths,
+                                    &outs[idx].densities,
+                                    &outs[idx].colors,
+                                    t1,
+                                    cscratch,
+                                ),
+                            _ => self.background,
+                        }
+                    })
+                    .collect();
+                (colors, local)
+            })
         });
         Self::merge_frame_chunks(set, chunks, stats)
     }
@@ -648,22 +723,27 @@ impl<'a> Renderer<'a> {
             .collect()
     }
 
-    /// FLOPs/fetch accounting for one ray's full-model evaluation.
-    /// Shared by the per-ray and fused schedules, so both report
-    /// identical counts (every field is an order-independent sum; the
-    /// fused regression test asserts the equality).
-    fn account_full_eval(&self, aggs: &[PointAggregate], stats: &mut RenderStats) {
+    /// FLOPs/fetch accounting for one ray's full-model evaluation,
+    /// from per-point valid-view counts. Shared by the per-ray and
+    /// fused schedules, so both report identical counts (every field
+    /// is an order-independent sum; the fused regression test asserts
+    /// the equality).
+    fn account_full_eval_counts(
+        &self,
+        n: usize,
+        valid_counts: impl Iterator<Item = usize>,
+        stats: &mut RenderStats,
+    ) {
         let d = self.d_channels();
-        let n = aggs.len();
-        for a in aggs {
-            stats.feature_fetches += 4 * a.n_valid as u64;
+        for m in valid_counts {
+            stats.feature_fetches += 4 * m as u64;
             stats
                 .flops
-                .add("acquire", a.n_valid as u64 * flops::bilinear_fetch(1, d));
+                .add("acquire", m as u64 * flops::bilinear_fetch(1, d));
             // Blend head runs per valid view.
             stats
                 .flops
-                .add("mlp", a.n_valid as u64 * 2 * (2 * 8 + 8 * 8 + 8) as u64);
+                .add("mlp", m as u64 * 2 * (2 * 8 + 8 * 8 + 8) as u64);
         }
         stats.points += n as u64;
         stats
@@ -673,6 +753,19 @@ impl<'a> Renderer<'a> {
             .flops
             .add("ray_module", 2 * self.model.config.ray_module_macs(n));
         stats.flops.add("others", flops::volume_render(n));
+    }
+
+    /// [`Renderer::account_full_eval_counts`] over an AoS aggregate
+    /// run (the per-ray reference schedule).
+    fn account_full_eval(&self, aggs: &[PointAggregate], stats: &mut RenderStats) {
+        self.account_full_eval_counts(aggs.len(), aggs.iter().map(|a| a.n_valid), stats);
+    }
+
+    /// [`Renderer::account_full_eval_counts`] over ray `ray` of an
+    /// arena (the fused schedule).
+    fn account_full_eval_arena(&self, arena: &AggregateArena, ray: usize, stats: &mut RenderStats) {
+        let range = arena.ray_range(ray);
+        self.account_full_eval_counts(range.len(), range.clone().map(|k| arena.n_valid(k)), stats);
     }
 
     /// Aggregates + full-model forward + accounting for a ray's points
@@ -795,97 +888,113 @@ impl<'a> Renderer<'a> {
         n_fine: usize,
         stats: &mut [RenderStats],
     ) -> Vec<Vec<Vec3>> {
+        let d = self.d_channels();
         let chunks = self.fan_out(set.total(), |start, end| {
-            let mut local = vec![RenderStats::default(); set.n_frames()];
-            // One scratch per worker, reused by the coarse and fine
-            // fused passes.
-            let mut scratch = ForwardScratch::default();
-            // Coarse phase: aggregate the chunk, one fused forward.
-            let mut coarse_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
-            let mut coarse_aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
-            for g in start..end {
-                let (f, j) = set.locate(g);
-                let batch = &set.batches[f];
-                match batch.ranges[j] {
-                    Some((t0, t1)) => {
-                        let depths = Ray::uniform_depths(t0, t1, n_coarse);
-                        let aggs = self.aggregate_ray(&batch.rays[j], &depths);
-                        self.account_full_eval(&aggs, &mut local[f]);
-                        coarse_depths_per.push(depths);
-                        coarse_aggs_per.push(aggs);
-                    }
-                    None => {
-                        coarse_depths_per.push(Vec::new());
-                        coarse_aggs_per.push(Vec::new());
+            with_worker_scratch(|ws| {
+                let mut local = vec![RenderStats::default(); set.n_frames()];
+                // Coarse phase: SoA-aggregate the chunk into the
+                // worker's arena, one fused forward off it.
+                ws.arena.reset(self.sources.len(), d);
+                let mut coarse_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
+                for g in start..end {
+                    let (f, j) = set.locate(g);
+                    let batch = &set.batches[f];
+                    match batch.ranges[j] {
+                        Some((t0, t1)) => {
+                            let depths = Ray::uniform_depths(t0, t1, n_coarse);
+                            aggregate_ray_into(
+                                &batch.rays[j],
+                                &depths,
+                                self.sources,
+                                d,
+                                &mut ws.arena,
+                            );
+                            self.account_full_eval_arena(&ws.arena, g - start, &mut local[f]);
+                            coarse_depths_per.push(depths);
+                        }
+                        None => {
+                            ws.arena.seal_ray();
+                            coarse_depths_per.push(Vec::new());
+                        }
                     }
                 }
-            }
-            let coarse_refs: Vec<&[PointAggregate]> =
-                coarse_aggs_per.iter().map(|a| a.as_slice()).collect();
-            let coarse_outs = self.model.forward_rays_scratch(&coarse_refs, &mut scratch);
-
-            // Importance resampling per ray, then the fine fused pass.
-            let mut fine_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
-            let mut fine_aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
-            for g in start..end {
-                let idx = g - start;
-                let (f, j) = set.locate(g);
-                let batch = &set.batches[f];
-                let Some((t0, t1)) = batch.ranges[j] else {
-                    fine_depths_per.push(Vec::new());
-                    fine_aggs_per.push(Vec::new());
-                    continue;
+                let coarse_outs = {
+                    let WorkerScratch { arena, forward, .. } = &mut *ws;
+                    self.model.forward_rays_arena(arena, forward)
                 };
-                let deltas = Ray::interval_widths(&coarse_depths_per[idx], t1);
-                let comp = composite(
-                    &coarse_outs[idx].densities,
-                    &coarse_outs[idx].colors,
-                    &deltas,
-                    self.background,
-                );
-                let edges = sampling::uniform_edges(t0, t1, n_coarse);
-                let mut rng = self.ray_rng(j);
-                let fine_depths =
-                    sampling::importance_sample(&edges, &comp.weights, n_fine, &mut rng);
-                let aggs = self.aggregate_ray(&batch.rays[j], &fine_depths);
-                self.account_full_eval(&aggs, &mut local[f]);
-                fine_depths_per.push(fine_depths);
-                fine_aggs_per.push(aggs);
-            }
-            let fine_refs: Vec<&[PointAggregate]> =
-                fine_aggs_per.iter().map(|a| a.as_slice()).collect();
-            let fine_outs = self.model.forward_rays_scratch(&fine_refs, &mut scratch);
 
-            // Merge-sort the union by depth and composite, per ray.
-            let mut cscratch = CompositeScratch::default();
-            let colors: Vec<Vec3> = (start..end)
-                .map(|g| {
+                // Importance resampling per ray, then the fine fused
+                // pass through the same (reset) arena.
+                ws.arena.reset(self.sources.len(), d);
+                let mut fine_depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
+                for g in start..end {
                     let idx = g - start;
                     let (f, j) = set.locate(g);
-                    let Some((_, t1)) = set.batches[f].ranges[j] else {
-                        return self.background;
+                    let batch = &set.batches[f];
+                    let Some((t0, t1)) = batch.ranges[j] else {
+                        ws.arena.seal_ray();
+                        fine_depths_per.push(Vec::new());
+                        continue;
                     };
-                    let mut merged: Vec<(f32, f32, Vec3)> = coarse_depths_per[idx]
-                        .iter()
-                        .zip(&coarse_outs[idx].densities)
-                        .zip(&coarse_outs[idx].colors)
-                        .map(|((&t, &d), &c)| (t, d, c))
-                        .chain(
-                            fine_depths_per[idx]
-                                .iter()
-                                .zip(&fine_outs[idx].densities)
-                                .zip(&fine_outs[idx].colors)
-                                .map(|((&t, &d), &c)| (t, d, c)),
-                        )
-                        .collect();
-                    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                    let depths: Vec<f32> = merged.iter().map(|m| m.0).collect();
-                    let densities: Vec<f32> = merged.iter().map(|m| m.1).collect();
-                    let colors: Vec<Vec3> = merged.iter().map(|m| m.2).collect();
-                    self.composite_ray_scratch(&depths, &densities, &colors, t1, &mut cscratch)
-                })
-                .collect();
-            (colors, local)
+                    let deltas = Ray::interval_widths(&coarse_depths_per[idx], t1);
+                    let comp = composite(
+                        &coarse_outs[idx].densities,
+                        &coarse_outs[idx].colors,
+                        &deltas,
+                        self.background,
+                    );
+                    let edges = sampling::uniform_edges(t0, t1, n_coarse);
+                    let mut rng = self.ray_rng(j);
+                    let fine_depths =
+                        sampling::importance_sample(&edges, &comp.weights, n_fine, &mut rng);
+                    aggregate_ray_into(
+                        &batch.rays[j],
+                        &fine_depths,
+                        self.sources,
+                        d,
+                        &mut ws.arena,
+                    );
+                    self.account_full_eval_arena(&ws.arena, idx, &mut local[f]);
+                    fine_depths_per.push(fine_depths);
+                }
+                let WorkerScratch {
+                    arena,
+                    forward,
+                    composite: cscratch,
+                    ..
+                } = ws;
+                let fine_outs = self.model.forward_rays_arena(arena, forward);
+
+                // Merge-sort the union by depth and composite, per ray.
+                let colors: Vec<Vec3> = (start..end)
+                    .map(|g| {
+                        let idx = g - start;
+                        let (f, j) = set.locate(g);
+                        let Some((_, t1)) = set.batches[f].ranges[j] else {
+                            return self.background;
+                        };
+                        let mut merged: Vec<(f32, f32, Vec3)> = coarse_depths_per[idx]
+                            .iter()
+                            .zip(&coarse_outs[idx].densities)
+                            .zip(&coarse_outs[idx].colors)
+                            .map(|((&t, &d), &c)| (t, d, c))
+                            .chain(
+                                fine_depths_per[idx]
+                                    .iter()
+                                    .zip(&fine_outs[idx].densities)
+                                    .zip(&fine_outs[idx].colors)
+                                    .map(|((&t, &d), &c)| (t, d, c)),
+                            )
+                            .collect();
+                        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                        let depths: Vec<f32> = merged.iter().map(|m| m.0).collect();
+                        let densities: Vec<f32> = merged.iter().map(|m| m.1).collect();
+                        let colors: Vec<Vec3> = merged.iter().map(|m| m.2).collect();
+                        self.composite_ray_scratch(&depths, &densities, &colors, t1, cscratch)
+                    })
+                    .collect();
+                (colors, local)
+            })
         });
         Self::merge_frame_chunks(set, chunks, stats)
     }
@@ -942,58 +1051,62 @@ impl<'a> Renderer<'a> {
             (needs[i], g - sub_off[i])
         };
         let coarse_chunks = self.fan_out(sub_total, |start, end| {
-            let mut local = vec![RenderStats::default(); set.n_frames()];
-            let mut depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
-            let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
-            for g in start..end {
-                let (f, j) = locate_sub(g);
-                let batch = &set.batches[f];
-                let Some((t0, t1)) = batch.ranges[j] else {
-                    depths_per.push(Vec::new());
-                    aggs_per.push(Vec::new());
-                    continue;
-                };
-                let ray = &batch.rays[j];
-                let depths = Ray::uniform_depths(t0, t1, n_coarse);
-                let aggs: Vec<PointAggregate> = depths
-                    .iter()
-                    .map(|&t| aggregate_point(ray.at(t), ray.direction, coarse_sources, dc))
-                    .collect();
-                for a in &aggs {
-                    local[f].feature_fetches += 4 * a.n_valid as u64;
-                    local[f]
-                        .flops
-                        .add("acquire", a.n_valid as u64 * flops::bilinear_fetch(1, dc));
-                }
-                local[f].coarse_points += aggs.len() as u64;
-                local[f].flops.add(
-                    "mlp",
-                    aggs.len() as u64 * 2 * self.model.config.coarse_mlp_macs_per_point(),
-                );
-                depths_per.push(depths);
-                aggs_per.push(aggs);
-            }
-            let refs: Vec<&[PointAggregate]> = aggs_per.iter().map(|a| a.as_slice()).collect();
-            let densities_per = self.model.coarse_densities_batch(&refs);
-            let per_ray: Vec<(Vec<f32>, usize)> = (start..end)
-                .map(|g| {
-                    let idx = g - start;
+            with_worker_scratch(|ws| {
+                let mut local = vec![RenderStats::default(); set.n_frames()];
+                // Coarse SoA aggregation into the worker arena (the
+                // channel-scaled coarse stats matrix feeds the coarse
+                // MLP in place).
+                ws.arena.reset(coarse_sources.len(), dc);
+                let mut depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
+                for g in start..end {
                     let (f, j) = locate_sub(g);
-                    let Some((_, t1)) = set.batches[f].ranges[j] else {
-                        return (Vec::new(), 0);
+                    let batch = &set.batches[f];
+                    let Some((t0, t1)) = batch.ranges[j] else {
+                        ws.arena.seal_ray();
+                        depths_per.push(Vec::new());
+                        continue;
                     };
-                    let densities = &densities_per[idx];
-                    let deltas = Ray::interval_widths(&depths_per[idx], t1);
-                    let dummy_colors = vec![Vec3::ZERO; densities.len()];
-                    let comp = composite(densities, &dummy_colors, &deltas, Vec3::ZERO);
-                    local[f]
-                        .flops
-                        .add("others", flops::volume_render(densities.len()));
-                    let critical = sampling::critical_count(&comp.weights, tau);
-                    (comp.weights, critical)
-                })
-                .collect();
-            (per_ray, local)
+                    let depths = Ray::uniform_depths(t0, t1, n_coarse);
+                    aggregate_ray_into(&batch.rays[j], &depths, coarse_sources, dc, &mut ws.arena);
+                    let range = ws.arena.ray_range(g - start);
+                    for k in range.clone() {
+                        let m = ws.arena.n_valid(k) as u64;
+                        local[f].feature_fetches += 4 * m;
+                        local[f]
+                            .flops
+                            .add("acquire", m * flops::bilinear_fetch(1, dc));
+                    }
+                    local[f].coarse_points += range.len() as u64;
+                    local[f].flops.add(
+                        "mlp",
+                        range.len() as u64 * 2 * self.model.config.coarse_mlp_macs_per_point(),
+                    );
+                    depths_per.push(depths);
+                }
+                let densities_per = {
+                    let WorkerScratch { arena, coarse, .. } = &mut *ws;
+                    self.model.coarse_densities_arena(arena, coarse)
+                };
+                let per_ray: Vec<(Vec<f32>, usize)> = (start..end)
+                    .map(|g| {
+                        let idx = g - start;
+                        let (f, j) = locate_sub(g);
+                        let Some((_, t1)) = set.batches[f].ranges[j] else {
+                            return (Vec::new(), 0);
+                        };
+                        let densities = &densities_per[idx];
+                        let deltas = Ray::interval_widths(&depths_per[idx], t1);
+                        let dummy_colors = vec![Vec3::ZERO; densities.len()];
+                        let comp = composite(densities, &dummy_colors, &deltas, Vec3::ZERO);
+                        local[f]
+                            .flops
+                            .add("others", flops::volume_render(densities.len()));
+                        let critical = sampling::critical_count(&comp.weights, tau);
+                        (comp.weights, critical)
+                    })
+                    .collect();
+                (per_ray, local)
+            })
         });
         let mut fresh: Vec<Option<CoarseFrame>> = (0..set.n_frames())
             .map(|f| {

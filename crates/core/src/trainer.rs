@@ -11,7 +11,9 @@
 //!   (Tab. 3's setting; supervision comes from the scene's analytic
 //!   fields rather than held-in photographs — documented substitution).
 
-use crate::features::{aggregate_point, prepare_sources, SourceViewData};
+use crate::features::{
+    aggregate_ray_into, assert_channels, prepare_sources, AggregateArena, SourceViewData,
+};
 use crate::model::{logit_from_density, GenNerfModel};
 use gen_nerf_geometry::{Camera, Ray, Vec3};
 use gen_nerf_nn::init::Rng;
@@ -92,6 +94,12 @@ pub struct TrainReport {
 pub struct Trainer {
     cfg: TrainConfig,
     rng: Rng,
+    /// Step arena for full-model acquisition (one sealed ray per
+    /// training ray), reused across every step of a run — steady-state
+    /// training acquisition performs zero heap allocations.
+    full_arena: AggregateArena,
+    /// Step arena for the channel-scaled coarse-pass acquisition.
+    coarse_arena: AggregateArena,
 }
 
 struct PreparedDataset<'a> {
@@ -106,6 +114,8 @@ impl Trainer {
         Self {
             rng: Rng::seed_from(cfg.seed),
             cfg,
+            full_arena: AggregateArena::default(),
+            coarse_arena: AggregateArena::default(),
         }
     }
 
@@ -135,9 +145,16 @@ impl Trainer {
             .map(|ds| {
                 let mut cameras: Vec<Camera> = ds.source_views.iter().map(|v| v.camera).collect();
                 cameras.extend(ds.eval_views.iter().map(|v| v.camera));
+                let sources = prepare_sources(&ds.source_views);
+                assert_channels(&sources, model.config.d_features, "Trainer");
+                assert_channels(
+                    &sources,
+                    model.config.coarse_channels,
+                    "Trainer coarse pass",
+                );
                 PreparedDataset {
                     dataset: ds,
-                    sources: prepare_sources(&ds.source_views),
+                    sources,
                     cameras,
                 }
             })
@@ -153,11 +170,12 @@ impl Trainer {
             // Sample the step's rays first (sequential — this is the
             // only RNG consumer, and the draw order matches the old
             // ray-at-a-time loop exactly, keeping training streams
-            // bit-compatible), then acquire every ray's features in one
-            // fused parallel map over all (ray, point) pairs of the
-            // step — the full and coarse aggregation for the whole
-            // step's coarse pass fan out together instead of
-            // per-short-ray.
+            // bit-compatible), then acquire every ray's features into
+            // the persistent step arenas — full and coarse-pass
+            // aggregation side by side, zero heap allocations once the
+            // arenas have grown. Acquisition is RNG-free and fills in
+            // (ray, depth) order, so training stays bit-identical to
+            // the per-ray AoS acquisition it replaces.
             let mut specs: Vec<RaySpec> = Vec::with_capacity(self.cfg.rays_per_step);
             let mut attempts = 0usize;
             while specs.len() < self.cfg.rays_per_step && attempts < self.cfg.rays_per_step * 8 {
@@ -166,19 +184,20 @@ impl Trainer {
                     specs.push(spec);
                 }
             }
-            let acquired = Self::acquire_step(pd, &specs, model, &self.cfg);
+            let targets = self.acquire_step(pd, &specs, model);
 
             // Sequential per-ray updates, in sampling order (gradient
             // accumulation order is part of the determinism contract).
             let mut sigma_acc = 0.0f32;
             let mut color_acc = 0.0f32;
-            for ray in &acquired {
-                let losses = model.train_ray(&ray.aggs, &ray.gt_logits, &ray.gt_colors, &ray.mask);
-                let coarse_loss = model.train_coarse(&ray.coarse_aggs, &ray.gt_logits);
+            for (r, t) in targets.iter().enumerate() {
+                let losses =
+                    model.train_ray_arena(&self.full_arena, r, &t.gt_logits, &t.gt_colors, &t.mask);
+                let coarse_loss = model.train_coarse_arena(&self.coarse_arena, r, &t.gt_logits);
                 sigma_acc += losses.sigma + coarse_loss;
                 color_acc += losses.color;
             }
-            let rays_done = acquired.len();
+            let rays_done = targets.len();
             if rays_done > 0 {
                 adam.step(&mut model.params_mut());
                 sigma_losses.push(sigma_acc / rays_done as f32);
@@ -225,62 +244,61 @@ impl Trainer {
         Some(RaySpec { ray, depths })
     }
 
-    /// Acquires features + ground truth for every ray of a step in one
-    /// fused parallel map over all of the step's (ray, point) pairs —
-    /// full *and* coarse-pass aggregation together. Acquisition is
-    /// RNG-free and results regroup in (ray, depth) order, so training
-    /// stays bit-identical to per-ray acquisition while the fan-out
-    /// grain grows from one short ray to the whole step.
+    /// Acquires features + ground truth for every ray of a step into
+    /// the trainer's persistent step arenas (one sealed arena ray per
+    /// training ray, full and coarse-pass aggregation side by side).
+    /// Acquisition is RNG-free and fills in (ray, depth) order — the
+    /// same per-point arithmetic and order as the AoS path it
+    /// replaces, so training streams stay bit-compatible — and, once
+    /// the arenas have grown, performs zero heap allocations beyond
+    /// the per-ray target vectors.
     fn acquire_step(
+        &mut self,
         pd: &PreparedDataset,
         specs: &[RaySpec],
         model: &GenNerfModel,
-        cfg: &TrainConfig,
-    ) -> Vec<AcquiredRay> {
+    ) -> Vec<RayTargets> {
         let ds = pd.dataset;
         let d = model.config.d_features;
         let dc = model.config.coarse_channels;
         let coarse_views = 4.min(pd.sources.len());
-        let flat: Vec<(usize, f32)> = specs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, s)| s.depths.iter().map(move |&t| (i, t)))
-            .collect();
-        let per_point = gen_nerf_parallel::par_map_min(&flat, 16, |_, &(i, t)| {
-            let ray = &specs[i].ray;
-            let p = ray.at(t);
-            let sigma = ds.scene.density(p);
-            (
-                aggregate_point(p, ray.direction, &pd.sources, d),
-                aggregate_point(p, ray.direction, &pd.sources[..coarse_views], dc),
-                sigma,
-                if sigma > cfg.color_threshold {
-                    ds.scene.color(p, ray.direction)
+        self.full_arena.reset(pd.sources.len(), d);
+        self.coarse_arena.reset(coarse_views, dc);
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            aggregate_ray_into(
+                &spec.ray,
+                &spec.depths,
+                &pd.sources,
+                d,
+                &mut self.full_arena,
+            );
+            aggregate_ray_into(
+                &spec.ray,
+                &spec.depths,
+                &pd.sources[..coarse_views],
+                dc,
+                &mut self.coarse_arena,
+            );
+            let n = spec.depths.len();
+            let mut targets = RayTargets {
+                gt_logits: Vec::with_capacity(n),
+                gt_colors: Vec::with_capacity(n),
+                mask: Vec::with_capacity(n),
+            };
+            for &t in &spec.depths {
+                let p = spec.ray.at(t);
+                let sigma = ds.scene.density(p);
+                let masked = sigma > self.cfg.color_threshold;
+                targets.gt_logits.push(logit_from_density(sigma));
+                targets.gt_colors.push(if masked {
+                    ds.scene.color(p, spec.ray.direction)
                 } else {
                     Vec3::ZERO
-                },
-            )
-        });
-        let mut out: Vec<AcquiredRay> = specs
-            .iter()
-            .map(|s| {
-                let n = s.depths.len();
-                AcquiredRay {
-                    aggs: Vec::with_capacity(n),
-                    coarse_aggs: Vec::with_capacity(n),
-                    gt_logits: Vec::with_capacity(n),
-                    gt_colors: Vec::with_capacity(n),
-                    mask: Vec::with_capacity(n),
-                }
-            })
-            .collect();
-        for ((i, _), (agg, coarse_agg, sigma, color)) in flat.iter().zip(per_point) {
-            let ray = &mut out[*i];
-            ray.aggs.push(agg);
-            ray.coarse_aggs.push(coarse_agg);
-            ray.gt_logits.push(logit_from_density(sigma));
-            ray.gt_colors.push(color);
-            ray.mask.push(sigma > cfg.color_threshold);
+                });
+                targets.mask.push(masked);
+            }
+            out.push(targets);
         }
         out
     }
@@ -292,10 +310,9 @@ struct RaySpec {
     depths: Vec<f32>,
 }
 
-/// One ray's acquired features and supervision targets.
-struct AcquiredRay {
-    aggs: Vec<crate::features::PointAggregate>,
-    coarse_aggs: Vec<crate::features::PointAggregate>,
+/// One ray's supervision targets (its features live in the step
+/// arenas).
+struct RayTargets {
     gt_logits: Vec<f32>,
     gt_colors: Vec<Vec3>,
     mask: Vec<bool>,

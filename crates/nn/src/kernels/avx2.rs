@@ -78,6 +78,26 @@ impl MicroKernel for Avx2Kernel {
         unsafe { softmax_rows_avx2(data, cols) }
     }
 
+    fn add_assign(&self, acc: &mut [f32], x: &[f32]) {
+        // Hard assert: the vector body loads/stores `x.len()` elements
+        // of `acc`, so a longer `x` would be out-of-bounds UB from
+        // safe code if only debug-checked.
+        assert!(x.len() <= acc.len(), "add_assign: x longer than acc");
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs);
+        // bounds guaranteed by the assert above.
+        unsafe { add_assign_avx2(acc, x) }
+    }
+
+    fn sq_diff_add(&self, acc: &mut [f32], x: &[f32], mean: &[f32]) {
+        assert!(x.len() <= acc.len(), "sq_diff_add: x longer than acc");
+        assert!(x.len() <= mean.len(), "sq_diff_add: x longer than mean");
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs);
+        // bounds guaranteed by the asserts above.
+        unsafe { sq_diff_add_avx2(acc, x, mean) }
+    }
+
     fn int8_matmul(
         &self,
         a: &[i8],
@@ -244,6 +264,49 @@ unsafe fn relu_avx2(data: &mut [f32]) {
         // `vmaxps(x, 0)` semantics exactly: x > 0 ? x : 0 (NaN and
         // −0.0 both map to +0.0).
         *v = if *v > 0.0 { *v } else { 0.0 };
+    }
+}
+
+/// `acc[i] += x[i]` over the leading `x.len()` elements. Binary `+` is
+/// exactly rounded, so lanes and the scalar remainder agree with the
+/// scalar backend bit-for-bit.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_assign_avx2(acc: &mut [f32], x: &[f32]) {
+    let n = x.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_add_ps(a, v));
+        i += 8;
+    }
+    for (a, &v) in acc[i..n].iter_mut().zip(&x[i..n]) {
+        *a += v;
+    }
+}
+
+/// `acc[i] += (x[i] − mean[i])²` over the leading `x.len()` elements.
+/// Deliberately sub → mul → add (no FMA contraction), so each element
+/// matches the scalar backend bit-for-bit — this is what keeps SoA
+/// feature aggregation backend-independent.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sq_diff_add_avx2(acc: &mut [f32], x: &[f32], mean: &[f32]) {
+    let n = x.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        let m = _mm256_loadu_ps(mean.as_ptr().add(i));
+        let d = _mm256_sub_ps(v, m);
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i),
+            _mm256_add_ps(a, _mm256_mul_ps(d, d)),
+        );
+        i += 8;
+    }
+    for ((a, &v), &m) in acc[i..n].iter_mut().zip(&x[i..n]).zip(&mean[i..n]) {
+        let d = v - m;
+        *a += d * d;
     }
 }
 

@@ -173,6 +173,26 @@ pub trait MicroKernel: Sync {
     /// row of `data`.
     fn softmax_rows(&self, data: &mut [f32], cols: usize);
 
+    /// Elementwise accumulate: `acc[i] += x[i]`. One exactly-rounded
+    /// binary add per element, so every backend agrees **bit-for-bit**
+    /// (like the INT8 GEMM) — the per-view mean-accumulation step of
+    /// feature aggregation relies on this to keep SoA acquisition
+    /// bitwise equal to the seed AoS path on every backend.
+    ///
+    /// `x.len()` must not exceed `acc.len()`; trailing `acc` elements
+    /// are untouched.
+    fn add_assign(&self, acc: &mut [f32], x: &[f32]);
+
+    /// Elementwise squared-difference accumulate:
+    /// `acc[i] += (x[i] − mean[i]) · (x[i] − mean[i])`, computed as a
+    /// subtract, a multiply and an add — three exactly-rounded ops,
+    /// **never** contracted into an FMA — so every backend agrees
+    /// bit-for-bit (the per-view variance-accumulation step of feature
+    /// aggregation).
+    ///
+    /// `x.len()` must not exceed `acc.len()` or `mean.len()`.
+    fn sq_diff_add(&self, acc: &mut [f32], x: &[f32], mean: &[f32]);
+
     /// INT8 GEMM with i32 accumulation: `out[i,j] = (Σₖ a[i,k]·b[k,j])
     /// as f32 · scale_a · scale_b` (two rescale multiplications, in
     /// that order — the historical arithmetic). Integer accumulation
@@ -456,6 +476,55 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn accumulate_ops_agree_bitwise() {
+        // The aggregation accumulators are exact elementwise chains
+        // (add; sub → mul → add), so — like the INT8 GEMM — every
+        // backend must agree bit-for-bit, including the remainder
+        // lanes.
+        for len in [1usize, 3, 7, 8, 9, 12, 16, 26, 33] {
+            let mut vals = value_stream(len as u32 * 101);
+            let base = pseudo(&mut vals, len);
+            let x = pseudo(&mut vals, len);
+            let mean = pseudo(&mut vals, len);
+            let scalar = kernel_for(Backend::Scalar);
+            let mut ref_add = base.clone();
+            scalar.add_assign(&mut ref_add, &x);
+            let mut ref_sq = base.clone();
+            scalar.sq_diff_add(&mut ref_sq, &x, &mean);
+            for backend in runnable_backends() {
+                let kern = kernel_for(backend);
+                let mut add = base.clone();
+                kern.add_assign(&mut add, &x);
+                let ab: Vec<u32> = add.iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = ref_add.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, rb, "{}: add_assign len {len}", backend.name());
+                let mut sq = base.clone();
+                kern.sq_diff_add(&mut sq, &x, &mean);
+                let sb: Vec<u32> = sq.iter().map(|v| v.to_bits()).collect();
+                let qb: Vec<u32> = ref_sq.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sb, qb, "{}: sq_diff_add len {len}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_ops_leave_tail_untouched() {
+        // `x` shorter than `acc`: trailing accumulator elements must
+        // not move (aggregation uses a full-width stats row with a
+        // shorter fetched-feature slice).
+        for backend in runnable_backends() {
+            let kern = kernel_for(backend);
+            let mut acc = vec![1.0f32; 10];
+            kern.add_assign(&mut acc, &[2.0; 4]);
+            assert_eq!(&acc[..4], &[3.0; 4]);
+            assert_eq!(&acc[4..], &[1.0; 6], "{}", backend.name());
+            kern.sq_diff_add(&mut acc, &[5.0; 4], &[2.0; 4]);
+            assert_eq!(&acc[..4], &[12.0; 4]);
+            assert_eq!(&acc[4..], &[1.0; 6], "{}", backend.name());
         }
     }
 

@@ -135,6 +135,24 @@ impl MicroKernel for ScalarKernel {
         data.iter_mut().for_each(|v| *v = v.max(0.0));
     }
 
+    fn add_assign(&self, acc: &mut [f32], x: &[f32]) {
+        // Hard assert: the AVX2 backend would walk past `acc` on this
+        // misuse, so every backend must reject it identically.
+        assert!(x.len() <= acc.len(), "add_assign: x longer than acc");
+        for (a, &v) in acc.iter_mut().zip(x) {
+            *a += v;
+        }
+    }
+
+    fn sq_diff_add(&self, acc: &mut [f32], x: &[f32], mean: &[f32]) {
+        assert!(x.len() <= acc.len(), "sq_diff_add: x longer than acc");
+        assert!(x.len() <= mean.len(), "sq_diff_add: x longer than mean");
+        for ((a, &v), &m) in acc.iter_mut().zip(x).zip(mean) {
+            let d = v - m;
+            *a += d * d;
+        }
+    }
+
     fn softmax_rows(&self, data: &mut [f32], cols: usize) {
         debug_assert_eq!(data.len() % cols.max(1), 0);
         if cols == 0 {

@@ -315,6 +315,26 @@ impl Tensor2 {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Reshapes to `0 × cols`, reusing the existing buffer — the reset
+    /// step of a row-appended tensor (see
+    /// [`Tensor2::push_row_zeroed`]).
+    pub fn reset_rows(&mut self, cols: usize) {
+        self.rows = 0;
+        self.cols = cols;
+        self.data.clear();
+    }
+
+    /// Appends one zeroed row and returns it for filling. Capacity is
+    /// retained across [`Tensor2::reset_rows`] cycles, so a steady-state
+    /// producer (e.g. an aggregation arena growing one stats row per
+    /// sampled point) stops allocating once the buffer has grown.
+    pub fn push_row_zeroed(&mut self) -> &mut [f32] {
+        let start = self.data.len();
+        self.data.resize(start + self.cols, 0.0);
+        self.rows += 1;
+        &mut self.data[start..]
+    }
+
     /// Column-wise sum, producing a 1×cols row vector.
     pub fn sum_rows(&self) -> Self {
         let mut out = Self::zeros(1, self.cols);
@@ -642,6 +662,24 @@ mod tests {
         t.reset_zeroed(4, 2);
         assert_eq!((t.rows(), t.cols()), (4, 2));
         assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn push_row_zeroed_grows_without_reallocating_after_reset() {
+        let mut t = Tensor2::full(2, 3, 7.0);
+        t.reset_rows(4);
+        assert_eq!((t.rows(), t.cols()), (0, 4));
+        t.push_row_zeroed().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.push_row_zeroed();
+        assert_eq!(r, &[0.0; 4]);
+        assert_eq!((t.rows(), t.cols()), (2, 4));
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0, 4.0]);
+        // A reset + refill of the same shape must not reallocate.
+        let cap_ptr = t.as_slice().as_ptr();
+        t.reset_rows(4);
+        t.push_row_zeroed();
+        t.push_row_zeroed();
+        assert_eq!(t.as_slice().as_ptr(), cap_ptr);
     }
 
     fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {

@@ -85,5 +85,5 @@ pub use server::{
 };
 pub use session::{
     poses_coherent, CacheStats, CoherenceConfig, DeadlineClass, ResolutionTier, SceneState,
-    SessionConfig, SessionId,
+    SessionConfig, SessionId, DEFAULT_CACHE_BUDGET_BYTES,
 };

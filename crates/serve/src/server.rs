@@ -3,8 +3,8 @@
 //! multi-frame renders on a persistent worker pool.
 
 use crate::session::{
-    poses_coherent, CacheEntry, CacheStats, DeadlineClass, ResolutionTier, SceneState,
-    SessionConfig, SessionId, SessionState,
+    CacheEntry, CacheStats, DeadlineClass, ResolutionTier, SceneState, SessionConfig, SessionId,
+    SessionState,
 };
 use gen_nerf::config::SamplingStrategy;
 use gen_nerf::pipeline::{CoarseFrame, RenderStats, Renderer};
@@ -465,17 +465,14 @@ fn render_group(
             outcomes.push(CacheOutcome::Bypass);
             continue;
         }
-        let cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
-        match cache.as_ref() {
-            Some(entry)
-                if entry.tier == frame.tier
-                    && poses_coherent(&entry.pose, &frame.pose, &state.cfg.coherence) =>
-            {
+        let mut cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
+        match cache.lookup(frame.tier, &frame.pose, &state.cfg.coherence) {
+            Some(coarse) => {
                 state.hits.fetch_add(1, Ordering::Relaxed);
-                cached_arcs.push(Some(Arc::clone(&entry.coarse)));
+                cached_arcs.push(Some(coarse));
                 outcomes.push(CacheOutcome::Hit);
             }
-            _ => {
+            None => {
                 state.misses.fetch_add(1, Ordering::Relaxed);
                 cached_arcs.push(None);
                 outcomes.push(CacheOutcome::Miss);
@@ -502,15 +499,26 @@ fn render_group(
     let exports = renderer.render_frames_cached(&cameras, &cached_refs, &mut images, &mut stats);
     let finished = Instant::now();
 
-    // Re-anchor caches on fresh coarse passes, in admission order.
+    // Anchor fresh coarse passes, in admission order; the LRU tail is
+    // evicted past the session's byte budget and counted.
     for (((frame, state), export), outcome) in group.iter().zip(exports).zip(&outcomes) {
         if let Some(coarse) = export {
             if *outcome == CacheOutcome::Miss {
-                *state.cache.lock().unwrap_or_else(|e| e.into_inner()) = Some(CacheEntry {
-                    pose: frame.pose,
-                    tier: frame.tier,
-                    coarse: Arc::new(coarse),
-                });
+                let evicted = state
+                    .cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(
+                        CacheEntry {
+                            pose: frame.pose,
+                            tier: frame.tier,
+                            coarse: Arc::new(coarse),
+                        },
+                        state.cfg.cache_budget_bytes,
+                    );
+                if evicted > 0 {
+                    state.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -631,6 +639,66 @@ mod tests {
         let stats = server.cache_stats(session);
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revisited_pose_hits_a_retained_anchor() {
+        // Multi-anchor retention: A, far-B, A again — the second A
+        // must hit A's retained anchor (the single-anchor cache of old
+        // would have re-probed).
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let far = ds
+            .eval_views
+            .get(1)
+            .map(|v| v.camera.pose)
+            .unwrap_or_else(|| {
+                gen_nerf_geometry::Pose::look_at(Vec3::new(-3.0, 1.0, -3.0), Vec3::ZERO, Vec3::Y)
+            });
+        let session = server.create_session(
+            scene,
+            SessionConfig::new(cam.intrinsics, ctf())
+                .with_coherence(CoherenceConfig::within(0.05, 0.02)),
+        );
+        let a1 = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        let b = server.submit(session, FrameRequest::new(far)).wait();
+        let a2 = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        assert_eq!(a1.serve.cache, CacheOutcome::Miss);
+        assert_eq!(b.serve.cache, CacheOutcome::Miss);
+        assert_eq!(a2.serve.cache, CacheOutcome::Hit, "revisit did not hit");
+        assert_eq!(a1.image.as_slice(), a2.image.as_slice());
+        let stats = server.cache_stats(session);
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 2, 0));
+    }
+
+    #[test]
+    fn cache_budget_caps_anchors_and_counts_evictions() {
+        // A one-byte budget evicts every fresh anchor immediately:
+        // identical repeated poses keep missing, and the eviction
+        // counter records each discarded anchor.
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(
+            scene,
+            SessionConfig::new(cam.intrinsics, ctf())
+                .with_coherence(CoherenceConfig::within(0.05, 0.02))
+                .with_cache_budget(1),
+        );
+        let first = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        let second = server.submit(session, FrameRequest::new(cam.pose)).wait();
+        assert_eq!(first.serve.cache, CacheOutcome::Miss);
+        assert_eq!(
+            second.serve.cache,
+            CacheOutcome::Miss,
+            "anchor survived a 1-byte budget"
+        );
+        // Budget off the cache path entirely: pixels still exact.
+        assert_eq!(first.image.as_slice(), second.image.as_slice());
+        let stats = server.cache_stats(session);
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+        assert_eq!(stats.evictions, 2);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Regression suite for zero-allocation SoA feature acquisition.
+//!
+//! Two contracts pinned here:
+//!
+//! * **Bitwise layout equivalence** — [`aggregate_points_into`] (the
+//!   SoA arena fill the fused render schedule uses) must reproduce the
+//!   seed [`aggregate_point`] AoS path bit-for-bit, across view
+//!   counts, channel widths and partial visibility. Property-tested;
+//!   both layouts share one per-point fill routine, so this pin
+//!   catches any future divergence (e.g. a vectorization that changes
+//!   accumulation order). The render-level consequence — fused-arena
+//!   renders ≡ per-ray reference renders — is pinned at scale by
+//!   `tests/fused_forward_regression.rs`, whose fused path now runs
+//!   entirely off the arena.
+//! * **The allocation budget** — steady-state fused rendering must
+//!   stay under an allocations/frame ceiling, and the acquisition
+//!   phase itself must allocate **nothing** once the worker arena has
+//!   grown. Measured with a thread-local counting allocator (the
+//!   render is pinned to one inline thread), so concurrently running
+//!   tests cannot blur the count. `perf_report` enforces the same
+//!   ceiling in CI on both kernel legs.
+
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::features::{
+    aggregate_point, aggregate_points_into, prepare_sources, AggregateArena, AggregateView,
+    PointAggregate, SourceViewData,
+};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf::pipeline::{RenderStats, Renderer};
+use gen_nerf_geometry::Vec3;
+use gen_nerf_scene::{Dataset, DatasetKind, Image};
+use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+// ---- thread-local counting allocator --------------------------------
+
+/// Counts heap allocations **per thread**, so the allocation pins below
+/// are immune to other tests running concurrently in this binary.
+struct ThreadCountingAlloc;
+
+thread_local! {
+    static LOCAL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_allocations() -> u64 {
+    LOCAL_ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for ThreadCountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` so allocations during TLS teardown stay safe.
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: ThreadCountingAlloc = ThreadCountingAlloc;
+
+// ---- shared scene ----------------------------------------------------
+
+fn sources() -> &'static Vec<SourceViewData> {
+    static SOURCES: OnceLock<Vec<SourceViewData>> = OnceLock::new();
+    SOURCES.get_or_init(|| {
+        let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 4, 1, 24, 3);
+        prepare_sources(&ds.source_views)
+    })
+}
+
+fn stats_bits(stats: &[f32]) -> Vec<u32> {
+    stats.iter().map(|v| v.to_bits()).collect()
+}
+
+// ---- bitwise layout equivalence --------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The arena fill reproduces the seed per-point aggregation
+    /// bit-for-bit: every exported stats row, color/blend plane,
+    /// validity plane and valid count equals `aggregate_point`'s, for
+    /// any source-view count, channel width and visibility pattern
+    /// (`far_every` pushes a sub-lattice of the points outside every
+    /// frustum).
+    #[test]
+    fn prop_arena_fill_matches_seed_aggregate_point_bitwise(
+        d in 1usize..13,
+        n_views in 1usize..5,
+        far_every in 2usize..5,
+        raw in proptest::collection::vec(
+            (-1.6f32..1.6, -1.6f32..1.6, -2.2f32..2.2),
+            1..14
+        ),
+    ) {
+        let all = sources();
+        let views = &all[..n_views.min(all.len())];
+        let pts: Vec<Vec3> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z))| {
+                let p = Vec3::new(x, y, z);
+                // Partial visibility: every `far_every`-th point is
+                // pushed far outside the capture rig.
+                if i % far_every == 0 { p * 400.0 } else { p }
+            })
+            .collect();
+        let dirs: Vec<Vec3> = raw
+            .iter()
+            .map(|&(x, y, z)| {
+                Vec3::new(y, z, x).try_normalized().unwrap_or(Vec3::Z)
+            })
+            .collect();
+
+        let mut arena = AggregateArena::default();
+        arena.reset(views.len(), d);
+        aggregate_points_into(&pts, &dirs, views, d, &mut arena);
+        prop_assert_eq!(arena.n_rays(), 1);
+        prop_assert_eq!(arena.total_points(), pts.len());
+        prop_assert_eq!(arena.stats().cols(), PointAggregate::stats_dim(d));
+
+        for (k, (&p, &dir)) in pts.iter().zip(&dirs).enumerate() {
+            let seed = aggregate_point(p, dir, views, d);
+            prop_assert_eq!(
+                stats_bits(arena.stats_row(k)),
+                stats_bits(&seed.stats),
+                "stats bits diverged at point {} (d={}, views={})",
+                k, d, views.len()
+            );
+            prop_assert_eq!(&arena.export(k), &seed, "export diverged at point {}", k);
+            prop_assert_eq!(arena.n_valid(k), seed.n_valid);
+        }
+        // The pair count feeding the fused blend head is consistent.
+        let pairs: usize = (0..pts.len()).map(|k| arena.n_valid(k)).sum();
+        prop_assert_eq!(arena.valid_pairs(), pairs);
+    }
+}
+
+// ---- allocation budget ----------------------------------------------
+
+/// The shared steady-state ceiling — `perf_report` enforces the same
+/// constant in CI, so the two gates cannot drift apart.
+const ALLOC_CEILING: u64 = gen_nerf::pipeline::STEADY_STATE_ALLOC_CEILING;
+
+#[test]
+fn steady_state_fused_render_stays_under_alloc_ceiling() {
+    // The perf_report allocation workload, bit for bit: same dataset,
+    // strategy and resolution, single inline thread.
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 6, 1, 32, 7);
+    let sources = prepare_sources(&ds.source_views);
+    let model = GenNerfModel::new(ModelConfig::fast());
+    let renderer = Renderer::new(
+        &model,
+        &sources,
+        SamplingStrategy::Uniform { n: 12 },
+        ds.scene.bounds,
+        ds.scene.background,
+    )
+    .with_threads(1);
+    let cam = &ds.eval_views[0].camera;
+    let mut image = Image::new(0, 0);
+    let mut stats = RenderStats::default();
+    // Warm the worker scratch (arena growth, forward buffers) once.
+    renderer.render_into(cam, &mut image, &mut stats);
+    let before = local_allocations();
+    renderer.render_into(cam, &mut image, &mut stats);
+    let per_frame = local_allocations() - before;
+    assert!(
+        per_frame < ALLOC_CEILING,
+        "steady-state fused render performed {per_frame} allocations/frame \
+         (ceiling {ALLOC_CEILING}) — the arena acquisition path has regressed"
+    );
+}
+
+#[test]
+fn steady_state_arena_acquisition_allocates_nothing() {
+    let views = sources();
+    let pts: Vec<Vec3> = (0..48)
+        .map(|i| {
+            Vec3::new(
+                (i as f32 * 0.13).sin(),
+                (i as f32 * 0.07).cos(),
+                i as f32 * 0.02 - 0.5,
+            )
+        })
+        .collect();
+    let dirs = vec![Vec3::Z; pts.len()];
+    let mut arena = AggregateArena::default();
+    // Growth pass.
+    arena.reset(views.len(), 12);
+    aggregate_points_into(&pts, &dirs, views, 12, &mut arena);
+    // Steady-state pass: the tentpole contract — zero heap
+    // allocations.
+    let before = local_allocations();
+    arena.reset(views.len(), 12);
+    aggregate_points_into(&pts, &dirs, views, 12, &mut arena);
+    let during = local_allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state arena acquisition allocated {during} times"
+    );
+    assert_eq!(arena.total_points(), pts.len());
+}
