@@ -1,0 +1,348 @@
+//! Thousand-session scale harness for the sharded serve tier.
+//!
+//! Drives a [`RenderServer`] with **open-loop Poisson arrivals** from
+//! [`gen_nerf_bench::loadgen`]: per-session pose trajectories and
+//! request times are drawn up front from a fixed seed ([`SEED_ENV`]
+//! overridable), so two runs replay the identical request schedule —
+//! the arrival process does not slow down when the server saturates,
+//! which is what exposes the admission-control behaviour (BestEffort
+//! sheds first, Interactive degrades to the quarter tier before the
+//! hard bound sheds it too).
+//!
+//! Each scenario records per-class completion counts, shed/degrade
+//! counters, Interactive latency percentiles (p50/p99/p999) and the
+//! configuration's saturation throughput (a closed burst through a
+//! shed-free server) into `BENCH_scale.json` (current directory, or
+//! the path in `GEN_NERF_SCALE_OUT`).
+//!
+//! `--test` runs a miniature below-saturation workload — the CI smoke
+//! mode — and **exits non-zero if any Interactive frame was shed**,
+//! the admission-control regression gate.
+
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf_bench::loadgen::{load_plan, seed_from_env, Arrival, LoadSpec, SEED_ENV};
+use gen_nerf_geometry::Intrinsics;
+use gen_nerf_scene::{Dataset, DatasetKind};
+use gen_nerf_serve::{
+    AdmissionConfig, DeadlineClass, FrameRequest, RenderServer, SceneState, ServeError,
+    ServerConfig, SessionConfig, SessionId,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// One scenario's outcome row.
+struct Outcome {
+    spec: LoadSpec,
+    duration_s: f64,
+    completed: u64,
+    completed_interactive: u64,
+    degraded: u64,
+    shed_best_effort: u64,
+    shed_interactive: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    saturation_fps: f64,
+}
+
+fn build_scenes(n: usize, res: usize) -> Vec<Arc<SceneState>> {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 4, 1, res, 5);
+    (0..n)
+        .map(|_| {
+            let model = GenNerfModel::new(ModelConfig::fast());
+            Arc::new(SceneState::prepare(
+                model,
+                &ds.source_views,
+                ds.scene.bounds,
+                ds.scene.background,
+            ))
+        })
+        .collect()
+}
+
+fn make_server(scenes: &[Arc<SceneState>], admission: AdmissionConfig) -> RenderServer {
+    RenderServer::new(
+        ServerConfig::default()
+            .with_max_shards(scenes.len())
+            .with_admission(admission),
+    )
+}
+
+fn create_sessions(
+    server: &RenderServer,
+    scenes: &[Arc<SceneState>],
+    n: usize,
+    intrinsics: Intrinsics,
+    strategy: SamplingStrategy,
+) -> Vec<SessionId> {
+    (0..n)
+        .map(|s| {
+            server.create_session(
+                Arc::clone(&scenes[s % scenes.len()]),
+                SessionConfig::new(intrinsics, strategy),
+            )
+        })
+        .collect()
+}
+
+/// Saturation throughput of this scene/shard/thread configuration: a
+/// closed burst through a server whose admission bounds are far above
+/// the burst size, so nothing sheds and the shards run flat out.
+fn measure_saturation(
+    scenes: &[Arc<SceneState>],
+    intrinsics: Intrinsics,
+    strategy: SamplingStrategy,
+    burst: usize,
+) -> f64 {
+    let server = make_server(scenes, AdmissionConfig::with_capacity(burst + 1));
+    let sessions = create_sessions(&server, scenes, scenes.len() * 4, intrinsics, strategy);
+    let plan = load_plan(&LoadSpec {
+        sessions: sessions.len(),
+        frames_per_session: burst.div_ceil(sessions.len()),
+        rate_hz: 1.0,
+        best_effort_fraction: 0.0,
+        scenes: scenes.len(),
+        seed: 17,
+    });
+    // Warm the shard pools before timing.
+    server
+        .submit(sessions[0], FrameRequest::new(plan[0].pose))
+        .wait();
+    let t0 = Instant::now();
+    let handles: Vec<_> = plan
+        .iter()
+        .take(burst)
+        .map(|a| server.submit(sessions[a.session], FrameRequest::new(a.pose)))
+        .collect();
+    let n = handles.len();
+    for h in handles {
+        h.wait();
+    }
+    n as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Replays `spec` open-loop against a fresh server and collects the
+/// admission/latency outcome.
+fn run_scenario(
+    spec: LoadSpec,
+    scenes: &[Arc<SceneState>],
+    intrinsics: Intrinsics,
+    strategy: SamplingStrategy,
+    admission: AdmissionConfig,
+    saturation_fps: f64,
+) -> Outcome {
+    let plan = load_plan(&spec);
+    let server = make_server(scenes, admission);
+    let sessions = create_sessions(&server, scenes, spec.sessions, intrinsics, strategy);
+    // Warm every shard before the clock starts.
+    for scene_idx in 0..scenes.len() {
+        server
+            .submit(sessions[scene_idx], FrameRequest::new(plan[0].pose))
+            .wait();
+    }
+
+    let start = Instant::now();
+    let mut handles: Vec<(DeadlineClass, _)> = Vec::with_capacity(plan.len());
+    for arrival in &plan {
+        let Arrival {
+            at_ms,
+            session,
+            pose,
+            deadline,
+            ..
+        } = *arrival;
+        let target = Duration::from_secs_f64(at_ms / 1e3);
+        if let Some(sleep) = target.checked_sub(start.elapsed()) {
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+        }
+        let req = FrameRequest::new(pose).with_deadline(deadline);
+        handles.push((deadline, server.submit(sessions[session], req)));
+    }
+    let mut interactive_ms: Vec<f64> = Vec::new();
+    let mut completed = 0u64;
+    let mut completed_interactive = 0u64;
+    for (class, handle) in handles {
+        match handle.wait_result() {
+            Ok(frame) => {
+                completed += 1;
+                if class == DeadlineClass::Interactive {
+                    completed_interactive += 1;
+                    interactive_ms.push(frame.serve.latency.as_secs_f64() * 1e3);
+                }
+            }
+            Err(ServeError::Shed { .. }) => {}
+            Err(ServeError::Failed(msg)) => panic!("frame failed under load: {msg}"),
+        }
+    }
+    let duration_s = start.elapsed().as_secs_f64();
+    let adm = server.admission_stats();
+    interactive_ms.sort_by(|a, b| a.total_cmp(b));
+    Outcome {
+        spec,
+        duration_s,
+        completed,
+        completed_interactive,
+        degraded: adm.degraded,
+        shed_best_effort: adm.shed_best_effort,
+        shed_interactive: adm.shed_interactive,
+        p50_ms: percentile(&interactive_ms, 0.50),
+        p99_ms: percentile(&interactive_ms, 0.99),
+        p999_ms: percentile(&interactive_ms, 0.999),
+        saturation_fps,
+    }
+}
+
+fn outcome_json(o: &Outcome) -> String {
+    let offered = o.spec.sessions as f64 * o.spec.rate_hz;
+    format!(
+        "    {{\n      \"sessions\": {},\n      \
+         \"frames_per_session\": {},\n      \
+         \"scenes\": {},\n      \
+         \"rate_hz_per_session\": {:.2},\n      \
+         \"offered_fps\": {offered:.1},\n      \
+         \"saturation_fps\": {:.1},\n      \
+         \"duration_s\": {:.2},\n      \
+         \"completed\": {},\n      \
+         \"completed_interactive\": {},\n      \
+         \"degraded\": {},\n      \
+         \"shed_best_effort\": {},\n      \
+         \"shed_interactive\": {},\n      \
+         \"interactive_latency_ms_p50\": {:.2},\n      \
+         \"interactive_latency_ms_p99\": {:.2},\n      \
+         \"interactive_latency_ms_p999\": {:.2}\n    }}",
+        o.spec.sessions,
+        o.spec.frames_per_session,
+        o.spec.scenes,
+        o.spec.rate_hz,
+        o.saturation_fps,
+        o.duration_s,
+        o.completed,
+        o.completed_interactive,
+        o.degraded,
+        o.shed_best_effort,
+        o.shed_interactive,
+        o.p50_ms,
+        o.p99_ms,
+        o.p999_ms,
+    )
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let out_path =
+        std::env::var("GEN_NERF_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
+    let seed = seed_from_env(42);
+
+    // Fixed constants, NOT calibrated against measured throughput at
+    // run time: calibration would make the request schedule depend on
+    // the host and break run-to-run schedule determinism.
+    let (res, n_scenes, scenarios): (u32, usize, Vec<(usize, usize, f64)>) = if test_mode {
+        // Smoke: a workload far below any plausible saturation point,
+        // so the Interactive-shed gate below is meaningful.
+        (12, 2, vec![(6, 3, 4.0)])
+    } else {
+        // (sessions, frames/session, per-session Hz): ~300 offered fps
+        // at 100 sessions, overload at 1,000 and deep overload at
+        // 5,000 — the shed/degrade story at scale.
+        (16, 3, vec![(100, 12, 3.0), (1000, 6, 1.0), (5000, 3, 0.8)])
+    };
+    let strategy = SamplingStrategy::coarse_then_focus(8, 8);
+    let intrinsics = Intrinsics::from_fov(res, res, 0.55);
+    let admission = AdmissionConfig::with_capacity(if test_mode { 64 } else { 256 });
+    let best_effort_fraction = 0.25;
+
+    println!("preparing {n_scenes} scenes at {res}x{res} ...");
+    let scenes = build_scenes(n_scenes, res as usize);
+    println!("measuring saturation throughput (closed burst) ...");
+    let burst = if test_mode { 24 } else { 240 };
+    let saturation_fps = measure_saturation(&scenes, intrinsics, strategy, burst);
+    println!("saturation: {saturation_fps:.1} frames/sec");
+
+    let mut outcomes = Vec::new();
+    for &(sessions, frames_per_session, rate_hz) in &scenarios {
+        let spec = LoadSpec {
+            sessions,
+            frames_per_session,
+            rate_hz,
+            best_effort_fraction,
+            scenes: n_scenes,
+            seed,
+        };
+        println!(
+            "open-loop: {sessions} sessions x {frames_per_session} frames at {rate_hz:.2} Hz \
+             (offered {:.0} fps) ...",
+            sessions as f64 * rate_hz
+        );
+        let o = run_scenario(
+            spec,
+            &scenes,
+            intrinsics,
+            strategy,
+            admission,
+            saturation_fps,
+        );
+        println!(
+            "  completed {} / {} (degraded {}, shed BE {}, shed INT {}), \
+             interactive p50 {:.1} ms p99 {:.1} ms p999 {:.1} ms",
+            o.completed,
+            spec.sessions * spec.frames_per_session,
+            o.degraded,
+            o.shed_best_effort,
+            o.shed_interactive,
+            o.p50_ms,
+            o.p99_ms,
+            o.p999_ms,
+        );
+        outcomes.push(o);
+    }
+
+    let rows: Vec<String> = outcomes.iter().map(outcome_json).collect();
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"seed_env\": \"{SEED_ENV}\",\n  \
+         \"threads\": {},\n  \"resolution\": {res},\n  \
+         \"best_effort_fraction\": {best_effort_fraction},\n  \
+         \"queue_capacity\": {},\n  \"interactive_capacity\": {},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        gen_nerf_parallel::num_threads(),
+        admission.queue_capacity,
+        admission.interactive_capacity,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write scale report");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    // CI gate: below the saturation point, admission control must
+    // never shed an Interactive frame.
+    let shed_interactive: u64 = outcomes.iter().map(|o| o.shed_interactive).sum();
+    if test_mode {
+        let offered: f64 = outcomes
+            .iter()
+            .map(|o| o.spec.sessions as f64 * o.spec.rate_hz)
+            .fold(0.0, f64::max);
+        assert!(
+            offered < saturation_fps,
+            "smoke workload is not below saturation ({offered:.0} >= \
+             {saturation_fps:.0} fps); the shed gate would be vacuous"
+        );
+        if shed_interactive > 0 {
+            eprintln!(
+                "SERVE_LOAD_GATE: FAIL — {shed_interactive} Interactive frame(s) shed below \
+                 the saturation point"
+            );
+            std::process::exit(1);
+        }
+        println!("SERVE_LOAD_GATE: OK — no Interactive frames shed below saturation");
+    }
+}

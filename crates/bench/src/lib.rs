@@ -7,3 +7,4 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod loadgen;

@@ -1,0 +1,250 @@
+//! Deterministic open-loop load generation for the serve tier.
+//!
+//! `serve_load` (the scale harness) drives the server with **open-loop
+//! Poisson arrivals**: request times are drawn from each session's
+//! exponential inter-arrival distribution up front, independent of how
+//! fast the server answers — the arrival process never slows down to
+//! match a saturated server, which is exactly what exposes shedding
+//! and degradation. Every draw comes from a [`ChaCha8Rng`] seeded from
+//! a single spec seed (overridable via the [`SEED_ENV`] environment
+//! variable), so two runs of the same spec produce **identical**
+//! request schedules — arrival times, poses, deadline classes, bit for
+//! bit. `schedule_is_deterministic` pins that.
+//!
+//! Each session follows its own pose trajectory: an arc around the
+//! scene with per-session start angle, angular velocity, radius and
+//! height drawn from the session's stream. Sessions are assigned
+//! round-robin to the spec's scene count, so a sharded server sees
+//! cross-scene traffic.
+
+use gen_nerf_geometry::{Pose, Vec3};
+use gen_nerf_serve::DeadlineClass;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Environment variable overriding [`LoadSpec::seed`] (same convention
+/// as the repo's other `GEN_NERF_*` knobs).
+pub const SEED_ENV: &str = "GEN_NERF_SEED";
+
+/// Parses a seed override; `None` or unparseable input falls back to
+/// `default`. Split from the env read so it is testable without
+/// process-global env races.
+pub fn parse_seed(raw: Option<&str>, default: u64) -> u64 {
+    raw.and_then(|s| s.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Reads the [`SEED_ENV`] override, falling back to `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    parse_seed(std::env::var(SEED_ENV).ok().as_deref(), default)
+}
+
+/// One load scenario: how many sessions, how hard each pushes, and the
+/// seed everything derives from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Frames each session requests over the run.
+    pub frames_per_session: usize,
+    /// Mean per-session request rate (Poisson arrivals), frames/sec.
+    pub rate_hz: f64,
+    /// Fraction of frames submitted as [`DeadlineClass::BestEffort`]
+    /// (prefetch traffic); the rest are Interactive.
+    pub best_effort_fraction: f64,
+    /// Distinct scenes; sessions are assigned round-robin.
+    pub scenes: usize,
+    /// Master seed: every arrival time, pose and class derives from it.
+    pub seed: u64,
+}
+
+/// One scheduled request of the load plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Offset from the run start, in milliseconds.
+    pub at_ms: f64,
+    /// Submitting session (dense `0..spec.sessions`).
+    pub session: usize,
+    /// The session's scene (`session % spec.scenes`).
+    pub scene: usize,
+    /// Step index within the session's trajectory.
+    pub step: usize,
+    /// Head pose to render.
+    pub pose: Pose,
+    /// Scheduling class.
+    pub deadline: DeadlineClass,
+}
+
+/// A session's arc trajectory parameters, drawn from its stream.
+struct Trajectory {
+    phase: f32,
+    omega: f32,
+    radius: f32,
+    height: f32,
+}
+
+impl Trajectory {
+    fn draw(rng: &mut ChaCha8Rng) -> Self {
+        Self {
+            phase: rng.gen_range(0.0f64..std::f64::consts::TAU) as f32,
+            omega: rng.gen_range(0.004f64..0.02) as f32,
+            radius: rng.gen_range(3.2f64..4.4) as f32,
+            height: rng.gen_range(0.8f64..1.6) as f32,
+        }
+    }
+
+    fn pose(&self, step: usize) -> Pose {
+        let phi = self.phase + self.omega * step as f32;
+        let eye = Vec3::new(
+            self.radius * phi.cos(),
+            self.height,
+            self.radius * phi.sin(),
+        );
+        Pose::look_at(eye, Vec3::ZERO, Vec3::Y)
+    }
+}
+
+/// Derives session `s`'s private stream from the master seed
+/// (splitmix-style mix so adjacent sessions don't share prefixes).
+fn session_rng(seed: u64, session: usize) -> ChaCha8Rng {
+    let mixed = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(session as u64 + 1))
+        .rotate_left(17)
+        ^ 0xD6E8_FEB8_6659_FD93u64;
+    ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// Builds the full request schedule of `spec`, sorted by arrival time
+/// (ties broken by session then step, so the order itself is
+/// deterministic too).
+pub fn load_plan(spec: &LoadSpec) -> Vec<Arrival> {
+    assert!(spec.rate_hz > 0.0, "rate must be positive");
+    let scenes = spec.scenes.max(1);
+    let mut plan = Vec::with_capacity(spec.sessions * spec.frames_per_session);
+    for s in 0..spec.sessions {
+        let mut rng = session_rng(spec.seed, s);
+        let traj = Trajectory::draw(&mut rng);
+        let mut t_ms = 0.0f64;
+        for k in 0..spec.frames_per_session {
+            // Exponential inter-arrival: -ln(1-u)/rate. u ∈ [0,1), so
+            // 1-u ∈ (0,1] and the log is finite.
+            let u: f64 = rng.gen();
+            t_ms += -(1.0 - u).ln() / spec.rate_hz * 1e3;
+            let deadline = if rng.gen::<f64>() < spec.best_effort_fraction {
+                DeadlineClass::BestEffort
+            } else {
+                DeadlineClass::Interactive
+            };
+            plan.push(Arrival {
+                at_ms: t_ms,
+                session: s,
+                scene: s % scenes,
+                step: k,
+                pose: traj.pose(k),
+                deadline,
+            });
+        }
+    }
+    plan.sort_by(|a, b| {
+        a.at_ms
+            .total_cmp(&b.at_ms)
+            .then(a.session.cmp(&b.session))
+            .then(a.step.cmp(&b.step))
+    });
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64) -> LoadSpec {
+        LoadSpec {
+            sessions: 12,
+            frames_per_session: 9,
+            rate_hz: 40.0,
+            best_effort_fraction: 0.3,
+            scenes: 3,
+            seed,
+        }
+    }
+
+    /// Pose equality down to the bit — `Pose` has no `Eq`, and "close"
+    /// is not the contract here.
+    fn pose_bits(p: &Pose) -> Vec<u32> {
+        let mut bits: Vec<u32> = (0..3)
+            .flat_map(|r| {
+                let row = p.rotation.row(r);
+                [row.x.to_bits(), row.y.to_bits(), row.z.to_bits()]
+            })
+            .collect();
+        bits.extend([
+            p.origin.x.to_bits(),
+            p.origin.y.to_bits(),
+            p.origin.z.to_bits(),
+        ]);
+        bits
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = load_plan(&spec(7));
+        let b = load_plan(&spec(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ms.to_bits(), y.at_ms.to_bits());
+            assert_eq!((x.session, x.scene, x.step), (y.session, y.scene, y.step));
+            assert_eq!(x.deadline, y.deadline);
+            assert_eq!(pose_bits(&x.pose), pose_bits(&y.pose));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = load_plan(&spec(7));
+        let b = load_plan(&spec(8));
+        assert_eq!(a.len(), b.len());
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.at_ms.to_bits() != y.at_ms.to_bits()),
+            "seed change did not move any arrival"
+        );
+    }
+
+    #[test]
+    fn plan_shape_and_ordering() {
+        let s = spec(3);
+        let plan = load_plan(&s);
+        assert_eq!(plan.len(), s.sessions * s.frames_per_session);
+        // Sorted by time; per-session steps strictly ordered in time
+        // (inter-arrival gaps are positive with probability one, and
+        // the sort is stable on ties anyway).
+        assert!(plan.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        for sess in 0..s.sessions {
+            let steps: Vec<usize> = plan
+                .iter()
+                .filter(|a| a.session == sess)
+                .map(|a| a.step)
+                .collect();
+            assert_eq!(steps, (0..s.frames_per_session).collect::<Vec<_>>());
+        }
+        // Scenes assigned round-robin.
+        assert!(plan.iter().all(|a| a.scene == a.session % s.scenes));
+        // Both classes appear at a 0.3 best-effort fraction over 108
+        // draws (probability of either class vanishing is negligible,
+        // and the draw is seed-deterministic anyway).
+        assert!(plan.iter().any(|a| a.deadline == DeadlineClass::BestEffort));
+        assert!(plan
+            .iter()
+            .any(|a| a.deadline == DeadlineClass::Interactive));
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed(None, 42), 42);
+        assert_eq!(parse_seed(Some("7"), 42), 7);
+        assert_eq!(parse_seed(Some(" 19 "), 42), 19);
+        assert_eq!(parse_seed(Some("not-a-seed"), 42), 42);
+        assert_eq!(parse_seed(Some(""), 42), 42);
+    }
+}

@@ -159,6 +159,27 @@ fn chunk_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// Splits a worker budget of `total` threads into `parts` shares, each
+/// at least one thread, sized within one of each other (larger shares
+/// first). When `total < parts` every share still gets one thread —
+/// the caller oversubscribes rather than starving a part, which is the
+/// right trade for scheduler shards that are mostly parked.
+///
+/// This is how a sharded server carves one machine-wide thread budget
+/// into per-shard [`Pool`]s: `partition_threads(budget, shards)[i]` is
+/// shard `i`'s pool size, so the shards together hold (about) the
+/// budget while each keeps the fork–join width it needs to make
+/// progress independently.
+pub fn partition_threads(total: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let total = total.max(1);
+    let base = total / parts;
+    let rem = total % parts;
+    (0..parts)
+        .map(|i| (base + usize::from(i < rem)).max(1))
+        .collect()
+}
+
 /// One job broadcast to the pool: an erased-lifetime pointer to the
 /// caller's task closure. Soundness rests on [`Pool::run_chunks`]
 /// blocking until every worker has finished the job, so the pointee
@@ -437,6 +458,25 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn partition_threads_covers_budget() {
+        // Enough budget: shares sum to the budget, sizes within one.
+        for (total, parts) in [(8usize, 3usize), (16, 4), (7, 7), (9, 2)] {
+            let shares = partition_threads(total, parts);
+            assert_eq!(shares.len(), parts);
+            assert_eq!(shares.iter().sum::<usize>(), total, "{total}/{parts}");
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "{shares:?}");
+            assert!(*min >= 1);
+        }
+        // Scarce budget: every part still gets one thread.
+        assert_eq!(partition_threads(2, 5), vec![1; 5]);
+        assert_eq!(partition_threads(0, 3), vec![1; 3]);
+        // Degenerate part counts.
+        assert_eq!(partition_threads(4, 1), vec![4]);
+        assert_eq!(partition_threads(4, 0), vec![4]);
     }
 
     #[test]

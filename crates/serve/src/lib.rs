@@ -14,17 +14,29 @@
 //!   `prepare_sources` once), the pretrained model (shared `&self`
 //!   across every in-flight frame), scene bounds/background, and an
 //!   optional precomputed occupancy grid handle.
-//! * **A channel event loop** ([`RenderServer`]): requests enter an
-//!   MPSC submission queue and return a [`FrameHandle`] the caller can
-//!   poll or block on. There is no async runtime — the container
-//!   builds with no external crates, so the event loop is exactly what
-//!   `gen-nerf-parallel` is to rayon: `std::sync::mpsc` + a scheduler
-//!   thread + a persistent [`gen_nerf_parallel::Pool`] of render
-//!   workers.
-//! * **Admission batching**: the scheduler drains the queue up to a
-//!   window, orders by [`DeadlineClass`], and coalesces frames of
-//!   sessions that share a scene and strategy into **one** fused
-//!   multi-frame render
+//! * **Scene shards** ([`ShardId`]): the server is partitioned per
+//!   scene. Each registered scene routes (by `Arc` identity) to one
+//!   shard — a scheduler thread owning that scene's request queue, its
+//!   sessions' coherence caches' scheduling, and a private slice of the
+//!   server's thread budget as its own persistent
+//!   [`gen_nerf_parallel::Pool`]. Scheduling never serializes across
+//!   scenes; up to [`ServerConfig::max_shards`] shards spawn lazily,
+//!   further scenes share shards round-robin. There is no async
+//!   runtime — the container builds with no external crates, so each
+//!   shard is `std::sync::mpsc` + a scheduler thread + a worker pool.
+//! * **Admission control** ([`AdmissionConfig`]): every shard queue is
+//!   bounded. At the capacity watermark, [`DeadlineClass::BestEffort`]
+//!   submissions are **shed** (their [`FrameHandle`] resolves
+//!   immediately with [`ServeError::Shed`]) while
+//!   [`DeadlineClass::Interactive`] submissions **degrade** to the
+//!   cached-coarse [`ResolutionTier::Quarter`] tier, shedding only past
+//!   a higher hard bound — overload costs prefetch work and resolution
+//!   before it costs interactive frames.
+//! * **Fair admission batching** ([`FairQueue`]): the shard scheduler
+//!   dequeues in class-priority order with per-tenant round-robin (one
+//!   hot session cannot starve its shard-mates; per-session FIFO is
+//!   never reordered) and coalesces frames of sessions that share a
+//!   scene and strategy into **one** fused multi-frame render
 //!   ([`Renderer::render_frames_cached`](gen_nerf::pipeline::Renderer::render_frames_cached)),
 //!   so concurrent small requests fill the one-GEMM-per-chunk schedule a
 //!   lone request cannot. The kernel batch-independence contract makes
@@ -77,13 +89,22 @@
 //! );
 //! ```
 
+mod admission;
+mod registry;
 mod server;
 mod session;
+mod shard;
 
+pub use admission::{
+    admission_decision, AdmissionConfig, AdmissionDecision, AdmissionStats, FairQueue,
+};
+pub use registry::ShardId;
 pub use server::{
-    CacheOutcome, FrameHandle, FrameRequest, FrameResult, RenderServer, ServeStats, ServerConfig,
+    CacheOutcome, Fault, FrameHandle, FrameRequest, FrameResult, RenderServer, ServeError,
+    ServeStats, ServerConfig,
 };
 pub use session::{
     poses_coherent, CacheStats, CoherenceConfig, DeadlineClass, ResolutionTier, SceneState,
     SessionConfig, SessionId, DEFAULT_CACHE_BUDGET_BYTES,
 };
+pub use shard::ShardStats;

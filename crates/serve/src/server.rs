@@ -1,31 +1,45 @@
-//! The render server: MPSC submission queue, deadline-ordered
-//! admission batching, and the scheduler thread driving fused
-//! multi-frame renders on a persistent worker pool.
+//! The render server front end: session registry, scene→shard
+//! routing, and submission-time admission control.
+//!
+//! Scheduling itself lives in [`shard`](crate::shard): every scene's
+//! sessions route to one shard, which owns their bounded queue, fair
+//! dequeue, and fused batch execution on its own slice of the thread
+//! budget. The front end stays thin — resolve the session, apply the
+//! shed-or-degrade admission policy against the shard's queue depth,
+//! and hand the frame (or an immediate shed error) back through a
+//! [`FrameHandle`].
 
+use crate::admission::{admission_decision, AdmissionDecision, AdmissionStats};
+use crate::registry::{Assignment, SceneRegistry, ShardId};
 use crate::session::{
-    CacheEntry, CacheStats, DeadlineClass, ResolutionTier, SceneState, SessionConfig, SessionId,
+    CacheStats, DeadlineClass, ResolutionTier, SceneState, SessionConfig, SessionId, SessionMap,
     SessionState,
 };
-use gen_nerf::config::SamplingStrategy;
-use gen_nerf::pipeline::{CoarseFrame, RenderStats, Renderer};
-use gen_nerf_geometry::{Camera, Pose};
-use gen_nerf_parallel::Pool;
+use crate::shard::{QueuedFrame, Shard, ShardStats};
+use gen_nerf::pipeline::RenderStats;
+use gen_nerf_geometry::Pose;
+use gen_nerf_parallel::partition_threads;
 use gen_nerf_scene::Image;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server-wide configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Persistent render workers (the fused chunk fan-out width).
-    /// Defaults to [`gen_nerf_parallel::num_threads`].
+    /// Render-worker thread budget, partitioned across shards
+    /// (every shard keeps at least one worker). Defaults to
+    /// [`gen_nerf_parallel::num_threads`].
     pub threads: usize,
     /// Admission window: at most this many queued frames are coalesced
-    /// into one fused multi-frame render.
+    /// into one fused multi-frame render (per shard).
     pub max_batch: usize,
+    /// Shard count ceiling. The first `max_shards` registered scenes
+    /// get a shard each; further scenes share shards round-robin.
+    pub max_shards: usize,
+    /// Bounded-queue admission policy applied per shard.
+    pub admission: crate::admission::AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -33,8 +47,37 @@ impl Default for ServerConfig {
         Self {
             threads: gen_nerf_parallel::num_threads(),
             max_batch: 8,
+            max_shards: 8,
+            admission: crate::admission::AdmissionConfig::default(),
         }
     }
+}
+
+impl ServerConfig {
+    /// Sets the shard count ceiling (at least one).
+    pub fn with_max_shards(mut self, max_shards: usize) -> Self {
+        self.max_shards = max_shards.max(1);
+        self
+    }
+
+    /// Sets the per-shard admission policy.
+    pub fn with_admission(mut self, admission: crate::admission::AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+}
+
+/// Injected failure for resilience testing: makes the shard's render
+/// path stall or panic mid-frame, exactly where a real defect would.
+/// The fault-injection regression pins that a panicking frame resolves
+/// to an error (never hangs) and the shard keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the render closure (fails the frame's batch).
+    Panic,
+    /// Sleep inside the render closure (holds the shard busy so tests
+    /// can build queue depth deterministically).
+    Stall(Duration),
 }
 
 /// One frame request: a head pose plus serving knobs.
@@ -49,6 +92,8 @@ pub struct FrameRequest {
     /// Optional recycled frame buffer; the server renders into it
     /// (reusing its allocation) instead of allocating a fresh image.
     pub reuse: Option<Image>,
+    /// Fault injection (tests only); `None` in production.
+    pub fault: Option<Fault>,
 }
 
 impl FrameRequest {
@@ -78,6 +123,12 @@ impl FrameRequest {
         self.reuse = Some(image);
         self
     }
+
+    /// Injects a fault into this frame's render (resilience tests).
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
 }
 
 /// How the coarse cache treated one frame.
@@ -105,6 +156,13 @@ pub struct ServeStats {
     pub cache: CacheOutcome,
     /// Frames co-scheduled in the same fused render job.
     pub batched_frames: usize,
+    /// Shard that served the frame.
+    pub shard: usize,
+    /// Whether admission control lowered the resolution tier below
+    /// the request (overload degradation).
+    pub degraded: bool,
+    /// Tier the frame was actually rendered at.
+    pub tier: ResolutionTier,
 }
 
 /// A completed frame.
@@ -119,8 +177,31 @@ pub struct FrameResult {
     pub serve: ServeStats,
 }
 
-struct Slot {
-    result: Mutex<Option<Result<FrameResult, String>>>,
+/// Why a frame did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the frame: the shard queue was at
+    /// capacity (BestEffort) or the Interactive hard bound.
+    Shed {
+        /// The refused frame's scheduling class.
+        class: DeadlineClass,
+    },
+    /// The frame failed while rendering (a panic in the render path)
+    /// or its session was removed with the frame still queued.
+    Failed(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shed { class } => write!(f, "frame shed under load ({class:?})"),
+            ServeError::Failed(msg) => write!(f, "render failed: {msg}"),
+        }
+    }
+}
+
+pub(crate) struct Slot {
+    result: Mutex<Option<Result<FrameResult, ServeError>>>,
     ready: Condvar,
 }
 
@@ -130,17 +211,14 @@ pub struct FrameHandle {
 }
 
 impl FrameHandle {
-    /// Blocks until the frame completes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server failed while rendering this frame (a
-    /// render panic) or shut down before reaching it.
-    pub fn wait(self) -> FrameResult {
+    /// Blocks until the frame resolves; returns the shed/failure error
+    /// instead of panicking. This is the overload-aware variant a load
+    /// generator uses — shed frames resolve immediately.
+    pub fn wait_result(self) -> Result<FrameResult, ServeError> {
         let mut guard = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(outcome) = guard.take() {
-                return outcome.unwrap_or_else(|e| panic!("render server failed: {e}"));
+                return outcome;
             }
             guard = self
                 .slot
@@ -150,11 +228,25 @@ impl FrameHandle {
         }
     }
 
-    /// Takes the result if the frame has completed (non-blocking).
+    /// Blocks until the frame completes.
     ///
     /// # Panics
     ///
-    /// Panics if the server failed while rendering this frame.
+    /// Panics if the frame was shed by admission control, the server
+    /// failed while rendering it (a render panic), or it shut down
+    /// before reaching it. Use [`FrameHandle::wait_result`] when shed
+    /// frames are expected.
+    pub fn wait(self) -> FrameResult {
+        self.wait_result()
+            .unwrap_or_else(|e| panic!("render server failed: {e}"))
+    }
+
+    /// Takes the result if the frame has resolved (non-blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was shed or the server failed while
+    /// rendering it.
     pub fn poll(&self) -> Option<FrameResult> {
         self.slot
             .result
@@ -164,7 +256,7 @@ impl FrameHandle {
             .map(|outcome| outcome.unwrap_or_else(|e| panic!("render server failed: {e}")))
     }
 
-    /// Whether the frame has completed (without consuming the result).
+    /// Whether the frame has resolved (without consuming the result).
     pub fn is_ready(&self) -> bool {
         self.slot
             .result
@@ -174,100 +266,165 @@ impl FrameHandle {
     }
 }
 
-struct QueuedFrame {
-    session: u64,
-    pose: Pose,
-    tier: ResolutionTier,
-    deadline: DeadlineClass,
-    reuse: Option<Image>,
-    slot: Arc<Slot>,
-    submitted: Instant,
-    /// Submission sequence, the tiebreak that keeps ordering stable
-    /// within a deadline class.
-    seq: u64,
+pub(crate) fn fulfill(slot: &Slot, outcome: Result<FrameResult, ServeError>) {
+    *slot.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+    slot.ready.notify_all();
 }
 
-type SessionMap = Arc<Mutex<HashMap<u64, Arc<SessionState>>>>;
+pub(crate) fn fulfill_error(slot: &Slot, msg: &str) {
+    fulfill(slot, Err(ServeError::Failed(msg.to_string())));
+}
 
-/// The multi-session render server. See the crate docs for the
-/// architecture; in short: [`RenderServer::submit`] enqueues onto an
-/// MPSC channel and returns a [`FrameHandle`]; a scheduler thread
-/// drains the queue, coalesces compatible frames into fused
-/// multi-frame renders on a persistent worker pool, and fulfills the
-/// handles.
+/// Scene→shard assignment plus the spawned shards, guarded together
+/// so lazily spawning a shard and recording its scene is atomic.
+struct Topology {
+    registry: SceneRegistry,
+    shards: Vec<Shard>,
+}
+
+/// The multi-session, scene-sharded render server. See the crate docs
+/// for the architecture; in short: [`RenderServer::create_session`]
+/// routes a scene to a shard (spawning it on first sight),
+/// [`RenderServer::submit`] applies admission control against that
+/// shard's bounded queue and returns a [`FrameHandle`]; the shard
+/// thread fair-dequeues, coalesces compatible frames into fused
+/// multi-frame renders on its own persistent worker pool, and fulfills
+/// the handles.
 ///
-/// Dropping the server closes the queue, drains every frame already
-/// submitted, and joins the scheduler.
+/// Dropping the server closes every shard queue, drains every frame
+/// already admitted, and joins the shard threads.
 pub struct RenderServer {
-    tx: Option<Sender<QueuedFrame>>,
-    scheduler: Option<std::thread::JoinHandle<()>>,
+    cfg: ServerConfig,
+    topology: Mutex<Topology>,
     sessions: SessionMap,
     next_session: AtomicU64,
-    next_seq: AtomicU64,
 }
 
 impl RenderServer {
-    /// Starts the scheduler thread and its render worker pool.
+    /// Builds the server front end. Shards (and their worker pools)
+    /// spawn lazily as scenes are registered.
     pub fn new(cfg: ServerConfig) -> Self {
-        let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
-        let (tx, rx) = mpsc::channel::<QueuedFrame>();
-        let scheduler_sessions = Arc::clone(&sessions);
-        let scheduler = std::thread::Builder::new()
-            .name("gen-nerf-serve".to_string())
-            .spawn(move || scheduler_loop(rx, scheduler_sessions, cfg))
-            .expect("spawn scheduler thread");
         Self {
-            tx: Some(tx),
-            scheduler: Some(scheduler),
-            sessions,
+            cfg,
+            topology: Mutex::new(Topology {
+                registry: SceneRegistry::new(cfg.max_shards),
+                shards: Vec::new(),
+            }),
+            sessions: Arc::new(Mutex::new(HashMap::new())),
             next_session: AtomicU64::new(1),
-            next_seq: AtomicU64::new(0),
         }
     }
 
-    /// Registers a session viewing `scene`. Sessions sharing a scene
-    /// (same `Arc`) and sampling strategy batch together.
+    /// Registers a session viewing `scene`, routed to the scene's
+    /// shard (spawned now if this is the scene's first session).
+    /// Sessions sharing a scene (same `Arc`) and sampling strategy
+    /// batch together on that shard.
     pub fn create_session(&self, scene: Arc<SceneState>, cfg: SessionConfig) -> SessionId {
+        let shard = {
+            let mut topology = self.topology.lock().unwrap_or_else(|e| e.into_inner());
+            let assignment = topology.registry.assign(&scene);
+            if let Assignment::SpawnNew(idx) = assignment {
+                debug_assert_eq!(idx, topology.shards.len());
+                let pool_threads = partition_threads(self.cfg.threads, self.cfg.max_shards)[idx];
+                topology.shards.push(Shard::spawn(
+                    idx,
+                    pool_threads,
+                    self.cfg.max_batch,
+                    Arc::clone(&self.sessions),
+                ));
+            }
+            assignment.index()
+        };
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::new(SessionState::new(scene, cfg)));
+            .insert(id, Arc::new(SessionState::new(scene, cfg, shard)));
         SessionId(id)
     }
 
-    /// Enqueues a frame request; returns immediately with a handle.
+    /// Enqueues a frame request through admission control; returns
+    /// immediately with a handle. Overloaded shards shed BestEffort
+    /// frames (the handle resolves at once with [`ServeError::Shed`])
+    /// and degrade Interactive frames to the cached-coarse tier before
+    /// shedding them at the hard bound.
     ///
     /// # Panics
     ///
     /// Panics if `session` was not created by this server.
     pub fn submit(&self, session: SessionId, req: FrameRequest) -> FrameHandle {
-        let known = self
+        let state = self
             .sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .contains_key(&session.0);
-        assert!(known, "unknown session {session:?}");
+            .get(&session.0)
+            .cloned();
+        let state = state.expect("unknown session");
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
             ready: Condvar::new(),
         });
+        let handle = FrameHandle {
+            slot: Arc::clone(&slot),
+        };
+        let (tx, shared) = {
+            let topology = self.topology.lock().unwrap_or_else(|e| e.into_inner());
+            let shard = &topology.shards[state.shard];
+            (tx_clone(shard), Arc::clone(&shard.shared))
+        };
+
+        // Claim a queue slot, then let the policy veto it. The gauge
+        // counts admitted-not-yet-scheduled frames; shed frames give
+        // their claim back immediately.
+        let depth = shared.depth.fetch_add(1, Ordering::SeqCst);
+        let mut tier = req.tier;
+        let mut degraded = false;
+        match admission_decision(&self.cfg.admission, req.deadline, depth) {
+            AdmissionDecision::Admit => {}
+            AdmissionDecision::Degrade => {
+                // The cached-coarse tier: quarter resolution, where a
+                // session's cached coarse passes are cheapest to
+                // refresh. Never upgrade a request that was already
+                // coarser than the degrade target.
+                if tier.divisor() < ResolutionTier::Quarter.divisor() {
+                    tier = ResolutionTier::Quarter;
+                }
+                degraded = true;
+                shared.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            AdmissionDecision::Shed => {
+                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                match req.deadline {
+                    DeadlineClass::BestEffort => {
+                        shared.shed_best_effort.fetch_add(1, Ordering::Relaxed)
+                    }
+                    DeadlineClass::Interactive => {
+                        shared.shed_interactive.fetch_add(1, Ordering::Relaxed)
+                    }
+                };
+                fulfill(
+                    &slot,
+                    Err(ServeError::Shed {
+                        class: req.deadline,
+                    }),
+                );
+                return handle;
+            }
+        }
+        shared.admitted.fetch_add(1, Ordering::Relaxed);
         let frame = QueuedFrame {
             session: session.0,
             pose: req.pose,
-            tier: req.tier,
+            tier,
             deadline: req.deadline,
+            degraded,
             reuse: req.reuse,
-            slot: Arc::clone(&slot),
+            fault: req.fault,
+            slot,
             submitted: Instant::now(),
-            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
         };
-        self.tx
-            .as_ref()
-            .expect("server running")
-            .send(frame)
-            .expect("scheduler alive");
-        FrameHandle { slot }
+        tx.send(frame).expect("shard alive");
+        handle
     }
 
     /// Ends a session: drops its cached coarse pass, its scene handle
@@ -288,7 +445,7 @@ impl RenderServer {
             .unwrap_or_else(|e| e.into_inner())
             .remove(&session.0);
         // Panic outside the lock so a misuse stays contained to the
-        // misusing thread instead of poisoning the scheduler's map.
+        // misusing thread instead of poisoning the shards' map.
         removed.expect("unknown session");
     }
 
@@ -306,266 +463,82 @@ impl RenderServer {
             .cloned();
         state.expect("unknown session").cache_stats()
     }
+
+    /// Shards spawned so far (≤ `max_shards`; one per registered
+    /// scene until the ceiling).
+    pub fn shard_count(&self) -> usize {
+        self.topology
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shards
+            .len()
+    }
+
+    /// The shard serving `session`'s scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this server.
+    pub fn shard_of(&self, session: SessionId) -> ShardId {
+        let state = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&session.0)
+            .cloned();
+        ShardId(state.expect("unknown session").shard)
+    }
+
+    /// A snapshot of one shard's queue depth and counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` has not been spawned.
+    pub fn shard_stats(&self, shard: ShardId) -> ShardStats {
+        self.topology
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shards
+            .get(shard.0)
+            .expect("shard exists")
+            .stats()
+    }
+
+    /// Admission counters summed over every shard.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.topology
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shards
+            .iter()
+            .fold(AdmissionStats::default(), |acc, shard| {
+                acc.merge(shard.shared.admission_stats())
+            })
+    }
+}
+
+fn tx_clone(shard: &Shard) -> std::sync::mpsc::Sender<QueuedFrame> {
+    shard.tx.as_ref().expect("shard running").clone()
 }
 
 impl Drop for RenderServer {
     fn drop(&mut self) {
-        // Closing the channel lets the scheduler drain what's queued
-        // and exit its receive loop.
-        drop(self.tx.take());
-        if let Some(handle) = self.scheduler.take() {
-            let _ = handle.join();
+        // Closing every shard queue lets the shards drain what's
+        // admitted and exit their receive loops; `Shard::shutdown`
+        // joins each thread.
+        let mut topology = self.topology.lock().unwrap_or_else(|e| e.into_inner());
+        for shard in &mut topology.shards {
+            shard.shutdown();
         }
-    }
-}
-
-/// The event loop: block for one frame, opportunistically drain the
-/// queue up to the admission window, order by deadline class (stable
-/// within a class), carve off the largest compatible run, render it as
-/// one fused job, repeat. Exits when the queue closes *and* every
-/// admitted frame is served.
-fn scheduler_loop(rx: Receiver<QueuedFrame>, sessions: SessionMap, cfg: ServerConfig) {
-    let pool = Pool::new(cfg.threads.max(1));
-    let max_batch = cfg.max_batch.max(1);
-    let mut pending: VecDeque<QueuedFrame> = VecDeque::new();
-    let mut open = true;
-    while open || !pending.is_empty() {
-        if pending.is_empty() {
-            match rx.recv() {
-                Ok(frame) => pending.push_back(frame),
-                Err(_) => {
-                    open = false;
-                    continue;
-                }
-            }
-        }
-        while open && pending.len() < max_batch {
-            match rx.try_recv() {
-                Ok(frame) => pending.push_back(frame),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    open = false;
-                    break;
-                }
-            }
-        }
-        // Interactive ahead of best-effort; submission order within a
-        // class (sort is stable on (class, seq)).
-        pending
-            .make_contiguous()
-            .sort_by_key(|f| (f.deadline, f.seq));
-
-        // Resolve sessions and carve the head-compatible run.
-        let resolve = |id: u64| -> Option<Arc<SessionState>> {
-            sessions
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .get(&id)
-                .cloned()
-        };
-        let head = pending.pop_front().expect("non-empty pending");
-        let Some(head_state) = resolve(head.session) else {
-            fulfill_error(&head, "session disappeared");
-            continue;
-        };
-        // A cache-enabled session's frames must see each other's cache
-        // updates in order, so at most one of them rides per batch —
-        // this is what makes a batch behave exactly like the same
-        // frames served one at a time in admission order (and makes
-        // "identical repeated pose ⇒ hit" a guarantee, not a race).
-        let cache_applies = |state: &SessionState| {
-            state.cfg.coherence.enabled
-                && matches!(state.cfg.strategy, SamplingStrategy::CoarseThenFocus { .. })
-        };
-        let mut sessions_in_group: Vec<u64> = vec![head.session];
-        let mut group: Vec<(QueuedFrame, Arc<SessionState>)> = vec![(head, head_state)];
-        let mut rest: VecDeque<QueuedFrame> = VecDeque::new();
-        while let Some(frame) = pending.pop_front() {
-            if group.len() >= max_batch {
-                rest.push_back(frame);
-                continue;
-            }
-            let Some(state) = resolve(frame.session) else {
-                fulfill_error(&frame, "session disappeared");
-                continue;
-            };
-            let (_, head_state) = &group[0];
-            let compatible = Arc::ptr_eq(&state.scene, &head_state.scene)
-                && state.cfg.strategy == head_state.cfg.strategy
-                && !(cache_applies(&state) && sessions_in_group.contains(&frame.session));
-            if compatible {
-                sessions_in_group.push(frame.session);
-                group.push((frame, state));
-            } else {
-                rest.push_back(frame);
-            }
-        }
-        pending = rest;
-        execute_group(&pool, group);
-    }
-}
-
-/// Renders one admission batch as a single fused multi-frame job and
-/// fulfills its handles. A panic anywhere in the render fails every
-/// frame of the batch (reported through the handles) instead of
-/// killing the scheduler.
-fn execute_group(pool: &Pool, mut group: Vec<(QueuedFrame, Arc<SessionState>)>) {
-    // Take the recycled buffers out of the requests up front: they are
-    // moved (not cloned) into the render and returned in the results.
-    let buffers: Vec<Option<Image>> = group
-        .iter_mut()
-        .map(|(frame, _)| frame.reuse.take())
-        .collect();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        render_group(pool, &group, buffers)
-    }));
-    match outcome {
-        Ok(results) => {
-            for ((frame, _), result) in group.into_iter().zip(results) {
-                fulfill(&frame.slot, Ok(result));
-            }
-        }
-        Err(payload) => {
-            let msg = panic_message(&payload);
-            for (frame, _) in group {
-                fulfill_error(&frame, &msg);
-            }
-        }
-    }
-}
-
-/// The render half of [`execute_group`]: cache lookups, one fused
-/// multi-frame render, cache updates. `group` frames share one scene
-/// and strategy (admission guarantees it).
-fn render_group(
-    pool: &Pool,
-    group: &[(QueuedFrame, Arc<SessionState>)],
-    buffers: Vec<Option<Image>>,
-) -> Vec<FrameResult> {
-    let started = Instant::now();
-    let n = group.len();
-    let scene = &group[0].1.scene;
-    let strategy = group[0].1.cfg.strategy;
-    let is_ctf = matches!(strategy, SamplingStrategy::CoarseThenFocus { .. });
-
-    // Cache lookups resolve against each session's anchor *before* the
-    // job, so a batch behaves exactly like the same frames served one
-    // at a time in admission order.
-    let mut cameras: Vec<Camera> = Vec::with_capacity(n);
-    let mut cached_arcs: Vec<Option<Arc<CoarseFrame>>> = Vec::with_capacity(n);
-    let mut outcomes: Vec<CacheOutcome> = Vec::with_capacity(n);
-    for (frame, state) in group {
-        cameras.push(Camera::new(
-            frame.tier.apply(state.cfg.intrinsics),
-            frame.pose,
-        ));
-        if !is_ctf || !state.cfg.coherence.enabled {
-            state.bypasses.fetch_add(1, Ordering::Relaxed);
-            cached_arcs.push(None);
-            outcomes.push(CacheOutcome::Bypass);
-            continue;
-        }
-        let mut cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
-        match cache.lookup(frame.tier, &frame.pose, &state.cfg.coherence) {
-            Some(coarse) => {
-                state.hits.fetch_add(1, Ordering::Relaxed);
-                cached_arcs.push(Some(coarse));
-                outcomes.push(CacheOutcome::Hit);
-            }
-            None => {
-                state.misses.fetch_add(1, Ordering::Relaxed);
-                cached_arcs.push(None);
-                outcomes.push(CacheOutcome::Miss);
-            }
-        }
-    }
-
-    let renderer = Renderer::new(
-        &scene.model,
-        &scene.sources,
-        strategy,
-        scene.bounds,
-        scene.background,
-    )
-    .with_threads(pool.threads())
-    .with_pool(pool);
-
-    let mut images: Vec<Image> = buffers
-        .into_iter()
-        .map(|buf| buf.unwrap_or_else(|| Image::new(0, 0)))
-        .collect();
-    let mut stats = vec![RenderStats::default(); n];
-    let cached_refs: Vec<Option<&CoarseFrame>> = cached_arcs.iter().map(|c| c.as_deref()).collect();
-    let exports = renderer.render_frames_cached(&cameras, &cached_refs, &mut images, &mut stats);
-    let finished = Instant::now();
-
-    // Anchor fresh coarse passes, in admission order; the LRU tail is
-    // evicted past the session's byte budget and counted.
-    for (((frame, state), export), outcome) in group.iter().zip(exports).zip(&outcomes) {
-        if let Some(coarse) = export {
-            if *outcome == CacheOutcome::Miss {
-                let evicted = state
-                    .cache
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(
-                        CacheEntry {
-                            pose: frame.pose,
-                            tier: frame.tier,
-                            coarse: Arc::new(coarse),
-                        },
-                        state.cfg.cache_budget_bytes,
-                    );
-                if evicted > 0 {
-                    state.evictions.fetch_add(evicted, Ordering::Relaxed);
-                }
-            }
-        }
-    }
-
-    images
-        .into_iter()
-        .zip(stats)
-        .zip(outcomes)
-        .zip(group)
-        .map(|(((image, stats), cache), (frame, _))| FrameResult {
-            image,
-            stats,
-            serve: ServeStats {
-                queue_wait: started.saturating_duration_since(frame.submitted),
-                render_time: finished.saturating_duration_since(started),
-                latency: finished.saturating_duration_since(frame.submitted),
-                cache,
-                batched_frames: n,
-            },
-        })
-        .collect()
-}
-
-fn fulfill(slot: &Slot, outcome: Result<FrameResult, String>) {
-    *slot.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
-    slot.ready.notify_all();
-}
-
-fn fulfill_error(frame: &QueuedFrame, msg: &str) {
-    fulfill(&frame.slot, Err(msg.to_string()));
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "render panic".to_string()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::AdmissionConfig;
     use crate::session::CoherenceConfig;
-    use gen_nerf::config::ModelConfig;
+    use gen_nerf::config::{ModelConfig, SamplingStrategy};
     use gen_nerf::model::GenNerfModel;
     use gen_nerf_geometry::Vec3;
     use gen_nerf_scene::{Dataset, DatasetKind};
@@ -597,6 +570,9 @@ mod tests {
         assert_eq!(frame.serve.cache, CacheOutcome::Bypass);
         assert!(frame.serve.latency >= frame.serve.render_time);
         assert!(frame.serve.batched_frames >= 1);
+        assert!(!frame.serve.degraded);
+        assert_eq!(frame.serve.shard, 0);
+        assert_eq!(server.shard_count(), 1);
     }
 
     #[test]
@@ -774,9 +750,10 @@ mod tests {
         // Drain the session's work, then end it.
         server.submit(session, FrameRequest::new(cam.pose)).wait();
         server.remove_session(session);
-        // The scheduler may still hold transient clones for a moment
+        // The shard may still hold transient clones for a moment
         // after fulfilling the frame; once it quiesces, the test's Arc
-        // must be the last one standing.
+        // must be the last one standing (the registry only keeps a
+        // Weak witness).
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while Arc::strong_count(&scene) > 1 {
             assert!(
@@ -826,5 +803,75 @@ mod tests {
         assert_eq!(ra.stats.coarse_points, 0);
         assert!(rb.stats.coarse_points > 0);
         let _ = Vec3::ZERO;
+    }
+
+    #[test]
+    fn scenes_get_their_own_shards_up_to_the_cap() {
+        let (ds, scene_a) = scene();
+        let (_, scene_b) = scene();
+        let (_, scene_c) = scene();
+        let cam = ds.eval_views[0].camera;
+        let server = RenderServer::new(ServerConfig::default().with_max_shards(2));
+        let a = server.create_session(scene_a, SessionConfig::new(cam.intrinsics, ctf()));
+        assert_eq!(server.shard_count(), 1);
+        let b = server.create_session(scene_b, SessionConfig::new(cam.intrinsics, ctf()));
+        assert_eq!(server.shard_count(), 2);
+        // A third scene shares an existing shard (round-robin).
+        let c = server.create_session(scene_c, SessionConfig::new(cam.intrinsics, ctf()));
+        assert_eq!(server.shard_count(), 2);
+        assert_eq!(server.shard_of(a).index(), 0);
+        assert_eq!(server.shard_of(b).index(), 1);
+        assert_eq!(server.shard_of(c).index(), 0);
+        // Frames route to their scene's shard and still render.
+        let rb = server.submit(b, FrameRequest::new(cam.pose)).wait();
+        assert_eq!(rb.serve.shard, 1);
+        let stats = server.shard_stats(server.shard_of(b));
+        assert_eq!(stats.rendered_frames, 1);
+        assert_eq!(stats.admission.admitted, 1);
+    }
+
+    #[test]
+    fn shed_best_effort_resolves_immediately() {
+        // Zero-capacity queue: every BestEffort submission sheds at
+        // admission without ever reaching the shard.
+        let (ds, scene) = scene();
+        let cam = ds.eval_views[0].camera;
+        let server = RenderServer::new(
+            ServerConfig::default()
+                .with_admission(AdmissionConfig::with_capacity(1).with_interactive_capacity(1)),
+        );
+        let session = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
+        // Occupy the shard with a stalled frame, wait until the shard
+        // has pulled it out of the queue (depth back to zero), then
+        // park one more frame in the queue: depth now holds at the
+        // capacity watermark for the stall's duration.
+        let stall = server.submit(
+            session,
+            FrameRequest::new(cam.pose).with_fault(Fault::Stall(Duration::from_millis(500))),
+        );
+        let shard = server.shard_of(session);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.shard_stats(shard).queued > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stall never scheduled"
+            );
+            std::thread::yield_now();
+        }
+        let parked = server.submit(session, FrameRequest::new(cam.pose));
+        let be = server.submit(
+            session,
+            FrameRequest::new(cam.pose).with_deadline(DeadlineClass::BestEffort),
+        );
+        let shed = be.wait_result();
+        match shed {
+            Err(ServeError::Shed { class }) => assert_eq!(class, DeadlineClass::BestEffort),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert!(stall.wait_result().is_ok());
+        assert!(parked.wait_result().is_ok());
+        let adm = server.admission_stats();
+        assert_eq!(adm.shed_best_effort, 1);
+        assert_eq!(adm.shed_interactive, 0);
     }
 }

@@ -8,9 +8,14 @@ use gen_nerf::occupancy::OccupancyGrid;
 use gen_nerf::pipeline::CoarseFrame;
 use gen_nerf_geometry::{Aabb, Intrinsics, Mat3, Pose, Vec3};
 use gen_nerf_scene::View;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// The server-wide session table, shared between the front end (which
+/// inserts/removes) and every shard scheduler (which resolves queued
+/// frames against it).
+pub(crate) type SessionMap = Arc<Mutex<HashMap<u64, Arc<SessionState>>>>;
 
 /// Everything about one captured scene that is pose-independent, built
 /// **once** and shared (via `Arc`) by every session viewing the scene
@@ -313,9 +318,17 @@ impl CoarseCache {
 
     /// Anchors `entry` as most-recently-used and evicts from the LRU
     /// tail until the cache fits `budget_bytes`. Returns the number of
-    /// evicted anchors (the freshly inserted entry itself is evicted
-    /// when it alone exceeds the budget).
+    /// evicted anchors.
+    ///
+    /// An entry that **alone** exceeds the budget is refused outright
+    /// (counted as one eviction): inserting it and then evicting from
+    /// the tail would throw away every retained anchor — and then the
+    /// oversized entry itself — turning one over-large frame into a
+    /// cache wipe plus an evict loop that converges on an empty cache.
     pub fn insert(&mut self, entry: CacheEntry, budget_bytes: usize) -> u64 {
+        if entry_bytes(&entry) > budget_bytes {
+            return 1;
+        }
         self.bytes += entry_bytes(&entry);
         self.entries.push_front(entry);
         let mut evicted = 0u64;
@@ -345,6 +358,8 @@ impl CoarseCache {
 pub(crate) struct SessionState {
     pub scene: Arc<SceneState>,
     pub cfg: SessionConfig,
+    /// Index of the shard serving this session's scene.
+    pub shard: usize,
     pub cache: Mutex<CoarseCache>,
     pub hits: AtomicU64,
     pub misses: AtomicU64,
@@ -353,10 +368,11 @@ pub(crate) struct SessionState {
 }
 
 impl SessionState {
-    pub fn new(scene: Arc<SceneState>, cfg: SessionConfig) -> Self {
+    pub fn new(scene: Arc<SceneState>, cfg: SessionConfig, shard: usize) -> Self {
         Self {
             scene,
             cfg,
+            shard,
             cache: Mutex::new(CoarseCache::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -520,5 +536,81 @@ mod tests {
         assert_eq!(empty.insert(mk(pose0, &coarse0), 0), 1);
         assert_eq!(empty.len(), 0);
         assert_eq!(empty.bytes(), 0);
+
+        // An entry that alone exceeds the budget is refused without
+        // touching the retained anchors: no cache wipe, no evict loop.
+        let mut keep = CoarseCache::default();
+        assert_eq!(keep.insert(mk(pose0, &coarse0), budget), 0);
+        assert_eq!(keep.insert(mk(pose1, &coarse1), budget), 0);
+        let bytes_before = keep.bytes();
+        // Shrink the budget seen by this insert below any entry's cost
+        // — as a tier change to a much larger frame would relative to
+        // the session budget.
+        assert_eq!(keep.insert(mk(pose2, &coarse2), 1), 1);
+        assert_eq!(keep.len(), 2, "retained anchors survived");
+        assert_eq!(keep.bytes(), bytes_before);
+        assert!(keep.lookup(ResolutionTier::Full, &pose0, &cfg).is_some());
+        assert!(keep.lookup(ResolutionTier::Full, &pose1, &cfg).is_some());
+        assert!(keep.lookup(ResolutionTier::Full, &pose2, &cfg).is_none());
+    }
+
+    #[test]
+    fn eviction_count_is_monotone_across_anchor_churn() {
+        // The per-session eviction counter only ever accumulates: churn
+        // through a one-anchor budget and through refused oversized
+        // inserts, checking the running total never decreases and ends
+        // at the exact number of discarded anchors.
+        let ds = gen_nerf_scene::Dataset::build(
+            gen_nerf_scene::DatasetKind::DeepVoxels,
+            "cube",
+            0.05,
+            3,
+            1,
+            8,
+            3,
+        );
+        let model = gen_nerf::model::GenNerfModel::new(gen_nerf::config::ModelConfig::fast());
+        let sources = gen_nerf::features::prepare_sources(&ds.source_views);
+        let renderer = gen_nerf::pipeline::Renderer::new(
+            &model,
+            &sources,
+            SamplingStrategy::coarse_then_focus(4, 4),
+            ds.scene.bounds,
+            ds.scene.background,
+        );
+        let pose = Pose::look_at(Vec3::new(3.0, 0.5, 3.0), Vec3::ZERO, Vec3::Y);
+        let cam = gen_nerf_geometry::Camera::new(Intrinsics::from_fov(8, 8, 0.6), pose);
+        let mut images = [gen_nerf_scene::Image::new(0, 0)];
+        let mut stats = [gen_nerf::pipeline::RenderStats::default()];
+        let fresh = renderer.render_frames_cached(
+            std::slice::from_ref(&cam),
+            &[None],
+            &mut images,
+            &mut stats,
+        );
+        let coarse = Arc::new(fresh.into_iter().next().unwrap().unwrap());
+        let entry_cost = coarse.approx_bytes() + std::mem::size_of::<CacheEntry>();
+        let mk = || CacheEntry {
+            pose,
+            tier: ResolutionTier::Full,
+            coarse: Arc::clone(&coarse),
+        };
+        let mut cache = CoarseCache::default();
+        let mut total = 0u64;
+        let mut last = 0u64;
+        for round in 0..6 {
+            // Alternate: a fitting insert into a one-anchor budget
+            // (evicts the previous anchor from round 1 on), then a
+            // refused oversized insert (counts one, changes nothing).
+            total += cache.insert(mk(), entry_cost);
+            assert!(total >= last, "counter regressed at round {round}");
+            last = total;
+            total += cache.insert(mk(), entry_cost - 1);
+            assert!(total >= last, "counter regressed at round {round}");
+            last = total;
+            assert_eq!(cache.len(), 1, "one-anchor budget holds one anchor");
+        }
+        // 6 fitting inserts (5 evict a predecessor) + 6 refusals.
+        assert_eq!(total, 5 + 6);
     }
 }

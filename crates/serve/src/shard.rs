@@ -1,0 +1,423 @@
+//! One shard: a scheduler thread owning a scene's request queue, a
+//! private render pool, and the fused batch execution path.
+//!
+//! The server routes every session of a scene to one shard (see
+//! [`registry`](crate::registry)); the shard thread drains its bounded
+//! queue through a [`FairQueue`] — class priority, round-robin across
+//! sessions, FIFO per session — carves the largest batch of frames
+//! that can legally share one fused render (same scene `Arc`, same
+//! strategy, at most one frame of any cache-enabled session), and runs
+//! it on the shard's own [`Pool`] slice of the server's thread budget.
+//! A panic inside a render fails that batch's handles and leaves the
+//! shard serving; nothing a frame does can take the server down.
+
+use crate::admission::{AdmissionStats, FairQueue};
+use crate::server::{fulfill, fulfill_error, CacheOutcome, Fault, FrameResult, ServeStats, Slot};
+use crate::session::{CacheEntry, DeadlineClass, ResolutionTier, SessionMap, SessionState};
+use gen_nerf::config::SamplingStrategy;
+use gen_nerf::pipeline::{CoarseFrame, RenderStats, Renderer};
+use gen_nerf_geometry::{Camera, Pose};
+use gen_nerf_parallel::Pool;
+use gen_nerf_scene::Image;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// One admitted frame travelling from `submit` to its shard.
+pub(crate) struct QueuedFrame {
+    pub session: u64,
+    pub pose: Pose,
+    /// Tier actually rendered (admission may have degraded it).
+    pub tier: ResolutionTier,
+    pub deadline: DeadlineClass,
+    /// Whether admission lowered the tier below the request.
+    pub degraded: bool,
+    pub reuse: Option<Image>,
+    pub fault: Option<Fault>,
+    pub slot: Arc<Slot>,
+    pub submitted: Instant,
+}
+
+/// Counters and gauges shared between a shard's thread and the server
+/// front end (admission reads the depth gauge, tests read the rest).
+#[derive(Default)]
+pub(crate) struct ShardShared {
+    /// Frames admitted but not yet pulled into a render batch.
+    pub depth: AtomicUsize,
+    pub admitted: AtomicU64,
+    pub degraded: AtomicU64,
+    pub shed_best_effort: AtomicU64,
+    pub shed_interactive: AtomicU64,
+    /// Frames whose handle resolved successfully.
+    pub rendered: AtomicU64,
+    /// Frames whose handle resolved with an error (render panic or
+    /// vanished session).
+    pub failed: AtomicU64,
+    /// Fused render jobs executed.
+    pub batches: AtomicU64,
+}
+
+impl ShardShared {
+    pub(crate) fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed_best_effort: self.shed_best_effort.load(Ordering::Relaxed),
+            shed_interactive: self.shed_interactive.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one shard's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Frames admitted and still waiting in the shard queue.
+    pub queued: usize,
+    /// Admission counters (admitted / degraded / shed).
+    pub admission: AdmissionStats,
+    /// Frames rendered to completion.
+    pub rendered_frames: u64,
+    /// Frames resolved with an error.
+    pub failed_frames: u64,
+    /// Fused render jobs executed (`rendered_frames / batches` is the
+    /// shard's average batch occupancy).
+    pub batches: u64,
+    /// Persistent render workers owned by this shard.
+    pub pool_threads: usize,
+}
+
+/// The server's handle on one shard: its submission channel, shared
+/// counters, and the scheduler thread to join at shutdown.
+pub(crate) struct Shard {
+    pub tx: Option<Sender<QueuedFrame>>,
+    pub shared: Arc<ShardShared>,
+    pub pool_threads: usize,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawns shard `index` with `pool_threads` render workers.
+    pub(crate) fn spawn(
+        index: usize,
+        pool_threads: usize,
+        max_batch: usize,
+        sessions: SessionMap,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<QueuedFrame>();
+        let shared = Arc::new(ShardShared::default());
+        let loop_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("gen-nerf-shard-{index}"))
+            .spawn(move || shard_loop(index, rx, sessions, loop_shared, pool_threads, max_batch))
+            .expect("spawn shard thread");
+        Self {
+            tx: Some(tx),
+            shared,
+            pool_threads,
+            worker: Some(worker),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        ShardStats {
+            queued: self.shared.depth.load(Ordering::Relaxed),
+            admission: self.shared.admission_stats(),
+            rendered_frames: self.shared.rendered.load(Ordering::Relaxed),
+            failed_frames: self.shared.failed.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            pool_threads: self.pool_threads,
+        }
+    }
+
+    /// Closes the queue (the shard drains, then exits) and joins the
+    /// scheduler thread.
+    pub(crate) fn shutdown(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn resolve(sessions: &SessionMap, id: u64) -> Option<Arc<SessionState>> {
+    sessions
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&id)
+        .cloned()
+}
+
+/// Whether the coherence cache constrains batching for `state` (at
+/// most one of its frames per fused job, so in-order cache updates are
+/// a guarantee rather than a race).
+fn cache_applies(state: &SessionState) -> bool {
+    state.cfg.coherence.enabled
+        && matches!(state.cfg.strategy, SamplingStrategy::CoarseThenFocus { .. })
+}
+
+/// The shard event loop: block for one frame, drain the channel into
+/// the fair queue, dequeue the policy-ordered head, grow the largest
+/// compatible batch around it, render, repeat. Exits when the channel
+/// closes *and* every admitted frame is resolved.
+fn shard_loop(
+    index: usize,
+    rx: Receiver<QueuedFrame>,
+    sessions: SessionMap,
+    shared: Arc<ShardShared>,
+    pool_threads: usize,
+    max_batch: usize,
+) {
+    let pool = Pool::new(pool_threads.max(1));
+    let max_batch = max_batch.max(1);
+    let mut queue: FairQueue<QueuedFrame> = FairQueue::new();
+    let mut open = true;
+    while open || !queue.is_empty() {
+        if queue.is_empty() {
+            match rx.recv() {
+                Ok(frame) => queue.push(frame.deadline, frame.session, frame),
+                Err(_) => {
+                    open = false;
+                    continue;
+                }
+            }
+        }
+        while open {
+            match rx.try_recv() {
+                Ok(frame) => queue.push(frame.deadline, frame.session, frame),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+
+        // Policy-ordered head. A frame leaves the admission depth
+        // gauge the moment it is pulled out of the queue.
+        let Some(head) = queue.pop() else { continue };
+        shared.depth.fetch_sub(1, Ordering::Relaxed);
+        let Some(head_state) = resolve(&sessions, head.session) else {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            fulfill_error(&head.slot, "session removed with frames queued");
+            continue;
+        };
+
+        // Grow the batch: only lane heads compatible with the batch
+        // head ride along (dead sessions are popped to be failed).
+        let mut cache_sessions: Vec<u64> = Vec::new();
+        if cache_applies(&head_state) {
+            cache_sessions.push(head.session);
+        }
+        let mut group: Vec<(QueuedFrame, Arc<SessionState>)> = vec![(head, head_state)];
+        while group.len() < max_batch {
+            let head_scene = Arc::clone(&group[0].1.scene);
+            let head_strategy = group[0].1.cfg.strategy;
+            let candidate = queue.pop_next(|frame| match resolve(&sessions, frame.session) {
+                // Pop dead-session frames so they fail instead of
+                // parking their lane forever.
+                None => true,
+                Some(state) => {
+                    Arc::ptr_eq(&state.scene, &head_scene)
+                        && state.cfg.strategy == head_strategy
+                        && !(cache_applies(&state) && cache_sessions.contains(&frame.session))
+                }
+            });
+            let Some(frame) = candidate else { break };
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            match resolve(&sessions, frame.session) {
+                None => {
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    fulfill_error(&frame.slot, "session removed with frames queued");
+                }
+                Some(state) => {
+                    if cache_applies(&state) {
+                        cache_sessions.push(frame.session);
+                    }
+                    group.push((frame, state));
+                }
+            }
+        }
+        execute_group(index, &pool, group, &shared);
+    }
+}
+
+/// Renders one admission batch as a single fused multi-frame job and
+/// fulfills its handles. A panic anywhere in the render fails every
+/// frame of the batch (reported through the handles) instead of
+/// killing the shard.
+fn execute_group(
+    shard: usize,
+    pool: &Pool,
+    mut group: Vec<(QueuedFrame, Arc<SessionState>)>,
+    shared: &ShardShared,
+) {
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    // Take the recycled buffers out of the requests up front: they are
+    // moved (not cloned) into the render and returned in the results.
+    let buffers: Vec<Option<Image>> = group
+        .iter_mut()
+        .map(|(frame, _)| frame.reuse.take())
+        .collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        render_group(shard, pool, &group, buffers)
+    }));
+    match outcome {
+        Ok(results) => {
+            shared
+                .rendered
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            for ((frame, _), result) in group.into_iter().zip(results) {
+                fulfill(&frame.slot, Ok(result));
+            }
+        }
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            shared
+                .failed
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            for (frame, _) in group {
+                fulfill_error(&frame.slot, &msg);
+            }
+        }
+    }
+}
+
+/// The render half of [`execute_group`]: cache lookups, one fused
+/// multi-frame render, cache updates. `group` frames share one scene
+/// and strategy (batch carving guarantees it).
+fn render_group(
+    shard: usize,
+    pool: &Pool,
+    group: &[(QueuedFrame, Arc<SessionState>)],
+    buffers: Vec<Option<Image>>,
+) -> Vec<FrameResult> {
+    let started = Instant::now();
+    let n = group.len();
+    let scene = &group[0].1.scene;
+    let strategy = group[0].1.cfg.strategy;
+    let is_ctf = matches!(strategy, SamplingStrategy::CoarseThenFocus { .. });
+
+    // Injected faults fire inside the batch's unwind boundary, exactly
+    // where a real mid-frame failure would: after admission, before
+    // the frame resolves.
+    for (frame, _) in group {
+        match frame.fault {
+            Some(Fault::Stall(delay)) => std::thread::sleep(delay),
+            Some(Fault::Panic) => panic!("injected render fault"),
+            None => {}
+        }
+    }
+
+    // Cache lookups resolve against each session's anchors *before*
+    // the job, so a batch behaves exactly like the same frames served
+    // one at a time in admission order.
+    let mut cameras: Vec<Camera> = Vec::with_capacity(n);
+    let mut cached_arcs: Vec<Option<Arc<CoarseFrame>>> = Vec::with_capacity(n);
+    let mut outcomes: Vec<CacheOutcome> = Vec::with_capacity(n);
+    for (frame, state) in group {
+        cameras.push(Camera::new(
+            frame.tier.apply(state.cfg.intrinsics),
+            frame.pose,
+        ));
+        if !is_ctf || !state.cfg.coherence.enabled {
+            state.bypasses.fetch_add(1, Ordering::Relaxed);
+            cached_arcs.push(None);
+            outcomes.push(CacheOutcome::Bypass);
+            continue;
+        }
+        let mut cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
+        match cache.lookup(frame.tier, &frame.pose, &state.cfg.coherence) {
+            Some(coarse) => {
+                state.hits.fetch_add(1, Ordering::Relaxed);
+                cached_arcs.push(Some(coarse));
+                outcomes.push(CacheOutcome::Hit);
+            }
+            None => {
+                state.misses.fetch_add(1, Ordering::Relaxed);
+                cached_arcs.push(None);
+                outcomes.push(CacheOutcome::Miss);
+            }
+        }
+    }
+
+    let renderer = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .with_threads(pool.threads())
+    .with_pool(pool);
+
+    let mut images: Vec<Image> = buffers
+        .into_iter()
+        .map(|buf| buf.unwrap_or_else(|| Image::new(0, 0)))
+        .collect();
+    let mut stats = vec![RenderStats::default(); n];
+    let cached_refs: Vec<Option<&CoarseFrame>> = cached_arcs.iter().map(|c| c.as_deref()).collect();
+    let exports = renderer.render_frames_cached(&cameras, &cached_refs, &mut images, &mut stats);
+    let finished = Instant::now();
+
+    // Anchor fresh coarse passes, in admission order; the LRU tail is
+    // evicted past the session's byte budget and counted.
+    for (((frame, state), export), outcome) in group.iter().zip(exports).zip(&outcomes) {
+        if let Some(coarse) = export {
+            if *outcome == CacheOutcome::Miss {
+                let evicted = state
+                    .cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(
+                        CacheEntry {
+                            pose: frame.pose,
+                            tier: frame.tier,
+                            coarse: Arc::new(coarse),
+                        },
+                        state.cfg.cache_budget_bytes,
+                    );
+                if evicted > 0 {
+                    state.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    images
+        .into_iter()
+        .zip(stats)
+        .zip(outcomes)
+        .zip(group)
+        .map(|(((image, stats), cache), (frame, _))| FrameResult {
+            image,
+            stats,
+            serve: ServeStats {
+                queue_wait: started.saturating_duration_since(frame.submitted),
+                render_time: finished.saturating_duration_since(started),
+                latency: finished.saturating_duration_since(frame.submitted),
+                cache,
+                batched_frames: n,
+                shard,
+                degraded: frame.degraded,
+                tier: frame.tier,
+            },
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "render panic".to_string()
+    }
+}

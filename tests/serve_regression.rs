@@ -21,10 +21,11 @@ use gen_nerf::pipeline::Renderer;
 use gen_nerf_geometry::{Camera, Intrinsics, Pose, Vec3};
 use gen_nerf_scene::{Dataset, DatasetKind};
 use gen_nerf_serve::{
-    CacheOutcome, CoherenceConfig, FrameRequest, RenderServer, SceneState, ServerConfig,
-    SessionConfig,
+    AdmissionConfig, CacheOutcome, CoherenceConfig, DeadlineClass, Fault, FrameRequest,
+    RenderServer, ResolutionTier, SceneState, ServeError, ServerConfig, SessionConfig,
 };
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn scene() -> Arc<SceneState> {
     let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 4, 1, 24, 5);
@@ -264,4 +265,205 @@ fn concurrent_mixed_strategy_sessions_are_isolated() {
         .render(&Camera::new(intrinsics(), pose));
         assert_eq!(bits(&served.image), bits(&img), "{strategy:?}");
     }
+}
+
+#[test]
+fn sharded_scenes_serve_bitwise_identical_to_direct_render() {
+    // Three distinct scenes on a two-shard server: every scene's
+    // frames, served concurrently across shards (two scenes sharing
+    // one shard), match its own direct render bit for bit.
+    let scenes: Vec<Arc<SceneState>> = (0..3).map(|_| scene()).collect();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let server = RenderServer::new(ServerConfig::default().with_max_shards(2));
+    let sessions: Vec<_> = scenes
+        .iter()
+        .map(|s| server.create_session(Arc::clone(s), SessionConfig::new(intrinsics(), strategy)))
+        .collect();
+    assert_eq!(server.shard_count(), 2);
+    assert_ne!(
+        server.shard_of(sessions[0]),
+        server.shard_of(sessions[1]),
+        "distinct scenes under the cap share a shard"
+    );
+    assert_eq!(
+        server.shard_of(sessions[0]),
+        server.shard_of(sessions[2]),
+        "scene past the cap did not round-robin onto shard 0"
+    );
+    let handles: Vec<Vec<_>> = sessions
+        .iter()
+        .map(|&session| {
+            (0..2)
+                .map(|k| server.submit(session, FrameRequest::new(walk_pose(0, k))))
+                .collect()
+        })
+        .collect();
+    for (s, per_scene) in handles.into_iter().enumerate() {
+        let direct = Renderer::new(
+            &scenes[s].model,
+            &scenes[s].sources,
+            strategy,
+            scenes[s].bounds,
+            scenes[s].background,
+        );
+        for (k, h) in per_scene.into_iter().enumerate() {
+            let served = h.wait();
+            let (img, _) = direct.render(&Camera::new(intrinsics(), walk_pose(0, k)));
+            assert_eq!(
+                bits(&served.image),
+                bits(&img),
+                "scene {s} frame {k} diverged under sharding"
+            );
+            assert_eq!(
+                served.serve.shard,
+                server.shard_of(sessions[s]).index(),
+                "frame served off its scene's shard"
+            );
+        }
+    }
+}
+
+#[test]
+fn render_panic_fails_one_frame_and_the_shard_keeps_serving() {
+    // A panic inside the render closure mid-frame: the server must
+    // survive, the faulted frame's handle must resolve to an error
+    // (never hang), and subsequent frames on the same scene must stay
+    // bitwise-correct.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let server = RenderServer::new(ServerConfig::default());
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy),
+    );
+    let before = server
+        .submit(session, FrameRequest::new(walk_pose(0, 0)))
+        .wait();
+    let faulted = server.submit(
+        session,
+        FrameRequest::new(walk_pose(0, 1)).with_fault(Fault::Panic),
+    );
+    match faulted.wait_result() {
+        Err(ServeError::Failed(msg)) => {
+            assert!(
+                msg.contains("injected render fault"),
+                "unexpected failure message: {msg}"
+            );
+        }
+        other => panic!("faulted frame resolved to {other:?}"),
+    }
+    // The shard thread survived: the same session renders on, and the
+    // pixels are still exact.
+    let after = server
+        .submit(session, FrameRequest::new(walk_pose(0, 0)))
+        .wait();
+    assert_eq!(
+        bits(&before.image),
+        bits(&after.image),
+        "post-panic frame diverged"
+    );
+    let (direct, _) = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .render(&Camera::new(intrinsics(), walk_pose(0, 0)));
+    assert_eq!(bits(&after.image), bits(&direct));
+}
+
+#[test]
+fn overload_sheds_best_effort_first_and_degrades_interactive() {
+    // Pin the shed-or-degrade order under deterministic overload: with
+    // the shard held busy by a stalled frame and the queue at its
+    // watermark, BestEffort submissions shed while Interactive ones
+    // are admitted at the degraded quarter tier — and recovery after
+    // the backlog drains is bitwise-exact.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let capacity = 2usize;
+    let server = RenderServer::new(
+        ServerConfig::default()
+            .with_max_shards(1)
+            .with_admission(AdmissionConfig::with_capacity(capacity)),
+    );
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy),
+    );
+    let shard = server.shard_of(session);
+
+    // Occupy the shard, wait for the stall to be scheduled, then fill
+    // the queue exactly to the watermark with Interactive frames.
+    let stall = server.submit(
+        session,
+        FrameRequest::new(walk_pose(0, 0)).with_fault(Fault::Stall(Duration::from_millis(700))),
+    );
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.shard_stats(shard).queued > 0 {
+        assert!(Instant::now() < deadline, "stall frame never scheduled");
+        std::thread::yield_now();
+    }
+    let queued: Vec<_> = (0..capacity)
+        .map(|k| server.submit(session, FrameRequest::new(walk_pose(0, k))))
+        .collect();
+    assert_eq!(server.shard_stats(shard).queued, capacity);
+
+    // At the watermark: every BestEffort submission sheds...
+    for k in 0..3 {
+        let be = server.submit(
+            session,
+            FrameRequest::new(walk_pose(0, k)).with_deadline(DeadlineClass::BestEffort),
+        );
+        match be.wait_result() {
+            Err(ServeError::Shed { class }) => assert_eq!(class, DeadlineClass::BestEffort),
+            other => panic!("BestEffort frame {k} not shed: {other:?}"),
+        }
+    }
+    // ...while Interactive submissions are admitted, degraded to the
+    // quarter tier (half the hard bound is still open).
+    let degraded = server.submit(session, FrameRequest::new(walk_pose(0, 5)));
+    let adm = server.admission_stats();
+    assert_eq!(adm.shed_best_effort, 3, "BestEffort sheds first");
+    assert_eq!(adm.shed_interactive, 0, "no Interactive frame shed");
+    assert_eq!(adm.degraded, 1);
+
+    let stall = stall.wait();
+    assert!(!stall.serve.degraded);
+    for h in queued {
+        let r = h.wait();
+        assert_eq!(r.serve.tier, ResolutionTier::Full);
+    }
+    let d = degraded.wait();
+    assert!(d.serve.degraded, "admission did not mark the degrade");
+    assert_eq!(d.serve.tier, ResolutionTier::Quarter);
+    // The degraded frame is a *real* quarter-tier render: bitwise
+    // equal to directly rendering at the quarter intrinsics.
+    let (direct, _) = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .render(&Camera::new(
+        ResolutionTier::Quarter.apply(intrinsics()),
+        walk_pose(0, 5),
+    ));
+    assert_eq!(bits(&d.image), bits(&direct), "degraded frame diverged");
+
+    // Past the backlog, serving is exact again at full tier.
+    let recovered = server
+        .submit(session, FrameRequest::new(walk_pose(0, 7)))
+        .wait();
+    let (full, _) = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .render(&Camera::new(intrinsics(), walk_pose(0, 7)));
+    assert_eq!(bits(&recovered.image), bits(&full), "recovery not exact");
 }

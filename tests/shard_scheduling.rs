@@ -1,0 +1,185 @@
+//! Property tests of the shard scheduling policy ([`FairQueue`]):
+//! over arbitrary arrival sequences, frames dequeue in
+//! [`DeadlineClass`] priority order, FIFO within every
+//! (class, tenant) lane, and round-robin-fair across tenants — one
+//! hot session never starves its shard-mates.
+//!
+//! The queue is modeled against a reference: per-lane FIFOs plus
+//! per-class counts. Priority and FIFO are checked on every pop;
+//! fairness is checked over the final drain (no concurrent pushes),
+//! where round-robin implies any two tenants' served counts differ by
+//! at most one for as long as both still have frames pending.
+
+use gen_nerf_serve::{DeadlineClass, FairQueue};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+const N_TENANTS: u64 = 4;
+
+fn class_of(code: u8) -> DeadlineClass {
+    if code == 0 {
+        DeadlineClass::Interactive
+    } else {
+        DeadlineClass::BestEffort
+    }
+}
+
+/// Reference model: per-(class, tenant) FIFO of sequence numbers.
+#[derive(Default)]
+struct Model {
+    lanes: HashMap<(u8, u64), VecDeque<u64>>,
+    per_class: [usize; 2],
+}
+
+impl Model {
+    fn push(&mut self, class: u8, tenant: u64, seq: u64) {
+        self.lanes
+            .entry((class, tenant))
+            .or_default()
+            .push_back(seq);
+        self.per_class[class as usize] += 1;
+    }
+
+    fn top_class(&self) -> Option<u8> {
+        self.per_class.iter().position(|&n| n > 0).map(|c| c as u8)
+    }
+
+    fn pop(&mut self, class: u8, tenant: u64) -> Option<u64> {
+        let seq = self.lanes.get_mut(&(class, tenant))?.pop_front()?;
+        self.per_class[class as usize] -= 1;
+        Some(seq)
+    }
+}
+
+/// Checks one pop against the model: class priority and lane FIFO.
+fn check_pop(
+    model: &mut Model,
+    popped: Option<&(u8, u64, u64)>,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    match popped {
+        None => {
+            prop_assert_eq!(model.top_class(), None, "queue empty while model is not");
+        }
+        Some(&(class, tenant, seq)) => {
+            prop_assert_eq!(
+                Some(class),
+                model.top_class(),
+                "popped class {} while a higher-priority class was pending",
+                class
+            );
+            let expected = model.pop(class, tenant);
+            prop_assert_eq!(
+                expected,
+                Some(seq),
+                "tenant {} lane reordered (class {})",
+                tenant,
+                class
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of pushes and pops, then a full drain:
+    /// every dequeue honors class priority and per-lane FIFO, and the
+    /// drain serves tenants round-robin (counts within one of each
+    /// other while both have frames pending).
+    #[test]
+    fn prop_fair_queue_policy(
+        ops in proptest::collection::vec(
+            (0u64..N_TENANTS, 0u8..2, 0u8..4),
+            1..120,
+        ),
+    ) {
+        let mut q: FairQueue<(u8, u64, u64)> = FairQueue::new();
+        let mut model = Model::default();
+        let mut seq = 0u64;
+        for &(tenant, class, action) in &ops {
+            if action < 3 {
+                // Three in four ops push (keeps the drain non-trivial).
+                seq += 1;
+                q.push(class_of(class), tenant, (class, tenant, seq));
+                model.push(class, tenant, seq);
+            } else {
+                let popped = q.pop();
+                check_pop(&mut model, popped.as_ref())?;
+            }
+            prop_assert_eq!(q.len(), model.per_class.iter().sum::<usize>());
+        }
+
+        // Full drain with no concurrent pushes: record the pop order
+        // for the fairness check below.
+        let mut pending: HashMap<(u8, u64), usize> = model
+            .lanes
+            .iter()
+            .filter(|(_, lane)| !lane.is_empty())
+            .map(|(&key, lane)| (key, lane.len()))
+            .collect();
+        let mut served: HashMap<(u8, u64), usize> = HashMap::new();
+        while let Some(popped) = q.pop() {
+            let (class, tenant, _) = popped;
+            check_pop(&mut model, Some(&popped))?;
+            *served.entry((class, tenant)).or_default() += 1;
+            *pending.get_mut(&(class, tenant)).expect("lane known") -= 1;
+            // Round-robin balance: while two tenants of the same class
+            // both still have pending frames, their drain-served
+            // counts never diverge by more than one.
+            for (&(ca, ta), &left_a) in &pending {
+                for (&(cb, tb), &left_b) in &pending {
+                    if ca == cb && ta < tb && left_a > 0 && left_b > 0 {
+                        let sa = *served.get(&(ca, ta)).unwrap_or(&0) as i64;
+                        let sb = *served.get(&(cb, tb)).unwrap_or(&0) as i64;
+                        prop_assert!(
+                            (sa - sb).abs() <= 1,
+                            "class {} tenants {} and {} diverged: served {} vs {}",
+                            ca, ta, tb, sa, sb
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(model.top_class(), None, "drain left the model non-empty");
+    }
+
+    /// `pop_next` with an eligibility filter: ineligible lane heads
+    /// park their whole tenant (no intra-lane reordering), eligible
+    /// tenants still drain in policy order.
+    #[test]
+    fn prop_filter_never_reorders_a_lane(
+        pushes in proptest::collection::vec((0u64..N_TENANTS, 0u8..2), 1..60),
+        blocked in 0u64..N_TENANTS,
+    ) {
+        let mut q: FairQueue<(u8, u64, u64)> = FairQueue::new();
+        let mut model = Model::default();
+        for (i, &(tenant, class)) in pushes.iter().enumerate() {
+            let seq = i as u64;
+            q.push(class_of(class), tenant, (class, tenant, seq));
+            model.push(class, tenant, seq);
+        }
+        // Drain everything the filter admits.
+        while let Some((class, tenant, seq)) = q.pop_next(|&(_, t, _)| t != blocked) {
+            prop_assert!(tenant != blocked, "blocked tenant was served");
+            prop_assert_eq!(
+                model.pop(class, tenant),
+                Some(seq),
+                "lane reordered under filtering"
+            );
+        }
+        // Exactly the blocked tenant's frames remain, in FIFO order.
+        let left: usize = model
+            .lanes
+            .iter()
+            .filter(|(&(_, t), _)| t == blocked)
+            .map(|(_, lane)| lane.len())
+            .sum();
+        prop_assert_eq!(q.len(), left);
+        while let Some((class, tenant, seq)) = q.pop() {
+            prop_assert_eq!(tenant, blocked);
+            prop_assert_eq!(model.pop(class, tenant), Some(seq));
+        }
+    }
+}
