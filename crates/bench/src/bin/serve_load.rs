@@ -21,12 +21,14 @@
 
 use gen_nerf::config::{ModelConfig, SamplingStrategy};
 use gen_nerf::model::GenNerfModel;
-use gen_nerf_bench::loadgen::{load_plan, seed_from_env, Arrival, LoadSpec, SEED_ENV};
+use gen_nerf_bench::loadgen::{
+    chaos_plan, load_plan, seed_from_env, Arrival, ChaosFault, ChaosSpec, LoadSpec, SEED_ENV,
+};
 use gen_nerf_geometry::Intrinsics;
 use gen_nerf_scene::{Dataset, DatasetKind};
 use gen_nerf_serve::{
-    AdmissionConfig, DeadlineClass, FrameRequest, RenderServer, SceneState, ServeError,
-    ServerConfig, SessionConfig, SessionId,
+    AdmissionConfig, BreakerConfig, BreakerState, DeadlineClass, Fault, FrameRequest, RenderServer,
+    RetryPolicy, SceneState, ServeError, ServerConfig, SessionConfig, SessionId, SupervisorConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -183,6 +185,12 @@ fn run_scenario(
             }
             Err(ServeError::Shed { .. }) => {}
             Err(ServeError::Failed(msg)) => panic!("frame failed under load: {msg}"),
+            // No faults are injected in the scale scenarios and the
+            // default budgets are far above any queue wait here; a
+            // timeout or open breaker would be a real regression.
+            Err(e @ (ServeError::TimedOut { .. } | ServeError::CircuitOpen)) => {
+                panic!("unexpected supervision outcome under clean load: {e}")
+            }
         }
     }
     let duration_s = start.elapsed().as_secs_f64();
@@ -238,11 +246,433 @@ fn outcome_json(o: &Outcome) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode (`--chaos`): deterministic fault replay over the supervised
+// serve tier. The seed that fixes the request schedule also fixes the
+// fault schedule (a chaos-private stream), so a failure reproduces with
+// the same GEN_NERF_SEED.
+// ---------------------------------------------------------------------------
+
+/// Per-class budgets chosen for chaos runs: small enough that a
+/// timeout drill completes in milliseconds-to-seconds, large enough
+/// that clean frames at the chaos workload's modest rate never brush
+/// against them.
+const CHAOS_INTERACTIVE_BUDGET: Duration = Duration::from_millis(800);
+const CHAOS_BEST_EFFORT_BUDGET: Duration = Duration::from_millis(1500);
+/// A `Timeout` fault stalls past *both* budgets.
+const CHAOS_TIMEOUT_STALL: Duration = Duration::from_millis(2500);
+/// A `Slow` fault stalls well within both budgets.
+const CHAOS_SLOW_STALL: Duration = Duration::from_millis(80);
+/// Slack the gate grants beyond the class budget: the watchdog wakes
+/// at the deadline and resolution is prompt, but not instantaneous.
+const CHAOS_GRACE: Duration = Duration::from_millis(300);
+
+fn class_budget(class: DeadlineClass) -> Duration {
+    match class {
+        DeadlineClass::Interactive => CHAOS_INTERACTIVE_BUDGET,
+        DeadlineClass::BestEffort => CHAOS_BEST_EFFORT_BUDGET,
+    }
+}
+
+fn serve_fault(fault: ChaosFault) -> Fault {
+    match fault {
+        ChaosFault::TransientPanic => Fault::PanicOnce,
+        ChaosFault::PersistentPanic => Fault::Panic,
+        ChaosFault::Timeout => Fault::Stall(CHAOS_TIMEOUT_STALL),
+        ChaosFault::Slow => Fault::Stall(CHAOS_SLOW_STALL),
+    }
+}
+
+/// The circuit-breaker drill: a fresh server, one scene, a burst of
+/// persistent panics until the breaker trips, a shed check while it is
+/// open, then cooldown + clean probes until it closes again. Fully
+/// deterministic (no load racing the state machine).
+struct DrillOutcome {
+    frames_to_trip: u64,
+    shed_while_open: u64,
+    reclosed: bool,
+    trips: u64,
+}
+
+fn breaker_drill(
+    scene: &Arc<SceneState>,
+    intrinsics: Intrinsics,
+    strategy: SamplingStrategy,
+    pose: gen_nerf_geometry::Pose,
+) -> DrillOutcome {
+    let cooldown = Duration::from_millis(1000);
+    let server = RenderServer::new(
+        ServerConfig::default()
+            // One failure per frame (no retry) makes trip counting
+            // exact; a long cooldown keeps the shed check race-free.
+            .with_retry(RetryPolicy::disabled())
+            .with_breaker(
+                BreakerConfig::default()
+                    .with_window(8, 4)
+                    .with_cooldown(cooldown)
+                    .with_probe_quota(2),
+            ),
+    );
+    let session =
+        server.create_session(Arc::clone(scene), SessionConfig::new(intrinsics, strategy));
+    let breaker = server.scene_breaker(session);
+
+    let mut frames_to_trip = 0u64;
+    while breaker.state() != BreakerState::Open {
+        assert!(
+            frames_to_trip < 64,
+            "breaker never tripped after 64 persistent failures"
+        );
+        let handle = server.submit(session, FrameRequest::new(pose).with_fault(Fault::Panic));
+        let _ = handle.wait_result();
+        frames_to_trip += 1;
+    }
+
+    // While open (cooldown is 1 s; these submissions take microseconds)
+    // every submission sheds instantly with CircuitOpen.
+    let mut shed_while_open = 0u64;
+    for _ in 0..4 {
+        match server
+            .submit(session, FrameRequest::new(pose))
+            .wait_result()
+        {
+            Err(ServeError::CircuitOpen) => shed_while_open += 1,
+            other => panic!("open breaker admitted a frame: {other:?}"),
+        }
+    }
+
+    // Cooldown elapses; clean probe frames close the circuit again.
+    std::thread::sleep(cooldown + Duration::from_millis(100));
+    let mut reclosed = false;
+    for _ in 0..8 {
+        let _ = server
+            .submit(session, FrameRequest::new(pose))
+            .wait_result();
+        if breaker.state() == BreakerState::Closed {
+            reclosed = true;
+            break;
+        }
+    }
+    DrillOutcome {
+        frames_to_trip,
+        shed_while_open,
+        reclosed,
+        trips: breaker.trips(),
+    }
+}
+
+/// One chaos run's aggregate outcome.
+struct ChaosOutcome {
+    spec: LoadSpec,
+    fraction: f64,
+    duration_s: f64,
+    submitted: usize,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+    timed_out: u64,
+    shed_circuit: u64,
+    /// Handles that never resolved inside the generous collection
+    /// window — the hard gate; must be zero.
+    unresolved: u64,
+    /// Frames that completed successfully but past their class budget
+    /// plus grace — the recovery-latency gate; must be zero.
+    late_ok: u64,
+    /// Transient-panic frames that completed successfully (the retry
+    /// path recovered them).
+    recovered: u64,
+    /// Mean time-to-recovery: mean submit→complete latency of
+    /// recovered frames.
+    mttr_ms: f64,
+    recovery_p99_ms: f64,
+    watchdog_timeouts_interactive: u64,
+    watchdog_timeouts_best_effort: u64,
+    retries: u64,
+    breaker_trips: u64,
+    drill: DrillOutcome,
+}
+
+fn run_chaos(spec: LoadSpec, fraction: f64, scenes: &[Arc<SceneState>]) -> ChaosOutcome {
+    let strategy = SamplingStrategy::coarse_then_focus(8, 8);
+    let intrinsics = Intrinsics::from_fov(12, 12, 0.55);
+    let supervision = SupervisorConfig::default()
+        .with_interactive_budget(CHAOS_INTERACTIVE_BUDGET)
+        .with_best_effort_budget(CHAOS_BEST_EFFORT_BUDGET);
+    let server = RenderServer::new(
+        ServerConfig::default()
+            .with_max_shards(scenes.len())
+            .with_admission(AdmissionConfig::with_capacity(256))
+            .with_supervision(supervision),
+    );
+    let sessions = create_sessions(&server, scenes, spec.sessions, intrinsics, strategy);
+    let plan = load_plan(&spec);
+    let faults = chaos_plan(
+        &ChaosSpec {
+            fraction,
+            seed: spec.seed,
+        },
+        plan.len(),
+    );
+    // Warm every shard before the clock starts.
+    for scene_idx in 0..scenes.len() {
+        server
+            .submit(sessions[scene_idx], FrameRequest::new(plan[0].pose))
+            .wait();
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(plan.len());
+    for (arrival, fault) in plan.iter().zip(&faults) {
+        let target = Duration::from_secs_f64(arrival.at_ms / 1e3);
+        if let Some(sleep) = target.checked_sub(start.elapsed()) {
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+        }
+        let mut req = FrameRequest::new(arrival.pose).with_deadline(arrival.deadline);
+        if let Some(f) = fault {
+            req = req.with_fault(serve_fault(*f));
+        }
+        handles.push((
+            arrival.deadline,
+            *fault,
+            server.submit(sessions[arrival.session], req),
+        ));
+    }
+
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut shed = 0u64;
+    let mut timed_out = 0u64;
+    let mut shed_circuit = 0u64;
+    let mut unresolved = 0u64;
+    let mut late_ok = 0u64;
+    let mut recovery_ms: Vec<f64> = Vec::new();
+    for (class, fault, handle) in handles {
+        let budget = class_budget(class);
+        // Generous collection window: every handle must resolve well
+        // inside it (the watchdog resolves stragglers at the budget).
+        match handle.wait_timeout(budget * 2 + Duration::from_secs(2)) {
+            None => unresolved += 1,
+            Some(Ok(frame)) => {
+                completed += 1;
+                if frame.serve.latency > budget + CHAOS_GRACE {
+                    late_ok += 1;
+                }
+                if fault == Some(ChaosFault::TransientPanic) {
+                    recovery_ms.push(frame.serve.latency.as_secs_f64() * 1e3);
+                }
+            }
+            Some(Err(ServeError::TimedOut { .. })) => timed_out += 1,
+            Some(Err(ServeError::Failed(_))) => failed += 1,
+            Some(Err(ServeError::Shed { .. })) => shed += 1,
+            Some(Err(ServeError::CircuitOpen)) => shed_circuit += 1,
+        }
+    }
+    let duration_s = start.elapsed().as_secs_f64();
+
+    recovery_ms.sort_by(|a, b| a.total_cmp(b));
+    let recovered = recovery_ms.len() as u64;
+    let mttr_ms = if recovery_ms.is_empty() {
+        0.0
+    } else {
+        recovery_ms.iter().sum::<f64>() / recovery_ms.len() as f64
+    };
+    let sup = server.supervisor_stats();
+    let retries: u64 = server.shard_stats_all().iter().map(|s| s.retries).sum();
+    // Sessions 0..scenes cover every scene once (round-robin routing).
+    let breaker_trips: u64 = (0..scenes.len())
+        .map(|i| server.scene_breaker(sessions[i]).trips())
+        .sum();
+
+    let drill = breaker_drill(&scenes[0], intrinsics, strategy, plan[0].pose);
+    ChaosOutcome {
+        spec,
+        fraction,
+        duration_s,
+        submitted: plan.len(),
+        completed,
+        failed,
+        shed,
+        timed_out,
+        shed_circuit,
+        unresolved,
+        late_ok,
+        recovered,
+        mttr_ms,
+        recovery_p99_ms: percentile(&recovery_ms, 0.99),
+        watchdog_timeouts_interactive: sup.timed_out_interactive,
+        watchdog_timeouts_best_effort: sup.timed_out_best_effort,
+        retries,
+        breaker_trips,
+        drill,
+    }
+}
+
+fn chaos_json(o: &ChaosOutcome) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"seed_env\": \"{SEED_ENV}\",\n  \
+         \"threads\": {},\n  \
+         \"sessions\": {},\n  \"frames_per_session\": {},\n  \
+         \"scenes\": {},\n  \"rate_hz_per_session\": {:.2},\n  \
+         \"chaos_fraction\": {},\n  \
+         \"interactive_budget_ms\": {},\n  \"best_effort_budget_ms\": {},\n  \
+         \"duration_s\": {:.2},\n  \
+         \"submitted\": {},\n  \"completed\": {},\n  \"failed\": {},\n  \
+         \"shed\": {},\n  \"timed_out\": {},\n  \"shed_circuit\": {},\n  \
+         \"unresolved\": {},\n  \"late_ok\": {},\n  \
+         \"recovered\": {},\n  \"mttr_ms\": {:.2},\n  \"recovery_p99_ms\": {:.2},\n  \
+         \"watchdog_timeouts_interactive\": {},\n  \
+         \"watchdog_timeouts_best_effort\": {},\n  \
+         \"retries\": {},\n  \"breaker_trips\": {},\n  \
+         \"drill_frames_to_trip\": {},\n  \"drill_shed_while_open\": {},\n  \
+         \"drill_reclosed\": {},\n  \"drill_trips\": {}\n}}\n",
+        o.spec.seed,
+        gen_nerf_parallel::num_threads(),
+        o.spec.sessions,
+        o.spec.frames_per_session,
+        o.spec.scenes,
+        o.spec.rate_hz,
+        o.fraction,
+        CHAOS_INTERACTIVE_BUDGET.as_millis(),
+        CHAOS_BEST_EFFORT_BUDGET.as_millis(),
+        o.duration_s,
+        o.submitted,
+        o.completed,
+        o.failed,
+        o.shed,
+        o.timed_out,
+        o.shed_circuit,
+        o.unresolved,
+        o.late_ok,
+        o.recovered,
+        o.mttr_ms,
+        o.recovery_p99_ms,
+        o.watchdog_timeouts_interactive,
+        o.watchdog_timeouts_best_effort,
+        o.retries,
+        o.breaker_trips,
+        o.drill.frames_to_trip,
+        o.drill.shed_while_open,
+        o.drill.reclosed,
+        o.drill.trips,
+    )
+}
+
+fn run_chaos_mode(test_mode: bool, seed: u64) {
+    // Injected faults unwind through catch_unwind on the shard; the
+    // default hook would still spray a backtrace per injection. Keep
+    // the log readable — real panics pass through untouched.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected render fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let out_path =
+        std::env::var("GEN_NERF_CHAOS_OUT").unwrap_or_else(|_| "BENCH_chaos.json".to_string());
+    // Modest open-loop pressure: the chaos run probes recovery, not
+    // saturation — queue waits must stay far below the tight budgets
+    // so every timeout is an *injected* one.
+    let (n_scenes, sessions, frames_per_session, rate_hz, fraction) = if test_mode {
+        (2, 6, 5, 6.0, 0.35)
+    } else {
+        (3, 24, 8, 4.0, 0.25)
+    };
+    println!("preparing {n_scenes} scenes at 12x12 ...");
+    let scenes = build_scenes(n_scenes, 12);
+    let spec = LoadSpec {
+        sessions,
+        frames_per_session,
+        rate_hz,
+        best_effort_fraction: 0.25,
+        scenes: n_scenes,
+        seed,
+    };
+    println!(
+        "chaos replay: {sessions} sessions x {frames_per_session} frames at {rate_hz:.1} Hz, \
+         fault fraction {fraction} (seed {seed}) ..."
+    );
+    let o = run_chaos(spec, fraction, &scenes);
+    println!(
+        "  submitted {}: ok {} (late {}), failed {}, timed out {}, shed {}, circuit {}, \
+         unresolved {}",
+        o.submitted,
+        o.completed,
+        o.late_ok,
+        o.failed,
+        o.timed_out,
+        o.shed,
+        o.shed_circuit,
+        o.unresolved,
+    );
+    println!(
+        "  recovered {} transient frames, MTTR {:.1} ms (p99 {:.1} ms); {} retries, \
+         {} watchdog timeouts (INT {} / BE {}), {} breaker trips",
+        o.recovered,
+        o.mttr_ms,
+        o.recovery_p99_ms,
+        o.retries,
+        o.watchdog_timeouts_interactive + o.watchdog_timeouts_best_effort,
+        o.watchdog_timeouts_interactive,
+        o.watchdog_timeouts_best_effort,
+        o.breaker_trips,
+    );
+    println!(
+        "  drill: tripped after {} failures, shed {} while open, reclosed: {}",
+        o.drill.frames_to_trip, o.drill.shed_while_open, o.drill.reclosed,
+    );
+    let json = chaos_json(&o);
+    std::fs::write(&out_path, &json).expect("write chaos report");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    if test_mode {
+        // CI gate: every handle resolves, and nothing that succeeded
+        // did so past its class budget (+ watchdog grace).
+        let mut fail = false;
+        if o.unresolved > 0 {
+            eprintln!(
+                "SERVE_CHAOS_GATE: FAIL — {} handle(s) never resolved",
+                o.unresolved
+            );
+            fail = true;
+        }
+        if o.late_ok > 0 {
+            eprintln!(
+                "SERVE_CHAOS_GATE: FAIL — {} frame(s) completed past their class budget",
+                o.late_ok
+            );
+            fail = true;
+        }
+        if !o.drill.reclosed {
+            eprintln!("SERVE_CHAOS_GATE: FAIL — breaker did not close after cooldown probes");
+            fail = true;
+        }
+        if fail {
+            std::process::exit(1);
+        }
+        println!(
+            "SERVE_CHAOS_GATE: OK — all {} handles resolved within budget under chaos",
+            o.submitted
+        );
+    }
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
+    let chaos_mode = std::env::args().any(|a| a == "--chaos");
+    let seed = seed_from_env(42);
+    if chaos_mode {
+        run_chaos_mode(test_mode, seed);
+        return;
+    }
     let out_path =
         std::env::var("GEN_NERF_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
-    let seed = seed_from_env(42);
 
     // Fixed constants, NOT calibrated against measured throughput at
     // run time: calibration would make the request schedule depend on

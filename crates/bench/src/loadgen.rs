@@ -113,6 +113,74 @@ fn session_rng(seed: u64, session: usize) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(mixed)
 }
 
+/// One injected fault of a chaos schedule — the *kind* of failure; the
+/// harness maps it onto the serve tier's `Fault` knobs (stall lengths
+/// come from the [`ChaosSpec`], budgets from the server config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Panic on the first render attempt only: the retry policy
+    /// recovers the frame, bitwise identical to a clean render.
+    TransientPanic,
+    /// Panic on every attempt: the retry budget exhausts, the frame
+    /// fails, and repeated hits feed the scene's circuit breaker.
+    PersistentPanic,
+    /// Stall longer than every deadline budget: the watchdog times the
+    /// frame out and cancellation reclaims the stalled worker.
+    Timeout,
+    /// Stall briefly (within budget): a slow frame that must still
+    /// complete normally.
+    Slow,
+}
+
+/// A deterministic chaos schedule: which fraction of frames fault, and
+/// the stream everything derives from. Fault *placement* and *kind*
+/// are drawn from a chaos-private `ChaCha8` stream (mixed differently
+/// from every session stream), so the same seed replays the identical
+/// fault schedule on top of the identical request schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Fraction of frames (by schedule index) that carry a fault.
+    pub fraction: f64,
+    /// Master seed; reuse the load seed so one number replays both.
+    pub seed: u64,
+}
+
+/// Derives the chaos-private stream (distinct from any session's).
+fn chaos_rng(seed: u64) -> ChaCha8Rng {
+    let mixed =
+        seed.wrapping_mul(0xA24B_AED4_963E_E407u64).rotate_left(29) ^ 0x9FB2_1C65_1E98_DF25u64;
+    ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// Builds the fault schedule for a `frames`-long request plan: one
+/// `Option<ChaosFault>` per schedule index. Kinds are drawn 40%
+/// transient-panic / 20% persistent-panic / 20% timeout / 20% slow —
+/// transient failures dominate, as they do in production, so the
+/// retry path sees the most traffic.
+pub fn chaos_plan(spec: &ChaosSpec, frames: usize) -> Vec<Option<ChaosFault>> {
+    let mut rng = chaos_rng(spec.seed);
+    (0..frames)
+        .map(|_| {
+            // Draw both numbers unconditionally so a frame's fault
+            // kind never depends on earlier frames' placements.
+            let hit = rng.gen::<f64>() < spec.fraction;
+            let kind: f64 = rng.gen();
+            if !hit {
+                return None;
+            }
+            Some(if kind < 0.4 {
+                ChaosFault::TransientPanic
+            } else if kind < 0.6 {
+                ChaosFault::PersistentPanic
+            } else if kind < 0.8 {
+                ChaosFault::Timeout
+            } else {
+                ChaosFault::Slow
+            })
+        })
+        .collect()
+}
+
 /// Builds the full request schedule of `spec`, sorted by arrival time
 /// (ties broken by session then step, so the order itself is
 /// deterministic too).
@@ -237,6 +305,59 @@ mod tests {
         assert!(plan
             .iter()
             .any(|a| a.deadline == DeadlineClass::Interactive));
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_and_seed_sensitive() {
+        let spec = ChaosSpec {
+            fraction: 0.3,
+            seed: 7,
+        };
+        let a = chaos_plan(&spec, 200);
+        let b = chaos_plan(&spec, 200);
+        assert_eq!(a, b, "same seed must replay the same fault schedule");
+        let c = chaos_plan(
+            &ChaosSpec {
+                fraction: 0.3,
+                seed: 8,
+            },
+            200,
+        );
+        assert_ne!(a, c, "seed change did not move any fault");
+        // All kinds appear at fraction 0.3 over 200 draws (the draw is
+        // seed-deterministic, so this is a fixed fact, not a flake).
+        for kind in [
+            ChaosFault::TransientPanic,
+            ChaosFault::PersistentPanic,
+            ChaosFault::Timeout,
+            ChaosFault::Slow,
+        ] {
+            assert!(
+                a.iter().any(|f| *f == Some(kind)),
+                "{kind:?} never drawn at fraction 0.3 over 200 frames"
+            );
+        }
+        // A longer plan extends the shorter one — placement is
+        // per-index, independent of plan length.
+        let long = chaos_plan(&spec, 400);
+        assert_eq!(&long[..200], &a[..]);
+        // Fraction 0 faults nothing; fraction 1 faults everything.
+        let none = chaos_plan(
+            &ChaosSpec {
+                fraction: 0.0,
+                seed: 7,
+            },
+            64,
+        );
+        assert!(none.iter().all(Option::is_none));
+        let all = chaos_plan(
+            &ChaosSpec {
+                fraction: 1.0,
+                seed: 7,
+            },
+            64,
+        );
+        assert!(all.iter().all(Option::is_some));
     }
 
     #[test]

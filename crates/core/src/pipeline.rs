@@ -90,7 +90,7 @@ use crate::sampling;
 use gen_nerf_geometry::{Aabb, Camera, Ray, Vec3};
 use gen_nerf_nn::flops::{self, FlopsCounter};
 use gen_nerf_nn::init::Rng;
-use gen_nerf_parallel::{par_chunk_ranges, Pool};
+use gen_nerf_parallel::{par_chunk_ranges, CancelToken, Pool};
 use gen_nerf_scene::renderer::{composite, composite_into};
 use gen_nerf_scene::Image;
 use serde::{Deserialize, Serialize};
@@ -343,6 +343,7 @@ pub struct Renderer<'a> {
     threads: usize,
     fused: bool,
     pool: Option<&'a Pool>,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> Renderer<'a> {
@@ -382,6 +383,7 @@ impl<'a> Renderer<'a> {
             threads: gen_nerf_parallel::num_threads(),
             fused: true,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -410,6 +412,30 @@ impl<'a> Renderer<'a> {
     pub fn with_pool(mut self, pool: &'a Pool) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: render workers poll it
+    /// at every per-ray boundary of every chunk and, once it fires,
+    /// stop evaluating the model — remaining rays resolve to the
+    /// background color, so output buffers keep their full shape but
+    /// the fan-out (and the [`Pool`] slice running it) drains within
+    /// one ray's work. This is how a serving supervisor reclaims a
+    /// worker from a render whose deadline already passed: the partial
+    /// image is garbage by construction and must be discarded by the
+    /// caller.
+    ///
+    /// A token that never fires changes nothing: the checks are pure
+    /// reads, so cancellable and plain renders are bit-for-bit
+    /// identical (the serve regression suite pins this).
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Whether an attached token has fired (`false` when none is
+    /// attached — the hot-path check every per-ray loop performs).
+    fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 
     /// Renders a full image from `camera`.
@@ -593,7 +619,17 @@ impl<'a> Renderer<'a> {
     {
         let chunks = self.fan_out(n_rays, |start, end| {
             let mut local = RenderStats::default();
-            let colors: Vec<Vec3> = (start..end).map(|j| shade(j, &mut local)).collect();
+            let colors: Vec<Vec3> = (start..end)
+                .map(|j| {
+                    if self.is_cancelled() {
+                        // Cancelled mid-chunk: keep the output shape,
+                        // skip the model work for the remaining rays.
+                        self.background
+                    } else {
+                        shade(j, &mut local)
+                    }
+                })
+                .collect();
             (colors, local)
         });
         let mut pixels = Vec::with_capacity(n_rays);
@@ -660,7 +696,15 @@ impl<'a> Renderer<'a> {
                 let mut depths_per: Vec<Option<Vec<f32>>> = Vec::with_capacity(end - start);
                 for g in start..end {
                     let (f, j) = set.locate(g);
-                    let depths = depths_for(f, j);
+                    // Cancellation checkpoint: a fired token turns the
+                    // rest of the chunk into background rays, so the
+                    // fused forward below shrinks to the work already
+                    // aggregated and the worker drains promptly.
+                    let depths = if self.is_cancelled() {
+                        None
+                    } else {
+                        depths_for(f, j)
+                    };
                     match &depths {
                         Some(dep) => {
                             aggregate_ray_into(
@@ -899,7 +943,12 @@ impl<'a> Renderer<'a> {
                 for g in start..end {
                     let (f, j) = set.locate(g);
                     let batch = &set.batches[f];
-                    match batch.ranges[j] {
+                    let range = if self.is_cancelled() {
+                        None // cancellation checkpoint: drain as a miss
+                    } else {
+                        batch.ranges[j]
+                    };
+                    match range {
                         Some((t0, t1)) => {
                             let depths = Ray::uniform_depths(t0, t1, n_coarse);
                             aggregate_ray_into(
@@ -936,6 +985,14 @@ impl<'a> Renderer<'a> {
                         fine_depths_per.push(Vec::new());
                         continue;
                     };
+                    // Cancellation checkpoint; also covers rays whose
+                    // coarse pass was itself cancelled above (the token
+                    // is sticky, so those always land here).
+                    if self.is_cancelled() {
+                        ws.arena.seal_ray();
+                        fine_depths_per.push(Vec::new());
+                        continue;
+                    }
                     let deltas = Ray::interval_widths(&coarse_depths_per[idx], t1);
                     let comp = composite(
                         &coarse_outs[idx].densities,
@@ -1061,7 +1118,12 @@ impl<'a> Renderer<'a> {
                 for g in start..end {
                     let (f, j) = locate_sub(g);
                     let batch = &set.batches[f];
-                    let Some((t0, t1)) = batch.ranges[j] else {
+                    // Second pattern is the cancellation checkpoint: a
+                    // cancelled ray probes nothing (weights empty,
+                    // critical count 0) and Step ③ shades it as
+                    // background.
+                    let range = batch.ranges[j].filter(|_| !self.is_cancelled());
+                    let Some((t0, t1)) = range else {
                         ws.arena.seal_ray();
                         depths_per.push(Vec::new());
                         continue;
@@ -1191,7 +1253,10 @@ impl<'a> Renderer<'a> {
             let mut depths_per: Vec<Vec<f32>> = Vec::with_capacity(end - start);
             let mut aggs_per: Vec<Vec<PointAggregate>> = Vec::with_capacity(end - start);
             for j in start..end {
-                let Some((t0, t1)) = batch.ranges[j] else {
+                // The filter is the cancellation checkpoint of the
+                // per-ray reference schedule's coarse pass.
+                let range = batch.ranges[j].filter(|_| !self.is_cancelled());
+                let Some((t0, t1)) = range else {
                     depths_per.push(Vec::new());
                     aggs_per.push(Vec::new());
                     continue;

@@ -23,10 +23,73 @@
 //! [`std::thread::available_parallelism`].
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "GEN_NERF_THREADS";
+
+/// A cooperative cancellation flag, shared between a supervisor that
+/// decides a computation is no longer wanted and the workers running
+/// it. Cloning is cheap (an `Arc` bump); all clones observe the same
+/// flag. Cancellation is level-triggered and sticky: once
+/// [`cancel`](CancelToken::cancel) is called every subsequent
+/// [`is_cancelled`](CancelToken::is_cancelled) returns `true`.
+///
+/// The token never interrupts anything by itself — long computations
+/// must poll it at natural boundaries (chunk starts, per-ray loops)
+/// and wind down early. A computation that never checks the token is
+/// bit-for-bit unaffected by its existence, which keeps cancellable
+/// and plain render paths byte-identical when no cancel fires.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; wakes nobody — pollers observe it
+    /// at their next checkpoint.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on any
+    /// clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Pool`] job failed because a worker panicked while executing it.
+///
+/// The pool itself survives: poison is cleared when the next job is
+/// submitted, so callers can treat this as a per-job error and keep
+/// using the pool (see [`Pool::try_run_chunks`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    message: String,
+}
+
+impl PoolError {
+    /// The panic payload of the (first) worker that panicked, when it
+    /// was a string; `"pool worker panicked"` otherwise.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// The configured worker count: `GEN_NERF_THREADS` if set and
 /// positive, otherwise the machine's available parallelism.
@@ -202,8 +265,9 @@ struct PoolState {
     epoch: u64,
     /// Workers still executing the current epoch's job.
     running: usize,
-    /// A worker panicked while executing the current job.
-    poisoned: bool,
+    /// Panic message of the first worker that panicked while executing
+    /// the current job (`None` while the job is clean).
+    poisoned: Option<String>,
     shutdown: bool,
 }
 
@@ -241,7 +305,7 @@ impl Pool {
                 job: None,
                 epoch: 0,
                 running: 0,
-                poisoned: false,
+                poisoned: None,
                 shutdown: false,
             }),
             submit: Mutex::new(()),
@@ -297,12 +361,16 @@ impl Pool {
                 // on its stack until `running` drains to zero below.
                 let f = unsafe { &*job.f };
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)));
-                if outcome.is_err() {
-                    shared
-                        .state
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .poisoned = true;
+                if let Err(payload) = outcome {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "pool worker panicked".to_string());
+                    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                    // Keep the first panic: later ones are usually
+                    // knock-on noise from the same root cause.
+                    state.poisoned.get_or_insert(message);
                 }
             }
             let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -321,15 +389,35 @@ impl Pool {
     ///
     /// # Panics
     ///
-    /// Panics if a worker panicked while executing `f`.
+    /// Panics if a worker panicked while executing `f` (re-raising the
+    /// worker's panic message). Callers that want to survive a
+    /// poisoned job use [`Pool::try_run_chunks`].
     pub fn run_chunks<R, F>(&self, n: usize, threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        match self.try_run_chunks(n, threads, f) {
+            Ok(results) => results,
+            Err(err) => panic!("{}", err.message().to_string()),
+        }
+    }
+
+    /// Like [`Pool::run_chunks`], but a worker panic surfaces as
+    /// `Err(PoolError)` instead of unwinding the caller. The pool
+    /// recovers: poison is cleared on the next submission, so a job
+    /// submitted after an `Err` runs clean on the same workers (a unit
+    /// test pins this).
+    pub fn try_run_chunks<R, F>(&self, n: usize, threads: usize, f: F) -> Result<Vec<R>, PoolError>
     where
         R: Send,
         F: Fn(usize, usize) -> R + Sync,
     {
         let ranges = chunk_ranges(n, threads.min(self.workers.len()));
         if ranges.len() <= 1 {
-            return ranges.into_iter().map(|(s, e)| f(s, e)).collect();
+            // Inline execution: a panic here propagates to the caller
+            // directly (there is no worker to poison).
+            return Ok(ranges.into_iter().map(|(s, e)| f(s, e)).collect());
         }
         let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
         let task = |slot: usize| {
@@ -357,25 +445,24 @@ impl Pool {
             });
             state.epoch += 1;
             state.running = self.workers.len();
-            state.poisoned = false;
+            state.poisoned = None;
             self.shared.work.notify_all();
             while state.running > 0 {
                 state = self.shared.done.wait(state).expect("pool wait");
             }
             state.job = None;
-            if state.poisoned {
-                drop(state);
-                panic!("pool worker panicked");
+            if let Some(message) = state.poisoned.take() {
+                return Err(PoolError { message });
             }
         }
-        slots
+        Ok(slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("slot lock")
                     .expect("worker filled slot")
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -542,6 +629,40 @@ mod tests {
         assert!(result.is_err());
         // The pool survives a poisoned job and keeps serving.
         assert_eq!(pool.run_chunks(4, 2, |s, e| e - s).iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn pool_try_run_reports_poison_and_recovers() {
+        let pool = Pool::new(2);
+        // A poisoned job surfaces as an error carrying the worker's
+        // panic message — the caller does not unwind.
+        let err = pool
+            .try_run_chunks(10, 2, |s, _| {
+                if s == 0 {
+                    panic!("injected worker fault");
+                }
+                s
+            })
+            .unwrap_err();
+        assert_eq!(err.message(), "injected worker fault");
+        assert!(err.to_string().contains("injected worker fault"));
+        // The pool cleared the poison: the next job runs clean on the
+        // same workers and returns full results.
+        let clean = pool.try_run_chunks(8, 2, |s, e| e - s).expect("clean job");
+        assert_eq!(clean.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled() && !clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled(), "cancel visible through all clones");
+        clone.cancel(); // idempotent
+        assert!(token.is_cancelled());
+        // A fresh token is independent.
+        assert!(!CancelToken::default().is_cancelled());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   reordered. `tests/shard_scheduling.rs` property-tests the policy.
 
 use crate::session::DeadlineClass;
+use crate::supervisor::BreakerAdmit;
 use std::collections::{HashMap, VecDeque};
 
 /// Per-shard bounded-queue policy.
@@ -75,6 +76,9 @@ pub enum AdmissionDecision {
     Degrade,
     /// Refuse; resolve the handle with a shed error.
     Shed,
+    /// Refuse; the scene's circuit breaker is open — resolve the
+    /// handle with [`ServeError::CircuitOpen`](crate::ServeError::CircuitOpen).
+    Break,
 }
 
 /// Applies the shed-or-degrade policy to one submission given the
@@ -99,6 +103,25 @@ pub fn admission_decision(
     }
 }
 
+/// [`admission_decision`] with the scene's circuit-breaker verdict
+/// layered on top: an open breaker sheds **before** queue pressure is
+/// even consulted (a sick scene must not consume queue depth), while a
+/// `Probe` or plain `Admit` verdict defers to the queue policy
+/// unchanged — a probe frame can still be degraded or shed by
+/// capacity, in which case the caller must return the probe slot via
+/// [`CircuitBreaker::abort_probe`](crate::supervisor::CircuitBreaker::abort_probe).
+pub fn admission_decision_supervised(
+    cfg: &AdmissionConfig,
+    class: DeadlineClass,
+    depth: usize,
+    breaker: BreakerAdmit,
+) -> AdmissionDecision {
+    if breaker == BreakerAdmit::Shed {
+        return AdmissionDecision::Break;
+    }
+    admission_decision(cfg, class, depth)
+}
+
 /// Admission counters of one shard (or, summed, of the whole server).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AdmissionStats {
@@ -110,6 +133,8 @@ pub struct AdmissionStats {
     pub shed_best_effort: u64,
     /// Interactive frames shed at the hard bound.
     pub shed_interactive: u64,
+    /// Frames shed because the scene's circuit breaker was open.
+    pub shed_circuit: u64,
 }
 
 impl AdmissionStats {
@@ -120,12 +145,13 @@ impl AdmissionStats {
             degraded: self.degraded + other.degraded,
             shed_best_effort: self.shed_best_effort + other.shed_best_effort,
             shed_interactive: self.shed_interactive + other.shed_interactive,
+            shed_circuit: self.shed_circuit + other.shed_circuit,
         }
     }
 
-    /// All shed frames, either class.
+    /// All shed frames: either class plus circuit-breaker sheds.
     pub fn shed_total(&self) -> u64 {
-        self.shed_best_effort + self.shed_interactive
+        self.shed_best_effort + self.shed_interactive + self.shed_circuit
     }
 }
 
@@ -276,6 +302,27 @@ mod tests {
             admission_decision(&cfg, DeadlineClass::Interactive, 8),
             AdmissionDecision::Shed
         );
+    }
+
+    #[test]
+    fn open_breaker_sheds_before_queue_policy() {
+        let cfg = AdmissionConfig::with_capacity(4);
+        // Breaker shed wins at any depth, even an empty queue.
+        assert_eq!(
+            admission_decision_supervised(&cfg, DeadlineClass::Interactive, 0, BreakerAdmit::Shed),
+            AdmissionDecision::Break
+        );
+        // Admit and Probe defer to the queue policy unchanged.
+        for verdict in [BreakerAdmit::Admit, BreakerAdmit::Probe] {
+            assert_eq!(
+                admission_decision_supervised(&cfg, DeadlineClass::Interactive, 0, verdict),
+                AdmissionDecision::Admit
+            );
+            assert_eq!(
+                admission_decision_supervised(&cfg, DeadlineClass::BestEffort, 4, verdict),
+                AdmissionDecision::Shed
+            );
+        }
     }
 
     #[test]

@@ -94,9 +94,11 @@ mod registry;
 mod server;
 mod session;
 mod shard;
+mod supervisor;
 
 pub use admission::{
-    admission_decision, AdmissionConfig, AdmissionDecision, AdmissionStats, FairQueue,
+    admission_decision, admission_decision_supervised, AdmissionConfig, AdmissionDecision,
+    AdmissionStats, FairQueue,
 };
 pub use registry::ShardId;
 pub use server::{
@@ -108,3 +110,7 @@ pub use session::{
     SessionConfig, SessionId, DEFAULT_CACHE_BUDGET_BYTES,
 };
 pub use shard::ShardStats;
+pub use supervisor::{
+    BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy, SupervisorConfig,
+    SupervisorStats,
+};

@@ -9,20 +9,24 @@
 //! and hand the frame (or an immediate shed error) back through a
 //! [`FrameHandle`].
 
-use crate::admission::{admission_decision, AdmissionDecision, AdmissionStats};
+use crate::admission::{admission_decision_supervised, AdmissionDecision, AdmissionStats};
 use crate::registry::{Assignment, SceneRegistry, ShardId};
 use crate::session::{
     CacheStats, DeadlineClass, ResolutionTier, SceneState, SessionConfig, SessionId, SessionMap,
     SessionState,
 };
 use crate::shard::{QueuedFrame, Shard, ShardStats};
+use crate::supervisor::{
+    BreakerAdmit, BreakerConfig, CircuitBreaker, RetryPolicy, Supervisor, SupervisorConfig,
+    SupervisorStats,
+};
 use gen_nerf::pipeline::RenderStats;
 use gen_nerf_geometry::Pose;
 use gen_nerf_parallel::partition_threads;
 use gen_nerf_scene::Image;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 /// Server-wide configuration.
@@ -40,6 +44,12 @@ pub struct ServerConfig {
     pub max_shards: usize,
     /// Bounded-queue admission policy applied per shard.
     pub admission: crate::admission::AdmissionConfig,
+    /// Per-class wall-clock frame budgets enforced by the watchdog.
+    pub supervision: SupervisorConfig,
+    /// Re-render policy for transiently failed frames.
+    pub retry: RetryPolicy,
+    /// Per-scene circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +59,9 @@ impl Default for ServerConfig {
             max_batch: 8,
             max_shards: 8,
             admission: crate::admission::AdmissionConfig::default(),
+            supervision: SupervisorConfig::default(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -65,6 +78,24 @@ impl ServerConfig {
         self.admission = admission;
         self
     }
+
+    /// Sets the per-class frame deadline budgets.
+    pub fn with_supervision(mut self, supervision: SupervisorConfig) -> Self {
+        self.supervision = supervision;
+        self
+    }
+
+    /// Sets the transient-failure retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-scene circuit-breaker tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
 }
 
 /// Injected failure for resilience testing: makes the shard's render
@@ -73,11 +104,32 @@ impl ServerConfig {
 /// to an error (never hangs) and the shard keeps serving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
-    /// Panic inside the render closure (fails the frame's batch).
+    /// Panic inside the render closure (fails the frame's batch) on
+    /// **every** attempt — a persistent defect that exhausts the retry
+    /// budget.
     Panic,
+    /// Panic on the first render attempt only — a transient defect a
+    /// retry recovers from (the retried frame is bitwise identical to
+    /// a never-faulted render; the regression suite pins it).
+    PanicOnce,
     /// Sleep inside the render closure (holds the shard busy so tests
-    /// can build queue depth deterministically).
+    /// can build queue depth deterministically). The sleep polls the
+    /// batch's cancel token, so a stall longer than the frame's
+    /// deadline budget is reclaimed by the watchdog instead of parking
+    /// the shard worker.
     Stall(Duration),
+}
+
+impl Fault {
+    /// Whether this fault fires on render attempt `attempt` (0 is the
+    /// first) — a pure function, so replaying a fault schedule is
+    /// deterministic.
+    pub(crate) fn fires(self, attempt: u32) -> bool {
+        match self {
+            Fault::Panic | Fault::Stall(_) => true,
+            Fault::PanicOnce => attempt == 0,
+        }
+    }
 }
 
 /// One frame request: a head pose plus serving knobs.
@@ -186,9 +238,22 @@ pub enum ServeError {
         /// The refused frame's scheduling class.
         class: DeadlineClass,
     },
-    /// The frame failed while rendering (a panic in the render path)
-    /// or its session was removed with the frame still queued.
+    /// The frame failed while rendering (a panic in the render path,
+    /// with the retry budget exhausted) or its session was removed
+    /// with the frame still queued.
     Failed(String),
+    /// The frame exceeded its [`DeadlineClass`] wall-clock budget and
+    /// the watchdog resolved it (cancelling its render if one was in
+    /// flight).
+    TimedOut {
+        /// The overdue frame's scheduling class.
+        class: DeadlineClass,
+    },
+    /// The scene's circuit breaker is open: recent frames failed at a
+    /// rate that tripped it, and the cooldown/probing has not closed
+    /// it yet. Submissions shed instantly instead of burning render
+    /// budget on a sick scene.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for ServeError {
@@ -196,13 +261,48 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Shed { class } => write!(f, "frame shed under load ({class:?})"),
             ServeError::Failed(msg) => write!(f, "render failed: {msg}"),
+            ServeError::TimedOut { class } => {
+                write!(f, "frame exceeded its deadline budget ({class:?})")
+            }
+            ServeError::CircuitOpen => write!(f, "scene circuit breaker open"),
         }
     }
 }
 
+/// A slot's interior: the outcome (until the caller consumes it) and a
+/// sticky `resolved` latch. The latch is what makes resolution
+/// first-write-wins *across* consumption: once any writer resolved the
+/// slot, every later [`fulfill`] is a no-op — even after a waiter took
+/// the outcome out — so a render finishing after its watchdog timeout
+/// can never resurrect a consumed handle.
+#[derive(Default)]
+struct SlotState {
+    outcome: Option<Result<FrameResult, ServeError>>,
+    resolved: bool,
+}
+
 pub(crate) struct Slot {
-    result: Mutex<Option<Result<FrameResult, ServeError>>>,
+    result: Mutex<SlotState>,
     ready: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Self {
+        Self {
+            result: Mutex::new(SlotState::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Whether the frame has resolved (by render, error, shed or
+    /// timeout) — shards use this to skip frames the watchdog already
+    /// answered for.
+    pub(crate) fn is_resolved(&self) -> bool {
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resolved
+    }
 }
 
 /// The caller's side of one submitted frame: poll it, or block on it.
@@ -217,7 +317,7 @@ impl FrameHandle {
     pub fn wait_result(self) -> Result<FrameResult, ServeError> {
         let mut guard = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(outcome) = guard.take() {
+            if let Some(outcome) = guard.outcome.take() {
                 return outcome;
             }
             guard = self
@@ -225,6 +325,31 @@ impl FrameHandle {
                 .ready
                 .wait(guard)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks until the frame resolves or `timeout` elapses: `Some`
+    /// with the outcome, `None` on timeout (the handle stays usable —
+    /// wait again, poll, or keep it; the server still owns the frame
+    /// and its watchdog deadline). This is the bounded wait serving
+    /// loops and tests use instead of hand-rolled spin loops.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<FrameResult, ServeError>> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.outcome.take() {
+                return Some(outcome);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            guard = self
+                .slot
+                .ready
+                .wait_timeout(guard, left)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
         }
     }
 
@@ -252,6 +377,7 @@ impl FrameHandle {
             .result
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .outcome
             .take()
             .map(|outcome| outcome.unwrap_or_else(|e| panic!("render server failed: {e}")))
     }
@@ -262,17 +388,31 @@ impl FrameHandle {
             .result
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .outcome
             .is_some()
     }
 }
 
-pub(crate) fn fulfill(slot: &Slot, outcome: Result<FrameResult, ServeError>) {
-    *slot.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+/// Resolves `slot` with `outcome` — **first write wins**. Returns
+/// whether this call was the resolving one; a `false` means another
+/// writer (usually the watchdog's timeout) got there first and the
+/// outcome was discarded. Supervised serving relies on this being a
+/// race-free latch: exactly one of {render result, render error, shed,
+/// timeout} reaches the caller.
+pub(crate) fn fulfill(slot: &Slot, outcome: Result<FrameResult, ServeError>) -> bool {
+    let mut guard = slot.result.lock().unwrap_or_else(|e| e.into_inner());
+    if guard.resolved {
+        return false;
+    }
+    guard.resolved = true;
+    guard.outcome = Some(outcome);
+    drop(guard);
     slot.ready.notify_all();
+    true
 }
 
-pub(crate) fn fulfill_error(slot: &Slot, msg: &str) {
-    fulfill(slot, Err(ServeError::Failed(msg.to_string())));
+pub(crate) fn fulfill_error(slot: &Slot, msg: &str) -> bool {
+    fulfill(slot, Err(ServeError::Failed(msg.to_string())))
 }
 
 /// Scene→shard assignment plus the spawned shards, guarded together
@@ -298,6 +438,12 @@ pub struct RenderServer {
     topology: Mutex<Topology>,
     sessions: SessionMap,
     next_session: AtomicU64,
+    /// Per-scene circuit breakers, keyed like the registry (Arc
+    /// pointer + Weak liveness witness). Sessions sharing a scene
+    /// share its breaker: scene health is a property of the scene, not
+    /// of any one viewer.
+    breakers: Mutex<HashMap<usize, (Weak<SceneState>, Arc<CircuitBreaker>)>>,
+    supervisor: Arc<Supervisor>,
 }
 
 impl RenderServer {
@@ -312,7 +458,29 @@ impl RenderServer {
             }),
             sessions: Arc::new(Mutex::new(HashMap::new())),
             next_session: AtomicU64::new(1),
+            breakers: Mutex::new(HashMap::new()),
+            supervisor: Arc::new(Supervisor::spawn()),
         }
+    }
+
+    /// The circuit breaker owning `scene`'s health, created on first
+    /// sight (same Weak-witnessed pointer keying as the registry, so a
+    /// recycled allocation never inherits a dead scene's trip
+    /// history).
+    fn breaker_for(&self, scene: &Arc<SceneState>) -> Arc<CircuitBreaker> {
+        let key = Arc::as_ptr(scene) as usize;
+        let mut breakers = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((witness, breaker)) = breakers.get(&key) {
+            if witness
+                .upgrade()
+                .is_some_and(|live| Arc::ptr_eq(&live, scene))
+            {
+                return Arc::clone(breaker);
+            }
+        }
+        let breaker = Arc::new(CircuitBreaker::new(self.cfg.breaker));
+        breakers.insert(key, (Arc::downgrade(scene), Arc::clone(&breaker)));
+        breaker
     }
 
     /// Registers a session viewing `scene`, routed to the scene's
@@ -331,15 +499,18 @@ impl RenderServer {
                     pool_threads,
                     self.cfg.max_batch,
                     Arc::clone(&self.sessions),
+                    Arc::clone(&self.supervisor),
+                    self.cfg.retry,
                 ));
             }
             assignment.index()
         };
+        let breaker = self.breaker_for(&scene);
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::new(SessionState::new(scene, cfg, shard)));
+            .insert(id, Arc::new(SessionState::new(scene, cfg, shard, breaker)));
         SessionId(id)
     }
 
@@ -347,7 +518,11 @@ impl RenderServer {
     /// immediately with a handle. Overloaded shards shed BestEffort
     /// frames (the handle resolves at once with [`ServeError::Shed`])
     /// and degrade Interactive frames to the cached-coarse tier before
-    /// shedding them at the hard bound.
+    /// shedding them at the hard bound. A scene whose circuit breaker
+    /// is open sheds instantly with [`ServeError::CircuitOpen`].
+    /// Admitted frames are watched against their class's wall-clock
+    /// budget: the handle always resolves, at worst with
+    /// [`ServeError::TimedOut`].
     ///
     /// # Panics
     ///
@@ -360,10 +535,7 @@ impl RenderServer {
             .get(&session.0)
             .cloned();
         let state = state.expect("unknown session");
-        let slot = Arc::new(Slot {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-        });
+        let slot = Arc::new(Slot::new());
         let handle = FrameHandle {
             slot: Arc::clone(&slot),
         };
@@ -373,13 +545,18 @@ impl RenderServer {
             (tx_clone(shard), Arc::clone(&shard.shared))
         };
 
+        let now = Instant::now();
+        let breaker_admit = state.breaker.admit(now);
+        let probe = matches!(breaker_admit, BreakerAdmit::Probe);
+
         // Claim a queue slot, then let the policy veto it. The gauge
         // counts admitted-not-yet-scheduled frames; shed frames give
         // their claim back immediately.
         let depth = shared.depth.fetch_add(1, Ordering::SeqCst);
         let mut tier = req.tier;
         let mut degraded = false;
-        match admission_decision(&self.cfg.admission, req.deadline, depth) {
+        match admission_decision_supervised(&self.cfg.admission, req.deadline, depth, breaker_admit)
+        {
             AdmissionDecision::Admit => {}
             AdmissionDecision::Degrade => {
                 // The cached-coarse tier: quarter resolution, where a
@@ -392,8 +569,20 @@ impl RenderServer {
                 degraded = true;
                 shared.degraded.fetch_add(1, Ordering::Relaxed);
             }
+            AdmissionDecision::Break => {
+                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                shared.shed_circuit.fetch_add(1, Ordering::Relaxed);
+                fulfill(&slot, Err(ServeError::CircuitOpen));
+                return handle;
+            }
             AdmissionDecision::Shed => {
                 shared.depth.fetch_sub(1, Ordering::SeqCst);
+                if probe {
+                    // The breaker admitted a probe the queue refused:
+                    // give the quota slot back so the next submission
+                    // can probe instead.
+                    state.breaker.abort_probe();
+                }
                 match req.deadline {
                     DeadlineClass::BestEffort => {
                         shared.shed_best_effort.fetch_add(1, Ordering::Relaxed)
@@ -412,6 +601,9 @@ impl RenderServer {
             }
         }
         shared.admitted.fetch_add(1, Ordering::Relaxed);
+        let watch = self
+            .supervisor
+            .watch(&slot, req.deadline, now, &self.cfg.supervision);
         let frame = QueuedFrame {
             session: session.0,
             pose: req.pose,
@@ -421,7 +613,11 @@ impl RenderServer {
             reuse: req.reuse,
             fault: req.fault,
             slot,
-            submitted: Instant::now(),
+            submitted: now,
+            deadline_at: now + self.cfg.supervision.budget(req.deadline),
+            watch,
+            probe,
+            breaker: Arc::clone(&state.breaker),
         };
         tx.send(frame).expect("shard alive");
         handle
@@ -515,6 +711,40 @@ impl RenderServer {
                 acc.merge(shard.shared.admission_stats())
             })
     }
+
+    /// Snapshots of every spawned shard, in shard-index order.
+    pub fn shard_stats_all(&self) -> Vec<ShardStats> {
+        self.topology
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shards
+            .iter()
+            .map(Shard::stats)
+            .collect()
+    }
+
+    /// Watchdog counters: frames watched, per-class timeouts, frames
+    /// currently under watch.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        self.supervisor.stats()
+    }
+
+    /// The circuit breaker guarding `session`'s scene — shared by
+    /// every session viewing that scene. Introspection for tests and
+    /// load harnesses (state, trip and shed counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this server.
+    pub fn scene_breaker(&self, session: SessionId) -> Arc<CircuitBreaker> {
+        let state = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&session.0)
+            .cloned();
+        Arc::clone(&state.expect("unknown session").breaker)
+    }
 }
 
 fn tx_clone(shard: &Shard) -> std::sync::mpsc::Sender<QueuedFrame> {
@@ -576,21 +806,45 @@ mod tests {
     }
 
     #[test]
-    fn poll_eventually_ready() {
+    fn poll_and_wait_timeout_round_trip() {
         let (ds, scene) = scene();
         let server = RenderServer::new(ServerConfig::default());
         let cam = ds.eval_views[0].camera;
         let session = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
         let handle = server.submit(session, FrameRequest::new(cam.pose));
-        let mut spins = 0u64;
-        let result = loop {
-            if let Some(r) = handle.poll() {
-                break r;
-            }
-            spins += 1;
-            std::thread::yield_now();
+        // poll() is non-blocking; wait_timeout() is the bounded wait
+        // that replaces hand-rolled poll loops.
+        let result = match handle.poll() {
+            Some(r) => r,
+            None => handle
+                .wait_timeout(Duration::from_secs(10))
+                .expect("frame resolves well within 10 s")
+                .expect("render succeeds"),
         };
-        let _ = spins;
+        assert!(result.image.pixel_count() > 0);
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_leaves_the_handle_usable() {
+        let (ds, scene) = scene();
+        let server = RenderServer::new(ServerConfig::default());
+        let cam = ds.eval_views[0].camera;
+        let session = server.create_session(scene, SessionConfig::new(cam.intrinsics, ctf()));
+        // The stall keeps the frame unresolved past the first bounded
+        // wait (well under the 10 s Interactive budget, so the
+        // watchdog never fires).
+        let handle = server.submit(
+            session,
+            FrameRequest::new(cam.pose).with_fault(Fault::Stall(Duration::from_millis(300))),
+        );
+        assert!(
+            handle.wait_timeout(Duration::from_millis(1)).is_none(),
+            "stalled frame resolved implausibly fast"
+        );
+        let result = handle
+            .wait_timeout(Duration::from_secs(10))
+            .expect("stall ends well within 10 s")
+            .expect("stalled (not faulted) render succeeds");
         assert!(result.image.pixel_count() > 0);
     }
 

@@ -360,6 +360,11 @@ pub(crate) struct SessionState {
     pub cfg: SessionConfig,
     /// Index of the shard serving this session's scene.
     pub shard: usize,
+    /// The scene's circuit breaker — shared (by `Arc`) with every
+    /// other session viewing the same `SceneState`, so one session's
+    /// failures protect the fleet from the sick scene, not just that
+    /// session.
+    pub breaker: Arc<crate::supervisor::CircuitBreaker>,
     pub cache: Mutex<CoarseCache>,
     pub hits: AtomicU64,
     pub misses: AtomicU64,
@@ -368,11 +373,17 @@ pub(crate) struct SessionState {
 }
 
 impl SessionState {
-    pub fn new(scene: Arc<SceneState>, cfg: SessionConfig, shard: usize) -> Self {
+    pub fn new(
+        scene: Arc<SceneState>,
+        cfg: SessionConfig,
+        shard: usize,
+        breaker: Arc<crate::supervisor::CircuitBreaker>,
+    ) -> Self {
         Self {
             scene,
             cfg,
             shard,
+            breaker,
             cache: Mutex::new(CoarseCache::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),

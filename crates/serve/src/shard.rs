@@ -10,19 +10,31 @@
 //! it on the shard's own [`Pool`] slice of the server's thread budget.
 //! A panic inside a render fails that batch's handles and leaves the
 //! shard serving; nothing a frame does can take the server down.
+//!
+//! Supervision (PR 7) hardens the loop: every queued frame carries a
+//! watchdog registration, a wall-clock deadline, and its scene's
+//! circuit breaker. A render batch runs under a shared [`CancelToken`]
+//! the watchdog fires when any batch member blows its budget — the
+//! render unwinds cooperatively at the next chunk boundary (releasing
+//! the Pool slice a `Fault::Stall` used to park forever) and the
+//! surviving frames are re-rendered solo under the shard's
+//! [`RetryPolicy`], bitwise identical to a clean render. Every frame's
+//! final outcome (success, failure, timeout) is recorded into its
+//! scene's breaker so repeated failures open the circuit at admission.
 
 use crate::admission::{AdmissionStats, FairQueue};
 use crate::server::{fulfill, fulfill_error, CacheOutcome, Fault, FrameResult, ServeStats, Slot};
 use crate::session::{CacheEntry, DeadlineClass, ResolutionTier, SessionMap, SessionState};
+use crate::supervisor::{CircuitBreaker, RetryPolicy, Supervisor};
 use gen_nerf::config::SamplingStrategy;
 use gen_nerf::pipeline::{CoarseFrame, RenderStats, Renderer};
 use gen_nerf_geometry::{Camera, Pose};
-use gen_nerf_parallel::Pool;
+use gen_nerf_parallel::{CancelToken, Pool};
 use gen_nerf_scene::Image;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One admitted frame travelling from `submit` to its shard.
 pub(crate) struct QueuedFrame {
@@ -37,6 +49,17 @@ pub(crate) struct QueuedFrame {
     pub fault: Option<Fault>,
     pub slot: Arc<Slot>,
     pub submitted: Instant,
+    /// Wall-clock instant past which the watchdog resolves the handle
+    /// with `TimedOut`; retries are never scheduled beyond it.
+    pub deadline_at: Instant,
+    /// This frame's registration with the server's [`Supervisor`].
+    pub watch: u64,
+    /// Whether the scene's circuit breaker admitted this frame as a
+    /// HalfOpen probe (its outcome decides Closed vs back to Open).
+    pub probe: bool,
+    /// The scene's breaker — carried on the frame so outcome recording
+    /// and probe-quota accounting survive session removal.
+    pub breaker: Arc<CircuitBreaker>,
 }
 
 /// Counters and gauges shared between a shard's thread and the server
@@ -49,11 +72,15 @@ pub(crate) struct ShardShared {
     pub degraded: AtomicU64,
     pub shed_best_effort: AtomicU64,
     pub shed_interactive: AtomicU64,
+    /// Frames shed at submission because the scene's breaker was open.
+    pub shed_circuit: AtomicU64,
     /// Frames whose handle resolved successfully.
     pub rendered: AtomicU64,
     /// Frames whose handle resolved with an error (render panic or
     /// vanished session).
     pub failed: AtomicU64,
+    /// Individual re-render attempts after a transient failure.
+    pub retries: AtomicU64,
     /// Fused render jobs executed.
     pub batches: AtomicU64,
 }
@@ -65,6 +92,7 @@ impl ShardShared {
             degraded: self.degraded.load(Ordering::Relaxed),
             shed_best_effort: self.shed_best_effort.load(Ordering::Relaxed),
             shed_interactive: self.shed_interactive.load(Ordering::Relaxed),
+            shed_circuit: self.shed_circuit.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +108,9 @@ pub struct ShardStats {
     pub rendered_frames: u64,
     /// Frames resolved with an error.
     pub failed_frames: u64,
+    /// Individual re-render attempts after a transient failure (panic,
+    /// pool poison, or a batch-mate's timeout cancelling the batch).
+    pub retries: u64,
     /// Fused render jobs executed (`rendered_frames / batches` is the
     /// shard's average batch occupancy).
     pub batches: u64,
@@ -97,19 +128,34 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Spawns shard `index` with `pool_threads` render workers.
+    /// Spawns shard `index` with `pool_threads` render workers,
+    /// reporting frame lifecycles to `supervisor` and re-rendering
+    /// transient failures under `retry`.
     pub(crate) fn spawn(
         index: usize,
         pool_threads: usize,
         max_batch: usize,
         sessions: SessionMap,
+        supervisor: Arc<Supervisor>,
+        retry: RetryPolicy,
     ) -> Self {
         let (tx, rx) = mpsc::channel::<QueuedFrame>();
         let shared = Arc::new(ShardShared::default());
         let loop_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name(format!("gen-nerf-shard-{index}"))
-            .spawn(move || shard_loop(index, rx, sessions, loop_shared, pool_threads, max_batch))
+            .spawn(move || {
+                shard_loop(
+                    index,
+                    rx,
+                    sessions,
+                    loop_shared,
+                    pool_threads,
+                    max_batch,
+                    supervisor,
+                    retry,
+                )
+            })
             .expect("spawn shard thread");
         Self {
             tx: Some(tx),
@@ -125,6 +171,7 @@ impl Shard {
             admission: self.shared.admission_stats(),
             rendered_frames: self.shared.rendered.load(Ordering::Relaxed),
             failed_frames: self.shared.failed.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             pool_threads: self.pool_threads,
         }
@@ -162,10 +209,23 @@ fn cache_applies(state: &SessionState) -> bool {
         && matches!(state.cfg.strategy, SamplingStrategy::CoarseThenFocus { .. })
 }
 
+/// Releases a frame that will never render: returns its breaker-probe
+/// quota slot (if it held one) and detaches its watchdog registration.
+/// Deliberately records **no** breaker outcome — a frame that timed
+/// out while still queued, or whose session vanished, says nothing
+/// about the scene's health.
+fn release_unrendered(frame: &QueuedFrame, supervisor: &Supervisor) {
+    if frame.probe {
+        frame.breaker.abort_probe();
+    }
+    supervisor.resolve(frame.watch);
+}
+
 /// The shard event loop: block for one frame, drain the channel into
 /// the fair queue, dequeue the policy-ordered head, grow the largest
 /// compatible batch around it, render, repeat. Exits when the channel
 /// closes *and* every admitted frame is resolved.
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     index: usize,
     rx: Receiver<QueuedFrame>,
@@ -173,6 +233,8 @@ fn shard_loop(
     shared: Arc<ShardShared>,
     pool_threads: usize,
     max_batch: usize,
+    supervisor: Arc<Supervisor>,
+    retry: RetryPolicy,
 ) {
     let pool = Pool::new(pool_threads.max(1));
     let max_batch = max_batch.max(1);
@@ -203,14 +265,24 @@ fn shard_loop(
         // gauge the moment it is pulled out of the queue.
         let Some(head) = queue.pop() else { continue };
         shared.depth.fetch_sub(1, Ordering::Relaxed);
+        if head.slot.is_resolved() {
+            // Timed out while still queued (the watchdog already
+            // resolved the handle): skip the render entirely.
+            release_unrendered(&head, &supervisor);
+            continue;
+        }
         let Some(head_state) = resolve(&sessions, head.session) else {
             shared.failed.fetch_add(1, Ordering::Relaxed);
-            fulfill_error(&head.slot, "session removed with frames queued");
+            if !fulfill_error(&head.slot, "session removed with frames queued") {
+                shared.failed.fetch_sub(1, Ordering::Relaxed);
+            }
+            release_unrendered(&head, &supervisor);
             continue;
         };
 
         // Grow the batch: only lane heads compatible with the batch
-        // head ride along (dead sessions are popped to be failed).
+        // head ride along (dead sessions and already-resolved frames
+        // are popped so they don't park their lane forever).
         let mut cache_sessions: Vec<u64> = Vec::new();
         if cache_applies(&head_state) {
             cache_sessions.push(head.session);
@@ -219,22 +291,34 @@ fn shard_loop(
         while group.len() < max_batch {
             let head_scene = Arc::clone(&group[0].1.scene);
             let head_strategy = group[0].1.cfg.strategy;
-            let candidate = queue.pop_next(|frame| match resolve(&sessions, frame.session) {
-                // Pop dead-session frames so they fail instead of
-                // parking their lane forever.
-                None => true,
-                Some(state) => {
-                    Arc::ptr_eq(&state.scene, &head_scene)
-                        && state.cfg.strategy == head_strategy
-                        && !(cache_applies(&state) && cache_sessions.contains(&frame.session))
+            let candidate = queue.pop_next(|frame| {
+                if frame.slot.is_resolved() {
+                    return true;
+                }
+                match resolve(&sessions, frame.session) {
+                    // Pop dead-session frames so they fail instead of
+                    // parking their lane forever.
+                    None => true,
+                    Some(state) => {
+                        Arc::ptr_eq(&state.scene, &head_scene)
+                            && state.cfg.strategy == head_strategy
+                            && !(cache_applies(&state) && cache_sessions.contains(&frame.session))
+                    }
                 }
             });
             let Some(frame) = candidate else { break };
             shared.depth.fetch_sub(1, Ordering::Relaxed);
+            if frame.slot.is_resolved() {
+                release_unrendered(&frame, &supervisor);
+                continue;
+            }
             match resolve(&sessions, frame.session) {
                 None => {
                     shared.failed.fetch_add(1, Ordering::Relaxed);
-                    fulfill_error(&frame.slot, "session removed with frames queued");
+                    if !fulfill_error(&frame.slot, "session removed with frames queued") {
+                        shared.failed.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    release_unrendered(&frame, &supervisor);
                 }
                 Some(state) => {
                     if cache_applies(&state) {
@@ -244,19 +328,23 @@ fn shard_loop(
                 }
             }
         }
-        execute_group(index, &pool, group, &shared);
+        execute_group(index, &pool, group, &shared, &supervisor, retry);
     }
 }
 
 /// Renders one admission batch as a single fused multi-frame job and
-/// fulfills its handles. A panic anywhere in the render fails every
-/// frame of the batch (reported through the handles) instead of
-/// killing the shard.
+/// fulfills its handles. A panic anywhere in the render — or a
+/// watchdog cancellation fired by any batch member's deadline — fails
+/// over to per-frame [`retry_frame`] recovery instead of killing the
+/// shard; every frame's final outcome is recorded into its scene's
+/// circuit breaker exactly once.
 fn execute_group(
     shard: usize,
     pool: &Pool,
     mut group: Vec<(QueuedFrame, Arc<SessionState>)>,
     shared: &ShardShared,
+    supervisor: &Supervisor,
+    retry: RetryPolicy,
 ) {
     shared.batches.fetch_add(1, Ordering::Relaxed);
     // Take the recycled buffers out of the requests up front: they are
@@ -265,38 +353,180 @@ fn execute_group(
         .iter_mut()
         .map(|(frame, _)| frame.reuse.take())
         .collect();
+    // One token guards the whole fused job: the watchdog fires it when
+    // *any* member blows its budget, and the render unwinds at the
+    // next chunk boundary.
+    let cancel = CancelToken::new();
+    for (frame, _) in &group {
+        supervisor.begin_render(frame.watch, &cancel);
+    }
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        render_group(shard, pool, &group, buffers)
+        render_group(shard, pool, &group, buffers, &cancel, 0)
     }));
-    match outcome {
+    let first_error = match outcome {
         Ok(results) => {
-            shared
-                .rendered
-                .fetch_add(group.len() as u64, Ordering::Relaxed);
-            for ((frame, _), result) in group.into_iter().zip(results) {
-                fulfill(&frame.slot, Ok(result));
+            if !cancel.is_cancelled() {
+                for ((frame, _), result) in group.into_iter().zip(results) {
+                    conclude(frame, Ok(result), shared, supervisor);
+                }
+                return;
+            }
+            // A cancelled batch renders its remaining rays as
+            // background: every member's output is suspect, so none
+            // may be fulfilled. Unresolved members re-render solo.
+            "render cancelled by a timed-out batch member".to_string()
+        }
+        Err(payload) => panic_message(payload.as_ref()),
+    };
+    for (frame, state) in group {
+        retry_frame(
+            shard,
+            pool,
+            frame,
+            state,
+            shared,
+            supervisor,
+            retry,
+            first_error.clone(),
+        );
+    }
+}
+
+/// Resolves one frame's final outcome: records the outcome into the
+/// scene's breaker, fulfills the handle (unless the watchdog got there
+/// first — `fulfill` is first-write-wins), and detaches the watch.
+fn conclude(
+    frame: QueuedFrame,
+    outcome: Result<FrameResult, String>,
+    shared: &ShardShared,
+    supervisor: &Supervisor,
+) {
+    // The breaker and the counters move *before* the fulfill so a
+    // waiter that wakes on the handle already sees them. The breaker
+    // takes the render's true outcome even when the watchdog wins the
+    // fulfill race — the frame blew its budget, but the scene itself
+    // rendered, and the breaker gauges scene health, not deadline
+    // pressure. (Stall-sick scenes still record failures: their
+    // cancelled renders resolve through the retry path instead.)
+    let ok = outcome.is_ok();
+    frame.breaker.record(ok, frame.probe, Instant::now());
+    match outcome {
+        Ok(result) => {
+            shared.rendered.fetch_add(1, Ordering::Relaxed);
+            if !fulfill(&frame.slot, Ok(result)) {
+                shared.rendered.fetch_sub(1, Ordering::Relaxed);
             }
         }
-        Err(payload) => {
-            let msg = panic_message(payload.as_ref());
-            shared
-                .failed
-                .fetch_add(group.len() as u64, Ordering::Relaxed);
-            for (frame, _) in group {
-                fulfill_error(&frame.slot, &msg);
+        Err(message) => {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            if !fulfill_error(&frame.slot, &message) {
+                shared.failed.fetch_sub(1, Ordering::Relaxed);
             }
         }
+    }
+    supervisor.resolve(frame.watch);
+}
+
+/// Re-renders one frame solo after a transient batch failure (panic,
+/// pool poison, or a batch-mate's timeout): bounded attempts with
+/// exponential backoff, never scheduled past the frame's deadline.
+/// The kernel batch-independence contract makes a successful retry
+/// bitwise identical to the original batched render.
+#[allow(clippy::too_many_arguments)]
+fn retry_frame(
+    shard: usize,
+    pool: &Pool,
+    frame: QueuedFrame,
+    state: Arc<SessionState>,
+    shared: &ShardShared,
+    supervisor: &Supervisor,
+    retry: RetryPolicy,
+    mut last_error: String,
+) {
+    let pair = (frame, state);
+    for attempt in 1..retry.max_attempts.max(1) {
+        if pair.0.slot.is_resolved() {
+            // The watchdog timed this frame out: its budget is spent,
+            // which is a scene failure even without a fresh attempt.
+            let (frame, _) = pair;
+            frame.breaker.record(false, frame.probe, Instant::now());
+            supervisor.resolve(frame.watch);
+            return;
+        }
+        let backoff = retry.backoff(attempt);
+        if Instant::now() + backoff >= pair.0.deadline_at {
+            // A retry that lands past the deadline is wasted work: the
+            // watchdog would discard it anyway.
+            break;
+        }
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        shared.retries.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        supervisor.begin_render(pair.0.watch, &cancel);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            render_group(
+                shard,
+                pool,
+                std::slice::from_ref(&pair),
+                vec![None],
+                &cancel,
+                attempt,
+            )
+        }));
+        match outcome {
+            Ok(mut results) if !cancel.is_cancelled() => {
+                let result = results.pop().expect("one frame in, one result out");
+                conclude(pair.0, Ok(result), shared, supervisor);
+                return;
+            }
+            // Cancelled mid-retry: the top-of-loop check (or the
+            // exhausted path below) observes the resolved slot.
+            Ok(_) => {}
+            Err(payload) => last_error = panic_message(payload.as_ref()),
+        }
+    }
+    // Attempts or wall-clock budget exhausted. `fulfill_error` loses
+    // (returns false) if the watchdog already resolved the handle.
+    let (frame, _) = pair;
+    frame.breaker.record(false, frame.probe, Instant::now());
+    shared.failed.fetch_add(1, Ordering::Relaxed);
+    if !fulfill_error(&frame.slot, &last_error) {
+        shared.failed.fetch_sub(1, Ordering::Relaxed);
+    }
+    supervisor.resolve(frame.watch);
+}
+
+/// Sleeps `total` in small slices, returning early the moment `cancel`
+/// fires — a stalled worker yields its slot within ~5 ms of the
+/// watchdog's verdict instead of parking for the full stall.
+fn cancellable_sleep(total: Duration, cancel: &CancelToken) {
+    let deadline = Instant::now() + total;
+    while !cancel.is_cancelled() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(5)));
     }
 }
 
 /// The render half of [`execute_group`]: cache lookups, one fused
 /// multi-frame render, cache updates. `group` frames share one scene
-/// and strategy (batch carving guarantees it).
+/// and strategy (batch carving guarantees it). `attempt` is 0 for the
+/// first (batched) render and counts up through retries — transient
+/// injected faults consult it via [`Fault::fires`]. When `cancel`
+/// fires mid-render the returned images are garbage (remaining rays
+/// render as background) and the caller must not fulfill them; cache
+/// anchors are likewise withheld.
 fn render_group(
     shard: usize,
     pool: &Pool,
     group: &[(QueuedFrame, Arc<SessionState>)],
     buffers: Vec<Option<Image>>,
+    cancel: &CancelToken,
+    attempt: u32,
 ) -> Vec<FrameResult> {
     let started = Instant::now();
     let n = group.len();
@@ -308,10 +538,13 @@ fn render_group(
     // where a real mid-frame failure would: after admission, before
     // the frame resolves.
     for (frame, _) in group {
-        match frame.fault {
-            Some(Fault::Stall(delay)) => std::thread::sleep(delay),
-            Some(Fault::Panic) => panic!("injected render fault"),
-            None => {}
+        let Some(fault) = frame.fault else { continue };
+        if !fault.fires(attempt) {
+            continue;
+        }
+        match fault {
+            Fault::Stall(delay) => cancellable_sleep(delay, cancel),
+            Fault::Panic | Fault::PanicOnce => panic!("injected render fault"),
         }
     }
 
@@ -355,7 +588,8 @@ fn render_group(
         scene.background,
     )
     .with_threads(pool.threads())
-    .with_pool(pool);
+    .with_pool(pool)
+    .with_cancel(cancel);
 
     let mut images: Vec<Image> = buffers
         .into_iter()
@@ -367,10 +601,13 @@ fn render_group(
     let finished = Instant::now();
 
     // Anchor fresh coarse passes, in admission order; the LRU tail is
-    // evicted past the session's byte budget and counted.
+    // evicted past the session's byte budget and counted. A cancelled
+    // render anchors nothing: its coarse exports are as suspect as its
+    // images (the token is sticky, so a fire during the render is
+    // still visible here).
     for (((frame, state), export), outcome) in group.iter().zip(exports).zip(&outcomes) {
         if let Some(coarse) = export {
-            if *outcome == CacheOutcome::Miss {
+            if *outcome == CacheOutcome::Miss && !cancel.is_cancelled() {
                 let evicted = state
                     .cache
                     .lock()

@@ -1,0 +1,704 @@
+//! Supervision: frame deadlines, the watchdog thread, retry/backoff
+//! and the per-scene circuit breaker.
+//!
+//! PR 6 gave the serve tier admission control — a policy for work it
+//! has not accepted yet. This module supervises the work it *has*
+//! accepted:
+//!
+//! * **Deadlines.** Every admitted frame is watched against its
+//!   [`DeadlineClass`]'s wall-clock budget ([`SupervisorConfig`]). A
+//!   single watchdog thread sleeps until the earliest deadline and
+//!   resolves overdue handles with
+//!   [`ServeError::TimedOut`](crate::ServeError::TimedOut) — a frame
+//!   can be slow, but its caller can never be stuck.
+//! * **Cancellation.** When a watched frame times out mid-render, the
+//!   watchdog fires the batch's
+//!   [`CancelToken`](gen_nerf_parallel::CancelToken); the render
+//!   pipeline polls it at per-ray boundaries, so the shard worker and
+//!   its pool slice drain within one ray's work instead of sleeping
+//!   out a stall.
+//! * **Retry.** Transient batch failures (an injected panic, a
+//!   poisoned pool) re-render the surviving frames one at a time under
+//!   a bounded [`RetryPolicy`] — exponential backoff, attempt-capped,
+//!   never past the frame's deadline. All render RNG is pose/seed
+//!   derived, so a retried frame is bitwise identical to a clean one.
+//! * **Breaking.** A per-scene [`CircuitBreaker`] watches the
+//!   success/failure history. A scene failing persistently trips the
+//!   breaker Open: its submissions shed instantly with
+//!   [`ServeError::CircuitOpen`](crate::ServeError::CircuitOpen)
+//!   instead of burning render budget, until a cooldown admits a small
+//!   quota of HalfOpen probe frames whose outcomes close (or re-open)
+//!   the circuit. Every state-machine method takes an explicit `now`,
+//!   so `tests/shard_scheduling.rs` can property-test transitions
+//!   against a reference model on synthetic clocks.
+
+use crate::server::{fulfill, ServeError, Slot};
+use crate::session::DeadlineClass;
+use gen_nerf_parallel::CancelToken;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-class wall-clock frame budgets enforced by the server's
+/// watchdog (`Supervisor`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Budget for [`DeadlineClass::Interactive`] frames, submission to
+    /// resolution.
+    pub interactive_budget: Duration,
+    /// Budget for [`DeadlineClass::BestEffort`] frames.
+    pub best_effort_budget: Duration,
+}
+
+impl Default for SupervisorConfig {
+    /// Generous defaults (10 s interactive, 30 s best-effort): wide
+    /// enough that healthy renders — including deliberately stalled
+    /// test frames — never time out spuriously, tight enough that
+    /// nothing waits forever. Serving deployments tune these down to
+    /// their real frame budgets.
+    fn default() -> Self {
+        Self {
+            interactive_budget: Duration::from_secs(10),
+            best_effort_budget: Duration::from_secs(30),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Sets the Interactive frame budget.
+    pub fn with_interactive_budget(mut self, budget: Duration) -> Self {
+        self.interactive_budget = budget;
+        self
+    }
+
+    /// Sets the BestEffort frame budget.
+    pub fn with_best_effort_budget(mut self, budget: Duration) -> Self {
+        self.best_effort_budget = budget;
+        self
+    }
+
+    /// The wall-clock budget of `class`.
+    pub fn budget(&self, class: DeadlineClass) -> Duration {
+        match class {
+            DeadlineClass::Interactive => self.interactive_budget,
+            DeadlineClass::BestEffort => self.best_effort_budget,
+        }
+    }
+}
+
+/// Watchdog counters (a point-in-time snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Frames ever registered with the watchdog.
+    pub watched: u64,
+    /// Interactive frames resolved with a timeout.
+    pub timed_out_interactive: u64,
+    /// BestEffort frames resolved with a timeout.
+    pub timed_out_best_effort: u64,
+    /// Frames currently in flight (watched, not yet resolved).
+    pub in_flight: usize,
+}
+
+impl SupervisorStats {
+    /// Timeouts across both classes.
+    pub fn timed_out_total(&self) -> u64 {
+        self.timed_out_interactive + self.timed_out_best_effort
+    }
+}
+
+/// One watched frame: the handle slot to resolve on timeout, the
+/// absolute deadline, and (once rendering) the batch's cancel token.
+struct WatchEntry {
+    slot: Arc<Slot>,
+    deadline: Instant,
+    class: DeadlineClass,
+    cancel: Option<CancelToken>,
+}
+
+struct WatchState {
+    watches: HashMap<u64, WatchEntry>,
+    shutdown: bool,
+}
+
+struct SupervisorInner {
+    state: Mutex<WatchState>,
+    /// Wakes the watchdog: a new (possibly earlier) watch or shutdown.
+    wake: Condvar,
+    watched: AtomicU64,
+    timed_out_interactive: AtomicU64,
+    timed_out_best_effort: AtomicU64,
+    next_id: AtomicU64,
+}
+
+/// The frame watchdog: one thread per server, asleep until the
+/// earliest outstanding deadline, resolving every overdue handle with
+/// [`ServeError::TimedOut`] and cancelling its render. Shared by the
+/// server front end (which registers watches at submission) and every
+/// shard (which attaches cancel tokens and resolves watches).
+pub(crate) struct Supervisor {
+    inner: Arc<SupervisorInner>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Supervisor {
+    pub(crate) fn spawn() -> Self {
+        let inner = Arc::new(SupervisorInner {
+            state: Mutex::new(WatchState {
+                watches: HashMap::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            watched: AtomicU64::new(0),
+            timed_out_interactive: AtomicU64::new(0),
+            timed_out_best_effort: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+        });
+        let loop_inner = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("gen-nerf-watchdog".to_string())
+            .spawn(move || watchdog_loop(&loop_inner))
+            .expect("spawn watchdog thread");
+        Self {
+            inner,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// Registers `slot` against `class`'s budget starting at
+    /// `submitted`; returns the watch id the frame carries to its
+    /// shard.
+    pub(crate) fn watch(
+        &self,
+        slot: &Arc<Slot>,
+        class: DeadlineClass,
+        submitted: Instant,
+        cfg: &SupervisorConfig,
+    ) -> u64 {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.watched.fetch_add(1, Ordering::Relaxed);
+        let entry = WatchEntry {
+            slot: Arc::clone(slot),
+            deadline: submitted + cfg.budget(class),
+            class,
+            cancel: None,
+        };
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.watches.insert(id, entry);
+        // The new deadline may be the earliest; the watchdog re-reads
+        // the minimum on every wake, so one notify is always enough.
+        self.inner.wake.notify_all();
+        id
+    }
+
+    /// Attaches the executing batch's cancel token to `watch`, so a
+    /// timeout fired mid-render reclaims the worker. A no-op when the
+    /// watch already resolved (the shard detects that through the
+    /// slot and skips the render).
+    pub(crate) fn begin_render(&self, watch: u64, cancel: &CancelToken) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = state.watches.get_mut(&watch) {
+            entry.cancel = Some(cancel.clone());
+        }
+    }
+
+    /// Drops the watch after its frame resolved (idempotent: the
+    /// watchdog removes timed-out watches itself).
+    pub(crate) fn resolve(&self, watch: u64) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.watches.remove(&watch);
+    }
+
+    pub(crate) fn stats(&self) -> SupervisorStats {
+        let in_flight = {
+            let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.watches.len()
+        };
+        SupervisorStats {
+            watched: self.inner.watched.load(Ordering::Relaxed),
+            timed_out_interactive: self.inner.timed_out_interactive.load(Ordering::Relaxed),
+            timed_out_best_effort: self.inner.timed_out_best_effort.load(Ordering::Relaxed),
+            in_flight,
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = true;
+            self.inner.wake.notify_all();
+        }
+        let handle = self.thread.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The watchdog body: fire every overdue watch, then sleep until the
+/// earliest remaining deadline (or a wake).
+fn watchdog_loop(inner: &SupervisorInner) {
+    let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        let overdue: Vec<u64> = state
+            .watches
+            .iter()
+            .filter(|(_, w)| w.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue {
+            let entry = state.watches.remove(&id).expect("overdue watch present");
+            // First write wins: the shard may have resolved the slot
+            // a moment ago without dropping the watch yet — then this
+            // is a no-op, not a timeout.
+            if fulfill(
+                &entry.slot,
+                Err(ServeError::TimedOut { class: entry.class }),
+            ) {
+                match entry.class {
+                    DeadlineClass::Interactive => &inner.timed_out_interactive,
+                    DeadlineClass::BestEffort => &inner.timed_out_best_effort,
+                }
+                .fetch_add(1, Ordering::Relaxed);
+                // Reclaim the worker: the render polls the token at
+                // per-ray boundaries and drains.
+                if let Some(cancel) = &entry.cancel {
+                    cancel.cancel();
+                }
+            }
+        }
+        let next = state.watches.values().map(|w| w.deadline).min();
+        state = match next {
+            Some(deadline) => {
+                let wait = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                inner
+                    .wake
+                    .wait_timeout(state, wait)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+            None => inner.wake.wait(state).unwrap_or_else(|e| e.into_inner()),
+        };
+    }
+}
+
+/// Bounded re-render policy for transiently failed frames (render
+/// panics, poisoned pools). Retries are attempt-capped, exponentially
+/// backed off, and never scheduled past the frame's deadline — the
+/// watchdog owns the final word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total render attempts per frame, including the first
+    /// (`1` disables retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; each further retry doubles it.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms → 20 ms backoff, capped at 200 ms.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (first failure is final).
+    pub fn disabled() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the total attempt cap (at least one).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the base backoff (doubled per further retry).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// The backoff before attempt `attempt` (attempts count from 0;
+    /// attempt 1 is the first retry): `base * 2^(attempt-1)`, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return self.backoff_base.min(self.backoff_cap);
+        }
+        let factor = 1u32 << (attempt - 1).min(16);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Circuit-breaker tuning. See [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window of most recent frame outcomes consulted while
+    /// Closed.
+    pub window: usize,
+    /// Failure rate (within the window) at which the breaker opens.
+    pub failure_threshold: f64,
+    /// Minimum outcomes in the window before the rate is trusted — a
+    /// single early failure must not open a fresh circuit.
+    pub min_samples: usize,
+    /// How long an Open circuit sheds before admitting probes.
+    pub cooldown: Duration,
+    /// Probe frames admitted in HalfOpen; all must succeed to close.
+    pub probe_quota: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            failure_threshold: 0.5,
+            min_samples: 8,
+            cooldown: Duration::from_secs(2),
+            probe_quota: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Sets the failure window and the minimum sample count.
+    pub fn with_window(mut self, window: usize, min_samples: usize) -> Self {
+        self.window = window.max(1);
+        self.min_samples = min_samples.clamp(1, self.window);
+        self
+    }
+
+    /// Sets the opening failure-rate threshold (clamped to (0, 1]).
+    pub fn with_failure_threshold(mut self, threshold: f64) -> Self {
+        self.failure_threshold = threshold.clamp(f64::EPSILON, 1.0);
+        self
+    }
+
+    /// Sets the Open→HalfOpen cooldown.
+    pub fn with_cooldown(mut self, cooldown: Duration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Sets the HalfOpen probe quota (at least one).
+    pub fn with_probe_quota(mut self, quota: u32) -> Self {
+        self.probe_quota = quota.max(1);
+        self
+    }
+}
+
+/// The three circuit states. `Open` and `HalfOpen` carry no public
+/// payload; interrogate the breaker with [`CircuitBreaker::state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every submission admitted, outcomes windowed.
+    Closed,
+    /// Tripped: submissions shed until the cooldown elapses.
+    Open,
+    /// Probing: up to the probe quota admitted; their outcomes close
+    /// or re-open the circuit.
+    HalfOpen,
+}
+
+/// What the breaker decided for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerAdmit {
+    /// Circuit closed: admit normally.
+    Admit,
+    /// Circuit half-open: admit as a probe (its outcome must be
+    /// recorded with `probe = true`, or released with
+    /// [`CircuitBreaker::abort_probe`] if never rendered).
+    Probe,
+    /// Circuit open: shed with
+    /// [`ServeError::CircuitOpen`](crate::ServeError::CircuitOpen).
+    Shed,
+}
+
+enum BreakerInner {
+    Closed {
+        /// Most recent outcomes, `true` = success (front = oldest).
+        outcomes: std::collections::VecDeque<bool>,
+    },
+    Open {
+        since: Instant,
+    },
+    HalfOpen {
+        /// Probes admitted and not yet resolved.
+        in_flight: u32,
+        /// Probes that succeeded this HalfOpen episode.
+        successes: u32,
+    },
+}
+
+/// A per-scene failure-rate circuit breaker (Closed → Open →
+/// HalfOpen).
+///
+/// While **Closed**, frame outcomes feed a sliding window; once the
+/// window holds at least `min_samples` outcomes and its failure rate
+/// reaches `failure_threshold`, the circuit **Opens** and every
+/// submission for the scene sheds immediately — a sick scene costs an
+/// error result, not a render slot. After `cooldown`, the next
+/// submission flips the circuit **HalfOpen**: up to `probe_quota`
+/// frames are admitted as probes. A failed probe re-opens the circuit
+/// (restarting the cooldown); `probe_quota` successful probes close it
+/// with a fresh window.
+///
+/// Every method takes an explicit `now` so the state machine is a pure
+/// function of its call sequence — deterministic under test (the
+/// proptest in `tests/shard_scheduling.rs` drives it on a synthetic
+/// clock). Outcomes of frames admitted *before* a trip are ignored
+/// while Open/HalfOpen: stragglers of the sick era must not corrupt
+/// probe accounting.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    trips: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty window.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(BreakerInner::Closed {
+                outcomes: std::collections::VecDeque::new(),
+            }),
+            trips: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides one submission at `now`. `Probe` admissions must be
+    /// resolved by a matching [`CircuitBreaker::record`] with
+    /// `probe = true` (or released with
+    /// [`CircuitBreaker::abort_probe`]).
+    pub fn admit(&self, now: Instant) -> BreakerAdmit {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *inner {
+            BreakerInner::Closed { .. } => BreakerAdmit::Admit,
+            BreakerInner::Open { since } => {
+                if now.saturating_duration_since(*since) < self.cfg.cooldown {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return BreakerAdmit::Shed;
+                }
+                // Cooldown over: this submission is the first probe.
+                *inner = BreakerInner::HalfOpen {
+                    in_flight: 1,
+                    successes: 0,
+                };
+                BreakerAdmit::Probe
+            }
+            BreakerInner::HalfOpen {
+                in_flight,
+                successes,
+            } => {
+                if *in_flight + *successes < self.cfg.probe_quota {
+                    *in_flight += 1;
+                    BreakerAdmit::Probe
+                } else {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    BreakerAdmit::Shed
+                }
+            }
+        }
+    }
+
+    /// Records one frame outcome at `now`. `probe` marks outcomes of
+    /// frames admitted as HalfOpen probes; non-probe outcomes are
+    /// ignored unless the circuit is Closed (stragglers of a tripped
+    /// era carry no signal about recovery).
+    pub fn record(&self, ok: bool, probe: bool, now: Instant) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *inner {
+            BreakerInner::Closed { outcomes } => {
+                // A probe outcome arriving while Closed means the
+                // circuit already closed on earlier probes; it windows
+                // like any other outcome.
+                let _ = probe;
+                outcomes.push_back(ok);
+                while outcomes.len() > self.cfg.window {
+                    outcomes.pop_front();
+                }
+                let n = outcomes.len();
+                if n >= self.cfg.min_samples {
+                    let failures = outcomes.iter().filter(|&&o| !o).count();
+                    if failures as f64 / n as f64 >= self.cfg.failure_threshold {
+                        *inner = BreakerInner::Open { since: now };
+                        self.trips.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            BreakerInner::Open { .. } => {}
+            BreakerInner::HalfOpen {
+                in_flight,
+                successes,
+            } => {
+                if !probe {
+                    return;
+                }
+                *in_flight = in_flight.saturating_sub(1);
+                if ok {
+                    *successes += 1;
+                    if *successes >= self.cfg.probe_quota {
+                        *inner = BreakerInner::Closed {
+                            outcomes: std::collections::VecDeque::new(),
+                        };
+                    }
+                } else {
+                    *inner = BreakerInner::Open { since: now };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Releases a probe admission that will never render (e.g. shed by
+    /// depth admission after the breaker admitted it), freeing its
+    /// quota slot for another probe.
+    pub fn abort_probe(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let BreakerInner::HalfOpen { in_flight, .. } = &mut *inner {
+            *in_flight = in_flight.saturating_sub(1);
+        }
+    }
+
+    /// The current state (no transition is taken; an elapsed cooldown
+    /// still reports `Open` until a submission flips it).
+    pub fn state(&self) -> BreakerState {
+        match &*self.inner.lock().unwrap_or_else(|e| e.into_inner()) {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::Open { .. } => BreakerState::Open,
+            BreakerInner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Times the circuit has tripped Open (from Closed or HalfOpen).
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Submissions shed by this breaker.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(base: Instant, ms: u64) -> Instant {
+        base + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::default()
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(35));
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35)); // capped
+        assert_eq!(p.backoff(9), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn breaker_trips_on_failure_rate_and_probes_back() {
+        let base = Instant::now();
+        let cfg = BreakerConfig::default()
+            .with_window(4, 4)
+            .with_failure_threshold(0.5)
+            .with_cooldown(Duration::from_millis(100))
+            .with_probe_quota(2);
+        let b = CircuitBreaker::new(cfg);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Two failures in a window of four at threshold 0.5 → trip.
+        for ok in [true, true, false, false] {
+            assert_eq!(b.admit(t(base, 0)), BreakerAdmit::Admit);
+            b.record(ok, false, t(base, 0));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Open sheds until the cooldown elapses.
+        assert_eq!(b.admit(t(base, 50)), BreakerAdmit::Shed);
+        assert_eq!(b.shed(), 1);
+        // Cooldown over: exactly the probe quota is admitted.
+        assert_eq!(b.admit(t(base, 150)), BreakerAdmit::Probe);
+        assert_eq!(b.admit(t(base, 150)), BreakerAdmit::Probe);
+        assert_eq!(b.admit(t(base, 150)), BreakerAdmit::Shed);
+        // Both probes succeed → Closed with a fresh window.
+        b.record(true, true, t(base, 160));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(true, true, t(base, 170));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(t(base, 180)), BreakerAdmit::Admit);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_cooldown() {
+        let base = Instant::now();
+        let cfg = BreakerConfig::default()
+            .with_window(2, 2)
+            .with_failure_threshold(0.5)
+            .with_cooldown(Duration::from_millis(100))
+            .with_probe_quota(1);
+        let b = CircuitBreaker::new(cfg);
+        b.admit(t(base, 0));
+        b.record(false, false, t(base, 0));
+        b.admit(t(base, 0));
+        b.record(false, false, t(base, 0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(t(base, 150)), BreakerAdmit::Probe);
+        b.record(false, true, t(base, 160));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // The cooldown restarted at the probe failure (t=160).
+        assert_eq!(b.admit(t(base, 200)), BreakerAdmit::Shed);
+        assert_eq!(b.admit(t(base, 300)), BreakerAdmit::Probe);
+    }
+
+    #[test]
+    fn straggler_outcomes_do_not_corrupt_probe_accounting() {
+        let base = Instant::now();
+        let cfg = BreakerConfig::default()
+            .with_window(2, 2)
+            .with_cooldown(Duration::from_millis(10))
+            .with_probe_quota(2);
+        let b = CircuitBreaker::new(cfg);
+        b.record(false, false, t(base, 0));
+        b.record(false, false, t(base, 0));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Stragglers while Open: ignored.
+        b.record(true, false, t(base, 5));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(t(base, 20)), BreakerAdmit::Probe);
+        // A non-probe straggler while HalfOpen: ignored.
+        b.record(true, false, t(base, 25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Aborted probe frees its slot.
+        b.abort_probe();
+        assert_eq!(b.admit(t(base, 30)), BreakerAdmit::Probe);
+        assert_eq!(b.admit(t(base, 30)), BreakerAdmit::Probe);
+        assert_eq!(b.admit(t(base, 30)), BreakerAdmit::Shed);
+    }
+}

@@ -23,6 +23,7 @@ use gen_nerf_scene::{Dataset, DatasetKind};
 use gen_nerf_serve::{
     AdmissionConfig, CacheOutcome, CoherenceConfig, DeadlineClass, Fault, FrameRequest,
     RenderServer, ResolutionTier, SceneState, ServeError, ServerConfig, SessionConfig,
+    SupervisorConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -466,4 +467,165 @@ fn overload_sheds_best_effort_first_and_degrades_interactive() {
     )
     .render(&Camera::new(intrinsics(), walk_pose(0, 7)));
     assert_eq!(bits(&recovered.image), bits(&full), "recovery not exact");
+}
+
+#[test]
+fn timed_out_frame_resolves_and_the_next_frame_is_bitwise_exact() {
+    // A stalled render must not wedge the shard: the watchdog resolves
+    // the handle at the class budget with `TimedOut`, cooperative
+    // cancellation reclaims the stalled worker, and the very next
+    // frame on the same scene renders bitwise-identical to a direct
+    // render — supervised serving never trades exactness for
+    // liveness.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let budget = Duration::from_millis(1500);
+    let server = RenderServer::new(
+        ServerConfig::default()
+            .with_supervision(SupervisorConfig::default().with_interactive_budget(budget)),
+    );
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy),
+    );
+    let started = Instant::now();
+    let stalled = server.submit(
+        session,
+        FrameRequest::new(walk_pose(0, 1)).with_fault(Fault::Stall(Duration::from_secs(60))),
+    );
+    match stalled
+        .wait_timeout(Duration::from_secs(15))
+        .expect("watchdog must resolve a stalled frame at its budget")
+    {
+        Err(ServeError::TimedOut { class }) => assert_eq!(class, DeadlineClass::Interactive),
+        other => panic!("stalled frame resolved to {other:?}"),
+    }
+    // Resolved at the budget, not the 60 s stall (generous slack for a
+    // loaded CI box — the point is the order of magnitude).
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "timeout took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(server.supervisor_stats().timed_out_interactive, 1);
+
+    // The stalled worker was reclaimed: the next frame renders, and
+    // bitwise-exactly.
+    let after = server
+        .submit(session, FrameRequest::new(walk_pose(0, 2)))
+        .wait_timeout(Duration::from_secs(30))
+        .expect("post-timeout frame must resolve")
+        .expect("post-timeout frame must render");
+    let (direct, _) = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .render(&Camera::new(intrinsics(), walk_pose(0, 2)));
+    assert_eq!(
+        bits(&after.image),
+        bits(&direct),
+        "post-timeout frame diverged from direct render"
+    );
+    assert_eq!(server.supervisor_stats().in_flight, 0);
+}
+
+#[test]
+fn retried_transient_panic_renders_bitwise_identical_to_a_clean_frame() {
+    // `PanicOnce` fails the first (batched) attempt only; the retry
+    // path re-renders the frame solo. Kernel batch-independence makes
+    // the recovered frame bitwise-equal to a direct render — a client
+    // cannot tell a retried frame from one that never faulted.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let server = RenderServer::new(ServerConfig::default());
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy),
+    );
+    let pose = walk_pose(0, 3);
+    let recovered = server
+        .submit(
+            session,
+            FrameRequest::new(pose).with_fault(Fault::PanicOnce),
+        )
+        .wait();
+    let (direct, _) = Renderer::new(
+        &scene.model,
+        &scene.sources,
+        strategy,
+        scene.bounds,
+        scene.background,
+    )
+    .render(&Camera::new(intrinsics(), pose));
+    assert_eq!(
+        bits(&recovered.image),
+        bits(&direct),
+        "retried frame diverged from a never-faulted render"
+    );
+    // The recovery really went through the retry path.
+    let retries: u64 = server.shard_stats_all().iter().map(|s| s.retries).sum();
+    assert!(retries >= 1, "transient panic recovered without a retry");
+}
+
+#[test]
+fn every_handle_resolves_under_a_mixed_fault_schedule() {
+    // The liveness contract under chaos: whatever mix of transient
+    // panics, persistent panics, long stalls and slow frames lands on
+    // a shard, every submitted handle resolves — rendered, retried,
+    // failed, timed out, or shed, but never stuck.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let budget = Duration::from_millis(1200);
+    let server = RenderServer::new(
+        ServerConfig::default().with_supervision(
+            SupervisorConfig::default()
+                .with_interactive_budget(budget)
+                .with_best_effort_budget(budget),
+        ),
+    );
+    let sessions = [
+        server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(intrinsics(), strategy),
+        ),
+        server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(intrinsics(), strategy),
+        ),
+    ];
+    let mut handles = Vec::new();
+    for k in 0..24 {
+        // A fixed schedule cycling through every fault kind.
+        let fault = match k % 8 {
+            1 => Some(Fault::PanicOnce),
+            3 => Some(Fault::Stall(Duration::from_secs(30))),
+            5 => Some(Fault::Panic),
+            6 => Some(Fault::Stall(Duration::from_millis(25))),
+            _ => None,
+        };
+        let class = if k % 3 == 0 {
+            DeadlineClass::BestEffort
+        } else {
+            DeadlineClass::Interactive
+        };
+        let mut req = FrameRequest::new(walk_pose(k % 2, k)).with_deadline(class);
+        if let Some(f) = fault {
+            req = req.with_fault(f);
+        }
+        handles.push(server.submit(sessions[k % 2], req));
+    }
+    for (k, handle) in handles.into_iter().enumerate() {
+        assert!(
+            handle.wait_timeout(Duration::from_secs(60)).is_some(),
+            "frame {k} never resolved"
+        );
+    }
+    assert_eq!(
+        server.supervisor_stats().in_flight,
+        0,
+        "watchdog left watches attached after every handle resolved"
+    );
 }

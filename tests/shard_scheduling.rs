@@ -183,3 +183,245 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Circuit-breaker state machine, modeled against an independent
+// reference transcription of the spec: Closed windows outcomes and
+// opens at the failure threshold (once `min_samples` are in), Open
+// sheds every submission until the cooldown elapses, HalfOpen admits
+// exactly `probe_quota` probes (in-flight + succeeded), closes when
+// all succeed and re-opens the moment one fails. Virtual time —
+// explicit `now` values — makes every run deterministic.
+// ---------------------------------------------------------------------------
+
+mod breaker {
+    use gen_nerf_serve::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+    use std::time::{Duration, Instant};
+
+    const WINDOW: usize = 8;
+    const MIN_SAMPLES: usize = 4;
+    const THRESHOLD: f64 = 0.5;
+    const COOLDOWN_MS: u64 = 500;
+    const PROBE_QUOTA: u32 = 2;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig::default()
+            .with_window(WINDOW, MIN_SAMPLES)
+            .with_failure_threshold(THRESHOLD)
+            .with_cooldown(Duration::from_millis(COOLDOWN_MS))
+            .with_probe_quota(PROBE_QUOTA)
+    }
+
+    /// Reference model, written against the spec (not the
+    /// implementation).
+    enum ModelState {
+        Closed { outcomes: VecDeque<bool> },
+        Open { since_ms: u64 },
+        HalfOpen { in_flight: u32, successes: u32 },
+    }
+
+    struct Model {
+        state: ModelState,
+        trips: u64,
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model {
+                state: ModelState::Closed {
+                    outcomes: VecDeque::new(),
+                },
+                trips: 0,
+            }
+        }
+
+        fn state(&self) -> BreakerState {
+            match self.state {
+                ModelState::Closed { .. } => BreakerState::Closed,
+                ModelState::Open { .. } => BreakerState::Open,
+                ModelState::HalfOpen { .. } => BreakerState::HalfOpen,
+            }
+        }
+
+        fn admit(&mut self, now_ms: u64) -> BreakerAdmit {
+            match &mut self.state {
+                ModelState::Closed { .. } => BreakerAdmit::Admit,
+                ModelState::Open { since_ms } => {
+                    if now_ms - *since_ms < COOLDOWN_MS {
+                        BreakerAdmit::Shed
+                    } else {
+                        self.state = ModelState::HalfOpen {
+                            in_flight: 1,
+                            successes: 0,
+                        };
+                        BreakerAdmit::Probe
+                    }
+                }
+                ModelState::HalfOpen {
+                    in_flight,
+                    successes,
+                } => {
+                    if *in_flight + *successes < PROBE_QUOTA {
+                        *in_flight += 1;
+                        BreakerAdmit::Probe
+                    } else {
+                        BreakerAdmit::Shed
+                    }
+                }
+            }
+        }
+
+        fn record(&mut self, ok: bool, probe: bool, now_ms: u64) {
+            match &mut self.state {
+                ModelState::Closed { outcomes } => {
+                    outcomes.push_back(ok);
+                    while outcomes.len() > WINDOW {
+                        outcomes.pop_front();
+                    }
+                    let n = outcomes.len();
+                    let failures = outcomes.iter().filter(|&&o| !o).count();
+                    if n >= MIN_SAMPLES && failures as f64 / n as f64 >= THRESHOLD {
+                        self.state = ModelState::Open { since_ms: now_ms };
+                        self.trips += 1;
+                    }
+                }
+                ModelState::Open { .. } => {}
+                ModelState::HalfOpen {
+                    in_flight,
+                    successes,
+                } => {
+                    if !probe {
+                        return;
+                    }
+                    *in_flight = in_flight.saturating_sub(1);
+                    if ok {
+                        *successes += 1;
+                        if *successes >= PROBE_QUOTA {
+                            self.state = ModelState::Closed {
+                                outcomes: VecDeque::new(),
+                            };
+                        }
+                    } else {
+                        self.state = ModelState::Open { since_ms: now_ms };
+                        self.trips += 1;
+                    }
+                }
+            }
+        }
+
+        fn abort_probe(&mut self) {
+            if let ModelState::HalfOpen { in_flight, .. } = &mut self.state {
+                *in_flight = in_flight.saturating_sub(1);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary submission/outcome/straggler sequences over
+        /// virtual time: after every operation the breaker's state,
+        /// admission verdict and trip count match the reference
+        /// model — and the per-state laws hold (Open in cooldown
+        /// always sheds, HalfOpen never admits past the probe quota,
+        /// Closed always admits).
+        #[test]
+        fn prop_breaker_matches_reference_model(
+            ops in proptest::collection::vec(
+                (0u64..1200, 0u8..2, 0u8..4),
+                1..150,
+            ),
+        ) {
+            let base = Instant::now();
+            let breaker = CircuitBreaker::new(config());
+            let mut model = Model::new();
+            let mut now_ms = 0u64;
+            let mut probes_this_episode = 0u32;
+            for &(advance, ok_bit, action) in &ops {
+                let ok = ok_bit == 1;
+                now_ms += advance;
+                let now = base + Duration::from_millis(now_ms);
+                match action {
+                    // A straggler outcome with no matching admission:
+                    // windows while Closed, carries no signal
+                    // otherwise.
+                    3 => {
+                        breaker.record(ok, false, now);
+                        model.record(ok, false, now_ms);
+                    }
+                    // A submission; action 2 abandons an admitted
+                    // probe (abort path) instead of rendering it.
+                    _ => {
+                        let was = model.state();
+                        if was == BreakerState::HalfOpen {
+                            // Track quota within one HalfOpen episode.
+                        } else {
+                            probes_this_episode = 0;
+                        }
+                        let verdict = breaker.admit(now);
+                        let expected = model.admit(now_ms);
+                        prop_assert_eq!(verdict, expected, "admit diverged at t={}ms", now_ms);
+                        match was {
+                            BreakerState::Closed => {
+                                prop_assert_eq!(verdict, BreakerAdmit::Admit);
+                            }
+                            BreakerState::Open => {
+                                // In cooldown: always shed. Past it:
+                                // the submission is the first probe.
+                                prop_assert!(verdict != BreakerAdmit::Admit);
+                                if verdict == BreakerAdmit::Probe {
+                                    probes_this_episode = 1;
+                                }
+                            }
+                            BreakerState::HalfOpen => {
+                                if verdict == BreakerAdmit::Probe {
+                                    probes_this_episode += 1;
+                                }
+                                prop_assert!(
+                                    probes_this_episode <= PROBE_QUOTA,
+                                    "HalfOpen admitted past the probe quota"
+                                );
+                            }
+                        }
+                        match verdict {
+                            BreakerAdmit::Admit => {
+                                if action == 2 {
+                                    // Dropped frame: no outcome.
+                                } else {
+                                    breaker.record(ok, false, now);
+                                    model.record(ok, false, now_ms);
+                                }
+                            }
+                            BreakerAdmit::Probe => {
+                                if action == 2 {
+                                    breaker.abort_probe();
+                                    model.abort_probe();
+                                    probes_this_episode =
+                                        probes_this_episode.saturating_sub(1);
+                                } else {
+                                    breaker.record(ok, true, now);
+                                    model.record(ok, true, now_ms);
+                                }
+                            }
+                            BreakerAdmit::Shed => {}
+                        }
+                    }
+                }
+                prop_assert_eq!(
+                    breaker.state(),
+                    model.state(),
+                    "state diverged at t={}ms",
+                    now_ms
+                );
+                prop_assert_eq!(
+                    breaker.trips(),
+                    model.trips,
+                    "trip count diverged at t={}ms",
+                    now_ms
+                );
+            }
+        }
+    }
+}
