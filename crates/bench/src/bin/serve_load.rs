@@ -18,17 +18,32 @@
 //! `--test` runs a miniature below-saturation workload — the CI smoke
 //! mode — and **exits non-zero if any Interactive frame was shed**,
 //! the admission-control regression gate.
+//!
+//! Two fault-injection modes share the binary and the seed. `--chaos`
+//! replays a loud-failure schedule (panics, stalls, slow frames)
+//! against the supervised tier plus a scripted circuit-breaker drill,
+//! writing `BENCH_chaos.json`. `--corrupt` replays a *silent*-failure
+//! schedule — supra-tolerance GEMM perturbations, NaN-poisoned
+//! pixels, bit-flipped cache anchors — under full ABFT checking,
+//! measures off/sample/full checking overhead on a clean burst, and
+//! writes `BENCH_integrity.json`; its `--test` gate fails on any
+//! undetected corruption, published non-finite pixel, clean-run false
+//! positive, or overhead past the ceiling (full < 15%, sample < 5%).
 
 use gen_nerf::config::{ModelConfig, SamplingStrategy};
 use gen_nerf::model::GenNerfModel;
 use gen_nerf_bench::loadgen::{
-    chaos_plan, load_plan, seed_from_env, Arrival, ChaosFault, ChaosSpec, LoadSpec, SEED_ENV,
+    chaos_plan, corruption_plan, load_plan, seed_from_env, Arrival, ChaosFault, ChaosSpec,
+    CorruptionFault, LoadSpec, SEED_ENV,
 };
 use gen_nerf_geometry::Intrinsics;
+use gen_nerf_nn::kernels::integrity::{self, IntegrityMode};
+use gen_nerf_nn::kernels::{self, Backend};
 use gen_nerf_scene::{Dataset, DatasetKind};
 use gen_nerf_serve::{
-    AdmissionConfig, BreakerConfig, BreakerState, DeadlineClass, Fault, FrameRequest, RenderServer,
-    RetryPolicy, SceneState, ServeError, ServerConfig, SessionConfig, SessionId, SupervisorConfig,
+    AdmissionConfig, BreakerConfig, BreakerState, CoherenceConfig, DeadlineClass, Fault,
+    FrameRequest, RenderServer, RetryPolicy, SceneState, ServeError, ServerConfig, SessionConfig,
+    SessionId, SupervisorConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -663,12 +678,410 @@ fn run_chaos_mode(test_mode: bool, seed: u64) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Integrity-chaos mode (`--corrupt`): deterministic *silent*-corruption
+// replay. Where `--chaos` injects loud failures (panics, stalls) that the
+// supervision layer must survive, `--corrupt` plants quiet ones — a
+// perturbed GEMM cell, a poisoned pixel, a bit-flipped cache anchor —
+// that the output-integrity machinery must catch before a client sees a
+// wrong pixel. Records detection rate, clean-run false positives,
+// quarantine events and checking overhead into `BENCH_integrity.json`.
+// ---------------------------------------------------------------------------
+
+/// One integrity run's aggregate outcome.
+struct IntegrityOutcome {
+    seed: u64,
+    mode: IntegrityMode,
+    initial_backend: Backend,
+    /// Closed-burst wall-clock per checking mode (min over reps).
+    off_s: f64,
+    sample_s: f64,
+    full_s: f64,
+    /// Frames rendered across the clean (no-fault) checked bursts.
+    clean_frames: u64,
+    /// Corrupt-render detections during those clean bursts — any one
+    /// is a false positive.
+    false_positives: u64,
+    submitted: usize,
+    injected_gemm: u64,
+    injected_pixels: u64,
+    injected_anchor: u64,
+    /// Render attempts the integrity machinery failed (GEMM checksum
+    /// or sentinel) during the corruption replay.
+    detected: u64,
+    /// Fired render corruptions (GEMM + pixel) minus detections — the
+    /// hard gate; must be zero.
+    undetected: u64,
+    /// Poisoned anchors rejected at cache import (counted misses).
+    anchor_rejects: u64,
+    /// Completed frames containing a non-finite pixel — corruption
+    /// that escaped to a client; must be zero.
+    nonfinite_published: u64,
+    quarantine_events: u64,
+    final_backend: Backend,
+    completed: u64,
+    failed: u64,
+    retries: u64,
+    cache_hits: u64,
+}
+
+/// A closed burst of clean frames under `mode`, returning (wall-clock
+/// seconds, frames rendered, corrupt-render detections). Detections on
+/// a clean burst are false positives by definition.
+fn integrity_burst(
+    scenes: &[Arc<SceneState>],
+    intrinsics: Intrinsics,
+    strategy: SamplingStrategy,
+    burst: usize,
+    mode: IntegrityMode,
+) -> (f64, u64, u64) {
+    integrity::set_mode(mode);
+    let server = make_server(scenes, AdmissionConfig::with_capacity(burst + 1));
+    let sessions = create_sessions(&server, scenes, scenes.len() * 2, intrinsics, strategy);
+    let plan = load_plan(&LoadSpec {
+        sessions: sessions.len(),
+        frames_per_session: burst.div_ceil(sessions.len()),
+        rate_hz: 1.0,
+        best_effort_fraction: 0.0,
+        scenes: scenes.len(),
+        seed: 17,
+    });
+    // Warm the shard pools before timing.
+    server
+        .submit(sessions[0], FrameRequest::new(plan[0].pose))
+        .wait();
+    let t0 = Instant::now();
+    let handles: Vec<_> = plan
+        .iter()
+        .take(burst)
+        .map(|a| server.submit(sessions[a.session], FrameRequest::new(a.pose)))
+        .collect();
+    let n = handles.len() as u64;
+    for h in handles {
+        h.wait();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let detections: u64 = server
+        .shard_stats_all()
+        .iter()
+        .map(|s| s.corrupt_renders)
+        .sum();
+    (secs, n + 1, detections)
+}
+
+/// The corruption replay: the request plan served **closed-loop** (one
+/// frame in flight at a time). The chaos hooks that plant a GEMM
+/// perturbation or a pixel poison are process-global single slots, so
+/// serving open-loop could overwrite one armed fault with the next
+/// before a render consumes it — closed-loop keeps injection counting
+/// exact, which the 100%-detection gate needs.
+#[allow(clippy::type_complexity)]
+fn run_corrupt_replay(
+    spec: LoadSpec,
+    fraction: f64,
+    scenes: &[Arc<SceneState>],
+) -> IntegrityOutcome {
+    let strategy = SamplingStrategy::coarse_then_focus(8, 8);
+    let intrinsics = Intrinsics::from_fov(12, 12, 0.55);
+    let mode = integrity::mode();
+    let initial_backend = kernels::active_backend();
+
+    // Overhead and false-positive measurement first, on clean bursts,
+    // *before* any injection can quarantine the SIMD backend (a
+    // demotion mid-measurement would skew the ratios).
+    let burst = (spec.sessions * spec.frames_per_session).clamp(16, 64);
+    let reps = 3;
+    let (mut off_s, mut sample_s, mut full_s) = (f64::MAX, f64::MAX, f64::MAX);
+    let mut clean_frames = 0u64;
+    let mut false_positives = 0u64;
+    println!("measuring checking overhead ({reps} reps x {burst}-frame bursts) ...");
+    for _ in 0..reps {
+        let (t, _, _) = integrity_burst(scenes, intrinsics, strategy, burst, IntegrityMode::Off);
+        off_s = off_s.min(t);
+        let (t, n, fp) =
+            integrity_burst(scenes, intrinsics, strategy, burst, IntegrityMode::Sample);
+        sample_s = sample_s.min(t);
+        clean_frames += n;
+        false_positives += fp;
+        let (t, n, fp) = integrity_burst(scenes, intrinsics, strategy, burst, IntegrityMode::Full);
+        full_s = full_s.min(t);
+        clean_frames += n;
+        false_positives += fp;
+    }
+    integrity::set_mode(mode);
+
+    let server = RenderServer::new(
+        ServerConfig::default()
+            .with_max_shards(scenes.len())
+            .with_admission(AdmissionConfig::with_capacity(256)),
+    );
+    // Coherence on, with generous bounds: the trajectories' small
+    // steps stay coherent, so anchors are retained and the
+    // anchor-corruption faults have something to flip.
+    let sessions: Vec<SessionId> = (0..spec.sessions)
+        .map(|s| {
+            server.create_session(
+                Arc::clone(&scenes[s % scenes.len()]),
+                SessionConfig::new(intrinsics, strategy)
+                    .with_coherence(CoherenceConfig::within(0.4, 0.1)),
+            )
+        })
+        .collect();
+    let plan = load_plan(&spec);
+    let faults = corruption_plan(
+        &ChaosSpec {
+            fraction,
+            seed: spec.seed,
+        },
+        plan.len(),
+    );
+    let injected_gemm = faults
+        .iter()
+        .filter(|f| matches!(f, Some((CorruptionFault::Gemm, _))))
+        .count() as u64;
+    let injected_pixels = faults
+        .iter()
+        .filter(|f| matches!(f, Some((CorruptionFault::Pixels, _))))
+        .count() as u64;
+    let injected_anchor = faults
+        .iter()
+        .filter(|f| matches!(f, Some((CorruptionFault::Anchor, _))))
+        .count() as u64;
+
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut nonfinite_published = 0u64;
+    for (arrival, fault) in plan.iter().zip(&faults) {
+        let mut req = FrameRequest::new(arrival.pose).with_deadline(arrival.deadline);
+        if let Some((kind, fault_seed)) = fault {
+            req = req.with_fault(match kind {
+                CorruptionFault::Gemm => Fault::CorruptGemm(*fault_seed),
+                CorruptionFault::Pixels => Fault::CorruptPixels(*fault_seed),
+                CorruptionFault::Anchor => Fault::CorruptAnchor(*fault_seed),
+            });
+        }
+        match server
+            .submit(sessions[arrival.session], req)
+            .wait_timeout(Duration::from_secs(60))
+        {
+            Some(Ok(frame)) => {
+                completed += 1;
+                if !frame.image.as_slice().iter().all(|v| v.is_finite()) {
+                    nonfinite_published += 1;
+                }
+            }
+            _ => failed += 1,
+        }
+    }
+
+    let detected: u64 = server
+        .shard_stats_all()
+        .iter()
+        .map(|s| s.corrupt_renders)
+        .sum();
+    let quarantine_events: u64 = server
+        .shard_stats_all()
+        .iter()
+        .map(|s| s.quarantine_events)
+        .sum();
+    let retries: u64 = server.shard_stats_all().iter().map(|s| s.retries).sum();
+    let mut anchor_rejects = 0u64;
+    let mut cache_hits = 0u64;
+    for &session in &sessions {
+        let c = server.cache_stats(session);
+        anchor_rejects += c.integrity_rejects;
+        cache_hits += c.hits;
+    }
+    IntegrityOutcome {
+        seed: spec.seed,
+        mode,
+        initial_backend,
+        off_s,
+        sample_s,
+        full_s,
+        clean_frames,
+        false_positives,
+        submitted: plan.len(),
+        injected_gemm,
+        injected_pixels,
+        injected_anchor,
+        detected,
+        undetected: (injected_gemm + injected_pixels).saturating_sub(detected),
+        anchor_rejects,
+        nonfinite_published,
+        quarantine_events,
+        final_backend: kernels::active_backend(),
+        completed,
+        failed,
+        retries,
+        cache_hits,
+    }
+}
+
+fn integrity_json(
+    o: &IntegrityOutcome,
+    overhead_sample_pct: f64,
+    overhead_full_pct: f64,
+) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"seed_env\": \"{SEED_ENV}\",\n  \
+         \"threads\": {},\n  \
+         \"integrity_mode\": \"{}\",\n  \
+         \"backend_initial\": \"{:?}\",\n  \"backend_final\": \"{:?}\",\n  \
+         \"burst_off_s\": {:.3},\n  \"burst_sample_s\": {:.3},\n  \"burst_full_s\": {:.3},\n  \
+         \"overhead_sample_pct\": {:.2},\n  \"overhead_full_pct\": {:.2},\n  \
+         \"clean_frames\": {},\n  \"false_positives\": {},\n  \
+         \"submitted\": {},\n  \"completed\": {},\n  \"failed\": {},\n  \
+         \"injected_gemm\": {},\n  \"injected_pixels\": {},\n  \"injected_anchor\": {},\n  \
+         \"detected\": {},\n  \"undetected\": {},\n  \
+         \"anchor_rejects\": {},\n  \"nonfinite_published\": {},\n  \
+         \"quarantine_events\": {},\n  \"retries\": {},\n  \"cache_hits\": {}\n}}\n",
+        o.seed,
+        gen_nerf_parallel::num_threads(),
+        o.mode.name(),
+        o.initial_backend,
+        o.final_backend,
+        o.off_s,
+        o.sample_s,
+        o.full_s,
+        overhead_sample_pct,
+        overhead_full_pct,
+        o.clean_frames,
+        o.false_positives,
+        o.submitted,
+        o.completed,
+        o.failed,
+        o.injected_gemm,
+        o.injected_pixels,
+        o.injected_anchor,
+        o.detected,
+        o.undetected,
+        o.anchor_rejects,
+        o.nonfinite_published,
+        o.quarantine_events,
+        o.retries,
+        o.cache_hits,
+    )
+}
+
+fn run_corrupt_mode(test_mode: bool, seed: u64) {
+    // Honor an explicit GEN_NERF_INTEGRITY; default the replay to full
+    // checking so every injection is checkable.
+    if std::env::var("GEN_NERF_INTEGRITY").is_err() {
+        integrity::set_mode(IntegrityMode::Full);
+    }
+    let out_path = std::env::var("GEN_NERF_INTEGRITY_OUT")
+        .unwrap_or_else(|_| "BENCH_integrity.json".to_string());
+    let (n_scenes, sessions, frames_per_session, fraction) = if test_mode {
+        (2, 4, 6, 0.4)
+    } else {
+        (3, 12, 10, 0.3)
+    };
+    println!("preparing {n_scenes} scenes at 12x12 ...");
+    let scenes = build_scenes(n_scenes, 12);
+    let spec = LoadSpec {
+        sessions,
+        frames_per_session,
+        // Closed-loop replay: arrival times are unused, only the pose
+        // trajectories and deadline classes matter.
+        rate_hz: 1000.0,
+        best_effort_fraction: 0.25,
+        scenes: n_scenes,
+        seed,
+    };
+    println!(
+        "corruption replay: {sessions} sessions x {frames_per_session} frames, \
+         corruption fraction {fraction} (seed {seed}, mode {}) ...",
+        integrity::mode().name()
+    );
+    let o = run_corrupt_replay(spec, fraction, &scenes);
+    let overhead_sample_pct = (o.sample_s / o.off_s - 1.0) * 100.0;
+    let overhead_full_pct = (o.full_s / o.off_s - 1.0) * 100.0;
+    println!(
+        "  submitted {}: ok {}, failed {}; injected {} gemm / {} pixel / {} anchor",
+        o.submitted, o.completed, o.failed, o.injected_gemm, o.injected_pixels, o.injected_anchor,
+    );
+    println!(
+        "  detected {} corrupt renders ({} undetected), {} anchor rejects, \
+         {} non-finite published, {} retries",
+        o.detected, o.undetected, o.anchor_rejects, o.nonfinite_published, o.retries,
+    );
+    println!(
+        "  quarantine events {}, backend {:?} -> {:?}",
+        o.quarantine_events, o.initial_backend, o.final_backend,
+    );
+    println!(
+        "  overhead: sample {overhead_sample_pct:+.1}% / full {overhead_full_pct:+.1}% \
+         (clean bursts: {} frames, {} false positives)",
+        o.clean_frames, o.false_positives,
+    );
+    let json = integrity_json(&o, overhead_sample_pct, overhead_full_pct);
+    std::fs::write(&out_path, &json).expect("write integrity report");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    if test_mode {
+        let mut fail = false;
+        if o.undetected > 0 {
+            eprintln!(
+                "SERVE_INTEGRITY_GATE: FAIL — {} injected corruption(s) went undetected",
+                o.undetected
+            );
+            fail = true;
+        }
+        if o.nonfinite_published > 0 {
+            eprintln!(
+                "SERVE_INTEGRITY_GATE: FAIL — {} corrupt frame(s) reached a client",
+                o.nonfinite_published
+            );
+            fail = true;
+        }
+        if o.false_positives > 0 {
+            eprintln!(
+                "SERVE_INTEGRITY_GATE: FAIL — {} false positive(s) on clean runs",
+                o.false_positives
+            );
+            fail = true;
+        }
+        if overhead_full_pct >= 15.0 {
+            eprintln!(
+                "SERVE_INTEGRITY_GATE: FAIL — full checking overhead \
+                 {overhead_full_pct:.1}% >= 15%"
+            );
+            fail = true;
+        }
+        if overhead_sample_pct >= 5.0 {
+            eprintln!(
+                "SERVE_INTEGRITY_GATE: FAIL — sampled checking overhead \
+                 {overhead_sample_pct:.1}% >= 5%"
+            );
+            fail = true;
+        }
+        if fail {
+            std::process::exit(1);
+        }
+        println!(
+            "SERVE_INTEGRITY_GATE: OK — {}/{} injected corruptions detected, \
+             0 false positives, overhead sample {overhead_sample_pct:.1}% / \
+             full {overhead_full_pct:.1}%",
+            o.detected,
+            o.injected_gemm + o.injected_pixels,
+        );
+    }
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let chaos_mode = std::env::args().any(|a| a == "--chaos");
+    let corrupt_mode = std::env::args().any(|a| a == "--corrupt");
     let seed = seed_from_env(42);
     if chaos_mode {
         run_chaos_mode(test_mode, seed);
+    }
+    if corrupt_mode {
+        run_corrupt_mode(test_mode, seed);
+    }
+    if chaos_mode || corrupt_mode {
         return;
     }
     let out_path =

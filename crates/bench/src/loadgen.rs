@@ -181,6 +181,63 @@ pub fn chaos_plan(spec: &ChaosSpec, frames: usize) -> Vec<Option<ChaosFault>> {
         .collect()
 }
 
+/// One injected *corruption* of an integrity-chaos schedule: silent
+/// data corruption planted at a specific pipeline stage, which the
+/// output-integrity machinery (ABFT GEMM checksums, stage sentinels,
+/// anchor digests) must catch before a pixel is published. Distinct
+/// from [`ChaosFault`]: those faults are *loud* (panics, stalls); these
+/// are the quiet ones that would otherwise serve wrong pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionFault {
+    /// Supra-tolerance perturbation of one fused-GEMM output element —
+    /// caught by the ABFT row-checksum verification.
+    Gemm,
+    /// One composited pixel poisoned before publication — caught by
+    /// the composite-boundary sentinel.
+    Pixels,
+    /// One retained coarse anchor bit-flipped in the session cache —
+    /// caught by the digest check at import (a counted miss).
+    Anchor,
+}
+
+/// Derives the corruption-private stream (distinct from every session
+/// stream *and* from the loud-chaos stream, so `--chaos --corrupt`
+/// replays both schedules independently from one seed).
+fn corruption_rng(seed: u64) -> ChaCha8Rng {
+    let mixed =
+        seed.wrapping_mul(0xD134_2543_DE82_EF95u64).rotate_left(23) ^ 0x2545_F491_4F6C_DD1Du64;
+    ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// Builds the corruption schedule for a `frames`-long request plan:
+/// one `Option<(kind, fault_seed)>` per schedule index, where
+/// `fault_seed` deterministically places the flipped bits (which GEMM
+/// cell, which pixel, which anchor). Kinds are drawn 40% GEMM / 40%
+/// pixel / 20% anchor. Like [`chaos_plan`], every index draws the same
+/// number of stream values whether or not it faults, so a longer plan
+/// extends a shorter one unchanged.
+pub fn corruption_plan(spec: &ChaosSpec, frames: usize) -> Vec<Option<(CorruptionFault, u64)>> {
+    let mut rng = corruption_rng(spec.seed);
+    (0..frames)
+        .map(|_| {
+            let hit = rng.gen::<f64>() < spec.fraction;
+            let kind: f64 = rng.gen();
+            let fault_seed: u64 = rng.gen();
+            if !hit {
+                return None;
+            }
+            let kind = if kind < 0.4 {
+                CorruptionFault::Gemm
+            } else if kind < 0.8 {
+                CorruptionFault::Pixels
+            } else {
+                CorruptionFault::Anchor
+            };
+            Some((kind, fault_seed))
+        })
+        .collect()
+}
+
 /// Builds the full request schedule of `spec`, sorted by arrival time
 /// (ties broken by session then step, so the order itself is
 /// deterministic too).
@@ -351,6 +408,64 @@ mod tests {
         );
         assert!(none.iter().all(Option::is_none));
         let all = chaos_plan(
+            &ChaosSpec {
+                fraction: 1.0,
+                seed: 7,
+            },
+            64,
+        );
+        assert!(all.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn corruption_schedule_is_deterministic_and_prefix_stable() {
+        let spec = ChaosSpec {
+            fraction: 0.4,
+            seed: 7,
+        };
+        let a = corruption_plan(&spec, 200);
+        let b = corruption_plan(&spec, 200);
+        assert_eq!(a, b, "same seed must replay the same corruption schedule");
+        let c = corruption_plan(
+            &ChaosSpec {
+                fraction: 0.4,
+                seed: 8,
+            },
+            200,
+        );
+        assert_ne!(a, c, "seed change did not move any corruption");
+        // Independent of the loud-chaos stream: the same seed must not
+        // place corruptions wherever it places panics/stalls.
+        let loud = chaos_plan(&spec, 200);
+        assert!(
+            a.iter().zip(&loud).any(|(x, y)| x.is_some() != y.is_some()),
+            "corruption placement mirrors the chaos placement"
+        );
+        // All kinds appear at fraction 0.4 over 200 draws (the draw is
+        // seed-deterministic, so this is a fixed fact, not a flake).
+        for kind in [
+            CorruptionFault::Gemm,
+            CorruptionFault::Pixels,
+            CorruptionFault::Anchor,
+        ] {
+            assert!(
+                a.iter().any(|f| matches!(f, Some((k, _)) if *k == kind)),
+                "{kind:?} never drawn at fraction 0.4 over 200 frames"
+            );
+        }
+        // A longer plan extends the shorter one — placement is
+        // per-index, independent of plan length.
+        let long = corruption_plan(&spec, 400);
+        assert_eq!(&long[..200], &a[..]);
+        let none = corruption_plan(
+            &ChaosSpec {
+                fraction: 0.0,
+                seed: 7,
+            },
+            64,
+        );
+        assert!(none.iter().all(Option::is_none));
+        let all = corruption_plan(
             &ChaosSpec {
                 fraction: 1.0,
                 seed: 7,

@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::eval::{evaluate, EvalResult};
     pub use crate::hardware::workload_spec;
     pub use crate::model::GenNerfModel;
-    pub use crate::pipeline::{RenderStats, Renderer};
+    pub use crate::pipeline::{RenderError, RenderStats, Renderer};
     pub use crate::trainer::{TrainConfig, Trainer};
     pub use gen_nerf_scene::{Dataset, DatasetKind};
 }

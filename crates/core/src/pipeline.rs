@@ -79,22 +79,46 @@
 //!   steady-state serving loop the spawn/join tax per frame. Chunk
 //!   geometry is identical either way, so the executor never changes
 //!   pixels.
+//!
+//! # Output integrity
+//!
+//! With `GEN_NERF_INTEGRITY` set (see `gen_nerf_nn::kernels::
+//! integrity`), every dispatched GEMM is ABFT-checksummed and this
+//! module adds **stage-boundary sentinels**: finite-value scans after
+//! each fused forward (densities through the active kernel's
+//! `is_finite_all`, AVX2 where available) and over the composited
+//! pixels right before they become images. Trips are recorded in
+//! process-wide counters; the fallible entry points
+//! ([`Renderer::try_render_frames_cached`], [`Renderer::try_render`],
+//! [`Renderer::try_render_into`]) snapshot the counters around the
+//! render and return [`RenderError::Corrupt`] instead of publishing a
+//! frame whose window saw a fault. The infallible entry points are
+//! unchanged — with integrity off (the default) no scan runs and
+//! behavior is bit-for-bit what it always was. [`CoarseFrame`]s are
+//! additionally sealed with an FNV-1a payload digest at export so a
+//! serving cache can reject an anchor that was corrupted at rest
+//! ([`CoarseFrame::integrity_ok`]) as a miss instead of shading from
+//! it.
 
 use crate::config::SamplingStrategy;
 use crate::features::{
     aggregate_point, aggregate_ray_into, assert_channels, AggregateArena, AggregateView,
     PointAggregate, SourceViewData,
 };
-use crate::model::{ForwardScratch, GenNerfModel, MlpScratch};
+use crate::model::{ForwardScratch, GenNerfModel, MlpScratch, RayOutput};
 use crate::sampling;
 use gen_nerf_geometry::{Aabb, Camera, Ray, Vec3};
 use gen_nerf_nn::flops::{self, FlopsCounter};
 use gen_nerf_nn::init::Rng;
+use gen_nerf_nn::kernels::{self, integrity};
 use gen_nerf_parallel::{par_chunk_ranges, CancelToken, Pool};
 use gen_nerf_scene::renderer::{composite, composite_into};
 use gen_nerf_scene::Image;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Reusable buffers for the per-ray composite phase of the fused chunk
 /// schedule: one instance per worker replaces the interval-widths and
@@ -258,6 +282,131 @@ fn mix_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A render whose output failed an integrity check and must not be
+/// published (see the "Output integrity" section of the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// A GEMM checksum (`gen_nerf_nn::kernels::integrity`) or a
+    /// stage-boundary sentinel tripped during the render: the frame's
+    /// pixels are untrustworthy and the caller should discard the
+    /// output buffers and retry (re-rendering is deterministic, so a
+    /// transient fault does not recur).
+    Corrupt {
+        /// Which guard detected the corruption: `"gemm"` for the ABFT
+        /// checksum, `"sentinel"` for a stage-boundary finite scan.
+        stage: &'static str,
+        /// Human-readable description of the first recorded fault
+        /// (best-effort under concurrent renders: the detail slot is
+        /// process-wide, the detection itself is not).
+        detail: String,
+    },
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::Corrupt { stage, detail } => {
+                write!(f, "corrupt render output ({stage}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Stage-boundary sentinel sink. Sentinels run on worker threads deep
+/// inside chunk fan-outs, so they report through a process-wide
+/// monotonic counter instead of threading `Result`s through every
+/// join: a fallible render snapshots the counter on entry and fails
+/// the frame when it advanced by exit. Counter deltas can only
+/// over-report under concurrent renders (a clean frame overlapping a
+/// corrupt one fails spuriously and succeeds on retry) — a corrupt
+/// frame can never under-report, because its own trip lands inside
+/// its own window.
+static SENTINEL_TRIPS: AtomicU64 = AtomicU64::new(0);
+/// First-trip detail, first write wins until drained (best-effort
+/// attribution only; `SENTINEL_TRIPS` is the ground truth).
+static SENTINEL_DETAIL: Mutex<Option<String>> = Mutex::new(None);
+/// Armed single-pixel corruption for the chaos harness (see
+/// [`arm_pixel_corruption`]); consumed by the next multi-frame render.
+static ARMED_PIXEL: Mutex<Option<u64>> = Mutex::new(None);
+
+/// Records one sentinel trip (worker-thread safe).
+fn trip_sentinel(detail: String) {
+    SENTINEL_TRIPS.fetch_add(1, Ordering::Relaxed);
+    let mut slot = SENTINEL_DETAIL.lock().unwrap();
+    if slot.is_none() {
+        *slot = Some(detail);
+    }
+}
+
+/// Total stage-boundary sentinel trips since process start (for
+/// serving-layer observability; monotonic).
+pub fn sentinel_trips() -> u64 {
+    SENTINEL_TRIPS.load(Ordering::Relaxed)
+}
+
+/// Whether the stage-boundary sentinels are live. They ride the same
+/// switch as the GEMM checksums (`GEN_NERF_INTEGRITY`): `off` skips
+/// every scan, so the default render path pays nothing.
+fn sentinels_enabled() -> bool {
+    integrity::mode() != integrity::IntegrityMode::Off
+}
+
+/// Scans a fused forward's outputs for non-finite densities or colors
+/// and trips the sentinel naming `stage` on the first bad ray. The
+/// density scan goes through the active kernel's `is_finite_all`
+/// (AVX2 on hosts that have it), so the guard costs one pass over
+/// data the composite is about to read anyway.
+fn scan_forward_outputs(outs: &[RayOutput], stage: &str) {
+    let kernel = kernels::active();
+    for (i, out) in outs.iter().enumerate() {
+        let ok = kernel.is_finite_all(&out.densities)
+            && out
+                .colors
+                .iter()
+                .all(|c| c.x.is_finite() && c.y.is_finite() && c.z.is_finite());
+        if !ok {
+            trip_sentinel(format!("{stage}: non-finite model output at chunk ray {i}"));
+            return;
+        }
+    }
+}
+
+/// Arms the corruption-chaos pixel fault: the next multi-frame render
+/// poisons one composited pixel (chosen deterministically from `seed`)
+/// with NaN *before* the composite-boundary sentinel runs, so the
+/// chaos harness can prove corrupt pixels are caught at the publish
+/// boundary rather than served. Process-wide, consumed exactly once.
+pub fn arm_pixel_corruption(seed: u64) {
+    *ARMED_PIXEL.lock().unwrap() = Some(seed);
+}
+
+/// Disarms a still-armed pixel fault; `true` when one was pending
+/// (i.e. no render consumed it).
+pub fn disarm_pixel_corruption() -> bool {
+    ARMED_PIXEL.lock().unwrap().take().is_some()
+}
+
+/// Applies an armed pixel fault to the composited (not yet published)
+/// pixels. The poison is injected whether or not the sentinels are
+/// enabled — injection simulates the corruption, detection is the
+/// integrity subsystem's job.
+fn apply_armed_pixel_fault(pixels: &mut [Vec<Vec3>]) {
+    let Some(seed) = ARMED_PIXEL.lock().unwrap().take() else {
+        return;
+    };
+    let frames: Vec<usize> = (0..pixels.len())
+        .filter(|&f| !pixels[f].is_empty())
+        .collect();
+    if frames.is_empty() {
+        return;
+    }
+    let f = frames[(seed as usize) % frames.len()];
+    let j = ((seed >> 17) as usize) % pixels[f].len();
+    pixels[f][j].x = f32::NAN;
+}
+
 /// The exported outcome of one frame's coarse-then-focus Step ①
 /// (coarse probing): per-ray hitting weights and critical-sample
 /// counts, everything Steps ②/③ consume.
@@ -275,6 +424,12 @@ pub struct CoarseFrame {
     weights: Vec<Vec<f32>>,
     /// Per-ray critical sample counts (Step ② input).
     criticals: Vec<usize>,
+    /// FNV-1a digest over the weights' bit patterns and the critical
+    /// counts, sealed at export. A cached frame sits in the serving
+    /// tier's memory for seconds; the digest lets the cache importer
+    /// reject a frame whose payload no longer matches what Step ①
+    /// produced (treated as a miss, never as pixels).
+    checksum: u64,
 }
 
 impl CoarseFrame {
@@ -287,6 +442,65 @@ impl CoarseFrame {
     pub fn approx_bytes(&self) -> usize {
         self.weights.iter().map(|w| w.len() * 4).sum::<usize>()
             + self.criticals.len() * std::mem::size_of::<usize>()
+    }
+
+    /// FNV-1a over the payload: per ray, the weight count then each
+    /// weight's IEEE-754 bits, then every critical count. Bit-exact by
+    /// construction — any single flipped payload bit changes it.
+    fn fnv1a(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for w in &self.weights {
+            eat(w.len() as u64);
+            for &v in w {
+                eat(v.to_bits() as u64);
+            }
+        }
+        for &c in &self.criticals {
+            eat(c as u64);
+        }
+        h
+    }
+
+    /// Seals the digest over the current payload (export time).
+    fn seal(&mut self) {
+        self.checksum = self.fnv1a();
+    }
+
+    /// The sealed payload digest.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recomputes the digest and compares it to the seal. `false`
+    /// means the payload was altered since export — the frame must be
+    /// discarded, not imported.
+    pub fn integrity_ok(&self) -> bool {
+        self.fnv1a() == self.checksum
+    }
+
+    /// Fault-injection hook for the corruption chaos harness: poisons
+    /// one stored weight (NaN, chosen deterministically from `seed`)
+    /// *without* resealing, so [`CoarseFrame::integrity_ok`] fails. A
+    /// frame with no weights at all gets its seal flipped instead.
+    pub fn corrupt_for_chaos(&mut self, seed: u64) {
+        if !self.weights.is_empty() {
+            let r = (seed as usize) % self.weights.len();
+            for off in 0..self.weights.len() {
+                let i = (r + off) % self.weights.len();
+                if let Some(w) = self.weights[i].first_mut() {
+                    *w = f32::NAN;
+                    return;
+                }
+            }
+        }
+        self.checksum ^= 1;
     }
 }
 
@@ -549,7 +763,7 @@ impl<'a> Renderer<'a> {
         }
         let set = FrameSet::new(&batches);
 
-        let (pixels, fresh) = match self.strategy {
+        let (mut pixels, fresh) = match self.strategy {
             SamplingStrategy::Uniform { n } => {
                 assert!(
                     cached.iter().all(|c| c.is_none()),
@@ -577,10 +791,104 @@ impl<'a> Renderer<'a> {
                 s_coarse,
             } => self.render_ctf_frames(&set, n_coarse, n_focused, tau, s_coarse, cached, stats),
         };
+        // Corruption-chaos injection point (no-op unless armed), then
+        // the composite-boundary sentinel: the last integrity gate
+        // before pixels become publishable images.
+        apply_armed_pixel_fault(&mut pixels);
+        if sentinels_enabled() {
+            'frames: for (f, px) in pixels.iter().enumerate() {
+                for (j, c) in px.iter().enumerate() {
+                    if !(c.x.is_finite() && c.y.is_finite() && c.z.is_finite()) {
+                        trip_sentinel(format!(
+                            "composite boundary: non-finite pixel {j} of frame {f}"
+                        ));
+                        break 'frames;
+                    }
+                }
+            }
+        }
         for ((batch, px), image) in batches.iter().zip(&pixels).zip(images.iter_mut()) {
             batch.write_image(px, image);
         }
         fresh
+    }
+
+    /// Snapshot of the process-wide corruption counters (GEMM checksum
+    /// faults, sentinel trips) for a delta check around one render.
+    fn integrity_epoch() -> (u64, u64) {
+        (integrity::check_stats().1, sentinel_trips())
+    }
+
+    /// Maps a counter delta since `(faults0, trips0)` to the frame
+    /// verdict, draining the best-effort detail slots on failure.
+    fn corruption_since(faults0: u64, trips0: u64) -> Result<(), RenderError> {
+        let (faults1, trips1) = Self::integrity_epoch();
+        if faults1 != faults0 {
+            let detail = integrity::take_fault().map_or_else(
+                || "GEMM checksum mismatch (detail drained concurrently)".to_string(),
+                |e| e.to_string(),
+            );
+            return Err(RenderError::Corrupt {
+                stage: "gemm",
+                detail,
+            });
+        }
+        if trips1 != trips0 {
+            let detail = SENTINEL_DETAIL.lock().unwrap().take().unwrap_or_else(|| {
+                "non-finite stage output (detail drained concurrently)".to_string()
+            });
+            return Err(RenderError::Corrupt {
+                stage: "sentinel",
+                detail,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Renderer::render_frames_cached`] with the integrity verdict:
+    /// when any GEMM checksum or stage-boundary sentinel tripped
+    /// during this render, returns [`RenderError::Corrupt`] — the
+    /// caller must treat `images`/`stats` as garbage (they were
+    /// overwritten before the verdict) and retry or fail the frames.
+    ///
+    /// The check is a counter delta over the render window, so under
+    /// concurrent renders a clean frame overlapping a corrupt one can
+    /// fail spuriously (and succeed on retry) — but a corrupt frame
+    /// can never pass. With integrity checking off (the default) this
+    /// never fails and is identical to the infallible call.
+    pub fn try_render_frames_cached(
+        &self,
+        cameras: &[Camera],
+        cached: &[Option<&CoarseFrame>],
+        images: &mut [Image],
+        stats: &mut [RenderStats],
+    ) -> Result<Vec<Option<CoarseFrame>>, RenderError> {
+        let (faults0, trips0) = Self::integrity_epoch();
+        let fresh = self.render_frames_cached(cameras, cached, images, stats);
+        Self::corruption_since(faults0, trips0)?;
+        Ok(fresh)
+    }
+
+    /// [`Renderer::render_into`] with the integrity verdict (see
+    /// [`Renderer::try_render_frames_cached`] for the semantics).
+    pub fn try_render_into(
+        &self,
+        camera: &Camera,
+        image: &mut Image,
+        stats: &mut RenderStats,
+    ) -> Result<(), RenderError> {
+        let (faults0, trips0) = Self::integrity_epoch();
+        self.render_into(camera, image, stats);
+        Self::corruption_since(faults0, trips0)
+    }
+
+    /// [`Renderer::render`] with the integrity verdict (see
+    /// [`Renderer::try_render_frames_cached`] for the semantics).
+    pub fn try_render(&self, camera: &Camera) -> Result<(Image, RenderStats), RenderError> {
+        let mut image = Image::new(0, 0);
+        let mut stats = RenderStats::default();
+        self.try_render_into(camera, &mut image, &mut stats)?;
+        Ok((image, stats))
     }
 
     fn d_channels(&self) -> usize {
@@ -732,6 +1040,11 @@ impl<'a> Renderer<'a> {
                     ..
                 } = ws;
                 let outs = self.model.forward_rays_arena(arena, forward);
+                // Stage-boundary sentinel: catch non-finite forward
+                // outputs before the composite folds them into pixels.
+                if sentinels_enabled() {
+                    scan_forward_outputs(&outs, "fused forward");
+                }
                 // Phase 3: per-ray composite through the worker's
                 // scratch buffers.
                 let colors: Vec<Vec3> = (start..end)
@@ -971,6 +1284,9 @@ impl<'a> Renderer<'a> {
                     let WorkerScratch { arena, forward, .. } = &mut *ws;
                     self.model.forward_rays_arena(arena, forward)
                 };
+                if sentinels_enabled() {
+                    scan_forward_outputs(&coarse_outs, "hierarchical coarse forward");
+                }
 
                 // Importance resampling per ray, then the fine fused
                 // pass through the same (reset) arena.
@@ -1021,6 +1337,9 @@ impl<'a> Renderer<'a> {
                     ..
                 } = ws;
                 let fine_outs = self.model.forward_rays_arena(arena, forward);
+                if sentinels_enabled() {
+                    scan_forward_outputs(&fine_outs, "hierarchical fine forward");
+                }
 
                 // Merge-sort the union by depth and composite, per ray.
                 let colors: Vec<Vec3> = (start..end)
@@ -1149,6 +1468,19 @@ impl<'a> Renderer<'a> {
                     let WorkerScratch { arena, coarse, .. } = &mut *ws;
                     self.model.coarse_densities_arena(arena, coarse)
                 };
+                // Stage-boundary sentinel: a non-finite coarse density
+                // would silently skew every weight Steps ②/③ consume.
+                if sentinels_enabled() {
+                    let kernel = kernels::active();
+                    for (i, densities) in densities_per.iter().enumerate() {
+                        if !kernel.is_finite_all(densities) {
+                            trip_sentinel(format!(
+                                "coarse forward: non-finite density at chunk ray {i}"
+                            ));
+                            break;
+                        }
+                    }
+                }
                 let per_ray: Vec<(Vec<f32>, usize)> = (start..end)
                     .map(|g| {
                         let idx = g - start;
@@ -1175,6 +1507,7 @@ impl<'a> Renderer<'a> {
                 cached[f].is_none().then(|| CoarseFrame {
                     weights: Vec::with_capacity(set.batches[f].len()),
                     criticals: Vec::with_capacity(set.batches[f].len()),
+                    checksum: 0,
                 })
             })
             .collect();
@@ -1190,6 +1523,10 @@ impl<'a> Renderer<'a> {
             for (f, l) in local.iter().enumerate() {
                 stats[f].merge(l);
             }
+        }
+        // Seal every freshly probed frame's digest at export.
+        for cf in fresh.iter_mut().flatten() {
+            cf.seal();
         }
 
         // Per-frame coarse view: imported or freshly probed.

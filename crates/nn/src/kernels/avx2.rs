@@ -98,6 +98,12 @@ impl MicroKernel for Avx2Kernel {
         unsafe { sq_diff_add_avx2(acc, x, mean) }
     }
 
+    fn is_finite_all(&self, data: &[f32]) -> bool {
+        debug_assert!(Backend::Avx2.available());
+        // SAFETY: avx2+fma verified at dispatch time (module docs).
+        unsafe { is_finite_all_avx2(data) }
+    }
+
     fn int8_matmul(
         &self,
         a: &[i8],
@@ -310,6 +316,28 @@ unsafe fn sq_diff_add_avx2(acc: &mut [f32], x: &[f32], mean: &[f32]) {
     }
 }
 
+/// `true` when every element is finite. Finiteness is the bit
+/// predicate "exponent bits ≠ all-ones" — no rounding — so the vector
+/// body (integer mask-and-compare) and the scalar remainder
+/// (`f32::is_finite`) decide identically for every bit pattern,
+/// including NaN payloads: exact parity with the scalar backend.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn is_finite_all_avx2(data: &[f32]) -> bool {
+    let exp_mask = _mm256_set1_epi32(0x7f80_0000);
+    let mut i = 0;
+    while i + 8 <= data.len() {
+        let bits = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+        // A lane is non-finite iff (bits & exp_mask) == exp_mask.
+        let exp = _mm256_and_si256(bits, exp_mask);
+        let bad = _mm256_cmpeq_epi32(exp, exp_mask);
+        if _mm256_movemask_epi8(bad) != 0 {
+            return false;
+        }
+        i += 8;
+    }
+    data[i..].iter().all(|v| v.is_finite())
+}
+
 // ---- softmax ---------------------------------------------------------
 
 // Cephes expf constants (the classic exp_ps polynomial).
@@ -418,6 +446,13 @@ unsafe fn softmax_rows_avx2(data: &mut [f32], cols: usize) {
         let mut max = hmax(maxv);
         for &v in &row[c..] {
             max = if v > max { v } else { max };
+        }
+        // All-(-inf) row: `v − max` would be NaN lane-wise. Pinned
+        // guarded behavior, identical to the scalar backend: the
+        // uniform distribution.
+        if max == f32::NEG_INFINITY {
+            row.fill(1.0 / cols as f32);
+            continue;
         }
         // exp(x − max) and the sum, vector body + mirrored remainder.
         let maxb = _mm256_set1_ps(max);

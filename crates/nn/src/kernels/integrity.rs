@@ -1,0 +1,718 @@
+//! Algorithm-based fault tolerance (ABFT) for the dense GEMM path,
+//! plus the process-wide integrity state the serve tier drives: the
+//! fault sink, the chaos-injection hook and the backend quarantine
+//! latch.
+//!
+//! # Checksum math
+//!
+//! For `C = A·B` (`A` m×k, `B` k×n) the wrapper computes the row-sum
+//! vector of `B` once — `r = B·1` (one O(k·n) GEMV, the "one extra
+//! GEMV" of classical ABFT) — and verifies every output row against
+//! the identity
+//!
+//! ```text
+//! Σⱼ C[i,j]  ==  Σₖ A[i,k] · r[k]        (exactly, in real arithmetic)
+//! ```
+//!
+//! Both sides are accumulated in `f64`, so the only slack needed is
+//! the `f32` rounding inside the GEMM itself. The tolerance scales
+//! with the row's magnitude bound `Σₖ |A[i,k]| · (|B|·1)[k]` — the
+//! largest value any intermediate could reach — with [`REL`] chosen
+//! orders of magnitude above worst-case accumulation error so a clean
+//! run can never false-positive, yet far below the smallest
+//! corruption worth injecting. The comparison is written `!(diff <=
+//! tol)` so a NaN or Inf in the output row trips the check too.
+//!
+//! Verification costs O(m·k + m·n + k·n) against the GEMM's
+//! O(m·k·n) — but the workspace's inner dimensions are small (k in
+//! the tens), so naive scalar-f64 checking measures ~20% of an AVX2
+//! GEMM. Three things pull it under ~10%: four-lane accumulators
+//! (the scalar loop is f64-add latency-bound), a two-tier tolerance
+//! whose clean path never computes the magnitude bound (see
+//! [`verify_gemm`]), and AVX2 packed-f64 lanes for the two hot
+//! reductions where the CPU has them (never used while the AVX2
+//! backend is quarantined). `sample` mode divides that again by
+//! [`SAMPLE_PERIOD`] by checking every Nth dispatched GEMM (a
+//! deterministic process-wide counter).
+//!
+//! # Fault routing
+//!
+//! The GEMM entry points are infallible (`Tensor2::matmul_into`
+//! cannot return `Result` without rewriting every model layer), so a
+//! miscompare does not unwind: it is recorded in a process-global
+//! **fault sink** and the corrupt output flows on. The render
+//! pipeline clears the sink before a frame and drains it at stage
+//! boundaries — a recorded fault fails the frame before any pixel is
+//! published (see `gen_nerf::pipeline`).
+//!
+//! # Quarantine
+//!
+//! [`quarantine`] latches a backend as untrusted (sticky for the
+//! process); [`super::set_active`] refuses to re-activate it and
+//! degrades to scalar. The serve tier trips this after repeated
+//! miscompares attributed to the AVX2 backend.
+
+use super::{Backend, MicroKernel};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable selecting the integrity mode
+/// (`off` | `sample` | `full`).
+pub const INTEGRITY_ENV: &str = "GEN_NERF_INTEGRITY";
+
+/// In `sample` mode, every `SAMPLE_PERIOD`-th dispatched GEMM is
+/// verified (process-wide call counter, deterministic for a fixed
+/// call sequence).
+pub const SAMPLE_PERIOD: u32 = 8;
+
+/// Relative tolerance of the row-checksum comparison, scaled by the
+/// row's magnitude bound `Σₖ|A||B|`. Worst-case `f32` accumulation
+/// error over the workspace's k/n is below `1e-4` of that bound;
+/// `1e-3` leaves an order of magnitude of headroom (zero clean-run
+/// false positives) while still catching any perturbation above a
+/// tenth of a percent of the row's dynamic range.
+pub const REL: f64 = 1e-3;
+
+/// Absolute tolerance floor for rows whose magnitude bound is ~0.
+const ABS_FLOOR: f64 = 1e-6;
+
+/// ABFT verification mode for dispatched GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityMode {
+    /// No verification (the default — zero overhead).
+    Off,
+    /// Verify every [`SAMPLE_PERIOD`]-th GEMM.
+    Sample,
+    /// Verify every GEMM.
+    Full,
+}
+
+impl IntegrityMode {
+    /// The mode's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntegrityMode::Off => "off",
+            IntegrityMode::Sample => "sample",
+            IntegrityMode::Full => "full",
+        }
+    }
+
+    /// Parses a `GEN_NERF_INTEGRITY` value. Unknown values are an
+    /// error carrying the offending string.
+    pub fn parse(value: &str) -> Result<IntegrityMode, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "" | "off" => Ok(IntegrityMode::Off),
+            "sample" => Ok(IntegrityMode::Sample),
+            "full" => Ok(IntegrityMode::Full),
+            other => Err(format!(
+                "unknown {INTEGRITY_ENV} value {other:?} (expected off, sample or full)"
+            )),
+        }
+    }
+
+    /// Resolves the mode from `GEN_NERF_INTEGRITY` (off when unset;
+    /// unknown values warn on stderr and fall back to off).
+    pub fn from_env() -> IntegrityMode {
+        match std::env::var(INTEGRITY_ENV) {
+            Ok(v) => match IntegrityMode::parse(&v) {
+                Ok(m) => m,
+                Err(msg) => {
+                    eprintln!("gen-nerf-nn: {msg}; integrity checking off");
+                    IntegrityMode::Off
+                }
+            },
+            Err(_) => IntegrityMode::Off,
+        }
+    }
+}
+
+/// `MODE` holds the selected mode: 0 = not yet resolved, otherwise
+/// `mode_code`.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+fn mode_code(m: IntegrityMode) -> u8 {
+    match m {
+        IntegrityMode::Off => 1,
+        IntegrityMode::Sample => 2,
+        IntegrityMode::Full => 3,
+    }
+}
+
+fn mode_from_code(c: u8) -> IntegrityMode {
+    match c {
+        1 => IntegrityMode::Off,
+        2 => IntegrityMode::Sample,
+        3 => IntegrityMode::Full,
+        _ => unreachable!("invalid integrity mode code {c}"),
+    }
+}
+
+/// The active integrity mode, resolving it from the environment on
+/// first use.
+pub fn mode() -> IntegrityMode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => {
+            let m = IntegrityMode::from_env();
+            MODE.store(mode_code(m), Ordering::Relaxed);
+            m
+        }
+        c => mode_from_code(c),
+    }
+}
+
+/// Overrides the integrity mode at runtime (benchmarks measure
+/// per-mode overhead in one process this way; tests serialize around
+/// it).
+pub fn set_mode(m: IntegrityMode) {
+    MODE.store(mode_code(m), Ordering::Relaxed);
+}
+
+/// A detected GEMM output miscompare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrityError {
+    /// The backend that produced the miscomparing output.
+    pub backend: Backend,
+    /// First output row that failed the checksum.
+    pub row: usize,
+    /// GEMM shape (`m × k · k × n`).
+    pub m: usize,
+    /// Shared dimension.
+    pub k: usize,
+    /// Output width.
+    pub n: usize,
+    /// Observed row sum `Σⱼ C[i,j]`.
+    pub observed: f64,
+    /// Expected row sum `Σₖ A[i,k]·r[k]`.
+    pub expected: f64,
+    /// The tolerance the difference exceeded.
+    pub tolerance: f64,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GEMM integrity miscompare on backend {}: row {} of {}x{}x{} \
+             sums to {:.6e}, checksum expects {:.6e} (tol {:.3e})",
+            self.backend.name(),
+            self.row,
+            self.m,
+            self.k,
+            self.n,
+            self.observed,
+            self.expected,
+            self.tolerance
+        )
+    }
+}
+
+/// Process-global fault sink: the most recent undrained miscompare.
+/// One slot suffices — the pipeline fails the whole frame on the
+/// first recorded fault; later faults from the same corrupt pass add
+/// nothing.
+static FAULT: Mutex<Option<IntegrityError>> = Mutex::new(None);
+
+/// Count of verified GEMMs (clean or not) since process start.
+static CHECKS: AtomicU64 = AtomicU64::new(0);
+
+/// Count of recorded miscompares since process start.
+static FAULTS: AtomicU64 = AtomicU64::new(0);
+
+/// Dispatched-GEMM counter driving `sample` mode.
+static CALLS: AtomicU32 = AtomicU32::new(0);
+
+/// Records a miscompare in the fault sink (first fault wins until
+/// drained) and bumps the fault counter.
+pub fn record_fault(err: IntegrityError) {
+    FAULTS.fetch_add(1, Ordering::Relaxed);
+    let mut slot = FAULT.lock().unwrap();
+    if slot.is_none() {
+        *slot = Some(err);
+    }
+}
+
+/// Drains the fault sink, returning the oldest undrained miscompare.
+pub fn take_fault() -> Option<IntegrityError> {
+    FAULT.lock().unwrap().take()
+}
+
+/// `(verified GEMMs, recorded miscompares)` since process start.
+pub fn check_stats() -> (u64, u64) {
+    (
+        CHECKS.load(Ordering::Relaxed),
+        FAULTS.load(Ordering::Relaxed),
+    )
+}
+
+// ---- chaos injection -------------------------------------------------
+
+/// When armed, the next *verified* GEMM perturbs one output element
+/// (deterministically placed from the seed) before verification runs
+/// — the `Fault::CorruptOutput` GEMM leg of the chaos harness. The
+/// perturbation lands well above the row tolerance, so detection is
+/// guaranteed; arming is consumed by exactly one GEMM.
+static ARMED: Mutex<Option<u64>> = Mutex::new(None);
+
+/// Arms GEMM-output corruption for the next verified GEMM.
+pub fn arm_corruption(seed: u64) {
+    *ARMED.lock().unwrap() = Some(seed);
+}
+
+/// Disarms any pending GEMM corruption (frame teardown), returning
+/// `true` when a charge was still pending.
+pub fn disarm_corruption() -> bool {
+    ARMED.lock().unwrap().take().is_some()
+}
+
+// ---- quarantine ------------------------------------------------------
+
+/// `QUARANTINED` holds the latched-untrusted backend: 0 = none,
+/// otherwise `super::backend_code`. Sticky for the process.
+static QUARANTINED: AtomicU8 = AtomicU8::new(0);
+
+/// Latches `backend` as untrusted for the rest of the process and, if
+/// it is currently active, degrades the active kernel to scalar.
+/// Returns `true` when this call performed the latch (`false` when
+/// already quarantined — callers count quarantine *events*).
+pub fn quarantine(backend: Backend) -> bool {
+    let code = super::backend_code(backend);
+    let newly = QUARANTINED
+        .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok();
+    if newly {
+        eprintln!(
+            "gen-nerf-nn: backend {} quarantined after repeated integrity miscompares; \
+             falling back to scalar kernels for the rest of the process",
+            backend.name()
+        );
+    }
+    if super::active_backend() == backend {
+        // set_active consults the latch and installs scalar.
+        super::set_active(Backend::Scalar);
+    }
+    newly
+}
+
+/// `true` when `backend` is latched untrusted.
+pub fn is_quarantined(backend: Backend) -> bool {
+    QUARANTINED.load(Ordering::Relaxed) == super::backend_code(backend)
+}
+
+/// The quarantined backend, if any.
+pub fn quarantined() -> Option<Backend> {
+    match QUARANTINED.load(Ordering::Relaxed) {
+        0 => None,
+        c => Some(super::backend_from_code(c)),
+    }
+}
+
+/// Clears the quarantine latch. Test/bench support only: production
+/// quarantine is deliberately sticky.
+pub fn clear_quarantine_for_tests() {
+    QUARANTINED.store(0, Ordering::Relaxed);
+}
+
+// ---- the checked GEMM wrapper ----------------------------------------
+
+/// Dispatched GEMM entry point: runs `kernel.matmul` and, when the
+/// active [`IntegrityMode`] elects this call, verifies the output
+/// rows against the ABFT checksum, recording any miscompare in the
+/// fault sink. `Off` adds one relaxed atomic load over the raw call.
+pub fn checked_matmul(
+    kernel: &dyn MicroKernel,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    kernel.matmul(a, b, out, m, k, n);
+    let verify = match mode() {
+        IntegrityMode::Off => false,
+        IntegrityMode::Full => true,
+        IntegrityMode::Sample => CALLS.fetch_add(1, Ordering::Relaxed) % SAMPLE_PERIOD == 0,
+    };
+    if !verify || m == 0 || n == 0 {
+        return;
+    }
+    CHECKS.fetch_add(1, Ordering::Relaxed);
+
+    // Chaos hook: perturb one element far beyond its row tolerance so
+    // the verification below must catch it (100%-detection gate).
+    if let Some(seed) = ARMED.lock().unwrap().take() {
+        let row = (seed as usize) % m;
+        let col = ((seed >> 17) as usize) % n;
+        let bound = row_magnitude_bound(&a[row * k..(row + 1) * k], b, n);
+        let delta = (REL * bound + ABS_FLOOR) * 4096.0 + 1.0;
+        out[row * n + col] += delta as f32;
+    }
+
+    if let Some(err) = verify_gemm(kernel.backend(), a, b, out, m, k, n) {
+        record_fault(err);
+    }
+}
+
+/// The tolerance scale of one output row: `Σₖ |A[i,k]| · (|B|·1)[k]`.
+fn row_magnitude_bound(a_row: &[f32], b: &[f32], n: usize) -> f64 {
+    a_row
+        .iter()
+        .zip(b.chunks_exact(n))
+        .map(|(&av, b_row)| {
+            (av as f64).abs() * b_row.iter().map(|&v| (v as f64).abs()).sum::<f64>()
+        })
+        .sum()
+}
+
+/// Sums `xs` widened to `f64` via four independent accumulators. The
+/// naive single-accumulator loop is bound by the f64 add latency
+/// chain, not memory — splitting the chain (and letting LLVM vectorize
+/// the widened lanes) is what keeps `full` checking a single-digit
+/// percentage of an AVX2 GEMM. Reassociation moves the sum by at most
+/// a few ULPs, noise against the [`REL`] tolerance's
+/// orders-of-magnitude headroom.
+#[inline]
+fn sum_f64(xs: &[f32]) -> f64 {
+    let mut s = [0.0f64; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in &mut chunks {
+        for l in 0..4 {
+            s[l] += c[l] as f64;
+        }
+    }
+    let mut st = (s[0] + s[1]) + (s[2] + s[3]);
+    for &v in chunks.remainder() {
+        st += v as f64;
+    }
+    st
+}
+
+/// `Σₖ a[k]·r[k]` with the same four-lane accumulation as [`sum_f64`].
+#[inline]
+fn dot_f64(a_row: &[f32], r: &[f64]) -> f64 {
+    let mut e = [0.0f64; 4];
+    let head = a_row.len() / 4 * 4;
+    let mut i = 0;
+    while i < head {
+        for l in 0..4 {
+            e[l] += a_row[i + l] as f64 * r[i + l];
+        }
+        i += 4;
+    }
+    let mut et = (e[0] + e[1]) + (e[2] + e[3]);
+    for j in head..a_row.len() {
+        et += a_row[j] as f64 * r[j];
+    }
+    et
+}
+
+/// AVX2 lanes for the verification reductions. The checker must not
+/// become the bottleneck it guards against: on large fused batches the
+/// AVX2 GEMM's per-element cost drops enough that portable-f64
+/// checking climbs toward 20% of render time, so the two hot
+/// reductions get `_mm256_cvtps_pd` + packed-f64 accumulation (4×
+/// fewer rounds, same f64 precision). The slow bound path stays
+/// portable — it runs only on corruption or heavy cancellation.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let s = _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// `Σ xs` widened to f64. Caller guarantees AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sum_f64(xs: &[f32]) -> f64 {
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let n8 = xs.len() / 8 * 8;
+        let mut i = 0;
+        while i < n8 {
+            let v = _mm256_loadu_ps(xs.as_ptr().add(i));
+            acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+            acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+            i += 8;
+        }
+        let mut s = hsum(_mm256_add_pd(acc0, acc1));
+        for &v in &xs[n8..] {
+            s += v as f64;
+        }
+        s
+    }
+
+    /// `Σₖ a[k]·r[k]`, `a` widened to f64. Caller guarantees AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_f64(a: &[f32], r: &[f64]) -> f64 {
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let n8 = a.len() / 8 * 8;
+        let mut i = 0;
+        while i < n8 {
+            let v = _mm256_loadu_ps(a.as_ptr().add(i));
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+            acc0 = _mm256_fmadd_pd(lo, _mm256_loadu_pd(r.as_ptr().add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(hi, _mm256_loadu_pd(r.as_ptr().add(i + 4)), acc1);
+            i += 8;
+        }
+        let mut s = hsum(_mm256_add_pd(acc0, acc1));
+        for j in n8..a.len() {
+            s += a[j] as f64 * r[j];
+        }
+        s
+    }
+}
+
+/// Whether the wide verification lanes may run: the CPU must have
+/// them, and the AVX2 backend must not be quarantined — a unit
+/// distrusted for GEMMs does not get to check its own work; the
+/// portable lanes take over and check the scalar GEMMs instead.
+#[inline]
+fn wide_lanes_ok() -> bool {
+    cfg!(target_arch = "x86_64") && Backend::Avx2.available() && !is_quarantined(Backend::Avx2)
+}
+
+/// `Σ xs` widened to f64, dispatching to the AVX2 lanes when allowed.
+#[inline]
+fn vsum_f64(xs: &[f32], wide: bool) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if wide {
+        // SAFETY: `wide` implies `Backend::Avx2.available()`, which
+        // detects avx2+fma at runtime.
+        return unsafe { simd::sum_f64(xs) };
+    }
+    let _ = wide;
+    sum_f64(xs)
+}
+
+/// `Σₖ a[k]·r[k]`, dispatching to the AVX2 lanes when allowed.
+#[inline]
+fn vdot_f64(a_row: &[f32], r: &[f64], wide: bool) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if wide {
+        // SAFETY: as in `vsum_f64`.
+        return unsafe { simd::dot_f64(a_row, r) };
+    }
+    let _ = wide;
+    dot_f64(a_row, r)
+}
+
+/// `Σₖ |a[k]|·rabs[k]` — the slow-path tolerance scale.
+#[inline]
+fn abs_dot_f64(a_row: &[f32], rabs: &[f64]) -> f64 {
+    let mut bo = [0.0f64; 4];
+    let head = a_row.len() / 4 * 4;
+    let mut i = 0;
+    while i < head {
+        for l in 0..4 {
+            bo[l] += (a_row[i + l] as f64).abs() * rabs[i + l];
+        }
+        i += 4;
+    }
+    let mut bt = (bo[0] + bo[1]) + (bo[2] + bo[3]);
+    for j in head..a_row.len() {
+        bt += (a_row[j] as f64).abs() * rabs[j];
+    }
+    bt
+}
+
+/// Verifies `out = a·b` against the row-checksum identity, returning
+/// the first miscomparing row. Pure — no mode gating, no fault sink —
+/// so tests exercise detection directly; [`checked_matmul`] is the
+/// dispatched entry that layers both on top.
+///
+/// Two-tier tolerance: since `|r[k]| ≤ rabs[k]` termwise, the checksum
+/// itself satisfies `|expected| ≤ bound`, so `REL·|expected| +
+/// ABS_FLOOR` *lower-bounds* the true tolerance — a residual inside it
+/// is inside the true tolerance a fortiori, and the clean path never
+/// touches the magnitude bound at all. Only a row that misses the fast
+/// accept (corruption, or heavy cancellation in the checksum) pays for
+/// `|B|·1` and the per-row `Σ|A|·rabs` — computed lazily, once.
+pub fn verify_gemm(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    out: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Option<IntegrityError> {
+    let wide = wide_lanes_ok();
+    // One extra GEMV: r = B·1.
+    let mut r = vec![0.0f64; k];
+    for (kk, row) in b.chunks_exact(n).enumerate() {
+        r[kk] = vsum_f64(row, wide);
+    }
+    let mut rabs: Option<Vec<f64>> = None;
+
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &out[i * n..(i + 1) * n];
+        let observed = vsum_f64(c_row, wide);
+        let expected = vdot_f64(a_row, &r, wide);
+        let diff = (observed - expected).abs();
+        if diff <= REL * expected.abs() + ABS_FLOOR {
+            continue; // fast accept — a NaN diff falls through
+        }
+        let rabs = rabs.get_or_insert_with(|| {
+            b.chunks_exact(n)
+                .map(|row| row.iter().map(|&v| (v as f64).abs()).sum())
+                .collect()
+        });
+        let bound = abs_dot_f64(a_row, rabs);
+        let tolerance = REL * bound + ABS_FLOOR;
+        // Written `!(x <= tol)` so a NaN/Inf row sum also trips.
+        if !(diff <= tolerance) {
+            return Some(IntegrityError {
+                backend,
+                row: i,
+                m,
+                k,
+                n,
+                observed,
+                expected,
+                tolerance,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::kernel_for;
+    use proptest::prelude::*;
+
+    fn runnable_backends() -> Vec<Backend> {
+        let mut v = vec![Backend::Scalar];
+        if Backend::Avx2.available() {
+            v.push(Backend::Avx2);
+        }
+        v
+    }
+
+    #[test]
+    fn mode_parses_known_names() {
+        assert_eq!(IntegrityMode::parse("off"), Ok(IntegrityMode::Off));
+        assert_eq!(IntegrityMode::parse(""), Ok(IntegrityMode::Off));
+        assert_eq!(IntegrityMode::parse(" Sample "), Ok(IntegrityMode::Sample));
+        assert_eq!(IntegrityMode::parse("FULL"), Ok(IntegrityMode::Full));
+        assert!(IntegrityMode::parse("paranoid").is_err());
+    }
+
+    /// A clean GEMM output passes verification on every backend, for
+    /// shapes spanning full tiles and every edge path — the
+    /// zero-false-positive half of the ABFT contract.
+    #[test]
+    fn clean_gemm_outputs_verify_on_every_backend() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (6, 8, 16),
+            (7, 13, 17),
+            (12, 64, 33),
+            (23, 19, 9),
+        ] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 37 % 97) as f32 - 48.0) * 0.21)
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 53 % 89) as f32 - 44.0) * 0.17)
+                .collect();
+            for backend in runnable_backends() {
+                let mut out = vec![f32::NAN; m * n];
+                kernel_for(backend).matmul(&a, &b, &mut out, m, k, n);
+                assert_eq!(
+                    verify_gemm(backend, &a, &b, &out, m, k, n),
+                    None,
+                    "{}: clean {m}x{k}x{n} false-positived",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    /// NaN and Inf in the output always trip verification (the
+    /// `!(diff <= tol)` form), pinpointing the poisoned row.
+    #[test]
+    fn non_finite_outputs_always_trip() {
+        let (m, k, n) = (4usize, 5usize, 6usize);
+        let a = vec![0.5f32; m * k];
+        let b = vec![0.25f32; k * n];
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut out = vec![f32::NAN; m * n];
+            kernel_for(Backend::Scalar).matmul(&a, &b, &mut out, m, k, n);
+            out[2 * n + 3] = poison;
+            let err = verify_gemm(Backend::Scalar, &a, &b, &out, m, k, n)
+                .expect("poisoned output must miscompare");
+            assert_eq!(err.row, 2);
+        }
+    }
+
+    // The quarantine latch test lives in `tests/quarantine.rs`: it
+    // must flip the process-global active backend, which would race
+    // the dispatched bitwise property tests sharing this test binary.
+
+    #[test]
+    fn fault_sink_is_first_write_wins_until_drained() {
+        let err = |row| IntegrityError {
+            backend: Backend::Scalar,
+            row,
+            m: 1,
+            k: 1,
+            n: 1,
+            observed: 1.0,
+            expected: 0.0,
+            tolerance: 1e-6,
+        };
+        // Drain whatever a concurrent test may have left behind.
+        let _ = take_fault();
+        record_fault(err(7));
+        record_fault(err(9));
+        assert_eq!(take_fault().map(|e| e.row), Some(7));
+        assert_eq!(take_fault(), None);
+    }
+
+    proptest! {
+        /// The satellite contract: ABFT detects **any** single-element
+        /// perturbation above the row tolerance (and never flags the
+        /// clean output), on both `GEN_NERF_KERNEL` backends.
+        #[test]
+        fn prop_single_element_perturbation_is_detected(
+            m in 1usize..9,
+            k in 1usize..17,
+            n in 1usize..21,
+            idx in 0usize..9 * 21,
+            scale in 1.5f64..1000.0,
+            raw in proptest::collection::vec(-4.0f32..4.0, 9 * 17 + 17 * 21),
+        ) {
+            let a = &raw[..m * k];
+            let b = &raw[9 * 17..9 * 17 + k * n];
+            let idx = idx % (m * n);
+            for backend in runnable_backends() {
+                let mut out = vec![f32::NAN; m * n];
+                kernel_for(backend).matmul(a, b, &mut out, m, k, n);
+                prop_assert_eq!(
+                    verify_gemm(backend, a, b, &out, m, k, n),
+                    None,
+                    "{}: clean output flagged", backend.name()
+                );
+                let row = idx / n;
+                let bound = row_magnitude_bound(&a[row * k..(row + 1) * k], b, n);
+                let delta = (REL * bound + 1e-6) * scale;
+                out[idx] += delta as f32;
+                let err = verify_gemm(backend, a, b, &out, m, k, n);
+                prop_assert!(
+                    err.is_some(),
+                    "{}: perturbation of {delta:.3e} at {idx} undetected",
+                    backend.name()
+                );
+                prop_assert_eq!(err.unwrap().row, row);
+            }
+        }
+    }
+}

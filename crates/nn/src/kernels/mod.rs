@@ -46,6 +46,7 @@
 //! property tests below. Keep the positional-independence rule above
 //! or the fused-inference regression suite will catch you.
 
+pub mod integrity;
 pub mod scalar;
 
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
@@ -193,6 +194,14 @@ pub trait MicroKernel: Sync {
     /// `x.len()` must not exceed `acc.len()` or `mean.len()`.
     fn sq_diff_add(&self, acc: &mut [f32], x: &[f32], mean: &[f32]);
 
+    /// `true` when every element of `data` is finite — the
+    /// stage-boundary sentinel scan of the render pipeline. Finiteness
+    /// of an `f32` is exactly "exponent bits ≠ all-ones", a pure bit
+    /// predicate with no rounding, so every backend agrees on every
+    /// input (including NaN payloads and ±0.0) — parity is pinned
+    /// bitwise by the property tests below.
+    fn is_finite_all(&self, data: &[f32]) -> bool;
+
     /// INT8 GEMM with i32 accumulation: `out[i,j] = (Σₖ a[i,k]·b[k,j])
     /// as f32 · scale_a · scale_b` (two rescale multiplications, in
     /// that order — the historical arithmetic). Integer accumulation
@@ -256,6 +265,12 @@ pub fn active_backend() -> Backend {
     match ACTIVE.load(Ordering::Relaxed) {
         0 => {
             let b = Backend::from_env();
+            // A backend quarantined before first use never activates.
+            let b = if integrity::is_quarantined(b) {
+                Backend::Scalar
+            } else {
+                b
+            };
             // A concurrent first use may win the race; both candidates
             // resolved the same environment, so either store is fine.
             ACTIVE.store(backend_code(b), Ordering::Relaxed);
@@ -272,14 +287,17 @@ pub fn active() -> &'static dyn MicroKernel {
 }
 
 /// Overrides the active backend at runtime, returning the backend
-/// actually installed (an unavailable request degrades to scalar).
+/// actually installed (an unavailable **or quarantined** request
+/// degrades to scalar — see [`integrity::quarantine`]; the latch is
+/// sticky, so a quarantined backend cannot be re-activated for the
+/// rest of the process).
 ///
 /// Intended for benchmarks that compare backends within one process
 /// and for the dispatch tests; ordinary code should rely on the
 /// startup selection. Callers switching backends mid-process own the
 /// consistency of any bit-exactness comparison spanning the switch.
 pub fn set_active(backend: Backend) -> Backend {
-    let effective = if backend.available() {
+    let effective = if backend.available() && !integrity::is_quarantined(backend) {
         backend
     } else {
         Backend::Scalar
@@ -474,6 +492,78 @@ mod tests {
                         "{}: cols {cols} elem {i}: {a} vs {b}",
                         backend.name()
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_all_neg_inf_rows_pin_uniform_fallback() {
+        // The guarded behavior of a fully-masked row, identical on
+        // every backend: exactly 1/cols in every slot (bitwise — it is
+        // a constant fill, no arithmetic path). Mixed data must leave
+        // ordinary rows on the normal path.
+        for cols in [1usize, 2, 7, 8, 9, 24, 33] {
+            for backend in runnable_backends() {
+                let mut data = vec![f32::NEG_INFINITY; 3 * cols];
+                // Middle row is ordinary.
+                for (j, v) in data[cols..2 * cols].iter_mut().enumerate() {
+                    *v = j as f32 * 0.25 - 1.0;
+                }
+                kernel_for(backend).softmax_rows(&mut data, cols);
+                let uniform = 1.0 / cols as f32;
+                for r in [0usize, 2] {
+                    for (j, &v) in data[r * cols..(r + 1) * cols].iter().enumerate() {
+                        assert_eq!(
+                            v.to_bits(),
+                            uniform.to_bits(),
+                            "{}: cols {cols} row {r} elem {j} = {v}",
+                            backend.name()
+                        );
+                    }
+                }
+                let mid: f32 = data[cols..2 * cols].iter().sum();
+                assert!(
+                    data[cols..2 * cols].iter().all(|v| v.is_finite()) && (mid - 1.0).abs() < 1e-5,
+                    "{}: cols {cols} ordinary row disturbed",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_finite_all_backends_agree_on_every_pattern() {
+        // Lengths spanning the vector body and the scalar remainder;
+        // poison kinds covering NaN (quiet + payload), ±Inf and the
+        // largest finite values. Placement sweeps every lane.
+        let poisons = [
+            f32::NAN,
+            f32::from_bits(0x7f80_0001), // signalling-style NaN payload
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ];
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 40] {
+            let clean: Vec<f32> = (0..len)
+                .map(|i| (i as f32 - 3.5) * (f32::MAX / 64.0))
+                .collect();
+            for backend in runnable_backends() {
+                let kern = kernel_for(backend);
+                assert!(
+                    kern.is_finite_all(&clean),
+                    "{}: clean len {len} flagged",
+                    backend.name()
+                );
+                for pos in 0..len {
+                    for &poison in &poisons {
+                        let mut data = clean.clone();
+                        data[pos] = poison;
+                        assert!(
+                            !kern.is_finite_all(&data),
+                            "{}: {poison} at {pos}/{len} missed",
+                            backend.name()
+                        );
+                    }
                 }
             }
         }

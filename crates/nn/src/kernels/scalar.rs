@@ -160,6 +160,13 @@ impl MicroKernel for ScalarKernel {
         }
         for row in data.chunks_exact_mut(cols) {
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            // All-(-inf) row: `v − max` would be NaN for every element
+            // (a fully-masked attention row). The pinned guarded
+            // behavior on every backend is the uniform distribution.
+            if max == f32::NEG_INFINITY {
+                row.fill(1.0 / cols as f32);
+                continue;
+            }
             let mut total = 0.0;
             for v in row.iter_mut() {
                 *v = (*v - max).exp();
@@ -169,6 +176,13 @@ impl MicroKernel for ScalarKernel {
                 *v /= total;
             }
         }
+    }
+
+    fn is_finite_all(&self, data: &[f32]) -> bool {
+        // `f32::is_finite` is the bit predicate "exponent ≠ all-ones";
+        // no arithmetic, so this is the exact reference for every
+        // backend.
+        data.iter().all(|v| v.is_finite())
     }
 
     fn int8_matmul(

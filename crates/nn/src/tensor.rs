@@ -166,21 +166,52 @@ impl Tensor2 {
     /// allocating a fresh tensor per product. Bit-identical to
     /// [`Tensor2::matmul`].
     ///
+    /// This dispatched path runs through the ABFT integrity wrapper
+    /// ([`crate::kernels::integrity`]): with `GEN_NERF_INTEGRITY` off
+    /// (the default) that adds one relaxed atomic load; in `sample`/
+    /// `full` mode elected calls verify their output rows against the
+    /// row-checksum identity, recording miscompares in the process
+    /// fault sink. The output values themselves are untouched either
+    /// way.
+    ///
     /// # Panics
     ///
     /// Panics when the inner dimensions disagree.
     pub fn matmul_into(&self, rhs: &Self, out: &mut Self) {
-        self.matmul_into_with(rhs, out, kernels::active());
+        self.matmul_prepare(rhs, out);
+        kernels::integrity::checked_matmul(
+            kernels::active(),
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
-    /// [`Tensor2::matmul_into`] through an explicit kernel (tests and
-    /// benchmarks compare backends this way; ordinary code uses the
-    /// dispatched [`Tensor2::matmul_into`]).
+    /// [`Tensor2::matmul_into`] through an explicit kernel, bypassing
+    /// the integrity wrapper (tests and benchmarks compare backends
+    /// this way; ordinary code uses the dispatched
+    /// [`Tensor2::matmul_into`]).
     ///
     /// # Panics
     ///
     /// Panics when the inner dimensions disagree.
     pub fn matmul_into_with(&self, rhs: &Self, out: &mut Self, kernel: &dyn MicroKernel) {
+        self.matmul_prepare(rhs, out);
+        kernel.matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
+    }
+
+    /// Shared shape check + `out` resize of the `matmul_into` family.
+    fn matmul_prepare(&self, rhs: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dims: {}x{} * {}x{}",
@@ -191,14 +222,6 @@ impl Tensor2 {
         // The kernel overwrites every element, so the resize fill value
         // never survives.
         out.data.resize(self.rows * rhs.cols, 0.0);
-        kernel.matmul(
-            &self.data,
-            &rhs.data,
-            &mut out.data,
-            self.rows,
-            self.cols,
-            rhs.cols,
-        );
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.

@@ -1,0 +1,31 @@
+//! The kernel quarantine latch, in its own test binary: latching
+//! flips the process-global active backend, so these assertions must
+//! not share a process with the dispatched bitwise property tests of
+//! the unit suite.
+
+use gen_nerf_nn::kernels::{self, integrity, Backend};
+
+#[test]
+fn quarantine_latch_is_sticky_and_blocks_reactivation() {
+    assert_eq!(integrity::quarantined(), None);
+
+    // Latching is an event exactly once.
+    assert!(integrity::quarantine(Backend::Avx2));
+    assert!(!integrity::quarantine(Backend::Avx2));
+    assert!(integrity::is_quarantined(Backend::Avx2));
+    assert_eq!(integrity::quarantined(), Some(Backend::Avx2));
+
+    // The latched backend cannot be installed, explicitly or on the
+    // next dispatch.
+    assert_eq!(kernels::set_active(Backend::Avx2), Backend::Scalar);
+    assert_eq!(kernels::active_backend(), Backend::Scalar);
+    assert_eq!(kernels::active().backend(), Backend::Scalar);
+
+    // Cleared (tests only), the backend is installable again where
+    // the host supports it.
+    integrity::clear_quarantine_for_tests();
+    if Backend::Avx2.available() {
+        assert_eq!(kernels::set_active(Backend::Avx2), Backend::Avx2);
+    }
+    kernels::set_active(Backend::from_env());
+}

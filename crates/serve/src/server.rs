@@ -118,6 +118,22 @@ pub enum Fault {
     /// deadline budget is reclaimed by the watchdog instead of parking
     /// the shard worker.
     Stall(Duration),
+    /// Corrupt one GEMM output of the first render attempt (a
+    /// supra-tolerance perturbation armed via
+    /// `gen_nerf_nn::kernels::integrity::arm_corruption`, seeded by
+    /// the payload). With `GEN_NERF_INTEGRITY` enabled the ABFT
+    /// checksum detects it, the batch fails over to solo retries, and
+    /// the retried frame is bitwise a never-faulted render.
+    CorruptGemm(u64),
+    /// Poison one composited pixel (NaN) of the first render attempt,
+    /// before the pipeline's composite-boundary sentinel — proving
+    /// corrupt pixels are caught at the publish boundary, not served.
+    CorruptPixels(u64),
+    /// Poison the session's retained coarse anchors before the cache
+    /// lookup. The import digest check rejects the poisoned anchors as
+    /// counted misses, so the frame re-probes instead of shading from
+    /// corrupt Step ① data; the frame itself still resolves `Ok`.
+    CorruptAnchor(u64),
 }
 
 impl Fault {
@@ -127,7 +143,10 @@ impl Fault {
     pub(crate) fn fires(self, attempt: u32) -> bool {
         match self {
             Fault::Panic | Fault::Stall(_) => true,
-            Fault::PanicOnce => attempt == 0,
+            Fault::PanicOnce
+            | Fault::CorruptGemm(_)
+            | Fault::CorruptPixels(_)
+            | Fault::CorruptAnchor(_) => attempt == 0,
         }
     }
 }

@@ -258,6 +258,10 @@ pub struct CacheStats {
     pub bypasses: u64,
     /// Anchors evicted to keep the session under its byte budget.
     pub evictions: u64,
+    /// Anchors rejected at import because their payload digest or ray
+    /// count no longer matched (each is discarded and the frame
+    /// re-probes as a miss).
+    pub integrity_rejects: u64,
 }
 
 impl CacheStats {
@@ -294,26 +298,67 @@ pub(crate) struct CoarseCache {
     entries: VecDeque<CacheEntry>,
     /// Σ `entry_bytes` over `entries`.
     bytes: usize,
+    /// Anchors discarded at lookup because their payload digest or
+    /// ray count failed validation.
+    rejected: u64,
 }
 
 impl CoarseCache {
     /// Finds an anchor coherent with `pose` at `tier`; a hit is
     /// promoted to most-recently-used so budget pressure evicts stale
     /// anchors first.
+    ///
+    /// An import is never trusted implicitly: a candidate whose ray
+    /// count differs from `expected_rays` (the tier's pixel grid) or
+    /// whose payload digest no longer matches its seal
+    /// ([`CoarseFrame::integrity_ok`]) is discarded on the spot —
+    /// counted in [`CacheStats::integrity_rejects`] — and the search
+    /// continues, so the frame re-probes (a miss) instead of shading
+    /// from a stale or corrupted coarse pass.
     pub fn lookup(
         &mut self,
         tier: ResolutionTier,
         pose: &Pose,
         cfg: &CoherenceConfig,
+        expected_rays: usize,
     ) -> Option<Arc<CoarseFrame>> {
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.tier == tier && poses_coherent(&e.pose, pose, cfg))?;
-        let entry = self.entries.remove(idx).expect("position is in range");
-        let coarse = Arc::clone(&entry.coarse);
-        self.entries.push_front(entry);
-        Some(coarse)
+        loop {
+            let idx = self
+                .entries
+                .iter()
+                .position(|e| e.tier == tier && poses_coherent(&e.pose, pose, cfg))?;
+            let entry = &self.entries[idx];
+            if entry.coarse.n_rays() == expected_rays && entry.coarse.integrity_ok() {
+                let entry = self.entries.remove(idx).expect("position is in range");
+                let coarse = Arc::clone(&entry.coarse);
+                self.entries.push_front(entry);
+                return Some(coarse);
+            }
+            let bad = self.entries.remove(idx).expect("position is in range");
+            self.bytes -= entry_bytes(&bad);
+            self.rejected += 1;
+        }
+    }
+
+    /// Anchors discarded by import validation so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Fault-injection hook for the corruption chaos harness: poisons
+    /// the payload of every retained anchor (each behind a fresh `Arc`
+    /// so in-flight renders holding the old one are untouched) without
+    /// resealing, so the next lookup rejects them. Returns how many
+    /// anchors were poisoned — zero means the injection was a no-op.
+    pub fn corrupt_for_chaos(&mut self, seed: u64) -> u64 {
+        let mut poisoned = 0;
+        for entry in &mut self.entries {
+            let mut frame = (*entry.coarse).clone();
+            frame.corrupt_for_chaos(seed.wrapping_add(poisoned));
+            entry.coarse = Arc::new(frame);
+            poisoned += 1;
+        }
+        poisoned
     }
 
     /// Anchors `entry` as most-recently-used and evicts from the LRU
@@ -398,6 +443,11 @@ impl SessionState {
             misses: self.misses.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            integrity_rejects: self
+                .cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .rejected(),
         }
     }
 }
@@ -471,6 +521,7 @@ mod tests {
             misses: 1,
             bypasses: 10,
             evictions: 2,
+            integrity_rejects: 0,
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
@@ -529,18 +580,29 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // A hit on the older anchor promotes it.
         let cfg = CoherenceConfig::within(0.01, 0.01);
-        assert!(cache.lookup(ResolutionTier::Full, &pose0, &cfg).is_some());
+        let rays = coarse0.n_rays();
+        assert!(cache
+            .lookup(ResolutionTier::Full, &pose0, &cfg, rays)
+            .is_some());
         // Tier mismatch and incoherent poses miss.
-        assert!(cache.lookup(ResolutionTier::Half, &pose0, &cfg).is_none());
+        assert!(cache
+            .lookup(ResolutionTier::Half, &pose0, &cfg, rays)
+            .is_none());
         let (pose2, coarse2) = export(2);
-        assert!(cache.lookup(ResolutionTier::Full, &pose2, &cfg).is_none());
+        assert!(cache
+            .lookup(ResolutionTier::Full, &pose2, &cfg, rays)
+            .is_none());
         // Third insert blows the budget: the LRU tail (pose1, demoted
         // by pose0's promotion) is evicted.
         assert_eq!(cache.insert(mk(pose2, &coarse2), budget), 1);
         assert_eq!(cache.len(), 2);
         assert!(cache.bytes() <= budget);
-        assert!(cache.lookup(ResolutionTier::Full, &pose1, &cfg).is_none());
-        assert!(cache.lookup(ResolutionTier::Full, &pose0, &cfg).is_some());
+        assert!(cache
+            .lookup(ResolutionTier::Full, &pose1, &cfg, rays)
+            .is_none());
+        assert!(cache
+            .lookup(ResolutionTier::Full, &pose0, &cfg, rays)
+            .is_some());
         // A zero budget retains nothing — even the fresh insert is
         // evicted and counted.
         let mut empty = CoarseCache::default();
@@ -560,9 +622,15 @@ mod tests {
         assert_eq!(keep.insert(mk(pose2, &coarse2), 1), 1);
         assert_eq!(keep.len(), 2, "retained anchors survived");
         assert_eq!(keep.bytes(), bytes_before);
-        assert!(keep.lookup(ResolutionTier::Full, &pose0, &cfg).is_some());
-        assert!(keep.lookup(ResolutionTier::Full, &pose1, &cfg).is_some());
-        assert!(keep.lookup(ResolutionTier::Full, &pose2, &cfg).is_none());
+        assert!(keep
+            .lookup(ResolutionTier::Full, &pose0, &cfg, rays)
+            .is_some());
+        assert!(keep
+            .lookup(ResolutionTier::Full, &pose1, &cfg, rays)
+            .is_some());
+        assert!(keep
+            .lookup(ResolutionTier::Full, &pose2, &cfg, rays)
+            .is_none());
     }
 
     #[test]

@@ -21,17 +21,32 @@
 //! [`RetryPolicy`], bitwise identical to a clean render. Every frame's
 //! final outcome (success, failure, timeout) is recorded into its
 //! scene's breaker so repeated failures open the circuit at admission.
+//!
+//! Output integrity (PR 8) closes the remaining gap: batches render
+//! through the pipeline's fallible API, so a GEMM checksum miscompare
+//! or a tripped stage sentinel fails the batch with
+//! [`RenderError::Corrupt`] *before* any pixel is published. A corrupt
+//! batch is treated exactly like a transient panic — every member
+//! re-renders solo under the retry policy, and the scene's breaker
+//! sees the failure. Repeated GEMM miscompares while a SIMD kernel
+//! backend is active quarantine that backend process-wide
+//! ([`integrity::quarantine`]): all further math falls back to the
+//! scalar kernels, which are bitwise-identical by the dispatch
+//! contract. Cache anchors are digest-checked at import; a corrupted
+//! anchor is discarded and counted as a miss instead of seeding a
+//! fresh render with poisoned weights.
 
 use crate::admission::{AdmissionStats, FairQueue};
 use crate::server::{fulfill, fulfill_error, CacheOutcome, Fault, FrameResult, ServeStats, Slot};
 use crate::session::{CacheEntry, DeadlineClass, ResolutionTier, SessionMap, SessionState};
 use crate::supervisor::{CircuitBreaker, RetryPolicy, Supervisor};
 use gen_nerf::config::SamplingStrategy;
-use gen_nerf::pipeline::{CoarseFrame, RenderStats, Renderer};
+use gen_nerf::pipeline::{self, CoarseFrame, RenderError, RenderStats, Renderer};
 use gen_nerf_geometry::{Camera, Pose};
+use gen_nerf_nn::kernels::{self, integrity, Backend};
 use gen_nerf_parallel::{CancelToken, Pool};
 use gen_nerf_scene::Image;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -83,6 +98,13 @@ pub(crate) struct ShardShared {
     pub retries: AtomicU64,
     /// Fused render jobs executed.
     pub batches: AtomicU64,
+    /// Render attempts that failed integrity verification (GEMM
+    /// checksum miscompare or a tripped stage sentinel) and were never
+    /// published.
+    pub corrupt: AtomicU64,
+    /// Times this shard latched the process-wide kernel quarantine
+    /// (repeated SIMD miscompares demoting to the scalar backend).
+    pub quarantined: AtomicU64,
 }
 
 impl ShardShared {
@@ -114,6 +136,14 @@ pub struct ShardStats {
     /// Fused render jobs executed (`rendered_frames / batches` is the
     /// shard's average batch occupancy).
     pub batches: u64,
+    /// Render attempts caught by the integrity machinery (ABFT GEMM
+    /// checksum or a stage sentinel) before any pixel was published.
+    /// Each detection feeds the retry path, so a transient corruption
+    /// shows up here *and* in `retries`, not in `failed_frames`.
+    pub corrupt_renders: u64,
+    /// Times this shard tripped the process-wide kernel quarantine,
+    /// demoting the active SIMD backend to scalar for good.
+    pub quarantine_events: u64,
     /// Persistent render workers owned by this shard.
     pub pool_threads: usize,
 }
@@ -173,6 +203,8 @@ impl Shard {
             failed_frames: self.shared.failed.load(Ordering::Relaxed),
             retries: self.shared.retries.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
+            corrupt_renders: self.shared.corrupt.load(Ordering::Relaxed),
+            quarantine_events: self.shared.quarantined.load(Ordering::Relaxed),
             pool_threads: self.pool_threads,
         }
     }
@@ -190,6 +222,43 @@ impl Shard {
 impl Drop for Shard {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Cumulative GEMM-checksum miscompares observed under a SIMD backend,
+/// across every shard in the process. The counter is process-wide on
+/// purpose: quarantine is a verdict about the *hardware/kernel* pair,
+/// not about any one scene's queue.
+static SIMD_MISCOMPARES: AtomicU32 = AtomicU32::new(0);
+
+/// Miscompares under a SIMD backend tolerated before that backend is
+/// quarantined process-wide. One miscompare can be a stray bit flip;
+/// a repeat offender is a broken unit.
+const QUARANTINE_AFTER: u32 = 3;
+
+/// Books one corrupt render attempt and applies the quarantine policy:
+/// a GEMM-stage miscompare while a non-scalar backend is active counts
+/// a strike against that backend, and strike `QUARANTINE_AFTER` latches
+/// the process-wide quarantine (`kernels` demotes to scalar, sticky).
+/// Sentinel trips never strike — a non-finite pixel indicts the math
+/// upstream, not the SIMD unit specifically.
+fn note_corrupt_render(err: &RenderError, shared: &ShardShared) {
+    shared.corrupt.fetch_add(1, Ordering::Relaxed);
+    let RenderError::Corrupt { stage, detail } = err;
+    if *stage != "gemm" {
+        return;
+    }
+    let backend = kernels::active_backend();
+    if backend == Backend::Scalar {
+        return;
+    }
+    let strikes = SIMD_MISCOMPARES.fetch_add(1, Ordering::Relaxed) + 1;
+    if strikes >= QUARANTINE_AFTER && integrity::quarantine(backend) {
+        shared.quarantined.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "gen-nerf-serve: quarantined kernel backend {backend:?} after \
+             {strikes} GEMM miscompares (last: {detail}); serving on scalar"
+        );
     }
 }
 
@@ -364,7 +433,7 @@ fn execute_group(
         render_group(shard, pool, &group, buffers, &cancel, 0)
     }));
     let first_error = match outcome {
-        Ok(results) => {
+        Ok(Ok(results)) => {
             if !cancel.is_cancelled() {
                 for ((frame, _), result) in group.into_iter().zip(results) {
                     conclude(frame, Ok(result), shared, supervisor);
@@ -375,6 +444,14 @@ fn execute_group(
             // background: every member's output is suspect, so none
             // may be fulfilled. Unresolved members re-render solo.
             "render cancelled by a timed-out batch member".to_string()
+        }
+        // Integrity verification failed: the batch's pixels were never
+        // published and every member is retryable, exactly like a
+        // panic — corruption is transient until quarantine says
+        // otherwise.
+        Ok(Err(err)) => {
+            note_corrupt_render(&err, shared);
+            err.to_string()
         }
         Err(payload) => panic_message(payload.as_ref()),
     };
@@ -476,14 +553,21 @@ fn retry_frame(
             )
         }));
         match outcome {
-            Ok(mut results) if !cancel.is_cancelled() => {
+            Ok(Ok(mut results)) if !cancel.is_cancelled() => {
                 let result = results.pop().expect("one frame in, one result out");
                 conclude(pair.0, Ok(result), shared, supervisor);
                 return;
             }
             // Cancelled mid-retry: the top-of-loop check (or the
             // exhausted path below) observes the resolved slot.
-            Ok(_) => {}
+            Ok(Ok(_)) => {}
+            // The retry itself produced corrupt output — book it and
+            // keep retrying (quarantine may demote the backend between
+            // attempts, which is exactly the recovery path).
+            Ok(Err(err)) => {
+                note_corrupt_render(&err, shared);
+                last_error = err.to_string();
+            }
             Err(payload) => last_error = panic_message(payload.as_ref()),
         }
     }
@@ -527,7 +611,7 @@ fn render_group(
     buffers: Vec<Option<Image>>,
     cancel: &CancelToken,
     attempt: u32,
-) -> Vec<FrameResult> {
+) -> Result<Vec<FrameResult>, RenderError> {
     let started = Instant::now();
     let n = group.len();
     let scene = &group[0].1.scene;
@@ -536,7 +620,9 @@ fn render_group(
 
     // Injected faults fire inside the batch's unwind boundary, exactly
     // where a real mid-frame failure would: after admission, before
-    // the frame resolves.
+    // the frame resolves. The corruption family arms the pipeline's
+    // chaos hooks — a supra-tolerance GEMM perturbation or a poisoned
+    // pixel — which the integrity machinery must then catch.
     for (frame, _) in group {
         let Some(fault) = frame.fault else { continue };
         if !fault.fires(attempt) {
@@ -545,20 +631,25 @@ fn render_group(
         match fault {
             Fault::Stall(delay) => cancellable_sleep(delay, cancel),
             Fault::Panic | Fault::PanicOnce => panic!("injected render fault"),
+            Fault::CorruptGemm(seed) => integrity::arm_corruption(seed),
+            Fault::CorruptPixels(seed) => pipeline::arm_pixel_corruption(seed),
+            // Fired below, against the session's cache under its lock.
+            Fault::CorruptAnchor(_) => {}
         }
     }
 
     // Cache lookups resolve against each session's anchors *before*
     // the job, so a batch behaves exactly like the same frames served
-    // one at a time in admission order.
+    // one at a time in admission order. Imports are validated: an
+    // anchor whose digest or ray count no longer checks out is
+    // discarded and the lookup counts as a miss.
     let mut cameras: Vec<Camera> = Vec::with_capacity(n);
     let mut cached_arcs: Vec<Option<Arc<CoarseFrame>>> = Vec::with_capacity(n);
     let mut outcomes: Vec<CacheOutcome> = Vec::with_capacity(n);
     for (frame, state) in group {
-        cameras.push(Camera::new(
-            frame.tier.apply(state.cfg.intrinsics),
-            frame.pose,
-        ));
+        let intrinsics = frame.tier.apply(state.cfg.intrinsics);
+        let expected_rays = intrinsics.width as usize * intrinsics.height as usize;
+        cameras.push(Camera::new(intrinsics, frame.pose));
         if !is_ctf || !state.cfg.coherence.enabled {
             state.bypasses.fetch_add(1, Ordering::Relaxed);
             cached_arcs.push(None);
@@ -566,7 +657,12 @@ fn render_group(
             continue;
         }
         let mut cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
-        match cache.lookup(frame.tier, &frame.pose, &state.cfg.coherence) {
+        if let Some(fault @ Fault::CorruptAnchor(seed)) = frame.fault {
+            if fault.fires(attempt) {
+                cache.corrupt_for_chaos(seed);
+            }
+        }
+        match cache.lookup(frame.tier, &frame.pose, &state.cfg.coherence, expected_rays) {
             Some(coarse) => {
                 state.hits.fetch_add(1, Ordering::Relaxed);
                 cached_arcs.push(Some(coarse));
@@ -597,7 +693,11 @@ fn render_group(
         .collect();
     let mut stats = vec![RenderStats::default(); n];
     let cached_refs: Vec<Option<&CoarseFrame>> = cached_arcs.iter().map(|c| c.as_deref()).collect();
-    let exports = renderer.render_frames_cached(&cameras, &cached_refs, &mut images, &mut stats);
+    // The fallible render: a GEMM miscompare or a tripped sentinel
+    // surfaces here as `RenderError::Corrupt` — nothing downstream
+    // (fulfill, cache anchoring) ever sees the poisoned output.
+    let exports =
+        renderer.try_render_frames_cached(&cameras, &cached_refs, &mut images, &mut stats)?;
     let finished = Instant::now();
 
     // Anchor fresh coarse passes, in admission order; the LRU tail is
@@ -627,7 +727,7 @@ fn render_group(
         }
     }
 
-    images
+    Ok(images
         .into_iter()
         .zip(stats)
         .zip(outcomes)
@@ -646,7 +746,7 @@ fn render_group(
                 tier: frame.tier,
             },
         })
-        .collect()
+        .collect())
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
