@@ -31,7 +31,11 @@
 //! runs it on both `GEN_NERF_KERNEL` legs). In **every** mode the
 //! fused render's allocations/frame are measured on the full frame
 //! workload and checked against [`ALLOC_CEILING`]; exceeding it exits
-//! non-zero, failing CI — the arena win cannot silently rot.
+//! non-zero, failing CI — the arena win cannot silently rot. The same
+//! workload also times the fused render with the global telemetry
+//! switch off vs on and fails if the observability cost exceeds
+//! [`TELEMETRY_OVERHEAD_CEILING_PCT`] (the `TELEMETRY_OVERHEAD_GATE`
+//! line CI greps for).
 
 use gen_nerf::config::{ModelConfig, SamplingStrategy};
 use gen_nerf::features::{
@@ -84,6 +88,13 @@ fn allocations() -> u64 {
 /// `tests/arena_regression.rs`. Exceeding it makes this binary — and
 /// therefore CI — fail.
 const ALLOC_CEILING: u64 = gen_nerf::pipeline::STEADY_STATE_ALLOC_CEILING;
+
+/// Ceiling on the fused render's telemetry cost: the wall-clock delta
+/// between rendering with the global telemetry switch off and on.
+/// Stage timers and histogram observations are a handful of relaxed
+/// atomics per chunk, so anything past a few percent means
+/// instrumentation crept onto a per-point path.
+const TELEMETRY_OVERHEAD_CEILING_PCT: f64 = 3.0;
 
 /// Times `f` over `reps` repetitions, returning seconds per repetition
 /// (best of five batches after one warm-up batch, to shrug off
@@ -322,6 +333,69 @@ fn main() {
     let frame_rays_per_sec_fused_scalar = frame_rays / t_frame_fused_scalar;
     let frame_rays_per_sec_fused_simd = frame_rays / t_frame_fused_simd;
 
+    // ---- Telemetry overhead on the fused render: stage timers and
+    // histogram observations honor the global enable switch, so the
+    // cost of observability is the off-vs-on delta on the identical
+    // frame workload. Off and on batches are interleaved and each
+    // adjacent pair ratioed, with the gate on the median pair —
+    // back-to-back pairing cancels the frequency/thermal drift that
+    // would otherwise dwarf a percent-level delta (the gate below
+    // holds it under TELEMETRY_OVERHEAD_CEILING_PCT). ----
+    let telemetry_reps = if test_mode { 12 } else { 4 };
+    let time_batch = |reps: usize, f: &dyn Fn()| {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / reps as f64
+    };
+    // Single-threaded, like the allocation measurement below: worker
+    // fan-out scheduling noise would swamp a percent-level delta.
+    let run_frame = || {
+        std::hint::black_box(
+            Renderer::new(
+                &model,
+                &sources,
+                strategy,
+                ds.scene.bounds,
+                ds.scene.background,
+            )
+            .with_fused(true)
+            .with_threads(1)
+            .render(&ds.eval_views[0].camera),
+        );
+    };
+    let mut pair_ratios = Vec::new();
+    let (mut t_frame_telemetry_off, mut t_frame_telemetry_on) = (f64::MAX, f64::MAX);
+    run_frame(); // warm-up
+    for pair in 0..7 {
+        // Alternate which leg runs first: within-run clock decay would
+        // otherwise systematically penalize whichever leg always came
+        // second in its pair.
+        let (t_off, t_on) = if pair % 2 == 0 {
+            gen_nerf_telemetry::set_enabled(false);
+            let t_off = time_batch(telemetry_reps, &run_frame);
+            gen_nerf_telemetry::set_enabled(true);
+            (t_off, time_batch(telemetry_reps, &run_frame))
+        } else {
+            gen_nerf_telemetry::set_enabled(true);
+            let t_on = time_batch(telemetry_reps, &run_frame);
+            gen_nerf_telemetry::set_enabled(false);
+            (time_batch(telemetry_reps, &run_frame), t_on)
+        };
+        gen_nerf_telemetry::set_enabled(true);
+        t_frame_telemetry_off = t_frame_telemetry_off.min(t_off);
+        t_frame_telemetry_on = t_frame_telemetry_on.min(t_on);
+        pair_ratios.push(t_on / t_off);
+    }
+    pair_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Gate on the lower quartile of the paired ratios: a real
+    // regression (instrumentation on a per-point path) shifts every
+    // pair by tens of percent, while host noise mostly fattens the
+    // upper tail — the low quantile keeps full sensitivity to the
+    // former without flaking on the latter.
+    let telemetry_overhead_pct = (pair_ratios[pair_ratios.len() / 4] - 1.0) * 100.0;
+
     // ---- Allocations per frame (single-threaded so worker-thread
     // bookkeeping doesn't blur the count; backend-independent). The
     // fused path is warmed first so the count is the steady state a
@@ -424,6 +498,7 @@ fn main() {
          \"frame_rays_per_sec_fused_scalar\": {frame_rays_per_sec_fused_scalar:.1},\n  \
          \"frame_rays_per_sec_fused_simd\": {frame_rays_per_sec_fused_simd:.1},\n  \
          \"frame_speedup_simd_vs_scalar\": {:.2},\n  \
+         \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2},\n  \
          \"allocations_per_frame_per_ray\": {allocs_per_ray_path},\n  \
          \"allocations_per_frame_fused\": {allocs_fused_path},\n  \
          \"matmul_gflops_128_scalar\": {:.2},\n  \
@@ -473,4 +548,21 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    // ---- Telemetry overhead gate: observability must stay ~free on
+    // the render hot path. ----
+    if telemetry_overhead_pct > TELEMETRY_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "TELEMETRY_OVERHEAD_GATE: FAIL — fused render telemetry overhead \
+             {telemetry_overhead_pct:+.2}% > {TELEMETRY_OVERHEAD_CEILING_PCT}% \
+             ({}): instrumentation has crept onto the hot path",
+            simd_backend.name()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "TELEMETRY_OVERHEAD_GATE: OK — fused render telemetry overhead \
+         {telemetry_overhead_pct:+.2}% (ceiling {TELEMETRY_OVERHEAD_CEILING_PCT}%, {})",
+        simd_backend.name()
+    );
 }

@@ -266,6 +266,9 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write serve report");
     println!("{json}");
     println!("wrote {out_path}");
+    // End-of-run telemetry exposition: the watch table on stdout, and
+    // the Prometheus dump when GEN_NERF_TELEMETRY_OUT is set.
+    gen_nerf_bench::telemetry_out::write_exposition(&gen_nerf_telemetry::snapshot());
     if !test_mode && speedup <= 1.0 {
         println!(
             "WARNING: serving did not beat the direct loops on this host \

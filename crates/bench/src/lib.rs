@@ -8,3 +8,4 @@
 pub mod experiments;
 pub mod harness;
 pub mod loadgen;
+pub mod telemetry_out;

@@ -1,0 +1,108 @@
+//! Telemetry exposition shared by the serving binaries.
+//!
+//! `serve_load` and `serve_report` call [`write_exposition`] at the
+//! end of a run: when [`TELEMETRY_OUT_ENV`] (`GEN_NERF_TELEMETRY_OUT`)
+//! is set, the process-global registry snapshot is rendered as a
+//! Prometheus-style dump to that path, and the human `--watch`-style
+//! table is printed to stdout. [`snapshot_json`] renders the same
+//! snapshot as the `BENCH_telemetry.json` artifact: every counter and
+//! gauge sample verbatim, histograms as count/sum plus derived
+//! p50/p99/p999.
+
+use gen_nerf_telemetry::{render_prometheus, render_watch, Snapshot};
+
+/// Env var: when set, the serving binaries write a Prometheus-style
+/// dump of the end-of-run registry snapshot to this path.
+pub const TELEMETRY_OUT_ENV: &str = "GEN_NERF_TELEMETRY_OUT";
+
+/// Prints the watch table for `snap` and, if [`TELEMETRY_OUT_ENV`] is
+/// set, writes the Prometheus dump there (returning the path).
+pub fn write_exposition(snap: &Snapshot) -> Option<String> {
+    print!("{}", render_watch(snap));
+    let path = std::env::var(TELEMETRY_OUT_ENV).ok()?;
+    std::fs::write(&path, render_prometheus(snap)).expect("write telemetry exposition");
+    println!("wrote {path}");
+    Some(path)
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn labels_json(labels: &[(&'static str, String)]) -> String {
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+/// Renders `snap` as the `BENCH_telemetry.json` document.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}",
+                c.name,
+                labels_json(&c.labels),
+                c.value
+            )
+        })
+        .collect();
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|g| {
+            format!(
+                "    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}",
+                g.name,
+                labels_json(&g.labels),
+                g.value
+            )
+        })
+        .collect();
+    let histograms: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            format!(
+                "    {{\"name\": \"{}\", \"labels\": {}, \"count\": {}, \"sum_ns\": {}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
+                h.name,
+                labels_json(&h.labels),
+                h.hist.count,
+                h.hist.sum,
+                h.hist.percentile(0.5),
+                h.hist.percentile(0.99),
+                h.hist.percentile(0.999),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"counters\": [\n{}\n  ],\n  \"gauges\": [\n{}\n  ],\n  \
+         \"histograms\": [\n{}\n  ]\n}}\n",
+        counters.join(",\n"),
+        gauges.join(",\n"),
+        histograms.join(",\n"),
+    )
+}
+
+/// Writes the merged end-of-run snapshot to `BENCH_telemetry.json` (or
+/// the path in `GEN_NERF_TELEMETRY_JSON`) and runs [`write_exposition`].
+pub fn write_telemetry_artifacts() {
+    let snap = gen_nerf_telemetry::snapshot();
+    let out = std::env::var("GEN_NERF_TELEMETRY_JSON")
+        .unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    std::fs::write(&out, snapshot_json(&snap)).expect("write telemetry report");
+    println!("wrote {out}");
+    write_exposition(&snap);
+}

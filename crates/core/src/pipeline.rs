@@ -157,6 +157,46 @@ fn with_worker_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
     WORKER_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
+// ---- registry handles (cold registration, cached forever) ------------
+
+/// Per-stage render-time histogram (`stage` ∈ coarse | focus |
+/// composite). Timings are recorded per *chunk* (hundreds of rays), so
+/// the observation cost disappears into the chunk's work; with
+/// telemetry disabled the `Instant` reads are skipped entirely.
+fn stage_hist(stage: &'static str) -> gen_nerf_telemetry::Histogram {
+    use std::sync::OnceLock;
+    static COARSE: OnceLock<gen_nerf_telemetry::Histogram> = OnceLock::new();
+    static FOCUS: OnceLock<gen_nerf_telemetry::Histogram> = OnceLock::new();
+    static COMPOSITE: OnceLock<gen_nerf_telemetry::Histogram> = OnceLock::new();
+    let cell = match stage {
+        "coarse" => &COARSE,
+        "focus" => &FOCUS,
+        _ => &COMPOSITE,
+    };
+    *cell.get_or_init(|| gen_nerf_telemetry::histogram("render_stage_ns", &[("stage", stage)]))
+}
+
+/// Fused-schedule chunk counter (chunks executed across all workers).
+fn chunks_counter() -> gen_nerf_telemetry::Counter {
+    use std::sync::OnceLock;
+    static C: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+    *C.get_or_init(|| gen_nerf_telemetry::counter("core_render_chunks_total", &[]))
+}
+
+/// Arena fill stats: total points aggregated into worker arenas, plus
+/// a per-chunk fill-size histogram.
+fn arena_points_counter() -> gen_nerf_telemetry::Counter {
+    use std::sync::OnceLock;
+    static C: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+    *C.get_or_init(|| gen_nerf_telemetry::counter("core_arena_points_total", &[]))
+}
+
+fn arena_fill_hist() -> gen_nerf_telemetry::Histogram {
+    use std::sync::OnceLock;
+    static H: OnceLock<gen_nerf_telemetry::Histogram> = OnceLock::new();
+    *H.get_or_init(|| gen_nerf_telemetry::histogram("core_arena_fill_points", &[]))
+}
+
 /// Ceiling on steady-state fused-schedule heap allocations per frame
 /// on the canonical `perf_report` workload (32×32 frame, uniform
 /// n = 12, one inline thread). The arena acquisition path landed at
@@ -334,6 +374,12 @@ static ARMED_PIXEL: Mutex<Option<u64>> = Mutex::new(None);
 /// Records one sentinel trip (worker-thread safe).
 fn trip_sentinel(detail: String) {
     SENTINEL_TRIPS.fetch_add(1, Ordering::Relaxed);
+    {
+        use std::sync::OnceLock;
+        static C: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+        C.get_or_init(|| gen_nerf_telemetry::counter("core_sentinel_trips_total", &[]))
+            .inc();
+    }
     let mut slot = SENTINEL_DETAIL.lock().unwrap();
     if slot.is_none() {
         *slot = Some(detail);
@@ -996,6 +1042,8 @@ impl<'a> Renderer<'a> {
         let d = self.d_channels();
         let chunks = self.fan_out(set.total(), |start, end| {
             with_worker_scratch(|ws| {
+                let telemetry = gen_nerf_telemetry::enabled();
+                let t_chunk = telemetry.then(std::time::Instant::now);
                 let mut local = vec![RenderStats::default(); set.n_frames()];
                 // Phase 1: depth selection + SoA aggregation for the
                 // chunk, straight into the worker's arena (zero heap
@@ -1045,6 +1093,17 @@ impl<'a> Renderer<'a> {
                 if sentinels_enabled() {
                     scan_forward_outputs(&outs, "fused forward");
                 }
+                let t_composite = if let Some(t0) = t_chunk {
+                    // Aggregation + fused forward = the focus stage.
+                    stage_hist("focus").observe(t0.elapsed().as_nanos() as u64);
+                    chunks_counter().inc();
+                    let pts = arena.total_points() as u64;
+                    arena_points_counter().add(pts);
+                    arena_fill_hist().observe(pts);
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
                 // Phase 3: per-ray composite through the worker's
                 // scratch buffers.
                 let colors: Vec<Vec3> = (start..end)
@@ -1064,6 +1123,9 @@ impl<'a> Renderer<'a> {
                         }
                     })
                     .collect();
+                if let Some(t0) = t_composite {
+                    stage_hist("composite").observe(t0.elapsed().as_nanos() as u64);
+                }
                 (colors, local)
             })
         });
@@ -1426,6 +1488,7 @@ impl<'a> Renderer<'a> {
             let i = sub_off.partition_point(|&o| o <= g) - 1;
             (needs[i], g - sub_off[i])
         };
+        let t_coarse = gen_nerf_telemetry::enabled().then(std::time::Instant::now);
         let coarse_chunks = self.fan_out(sub_total, |start, end| {
             with_worker_scratch(|ws| {
                 let mut local = vec![RenderStats::default(); set.n_frames()];
@@ -1527,6 +1590,9 @@ impl<'a> Renderer<'a> {
         // Seal every freshly probed frame's digest at export.
         for cf in fresh.iter_mut().flatten() {
             cf.seal();
+        }
+        if let Some(t0) = t_coarse {
+            stage_hist("coarse").observe(t0.elapsed().as_nanos() as u64);
         }
 
         // Per-frame coarse view: imported or freshly probed.

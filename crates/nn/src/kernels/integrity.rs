@@ -54,7 +54,30 @@
 
 use super::{Backend, MicroKernel};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Registry counter for dispatched (checked-path) GEMMs, per backend.
+fn dispatch_counter(backend: Backend) -> gen_nerf_telemetry::Counter {
+    static SCALAR: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+    static AVX2: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+    let cell = match backend {
+        Backend::Scalar => &SCALAR,
+        Backend::Avx2 => &AVX2,
+    };
+    *cell.get_or_init(|| {
+        gen_nerf_telemetry::counter("nn_gemm_dispatch_total", &[("backend", backend.name())])
+    })
+}
+
+fn abft_checks_counter() -> gen_nerf_telemetry::Counter {
+    static C: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+    *C.get_or_init(|| gen_nerf_telemetry::counter("nn_abft_checks_total", &[]))
+}
+
+fn abft_miscompares_counter() -> gen_nerf_telemetry::Counter {
+    static C: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+    *C.get_or_init(|| gen_nerf_telemetry::counter("nn_abft_miscompares_total", &[]))
+}
 
 /// Environment variable selecting the integrity mode
 /// (`off` | `sample` | `full`).
@@ -225,6 +248,7 @@ static CALLS: AtomicU32 = AtomicU32::new(0);
 /// drained) and bumps the fault counter.
 pub fn record_fault(err: IntegrityError) {
     FAULTS.fetch_add(1, Ordering::Relaxed);
+    abft_miscompares_counter().inc();
     let mut slot = FAULT.lock().unwrap();
     if slot.is_none() {
         *slot = Some(err);
@@ -280,6 +304,10 @@ pub fn quarantine(backend: Backend) -> bool {
         .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed)
         .is_ok();
     if newly {
+        static LATCHES: OnceLock<gen_nerf_telemetry::Counter> = OnceLock::new();
+        LATCHES
+            .get_or_init(|| gen_nerf_telemetry::counter("nn_quarantine_latches_total", &[]))
+            .inc();
         eprintln!(
             "gen-nerf-nn: backend {} quarantined after repeated integrity miscompares; \
              falling back to scalar kernels for the rest of the process",
@@ -328,6 +356,9 @@ pub fn checked_matmul(
     n: usize,
 ) {
     kernel.matmul(a, b, out, m, k, n);
+    if gen_nerf_telemetry::enabled() {
+        dispatch_counter(kernel.backend()).inc();
+    }
     let verify = match mode() {
         IntegrityMode::Off => false,
         IntegrityMode::Full => true,
@@ -337,6 +368,7 @@ pub fn checked_matmul(
         return;
     }
     CHECKS.fetch_add(1, Ordering::Relaxed);
+    abft_checks_counter().inc();
 
     // Chaos hook: perturb one element far beyond its row tolerance so
     // the verification below must catch it (100%-detection gate).

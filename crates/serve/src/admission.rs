@@ -149,6 +149,27 @@ impl AdmissionStats {
         }
     }
 
+    /// Derives the counter set from a telemetry snapshot, folding
+    /// every label set matching `subset` (a server passes its instance
+    /// label; a shard adds its shard label). This is the **only**
+    /// name→field mapping in the workspace — aggregate views at any
+    /// granularity are one fold of the same registry counters, so a
+    /// new counter cannot silently miss a merge site.
+    pub fn from_snapshot(snap: &gen_nerf_telemetry::Snapshot, subset: &[(&str, &str)]) -> Self {
+        let shed = |reason: &str| {
+            let mut s: Vec<(&str, &str)> = subset.to_vec();
+            s.push(("reason", reason));
+            snap.counter_with("serve_frames_shed_total", &s)
+        };
+        Self {
+            admitted: snap.counter_with("serve_frames_admitted_total", subset),
+            degraded: snap.counter_with("serve_frames_degraded_total", subset),
+            shed_best_effort: shed("best_effort"),
+            shed_interactive: shed("interactive"),
+            shed_circuit: shed("circuit"),
+        }
+    }
+
     /// All shed frames: either class plus circuit-breaker sheds.
     pub fn shed_total(&self) -> u64 {
         self.shed_best_effort + self.shed_interactive + self.shed_circuit

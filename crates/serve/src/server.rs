@@ -24,6 +24,7 @@ use gen_nerf::pipeline::RenderStats;
 use gen_nerf_geometry::Pose;
 use gen_nerf_parallel::partition_threads;
 use gen_nerf_scene::Image;
+use gen_nerf_telemetry::{AdmissionVerdict, EventKind, Snapshot, TraceEvent};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -463,12 +464,27 @@ pub struct RenderServer {
     /// of any one viewer.
     breakers: Mutex<HashMap<usize, (Weak<SceneState>, Arc<CircuitBreaker>)>>,
     supervisor: Arc<Supervisor>,
+    /// Process-unique instance id: every metric this server registers
+    /// carries `instance = <id>` so concurrent servers (unit tests!)
+    /// never fold each other's counters into their stats views.
+    instance: u64,
 }
 
 impl RenderServer {
     /// Builds the server front end. Shards (and their worker pools)
     /// spawn lazily as scenes are registered.
     pub fn new(cfg: ServerConfig) -> Self {
+        Self::with_clock(cfg, gen_nerf_telemetry::Clock::real())
+    }
+
+    /// Builds the server with an explicit [`Clock`] behind the
+    /// watchdog's deadline math — pass a
+    /// [`Clock::virtual_clock`](gen_nerf_telemetry::Clock::virtual_clock)
+    /// to drive timeouts deterministically under test.
+    ///
+    /// [`Clock`]: gen_nerf_telemetry::Clock
+    pub fn with_clock(cfg: ServerConfig, clock: gen_nerf_telemetry::Clock) -> Self {
+        let instance = gen_nerf_telemetry::next_instance_id();
         Self {
             cfg,
             topology: Mutex::new(Topology {
@@ -478,7 +494,8 @@ impl RenderServer {
             sessions: Arc::new(Mutex::new(HashMap::new())),
             next_session: AtomicU64::new(1),
             breakers: Mutex::new(HashMap::new()),
-            supervisor: Arc::new(Supervisor::spawn()),
+            supervisor: Arc::new(Supervisor::spawn(instance, clock)),
+            instance,
         }
     }
 
@@ -514,6 +531,7 @@ impl RenderServer {
                 debug_assert_eq!(idx, topology.shards.len());
                 let pool_threads = partition_threads(self.cfg.threads, self.cfg.max_shards)[idx];
                 topology.shards.push(Shard::spawn(
+                    self.instance,
                     idx,
                     pool_threads,
                     self.cfg.max_batch,
@@ -564,19 +582,32 @@ impl RenderServer {
             (tx_clone(shard), Arc::clone(&shard.shared))
         };
 
-        let now = Instant::now();
+        let now = self.supervisor.clock().now();
+        let frame_id = gen_nerf_telemetry::next_frame_id();
+        shared.submitted.inc();
+        shared.ring.record(
+            frame_id,
+            EventKind::Submit,
+            class_code(req.deadline),
+            session.0,
+        );
         let breaker_admit = state.breaker.admit(now);
         let probe = matches!(breaker_admit, BreakerAdmit::Probe);
 
         // Claim a queue slot, then let the policy veto it. The gauge
         // counts admitted-not-yet-scheduled frames; shed frames give
         // their claim back immediately.
-        let depth = shared.depth.fetch_add(1, Ordering::SeqCst);
+        let depth = shared.depth.inc().max(0) as usize;
         let mut tier = req.tier;
         let mut degraded = false;
+        let admit = |verdict: AdmissionVerdict| {
+            shared
+                .ring
+                .record(frame_id, EventKind::Admit, verdict as u64, depth as u64);
+        };
         match admission_decision_supervised(&self.cfg.admission, req.deadline, depth, breaker_admit)
         {
-            AdmissionDecision::Admit => {}
+            AdmissionDecision::Admit => admit(AdmissionVerdict::Admit),
             AdmissionDecision::Degrade => {
                 // The cached-coarse tier: quarter resolution, where a
                 // session's cached coarse passes are cheapest to
@@ -586,16 +617,20 @@ impl RenderServer {
                     tier = ResolutionTier::Quarter;
                 }
                 degraded = true;
-                shared.degraded.fetch_add(1, Ordering::Relaxed);
+                shared.degraded.inc();
+                admit(AdmissionVerdict::Degrade);
             }
             AdmissionDecision::Break => {
-                shared.depth.fetch_sub(1, Ordering::SeqCst);
-                shared.shed_circuit.fetch_add(1, Ordering::Relaxed);
+                shared.depth.dec();
+                shared.shed_circuit.inc();
+                // A terminal verdict: the frame never reaches a shard,
+                // so the Admit event closes its trace.
+                admit(AdmissionVerdict::Break);
                 fulfill(&slot, Err(ServeError::CircuitOpen));
                 return handle;
             }
             AdmissionDecision::Shed => {
-                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                shared.depth.dec();
                 if probe {
                     // The breaker admitted a probe the queue refused:
                     // give the quota slot back so the next submission
@@ -603,13 +638,10 @@ impl RenderServer {
                     state.breaker.abort_probe();
                 }
                 match req.deadline {
-                    DeadlineClass::BestEffort => {
-                        shared.shed_best_effort.fetch_add(1, Ordering::Relaxed)
-                    }
-                    DeadlineClass::Interactive => {
-                        shared.shed_interactive.fetch_add(1, Ordering::Relaxed)
-                    }
+                    DeadlineClass::BestEffort => shared.shed_best_effort.inc(),
+                    DeadlineClass::Interactive => shared.shed_interactive.inc(),
                 };
+                admit(AdmissionVerdict::Shed);
                 fulfill(
                     &slot,
                     Err(ServeError::Shed {
@@ -619,11 +651,17 @@ impl RenderServer {
                 return handle;
             }
         }
-        shared.admitted.fetch_add(1, Ordering::Relaxed);
-        let watch = self
-            .supervisor
-            .watch(&slot, req.deadline, now, &self.cfg.supervision);
+        shared.admitted.inc();
+        let watch = self.supervisor.watch(
+            &slot,
+            req.deadline,
+            now,
+            &self.cfg.supervision,
+            frame_id,
+            &shared.ring,
+        );
         let frame = QueuedFrame {
+            frame: frame_id,
             session: session.0,
             pose: req.pose,
             tier,
@@ -719,16 +757,68 @@ impl RenderServer {
             .stats()
     }
 
-    /// Admission counters summed over every shard.
+    /// Admission counters summed over every shard — derived by folding
+    /// the telemetry snapshot over this server's `instance` label, so
+    /// the aggregate can never drift from the per-shard registry
+    /// counters it is a view of.
     pub fn admission_stats(&self) -> AdmissionStats {
+        let inst = self.instance.to_string();
+        AdmissionStats::from_snapshot(&gen_nerf_telemetry::snapshot(), &[("instance", &inst)])
+    }
+
+    /// This server's process-unique telemetry instance id: every
+    /// metric it registers carries `instance = <id>`.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// A typed snapshot of the process-global metrics registry.
+    /// Includes every instrumented layer (nn kernel dispatch/ABFT,
+    /// core render stages, serve counters of *all* server instances);
+    /// filter serve metrics to this server with
+    /// `[("instance", &server.instance().to_string())]`.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        gen_nerf_telemetry::snapshot()
+    }
+
+    /// Drains every shard's frame-lifecycle trace ring, concatenated
+    /// in shard order. Call at a quiet point (after the handles you
+    /// care about resolved) for complete traces.
+    pub fn drain_traces(&self) -> Vec<TraceEvent> {
+        let topology = self.topology.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = Vec::new();
+        for shard in &topology.shards {
+            events.extend(shard.shared.ring.drain());
+        }
+        events
+    }
+
+    /// Trace events overwritten before any drain saw them, summed over
+    /// every shard ring (zero at test scale; nonzero means traces are
+    /// incomplete and the rings need draining more often).
+    pub fn trace_drops(&self) -> u64 {
+        let topology = self.topology.lock().unwrap_or_else(|e| e.into_inner());
+        topology
+            .shards
+            .iter()
+            .map(|s| s.shared.ring.dropped())
+            .sum()
+    }
+
+    /// The smallest per-shard trace ring capacity, in events. A
+    /// worst-case placement sends every frame to one shard, so a
+    /// workload whose event volume stays under this bound is
+    /// guaranteed complete traces; beyond it, truncation (with
+    /// counted drops) is expected.
+    pub fn trace_capacity(&self) -> usize {
         self.topology
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .shards
             .iter()
-            .fold(AdmissionStats::default(), |acc, shard| {
-                acc.merge(shard.shared.admission_stats())
-            })
+            .map(|s| s.shared.ring.capacity())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Snapshots of every spawned shard, in shard-index order.
@@ -768,6 +858,14 @@ impl RenderServer {
 
 fn tx_clone(shard: &Shard) -> std::sync::mpsc::Sender<QueuedFrame> {
     shard.tx.as_ref().expect("shard running").clone()
+}
+
+/// Trace payload code of a deadline class (`Submit.a`).
+fn class_code(class: DeadlineClass) -> u64 {
+    match class {
+        DeadlineClass::Interactive => 0,
+        DeadlineClass::BestEffort => 1,
+    }
 }
 
 impl Drop for RenderServer {

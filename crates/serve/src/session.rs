@@ -265,6 +265,26 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Derives instance-level cache counters from a telemetry
+    /// snapshot, folding `serve_cache_events_total{outcome}` over
+    /// every label set matching `subset` — the registry view of the
+    /// per-session counters, summed across the sessions of the
+    /// matching server/shards.
+    pub fn from_snapshot(snap: &gen_nerf_telemetry::Snapshot, subset: &[(&str, &str)]) -> Self {
+        let outcome = |o: &str| {
+            let mut s: Vec<(&str, &str)> = subset.to_vec();
+            s.push(("outcome", o));
+            snap.counter_with("serve_cache_events_total", &s)
+        };
+        Self {
+            hits: outcome("hit"),
+            misses: outcome("miss"),
+            bypasses: outcome("bypass"),
+            evictions: outcome("eviction"),
+            integrity_rejects: outcome("integrity_reject"),
+        }
+    }
+
     /// Hit fraction among the frames the cache applied to.
     pub fn hit_rate(&self) -> f64 {
         let eligible = self.hits + self.misses;

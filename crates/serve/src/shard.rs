@@ -46,13 +46,19 @@ use gen_nerf_geometry::{Camera, Pose};
 use gen_nerf_nn::kernels::{self, integrity, Backend};
 use gen_nerf_parallel::{CancelToken, Pool};
 use gen_nerf_scene::Image;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use gen_nerf_telemetry::{
+    Counter, EventKind, Gauge, Histogram, ResolveOutcome, TraceRing, DEFAULT_RING_CAPACITY,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// One admitted frame travelling from `submit` to its shard.
 pub(crate) struct QueuedFrame {
+    /// Frame-trace id ([`gen_nerf_telemetry::next_frame_id`]) — keys
+    /// every [`gen_nerf_telemetry::TraceEvent`] of this frame's life.
+    pub frame: u64,
     pub session: u64,
     pub pose: Pose,
     /// Tier actually rendered (admission may have degraded it).
@@ -79,42 +85,121 @@ pub(crate) struct QueuedFrame {
 
 /// Counters and gauges shared between a shard's thread and the server
 /// front end (admission reads the depth gauge, tests read the rest).
-#[derive(Default)]
+///
+/// Every handle is a metric in the process-global telemetry registry,
+/// labelled `{instance, shard}` — the same atomics back both the
+/// exact-count stats views (read through the handles) and any snapshot
+/// fold, so there is no parallel bookkeeping to drift.
 pub(crate) struct ShardShared {
-    /// Frames admitted but not yet pulled into a render batch.
-    pub depth: AtomicUsize,
-    pub admitted: AtomicU64,
-    pub degraded: AtomicU64,
-    pub shed_best_effort: AtomicU64,
-    pub shed_interactive: AtomicU64,
+    /// Frames admitted but not yet pulled into a render batch
+    /// (`serve_queue_depth`; SeqCst, the admission policy reads it).
+    pub depth: Gauge,
+    /// Every frame that entered `submit` for this shard, whatever its
+    /// fate (`serve_frames_submitted_total`).
+    pub submitted: Counter,
+    pub admitted: Counter,
+    pub degraded: Counter,
+    pub shed_best_effort: Counter,
+    pub shed_interactive: Counter,
     /// Frames shed at submission because the scene's breaker was open.
-    pub shed_circuit: AtomicU64,
+    pub shed_circuit: Counter,
     /// Frames whose handle resolved successfully.
-    pub rendered: AtomicU64,
+    pub rendered: Counter,
     /// Frames whose handle resolved with an error (render panic or
     /// vanished session).
-    pub failed: AtomicU64,
+    pub failed: Counter,
     /// Individual re-render attempts after a transient failure.
-    pub retries: AtomicU64,
+    pub retries: Counter,
     /// Fused render jobs executed.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Render attempts that failed integrity verification (GEMM
     /// checksum miscompare or a tripped stage sentinel) and were never
     /// published.
-    pub corrupt: AtomicU64,
+    pub corrupt: Counter,
     /// Times this shard latched the process-wide kernel quarantine
     /// (repeated SIMD miscompares demoting to the scalar backend).
-    pub quarantined: AtomicU64,
+    pub quarantined: Counter,
+    /// Submit→resolve latency of successfully rendered frames, per
+    /// deadline class (`serve_latency_ns`).
+    pub latency_interactive: Histogram,
+    pub latency_best_effort: Histogram,
+    /// Coarse-cache outcomes served by this shard
+    /// (`serve_cache_events_total{outcome}`) — the instance-level view
+    /// of the per-session [`CacheStats`](crate::CacheStats) counters.
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub cache_bypasses: Counter,
+    pub cache_evictions: Counter,
+    pub cache_rejects: Counter,
+    /// This shard's frame-lifecycle event ring.
+    pub ring: Arc<TraceRing>,
 }
 
 impl ShardShared {
+    /// Registers this shard's metric set under `{instance, shard}`.
+    pub(crate) fn new(instance: u64, shard: usize) -> Self {
+        let inst = instance.to_string();
+        let idx = shard.to_string();
+        let labels: [(&'static str, &str); 2] = [("instance", &inst), ("shard", &idx)];
+        let counter = |name: &'static str| gen_nerf_telemetry::counter(name, &labels);
+        let shed = |reason: &str| {
+            gen_nerf_telemetry::counter(
+                "serve_frames_shed_total",
+                &[("instance", &inst), ("shard", &idx), ("reason", reason)],
+            )
+        };
+        let latency = |class: &str| {
+            gen_nerf_telemetry::histogram(
+                "serve_latency_ns",
+                &[("instance", &inst), ("shard", &idx), ("class", class)],
+            )
+        };
+        let cache = |outcome: &str| {
+            gen_nerf_telemetry::counter(
+                "serve_cache_events_total",
+                &[("instance", &inst), ("shard", &idx), ("outcome", outcome)],
+            )
+        };
+        Self {
+            depth: gen_nerf_telemetry::gauge("serve_queue_depth", &labels),
+            submitted: counter("serve_frames_submitted_total"),
+            admitted: counter("serve_frames_admitted_total"),
+            degraded: counter("serve_frames_degraded_total"),
+            shed_best_effort: shed("best_effort"),
+            shed_interactive: shed("interactive"),
+            shed_circuit: shed("circuit"),
+            rendered: counter("serve_frames_rendered_total"),
+            failed: counter("serve_frames_failed_total"),
+            retries: counter("serve_retries_total"),
+            batches: counter("serve_batches_total"),
+            corrupt: counter("serve_corrupt_renders_total"),
+            quarantined: counter("serve_quarantine_events_total"),
+            latency_interactive: latency("interactive"),
+            latency_best_effort: latency("best_effort"),
+            cache_hits: cache("hit"),
+            cache_misses: cache("miss"),
+            cache_bypasses: cache("bypass"),
+            cache_evictions: cache("eviction"),
+            cache_rejects: cache("integrity_reject"),
+            ring: Arc::new(TraceRing::new(DEFAULT_RING_CAPACITY)),
+        }
+    }
+
     pub(crate) fn admission_stats(&self) -> AdmissionStats {
         AdmissionStats {
-            admitted: self.admitted.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            shed_best_effort: self.shed_best_effort.load(Ordering::Relaxed),
-            shed_interactive: self.shed_interactive.load(Ordering::Relaxed),
-            shed_circuit: self.shed_circuit.load(Ordering::Relaxed),
+            admitted: self.admitted.get(),
+            degraded: self.degraded.get(),
+            shed_best_effort: self.shed_best_effort.get(),
+            shed_interactive: self.shed_interactive.get(),
+            shed_circuit: self.shed_circuit.get(),
+        }
+    }
+
+    /// The latency histogram of `class`.
+    fn latency(&self, class: DeadlineClass) -> Histogram {
+        match class {
+            DeadlineClass::Interactive => self.latency_interactive,
+            DeadlineClass::BestEffort => self.latency_best_effort,
         }
     }
 }
@@ -158,10 +243,12 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Spawns shard `index` with `pool_threads` render workers,
-    /// reporting frame lifecycles to `supervisor` and re-rendering
-    /// transient failures under `retry`.
+    /// Spawns shard `index` of server `instance` with `pool_threads`
+    /// render workers, reporting frame lifecycles to `supervisor` and
+    /// re-rendering transient failures under `retry`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
+        instance: u64,
         index: usize,
         pool_threads: usize,
         max_batch: usize,
@@ -170,7 +257,7 @@ impl Shard {
         retry: RetryPolicy,
     ) -> Self {
         let (tx, rx) = mpsc::channel::<QueuedFrame>();
-        let shared = Arc::new(ShardShared::default());
+        let shared = Arc::new(ShardShared::new(instance, index));
         let loop_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name(format!("gen-nerf-shard-{index}"))
@@ -197,14 +284,14 @@ impl Shard {
 
     pub(crate) fn stats(&self) -> ShardStats {
         ShardStats {
-            queued: self.shared.depth.load(Ordering::Relaxed),
+            queued: self.shared.depth.get().max(0) as usize,
             admission: self.shared.admission_stats(),
-            rendered_frames: self.shared.rendered.load(Ordering::Relaxed),
-            failed_frames: self.shared.failed.load(Ordering::Relaxed),
-            retries: self.shared.retries.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            corrupt_renders: self.shared.corrupt.load(Ordering::Relaxed),
-            quarantine_events: self.shared.quarantined.load(Ordering::Relaxed),
+            rendered_frames: self.shared.rendered.get(),
+            failed_frames: self.shared.failed.get(),
+            retries: self.shared.retries.get(),
+            batches: self.shared.batches.get(),
+            corrupt_renders: self.shared.corrupt.get(),
+            quarantine_events: self.shared.quarantined.get(),
             pool_threads: self.pool_threads,
         }
     }
@@ -243,7 +330,7 @@ const QUARANTINE_AFTER: u32 = 3;
 /// Sentinel trips never strike — a non-finite pixel indicts the math
 /// upstream, not the SIMD unit specifically.
 fn note_corrupt_render(err: &RenderError, shared: &ShardShared) {
-    shared.corrupt.fetch_add(1, Ordering::Relaxed);
+    shared.corrupt.inc();
     let RenderError::Corrupt { stage, detail } = err;
     if *stage != "gemm" {
         return;
@@ -254,11 +341,34 @@ fn note_corrupt_render(err: &RenderError, shared: &ShardShared) {
     }
     let strikes = SIMD_MISCOMPARES.fetch_add(1, Ordering::Relaxed) + 1;
     if strikes >= QUARANTINE_AFTER && integrity::quarantine(backend) {
-        shared.quarantined.fetch_add(1, Ordering::Relaxed);
+        shared.quarantined.inc();
         eprintln!(
             "gen-nerf-serve: quarantined kernel backend {backend:?} after \
              {strikes} GEMM miscompares (last: {detail}); serving on scalar"
         );
+    }
+}
+
+/// Nanoseconds elapsed since `since`, saturating (trace payloads).
+fn ns_since(since: Instant) -> u64 {
+    Instant::now().saturating_duration_since(since).as_nanos() as u64
+}
+
+/// Fails a frame's handle with `msg`, keeping the counter and the
+/// terminal trace event consistent with the first-write-wins fulfil:
+/// the counter and the `Resolve` event book only when this call's
+/// write is the resolving one.
+fn fail_frame(frame: &QueuedFrame, shared: &ShardShared, msg: &str) {
+    shared.failed.inc();
+    if fulfill_error(&frame.slot, msg) {
+        shared.ring.record(
+            frame.frame,
+            EventKind::Resolve,
+            ResolveOutcome::Failed as u64,
+            ns_since(frame.submitted),
+        );
+    } else {
+        shared.failed.sub(1);
     }
 }
 
@@ -333,7 +443,13 @@ fn shard_loop(
         // Policy-ordered head. A frame leaves the admission depth
         // gauge the moment it is pulled out of the queue.
         let Some(head) = queue.pop() else { continue };
-        shared.depth.fetch_sub(1, Ordering::Relaxed);
+        shared.depth.dec();
+        shared.ring.record(
+            head.frame,
+            EventKind::Pop,
+            ns_since(head.submitted),
+            shared.depth.get().max(0) as u64,
+        );
         if head.slot.is_resolved() {
             // Timed out while still queued (the watchdog already
             // resolved the handle): skip the render entirely.
@@ -341,10 +457,7 @@ fn shard_loop(
             continue;
         }
         let Some(head_state) = resolve(&sessions, head.session) else {
-            shared.failed.fetch_add(1, Ordering::Relaxed);
-            if !fulfill_error(&head.slot, "session removed with frames queued") {
-                shared.failed.fetch_sub(1, Ordering::Relaxed);
-            }
+            fail_frame(&head, &shared, "session removed with frames queued");
             release_unrendered(&head, &supervisor);
             continue;
         };
@@ -376,17 +489,20 @@ fn shard_loop(
                 }
             });
             let Some(frame) = candidate else { break };
-            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            shared.depth.dec();
+            shared.ring.record(
+                frame.frame,
+                EventKind::Pop,
+                ns_since(frame.submitted),
+                shared.depth.get().max(0) as u64,
+            );
             if frame.slot.is_resolved() {
                 release_unrendered(&frame, &supervisor);
                 continue;
             }
             match resolve(&sessions, frame.session) {
                 None => {
-                    shared.failed.fetch_add(1, Ordering::Relaxed);
-                    if !fulfill_error(&frame.slot, "session removed with frames queued") {
-                        shared.failed.fetch_sub(1, Ordering::Relaxed);
-                    }
+                    fail_frame(&frame, &shared, "session removed with frames queued");
                     release_unrendered(&frame, &supervisor);
                 }
                 Some(state) => {
@@ -415,7 +531,15 @@ fn execute_group(
     supervisor: &Supervisor,
     retry: RetryPolicy,
 ) {
-    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared.batches.inc();
+    for (frame, _) in &group {
+        shared.ring.record(
+            frame.frame,
+            EventKind::Batch,
+            group.len() as u64,
+            (group.len() - 1) as u64,
+        );
+    }
     // Take the recycled buffers out of the requests up front: they are
     // moved (not cloned) into the render and returned in the results.
     let buffers: Vec<Option<Image>> = group
@@ -429,9 +553,24 @@ fn execute_group(
     for (frame, _) in &group {
         supervisor.begin_render(frame.watch, &cancel);
     }
+    let attempt_start = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        render_group(shard, pool, &group, buffers, &cancel, 0)
+        render_group(shard, pool, &group, buffers, &cancel, 0, shared)
     }));
+    // Render-attempt trace payload: elapsed ns + outcome code (0 ok,
+    // 1 cancelled, 2 corrupt, 3 panicked).
+    let render_ns = ns_since(attempt_start);
+    let render_outcome = match &outcome {
+        Ok(Ok(_)) if !cancel.is_cancelled() => 0,
+        Ok(Ok(_)) => 1,
+        Ok(Err(_)) => 2,
+        Err(_) => 3,
+    };
+    for (frame, _) in &group {
+        shared
+            .ring
+            .record(frame.frame, EventKind::Render, render_ns, render_outcome);
+    }
     let first_error = match outcome {
         Ok(Ok(results)) => {
             if !cancel.is_cancelled() {
@@ -489,16 +628,25 @@ fn conclude(
     frame.breaker.record(ok, frame.probe, Instant::now());
     match outcome {
         Ok(result) => {
-            shared.rendered.fetch_add(1, Ordering::Relaxed);
-            if !fulfill(&frame.slot, Ok(result)) {
-                shared.rendered.fetch_sub(1, Ordering::Relaxed);
+            shared.rendered.inc();
+            let latency_ns = ns_since(frame.submitted);
+            if fulfill(&frame.slot, Ok(result)) {
+                // Winning the race makes this the frame's one terminal
+                // trace event; the latency histogram books only real
+                // (delivered) successes.
+                shared.latency(frame.deadline).observe(latency_ns);
+                shared.ring.record(
+                    frame.frame,
+                    EventKind::Resolve,
+                    ResolveOutcome::Ok as u64,
+                    latency_ns,
+                );
+            } else {
+                shared.rendered.sub(1);
             }
         }
         Err(message) => {
-            shared.failed.fetch_add(1, Ordering::Relaxed);
-            if !fulfill_error(&frame.slot, &message) {
-                shared.failed.fetch_sub(1, Ordering::Relaxed);
-            }
+            fail_frame(&frame, shared, &message);
         }
     }
     supervisor.resolve(frame.watch);
@@ -539,9 +687,16 @@ fn retry_frame(
         if !backoff.is_zero() {
             std::thread::sleep(backoff);
         }
-        shared.retries.fetch_add(1, Ordering::Relaxed);
+        shared.retries.inc();
+        shared.ring.record(
+            pair.0.frame,
+            EventKind::Retry,
+            attempt as u64,
+            backoff.as_nanos() as u64,
+        );
         let cancel = CancelToken::new();
         supervisor.begin_render(pair.0.watch, &cancel);
+        let attempt_start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             render_group(
                 shard,
@@ -550,8 +705,19 @@ fn retry_frame(
                 vec![None],
                 &cancel,
                 attempt,
+                shared,
             )
         }));
+        let render_ns = ns_since(attempt_start);
+        let render_outcome = match &outcome {
+            Ok(Ok(_)) if !cancel.is_cancelled() => 0,
+            Ok(Ok(_)) => 1,
+            Ok(Err(_)) => 2,
+            Err(_) => 3,
+        };
+        shared
+            .ring
+            .record(pair.0.frame, EventKind::Render, render_ns, render_outcome);
         match outcome {
             Ok(Ok(mut results)) if !cancel.is_cancelled() => {
                 let result = results.pop().expect("one frame in, one result out");
@@ -575,10 +741,7 @@ fn retry_frame(
     // (returns false) if the watchdog already resolved the handle.
     let (frame, _) = pair;
     frame.breaker.record(false, frame.probe, Instant::now());
-    shared.failed.fetch_add(1, Ordering::Relaxed);
-    if !fulfill_error(&frame.slot, &last_error) {
-        shared.failed.fetch_sub(1, Ordering::Relaxed);
-    }
+    fail_frame(&frame, shared, &last_error);
     supervisor.resolve(frame.watch);
 }
 
@@ -604,6 +767,7 @@ fn cancellable_sleep(total: Duration, cancel: &CancelToken) {
 /// fires mid-render the returned images are garbage (remaining rays
 /// render as background) and the caller must not fulfill them; cache
 /// anchors are likewise withheld.
+#[allow(clippy::too_many_arguments)]
 fn render_group(
     shard: usize,
     pool: &Pool,
@@ -611,6 +775,7 @@ fn render_group(
     buffers: Vec<Option<Image>>,
     cancel: &CancelToken,
     attempt: u32,
+    shared: &ShardShared,
 ) -> Result<Vec<FrameResult>, RenderError> {
     let started = Instant::now();
     let n = group.len();
@@ -652,6 +817,7 @@ fn render_group(
         cameras.push(Camera::new(intrinsics, frame.pose));
         if !is_ctf || !state.cfg.coherence.enabled {
             state.bypasses.fetch_add(1, Ordering::Relaxed);
+            shared.cache_bypasses.inc();
             cached_arcs.push(None);
             outcomes.push(CacheOutcome::Bypass);
             continue;
@@ -662,18 +828,22 @@ fn render_group(
                 cache.corrupt_for_chaos(seed);
             }
         }
+        let rejects_before = cache.rejected();
         match cache.lookup(frame.tier, &frame.pose, &state.cfg.coherence, expected_rays) {
             Some(coarse) => {
                 state.hits.fetch_add(1, Ordering::Relaxed);
+                shared.cache_hits.inc();
                 cached_arcs.push(Some(coarse));
                 outcomes.push(CacheOutcome::Hit);
             }
             None => {
                 state.misses.fetch_add(1, Ordering::Relaxed);
+                shared.cache_misses.inc();
                 cached_arcs.push(None);
                 outcomes.push(CacheOutcome::Miss);
             }
         }
+        shared.cache_rejects.add(cache.rejected() - rejects_before);
     }
 
     let renderer = Renderer::new(
@@ -722,6 +892,7 @@ fn render_group(
                     );
                 if evicted > 0 {
                     state.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    shared.cache_evictions.add(evicted);
                 }
             }
         }

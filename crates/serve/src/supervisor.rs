@@ -35,6 +35,7 @@
 use crate::server::{fulfill, ServeError, Slot};
 use crate::session::DeadlineClass;
 use gen_nerf_parallel::CancelToken;
+use gen_nerf_telemetry::{Clock, Counter, EventKind, Gauge, ResolveOutcome, TraceRing};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -105,15 +106,42 @@ impl SupervisorStats {
     pub fn timed_out_total(&self) -> u64 {
         self.timed_out_interactive + self.timed_out_best_effort
     }
+
+    /// Derives the counter set from a telemetry snapshot, folding every
+    /// label set matching `subset` (a server passes its instance
+    /// label). Like
+    /// [`AdmissionStats::from_snapshot`](crate::AdmissionStats::from_snapshot),
+    /// this is the only name→field mapping for the watchdog counters.
+    pub fn from_snapshot(snap: &gen_nerf_telemetry::Snapshot, subset: &[(&str, &str)]) -> Self {
+        let timed_out = |class: &str| {
+            let mut s: Vec<(&str, &str)> = subset.to_vec();
+            s.push(("class", class));
+            snap.counter_with("serve_frames_timed_out_total", &s)
+        };
+        Self {
+            watched: snap.counter_with("serve_frames_watched_total", subset),
+            timed_out_interactive: timed_out("interactive"),
+            timed_out_best_effort: timed_out("best_effort"),
+            in_flight: snap.gauge_with("serve_frames_in_flight", subset).max(0) as usize,
+        }
+    }
 }
 
 /// One watched frame: the handle slot to resolve on timeout, the
-/// absolute deadline, and (once rendering) the batch's cancel token.
+/// absolute deadline, (once rendering) the batch's cancel token, and
+/// the frame's trace identity so a winning timeout can emit the
+/// terminal `Resolve` event itself.
 struct WatchEntry {
     slot: Arc<Slot>,
     deadline: Instant,
     class: DeadlineClass,
     cancel: Option<CancelToken>,
+    /// Frame-trace id ([`gen_nerf_telemetry::next_frame_id`]).
+    frame: u64,
+    /// The owning shard's trace ring.
+    ring: Arc<TraceRing>,
+    /// Submission instant, for the Resolve event's latency payload.
+    submitted: Instant,
 }
 
 struct WatchState {
@@ -125,9 +153,13 @@ struct SupervisorInner {
     state: Mutex<WatchState>,
     /// Wakes the watchdog: a new (possibly earlier) watch or shutdown.
     wake: Condvar,
-    watched: AtomicU64,
-    timed_out_interactive: AtomicU64,
-    timed_out_best_effort: AtomicU64,
+    /// Deadline arithmetic goes through this clock so tests can drive
+    /// the watchdog on virtual time.
+    clock: Clock,
+    watched: Counter,
+    in_flight: Gauge,
+    timed_out_interactive: Counter,
+    timed_out_best_effort: Counter,
     next_id: AtomicU64,
 }
 
@@ -142,16 +174,26 @@ pub(crate) struct Supervisor {
 }
 
 impl Supervisor {
-    pub(crate) fn spawn() -> Self {
+    pub(crate) fn spawn(instance: u64, clock: Clock) -> Self {
+        let inst = instance.to_string();
+        let labels: [(&'static str, &str); 1] = [("instance", &inst)];
+        let timed_out = |class: &str| {
+            gen_nerf_telemetry::counter(
+                "serve_frames_timed_out_total",
+                &[("instance", &inst), ("class", class)],
+            )
+        };
         let inner = Arc::new(SupervisorInner {
             state: Mutex::new(WatchState {
                 watches: HashMap::new(),
                 shutdown: false,
             }),
             wake: Condvar::new(),
-            watched: AtomicU64::new(0),
-            timed_out_interactive: AtomicU64::new(0),
-            timed_out_best_effort: AtomicU64::new(0),
+            clock,
+            watched: gen_nerf_telemetry::counter("serve_frames_watched_total", &labels),
+            in_flight: gen_nerf_telemetry::gauge("serve_frames_in_flight", &labels),
+            timed_out_interactive: timed_out("interactive"),
+            timed_out_best_effort: timed_out("best_effort"),
             next_id: AtomicU64::new(1),
         });
         let loop_inner = Arc::clone(&inner);
@@ -167,24 +209,32 @@ impl Supervisor {
 
     /// Registers `slot` against `class`'s budget starting at
     /// `submitted`; returns the watch id the frame carries to its
-    /// shard.
+    /// shard. `frame`/`ring` identify the frame's trace, so a timeout
+    /// this watchdog wins emits the terminal `Resolve` event itself.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn watch(
         &self,
         slot: &Arc<Slot>,
         class: DeadlineClass,
         submitted: Instant,
         cfg: &SupervisorConfig,
+        frame: u64,
+        ring: &Arc<TraceRing>,
     ) -> u64 {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        self.inner.watched.fetch_add(1, Ordering::Relaxed);
+        self.inner.watched.inc();
         let entry = WatchEntry {
             slot: Arc::clone(slot),
             deadline: submitted + cfg.budget(class),
             class,
             cancel: None,
+            frame,
+            ring: Arc::clone(ring),
+            submitted,
         };
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         state.watches.insert(id, entry);
+        self.inner.in_flight.inc();
         // The new deadline may be the earliest; the watchdog re-reads
         // the minimum on every wake, so one notify is always enough.
         self.inner.wake.notify_all();
@@ -206,7 +256,14 @@ impl Supervisor {
     /// watchdog removes timed-out watches itself).
     pub(crate) fn resolve(&self, watch: u64) {
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.watches.remove(&watch);
+        if state.watches.remove(&watch).is_some() {
+            self.inner.in_flight.dec();
+        }
+    }
+
+    /// The clock this supervisor's deadline math runs on.
+    pub(crate) fn clock(&self) -> &Clock {
+        &self.inner.clock
     }
 
     pub(crate) fn stats(&self) -> SupervisorStats {
@@ -215,9 +272,9 @@ impl Supervisor {
             state.watches.len()
         };
         SupervisorStats {
-            watched: self.inner.watched.load(Ordering::Relaxed),
-            timed_out_interactive: self.inner.timed_out_interactive.load(Ordering::Relaxed),
-            timed_out_best_effort: self.inner.timed_out_best_effort.load(Ordering::Relaxed),
+            watched: self.inner.watched.get(),
+            timed_out_interactive: self.inner.timed_out_interactive.get(),
+            timed_out_best_effort: self.inner.timed_out_best_effort.get(),
             in_flight,
         }
     }
@@ -245,7 +302,7 @@ fn watchdog_loop(inner: &SupervisorInner) {
         if state.shutdown {
             return;
         }
-        let now = Instant::now();
+        let now = inner.clock.now();
         let overdue: Vec<u64> = state
             .watches
             .iter()
@@ -254,6 +311,7 @@ fn watchdog_loop(inner: &SupervisorInner) {
             .collect();
         for id in overdue {
             let entry = state.watches.remove(&id).expect("overdue watch present");
+            inner.in_flight.dec();
             // First write wins: the shard may have resolved the slot
             // a moment ago without dropping the watch yet — then this
             // is a no-op, not a timeout.
@@ -265,7 +323,15 @@ fn watchdog_loop(inner: &SupervisorInner) {
                     DeadlineClass::Interactive => &inner.timed_out_interactive,
                     DeadlineClass::BestEffort => &inner.timed_out_best_effort,
                 }
-                .fetch_add(1, Ordering::Relaxed);
+                .inc();
+                // Winning the fulfill race makes this the frame's one
+                // terminal trace event.
+                entry.ring.record(
+                    entry.frame,
+                    EventKind::Resolve,
+                    ResolveOutcome::TimedOut as u64,
+                    now.saturating_duration_since(entry.submitted).as_nanos() as u64,
+                );
                 // Reclaim the worker: the render polls the token at
                 // per-ray boundaries and drains.
                 if let Some(cancel) = &entry.cancel {
@@ -276,9 +342,14 @@ fn watchdog_loop(inner: &SupervisorInner) {
         let next = state.watches.values().map(|w| w.deadline).min();
         state = match next {
             Some(deadline) => {
-                let wait = deadline
-                    .saturating_duration_since(Instant::now())
+                let mut wait = deadline
+                    .saturating_duration_since(inner.clock.now())
                     .max(Duration::from_millis(1));
+                if inner.clock.is_virtual() {
+                    // Virtual time advances out of band; poll so an
+                    // `advance` past a deadline is noticed promptly.
+                    wait = wait.min(Duration::from_millis(1));
+                }
                 inner
                     .wake
                     .wait_timeout(state, wait)
@@ -471,22 +542,48 @@ enum BreakerInner {
 /// probe accounting.
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
+    clock: Clock,
     inner: Mutex<BreakerInner>,
     trips: AtomicU64,
     shed: AtomicU64,
 }
 
 impl CircuitBreaker {
-    /// A closed breaker with an empty window.
+    /// A closed breaker with an empty window, on the real clock.
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::with_clock(cfg, Clock::real())
+    }
+
+    /// A closed breaker whose convenience methods
+    /// ([`CircuitBreaker::admit_now`], [`CircuitBreaker::record_now`])
+    /// read `clock` — pass a [`Clock::virtual_clock`] to drive the
+    /// state machine on deterministic time (the breaker proptest does).
+    pub fn with_clock(cfg: BreakerConfig, clock: Clock) -> Self {
         Self {
             cfg,
+            clock,
             inner: Mutex::new(BreakerInner::Closed {
                 outcomes: std::collections::VecDeque::new(),
             }),
             trips: AtomicU64::new(0),
             shed: AtomicU64::new(0),
         }
+    }
+
+    /// The clock behind [`CircuitBreaker::admit_now`] /
+    /// [`CircuitBreaker::record_now`].
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// [`CircuitBreaker::admit`] at the breaker clock's current time.
+    pub fn admit_now(&self) -> BreakerAdmit {
+        self.admit(self.clock.now())
+    }
+
+    /// [`CircuitBreaker::record`] at the breaker clock's current time.
+    pub fn record_now(&self, ok: bool, probe: bool) {
+        self.record(ok, probe, self.clock.now());
     }
 
     /// Decides one submission at `now`. `Probe` admissions must be

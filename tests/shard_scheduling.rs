@@ -190,15 +190,17 @@ proptest! {
 // opens at the failure threshold (once `min_samples` are in), Open
 // sheds every submission until the cooldown elapses, HalfOpen admits
 // exactly `probe_quota` probes (in-flight + succeeded), closes when
-// all succeed and re-opens the moment one fails. Virtual time —
-// explicit `now` values — makes every run deterministic.
+// all succeed and re-opens the moment one fails. Virtual time — a
+// `telemetry::Clock` advanced explicitly — makes every run
+// deterministic.
 // ---------------------------------------------------------------------------
 
 mod breaker {
     use gen_nerf_serve::{BreakerAdmit, BreakerConfig, BreakerState, CircuitBreaker};
+    use gen_nerf_telemetry::Clock;
     use proptest::prelude::*;
     use std::collections::VecDeque;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
     const WINDOW: usize = 8;
     const MIN_SAMPLES: usize = 4;
@@ -334,21 +336,21 @@ mod breaker {
                 1..150,
             ),
         ) {
-            let base = Instant::now();
-            let breaker = CircuitBreaker::new(config());
+            let clock = Clock::virtual_clock();
+            let breaker = CircuitBreaker::with_clock(config(), clock.clone());
             let mut model = Model::new();
             let mut now_ms = 0u64;
             let mut probes_this_episode = 0u32;
             for &(advance, ok_bit, action) in &ops {
                 let ok = ok_bit == 1;
                 now_ms += advance;
-                let now = base + Duration::from_millis(now_ms);
+                clock.advance(Duration::from_millis(advance));
                 match action {
                     // A straggler outcome with no matching admission:
                     // windows while Closed, carries no signal
                     // otherwise.
                     3 => {
-                        breaker.record(ok, false, now);
+                        breaker.record_now(ok, false);
                         model.record(ok, false, now_ms);
                     }
                     // A submission; action 2 abandons an admitted
@@ -360,7 +362,7 @@ mod breaker {
                         } else {
                             probes_this_episode = 0;
                         }
-                        let verdict = breaker.admit(now);
+                        let verdict = breaker.admit_now();
                         let expected = model.admit(now_ms);
                         prop_assert_eq!(verdict, expected, "admit diverged at t={}ms", now_ms);
                         match was {
@@ -390,7 +392,7 @@ mod breaker {
                                 if action == 2 {
                                     // Dropped frame: no outcome.
                                 } else {
-                                    breaker.record(ok, false, now);
+                                    breaker.record_now(ok, false);
                                     model.record(ok, false, now_ms);
                                 }
                             }
@@ -401,7 +403,7 @@ mod breaker {
                                     probes_this_episode =
                                         probes_this_episode.saturating_sub(1);
                                 } else {
-                                    breaker.record(ok, true, now);
+                                    breaker.record_now(ok, true);
                                     model.record(ok, true, now_ms);
                                 }
                             }

@@ -1,0 +1,366 @@
+//! Telemetry regression: the observability layer's exactness
+//! contracts.
+//!
+//! * **Trace completeness under chaos.** A mixed fault schedule
+//!   (transient panics, persistent panics, long stalls, overload
+//!   sheds) is pushed through a supervised server; afterwards every
+//!   submitted frame's trace carries exactly one Submit and exactly
+//!   one terminal event (a Resolve, or a shed/break admission
+//!   verdict), no frame is orphaned, and the ring dropped nothing.
+//! * **Counter reconciliation.** The registry counters — folded from
+//!   [`RenderServer::telemetry_snapshot`] by instance label — must
+//!   equal the ground truth the test harness observed through the
+//!   frame handles themselves: rendered, failed, timed-out, shed and
+//!   degraded counts, plus retries against the Retry trace events.
+//! * **Histogram exactness.** The latency histogram is fed the same
+//!   submit→resolve nanosecond values the Resolve trace events carry,
+//!   so every percentile must equal the bucket upper bound of the
+//!   exact rank-selected latency — accurate to one log₂ bucket by
+//!   construction, and pinned here.
+
+use gen_nerf::config::{ModelConfig, SamplingStrategy};
+use gen_nerf::model::GenNerfModel;
+use gen_nerf_geometry::{Intrinsics, Pose, Vec3};
+use gen_nerf_scene::{Dataset, DatasetKind};
+use gen_nerf_serve::{
+    AdmissionConfig, DeadlineClass, Fault, FrameRequest, RenderServer, SceneState, ServeError,
+    ServerConfig, SessionConfig, SupervisorConfig,
+};
+use gen_nerf_telemetry::{
+    bucket_index, bucket_upper_bound, AdmissionVerdict, EventKind, ResolveOutcome, TraceEvent,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scene() -> Arc<SceneState> {
+    let ds = Dataset::build(DatasetKind::DeepVoxels, "cube", 0.05, 4, 1, 24, 5);
+    let model = GenNerfModel::new(ModelConfig::fast());
+    Arc::new(SceneState::prepare(
+        model,
+        &ds.source_views,
+        ds.scene.bounds,
+        ds.scene.background,
+    ))
+}
+
+fn intrinsics() -> Intrinsics {
+    Intrinsics::from_fov(24, 24, 0.6)
+}
+
+fn walk_pose(s: usize, k: usize) -> Pose {
+    let phi = 0.3 * s as f32 + 0.015 * k as f32;
+    let eye = Vec3::new(3.5 * phi.cos(), 1.1, 3.5 * phi.sin());
+    Pose::look_at(eye, Vec3::ZERO, Vec3::Y)
+}
+
+/// Ground truth tallied from the frame handles themselves.
+#[derive(Default, Debug, PartialEq, Eq)]
+struct GroundTruth {
+    rendered: u64,
+    degraded: u64,
+    failed: u64,
+    timed_out: u64,
+    shed: u64,
+    circuit: u64,
+}
+
+/// Per-frame trace view, grouped from the drained ring events.
+#[derive(Default)]
+struct FrameTrace {
+    submits: u64,
+    resolves: Vec<ResolveOutcome>,
+    terminal_admits: u64,
+    degrade_admits: u64,
+    retries: u64,
+    first_kind: Option<EventKind>,
+}
+
+fn group_traces(events: &[TraceEvent]) -> BTreeMap<u64, FrameTrace> {
+    let mut by_frame: BTreeMap<u64, FrameTrace> = BTreeMap::new();
+    for e in events {
+        let t = by_frame.entry(e.frame).or_default();
+        if t.first_kind.is_none() {
+            t.first_kind = Some(e.kind);
+        }
+        match e.kind {
+            EventKind::Submit => t.submits += 1,
+            EventKind::Admit => {
+                let verdict = AdmissionVerdict::from_code(e.a).expect("bad admit code");
+                if verdict.is_terminal() {
+                    t.terminal_admits += 1;
+                }
+                if verdict == AdmissionVerdict::Degrade {
+                    t.degrade_admits += 1;
+                }
+            }
+            EventKind::Retry => t.retries += 1,
+            EventKind::Resolve => t
+                .resolves
+                .push(ResolveOutcome::from_code(e.a).expect("bad resolve code")),
+            _ => {}
+        }
+    }
+    by_frame
+}
+
+/// Spin until the server's counters reach the steady state where every
+/// submitted frame is accounted for exactly once. Counters and trace
+/// events are written just *after* the fulfil that wakes the waiting
+/// handle (and losing fulfil racers roll their speculative increments
+/// back asynchronously), so the state must also hold for several
+/// consecutive polls before it counts as settled.
+fn await_quiescence(server: &RenderServer, inst: &str, submitted: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut stable = 0;
+    loop {
+        let snap = server.telemetry_snapshot();
+        let sub: &[(&str, &str)] = &[("instance", inst)];
+        let settled = snap.counter_with("serve_frames_rendered_total", sub)
+            + snap.counter_with("serve_frames_failed_total", sub)
+            + snap.counter_with("serve_frames_timed_out_total", sub)
+            + snap.counter_with("serve_frames_shed_total", sub);
+        if settled == submitted && server.supervisor_stats().in_flight == 0 {
+            stable += 1;
+            if stable >= 5 {
+                return;
+            }
+        } else {
+            stable = 0;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "counters never quiesced: {settled}/{submitted} frames accounted for"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn chaos_schedule_traces_are_complete_and_reconcile_with_ground_truth() {
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let budget = Duration::from_millis(1200);
+    // One shard, tight queue: overload sheds and degrades occur
+    // naturally alongside the injected faults.
+    let server = RenderServer::new(
+        ServerConfig::default()
+            .with_max_shards(1)
+            .with_admission(AdmissionConfig::with_capacity(2))
+            .with_supervision(
+                SupervisorConfig::default()
+                    .with_interactive_budget(budget)
+                    .with_best_effort_budget(budget),
+            ),
+    );
+    let sessions = [
+        server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(intrinsics(), strategy),
+        ),
+        server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(intrinsics(), strategy),
+        ),
+    ];
+
+    // A fixed schedule cycling through every fault kind, submitted
+    // without waiting so queue pressure is real.
+    let mut handles = Vec::new();
+    for k in 0..24 {
+        let fault = match k % 8 {
+            1 => Some(Fault::PanicOnce),
+            3 => Some(Fault::Stall(Duration::from_secs(30))),
+            5 => Some(Fault::Panic),
+            6 => Some(Fault::Stall(Duration::from_millis(25))),
+            _ => None,
+        };
+        let class = if k % 3 == 0 {
+            DeadlineClass::BestEffort
+        } else {
+            DeadlineClass::Interactive
+        };
+        let mut req = FrameRequest::new(walk_pose(k % 2, k)).with_deadline(class);
+        if let Some(f) = fault {
+            req = req.with_fault(f);
+        }
+        handles.push(server.submit(sessions[k % 2], req));
+    }
+    let submitted = handles.len() as u64;
+
+    // Tally ground truth from the handles — the client-visible record
+    // of what actually happened to each frame.
+    let mut truth = GroundTruth::default();
+    for (k, handle) in handles.into_iter().enumerate() {
+        match handle
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|| panic!("frame {k} never resolved"))
+        {
+            Ok(frame) => {
+                truth.rendered += 1;
+                if frame.serve.degraded {
+                    truth.degraded += 1;
+                }
+            }
+            Err(ServeError::Failed(_)) => truth.failed += 1,
+            Err(ServeError::TimedOut { .. }) => truth.timed_out += 1,
+            Err(ServeError::Shed { .. }) => truth.shed += 1,
+            Err(ServeError::CircuitOpen) => truth.circuit += 1,
+        }
+    }
+    let inst = server.instance().to_string();
+    await_quiescence(&server, &inst, submitted);
+
+    // --- Trace completeness -------------------------------------------------
+    assert_eq!(server.trace_drops(), 0, "trace ring dropped events");
+    let events = server.drain_traces();
+    let by_frame = group_traces(&events);
+    assert_eq!(
+        by_frame.len() as u64,
+        submitted,
+        "trace frame count != submissions"
+    );
+    for (frame, t) in &by_frame {
+        assert_eq!(t.submits, 1, "frame {frame}: expected exactly one Submit");
+        assert_eq!(
+            t.first_kind,
+            Some(EventKind::Submit),
+            "frame {frame}: trace does not start with Submit"
+        );
+        let terminals = t.resolves.len() as u64 + t.terminal_admits;
+        assert_eq!(
+            terminals, 1,
+            "frame {frame}: expected exactly one terminal event, got {} resolves + {} terminal admits",
+            t.resolves.len(),
+            t.terminal_admits
+        );
+    }
+
+    // Trace-level outcome counts equal ground truth.
+    let count_resolve = |o: ResolveOutcome| -> u64 {
+        by_frame
+            .values()
+            .filter(|t| t.resolves.first() == Some(&o))
+            .count() as u64
+    };
+    assert_eq!(count_resolve(ResolveOutcome::Ok), truth.rendered);
+    assert_eq!(count_resolve(ResolveOutcome::TimedOut), truth.timed_out);
+    assert_eq!(count_resolve(ResolveOutcome::Failed), truth.failed);
+    let terminal_admits: u64 = by_frame.values().map(|t| t.terminal_admits).sum();
+    assert_eq!(terminal_admits, truth.shed + truth.circuit);
+
+    // --- Counter reconciliation --------------------------------------------
+    let snap = server.telemetry_snapshot();
+    let sub: &[(&str, &str)] = &[("instance", &inst)];
+    assert_eq!(
+        snap.counter_with("serve_frames_rendered_total", sub),
+        truth.rendered
+    );
+    assert_eq!(
+        snap.counter_with("serve_frames_failed_total", sub),
+        truth.failed
+    );
+    assert_eq!(
+        snap.counter_with("serve_frames_timed_out_total", sub),
+        truth.timed_out
+    );
+    assert_eq!(
+        snap.counter_with("serve_frames_shed_total", sub),
+        truth.shed + truth.circuit
+    );
+    // Degrades are counted at the admission decision; a degraded frame
+    // can still time out or fail later, so the counter must equal the
+    // Admit(Degrade) trace events and bound the delivered-degraded
+    // count from below.
+    let degrade_admits: u64 = by_frame.values().map(|t| t.degrade_admits).sum();
+    assert_eq!(
+        snap.counter_with("serve_frames_degraded_total", sub),
+        degrade_admits
+    );
+    assert!(truth.degraded <= degrade_admits);
+    // The admission-stats view is itself a snapshot fold — it must
+    // agree with the same truth.
+    let adm = server.admission_stats();
+    assert_eq!(adm.shed_total(), truth.shed + truth.circuit);
+    assert_eq!(adm.degraded, degrade_admits);
+    // Retries: the counter and the Retry trace events count the same
+    // thing.
+    let trace_retries: u64 = by_frame.values().map(|t| t.retries).sum();
+    assert_eq!(snap.counter_with("serve_retries_total", sub), trace_retries);
+    // Delivered-latency histogram: one observation per rendered frame.
+    assert_eq!(
+        snap.histogram_merged("serve_latency_ns", sub).count,
+        truth.rendered
+    );
+    // Queue depth and in-flight gauges are back to zero at rest.
+    assert_eq!(snap.gauge_with("serve_queue_depth", sub), 0);
+    assert_eq!(snap.gauge_with("serve_frames_in_flight", sub), 0);
+}
+
+#[test]
+fn latency_percentiles_are_exact_to_one_bucket_of_the_trace_latencies() {
+    let scene = scene();
+    let server = RenderServer::new(ServerConfig::default().with_max_shards(1));
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), SamplingStrategy::Uniform { n: 6 }),
+    );
+    let n = 40;
+    for k in 0..n {
+        server
+            .submit(session, FrameRequest::new(walk_pose(0, k)))
+            .wait();
+    }
+    assert_eq!(server.trace_drops(), 0);
+
+    // The histogram observation and Resolve event land just after the
+    // fulfil that wakes `wait()` — give the last frame's bookkeeping a
+    // beat to settle.
+    let inst = server.instance().to_string();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (server
+        .telemetry_snapshot()
+        .histogram_merged("serve_latency_ns", &[("instance", &inst)])
+        .count as usize)
+        < n
+    {
+        assert!(
+            Instant::now() < deadline,
+            "latency histogram never reached {n} observations"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The Resolve events carry the exact submit→resolve nanosecond
+    // latencies — the *same* values the histogram observed.
+    let mut exact: Vec<u64> = server
+        .drain_traces()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::Resolve && e.a == ResolveOutcome::Ok as u64)
+        .map(|e| e.b)
+        .collect();
+    assert_eq!(exact.len(), n);
+    exact.sort_unstable();
+
+    let hist = server
+        .telemetry_snapshot()
+        .histogram_merged("serve_latency_ns", &[("instance", &inst)]);
+    assert_eq!(hist.count, n as u64);
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        // Same rank selection the histogram uses: the percentile must
+        // be the bucket upper bound of the exact rank-th latency.
+        let rank = ((hist.count as f64 * q).ceil() as u64).clamp(1, hist.count);
+        let exact_q = exact[(rank - 1) as usize];
+        let approx = hist.percentile(q);
+        assert_eq!(
+            approx,
+            bucket_upper_bound(bucket_index(exact_q)),
+            "q={q}: exact latency {exact_q}ns not within one bucket of {approx}ns"
+        );
+        assert!(approx >= exact_q, "q={q}: percentile under-reports");
+        assert!(
+            exact_q == 0 || approx < exact_q.saturating_mul(2),
+            "q={q}: percentile {approx} more than one bucket above exact {exact_q}"
+        );
+    }
+}
