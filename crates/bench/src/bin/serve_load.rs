@@ -33,8 +33,8 @@
 use gen_nerf::config::{ModelConfig, SamplingStrategy};
 use gen_nerf::model::GenNerfModel;
 use gen_nerf_bench::loadgen::{
-    chaos_plan, corruption_plan, load_plan, seed_from_env, Arrival, ChaosFault, ChaosSpec,
-    CorruptionFault, LoadSpec, SEED_ENV,
+    chaos_plan, corruption_plan, heal_plan, load_plan, seed_from_env, Arrival, ChaosFault,
+    ChaosSpec, CorruptionFault, HealFault, LoadSpec, SEED_ENV,
 };
 use gen_nerf_bench::telemetry_out;
 use gen_nerf_geometry::Intrinsics;
@@ -43,8 +43,8 @@ use gen_nerf_nn::kernels::{self, Backend};
 use gen_nerf_scene::{Dataset, DatasetKind};
 use gen_nerf_serve::{
     AdmissionConfig, BreakerConfig, BreakerState, CoherenceConfig, DeadlineClass, Fault,
-    FrameRequest, RenderServer, RetryPolicy, SceneState, ServeError, ServerConfig, SessionConfig,
-    SessionId, SupervisorConfig,
+    FrameRequest, FrameResult, GovernorConfig, HealthConfig, RenderServer, RetryPolicy, SceneState,
+    ServeError, ServerConfig, SessionConfig, SessionId, SupervisorConfig,
 };
 use gen_nerf_telemetry::{AdmissionVerdict, EventKind};
 use std::collections::HashMap;
@@ -159,16 +159,18 @@ fn verify_traces(server: &RenderServer, submitted: u64) -> Vec<String> {
     if drops > 0 {
         problems.push(format!("{drops} trace ring event(s) dropped"));
     }
-    // (submits, resolves, terminal admission verdicts) per frame.
+    // (submits, resolves, terminal admission verdicts) per frame. Only
+    // frame-lifecycle kinds key into the map: shard-lifecycle events
+    // (Condemn/Restart/Drain carry the shard, not a frame, in their
+    // payload) must not fabricate phantom frame entries.
     let mut by_frame: HashMap<u64, (u64, u64, u64)> = HashMap::new();
     for e in server.drain_traces() {
-        let t = by_frame.entry(e.frame).or_default();
         match e.kind {
-            EventKind::Submit => t.0 += 1,
-            EventKind::Resolve => t.1 += 1,
+            EventKind::Submit => by_frame.entry(e.frame).or_default().0 += 1,
+            EventKind::Resolve => by_frame.entry(e.frame).or_default().1 += 1,
             EventKind::Admit => {
                 if AdmissionVerdict::from_code(e.a).is_some_and(|v| v.is_terminal()) {
-                    t.2 += 1;
+                    by_frame.entry(e.frame).or_default().2 += 1;
                 }
             }
             _ => {}
@@ -400,8 +402,14 @@ fn run_scenario(
             Err(ServeError::Failed(msg)) => panic!("frame failed under load: {msg}"),
             // No faults are injected in the scale scenarios and the
             // default budgets are far above any queue wait here; a
-            // timeout or open breaker would be a real regression.
-            Err(e @ (ServeError::TimedOut { .. } | ServeError::CircuitOpen)) => {
+            // timeout, open breaker, drain, or downed shard would be a
+            // real regression.
+            Err(
+                e @ (ServeError::TimedOut { .. }
+                | ServeError::CircuitOpen
+                | ServeError::Draining
+                | ServeError::ShardDown),
+            ) => {
                 panic!("unexpected supervision outcome under clean load: {e}")
             }
         }
@@ -586,6 +594,24 @@ fn breaker_drill(
     }
 }
 
+/// Fraction of chaos frames that carry a *shard-lifecycle* fault
+/// (kill / wedge) on top of the frame-level chaos schedule — rare, as
+/// whole-scheduler failures are in production, but present so every
+/// chaos replay also exercises detection + restart + requeue.
+const CHAOS_HEAL_FRACTION: f64 = 0.06;
+/// A `WedgeShard` stall parks the scheduler thread past the default
+/// heartbeat budget (2 s) without beating, so the health sweep must
+/// condemn the shard; the wedged frame itself resolves through the
+/// watchdog at its class budget long before that.
+const CHAOS_WEDGE_STALL: Duration = Duration::from_millis(2500);
+
+fn serve_heal_fault(fault: HealFault) -> Fault {
+    match fault {
+        HealFault::KillShard => Fault::KillShard,
+        HealFault::WedgeShard => Fault::WedgeShard(CHAOS_WEDGE_STALL),
+    }
+}
+
 /// One chaos run's aggregate outcome.
 struct ChaosOutcome {
     spec: LoadSpec,
@@ -614,6 +640,14 @@ struct ChaosOutcome {
     watchdog_timeouts_best_effort: u64,
     retries: u64,
     breaker_trips: u64,
+    /// Seeded shard-lifecycle faults injected on top of the chaos
+    /// schedule (scheduler-thread kills / wedges).
+    injected_kills: u64,
+    injected_wedges: u64,
+    /// Shard restarts the self-healing layer performed in response.
+    shard_restarts: u64,
+    /// Frames requeued across a restart (the lifecycle counter).
+    frames_requeued: u64,
     /// Whether the registry snapshot reconciled exactly with the
     /// harness ground truth and every frame left a complete trace.
     telemetry_ok: bool,
@@ -641,6 +675,24 @@ fn run_chaos(spec: LoadSpec, fraction: f64, scenes: &[Arc<SceneState>]) -> Chaos
         },
         plan.len(),
     );
+    // The shard-lifecycle schedule rides on its own seeded stream; a
+    // heal fault replaces the frame-level fault at the same index (the
+    // shard dies before the frame would have rendered anyway).
+    let heal_faults = heal_plan(
+        &ChaosSpec {
+            fraction: CHAOS_HEAL_FRACTION,
+            seed: spec.seed,
+        },
+        plan.len(),
+    );
+    let injected_kills = heal_faults
+        .iter()
+        .filter(|f| **f == Some(HealFault::KillShard))
+        .count() as u64;
+    let injected_wedges = heal_faults
+        .iter()
+        .filter(|f| **f == Some(HealFault::WedgeShard))
+        .count() as u64;
     // Warm every shard before the clock starts.
     for scene_idx in 0..scenes.len() {
         server
@@ -650,20 +702,25 @@ fn run_chaos(spec: LoadSpec, fraction: f64, scenes: &[Arc<SceneState>]) -> Chaos
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(plan.len());
-    for (arrival, fault) in plan.iter().zip(&faults) {
+    for ((arrival, fault), heal) in plan.iter().zip(&faults).zip(&heal_faults) {
         let target = Duration::from_secs_f64(arrival.at_ms / 1e3);
         if let Some(sleep) = target.checked_sub(start.elapsed()) {
             if !sleep.is_zero() {
                 std::thread::sleep(sleep);
             }
         }
+        // A shard-lifecycle fault takes the slot: the scheduler dies
+        // before the frame-level fault could have fired.
+        let effective = if heal.is_some() { None } else { *fault };
         let mut req = FrameRequest::new(arrival.pose).with_deadline(arrival.deadline);
-        if let Some(f) = fault {
+        if let Some(h) = heal {
+            req = req.with_fault(serve_heal_fault(*h));
+        } else if let Some(f) = fault {
             req = req.with_fault(serve_fault(*f));
         }
         handles.push((
             arrival.deadline,
-            *fault,
+            effective,
             server.submit(sessions[arrival.session], req),
         ));
     }
@@ -695,6 +752,11 @@ fn run_chaos(spec: LoadSpec, fraction: f64, scenes: &[Arc<SceneState>]) -> Chaos
             Some(Err(ServeError::Failed(_))) => failed += 1,
             Some(Err(ServeError::Shed { .. })) => shed += 1,
             Some(Err(ServeError::CircuitOpen)) => shed_circuit += 1,
+            // The chaos plan injects no shard-level faults and never
+            // drains the server; either error here is a regression.
+            Some(Err(e @ (ServeError::Draining | ServeError::ShardDown))) => {
+                panic!("unexpected lifecycle error under chaos replay: {e}")
+            }
         }
     }
     let duration_s = start.elapsed().as_secs_f64();
@@ -712,6 +774,11 @@ fn run_chaos(spec: LoadSpec, fraction: f64, scenes: &[Arc<SceneState>]) -> Chaos
     let breaker_trips: u64 = (0..scenes.len())
         .map(|i| server.scene_breaker(sessions[i]).trips())
         .sum();
+    let shard_restarts: u64 = server.shard_health().iter().map(|h| h.restarts).sum();
+    let inst = server.instance().to_string();
+    let frames_requeued = server
+        .telemetry_snapshot()
+        .counter_with("serve_requeued_frames_total", &[("instance", &inst)]);
 
     // Reconcile telemetry against the handle-observed outcomes (the
     // warm-up frames all rendered). With an unresolved handle the run
@@ -754,6 +821,10 @@ fn run_chaos(spec: LoadSpec, fraction: f64, scenes: &[Arc<SceneState>]) -> Chaos
         watchdog_timeouts_best_effort: sup.timed_out_best_effort,
         retries,
         breaker_trips,
+        injected_kills,
+        injected_wedges,
+        shard_restarts,
+        frames_requeued,
         telemetry_ok,
         drill,
     }
@@ -775,6 +846,8 @@ fn chaos_json(o: &ChaosOutcome) -> String {
          \"watchdog_timeouts_interactive\": {},\n  \
          \"watchdog_timeouts_best_effort\": {},\n  \
          \"retries\": {},\n  \"breaker_trips\": {},\n  \
+         \"injected_shard_kills\": {},\n  \"injected_shard_wedges\": {},\n  \
+         \"shard_restarts\": {},\n  \"frames_requeued\": {},\n  \
          \"drill_frames_to_trip\": {},\n  \"drill_shed_while_open\": {},\n  \
          \"drill_reclosed\": {},\n  \"drill_trips\": {}\n}}\n",
         o.spec.seed,
@@ -802,6 +875,10 @@ fn chaos_json(o: &ChaosOutcome) -> String {
         o.watchdog_timeouts_best_effort,
         o.retries,
         o.breaker_trips,
+        o.injected_kills,
+        o.injected_wedges,
+        o.shard_restarts,
+        o.frames_requeued,
         o.drill.frames_to_trip,
         o.drill.shed_while_open,
         o.drill.reclosed,
@@ -873,6 +950,10 @@ fn run_chaos_mode(test_mode: bool, seed: u64) {
         o.breaker_trips,
     );
     println!(
+        "  shard lifecycle: injected {} kills / {} wedges, {} restarts, {} frames requeued",
+        o.injected_kills, o.injected_wedges, o.shard_restarts, o.frames_requeued,
+    );
+    println!(
         "  drill: tripped after {} failures, shed {} while open, reclosed: {}",
         o.drill.frames_to_trip, o.drill.shed_while_open, o.drill.reclosed,
     );
@@ -880,6 +961,12 @@ fn run_chaos_mode(test_mode: bool, seed: u64) {
     std::fs::write(&out_path, &json).expect("write chaos report");
     println!("{json}");
     println!("wrote {out_path}");
+
+    // The self-healing drill shares the chaos flag (and seed): the
+    // replay above spread seeded kills/wedges through live load; the
+    // drill isolates each lifecycle case for exact measurement and
+    // writes BENCH_heal.json (plus the SERVE_HEAL_GATE in test mode).
+    run_heal_mode(test_mode, seed);
 
     if test_mode {
         // CI gate: every handle resolves, and nothing that succeeded
@@ -916,6 +1003,525 @@ fn run_chaos_mode(test_mode: bool, seed: u64) {
         println!(
             "SERVE_CHAOS_GATE: OK — all {} handles resolved within budget under chaos",
             o.submitted
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heal drill (runs with `--chaos`): the self-healing layer measured one
+// deterministic case at a time — shard kill (detection latency, restart
+// MTTR, bitwise-identical requeue), shard wedge (heartbeat detection),
+// graceful drain, and the global memory governor — into BENCH_heal.json.
+// The open-loop chaos replay above injects the *seeded* kills/wedges;
+// this drill is where the hard numbers (and the CI gate) come from,
+// because each case starts from a quiet server and one known fault.
+// ---------------------------------------------------------------------------
+
+/// Drill-local health policy: a tight heartbeat budget so detection
+/// latency is measurable in milliseconds, a fast sweep, and a small
+/// restart backoff.
+const HEAL_HEARTBEAT_BUDGET: Duration = Duration::from_millis(250);
+const HEAL_SWEEP_INTERVAL: Duration = Duration::from_millis(20);
+const HEAL_RESTART_BACKOFF: Duration = Duration::from_millis(20);
+/// The drill's wedge stall: comfortably past the heartbeat budget (so
+/// the sweep must condemn on staleness) and comfortably under the
+/// default supervision budgets (so the wedged frame completes after
+/// requeue instead of timing out).
+const HEAL_WEDGE_STALL: Duration = Duration::from_millis(600);
+/// Detection gate: heartbeat budget + sweep cadence + generous
+/// scheduling slack for a loaded single-core CI box.
+const HEAL_DETECT_GATE: Duration = Duration::from_millis(1500);
+/// Recovery gate: submit of the faulted frame → its requeued render
+/// completes (includes detection, backoff, respawn, and the render).
+const HEAL_MTTR_GATE: Duration = Duration::from_millis(5000);
+
+fn heal_health() -> HealthConfig {
+    HealthConfig::default()
+        .with_heartbeat_budget(HEAL_HEARTBEAT_BUDGET)
+        .with_sweep_interval(HEAL_SWEEP_INTERVAL)
+        .with_restart_backoff(HEAL_RESTART_BACKOFF, Duration::from_millis(200))
+}
+
+/// Pixel equality down to the bit — the requeue pin's contract is
+/// "bitwise what a never-killed server renders", not "close".
+fn image_bits(frame: &FrameResult) -> Vec<u32> {
+    frame.image.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Total shard condemnations, folded from the server's registry — the
+/// detection signal (a condemn is the sweep *noticing*; the restart
+/// counter moves only after the backoff).
+fn condemned_total(server: &RenderServer) -> u64 {
+    let inst = server.instance().to_string();
+    server
+        .telemetry_snapshot()
+        .counter_with("serve_shard_condemned_total", &[("instance", &inst)])
+}
+
+fn requeued_total(server: &RenderServer) -> u64 {
+    let inst = server.instance().to_string();
+    server
+        .telemetry_snapshot()
+        .counter_with("serve_requeued_frames_total", &[("instance", &inst)])
+}
+
+/// Polls the condemned counter until it reaches `target`; returns the
+/// elapsed milliseconds since `t0` (NaN on a 30 s blowout).
+fn await_condemn(server: &RenderServer, target: u64, t0: Instant) -> f64 {
+    loop {
+        if condemned_total(server) >= target {
+            return t0.elapsed().as_secs_f64() * 1e3;
+        }
+        if t0.elapsed() > Duration::from_secs(30) {
+            return f64::NAN;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// The heal drill's aggregate outcome.
+struct HealOutcome {
+    seed: u64,
+    kill_detection_ms: f64,
+    kill_mttr_ms: f64,
+    kill_frames_lost: u64,
+    kill_bitwise_ok: bool,
+    kill_restarts: u64,
+    kill_requeued: u64,
+    wedge_detection_ms: f64,
+    wedge_mttr_ms: f64,
+    wedge_frames_lost: u64,
+    wedge_bitwise_ok: bool,
+    drain_complete: bool,
+    drain_forced: u64,
+    drain_waited_ms: f64,
+    drain_rejects_after: bool,
+    drain_frames_lost: u64,
+    governor_budget_bytes: u64,
+    governor_peak_bytes: u64,
+    governor_evictions: u64,
+    governor_refused: u64,
+    governor_pressure_sheds: u64,
+    governor_shed_observed: bool,
+}
+
+fn run_heal_drill(seed: u64) -> HealOutcome {
+    let strategy = SamplingStrategy::coarse_then_focus(8, 8);
+    let intrinsics = Intrinsics::from_fov(12, 12, 0.55);
+    println!("heal drill: preparing scene ...");
+    let scenes = build_scenes(1, 12);
+    let scene = &scenes[0];
+    let drill_session = |server: &RenderServer| {
+        server.create_session(Arc::clone(scene), SessionConfig::new(intrinsics, strategy))
+    };
+    // Deterministic pose set shared by every case and by the clean
+    // reference server (one session's trajectory from the load seed).
+    let plan = load_plan(&LoadSpec {
+        sessions: 1,
+        frames_per_session: 24,
+        rate_hz: 1000.0,
+        best_effort_fraction: 0.0,
+        scenes: 1,
+        seed,
+    });
+    let poses: Vec<_> = plan.iter().map(|a| a.pose).collect();
+
+    // Clean reference renders: the bitwise pin every healed frame is
+    // compared against (a server that never sees a fault).
+    let reference: Vec<Vec<u32>> = {
+        let server = RenderServer::new(ServerConfig::default().with_max_shards(1));
+        let session = drill_session(&server);
+        poses[..8]
+            .iter()
+            .map(|p| image_bits(&server.submit(session, FrameRequest::new(*p)).wait()))
+            .collect()
+    };
+
+    // --- Case 1: shard kill -------------------------------------------------
+    // The scheduler thread dies mid-frame with work queued behind it.
+    // The sweep must classify Dead, restart, and requeue — and every
+    // frame (the killed one included) must render bitwise identical to
+    // the clean server.
+    println!("heal drill: shard kill ...");
+    let (
+        kill_detection_ms,
+        kill_mttr_ms,
+        kill_frames_lost,
+        kill_bitwise_ok,
+        kill_restarts,
+        kill_requeued,
+    ) = {
+        let server = RenderServer::new(
+            ServerConfig::default()
+                .with_max_shards(1)
+                .with_health(heal_health()),
+        );
+        let session = drill_session(&server);
+        // Warm the shard (pool spawn, first render) out of the timing.
+        let warm = server.submit(session, FrameRequest::new(poses[0])).wait();
+        let mut bitwise_ok = image_bits(&warm) == reference[0];
+        let t0 = Instant::now();
+        let mut handles = vec![server.submit(
+            session,
+            FrameRequest::new(poses[1]).with_fault(Fault::KillShard),
+        )];
+        for p in &poses[2..8] {
+            handles.push(server.submit(session, FrameRequest::new(*p)));
+        }
+        let detection_ms = await_condemn(&server, 1, t0);
+        let mut frames_lost = 0u64;
+        let mut mttr_ms = f64::NAN;
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.wait_timeout(Duration::from_secs(30)) {
+                Some(Ok(frame)) => {
+                    if i == 0 {
+                        mttr_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    }
+                    if image_bits(&frame) != reference[i + 1] {
+                        bitwise_ok = false;
+                    }
+                }
+                _ => frames_lost += 1,
+            }
+        }
+        let restarts: u64 = server.shard_health().iter().map(|h| h.restarts).sum();
+        let requeued = requeued_total(&server);
+        (
+            detection_ms,
+            mttr_ms,
+            frames_lost,
+            bitwise_ok,
+            restarts,
+            requeued,
+        )
+    };
+
+    // --- Case 2: shard wedge ------------------------------------------------
+    // The scheduler thread stalls without beating: the heartbeat goes
+    // stale past the budget, the sweep condemns Wedged, and a fresh
+    // incarnation takes over the queue. The stalled frame is requeued
+    // once the old incarnation unwedges and must render clean.
+    println!("heal drill: shard wedge ...");
+    let (wedge_detection_ms, wedge_mttr_ms, wedge_frames_lost, wedge_bitwise_ok) = {
+        let server = RenderServer::new(
+            ServerConfig::default()
+                .with_max_shards(1)
+                .with_health(heal_health()),
+        );
+        let session = drill_session(&server);
+        let warm = server.submit(session, FrameRequest::new(poses[0])).wait();
+        let mut bitwise_ok = image_bits(&warm) == reference[0];
+        let t0 = Instant::now();
+        let mut handles = vec![server.submit(
+            session,
+            FrameRequest::new(poses[1]).with_fault(Fault::WedgeShard(HEAL_WEDGE_STALL)),
+        )];
+        for p in &poses[2..4] {
+            handles.push(server.submit(session, FrameRequest::new(*p)));
+        }
+        let detection_ms = await_condemn(&server, 1, t0);
+        let mut frames_lost = 0u64;
+        let mut mttr_ms = f64::NAN;
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.wait_timeout(Duration::from_secs(30)) {
+                Some(Ok(frame)) => {
+                    if i == 0 {
+                        mttr_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    }
+                    if image_bits(&frame) != reference[i + 1] {
+                        bitwise_ok = false;
+                    }
+                }
+                _ => frames_lost += 1,
+            }
+        }
+        (detection_ms, mttr_ms, frames_lost, bitwise_ok)
+    };
+
+    // --- Case 3: graceful drain ---------------------------------------------
+    // Queued work finishes, every handle resolves before drain returns,
+    // and the server rejects new work with `Draining` afterwards.
+    println!("heal drill: graceful drain ...");
+    let (drain_complete, drain_forced, drain_waited_ms, drain_rejects_after, drain_frames_lost) = {
+        let server = RenderServer::new(ServerConfig::default().with_max_shards(1));
+        let session = drill_session(&server);
+        server.submit(session, FrameRequest::new(poses[0])).wait();
+        let handles: Vec<_> = poses[1..6]
+            .iter()
+            .map(|p| server.submit(session, FrameRequest::new(*p)))
+            .collect();
+        let report = server.drain(Duration::from_secs(30));
+        // drain() returning means every queued frame was fulfilled —
+        // a zero-wait probe must find each handle already resolved.
+        let mut lost = 0u64;
+        for h in handles {
+            match h.wait_timeout(Duration::from_millis(1)) {
+                Some(Ok(_)) => {}
+                _ => lost += 1,
+            }
+        }
+        let rejects = matches!(
+            server
+                .submit(session, FrameRequest::new(poses[0]))
+                .wait_result(),
+            Err(ServeError::Draining)
+        );
+        let waited_ms = report
+            .outcomes
+            .iter()
+            .map(|o| o.waited.as_secs_f64() * 1e3)
+            .fold(0.0, f64::max);
+        (
+            report.complete(),
+            report.forced_total(),
+            waited_ms,
+            rejects,
+            lost,
+        )
+    };
+
+    // --- Case 4: memory governor --------------------------------------------
+    // A budget with only a sliver of headroom past the worker-arena
+    // reservation: anchor inserts contend with the global budget from
+    // the first frame, and the arena alone crosses the pressure
+    // watermark, so BestEffort must shed at admission. The hard pin is
+    // `peak <= budget` — charge-before-insert means the budget is never
+    // exceeded even transiently.
+    println!("heal drill: memory governor ...");
+    let (
+        governor_budget_bytes,
+        governor_peak_bytes,
+        governor_evictions,
+        governor_refused,
+        governor_pressure_sheds,
+        governor_shed_observed,
+    ) = {
+        let arena = gen_nerf_parallel::num_threads().max(1) as u64 * (1 << 20);
+        let budget = arena + 32 * 1024;
+        let server = RenderServer::new(
+            ServerConfig::default()
+                .with_max_shards(1)
+                .with_governor(GovernorConfig::default().with_budget_bytes(budget)),
+        );
+        let session = server.create_session(
+            Arc::clone(scene),
+            SessionConfig::new(intrinsics, strategy)
+                // Tiny coherence bounds: every distinct pose re-anchors,
+                // so each frame tries a fresh insert against the budget.
+                .with_coherence(CoherenceConfig::within(1e-6, 1e-6)),
+        );
+        for pose in &poses {
+            server.submit(session, FrameRequest::new(*pose)).wait();
+        }
+        let shed = server
+            .submit(
+                session,
+                FrameRequest::new(poses[0]).with_deadline(DeadlineClass::BestEffort),
+            )
+            .wait_result();
+        let shed_observed = matches!(shed, Err(ServeError::Shed { .. }));
+        let g = server.governor_stats();
+        (
+            g.budget_bytes,
+            g.peak_bytes,
+            g.evictions,
+            g.refused_inserts,
+            g.pressure_sheds,
+            shed_observed,
+        )
+    };
+
+    HealOutcome {
+        seed,
+        kill_detection_ms,
+        kill_mttr_ms,
+        kill_frames_lost,
+        kill_bitwise_ok,
+        kill_restarts,
+        kill_requeued,
+        wedge_detection_ms,
+        wedge_mttr_ms,
+        wedge_frames_lost,
+        wedge_bitwise_ok,
+        drain_complete,
+        drain_forced,
+        drain_waited_ms,
+        drain_rejects_after,
+        drain_frames_lost,
+        governor_budget_bytes,
+        governor_peak_bytes,
+        governor_evictions,
+        governor_refused,
+        governor_pressure_sheds,
+        governor_shed_observed,
+    }
+}
+
+fn heal_json(o: &HealOutcome) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"seed_env\": \"{SEED_ENV}\",\n  \
+         \"threads\": {},\n  \
+         \"heartbeat_budget_ms\": {},\n  \"sweep_interval_ms\": {},\n  \
+         \"restart_backoff_ms\": {},\n  \"wedge_stall_ms\": {},\n  \
+         \"kill_detection_ms\": {:.2},\n  \"kill_mttr_ms\": {:.2},\n  \
+         \"kill_frames_lost\": {},\n  \"kill_bitwise_ok\": {},\n  \
+         \"kill_restarts\": {},\n  \"kill_requeued\": {},\n  \
+         \"wedge_detection_ms\": {:.2},\n  \"wedge_mttr_ms\": {:.2},\n  \
+         \"wedge_frames_lost\": {},\n  \"wedge_bitwise_ok\": {},\n  \
+         \"drain_complete\": {},\n  \"drain_forced\": {},\n  \
+         \"drain_waited_ms\": {:.2},\n  \"drain_rejects_after\": {},\n  \
+         \"drain_frames_lost\": {},\n  \
+         \"governor_budget_bytes\": {},\n  \"governor_peak_bytes\": {},\n  \
+         \"governor_evictions\": {},\n  \"governor_refused_inserts\": {},\n  \
+         \"governor_pressure_sheds\": {},\n  \"governor_shed_observed\": {}\n}}\n",
+        o.seed,
+        gen_nerf_parallel::num_threads(),
+        HEAL_HEARTBEAT_BUDGET.as_millis(),
+        HEAL_SWEEP_INTERVAL.as_millis(),
+        HEAL_RESTART_BACKOFF.as_millis(),
+        HEAL_WEDGE_STALL.as_millis(),
+        o.kill_detection_ms,
+        o.kill_mttr_ms,
+        o.kill_frames_lost,
+        o.kill_bitwise_ok,
+        o.kill_restarts,
+        o.kill_requeued,
+        o.wedge_detection_ms,
+        o.wedge_mttr_ms,
+        o.wedge_frames_lost,
+        o.wedge_bitwise_ok,
+        o.drain_complete,
+        o.drain_forced,
+        o.drain_waited_ms,
+        o.drain_rejects_after,
+        o.drain_frames_lost,
+        o.governor_budget_bytes,
+        o.governor_peak_bytes,
+        o.governor_evictions,
+        o.governor_refused,
+        o.governor_pressure_sheds,
+        o.governor_shed_observed,
+    )
+}
+
+fn run_heal_mode(test_mode: bool, seed: u64) {
+    let out_path =
+        std::env::var("GEN_NERF_HEAL_OUT").unwrap_or_else(|_| "BENCH_heal.json".to_string());
+    let o = run_heal_drill(seed);
+    println!(
+        "  kill: detected {:.1} ms, MTTR {:.1} ms, lost {}, bitwise {}, restarts {}, requeued {}",
+        o.kill_detection_ms,
+        o.kill_mttr_ms,
+        o.kill_frames_lost,
+        o.kill_bitwise_ok,
+        o.kill_restarts,
+        o.kill_requeued,
+    );
+    println!(
+        "  wedge: detected {:.1} ms, MTTR {:.1} ms, lost {}, bitwise {}",
+        o.wedge_detection_ms, o.wedge_mttr_ms, o.wedge_frames_lost, o.wedge_bitwise_ok,
+    );
+    println!(
+        "  drain: complete {}, forced {}, waited {:.1} ms, rejects after {}, lost {}",
+        o.drain_complete,
+        o.drain_forced,
+        o.drain_waited_ms,
+        o.drain_rejects_after,
+        o.drain_frames_lost,
+    );
+    println!(
+        "  governor: peak {} / budget {} bytes, {} evictions, {} refused, \
+         {} pressure sheds (observed: {})",
+        o.governor_peak_bytes,
+        o.governor_budget_bytes,
+        o.governor_evictions,
+        o.governor_refused,
+        o.governor_pressure_sheds,
+        o.governor_shed_observed,
+    );
+    let json = heal_json(&o);
+    std::fs::write(&out_path, &json).expect("write heal report");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    if test_mode {
+        let mut fail = false;
+        let detect_gate_ms = HEAL_DETECT_GATE.as_secs_f64() * 1e3;
+        let mttr_gate_ms = HEAL_MTTR_GATE.as_secs_f64() * 1e3;
+        let mut gate = |ok: bool, msg: String| {
+            if !ok {
+                eprintln!("SERVE_HEAL_GATE: FAIL — {msg}");
+                fail = true;
+            }
+        };
+        gate(
+            o.kill_detection_ms.is_finite() && o.kill_detection_ms <= detect_gate_ms,
+            format!(
+                "shard kill detected in {:.1} ms (gate {detect_gate_ms:.0} ms)",
+                o.kill_detection_ms
+            ),
+        );
+        gate(
+            o.wedge_detection_ms.is_finite() && o.wedge_detection_ms <= detect_gate_ms,
+            format!(
+                "shard wedge detected in {:.1} ms (gate {detect_gate_ms:.0} ms)",
+                o.wedge_detection_ms
+            ),
+        );
+        gate(
+            o.kill_mttr_ms.is_finite() && o.kill_mttr_ms <= mttr_gate_ms,
+            format!(
+                "kill MTTR {:.1} ms (gate {mttr_gate_ms:.0} ms)",
+                o.kill_mttr_ms
+            ),
+        );
+        gate(
+            o.wedge_mttr_ms.is_finite() && o.wedge_mttr_ms <= mttr_gate_ms,
+            format!(
+                "wedge MTTR {:.1} ms (gate {mttr_gate_ms:.0} ms)",
+                o.wedge_mttr_ms
+            ),
+        );
+        gate(
+            o.kill_frames_lost + o.wedge_frames_lost + o.drain_frames_lost == 0,
+            format!(
+                "frames lost: kill {}, wedge {}, drain {}",
+                o.kill_frames_lost, o.wedge_frames_lost, o.drain_frames_lost
+            ),
+        );
+        gate(
+            o.kill_bitwise_ok && o.wedge_bitwise_ok,
+            "healed frames not bitwise identical to clean renders".to_string(),
+        );
+        gate(
+            o.kill_restarts >= 1 && o.kill_requeued >= 1,
+            format!(
+                "kill case: {} restarts, {} requeued (expected >= 1 each)",
+                o.kill_restarts, o.kill_requeued
+            ),
+        );
+        gate(
+            o.drain_complete && o.drain_forced == 0 && o.drain_rejects_after,
+            format!(
+                "drain: complete {}, forced {}, rejects after {}",
+                o.drain_complete, o.drain_forced, o.drain_rejects_after
+            ),
+        );
+        gate(
+            o.governor_peak_bytes <= o.governor_budget_bytes && o.governor_shed_observed,
+            format!(
+                "governor: peak {} vs budget {}, pressure shed observed {}",
+                o.governor_peak_bytes, o.governor_budget_bytes, o.governor_shed_observed
+            ),
+        );
+        if fail {
+            std::process::exit(1);
+        }
+        println!(
+            "SERVE_HEAL_GATE: OK — kill detected {:.0} ms / MTTR {:.0} ms, wedge detected \
+             {:.0} ms, 0 frames lost, requeued renders bitwise clean, drain complete, \
+             governor peak within budget",
+            o.kill_detection_ms, o.kill_mttr_ms, o.wedge_detection_ms,
         );
     }
 }

@@ -181,6 +181,55 @@ pub fn chaos_plan(spec: &ChaosSpec, frames: usize) -> Vec<Option<ChaosFault>> {
         .collect()
 }
 
+/// One injected *shard-lifecycle* fault of a heal schedule: a failure
+/// of the shard's scheduler thread itself, which the self-healing
+/// layer (heartbeats, health sweep, restart-with-requeue) must detect
+/// and recover from. Distinct from [`ChaosFault`]: those fail one
+/// *frame*; these take out the whole shard under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealFault {
+    /// The shard's scheduler thread exits mid-frame: the health sweep
+    /// must classify the shard Dead, restart it, and requeue the frame
+    /// (which then renders bitwise identical to a clean run).
+    KillShard,
+    /// The scheduler thread stalls past the heartbeat budget without
+    /// beating: the sweep must classify the shard Wedged, condemn it,
+    /// and hand its queue to a fresh incarnation.
+    WedgeShard,
+}
+
+/// Derives the heal-private stream (distinct from every session
+/// stream, the loud-chaos stream, and the corruption stream, so one
+/// seed replays all schedules independently).
+fn heal_rng(seed: u64) -> ChaCha8Rng {
+    let mixed =
+        seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4Fu64).rotate_left(31) ^ 0x1656_67B1_9E37_79F9u64;
+    ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// Builds the shard-lifecycle fault schedule for a `frames`-long
+/// request plan: one `Option<HealFault>` per schedule index, drawn
+/// 50% kill / 50% wedge. Like [`chaos_plan`], every index draws the
+/// same number of stream values whether or not it faults, so a longer
+/// plan extends a shorter one unchanged.
+pub fn heal_plan(spec: &ChaosSpec, frames: usize) -> Vec<Option<HealFault>> {
+    let mut rng = heal_rng(spec.seed);
+    (0..frames)
+        .map(|_| {
+            let hit = rng.gen::<f64>() < spec.fraction;
+            let kind: f64 = rng.gen();
+            if !hit {
+                return None;
+            }
+            Some(if kind < 0.5 {
+                HealFault::KillShard
+            } else {
+                HealFault::WedgeShard
+            })
+        })
+        .collect()
+}
+
 /// One injected *corruption* of an integrity-chaos schedule: silent
 /// data corruption planted at a specific pipeline stage, which the
 /// output-integrity machinery (ABFT GEMM checksums, stage sentinels,
@@ -408,6 +457,59 @@ mod tests {
         );
         assert!(none.iter().all(Option::is_none));
         let all = chaos_plan(
+            &ChaosSpec {
+                fraction: 1.0,
+                seed: 7,
+            },
+            64,
+        );
+        assert!(all.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn heal_schedule_is_deterministic_and_independent() {
+        let spec = ChaosSpec {
+            fraction: 0.3,
+            seed: 7,
+        };
+        let a = heal_plan(&spec, 200);
+        let b = heal_plan(&spec, 200);
+        assert_eq!(a, b, "same seed must replay the same heal schedule");
+        let c = heal_plan(
+            &ChaosSpec {
+                fraction: 0.3,
+                seed: 8,
+            },
+            200,
+        );
+        assert_ne!(a, c, "seed change did not move any shard fault");
+        // Independent of the loud-chaos stream: the same seed must not
+        // kill shards wherever it places panics/stalls.
+        let loud = chaos_plan(&spec, 200);
+        assert!(
+            a.iter().zip(&loud).any(|(x, y)| x.is_some() != y.is_some()),
+            "heal placement mirrors the chaos placement"
+        );
+        // Both kinds appear at fraction 0.3 over 200 draws (the draw
+        // is seed-deterministic, so this is a fixed fact, not a flake).
+        for kind in [HealFault::KillShard, HealFault::WedgeShard] {
+            assert!(
+                a.iter().any(|f| *f == Some(kind)),
+                "{kind:?} never drawn at fraction 0.3 over 200 frames"
+            );
+        }
+        // A longer plan extends the shorter one.
+        let long = heal_plan(&spec, 400);
+        assert_eq!(&long[..200], &a[..]);
+        let none = heal_plan(
+            &ChaosSpec {
+                fraction: 0.0,
+                seed: 7,
+            },
+            64,
+        );
+        assert!(none.iter().all(Option::is_none));
+        let all = heal_plan(
             &ChaosSpec {
                 fraction: 1.0,
                 seed: 7,

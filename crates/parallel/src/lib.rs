@@ -312,16 +312,53 @@ impl Pool {
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let workers = (0..threads)
+        let workers = Self::spawn_crew(&shared, threads);
+        Self { shared, workers }
+    }
+
+    /// Spawns `threads` workers parked on `shared`. Workers begin at
+    /// epoch zero, so the shared state's epoch counter must also be
+    /// zero when a fresh crew starts (true at construction and after
+    /// the reset in [`Pool::respawn_workers`]).
+    fn spawn_crew(shared: &Arc<PoolShared>, threads: usize) -> Vec<std::thread::JoinHandle<()>> {
+        (0..threads)
             .map(|w| {
-                let shared = Arc::clone(&shared);
+                let shared = Arc::clone(shared);
                 std::thread::Builder::new()
                     .name(format!("gen-nerf-pool-{w}"))
                     .spawn(move || Self::worker_loop(&shared, w))
                     .expect("spawn pool worker")
             })
-            .collect();
-        Self { shared, workers }
+            .collect()
+    }
+
+    /// Replaces every worker thread with a fresh crew of the same
+    /// size, on the same shared state. The pool object survives — only
+    /// the OS threads are torn down (joined) and respawned, which is
+    /// the slice-reclaim a serving shard performs when its workers
+    /// keep getting poisoned by panicking jobs. Takes `&mut self`, so
+    /// no job can be in flight across the swap.
+    pub fn respawn_workers(&mut self) {
+        let crew = self.workers.len();
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = false;
+            state.poisoned = None;
+            state.job = None;
+            state.running = 0;
+            // Fresh workers start at epoch zero; rewind the counter so
+            // they don't mistake the last job's epoch for new work.
+            state.epoch = 0;
+        }
+        self.workers = Self::spawn_crew(&self.shared, crew);
     }
 
     /// A pool sized by [`num_threads`] (the `GEN_NERF_THREADS`
@@ -650,6 +687,39 @@ mod tests {
         // same workers and returns full results.
         let clean = pool.try_run_chunks(8, 2, |s, e| e - s).expect("clean job");
         assert_eq!(clean.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn pool_respawn_workers_replaces_crew() {
+        use std::collections::HashSet;
+        let mut pool = Pool::new(3);
+        let before: HashSet<_> = pool
+            .run_chunks(6, 3, |_, _| std::thread::current().id())
+            .into_iter()
+            .collect();
+        // Poison the pool, then respawn: the new crew is disjoint from
+        // the old one, the same size, and serves jobs cleanly.
+        let err = pool
+            .try_run_chunks(6, 3, |s, _| {
+                if s == 0 {
+                    panic!("sticky fault");
+                }
+                s
+            })
+            .unwrap_err();
+        assert_eq!(err.message(), "sticky fault");
+        pool.respawn_workers();
+        assert_eq!(pool.threads(), 3);
+        let after: HashSet<_> = pool
+            .run_chunks(6, 3, |_, _| std::thread::current().id())
+            .into_iter()
+            .collect();
+        assert!(before.is_disjoint(&after), "old workers survived respawn");
+        let clean = pool.try_run_chunks(8, 3, |s, e| e - s).expect("clean job");
+        assert_eq!(clean.iter().sum::<usize>(), 8);
+        // Respawning an idle, healthy pool is also fine.
+        pool.respawn_workers();
+        assert_eq!(pool.run_chunks(4, 2, |s, e| e - s).iter().sum::<usize>(), 4);
     }
 
     #[test]

@@ -219,6 +219,40 @@ impl<T> ClassLanes<T> {
         self.len += 1;
     }
 
+    /// Restores `item` at the *front* of its tenant's lane — the
+    /// inverse of popping it. Used when a popped head could not be
+    /// executed (its shard died under it) and must run next, ahead of
+    /// the tenant's later submissions.
+    fn push_front(&mut self, tenant: u64, item: T) {
+        let lane = self.lanes.entry(tenant).or_insert_with(|| {
+            self.tenants.push(tenant);
+            VecDeque::new()
+        });
+        lane.push_front(item);
+        self.len += 1;
+    }
+
+    /// Empties every lane into `out` as `(class, tenant, item)`
+    /// triples: tenants in ring order starting at the cursor, each
+    /// lane in FIFO order. Re-pushing the triples in emitted order
+    /// onto a fresh queue reproduces every lane byte-for-byte and a
+    /// tenant ring rotated to where the old cursor pointed.
+    fn drain_rotated(&mut self, class: DeadlineClass, out: &mut Vec<(DeadlineClass, u64, T)>) {
+        let n = self.tenants.len();
+        for offset in 0..n {
+            let idx = (self.cursor + offset) % n;
+            let tenant = self.tenants[idx];
+            let lane = self.lanes.get_mut(&tenant).expect("tenant has a lane");
+            for item in lane.drain(..) {
+                out.push((class, tenant, item));
+            }
+        }
+        self.tenants.clear();
+        self.lanes.clear();
+        self.cursor = 0;
+        self.len = 0;
+    }
+
     /// Pops the head item of the first tenant — scanning round-robin
     /// from the cursor — whose head satisfies `take`. Only lane heads
     /// are eligible: per-tenant submission order is never reordered.
@@ -297,6 +331,32 @@ impl<T> FairQueue<T> {
     /// Dequeues the next item unconditionally (policy order).
     pub fn pop(&mut self) -> Option<T> {
         self.pop_next(|_| true)
+    }
+
+    /// Restores `item` at the **front** of its `(class, tenant)` lane —
+    /// the inverse of popping it. A shard restart uses this to put a
+    /// popped-but-unexecuted head back ahead of the tenant's later
+    /// submissions, preserving per-session FIFO (which the coherence
+    /// cache's reuse chain depends on).
+    pub fn push_front(&mut self, class: DeadlineClass, tenant: u64, item: T) {
+        self.classes[class_index(class)].push_front(tenant, item);
+    }
+
+    /// Empties the queue, returning `(class, tenant, item)` triples in
+    /// a requeue-safe order: Interactive before BestEffort, tenants in
+    /// ring order starting from each class's round-robin cursor, each
+    /// lane front-to-back. [`push`](FairQueue::push)ing the triples
+    /// back in the returned order — onto this queue or a fresh one —
+    /// reproduces every lane exactly and rotates the tenant ring to
+    /// where the cursor pointed, so a drained-and-rebuilt queue
+    /// schedules equivalently (the scheduling proptests pin this).
+    pub fn drain(&mut self) -> Vec<(DeadlineClass, u64, T)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.classes[class_index(DeadlineClass::Interactive)]
+            .drain_rotated(DeadlineClass::Interactive, &mut out);
+        self.classes[class_index(DeadlineClass::BestEffort)]
+            .drain_rotated(DeadlineClass::BestEffort, &mut out);
+        out
     }
 }
 
@@ -381,6 +441,50 @@ mod tests {
         assert_eq!(q.pop_next(|&v| v != 10), Some(20));
         assert_eq!(q.pop(), Some(10));
         assert_eq!(q.pop(), Some(11));
+    }
+
+    #[test]
+    fn push_front_restores_popped_head() {
+        let mut q = FairQueue::new();
+        q.push(DeadlineClass::Interactive, 1, 10);
+        q.push(DeadlineClass::Interactive, 1, 11);
+        let head = q.pop().unwrap();
+        assert_eq!(head, 10);
+        // Restoring the head puts it back ahead of the tenant's later
+        // submissions, not behind them.
+        q.push_front(DeadlineClass::Interactive, 1, head);
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        // push_front on an unseen tenant behaves like push.
+        q.push_front(DeadlineClass::BestEffort, 9, 90);
+        assert_eq!(q.pop(), Some(90));
+    }
+
+    #[test]
+    fn drain_preserves_lane_order_and_rebuilds() {
+        let mut q = FairQueue::new();
+        q.push(DeadlineClass::Interactive, 1, "i1a");
+        q.push(DeadlineClass::Interactive, 2, "i2a");
+        q.push(DeadlineClass::Interactive, 1, "i1b");
+        q.push(DeadlineClass::BestEffort, 3, "b3a");
+        q.pop(); // advance the cursor past tenant 1
+        let snapshot = q.drain();
+        assert!(q.is_empty());
+        // Per-lane FIFO is intact in the emitted order.
+        let lane1: Vec<_> = snapshot
+            .iter()
+            .filter(|(_, t, _)| *t == 1)
+            .map(|(_, _, v)| *v)
+            .collect();
+        assert_eq!(lane1, vec!["i1b"]);
+        // Rebuild and verify class priority + lane order survive.
+        for (class, tenant, item) in snapshot {
+            q.push(class, tenant, item);
+        }
+        assert_eq!(q.pop(), Some("i2a"));
+        assert_eq!(q.pop(), Some("i1b"));
+        assert_eq!(q.pop(), Some("b3a"));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

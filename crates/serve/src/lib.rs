@@ -23,7 +23,12 @@
 //!   scenes; up to [`ServerConfig::max_shards`] shards spawn lazily,
 //!   further scenes share shards round-robin. There is no async
 //!   runtime — the container builds with no external crates, so each
-//!   shard is `std::sync::mpsc` + a scheduler thread + a worker pool.
+//!   shard is a shared condvar-signalled queue + a scheduler thread +
+//!   a worker pool. The scheduler thread itself is supervised: a
+//!   heartbeat/health sweep condemns a dead or wedged worker, requeues
+//!   its frames, and respawns it under a restart budget
+//!   ([`HealthConfig`]), and a process-wide [`GovernorConfig`] memory
+//!   budget spans every session cache.
 //! * **Admission control** ([`AdmissionConfig`]): every shard queue is
 //!   bounded. At the capacity watermark, [`DeadlineClass::BestEffort`]
 //!   submissions are **shed** (their [`FrameHandle`] resolves
@@ -90,6 +95,8 @@
 //! ```
 
 mod admission;
+mod governor;
+mod health;
 mod registry;
 mod server;
 mod session;
@@ -99,6 +106,11 @@ mod supervisor;
 pub use admission::{
     admission_decision, admission_decision_supervised, AdmissionConfig, AdmissionDecision,
     AdmissionStats, FairQueue,
+};
+pub use governor::{GovernorConfig, GovernorStats, MEMORY_BUDGET_ENV};
+pub use health::{
+    CondemnReason, DrainOutcome, DrainReport, HealthConfig, ShardHealth, ShardHealthStats,
+    HEARTBEAT_ENV,
 };
 pub use registry::ShardId;
 pub use server::{

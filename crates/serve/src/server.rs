@@ -10,12 +10,14 @@
 //! [`FrameHandle`].
 
 use crate::admission::{admission_decision_supervised, AdmissionDecision, AdmissionStats};
+use crate::governor::{GovernorConfig, GovernorStats, MemoryGovernor};
+use crate::health::{DrainOutcome, DrainReport, HealthConfig, ShardHealthStats};
 use crate::registry::{Assignment, SceneRegistry, ShardId};
 use crate::session::{
     CacheStats, DeadlineClass, ResolutionTier, SceneState, SessionConfig, SessionId, SessionMap,
     SessionState,
 };
-use crate::shard::{QueuedFrame, Shard, ShardStats};
+use crate::shard::{force_drain, QueuedFrame, Shard, ShardStats};
 use crate::supervisor::{
     BreakerAdmit, BreakerConfig, CircuitBreaker, RetryPolicy, Supervisor, SupervisorConfig,
     SupervisorStats,
@@ -26,7 +28,7 @@ use gen_nerf_parallel::partition_threads;
 use gen_nerf_scene::Image;
 use gen_nerf_telemetry::{AdmissionVerdict, EventKind, Snapshot, TraceEvent};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
@@ -51,6 +53,12 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Per-scene circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Shard self-healing: heartbeat budget, sweep cadence, restart
+    /// backoff/give-up, poison-streak escalation.
+    pub health: HealthConfig,
+    /// Process-wide memory budget over session caches and worker
+    /// arenas.
+    pub governor: GovernorConfig,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +71,8 @@ impl Default for ServerConfig {
             supervision: SupervisorConfig::default(),
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            health: HealthConfig::default(),
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -95,6 +105,18 @@ impl ServerConfig {
     /// Sets the per-scene circuit-breaker tuning.
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Sets the shard self-healing policy.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Sets the process-wide memory governor policy.
+    pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = governor;
         self
     }
 }
@@ -135,6 +157,17 @@ pub enum Fault {
     /// counted misses, so the frame re-probes instead of shading from
     /// corrupt Step ① data; the frame itself still resolves `Ok`.
     CorruptAnchor(u64),
+    /// Kill the shard's scheduler thread when this frame is popped:
+    /// the loop hands the frame back to the queue and exits, exactly
+    /// like an uncaught scheduler defect. The health sweep detects the
+    /// dead worker and restarts it; the frame re-renders under the new
+    /// incarnation, bitwise identical to a never-killed render.
+    KillShard,
+    /// Wedge the shard's scheduler thread for the given duration when
+    /// this frame is popped: an uncancellable sleep that starves the
+    /// queue while frames wait, exactly the no-heartbeat-with-work
+    /// signature the sweep condemns as `Wedged`.
+    WedgeShard(Duration),
 }
 
 impl Fault {
@@ -148,7 +181,17 @@ impl Fault {
             | Fault::CorruptGemm(_)
             | Fault::CorruptPixels(_)
             | Fault::CorruptAnchor(_) => attempt == 0,
+            // Intercepted (and cleared) by the shard loop before any
+            // render attempt exists.
+            Fault::KillShard | Fault::WedgeShard(_) => false,
         }
+    }
+
+    /// Whether this fault targets the shard's scheduler thread rather
+    /// than the frame's render (shard-level faults are intercepted at
+    /// pop, never batched with other frames).
+    pub(crate) fn is_shard_level(self) -> bool {
+        matches!(self, Fault::KillShard | Fault::WedgeShard(_))
     }
 }
 
@@ -274,6 +317,14 @@ pub enum ServeError {
     /// it yet. Submissions shed instantly instead of burning render
     /// budget on a sick scene.
     CircuitOpen,
+    /// The server is draining ([`RenderServer::drain`] was called):
+    /// admission is closed, and frames still queued when the drain
+    /// deadline expired were force-failed with this error.
+    Draining,
+    /// The frame's shard exhausted its restart budget and was declared
+    /// down: its queued frames failed with this error and further
+    /// submissions for its scenes shed instantly.
+    ShardDown,
 }
 
 impl std::fmt::Display for ServeError {
@@ -285,6 +336,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "frame exceeded its deadline budget ({class:?})")
             }
             ServeError::CircuitOpen => write!(f, "scene circuit breaker open"),
+            ServeError::Draining => write!(f, "server draining"),
+            ServeError::ShardDown => {
+                write!(f, "shard down: restart budget exhausted")
+            }
         }
     }
 }
@@ -455,7 +510,10 @@ struct Topology {
 /// already admitted, and joins the shard threads.
 pub struct RenderServer {
     cfg: ServerConfig,
-    topology: Mutex<Topology>,
+    /// Shared with the supervisor's health-sweep hook (which holds
+    /// only a `Weak`, so the server still owns the topology's
+    /// lifetime).
+    topology: Arc<Mutex<Topology>>,
     sessions: SessionMap,
     next_session: AtomicU64,
     /// Per-scene circuit breakers, keyed like the registry (Arc
@@ -464,6 +522,10 @@ pub struct RenderServer {
     /// of any one viewer.
     breakers: Mutex<HashMap<usize, (Weak<SceneState>, Arc<CircuitBreaker>)>>,
     supervisor: Arc<Supervisor>,
+    /// The process-wide memory governor shared by every shard.
+    governor: Arc<MemoryGovernor>,
+    /// Latched by [`RenderServer::drain`]: admission closed for good.
+    draining: AtomicBool,
     /// Process-unique instance id: every metric this server registers
     /// carries `instance = <id>` so concurrent servers (unit tests!)
     /// never fold each other's counters into their stats views.
@@ -485,16 +547,38 @@ impl RenderServer {
     /// [`Clock`]: gen_nerf_telemetry::Clock
     pub fn with_clock(cfg: ServerConfig, clock: gen_nerf_telemetry::Clock) -> Self {
         let instance = gen_nerf_telemetry::next_instance_id();
+        let topology = Arc::new(Mutex::new(Topology {
+            registry: SceneRegistry::new(cfg.max_shards),
+            shards: Vec::new(),
+        }));
+        let sweep_clock = clock.clone();
+        let supervisor = Arc::new(Supervisor::spawn(instance, clock));
+        // The health sweep rides the watchdog thread. It holds only a
+        // Weak topology reference: once the server drops its Arc, the
+        // sweep degrades to a no-op instead of keeping shards alive.
+        let sweep_topology = Arc::downgrade(&topology);
+        supervisor.set_sweep(
+            cfg.health.sweep_interval,
+            Box::new(move || {
+                let Some(topology) = sweep_topology.upgrade() else {
+                    return;
+                };
+                let now = sweep_clock.now();
+                let mut topology = topology.lock().unwrap_or_else(|e| e.into_inner());
+                for shard in &mut topology.shards {
+                    shard.sweep(now);
+                }
+            }),
+        );
         Self {
             cfg,
-            topology: Mutex::new(Topology {
-                registry: SceneRegistry::new(cfg.max_shards),
-                shards: Vec::new(),
-            }),
+            topology,
             sessions: Arc::new(Mutex::new(HashMap::new())),
             next_session: AtomicU64::new(1),
             breakers: Mutex::new(HashMap::new()),
-            supervisor: Arc::new(Supervisor::spawn(instance, clock)),
+            supervisor,
+            governor: Arc::new(MemoryGovernor::new(&cfg.governor)),
+            draining: AtomicBool::new(false),
             instance,
         }
     }
@@ -538,16 +622,22 @@ impl RenderServer {
                     Arc::clone(&self.sessions),
                     Arc::clone(&self.supervisor),
                     self.cfg.retry,
+                    self.cfg.health,
+                    Arc::clone(&self.governor),
                 ));
             }
             assignment.index()
         };
         let breaker = self.breaker_for(&scene);
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(SessionState::new(scene, cfg, shard, breaker));
+        // Make the session's cache evictable under global memory
+        // pressure.
+        self.governor.register(&state);
         self.sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::new(SessionState::new(scene, cfg, shard, breaker)));
+            .insert(id, state);
         SessionId(id)
     }
 
@@ -576,10 +666,10 @@ impl RenderServer {
         let handle = FrameHandle {
             slot: Arc::clone(&slot),
         };
-        let (tx, shared) = {
+        let (ctl, shared) = {
             let topology = self.topology.lock().unwrap_or_else(|e| e.into_inner());
             let shard = &topology.shards[state.shard];
-            (tx_clone(shard), Arc::clone(&shard.shared))
+            (Arc::clone(&shard.ctl), Arc::clone(&shard.shared))
         };
 
         let now = self.supervisor.clock().now();
@@ -591,6 +681,51 @@ impl RenderServer {
             class_code(req.deadline),
             session.0,
         );
+        let depth_now = shared.depth.get().max(0) as u64;
+        // Lifecycle gates come before queue admission: a draining
+        // server, a down shard, and global memory pressure are all
+        // terminal verdicts no queue state can override.
+        if self.draining.load(Ordering::SeqCst) {
+            shared.shed_draining.inc();
+            shared.ring.record(
+                frame_id,
+                EventKind::Admit,
+                AdmissionVerdict::Shed as u64,
+                depth_now,
+            );
+            fulfill(&slot, Err(ServeError::Draining));
+            return handle;
+        }
+        if ctl.down.load(Ordering::Relaxed) {
+            shared.shed_shard_down.inc();
+            shared.ring.record(
+                frame_id,
+                EventKind::Admit,
+                AdmissionVerdict::Shed as u64,
+                depth_now,
+            );
+            fulfill(&slot, Err(ServeError::ShardDown));
+            return handle;
+        }
+        if req.deadline == DeadlineClass::BestEffort && self.governor.under_pressure() {
+            // BestEffort sheds first under memory pressure; anchors of
+            // interactive traffic keep their budget.
+            self.governor.note_pressure_shed();
+            shared.shed_memory.inc();
+            shared.ring.record(
+                frame_id,
+                EventKind::Admit,
+                AdmissionVerdict::Shed as u64,
+                depth_now,
+            );
+            fulfill(
+                &slot,
+                Err(ServeError::Shed {
+                    class: req.deadline,
+                }),
+            );
+            return handle;
+        }
         let breaker_admit = state.breaker.admit(now);
         let probe = matches!(breaker_admit, BreakerAdmit::Probe);
 
@@ -675,17 +810,44 @@ impl RenderServer {
             watch,
             probe,
             breaker: Arc::clone(&state.breaker),
+            pending: state.begin_frame(),
         };
-        tx.send(frame).expect("shard alive");
+        let class = frame.deadline;
+        let tenant = frame.session;
+        {
+            let mut qs = ctl.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if qs.closed {
+                // Shutdown raced the submission: give everything back
+                // and fail the handle instead of stranding the frame
+                // in a queue no worker will ever serve.
+                drop(qs);
+                shared.depth.dec();
+                if probe {
+                    frame.breaker.abort_probe();
+                }
+                self.supervisor.resolve(watch);
+                crate::shard::fail_frame_with(
+                    &frame,
+                    &shared,
+                    ServeError::Failed("server shutting down".to_string()),
+                );
+                return handle;
+            }
+            qs.q.push(class, tenant, frame);
+        }
+        ctl.ready.notify_one();
         handle
     }
 
     /// Ends a session: drops its cached coarse pass, its scene handle
     /// (the `SceneState` is freed once the last session sharing it
     /// ends) and its counters, and rejects future submissions for the
-    /// id. Frames of the session already queued are failed (their
-    /// handles report the error) — end a session only after draining
-    /// its in-flight frames.
+    /// id. Frames of the session already queued fail ("session
+    /// removed"); removal then **waits for every in-flight frame of
+    /// the session to settle** before releasing the session's cache
+    /// bytes back to the memory governor — the handle a caller still
+    /// holds always resolves, and the governor's books never go
+    /// negative on a racing insert.
     ///
     /// # Panics
     ///
@@ -699,7 +861,133 @@ impl RenderServer {
             .remove(&session.0);
         // Panic outside the lock so a misuse stays contained to the
         // misusing thread instead of poisoning the shards' map.
-        removed.expect("unknown session");
+        let state = removed.expect("unknown session");
+        // Drain-then-drop: every submitted frame holds a pending guard
+        // until its handle resolves *and* the shard is done touching
+        // the session (cache inserts included). The bound is a safety
+        // net only — frames resolve at worst at their watchdog
+        // deadline, well inside it.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while state.pending_frames() > 0 {
+            if Instant::now() >= deadline {
+                debug_assert!(false, "session frames never settled");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Quiesced: empty the cache under its lock and give the bytes
+        // back in one step, so a concurrent governor eviction can
+        // never double-count them.
+        let freed = {
+            let mut cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let mut freed = 0usize;
+            while let Some(bytes) = cache.evict_tail() {
+                freed += bytes;
+            }
+            freed
+        };
+        if freed > 0 {
+            self.governor.discharge(freed as u64);
+        }
+    }
+
+    /// Stops admission for good and waits for every shard to finish
+    /// its queued and in-flight work, up to `deadline` per call (the
+    /// budget is shared across shards, measured from entry). Frames
+    /// still unfinished when the budget expires are force-failed with
+    /// [`ServeError::Draining`], so **every** outstanding handle has
+    /// resolved by the time this returns. Draining is terminal:
+    /// submissions after (or during) a drain resolve immediately with
+    /// [`ServeError::Draining`].
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        self.draining.store(true, Ordering::SeqCst);
+        let hard_deadline = Instant::now() + deadline;
+        // Snapshot the shard handles, then poll without the topology
+        // lock: the health sweep (watchdog thread) takes that lock on
+        // its own cadence, and a drain must not starve it.
+        let shards: Vec<_> = {
+            let topology = self.topology.lock().unwrap_or_else(|e| e.into_inner());
+            topology
+                .shards
+                .iter()
+                .map(|s| (Arc::clone(&s.ctl), Arc::clone(&s.shared)))
+                .collect()
+        };
+        let mut outcomes = Vec::with_capacity(shards.len());
+        for (index, (ctl, shared)) in shards.into_iter().enumerate() {
+            let started = Instant::now();
+            // Phase 1: let the shard finish naturally.
+            let mut drained = loop {
+                let idle = ctl.queued() == 0 && ctl.inflight.load(Ordering::SeqCst) == 0;
+                if idle {
+                    break true;
+                }
+                if Instant::now() >= hard_deadline {
+                    break false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            };
+            let mut forced = 0u64;
+            if !drained {
+                // Phase 2: deadline blown. Fail everything still
+                // queued, cancel the in-flight batch, and give the
+                // worker a grace period to unwind (its frames resolve
+                // through the retry/fail path).
+                forced = force_drain(&ctl, &shared, &self.supervisor);
+                if let Some(cancel) = ctl
+                    .current_cancel
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                {
+                    cancel.cancel();
+                }
+                let grace = Instant::now()
+                    + self
+                        .cfg
+                        .supervision
+                        .interactive_budget
+                        .max(self.cfg.supervision.best_effort_budget)
+                    + Duration::from_secs(5);
+                while ctl.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // A condemned/wedged incarnation may have requeued its
+                // frame during the grace wait; sweep those stragglers
+                // too.
+                forced += force_drain(&ctl, &shared, &self.supervisor);
+                drained = ctl.inflight.load(Ordering::SeqCst) == 0;
+            }
+            shared
+                .ring
+                .record(0, EventKind::Drain, index as u64, forced);
+            outcomes.push(DrainOutcome {
+                shard: index,
+                drained,
+                forced,
+                waited: started.elapsed(),
+            });
+        }
+        DrainReport { outcomes }
+    }
+
+    /// Lifecycle counters and current health verdict of every spawned
+    /// shard, in shard order.
+    pub fn shard_health(&self) -> Vec<ShardHealthStats> {
+        let now = self.supervisor.clock().now();
+        self.topology
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shards
+            .iter()
+            .map(|s| s.health_stats(now))
+            .collect()
+    }
+
+    /// Counters of the process-wide memory governor (budget, usage,
+    /// peak, evictions, refusals, pressure sheds).
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.governor.stats()
     }
 
     /// Coarse-cache counters of a session.
@@ -854,10 +1142,6 @@ impl RenderServer {
             .cloned();
         Arc::clone(&state.expect("unknown session").breaker)
     }
-}
-
-fn tx_clone(shard: &Shard) -> std::sync::mpsc::Sender<QueuedFrame> {
-    shard.tx.as_ref().expect("shard running").clone()
 }
 
 /// Trace payload code of a deadline class (`Submit.a`).

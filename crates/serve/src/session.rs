@@ -307,7 +307,14 @@ pub(crate) struct CacheEntry {
 
 /// Heap cost one entry charges against the session budget.
 fn entry_bytes(entry: &CacheEntry) -> usize {
-    entry.coarse.approx_bytes() + std::mem::size_of::<CacheEntry>()
+    coarse_entry_cost(&entry.coarse)
+}
+
+/// Heap cost a coarse frame would charge if anchored — what the memory
+/// governor reserves *before* the insert, so the process-wide budget
+/// is never exceeded even transiently.
+pub(crate) fn coarse_entry_cost(coarse: &CoarseFrame) -> usize {
+    coarse.approx_bytes() + std::mem::size_of::<CacheEntry>()
 }
 
 /// A session's retained coarse anchors: LRU-ordered (front = most
@@ -405,14 +412,24 @@ impl CoarseCache {
         evicted
     }
 
+    /// Evicts the LRU-tail anchor, returning the bytes it freed —
+    /// `None` when the cache is empty. This is the memory governor's
+    /// pressure-eviction primitive: process-wide pressure reclaims the
+    /// coldest anchor of the fattest session, one anchor at a time.
+    pub fn evict_tail(&mut self) -> Option<usize> {
+        let old = self.entries.pop_back()?;
+        let freed = entry_bytes(&old);
+        self.bytes -= freed;
+        Some(freed)
+    }
+
     /// Retained anchors (test introspection).
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Bytes currently charged against the budget (test introspection).
-    #[cfg(test)]
+    /// Bytes currently charged against the session budget.
     pub fn bytes(&self) -> usize {
         self.bytes
     }
@@ -435,6 +452,25 @@ pub(crate) struct SessionState {
     pub misses: AtomicU64,
     pub bypasses: AtomicU64,
     pub evictions: AtomicU64,
+    /// Frames of this session currently owned by the serve tier:
+    /// incremented at admission, decremented when the queued frame is
+    /// dropped (resolved, failed, shed after queueing, or requeued and
+    /// later settled). `remove_session` waits for this to reach zero
+    /// before dropping the state, so teardown never races handle
+    /// resolution.
+    pub pending: Arc<AtomicU64>,
+}
+
+/// RAII claim on [`SessionState::pending`]: held by a queued frame for
+/// its whole life in the serve tier, released (decrement) wherever the
+/// frame is dropped — including panics unwinding through the shard
+/// loop, which is exactly the case teardown must survive.
+pub(crate) struct PendingGuard(Arc<AtomicU64>);
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl SessionState {
@@ -454,7 +490,20 @@ impl SessionState {
             misses: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            pending: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Claims a pending-frame slot; the returned guard releases it on
+    /// drop.
+    pub fn begin_frame(&self) -> PendingGuard {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        PendingGuard(Arc::clone(&self.pending))
+    }
+
+    /// Frames of this session currently owned by the serve tier.
+    pub fn pending_frames(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
     }
 
     pub fn cache_stats(&self) -> CacheStats {

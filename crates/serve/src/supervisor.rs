@@ -149,10 +149,24 @@ struct WatchState {
     shutdown: bool,
 }
 
+/// A periodic callback run on the watchdog thread (the server installs
+/// its shard health sweep here, so self-healing needs no extra thread).
+struct SweepHook {
+    interval: Duration,
+    /// When the hook last ran (on the supervisor clock); `None` until
+    /// the first run.
+    last: Option<Instant>,
+    run: Box<dyn FnMut() + Send>,
+}
+
 struct SupervisorInner {
     state: Mutex<WatchState>,
     /// Wakes the watchdog: a new (possibly earlier) watch or shutdown.
     wake: Condvar,
+    /// The periodic sweep hook, under its own lock so running it never
+    /// holds the watch state (the hook takes the server's topology
+    /// lock and calls back into [`Supervisor::resolve`]).
+    sweep: Mutex<Option<SweepHook>>,
     /// Deadline arithmetic goes through this clock so tests can drive
     /// the watchdog on virtual time.
     clock: Clock,
@@ -189,6 +203,7 @@ impl Supervisor {
                 shutdown: false,
             }),
             wake: Condvar::new(),
+            sweep: Mutex::new(None),
             clock,
             watched: gen_nerf_telemetry::counter("serve_frames_watched_total", &labels),
             in_flight: gen_nerf_telemetry::gauge("serve_frames_in_flight", &labels),
@@ -261,6 +276,24 @@ impl Supervisor {
         }
     }
 
+    /// Installs (or replaces) the periodic sweep hook, run on the
+    /// watchdog thread every `interval` (on the supervisor clock). The
+    /// hook must not call back into anything that takes the watch
+    /// state lock *while holding locks the hook's caller also takes* —
+    /// in practice: the server's health sweep takes the topology lock,
+    /// then per-shard locks, then possibly the watch state (via
+    /// `resolve`), and nothing takes those in the opposite order.
+    pub(crate) fn set_sweep(&self, interval: Duration, run: Box<dyn FnMut() + Send>) {
+        *self.inner.sweep.lock().unwrap_or_else(|e| e.into_inner()) = Some(SweepHook {
+            interval: interval.max(Duration::from_millis(1)),
+            last: None,
+            run,
+        });
+        // The watchdog may be in an unbounded idle wait from before
+        // the hook existed.
+        self.inner.wake.notify_all();
+    }
+
     /// The clock this supervisor's deadline math runs on.
     pub(crate) fn clock(&self) -> &Clock {
         &self.inner.clock
@@ -289,75 +322,124 @@ impl Drop for Supervisor {
         }
         let handle = self.thread.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(handle) = handle {
+            // The sweep hook runs on the watchdog thread and may hold
+            // the last strong reference to structures that own this
+            // supervisor — if that drop lands here, on the watchdog
+            // itself, joining would deadlock on self. Detach instead:
+            // shutdown is set, so the loop exits on its own.
+            if handle.thread().id() == std::thread::current().id() {
+                return;
+            }
             let _ = handle.join();
         }
     }
 }
 
-/// The watchdog body: fire every overdue watch, then sleep until the
-/// earliest remaining deadline (or a wake).
+/// The watchdog body: fire every overdue watch, run the sweep hook if
+/// due, then sleep until the earliest remaining deadline or the next
+/// sweep (or a wake). The watch-state lock is **released** while the
+/// sweep hook runs — the hook takes the server's topology lock and
+/// calls back into [`Supervisor::resolve`].
 fn watchdog_loop(inner: &SupervisorInner) {
-    let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
     loop {
-        if state.shutdown {
-            return;
-        }
-        let now = inner.clock.now();
-        let overdue: Vec<u64> = state
-            .watches
-            .iter()
-            .filter(|(_, w)| w.deadline <= now)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in overdue {
-            let entry = state.watches.remove(&id).expect("overdue watch present");
-            inner.in_flight.dec();
-            // First write wins: the shard may have resolved the slot
-            // a moment ago without dropping the watch yet — then this
-            // is a no-op, not a timeout.
-            if fulfill(
-                &entry.slot,
-                Err(ServeError::TimedOut { class: entry.class }),
-            ) {
-                match entry.class {
-                    DeadlineClass::Interactive => &inner.timed_out_interactive,
-                    DeadlineClass::BestEffort => &inner.timed_out_best_effort,
-                }
-                .inc();
-                // Winning the fulfill race makes this the frame's one
-                // terminal trace event.
-                entry.ring.record(
-                    entry.frame,
-                    EventKind::Resolve,
-                    ResolveOutcome::TimedOut as u64,
-                    now.saturating_duration_since(entry.submitted).as_nanos() as u64,
-                );
-                // Reclaim the worker: the render polls the token at
-                // per-ray boundaries and drains.
-                if let Some(cancel) = &entry.cancel {
-                    cancel.cancel();
+        {
+            let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.shutdown {
+                return;
+            }
+            let now = inner.clock.now();
+            let overdue: Vec<u64> = state
+                .watches
+                .iter()
+                .filter(|(_, w)| w.deadline <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in overdue {
+                let entry = state.watches.remove(&id).expect("overdue watch present");
+                inner.in_flight.dec();
+                // First write wins: the shard may have resolved the
+                // slot a moment ago without dropping the watch yet —
+                // then this is a no-op, not a timeout.
+                if fulfill(
+                    &entry.slot,
+                    Err(ServeError::TimedOut { class: entry.class }),
+                ) {
+                    match entry.class {
+                        DeadlineClass::Interactive => &inner.timed_out_interactive,
+                        DeadlineClass::BestEffort => &inner.timed_out_best_effort,
+                    }
+                    .inc();
+                    // Winning the fulfill race makes this the frame's
+                    // one terminal trace event.
+                    entry.ring.record(
+                        entry.frame,
+                        EventKind::Resolve,
+                        ResolveOutcome::TimedOut as u64,
+                        now.saturating_duration_since(entry.submitted).as_nanos() as u64,
+                    );
+                    // Reclaim the worker: the render polls the token
+                    // at per-ray boundaries and drains.
+                    if let Some(cancel) = &entry.cancel {
+                        cancel.cancel();
+                    }
                 }
             }
         }
+        // Watch state released: run the sweep hook if its interval
+        // elapsed, and learn how long until it is next due.
+        let sweep_wait: Option<Duration> = {
+            let mut sweep = inner.sweep.lock().unwrap_or_else(|e| e.into_inner());
+            match sweep.as_mut() {
+                None => None,
+                Some(hook) => {
+                    let now = inner.clock.now();
+                    let since_last = hook.last.map(|last| now.saturating_duration_since(last));
+                    if since_last.map_or(true, |since| since >= hook.interval) {
+                        (hook.run)();
+                        hook.last = Some(inner.clock.now());
+                        Some(hook.interval)
+                    } else {
+                        Some(hook.interval - since_last.expect("checked above"))
+                    }
+                }
+            }
+        };
+        // Re-acquire and sleep. Deadlines are recomputed under the
+        // fresh guard: a watch registered while the sweep ran is seen.
+        let state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutdown {
+            return;
+        }
         let next = state.watches.values().map(|w| w.deadline).min();
-        state = match next {
-            Some(deadline) => {
-                let mut wait = deadline
-                    .saturating_duration_since(inner.clock.now())
-                    .max(Duration::from_millis(1));
+        let deadline_wait =
+            next.map(|deadline| deadline.saturating_duration_since(inner.clock.now()));
+        let wait = match (deadline_wait, sweep_wait) {
+            (Some(d), Some(s)) => Some(d.min(s)),
+            (Some(d), None) => Some(d),
+            (None, Some(s)) => Some(s),
+            (None, None) => None,
+        };
+        match wait {
+            Some(wait) => {
+                let mut wait = wait.max(Duration::from_millis(1));
                 if inner.clock.is_virtual() {
                     // Virtual time advances out of band; poll so an
                     // `advance` past a deadline is noticed promptly.
                     wait = wait.min(Duration::from_millis(1));
                 }
-                inner
-                    .wake
-                    .wait_timeout(state, wait)
-                    .unwrap_or_else(|e| e.into_inner())
-                    .0
+                drop(
+                    inner
+                        .wake
+                        .wait_timeout(state, wait)
+                        .unwrap_or_else(|e| e.into_inner()),
+                );
             }
-            None => inner.wake.wait(state).unwrap_or_else(|e| e.into_inner()),
-        };
+            // Nothing watched and no sweep installed: sleep until a
+            // registration (or shutdown) wakes us.
+            None => {
+                drop(inner.wake.wait(state).unwrap_or_else(|e| e.into_inner()));
+            }
+        }
     }
 }
 

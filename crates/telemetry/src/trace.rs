@@ -58,6 +58,21 @@ pub enum EventKind {
     /// once (by whoever wins the first-write-wins fulfil race). `a` =
     /// [`ResolveOutcome`] code, `b` = submit→resolve latency ns.
     Resolve,
+    /// The health sweep condemned a shard. Shard-scoped: `frame` = 0,
+    /// `a` = shard index, `b` = reason (0 wedged, 1 dead, 2 poisoned
+    /// pool).
+    Condemn,
+    /// A condemned shard respawned with a fresh worker. Shard-scoped:
+    /// `frame` = 0, `a` = shard index, `b` = the new incarnation.
+    Restart,
+    /// A queued frame survived a shard death/restart and was requeued
+    /// onto the surviving queue. `a` = shard index, `b` = the frame's
+    /// position in the requeue order (0 = front).
+    Requeue,
+    /// A shard finished (or abandoned) a graceful drain. Shard-scoped:
+    /// `frame` = 0, `a` = shard index, `b` = frames force-failed at the
+    /// drain deadline (0 for a clean drain).
+    Drain,
 }
 
 impl EventKind {
@@ -70,6 +85,10 @@ impl EventKind {
             EventKind::Render => 5,
             EventKind::Retry => 6,
             EventKind::Resolve => 7,
+            EventKind::Condemn => 8,
+            EventKind::Restart => 9,
+            EventKind::Requeue => 10,
+            EventKind::Drain => 11,
         }
     }
 
@@ -82,6 +101,10 @@ impl EventKind {
             5 => EventKind::Render,
             6 => EventKind::Retry,
             7 => EventKind::Resolve,
+            8 => EventKind::Condemn,
+            9 => EventKind::Restart,
+            10 => EventKind::Requeue,
+            11 => EventKind::Drain,
             _ => return None,
         })
     }

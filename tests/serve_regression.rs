@@ -22,8 +22,8 @@ use gen_nerf_geometry::{Camera, Intrinsics, Pose, Vec3};
 use gen_nerf_scene::{Dataset, DatasetKind};
 use gen_nerf_serve::{
     AdmissionConfig, CacheOutcome, CoherenceConfig, DeadlineClass, Fault, FrameRequest,
-    RenderServer, ResolutionTier, SceneState, ServeError, ServerConfig, SessionConfig,
-    SupervisorConfig,
+    HealthConfig, RenderServer, ResolutionTier, SceneState, ServeError, ServerConfig,
+    SessionConfig, SupervisorConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -627,5 +627,109 @@ fn every_handle_resolves_under_a_mixed_fault_schedule() {
         server.supervisor_stats().in_flight,
         0,
         "watchdog left watches attached after every handle resolved"
+    );
+}
+
+#[test]
+fn remove_session_resolves_every_handle_before_returning() {
+    // Drain-then-drop pin: `remove_session` must not return while any
+    // of the session's frames is unresolved. A zero-wait probe after
+    // removal therefore finds every handle settled — in-flight frames
+    // rendered, still-queued frames failed, none stuck. Before the
+    // fix, removal dropped the session map entry immediately and a
+    // frame mid-render raced the teardown.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let server = RenderServer::new(ServerConfig::default());
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy),
+    );
+    // A short in-budget stall parks the shard so the removal provably
+    // races in-flight work, with more frames queued behind it.
+    let mut handles = vec![server.submit(
+        session,
+        FrameRequest::new(walk_pose(0, 0)).with_fault(Fault::Stall(Duration::from_millis(150))),
+    )];
+    for k in 1..6 {
+        handles.push(server.submit(session, FrameRequest::new(walk_pose(0, k))));
+    }
+    server.remove_session(session);
+    let mut rendered = 0usize;
+    for (k, handle) in handles.into_iter().enumerate() {
+        match handle.wait_timeout(Duration::from_millis(1)) {
+            Some(Ok(_)) => rendered += 1,
+            Some(Err(_)) => {}
+            None => panic!("frame {k} still unresolved after remove_session returned"),
+        }
+    }
+    // The stalled head frame was in flight when removal began; the
+    // drain must have let it finish rather than failing it.
+    assert!(rendered >= 1, "removal failed even the in-flight frame");
+}
+
+#[test]
+fn frames_after_a_shard_kill_render_bitwise_identical() {
+    // Self-healing exactness pin: a seeded shard kill mid-queue loses
+    // nothing — the killed frame and everything queued behind it are
+    // requeued FIFO onto the respawned incarnation and render
+    // bitwise-identical to a server that was never killed.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    let poses: Vec<Pose> = (0..6).map(|k| walk_pose(0, k)).collect();
+
+    // Reference: a clean server renders the same plan.
+    let reference: Vec<Vec<u32>> = {
+        let server = RenderServer::new(ServerConfig::default());
+        let session = server.create_session(
+            Arc::clone(&scene),
+            SessionConfig::new(intrinsics(), strategy),
+        );
+        poses
+            .iter()
+            .map(|&pose| bits(&server.submit(session, FrameRequest::new(pose)).wait().image))
+            .collect()
+    };
+
+    // Fast sweep + short backoff keep the restart quick; the
+    // heartbeat budget stays at its default (a kill is detected as
+    // Dead via the finished worker thread, and a tight budget would
+    // misread a legitimately slow render on a loaded test host as
+    // Wedged).
+    let server = RenderServer::new(
+        ServerConfig::default().with_health(
+            HealthConfig::default()
+                .with_sweep_interval(Duration::from_millis(10))
+                .with_restart_backoff(Duration::from_millis(10), Duration::from_millis(100)),
+        ),
+    );
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy),
+    );
+    // Warm frame, then the kill, then the queue the kill strands.
+    let mut handles = vec![server.submit(session, FrameRequest::new(poses[0]))];
+    handles.push(server.submit(
+        session,
+        FrameRequest::new(poses[1]).with_fault(Fault::KillShard),
+    ));
+    for &pose in &poses[2..] {
+        handles.push(server.submit(session, FrameRequest::new(pose)));
+    }
+    for (k, handle) in handles.into_iter().enumerate() {
+        let frame = handle
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|| panic!("frame {k} never resolved across the restart"))
+            .unwrap_or_else(|e| panic!("frame {k} failed across the restart: {e}"));
+        assert_eq!(
+            bits(&frame.image),
+            reference[k],
+            "frame {k} diverged from the never-killed render"
+        );
+    }
+    let restarts: u64 = server.shard_health().iter().map(|h| h.restarts).sum();
+    assert!(
+        restarts >= 1,
+        "seeded kill never exercised the restart path"
     );
 }

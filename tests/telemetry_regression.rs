@@ -17,14 +17,19 @@
 //!   so every percentile must equal the bucket upper bound of the
 //!   exact rank-selected latency — accurate to one log₂ bucket by
 //!   construction, and pinned here.
+//! * **Restart-boundary reconciliation.** A seeded shard kill tears
+//!   one incarnation down mid-schedule; the trace ring must stitch
+//!   the boundary seamlessly — exactly one Submit and one terminal
+//!   event per frame, Requeue events matching the requeue counter,
+//!   Condemn/Restart lifecycle events present, zero ring drops.
 
 use gen_nerf::config::{ModelConfig, SamplingStrategy};
 use gen_nerf::model::GenNerfModel;
 use gen_nerf_geometry::{Intrinsics, Pose, Vec3};
 use gen_nerf_scene::{Dataset, DatasetKind};
 use gen_nerf_serve::{
-    AdmissionConfig, DeadlineClass, Fault, FrameRequest, RenderServer, SceneState, ServeError,
-    ServerConfig, SessionConfig, SupervisorConfig,
+    AdmissionConfig, DeadlineClass, Fault, FrameRequest, HealthConfig, RenderServer, SceneState,
+    ServeError, ServerConfig, SessionConfig, SupervisorConfig,
 };
 use gen_nerf_telemetry::{
     bucket_index, bucket_upper_bound, AdmissionVerdict, EventKind, ResolveOutcome, TraceEvent,
@@ -73,12 +78,23 @@ struct FrameTrace {
     terminal_admits: u64,
     degrade_admits: u64,
     retries: u64,
+    requeues: u64,
     first_kind: Option<EventKind>,
 }
 
 fn group_traces(events: &[TraceEvent]) -> BTreeMap<u64, FrameTrace> {
     let mut by_frame: BTreeMap<u64, FrameTrace> = BTreeMap::new();
     for e in events {
+        // Shard-lifecycle events (Condemn/Restart/Drain) carry no
+        // frame id — their `frame` field is 0 and the shard index is
+        // in the payload. Grouping them would fabricate a phantom
+        // frame 0 with no Submit.
+        if matches!(
+            e.kind,
+            EventKind::Condemn | EventKind::Restart | EventKind::Drain
+        ) {
+            continue;
+        }
         let t = by_frame.entry(e.frame).or_default();
         if t.first_kind.is_none() {
             t.first_kind = Some(e.kind);
@@ -95,6 +111,7 @@ fn group_traces(events: &[TraceEvent]) -> BTreeMap<u64, FrameTrace> {
                 }
             }
             EventKind::Retry => t.retries += 1,
+            EventKind::Requeue => t.requeues += 1,
             EventKind::Resolve => t
                 .resolves
                 .push(ResolveOutcome::from_code(e.a).expect("bad resolve code")),
@@ -206,6 +223,10 @@ fn chaos_schedule_traces_are_complete_and_reconcile_with_ground_truth() {
             Err(ServeError::TimedOut { .. }) => truth.timed_out += 1,
             Err(ServeError::Shed { .. }) => truth.shed += 1,
             Err(ServeError::CircuitOpen) => truth.circuit += 1,
+            // No shard-level faults and no drain in this schedule.
+            Err(e @ (ServeError::Draining | ServeError::ShardDown)) => {
+                panic!("frame {k}: unexpected lifecycle error {e}")
+            }
         }
     }
     let inst = server.instance().to_string();
@@ -363,4 +384,124 @@ fn latency_percentiles_are_exact_to_one_bucket_of_the_trace_latencies() {
             "q={q}: percentile {approx} more than one bucket above exact {exact_q}"
         );
     }
+}
+
+#[test]
+fn traces_reconcile_across_a_shard_restart_boundary() {
+    // A seeded shard kill mid-schedule tears one incarnation down and
+    // respawns another. The trace ring must stitch the boundary
+    // seamlessly: every frame still carries exactly one Submit and
+    // exactly one terminal event, requeued frames are marked with
+    // Requeue events that agree with the counter, the lifecycle
+    // events are present, and the ring dropped nothing.
+    let scene = scene();
+    let strategy = SamplingStrategy::coarse_then_focus(6, 6);
+    // A fast sweep and a short restart backoff keep the test quick.
+    // The heartbeat budget stays at its default: a kill is detected
+    // as Dead (finished worker thread), not by heartbeat age, and a
+    // tight budget would let a legitimately slow batch render on a
+    // loaded test host be misread as Wedged.
+    let server = RenderServer::new(
+        ServerConfig::default().with_max_shards(1).with_health(
+            HealthConfig::default()
+                .with_sweep_interval(Duration::from_millis(10))
+                .with_restart_backoff(Duration::from_millis(10), Duration::from_millis(100)),
+        ),
+    );
+    let session = server.create_session(
+        Arc::clone(&scene),
+        SessionConfig::new(intrinsics(), strategy),
+    );
+    let mut handles = Vec::new();
+    for k in 0..12 {
+        let mut req = FrameRequest::new(walk_pose(0, k));
+        if k == 3 {
+            req = req.with_fault(Fault::KillShard);
+        }
+        handles.push(server.submit(session, req));
+    }
+    let submitted = handles.len() as u64;
+    for (k, handle) in handles.into_iter().enumerate() {
+        handle
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|| panic!("frame {k} never resolved across the restart"))
+            .unwrap_or_else(|e| panic!("frame {k} failed across the restart: {e}"));
+    }
+    let inst = server.instance().to_string();
+    await_quiescence(&server, &inst, submitted);
+
+    assert_eq!(
+        server.trace_drops(),
+        0,
+        "trace ring dropped events across the restart"
+    );
+    let events = server.drain_traces();
+    let condemns = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Condemn)
+        .count();
+    let restarts = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Restart)
+        .count();
+    assert!(condemns >= 1, "no Condemn event for the killed shard");
+    assert!(restarts >= 1, "no Restart event for the respawned shard");
+
+    let by_frame = group_traces(&events);
+    assert_eq!(
+        by_frame.len() as u64,
+        submitted,
+        "trace frame count != submissions (phantom or orphaned frames at the boundary)"
+    );
+    let mut requeued_frames = 0u64;
+    for (frame, t) in &by_frame {
+        assert_eq!(t.submits, 1, "frame {frame}: expected exactly one Submit");
+        assert_eq!(
+            t.first_kind,
+            Some(EventKind::Submit),
+            "frame {frame}: trace does not start with Submit"
+        );
+        let terminals = t.resolves.len() as u64 + t.terminal_admits;
+        assert_eq!(
+            terminals,
+            1,
+            "frame {frame}: expected exactly one terminal event across the incarnation \
+             boundary, got {} resolves + {} terminal admits",
+            t.resolves.len(),
+            t.terminal_admits
+        );
+        assert_eq!(
+            t.resolves.first(),
+            Some(&ResolveOutcome::Ok),
+            "frame {frame}: not rendered"
+        );
+        if t.requeues > 0 {
+            requeued_frames += 1;
+        }
+    }
+    assert!(
+        requeued_frames >= 1,
+        "kill produced no Requeue trace events"
+    );
+
+    let snap = server.telemetry_snapshot();
+    let sub: &[(&str, &str)] = &[("instance", &inst)];
+    let trace_requeues: u64 = by_frame.values().map(|t| t.requeues).sum();
+    assert_eq!(
+        snap.counter_with("serve_requeued_frames_total", sub),
+        trace_requeues,
+        "Requeue trace events disagree with the requeue counter"
+    );
+    assert!(snap.counter_with("serve_shard_condemned_total", sub) >= 1);
+    assert!(snap.counter_with("serve_shard_restarts_total", sub) >= 1);
+    // Every frame rendered exactly once — nothing lost, nothing
+    // double-counted across the incarnation boundary.
+    assert_eq!(
+        snap.counter_with("serve_frames_rendered_total", sub),
+        submitted
+    );
+    assert_eq!(
+        snap.histogram_merged("serve_latency_ns", sub).count,
+        submitted
+    );
 }
